@@ -1,0 +1,402 @@
+//! Computational geometry for yada: predicates, circumcircles, angles, and
+//! a volatile Bowyer–Watson Delaunay triangulator for building the input
+//! mesh (the paper reads STAMP's `ttimeu10000.2`; we generate an equivalent
+//! seeded point set and triangulate it, see DESIGN.md).
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// A 2-D point.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Point {
+    /// X coordinate.
+    pub x: f64,
+    /// Y coordinate.
+    pub y: f64,
+}
+
+impl Point {
+    /// Creates a point.
+    pub fn new(x: f64, y: f64) -> Point {
+        Point { x, y }
+    }
+
+    /// Squared distance to `other`.
+    pub fn dist2(&self, other: &Point) -> f64 {
+        let (dx, dy) = (self.x - other.x, self.y - other.y);
+        dx * dx + dy * dy
+    }
+}
+
+/// Twice the signed area of triangle `abc`; positive when counterclockwise.
+pub fn orient2d(a: Point, b: Point, c: Point) -> f64 {
+    (b.x - a.x) * (c.y - a.y) - (b.y - a.y) * (c.x - a.x)
+}
+
+/// `true` if `p` lies strictly inside the circumcircle of CCW triangle
+/// `abc`.
+pub fn in_circumcircle(a: Point, b: Point, c: Point, p: Point) -> bool {
+    let (ax, ay) = (a.x - p.x, a.y - p.y);
+    let (bx, by) = (b.x - p.x, b.y - p.y);
+    let (cx, cy) = (c.x - p.x, c.y - p.y);
+    let det = (ax * ax + ay * ay) * (bx * cy - cx * by)
+        - (bx * bx + by * by) * (ax * cy - cx * ay)
+        + (cx * cx + cy * cy) * (ax * by - bx * ay);
+    det > 0.0
+}
+
+/// Circumcenter of triangle `abc` (degenerate triangles yield the
+/// centroid, keeping the refinement loop fault-free per paper §2.3).
+pub fn circumcenter(a: Point, b: Point, c: Point) -> Point {
+    let d = 2.0 * (a.x * (b.y - c.y) + b.x * (c.y - a.y) + c.x * (a.y - b.y));
+    if d.abs() < 1e-12 {
+        return Point::new((a.x + b.x + c.x) / 3.0, (a.y + b.y + c.y) / 3.0);
+    }
+    let a2 = a.x * a.x + a.y * a.y;
+    let b2 = b.x * b.x + b.y * b.y;
+    let c2 = c.x * c.x + c.y * c.y;
+    Point::new(
+        (a2 * (b.y - c.y) + b2 * (c.y - a.y) + c2 * (a.y - b.y)) / d,
+        (a2 * (c.x - b.x) + b2 * (a.x - c.x) + c2 * (b.x - a.x)) / d,
+    )
+}
+
+/// Minimum interior angle of triangle `abc`, in degrees.
+pub fn min_angle_deg(a: Point, b: Point, c: Point) -> f64 {
+    let la = b.dist2(&c).sqrt();
+    let lb = a.dist2(&c).sqrt();
+    let lc = a.dist2(&b).sqrt();
+    let angle = |opposite: f64, s1: f64, s2: f64| {
+        let cos = ((s1 * s1 + s2 * s2 - opposite * opposite) / (2.0 * s1 * s2)).clamp(-1.0, 1.0);
+        cos.acos().to_degrees()
+    };
+    angle(la, lb, lc)
+        .min(angle(lb, la, lc))
+        .min(angle(lc, la, lb))
+}
+
+/// `true` if `p` lies strictly inside the diametral circle of segment
+/// `(a, b)` — Ruppert's encroachment test.
+pub fn encroaches(a: Point, b: Point, p: Point) -> bool {
+    let mid = Point::new((a.x + b.x) / 2.0, (a.y + b.y) / 2.0);
+    let r2 = a.dist2(&b) / 4.0;
+    mid.dist2(&p) < r2 * (1.0 - 1e-12)
+}
+
+/// A triangle in the volatile triangulation: vertex indices plus neighbor
+/// triangle indices (`usize::MAX` = no neighbor / hull edge). Neighbor `i`
+/// is across the edge opposite vertex `i`.
+#[derive(Debug, Clone)]
+pub struct Tri {
+    /// Vertex indices (CCW).
+    pub v: [usize; 3],
+    /// Neighbor triangle indices, `usize::MAX` for boundary.
+    pub n: [usize; 3],
+}
+
+/// No-neighbor marker.
+pub const NO_TRI: usize = usize::MAX;
+
+/// A volatile Delaunay triangulation produced by [`triangulate`].
+#[derive(Debug, Clone)]
+pub struct Triangulation {
+    /// The input points (super-triangle vertices removed).
+    pub points: Vec<Point>,
+    /// Alive triangles with neighbor links.
+    pub tris: Vec<Tri>,
+}
+
+/// Generates the yada input: `n` seeded uniform points in the unit square
+/// plus the four box corners (the paper's input is STAMP's fixed point
+/// file; a seeded cloud of the same scale preserves the workload shape).
+pub fn generate_input(n: usize, seed: u64) -> Vec<Point> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut pts = vec![
+        Point::new(0.0, 0.0),
+        Point::new(1.0, 0.0),
+        Point::new(1.0, 1.0),
+        Point::new(0.0, 1.0),
+    ];
+    while pts.len() < n + 4 {
+        let p = Point::new(rng.gen_range(0.02..0.98), rng.gen_range(0.02..0.98));
+        // Keep a minimum spacing so the initial mesh is not degenerate.
+        if pts.iter().all(|q| q.dist2(&p) > 1e-6) {
+            pts.push(p);
+        }
+    }
+    pts
+}
+
+/// Incremental Bowyer–Watson triangulation of `points`.
+///
+/// # Panics
+///
+/// Panics if fewer than three points are supplied.
+pub fn triangulate(points: &[Point]) -> Triangulation {
+    assert!(points.len() >= 3, "triangulation needs at least 3 points");
+    // Super-triangle enclosing everything.
+    let big = 100.0;
+    let mut pts = points.to_vec();
+    let s0 = pts.len();
+    pts.push(Point::new(-big, -big));
+    pts.push(Point::new(big, -big));
+    pts.push(Point::new(0.0, big));
+    let mut tris: Vec<Tri> = vec![Tri {
+        v: [s0, s0 + 1, s0 + 2],
+        n: [NO_TRI; 3],
+    }];
+    let mut alive: Vec<bool> = vec![true];
+
+    for pi in 0..s0 {
+        let p = pts[pi];
+        // Cavity: all alive triangles whose circumcircle contains p.
+        let cavity: Vec<usize> = (0..tris.len())
+            .filter(|&t| {
+                alive[t] && {
+                    let [a, b, c] = tris[t].v;
+                    in_circumcircle(pts[a], pts[b], pts[c], p)
+                }
+            })
+            .collect();
+        assert!(!cavity.is_empty(), "point outside the super-triangle");
+        let in_cavity = |t: usize| cavity.contains(&t);
+        // Boundary edges of the cavity (edge opposite vertex i of t).
+        let mut boundary: Vec<(usize, usize, usize)> = Vec::new(); // (a, b, outside)
+        for &t in &cavity {
+            let tv = tris[t].v;
+            for i in 0..3 {
+                let out = tris[t].n[i];
+                if out == NO_TRI || !in_cavity(out) {
+                    // Edge opposite vertex i is (v[i+1], v[i+2]).
+                    boundary.push((tv[(i + 1) % 3], tv[(i + 2) % 3], out));
+                }
+            }
+        }
+        for &t in &cavity {
+            alive[t] = false;
+        }
+        // Fan of new triangles around p.
+        let first_new = tris.len();
+        for &(a, b, out) in &boundary {
+            let idx = tris.len();
+            tris.push(Tri {
+                v: [p_idx(pi), a, b],
+                n: [out, NO_TRI, NO_TRI], // neighbor across (a,b) = out
+            });
+            alive.push(true);
+            if out != NO_TRI {
+                // Fix the outside triangle's back pointer.
+                for i in 0..3 {
+                    let o = &tris[out];
+                    let (ea, eb) = (o.v[(i + 1) % 3], o.v[(i + 2) % 3]);
+                    if (ea == a && eb == b) || (ea == b && eb == a) {
+                        tris[out].n[i] = idx;
+                        break;
+                    }
+                }
+            }
+        }
+        // Link the fan: triangles sharing an edge (p, x).
+        for i in first_new..tris.len() {
+            for j in first_new..tris.len() {
+                if i == j {
+                    continue;
+                }
+                // Edge opposite vertex 1 of i is (v2, v0) = (b_i, p); edge
+                // opposite vertex 2 is (p, a_i). Match shared vertices.
+                let (ai, bi) = (tris[i].v[1], tris[i].v[2]);
+                let (aj, bj) = (tris[j].v[1], tris[j].v[2]);
+                if bi == aj {
+                    tris[i].n[1] = j; // across (v2=b_i, v0=p)
+                }
+                if ai == bj {
+                    tris[i].n[2] = j; // across (v0=p, v1=a_i)
+                }
+            }
+        }
+        fn p_idx(pi: usize) -> usize {
+            pi
+        }
+    }
+
+    // Drop triangles touching the super-triangle and compact.
+    let mut remap = vec![NO_TRI; tris.len()];
+    let mut out_tris = Vec::new();
+    for (t, tri) in tris.iter().enumerate() {
+        if alive[t] && tri.v.iter().all(|&v| v < s0) {
+            remap[t] = out_tris.len();
+            out_tris.push(tri.clone());
+        }
+    }
+    for tri in &mut out_tris {
+        for n in &mut tri.n {
+            *n = if *n == NO_TRI { NO_TRI } else { remap[*n] };
+        }
+    }
+    Triangulation {
+        points: points.to_vec(),
+        tris: out_tris,
+    }
+}
+
+impl Triangulation {
+    /// Validates the triangulation: CCW orientation, reciprocal neighbor
+    /// links, and (optionally) the Delaunay empty-circumcircle property.
+    ///
+    /// # Panics
+    ///
+    /// Panics on any violation (this is a checker).
+    pub fn verify(&self, check_delaunay: bool) {
+        for (t, tri) in self.tris.iter().enumerate() {
+            let [a, b, c] = tri.v;
+            assert!(
+                orient2d(self.points[a], self.points[b], self.points[c]) > 0.0,
+                "triangle {t} not CCW"
+            );
+            for i in 0..3 {
+                let n = tri.n[i];
+                if n == NO_TRI {
+                    continue;
+                }
+                assert!(
+                    self.tris[n].n.contains(&t),
+                    "neighbor link {t}->{n} not reciprocal"
+                );
+            }
+            if check_delaunay {
+                for (pi, p) in self.points.iter().enumerate() {
+                    if tri.v.contains(&pi) {
+                        continue;
+                    }
+                    assert!(
+                        !in_circumcircle(
+                            self.points[a],
+                            self.points[b],
+                            self.points[c],
+                            *p
+                        ),
+                        "triangle {t} circumcircle contains point {pi}"
+                    );
+                }
+            }
+        }
+    }
+
+    /// Hull edges (edges with no neighbor), as vertex pairs.
+    pub fn hull_edges(&self) -> Vec<(usize, usize)> {
+        let mut out = Vec::new();
+        for tri in &self.tris {
+            for i in 0..3 {
+                if tri.n[i] == NO_TRI {
+                    out.push((tri.v[(i + 1) % 3], tri.v[(i + 2) % 3]));
+                }
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn orientation_signs() {
+        let (a, b, c) = (Point::new(0.0, 0.0), Point::new(1.0, 0.0), Point::new(0.0, 1.0));
+        assert!(orient2d(a, b, c) > 0.0, "CCW positive");
+        assert!(orient2d(a, c, b) < 0.0, "CW negative");
+        assert_eq!(orient2d(a, b, Point::new(2.0, 0.0)), 0.0, "collinear zero");
+    }
+
+    #[test]
+    fn circumcircle_membership() {
+        let (a, b, c) = (Point::new(0.0, 0.0), Point::new(1.0, 0.0), Point::new(0.0, 1.0));
+        assert!(in_circumcircle(a, b, c, Point::new(0.5, 0.5)));
+        assert!(!in_circumcircle(a, b, c, Point::new(2.0, 2.0)));
+    }
+
+    #[test]
+    fn circumcenter_is_equidistant() {
+        let (a, b, c) = (Point::new(0.0, 0.0), Point::new(4.0, 0.0), Point::new(1.0, 3.0));
+        let o = circumcenter(a, b, c);
+        let (ra, rb, rc) = (o.dist2(&a), o.dist2(&b), o.dist2(&c));
+        assert!((ra - rb).abs() < 1e-9);
+        assert!((rb - rc).abs() < 1e-9);
+    }
+
+    #[test]
+    fn min_angle_of_known_triangles() {
+        // Equilateral: 60 degrees everywhere.
+        let h = 3f64.sqrt() / 2.0;
+        let eq = min_angle_deg(Point::new(0.0, 0.0), Point::new(1.0, 0.0), Point::new(0.5, h));
+        assert!((eq - 60.0).abs() < 1e-9);
+        // Right isoceles: 45.
+        let ri = min_angle_deg(
+            Point::new(0.0, 0.0),
+            Point::new(1.0, 0.0),
+            Point::new(0.0, 1.0),
+        );
+        assert!((ri - 45.0).abs() < 1e-9);
+        // A sliver has a tiny min angle.
+        let sliver = min_angle_deg(
+            Point::new(0.0, 0.0),
+            Point::new(1.0, 0.0),
+            Point::new(0.5, 0.01),
+        );
+        assert!(sliver < 5.0);
+    }
+
+    #[test]
+    fn encroachment_uses_the_diametral_circle() {
+        let (a, b) = (Point::new(0.0, 0.0), Point::new(2.0, 0.0));
+        assert!(encroaches(a, b, Point::new(1.0, 0.5)));
+        assert!(!encroaches(a, b, Point::new(1.0, 1.5)));
+        assert!(!encroaches(a, b, Point::new(3.0, 0.0)));
+    }
+
+    #[test]
+    fn triangulation_of_a_square() {
+        let pts = vec![
+            Point::new(0.0, 0.0),
+            Point::new(1.0, 0.0),
+            Point::new(1.0, 1.0),
+            Point::new(0.0, 1.0),
+        ];
+        let tri = triangulate(&pts);
+        assert_eq!(tri.tris.len(), 2, "a square triangulates into 2 triangles");
+        tri.verify(true);
+        assert_eq!(tri.hull_edges().len(), 4);
+    }
+
+    #[test]
+    fn triangulation_of_random_cloud_is_delaunay() {
+        let pts = generate_input(60, 42);
+        let tri = triangulate(&pts);
+        // Euler: for n points with h hull vertices, T = 2n - 2 - h.
+        assert!(tri.tris.len() > 60);
+        tri.verify(true);
+    }
+
+    #[test]
+    fn hull_of_generated_input_is_the_box() {
+        let pts = generate_input(40, 7);
+        let tri = triangulate(&pts);
+        for (a, b) in tri.hull_edges() {
+            // Hull edges connect box corners (indices 0..4) and lie on the
+            // box boundary.
+            let (pa, pb) = (tri.points[a], tri.points[b]);
+            let on_box = |p: Point| {
+                p.x.abs() < 1e-9 || (p.x - 1.0).abs() < 1e-9 || p.y.abs() < 1e-9 || (p.y - 1.0).abs() < 1e-9
+            };
+            assert!(on_box(pa) && on_box(pb), "hull edge off the box: {pa:?} {pb:?}");
+        }
+    }
+
+    #[test]
+    fn generated_input_is_deterministic() {
+        let a = generate_input(30, 9);
+        let b = generate_input(30, 9);
+        assert_eq!(a.len(), b.len());
+        assert!(a.iter().zip(&b).all(|(p, q)| p == q));
+    }
+}

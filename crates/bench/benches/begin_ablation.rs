@@ -1,0 +1,51 @@
+//! Ablation: eager vs lazy begin-record persistence.
+//!
+//! With eager begin every transaction — including read-only lookups — pays
+//! the v_log record and its two fences; with the lazy default the record is
+//! deferred to the first store, so searches are fence-free. This is the
+//! design choice DESIGN.md calls out; the gap below is its cost.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::sync::Arc;
+
+use clobber_bench::common::{DsHandle, DsKind, Scale};
+use clobber_nvm::{Backend, Runtime, RuntimeOptions};
+use clobber_pmem::{PmemPool, PoolOptions};
+use clobber_workloads::ycsb::KvOp;
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("begin_ablation_get");
+    group.sample_size(10);
+    for eager in [false, true] {
+        let pool = Arc::new(
+            PmemPool::create(PoolOptions::performance(Scale::Quick.pool_bytes())).unwrap(),
+        );
+        let mut opts = RuntimeOptions::new(Backend::clobber());
+        if eager {
+            opts = opts.with_eager_begin();
+        }
+        let rt = Arc::new(Runtime::create(pool, opts).unwrap());
+        let handle = DsHandle::create(DsKind::Hashmap, &rt);
+        for k in 0..512u64 {
+            handle.exec(
+                &rt,
+                0,
+                &KvOp::Insert {
+                    key: k,
+                    value: vec![0u8; 64],
+                },
+            );
+        }
+        let mut k = 0u64;
+        group.bench_function(if eager { "eager" } else { "lazy" }, |b| {
+            b.iter(|| {
+                k += 1;
+                handle.exec(&rt, 0, &KvOp::Read { key: k % 512 });
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,45 @@
+//! Fig. 10 micro-benchmark: one set and one get per backend on the
+//! memcached-like server.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+use clobber_apps::kvserver::{KvServer, LockScheme};
+use clobber_bench::common::{make_runtime, Scale};
+use clobber_nvm::Backend;
+use clobber_workloads::{Request, RequestStream};
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig10_request");
+    group.sample_size(10);
+    for backend in [Backend::clobber(), Backend::Undo, Backend::Redo] {
+        let (_pool, rt) = make_runtime(backend, Scale::Quick);
+        let server = KvServer::create(&rt, LockScheme::BucketRw).unwrap();
+        let mut k = 0u64;
+        group.bench_function(format!("set/{}", backend.label()), |b| {
+            b.iter(|| {
+                k += 1;
+                server
+                    .handle(
+                        &rt,
+                        &Request::Set {
+                            key: RequestStream::key_bytes(k % 1000),
+                            value: RequestStream::value_bytes(k),
+                        },
+                    )
+                    .unwrap();
+            });
+        });
+        group.bench_function(format!("get/{}", backend.label()), |b| {
+            b.iter(|| {
+                k += 1;
+                server
+                    .handle(&rt, &Request::Get { key: RequestStream::key_bytes(k % 1000) })
+                    .unwrap();
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

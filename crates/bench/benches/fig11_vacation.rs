@@ -1,0 +1,45 @@
+//! Fig. 11 micro-benchmark: one reservation task per backend per tree.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+use clobber_apps::{TreeKind, Vacation};
+use clobber_bench::common::{make_runtime, Scale};
+use clobber_nvm::Backend;
+use clobber_workloads::vacation::{Action, ResKind};
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig11_reserve");
+    group.sample_size(10);
+    for tree in [TreeKind::RedBlack, TreeKind::Avl] {
+        for backend in [Backend::NoLog, Backend::clobber(), Backend::Undo] {
+            let (_pool, rt) = make_runtime(backend, Scale::Quick);
+            let v = Vacation::create(&rt, tree, 60).unwrap();
+            let mut i = 0u64;
+            group.bench_function(format!("{}/{}", tree.label(), backend.label()), |b| {
+                b.iter(|| {
+                    i += 1;
+                    // Alternate reserve/cancel so customer lists and item
+                    // availability stay in steady state across long runs.
+                    if i % 2 == 0 {
+                        v.run_action(
+                            &rt,
+                            0,
+                            &Action::MakeReservation {
+                                customer: i % 30,
+                                queries: vec![(ResKind::Car, i % 60), (ResKind::Room, (i * 7) % 60)],
+                            },
+                        )
+                        .unwrap();
+                    } else {
+                        v.run_action(&rt, 0, &Action::CancelReservation { customer: i % 30 })
+                            .unwrap();
+                    }
+                });
+            });
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

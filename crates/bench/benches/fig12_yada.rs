@@ -1,0 +1,31 @@
+//! Fig. 12 micro-benchmark: one refinement transaction per backend.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+use clobber_apps::{StepOutcome, Yada};
+use clobber_bench::common::{make_runtime, Scale};
+use clobber_nvm::Backend;
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig12_refine_step");
+    group.sample_size(10);
+    for backend in [Backend::NoLog, Backend::clobber(), Backend::Undo] {
+        let (_pool, rt) = make_runtime(backend, Scale::Quick);
+        let mut mesh = Yada::create(&rt, 60, 25.0, 42).unwrap();
+        let mut seed = 43u64;
+        group.bench_function(backend.label(), |b| {
+            b.iter(|| {
+                // Recreate the mesh when refinement converges so each
+                // iteration really refines.
+                if mesh.refine_step(&rt, 0).unwrap() != StepOutcome::Refined {
+                    mesh = Yada::create(&rt, 60, 25.0, seed).unwrap();
+                    seed += 1;
+                }
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

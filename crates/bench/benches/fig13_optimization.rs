@@ -1,0 +1,34 @@
+//! Fig. 13 micro-benchmark: refined vs conservative clobber detection on a
+//! loop-heavy read-modify-write transaction.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+use clobber_bench::common::{make_runtime, Scale};
+use clobber_nvm::{ArgList, Backend};
+use clobber_pmem::PAddr;
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig13_loop_clobber");
+    group.sample_size(10);
+    for backend in [Backend::clobber(), Backend::clobber_conservative()] {
+        let (pool, rt) = make_runtime(backend, Scale::Quick);
+        let cell = pool.alloc(8).unwrap();
+        pool.persist(cell, 8).unwrap();
+        rt.register("loop_bump", |tx, args| {
+            let cell = PAddr::new(args.u64(0)?);
+            for _ in 0..16 {
+                let v = tx.read_u64(cell)?;
+                tx.write_u64(cell, v + 1)?;
+            }
+            Ok(None)
+        });
+        let args = ArgList::new().with_u64(cell.offset());
+        group.bench_function(backend.label(), |b| {
+            b.iter(|| rt.run("loop_bump", &args).unwrap());
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

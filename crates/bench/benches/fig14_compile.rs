@@ -1,0 +1,36 @@
+//! Fig. 14 micro-benchmark: the compiler pipeline over the IR corpus, full
+//! pipeline vs front-end-only.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+use clobber_txir::pipeline::{compile, CompileOptions};
+use clobber_txir::programs;
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig14_compile");
+    group.sample_size(20);
+    let corpus: Vec<_> = programs::corpus();
+    group.bench_function("corpus_full_pipeline", |b| {
+        b.iter(|| {
+            for p in &corpus {
+                let _ = compile(p.function.clone(), CompileOptions::default()).unwrap();
+            }
+        });
+    });
+    group.bench_function("corpus_frontend_only", |b| {
+        b.iter(|| {
+            for p in &corpus {
+                p.function.validate().unwrap();
+                let _ = clobber_txir::Cfg::new(&p.function);
+            }
+        });
+    });
+    let big = programs::synthetic_rmw_chain(256);
+    group.bench_function("synthetic_256", |b| {
+        b.iter(|| compile(big.clone(), CompileOptions::default()).unwrap());
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

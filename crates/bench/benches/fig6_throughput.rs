@@ -1,0 +1,39 @@
+//! Fig. 6 micro-benchmark: real wall-clock cost of one insert per
+//! data structure per logging backend. The full simulated-throughput
+//! sweep lives in `repro fig6`.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+use clobber_bench::common::{make_runtime, DsHandle, DsKind, Scale};
+use clobber_nvm::Backend;
+use clobber_workloads::Workload;
+use clobber_workloads::ycsb::KvOp;
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig6_insert");
+    group.sample_size(10);
+    for kind in DsKind::all() {
+        for backend in [Backend::clobber(), Backend::Undo, Backend::Atlas, Backend::Redo] {
+            let (_pool, rt) = make_runtime(backend, Scale::Quick);
+            let handle = DsHandle::create(kind, &rt);
+            let mut key = 0u64;
+            group.bench_function(format!("{}/{}", kind.label(), backend.label()), |b| {
+                b.iter(|| {
+                    // Wrap the key space so long criterion runs settle into
+                    // steady-state updates (alloc new value, free old) and
+                    // cannot exhaust the pool.
+                    key = (key + 1) % 4096;
+                    let op = KvOp::Insert {
+                        key: key.wrapping_mul(0x9E37_79B9_7F4A_7C15),
+                        value: Workload::value_for(key, 256),
+                    };
+                    handle.exec(&rt, 0, &op);
+                });
+            });
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,45 @@
+//! Fig. 8 micro-benchmark: insert cost with and without the iDO shadow
+//! observer; log-traffic ratios are produced by `repro fig8`.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::sync::Arc;
+
+use clobber_bench::common::{DsHandle, DsKind, Scale};
+use clobber_nvm::{Backend, Runtime, RuntimeOptions};
+use clobber_pmem::{PmemPool, PoolOptions};
+use clobber_workloads::ycsb::KvOp;
+use clobber_workloads::Workload;
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig8_ido_shadow");
+    group.sample_size(10);
+    for shadow in [false, true] {
+        let pool = Arc::new(
+            PmemPool::create(PoolOptions::performance(Scale::Quick.pool_bytes())).unwrap(),
+        );
+        let mut opts = RuntimeOptions::new(Backend::clobber());
+        if shadow {
+            opts = opts.with_ido_shadow();
+        }
+        let rt = Arc::new(Runtime::create(pool, opts).unwrap());
+        let handle = DsHandle::create(DsKind::Skiplist, &rt);
+        let mut key = 0u64;
+        group.bench_function(if shadow { "with_shadow" } else { "without_shadow" }, |b| {
+            b.iter(|| {
+                key = (key + 1) % 4096; // steady-state updates, see fig6 bench
+                handle.exec(
+                    &rt,
+                    0,
+                    &KvOp::Insert {
+                        key: key.wrapping_mul(0x9E37_79B9_7F4A_7C15),
+                        value: Workload::value_for(key, 256),
+                    },
+                );
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

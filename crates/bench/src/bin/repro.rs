@@ -1,0 +1,205 @@
+//! Regenerates every table and figure of the Clobber-NVM evaluation.
+//!
+//! ```text
+//! repro [fig6|fig7|fig8|fig9|fig10|fig11|fig12|fig13|fig14|all] [--quick] [--out DIR]
+//! ```
+//!
+//! Each experiment writes `fig*.csv` into the output directory (default:
+//! the current directory) and prints a summary table, mirroring the
+//! original artifact's `run_all.sh` behaviour (paper Appendix A.5).
+
+use std::path::PathBuf;
+use std::time::Instant;
+
+use clobber_bench::{common::Scale, write_csv};
+use clobber_bench::{fig10, fig11, fig12, fig13, fig14, fig6, fig7, fig8, fig9};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut which: Vec<String> = Vec::new();
+    let mut scale = Scale::Full;
+    let mut out_dir = PathBuf::from(".");
+    let mut it = args.into_iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--quick" => scale = Scale::Quick,
+            "--out" => {
+                out_dir = PathBuf::from(it.next().unwrap_or_else(|| {
+                    eprintln!("--out requires a directory");
+                    std::process::exit(2);
+                }))
+            }
+            "all" => which = all_figures(),
+            other if other.starts_with("fig") => which.push(other.to_string()),
+            other => {
+                eprintln!("unknown argument `{other}`");
+                eprintln!("usage: repro [fig6..fig14|all] [--quick] [--out DIR]");
+                std::process::exit(2);
+            }
+        }
+    }
+    if which.is_empty() {
+        which = all_figures();
+    }
+    std::fs::create_dir_all(&out_dir).expect("create output directory");
+    for fig in which {
+        let t = Instant::now();
+        println!("==> {fig} (scale: {scale:?})");
+        run_one(&fig, scale, &out_dir);
+        println!("    done in {:.1}s\n", t.elapsed().as_secs_f64());
+    }
+}
+
+fn all_figures() -> Vec<String> {
+    (6..=14).map(|i| format!("fig{i}")).collect()
+}
+
+fn run_one(fig: &str, scale: Scale, out: &std::path::Path) {
+    match fig {
+        "fig6" => {
+            let rows = fig6::run(scale);
+            emit(out, "fig6.csv", fig6::HEADER, rows.iter().map(|r| r.csv()));
+            // Paper-style summary: clobber-vs-pmdk speedups.
+            for kind in clobber_bench::common::DsKind::all() {
+                let pick = |sys: &str, t: usize| {
+                    rows.iter()
+                        .find(|r| r.system == sys && r.structure == kind.label() && r.threads == t)
+                        .map(|r| r.throughput)
+                        .unwrap_or(0.0)
+                };
+                println!(
+                    "    {:<9} clobber/pmdk: {:.2}x @1t  clobber/atlas: {:.2}x @1t",
+                    kind.label(),
+                    pick("clobber", 1) / pick("pmdk", 1).max(1.0),
+                    pick("clobber", 1) / pick("atlas", 1).max(1.0),
+                );
+            }
+        }
+        "fig7" => {
+            let rows = fig7::run(scale);
+            emit(out, "fig7.csv", fig7::HEADER, rows.iter().map(|r| r.csv()));
+            for (ds, entries, bytes) in fig7::paper_ratios(&rows) {
+                println!(
+                    "    {ds:<9} clobber entries = {:.1}% of pmdk;  pmdk bytes = {:.1}x clobber",
+                    entries * 100.0,
+                    bytes
+                );
+            }
+        }
+        "fig8" => {
+            let rows = fig8::run(scale);
+            emit(out, "fig8.csv", fig8::HEADER, rows.iter().map(|r| r.csv()));
+            for r in &rows {
+                println!(
+                    "    {:<9} iDO/clobber: {:.1}x points, {:.1}x bytes",
+                    r.structure,
+                    r.ido_points / r.clobber_points.max(1e-9),
+                    r.ido_bytes / r.clobber_bytes.max(1e-9)
+                );
+            }
+        }
+        "fig9" => {
+            let rows = fig9::run(scale);
+            emit(out, "fig9.csv", fig9::HEADER, rows.iter().map(|r| r.csv()));
+            for r in &rows {
+                println!(
+                    "    {:<8} {:<9} total {:.2} ms (open {:.2} + apply {:.3})",
+                    r.system,
+                    r.structure,
+                    (r.open_ns + r.apply_ns) as f64 / 1e6,
+                    r.open_ns as f64 / 1e6,
+                    r.apply_ns as f64 / 1e6
+                );
+            }
+        }
+        "fig10" => {
+            let rows = fig10::run(scale);
+            emit(out, "fig10.csv", fig10::HEADER, rows.iter().map(|r| r.csv()));
+            for mix in clobber_workloads::Mix::all() {
+                let pick = |sys: &str| {
+                    rows.iter()
+                        .find(|r| {
+                            r.system == sys && r.mix == mix.label() && r.locks == "rwlock" && r.threads == 1
+                        })
+                        .map(|r| r.throughput)
+                        .unwrap_or(0.0)
+                };
+                println!(
+                    "    {:<9} clobber/pmdk {:.2}x  clobber/mnemosyne {:.2}x  @1t",
+                    mix.label(),
+                    pick("clobber") / pick("pmdk").max(1.0),
+                    pick("clobber") / pick("mnemosyne").max(1.0)
+                );
+            }
+        }
+        "fig11" => {
+            let rows = fig11::run(scale);
+            emit(out, "fig11.csv", fig11::HEADER, rows.iter().map(|r| r.csv()));
+            for r in rows.iter().filter(|r| r.system != "nolog") {
+                println!(
+                    "    {:<10} {:<8} q={} overhead {:+.0}%",
+                    r.system, r.tree, r.queries_per_task, r.overhead_pct
+                );
+            }
+        }
+        "fig12" => {
+            let rows = fig12::run(scale);
+            emit(out, "fig12.csv", fig12::HEADER, rows.iter().map(|r| r.csv()));
+            for r in &rows {
+                println!(
+                    "    angle {:>2}  {:<8} {:>9.2} ms  ({} steps, {} triangles, {:+.0}%)",
+                    r.angle, r.system, r.elapsed_ms, r.steps, r.final_triangles, r.overhead_pct
+                );
+            }
+        }
+        "fig13" => {
+            let rows = fig13::run(scale);
+            emit(out, "fig13.csv", fig13::HEADER, rows.iter().map(|r| r.csv()));
+            let stat = fig13::run_static();
+            emit(
+                out,
+                "fig13_static.csv",
+                fig13::STATIC_HEADER,
+                stat.iter().map(|r| r.csv()),
+            );
+            for r in &rows {
+                println!(
+                    "    {:<22} speedup {:+.1}%  extra entries {:+.0}%  extra bytes {:+.0}%",
+                    r.workload, r.speedup_pct, r.extra_entries_pct, r.extra_bytes_pct
+                );
+            }
+            for r in &stat {
+                println!(
+                    "    [static] {:<18} {} -> {} sites",
+                    r.program, r.conservative_sites, r.refined_sites
+                );
+            }
+        }
+        "fig14" => {
+            let rows = fig14::run();
+            emit(out, "fig14.csv", fig14::HEADER, rows.iter().map(|r| r.csv()));
+            for r in &rows {
+                println!(
+                    "    {:<20} {:>4} insts  frontend {:>7} ns  passes {:>7} ns  ({:.0}%)",
+                    r.program, r.instructions, r.frontend_ns, r.passes_ns, r.overhead_pct
+                );
+            }
+        }
+        other => {
+            eprintln!("unknown figure `{other}`");
+            std::process::exit(2);
+        }
+    }
+}
+
+fn emit(
+    out: &std::path::Path,
+    file: &str,
+    header: &str,
+    rows: impl Iterator<Item = String>,
+) {
+    let rows: Vec<String> = rows.collect();
+    let path = out.join(file);
+    write_csv(&path, header, &rows).expect("write csv");
+    println!("    wrote {} ({} rows)", path.display(), rows.len());
+}

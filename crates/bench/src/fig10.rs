@@ -1,0 +1,163 @@
+//! Fig. 10: memcached-like server throughput across workload mixes and
+//! threads.
+//!
+//! memslap-style streams (16-byte keys, 64-byte values) over four mixes
+//! from insertion-intensive (95 % set) to search-intensive (5 % set),
+//! systems {Clobber-NVM, PMDK, Mnemosyne}. The paper's claims: Clobber-NVM
+//! wins everywhere, by more on insert-heavy mixes; Mnemosyne's longer read
+//! path hurts it on search-heavy mixes; bucket rwlocks scale search-heavy
+//! mixes best while spinlocks favor insert-heavy ones.
+
+use clobber_apps::kvserver::{KvOpSource, KvServer, LockScheme};
+use clobber_nvm::Backend;
+use clobber_sim::{run_des, CostModel};
+use clobber_workloads::Mix;
+
+use crate::common::{make_runtime, Scale};
+
+/// One throughput measurement.
+#[derive(Debug, Clone)]
+pub struct Row {
+    /// System label.
+    pub system: &'static str,
+    /// Mix label.
+    pub mix: &'static str,
+    /// Lock scheme label.
+    pub locks: &'static str,
+    /// Logical threads.
+    pub threads: usize,
+    /// Simulated throughput in requests per second.
+    pub throughput: f64,
+}
+
+/// CSV header.
+pub const HEADER: &str = "system,mix,locks,threads,throughput_req_per_sec";
+
+impl Row {
+    /// One CSV line.
+    pub fn csv(&self) -> String {
+        format!(
+            "{},{},{},{},{:.0}",
+            self.system, self.mix, self.locks, self.threads, self.throughput
+        )
+    }
+}
+
+/// Runs one cell.
+pub fn run_cell(
+    backend: Backend,
+    mix: Mix,
+    scheme: LockScheme,
+    threads: usize,
+    scale: Scale,
+) -> Row {
+    let (_pool, rt) = make_runtime(backend, scale);
+    let server = KvServer::create(&rt, scheme).expect("server");
+    let per_thread = scale.kv_ops() / threads as u64;
+    let mut src = KvOpSource::new(
+        server,
+        rt.clone(),
+        threads,
+        mix,
+        per_thread,
+        10_000,
+        99,
+        CostModel::optane(),
+    );
+    let result = run_des(threads, &mut src);
+    Row {
+        system: backend.label(),
+        mix: mix.label(),
+        locks: scheme.label(),
+        threads,
+        throughput: result.throughput_ops_per_sec(),
+    }
+}
+
+/// Runs the full figure: mixes × systems × threads, rwlock scheme (the
+/// paper's scalable configuration), plus a spinlock column at the highest
+/// thread count for the lock-scheme comparison.
+pub fn run(scale: Scale) -> Vec<Row> {
+    let mut rows = Vec::new();
+    let systems = [Backend::clobber(), Backend::Undo, Backend::Redo];
+    for mix in Mix::all() {
+        for backend in systems {
+            for &threads in &scale.threads() {
+                rows.push(run_cell(backend, mix, LockScheme::BucketRw, threads, scale));
+            }
+            let max_t = *scale.threads().last().expect("thread list");
+            rows.push(run_cell(backend, mix, LockScheme::BucketSpin, max_t, scale));
+        }
+    }
+    rows
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Quick-scale rows computed once and shared by all tests in this
+    /// module (the sweep is the expensive part).
+    fn cached_rows() -> &'static [Row] {
+        static ROWS: std::sync::OnceLock<Vec<Row>> = std::sync::OnceLock::new();
+        ROWS.get_or_init(|| run(Scale::Quick))
+    }
+
+    fn get(rows: &[Row], system: &str, mix: &str, locks: &str, threads: usize) -> f64 {
+        rows.iter()
+            .find(|r| {
+                r.system == system && r.mix == mix && r.locks == locks && r.threads == threads
+            })
+            .map(|r| r.throughput)
+            .expect("row")
+    }
+
+    #[test]
+    fn clobber_wins_every_mix_single_thread() {
+        let rows = cached_rows();
+        for mix in Mix::all() {
+            let c = get(&rows, "clobber", mix.label(), "rwlock", 1);
+            let p = get(&rows, "pmdk", mix.label(), "rwlock", 1);
+            let m = get(&rows, "mnemosyne", mix.label(), "rwlock", 1);
+            assert!(c > p, "{}: clobber {c:.0} vs pmdk {p:.0}", mix.label());
+            assert!(c > m, "{}: clobber {c:.0} vs mnemosyne {m:.0}", mix.label());
+        }
+    }
+
+    #[test]
+    fn gains_shrink_on_search_heavy_mixes() {
+        // Paper: Clobber-NVM outperforms more on insert-intensive mixes.
+        let rows = cached_rows();
+        let gain = |mix: &str| {
+            get(&rows, "clobber", mix, "rwlock", 1) / get(&rows, "pmdk", mix, "rwlock", 1)
+        };
+        assert!(
+            gain("insert95") > gain("search95"),
+            "insert gain {:.2} vs search gain {:.2}",
+            gain("insert95"),
+            gain("search95")
+        );
+    }
+
+    #[test]
+    fn mnemosyne_read_path_hurts_searches() {
+        // Paper: "the longer read path of redo-log based systems results in
+        // lower performance of Mnemosyne" on search-heavy mixes.
+        let rows = cached_rows();
+        let m = get(&rows, "mnemosyne", "search95", "rwlock", 1);
+        let p = get(&rows, "pmdk", "search95", "rwlock", 1);
+        assert!(m < p, "mnemosyne {m:.0} vs pmdk {p:.0}");
+    }
+
+    #[test]
+    fn rwlock_scales_search_heavy_mixes() {
+        let rows = cached_rows();
+        let threads = *Scale::Quick.threads().last().unwrap();
+        let rw = get(&rows, "clobber", "search95", "rwlock", threads);
+        let spin = get(&rows, "clobber", "search95", "spinlock", threads);
+        assert!(
+            rw >= spin * 0.95,
+            "readers should share: rwlock {rw:.0} vs spinlock {spin:.0}"
+        );
+    }
+}

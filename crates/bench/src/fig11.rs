@@ -1,0 +1,138 @@
+//! Fig. 11: vacation over red-black vs AVL tables, sweeping queries per
+//! task.
+//!
+//! Paper claims reproduced here: the AVL version is a few percent faster
+//! for every system (clobber/undo log traffic is data-structure dependent,
+//! the v_log is not); logging overhead relative to No-log *decreases* as
+//! queries-per-task (the read share) grows for Clobber-NVM and PMDK, while
+//! Mnemosyne's read-path overhead *increases* with it.
+
+use clobber_apps::{TreeKind, Vacation};
+use clobber_nvm::Backend;
+use clobber_sim::CostModel;
+use clobber_workloads::vacation::ActionStream;
+
+use crate::common::{make_runtime, Scale};
+
+/// One measurement.
+#[derive(Debug, Clone)]
+pub struct Row {
+    /// System label.
+    pub system: &'static str,
+    /// Table structure label.
+    pub tree: &'static str,
+    /// Items examined per reservation task.
+    pub queries_per_task: usize,
+    /// Simulated throughput in tasks per second.
+    pub throughput: f64,
+    /// Overhead relative to the no-log baseline (same tree/queries), in
+    /// percent; 0 for the baseline itself.
+    pub overhead_pct: f64,
+}
+
+/// CSV header.
+pub const HEADER: &str = "system,tree,queries_per_task,throughput_tasks_per_sec,overhead_pct";
+
+impl Row {
+    /// One CSV line.
+    pub fn csv(&self) -> String {
+        format!(
+            "{},{},{},{:.0},{:.1}",
+            self.system, self.tree, self.queries_per_task, self.throughput, self.overhead_pct
+        )
+    }
+}
+
+fn run_one(backend: Backend, tree: TreeKind, queries: usize, scale: Scale) -> f64 {
+    let (pool, rt) = make_runtime(backend, scale);
+    let relations = match scale {
+        Scale::Quick => 60,
+        Scale::Full => 1000,
+    };
+    let v = Vacation::create(&rt, tree, relations).expect("vacation");
+    let cost = CostModel::optane();
+    let n = scale.vacation_tasks();
+    let mut total_ns = 0u64;
+    for action in ActionStream::new(n, relations, relations / 2, queries, 1234) {
+        let before = pool.stats().snapshot();
+        v.run_action(&rt, 0, &action).expect("action");
+        total_ns += cost.op_cost(&pool.stats().snapshot().delta(&before));
+    }
+    n as f64 * 1e9 / total_ns.max(1) as f64
+}
+
+/// Runs the figure: {nolog, clobber, pmdk, mnemosyne} × {rbtree, avltree}
+/// × queries-per-task {2, 4, 6}.
+pub fn run(scale: Scale) -> Vec<Row> {
+    let mut rows = Vec::new();
+    for tree in [TreeKind::RedBlack, TreeKind::Avl] {
+        for queries in [2usize, 4, 6] {
+            let baseline = run_one(Backend::NoLog, tree, queries, scale);
+            for backend in [Backend::NoLog, Backend::clobber(), Backend::Undo, Backend::Redo] {
+                let tput = if backend == Backend::NoLog {
+                    baseline
+                } else {
+                    run_one(backend, tree, queries, scale)
+                };
+                rows.push(Row {
+                    system: backend.label(),
+                    tree: tree.label(),
+                    queries_per_task: queries,
+                    throughput: tput,
+                    overhead_pct: (baseline / tput - 1.0) * 100.0,
+                });
+            }
+        }
+    }
+    rows
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Quick-scale rows computed once and shared by all tests in this
+    /// module (the sweep is the expensive part).
+    fn cached_rows() -> &'static [Row] {
+        static ROWS: std::sync::OnceLock<Vec<Row>> = std::sync::OnceLock::new();
+        ROWS.get_or_init(|| run(Scale::Quick))
+    }
+
+    fn get<'a>(rows: &'a [Row], system: &str, tree: &str, q: usize) -> &'a Row {
+        rows.iter()
+            .find(|r| r.system == system && r.tree == tree && r.queries_per_task == q)
+            .expect("row")
+    }
+
+    #[test]
+    fn clobber_overhead_is_below_pmdk() {
+        let rows = cached_rows();
+        for tree in ["rbtree", "avltree"] {
+            for q in [2, 4, 6] {
+                let c = get(&rows, "clobber", tree, q).overhead_pct;
+                let p = get(&rows, "pmdk", tree, q).overhead_pct;
+                assert!(c < p, "{tree}/q{q}: clobber {c:.0}% vs pmdk {p:.0}%");
+            }
+        }
+    }
+
+    #[test]
+    fn logging_overhead_shrinks_with_more_queries() {
+        // Paper: more queries per task = higher read share = lower
+        // clobber/undo logging overhead.
+        let rows = cached_rows();
+        for sys in ["clobber", "pmdk"] {
+            let low = get(&rows, sys, "rbtree", 2).overhead_pct;
+            let high = get(&rows, sys, "rbtree", 6).overhead_pct;
+            assert!(high < low + 1.0, "{sys}: q2 {low:.0}% vs q6 {high:.0}%");
+        }
+    }
+
+    #[test]
+    fn baseline_has_zero_overhead() {
+        let rows = cached_rows();
+        for r in rows.iter().filter(|r| r.system == "nolog") {
+            assert_eq!(r.overhead_pct, 0.0);
+        }
+    }
+}

@@ -1,0 +1,145 @@
+//! Fig. 12: yada (Delaunay mesh refinement) across angle constraints.
+//!
+//! Refinement of a seeded input mesh at angle constraints 15°–30° under
+//! {No-log, PMDK, Clobber-NVM}. The paper's claims: yada is
+//! compute-intensive, so logging overhead is modest — ~42 % for PMDK and
+//! ~27 % for Clobber-NVM over No-log — and roughly flat across the angle
+//! sweep.
+
+use clobber_apps::Yada;
+use clobber_nvm::Backend;
+use clobber_sim::CostModel;
+
+use crate::common::{make_runtime, Scale};
+
+/// Modeled geometry compute per refinement step (circumcenters, incircle
+/// tests, cavity search), which the persistence cost model cannot see. The
+/// paper's own yada run processes ~5 000 elements in ~1.5 s — hundreds of
+/// microseconds per step, making yada compute-bound and its logging
+/// overhead modest (§5.8). 40 µs is a conservative per-step charge for the
+/// smaller cavities of our scaled-down meshes.
+pub const COMPUTE_NS_PER_STEP: u64 = 40_000;
+
+/// One measurement.
+#[derive(Debug, Clone)]
+pub struct Row {
+    /// System label.
+    pub system: &'static str,
+    /// Angle constraint in degrees.
+    pub angle: u32,
+    /// Simulated refinement time in milliseconds.
+    pub elapsed_ms: f64,
+    /// Refinement transactions executed.
+    pub steps: u64,
+    /// Final mesh size (alive triangles).
+    pub final_triangles: u64,
+    /// Overhead over the no-log baseline, percent.
+    pub overhead_pct: f64,
+}
+
+/// CSV header.
+pub const HEADER: &str = "system,angle_deg,elapsed_ms,steps,final_triangles,overhead_pct";
+
+impl Row {
+    /// One CSV line.
+    pub fn csv(&self) -> String {
+        format!(
+            "{},{},{:.2},{},{},{:.1}",
+            self.system, self.angle, self.elapsed_ms, self.steps, self.final_triangles, self.overhead_pct
+        )
+    }
+}
+
+fn run_one(backend: Backend, angle: u32, scale: Scale) -> (f64, u64, u64) {
+    let (pool, rt) = make_runtime(backend, scale);
+    let y = Yada::create(&rt, scale.yada_points(), angle as f64, 777).expect("mesh");
+    let cost = CostModel::optane();
+    let before = pool.stats().snapshot();
+    let stats = y.refine_all(&rt, 0, 2_000_000).expect("refine");
+    assert!(!stats.capped, "refinement must converge for the figure");
+    let delta = pool.stats().snapshot().delta(&before);
+    let elapsed_ms = (cost.op_cost(&delta) + stats.steps * COMPUTE_NS_PER_STEP) as f64 / 1e6;
+    (elapsed_ms, stats.steps, stats.final_triangles)
+}
+
+/// Runs the figure: angles 15..=30 step 5 × {nolog, pmdk, clobber}.
+pub fn run(scale: Scale) -> Vec<Row> {
+    let mut rows = Vec::new();
+    for angle in [15u32, 20, 25, 30] {
+        let (base_ms, base_steps, base_tris) = run_one(Backend::NoLog, angle, scale);
+        for backend in [Backend::NoLog, Backend::Undo, Backend::clobber()] {
+            let (ms, steps, tris) = if backend == Backend::NoLog {
+                (base_ms, base_steps, base_tris)
+            } else {
+                run_one(backend, angle, scale)
+            };
+            rows.push(Row {
+                system: backend.label(),
+                angle,
+                elapsed_ms: ms,
+                steps,
+                final_triangles: tris,
+                overhead_pct: (ms / base_ms - 1.0) * 100.0,
+            });
+        }
+    }
+    rows
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Quick-scale rows computed once and shared by all tests in this
+    /// module (the sweep is the expensive part).
+    fn cached_rows() -> &'static [Row] {
+        static ROWS: std::sync::OnceLock<Vec<Row>> = std::sync::OnceLock::new();
+        ROWS.get_or_init(|| run(Scale::Quick))
+    }
+
+    #[test]
+    fn clobber_overhead_is_below_pmdk_and_modest() {
+        let rows = cached_rows();
+        for angle in [15u32, 20, 25, 30] {
+            let get = |sys: &str| {
+                rows.iter()
+                    .find(|r| r.system == sys && r.angle == angle)
+                    .expect("row")
+            };
+            let c = get("clobber").overhead_pct;
+            let p = get("pmdk").overhead_pct;
+            assert!(c < p, "angle {angle}: clobber {c:.0}% vs pmdk {p:.0}%");
+            assert!(
+                p < 150.0,
+                "angle {angle}: yada is compute-heavy, overhead should be modest, got {p:.0}%"
+            );
+        }
+    }
+
+    #[test]
+    fn all_systems_produce_the_same_mesh() {
+        // Deterministic transactions: the refinement result must not depend
+        // on the logging strategy.
+        let rows = cached_rows();
+        for angle in [15u32, 20, 25, 30] {
+            let sizes: Vec<u64> = rows
+                .iter()
+                .filter(|r| r.angle == angle)
+                .map(|r| r.final_triangles)
+                .collect();
+            assert!(sizes.windows(2).all(|w| w[0] == w[1]), "angle {angle}: {sizes:?}");
+        }
+    }
+
+    #[test]
+    fn stricter_angles_do_more_work() {
+        let rows = cached_rows();
+        let steps = |angle: u32| {
+            rows.iter()
+                .find(|r| r.system == "clobber" && r.angle == angle)
+                .unwrap()
+                .steps
+        };
+        assert!(steps(30) > steps(15), "{} vs {}", steps(30), steps(15));
+    }
+}

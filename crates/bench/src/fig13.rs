@@ -1,0 +1,221 @@
+//! Fig. 13: effectiveness of the dependency-analysis refinement.
+//!
+//! Two views of the same optimization (paper §4.4 / §5.9):
+//!
+//! * **dynamic**: every workload runs under full Clobber-NVM and under the
+//!   conservative variant (no unexposed/shadowed elimination); the figure
+//!   reports the throughput improvement and the extra clobber_log traffic
+//!   the unoptimized analysis incurs ("the unoptimized version incurs up to
+//!   32 % more clobber_log entries and 47 % more bytes");
+//! * **static**: the compiler corpus is compiled with and without the
+//!   refinement pass, reporting instrumented-site counts (e.g. the paper's
+//!   skiplist observation: "the compiler pass removes two clobber
+//!   candidates out of five").
+
+use clobber_apps::kvserver::{KvServer, LockScheme};
+use clobber_apps::{TreeKind, Vacation, Yada};
+use clobber_nvm::Backend;
+use clobber_sim::CostModel;
+use clobber_txir::pipeline::{compile, CompileOptions};
+use clobber_txir::programs;
+use clobber_workloads::vacation::ActionStream;
+use clobber_workloads::{Mix, Request, RequestStream, Workload, WorkloadKind};
+
+use crate::common::{make_runtime, DsHandle, DsKind, PerTx, Scale};
+
+/// One dynamic-ablation row.
+#[derive(Debug, Clone)]
+pub struct Row {
+    /// Workload label.
+    pub workload: String,
+    /// Throughput improvement of refined over conservative, percent.
+    pub speedup_pct: f64,
+    /// Extra clobber_log entries of the conservative variant, percent.
+    pub extra_entries_pct: f64,
+    /// Extra clobber_log bytes of the conservative variant, percent.
+    pub extra_bytes_pct: f64,
+}
+
+/// CSV header for the dynamic ablation.
+pub const HEADER: &str = "workload,speedup_pct,extra_entries_pct,extra_bytes_pct";
+
+impl Row {
+    /// One CSV line.
+    pub fn csv(&self) -> String {
+        format!(
+            "{},{:.1},{:.1},{:.1}",
+            self.workload, self.speedup_pct, self.extra_entries_pct, self.extra_bytes_pct
+        )
+    }
+}
+
+/// One static-pass row.
+#[derive(Debug, Clone)]
+pub struct StaticRow {
+    /// IR program name.
+    pub program: String,
+    /// Instrumented sites without refinement.
+    pub conservative_sites: usize,
+    /// Instrumented sites with refinement.
+    pub refined_sites: usize,
+    /// Candidates removed as unexposed.
+    pub removed_unexposed: usize,
+    /// Candidates removed as shadowed.
+    pub removed_shadowed: usize,
+}
+
+/// CSV header for the static rows.
+pub const STATIC_HEADER: &str =
+    "program,conservative_sites,refined_sites,removed_unexposed,removed_shadowed";
+
+impl StaticRow {
+    /// One CSV line.
+    pub fn csv(&self) -> String {
+        format!(
+            "{},{},{},{},{}",
+            self.program,
+            self.conservative_sites,
+            self.refined_sites,
+            self.removed_unexposed,
+            self.removed_shadowed
+        )
+    }
+}
+
+/// Measures one workload under a backend, returning (sim-ns, per-tx stats).
+fn measure<F>(backend: Backend, scale: Scale, mut body: F) -> (u64, PerTx, u64)
+where
+    F: FnMut(&clobber_nvm::Runtime) -> u64,
+{
+    let (pool, rt) = make_runtime(backend, scale);
+    let cost = CostModel::optane();
+    let before = pool.stats().snapshot();
+    let txs = body(&rt);
+    let delta = pool.stats().snapshot().delta(&before);
+    (cost.op_cost(&delta), PerTx::from_delta(&delta, txs), txs)
+}
+
+fn compare<F>(workload: &str, scale: Scale, body: F) -> Row
+where
+    F: Fn(&clobber_nvm::Runtime) -> u64 + Copy,
+{
+    let (ns_ref, tx_ref, _) = measure(Backend::clobber(), scale, body);
+    let (ns_con, tx_con, _) = measure(Backend::clobber_conservative(), scale, body);
+    Row {
+        workload: workload.to_string(),
+        speedup_pct: (ns_con as f64 / ns_ref.max(1) as f64 - 1.0) * 100.0,
+        extra_entries_pct: (tx_con.log_entries / tx_ref.log_entries.max(1e-9) - 1.0) * 100.0,
+        extra_bytes_pct: (tx_con.log_bytes / tx_ref.log_bytes.max(1e-9) - 1.0) * 100.0,
+    }
+}
+
+/// Runs the dynamic ablation over data structures and applications.
+pub fn run(scale: Scale) -> Vec<Row> {
+    let mut rows = Vec::new();
+    for kind in DsKind::all() {
+        rows.push(compare(kind.label(), scale, move |rt| {
+            let handle = DsHandle::create(kind, rt);
+            let n = scale.ds_ops() / 2;
+            for op in Workload::new(WorkloadKind::Load, n, kind.value_size(), 3) {
+                handle.exec(rt, 0, &op);
+            }
+            n
+        }));
+    }
+    for mix in [Mix::InsertIntensive, Mix::SearchIntensive] {
+        rows.push(compare(&format!("memcached-{}", mix.label()), scale, move |rt| {
+            let server = KvServer::create(rt, LockScheme::BucketRw).expect("server");
+            let n = scale.kv_ops() / 2;
+            for req in RequestStream::new(mix, n, 2000, 5) {
+                match req {
+                    Request::Set { .. } | Request::Get { .. } => {
+                        server.handle(rt, &req).expect("req");
+                    }
+                }
+            }
+            n
+        }));
+    }
+    rows.push(compare("vacation", scale, move |rt| {
+        let v = Vacation::create(rt, TreeKind::RedBlack, 60).expect("vacation");
+        let n = scale.vacation_tasks() / 2;
+        for a in ActionStream::new(n, 60, 30, 3, 6) {
+            v.run_action(rt, 0, &a).expect("action");
+        }
+        n
+    }));
+    rows.push(compare("yada", scale, move |rt| {
+        let y = Yada::create(rt, scale.yada_points().min(120), 20.0, 555).expect("mesh");
+        let stats = y.refine_all(rt, 0, 1_000_000).expect("refine");
+        stats.steps
+    }));
+    rows
+}
+
+/// Runs the static-pass comparison over the IR corpus.
+pub fn run_static() -> Vec<StaticRow> {
+    programs::corpus()
+        .into_iter()
+        .map(|p| {
+            let refined = compile(p.function.clone(), CompileOptions { refine: true }).expect("ir");
+            let cons = compile(p.function, CompileOptions { refine: false }).expect("ir");
+            StaticRow {
+                program: refined.function.name.clone(),
+                conservative_sites: cons.clobber_sites.len(),
+                refined_sites: refined.clobber_sites.len(),
+                removed_unexposed: refined.analysis.removed_unexposed,
+                removed_shadowed: refined.analysis.removed_shadowed,
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Quick-scale rows computed once and shared by all tests in this
+    /// module (the sweep is the expensive part).
+    fn cached_rows() -> &'static [Row] {
+        static ROWS: std::sync::OnceLock<Vec<Row>> = std::sync::OnceLock::new();
+        ROWS.get_or_init(|| run(Scale::Quick))
+    }
+
+    #[test]
+    fn refinement_never_slows_workloads_down() {
+        for row in run(Scale::Quick) {
+            assert!(
+                row.speedup_pct > -8.0,
+                "{}: refined should not lose: {row:?}",
+                row.workload
+            );
+            assert!(
+                row.extra_entries_pct >= -1.0,
+                "{}: conservative cannot log less: {row:?}",
+                row.workload
+            );
+        }
+    }
+
+    #[test]
+    fn some_workload_shows_clear_improvement() {
+        let rows = cached_rows();
+        assert!(
+            rows.iter().any(|r| r.extra_entries_pct > 10.0),
+            "at least one workload must show the optimization effect: {rows:?}"
+        );
+    }
+
+    #[test]
+    fn static_pass_removes_candidates() {
+        let rows = run_static();
+        let total_removed: usize = rows
+            .iter()
+            .map(|r| r.removed_unexposed + r.removed_shadowed)
+            .sum();
+        assert!(total_removed >= 2, "{rows:?}");
+        for r in &rows {
+            assert!(r.refined_sites <= r.conservative_sites, "{r:?}");
+        }
+    }
+}

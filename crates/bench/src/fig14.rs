@@ -1,0 +1,138 @@
+//! Fig. 14: compile-time overhead of the Clobber-NVM passes.
+//!
+//! The paper compares Clobber-NVM's instrumenting compiler against plain
+//! Clang (≈29 % extra on the data structures, ~55 % on memcached). Here the
+//! front-end baseline is IR validation + CFG construction, and the
+//! Clobber-NVM addition is dominators + alias analysis + identification +
+//! refinement; both are measured per corpus program and on synthetic
+//! transactions of growing size.
+
+use std::time::Instant;
+
+use clobber_txir::pipeline::{compile, CompileOptions};
+use clobber_txir::programs;
+
+/// One compile-time measurement (medians over `REPS` runs).
+#[derive(Debug, Clone)]
+pub struct Row {
+    /// Program name.
+    pub program: String,
+    /// Instructions in the program.
+    pub instructions: usize,
+    /// Front-end time (validation + CFG), nanoseconds.
+    pub frontend_ns: u64,
+    /// Added pass time, nanoseconds.
+    pub passes_ns: u64,
+    /// Overhead percentage of the full pipeline over the front end.
+    pub overhead_pct: f64,
+}
+
+/// CSV header.
+pub const HEADER: &str = "program,instructions,frontend_ns,passes_ns,overhead_pct";
+
+impl Row {
+    /// One CSV line.
+    pub fn csv(&self) -> String {
+        format!(
+            "{},{},{},{},{:.0}",
+            self.program, self.instructions, self.frontend_ns, self.passes_ns, self.overhead_pct
+        )
+    }
+}
+
+const REPS: usize = 15;
+
+fn median(mut v: Vec<u64>) -> u64 {
+    v.sort_unstable();
+    v[v.len() / 2]
+}
+
+/// Compiles one function `REPS` times and reports median phase times.
+pub fn run_program(name: &str, f: clobber_txir::Function) -> Row {
+    let instructions = f.insts.len();
+    let mut fe = Vec::with_capacity(REPS);
+    let mut ps = Vec::with_capacity(REPS);
+    for _ in 0..REPS {
+        let c = compile(f.clone(), CompileOptions::default()).expect("compile");
+        fe.push(c.timing.frontend_ns.max(1));
+        ps.push(c.timing.passes_ns);
+    }
+    let frontend_ns = median(fe);
+    let passes_ns = median(ps);
+    Row {
+        program: name.to_string(),
+        instructions,
+        frontend_ns,
+        passes_ns,
+        overhead_pct: passes_ns as f64 / frontend_ns as f64 * 100.0,
+    }
+}
+
+/// Warm-up compile so lazy allocator effects do not skew the first row.
+fn warm_up() {
+    let _ = compile(programs::counter_bump(), CompileOptions::default());
+}
+
+/// Runs the corpus plus synthetic scaling sizes.
+pub fn run() -> Vec<Row> {
+    warm_up();
+    let mut rows: Vec<Row> = programs::corpus()
+        .into_iter()
+        .map(|p| {
+            let name = p.function.name.clone();
+            run_program(&name, p.function)
+        })
+        .collect();
+    for n in [16usize, 64, 256] {
+        rows.push(run_program(
+            &format!("synthetic-{n}"),
+            programs::synthetic_rmw_chain(n),
+        ));
+    }
+    rows
+}
+
+/// Total wall time of compiling the whole corpus once (sanity metric).
+pub fn corpus_compile_wall_ns() -> u64 {
+    let t = Instant::now();
+    for p in programs::corpus() {
+        let _ = compile(p.function, CompileOptions::default()).expect("compile");
+    }
+    t.elapsed().as_nanos() as u64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn every_program_reports_phase_times() {
+        let rows = run();
+        assert!(rows.len() >= 10);
+        for r in &rows {
+            assert!(r.frontend_ns > 0, "{r:?}");
+            assert!(r.instructions > 0, "{r:?}");
+        }
+    }
+
+    #[test]
+    fn synthetic_sizes_scale_pass_time() {
+        let rows = run();
+        let get = |name: &str| {
+            rows.iter()
+                .find(|r| r.program == name)
+                .map(|r| r.passes_ns)
+                .expect("row")
+        };
+        // Quadratic-ish pass over 16x more instructions must cost clearly
+        // more; exact ratios vary with the machine.
+        assert!(get("synthetic-256") > get("synthetic-16"));
+    }
+
+    #[test]
+    fn corpus_compiles_quickly() {
+        // The whole corpus should compile in well under a second — these
+        // are small transactions, as in the paper.
+        assert!(corpus_compile_wall_ns() < 1_000_000_000);
+    }
+}

@@ -1,0 +1,153 @@
+//! Fig. 6: data-structure throughput across libraries and thread counts.
+//!
+//! YCSB-Load over the four structures (8-byte keys, 32-byte for B+Tree,
+//! 256-byte values), systems {Clobber-NVM, PMDK, Atlas, Mnemosyne},
+//! threads swept to 24. The paper's headline claims this reproduces:
+//! Clobber-NVM beats PMDK everywhere (~1.8× single-thread average, ≥1.9×
+//! at 24 threads), beats Atlas by much more, and Mnemosyne closes the gap
+//! on global-lock structures at high thread counts.
+
+use clobber_nvm::Backend;
+use clobber_sim::run_des;
+
+use crate::common::{make_runtime, DsHandle, DsKind, DsOpSource, Scale};
+use clobber_workloads::WorkloadKind;
+
+/// One throughput measurement.
+#[derive(Debug, Clone)]
+pub struct Row {
+    /// System label (clobber/pmdk/atlas/mnemosyne).
+    pub system: &'static str,
+    /// Structure label.
+    pub structure: &'static str,
+    /// Logical threads.
+    pub threads: usize,
+    /// Value size in bytes.
+    pub value_size: usize,
+    /// Simulated throughput in operations per second.
+    pub throughput: f64,
+}
+
+/// CSV header (matches the artifact's fig6.csv shape).
+pub const HEADER: &str = "system,structure,threads,value_size,throughput_ops_per_sec";
+
+impl Row {
+    /// One CSV line.
+    pub fn csv(&self) -> String {
+        format!(
+            "{},{},{},{},{:.0}",
+            self.system, self.structure, self.threads, self.value_size, self.throughput
+        )
+    }
+}
+
+/// The systems compared in Fig. 6.
+pub fn systems() -> [Backend; 4] {
+    [Backend::clobber(), Backend::Undo, Backend::Atlas, Backend::Redo]
+}
+
+/// Runs one cell of the figure.
+pub fn run_cell(kind: DsKind, backend: Backend, threads: usize, total_ops: u64, scale: Scale) -> Row {
+    let (_pool, rt) = make_runtime(backend, scale);
+    let handle = DsHandle::create(kind, &rt);
+    let mut src = DsOpSource::new(
+        handle,
+        rt.clone(),
+        backend,
+        WorkloadKind::Load,
+        total_ops,
+        kind.value_size(),
+        threads,
+        42,
+    );
+    let result = run_des(threads, &mut src);
+    Row {
+        system: backend.label(),
+        structure: kind.label(),
+        threads,
+        value_size: kind.value_size(),
+        throughput: result.throughput_ops_per_sec(),
+    }
+}
+
+/// Runs the full figure sweep.
+pub fn run(scale: Scale) -> Vec<Row> {
+    let mut rows = Vec::new();
+    for kind in DsKind::all() {
+        for backend in systems() {
+            for &threads in &scale.threads() {
+                rows.push(run_cell(kind, backend, threads, scale.ds_ops(), scale));
+            }
+        }
+    }
+    rows
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Quick-scale rows computed once and shared by all tests in this
+    /// module (the sweep is the expensive part).
+    fn cached_rows() -> &'static [Row] {
+        static ROWS: std::sync::OnceLock<Vec<Row>> = std::sync::OnceLock::new();
+        ROWS.get_or_init(|| run(Scale::Quick))
+    }
+
+    fn throughput(rows: &[Row], system: &str, structure: &str, threads: usize) -> f64 {
+        rows.iter()
+            .find(|r| r.system == system && r.structure == structure && r.threads == threads)
+            .map(|r| r.throughput)
+            .expect("row")
+    }
+
+    #[test]
+    fn clobber_beats_undo_and_atlas_single_thread() {
+        let rows = cached_rows();
+        for ds in ["hashmap", "skiplist", "rbtree", "bptree"] {
+            let clobber = throughput(&rows, "clobber", ds, 1);
+            let pmdk = throughput(&rows, "pmdk", ds, 1);
+            let atlas = throughput(&rows, "atlas", ds, 1);
+            assert!(
+                clobber > pmdk,
+                "{ds}: clobber {clobber:.0} vs pmdk {pmdk:.0}"
+            );
+            assert!(pmdk > atlas, "{ds}: pmdk {pmdk:.0} vs atlas {atlas:.0}");
+        }
+    }
+
+    #[test]
+    fn bptree_scales_with_per_leaf_locks() {
+        let rows = cached_rows();
+        let t1 = throughput(&rows, "clobber", "bptree", 1);
+        let t4 = throughput(&rows, "clobber", "bptree", 4);
+        assert!(t4 > t1 * 1.5, "bptree should scale: {t1:.0} -> {t4:.0}");
+    }
+
+    #[test]
+    fn mnemosyne_scales_on_global_lock_structures() {
+        // Paper: Mnemosyne matches Clobber-NVM on rbtree/skiplist at high
+        // thread counts because it is not serialized by the global lock.
+        let rows = cached_rows();
+        let clobber_gain = throughput(&rows, "clobber", "skiplist", 4)
+            / throughput(&rows, "clobber", "skiplist", 1);
+        let mnemosyne_gain = throughput(&rows, "mnemosyne", "skiplist", 4)
+            / throughput(&rows, "mnemosyne", "skiplist", 1);
+        assert!(
+            mnemosyne_gain > clobber_gain,
+            "mnemosyne {mnemosyne_gain:.2}x vs clobber {clobber_gain:.2}x"
+        );
+    }
+
+    #[test]
+    fn csv_rows_are_well_formed() {
+        let r = Row {
+            system: "clobber",
+            structure: "skiplist",
+            threads: 1,
+            value_size: 256,
+            throughput: 181_000.0,
+        };
+        assert_eq!(r.csv(), "clobber,skiplist,1,256,181000");
+    }
+}

@@ -1,0 +1,193 @@
+//! Fig. 7: logging-strategy breakdown.
+//!
+//! Single-thread YCSB-Load inserts under {No-log, Clobber-NVM-vlog,
+//! Clobber-NVM-clobberlog, Clobber-NVM-full, PMDK}, reporting throughput
+//! plus per-transaction log entry counts and sizes. The paper's §5.3
+//! quantitative claims this reproduces:
+//!
+//! * v_log: exactly one entry per transaction;
+//! * Clobber-NVM uses 21.5–42.3 % as many log entries as PMDK;
+//! * PMDK logs 16.7–154.5× more bytes than the clobber_log alone and
+//!   1.1–42.6× more than Clobber-NVM in total;
+//! * more than 70 % of Clobber-NVM's log bytes are in the v_log.
+
+use clobber_nvm::Backend;
+
+use crate::common::{make_runtime, DsHandle, DsKind, PerTx, Scale};
+use clobber_sim::CostModel;
+use clobber_workloads::{Workload, WorkloadKind};
+
+/// One breakdown measurement.
+#[derive(Debug, Clone)]
+pub struct Row {
+    /// Variant label.
+    pub variant: &'static str,
+    /// Structure label.
+    pub structure: &'static str,
+    /// Simulated single-thread throughput (ops/sec).
+    pub throughput: f64,
+    /// Per-transaction statistics.
+    pub per_tx: PerTx,
+}
+
+/// CSV header.
+pub const HEADER: &str = "variant,structure,throughput_ops_per_sec,log_entries_per_tx,log_bytes_per_tx,vlog_entries_per_tx,vlog_bytes_per_tx,fences_per_tx";
+
+impl Row {
+    /// One CSV line.
+    pub fn csv(&self) -> String {
+        format!(
+            "{},{},{:.0},{:.2},{:.1},{:.2},{:.1},{:.2}",
+            self.variant,
+            self.structure,
+            self.throughput,
+            self.per_tx.log_entries,
+            self.per_tx.log_bytes,
+            self.per_tx.vlog_entries,
+            self.per_tx.vlog_bytes,
+            self.per_tx.fences
+        )
+    }
+}
+
+/// The five variants of the breakdown.
+pub fn variants() -> [(&'static str, Backend); 5] {
+    [
+        ("nolog", Backend::NoLog),
+        ("clobber-vlog", Backend::clobber_vlog_only()),
+        ("clobber-clobberlog", Backend::clobber_log_only()),
+        ("clobber-full", Backend::clobber()),
+        ("pmdk", Backend::Undo),
+    ]
+}
+
+/// Runs one cell: single-thread inserts, measured by counted events.
+pub fn run_cell(kind: DsKind, variant: &'static str, backend: Backend, scale: Scale) -> Row {
+    let (pool, rt) = make_runtime(backend, scale);
+    let handle = DsHandle::create(kind, &rt);
+    let n = scale.ds_ops();
+    let cost = CostModel::optane();
+    let before = pool.stats().snapshot();
+    let mut total_ns = 0u64;
+    for op in Workload::new(WorkloadKind::Load, n, kind.value_size(), 7) {
+        let b = pool.stats().snapshot();
+        handle.exec(&rt, 0, &op);
+        total_ns += cost.op_cost(&pool.stats().snapshot().delta(&b));
+    }
+    let delta = pool.stats().snapshot().delta(&before);
+    Row {
+        variant,
+        structure: kind.label(),
+        throughput: n as f64 * 1e9 / total_ns.max(1) as f64,
+        per_tx: PerTx::from_delta(&delta, n),
+    }
+}
+
+/// Runs the full breakdown.
+pub fn run(scale: Scale) -> Vec<Row> {
+    let mut rows = Vec::new();
+    for kind in DsKind::all() {
+        for (variant, backend) in variants() {
+            rows.push(run_cell(kind, variant, backend, scale));
+        }
+    }
+    rows
+}
+
+/// Derived §5.2/§5.3 ratios for EXPERIMENTS.md: per structure, `(clobber
+/// entries / pmdk entries, pmdk bytes / clobber bytes)`.
+pub fn paper_ratios(rows: &[Row]) -> Vec<(String, f64, f64)> {
+    let mut out = Vec::new();
+    for kind in DsKind::all() {
+        let find = |v: &str| {
+            rows.iter()
+                .find(|r| r.structure == kind.label() && r.variant == v)
+                .expect("row")
+        };
+        let clobber = find("clobber-full");
+        let pmdk = find("pmdk");
+        let entries_ratio = clobber.per_tx.total_entries() / pmdk.per_tx.total_entries().max(1e-9);
+        let bytes_ratio =
+            pmdk.per_tx.persisted_log_bytes() / clobber.per_tx.persisted_log_bytes().max(1e-9);
+        out.push((kind.label().to_string(), entries_ratio, bytes_ratio));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Quick-scale rows computed once and shared by all tests in this
+    /// module (the sweep is the expensive part).
+    fn cached_rows() -> &'static [Row] {
+        static ROWS: std::sync::OnceLock<Vec<Row>> = std::sync::OnceLock::new();
+        ROWS.get_or_init(|| run(Scale::Quick))
+    }
+
+    #[test]
+    fn vlog_has_exactly_one_entry_per_tx() {
+        let rows = cached_rows();
+        for r in rows.iter().filter(|r| r.variant == "clobber-full") {
+            assert!(
+                (r.per_tx.vlog_entries - 1.0).abs() < 0.01,
+                "{}: {}",
+                r.structure,
+                r.per_tx.vlog_entries
+            );
+        }
+    }
+
+    #[test]
+    fn clobber_uses_far_fewer_entries_than_pmdk() {
+        let rows = cached_rows();
+        for (ds, entries_ratio, bytes_ratio) in paper_ratios(&rows) {
+            assert!(
+                entries_ratio < 0.7,
+                "{ds}: clobber/pmdk entry ratio {entries_ratio:.2} (paper: 0.215-0.423)"
+            );
+            assert!(
+                bytes_ratio > 1.0,
+                "{ds}: pmdk/clobber byte ratio {bytes_ratio:.2} (paper: 1.1-42.6)"
+            );
+        }
+    }
+
+    #[test]
+    fn vlog_dominates_clobber_log_bytes() {
+        // Paper §5.3: "a great portion of log bytes are used in v_log
+        // (more than 70%)".
+        let rows = cached_rows();
+        for r in rows.iter().filter(|r| r.variant == "clobber-full") {
+            let frac = r.per_tx.vlog_bytes / r.per_tx.total_bytes();
+            assert!(frac > 0.5, "{}: vlog fraction {frac:.2}", r.structure);
+        }
+    }
+
+    #[test]
+    fn nolog_is_fastest_and_full_clobber_beats_pmdk() {
+        let rows = cached_rows();
+        for kind in DsKind::all() {
+            let get = |v: &str| {
+                rows.iter()
+                    .find(|r| r.structure == kind.label() && r.variant == v)
+                    .unwrap()
+                    .throughput
+            };
+            assert!(get("nolog") > get("clobber-full"), "{}", kind.label());
+            assert!(get("clobber-full") > get("pmdk"), "{}", kind.label());
+        }
+    }
+
+    #[test]
+    fn hashmap_clobber_log_is_one_entry_of_8_bytes() {
+        let row = run_cell(
+            DsKind::Hashmap,
+            "clobber-clobberlog",
+            Backend::clobber_log_only(),
+            Scale::Quick,
+        );
+        assert!((row.per_tx.log_entries - 1.0).abs() < 0.05, "{row:?}");
+        assert!((row.per_tx.log_bytes - 8.0).abs() < 0.5, "{row:?}");
+    }
+}

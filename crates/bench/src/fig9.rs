@@ -1,0 +1,180 @@
+//! Fig. 9: recovery overhead, Clobber-NVM vs PMDK.
+//!
+//! The benchmark crashes an insert stream at a random (seeded) point inside
+//! a transaction, reopens the pool and recovers. Recovery cost =
+//! pool-management cost (dominant, per the paper: "most of their recovery
+//! latency is spent on pool managements") + log application + (clobber
+//! only) re-execution, with the non-open components converted from counted
+//! events by the cost model.
+
+use std::sync::{Arc, Mutex};
+
+use clobber_nvm::{Backend, Runtime, RuntimeOptions};
+use clobber_pmem::{CrashConfig, PmemPool, PoolMode, PoolOptions};
+use clobber_sim::CostModel;
+use clobber_workloads::{Workload, WorkloadKind};
+
+use crate::common::{DsHandle, DsKind, Scale};
+
+/// Modeled pool-open cost: PMDK pool open/validation on Optane is on the
+/// order of a millisecond; both systems pay it identically.
+pub const POOL_OPEN_NS: u64 = 1_200_000;
+
+/// One recovery measurement.
+#[derive(Debug, Clone)]
+pub struct Row {
+    /// System label (clobber/pmdk).
+    pub system: &'static str,
+    /// Structure label.
+    pub structure: &'static str,
+    /// Modeled pool-open nanoseconds.
+    pub open_ns: u64,
+    /// Log-application + re-execution nanoseconds (modeled from events).
+    pub apply_ns: u64,
+    /// Log entries applied during recovery.
+    pub entries_applied: u64,
+    /// Transactions re-executed (clobber) or rolled back (pmdk).
+    pub recovered_txs: u64,
+}
+
+/// CSV header.
+pub const HEADER: &str = "system,structure,open_ns,apply_ns,total_ns,entries_applied,recovered_txs";
+
+impl Row {
+    /// One CSV line.
+    pub fn csv(&self) -> String {
+        format!(
+            "{},{},{},{},{},{},{}",
+            self.system,
+            self.structure,
+            self.open_ns,
+            self.apply_ns,
+            self.open_ns + self.apply_ns,
+            self.entries_applied,
+            self.recovered_txs
+        )
+    }
+}
+
+/// Crashes an insert stream mid-transaction and measures recovery.
+pub fn run_cell(kind: DsKind, backend: Backend, scale: Scale, seed: u64) -> Row {
+    let pool =
+        Arc::new(PmemPool::create(PoolOptions::crash_sim(scale.pool_bytes().min(256 << 20))).expect("pool"));
+    let rt = Runtime::create(pool.clone(), RuntimeOptions::new(backend)).expect("runtime");
+    let handle = DsHandle::create(kind, &rt);
+    let root = match handle {
+        DsHandle::H(h) => h.root(),
+        DsHandle::S(s) => s.root(),
+        DsHandle::R(t) => t.root(),
+        DsHandle::B(t) => t.root(),
+    };
+    rt.set_app_root(root).expect("root");
+
+    // Arm a probe that captures a crash image at a pseudo-random write
+    // late in the stream.
+    let n = (scale.ds_ops() / 8).max(32);
+    let crash_at = (seed % 37) + n * 2; // lands inside some mid-stream tx
+    let image: Arc<Mutex<Option<Vec<u8>>>> = Arc::new(Mutex::new(None));
+    let countdown = Arc::new(Mutex::new(Some(crash_at)));
+    let (img, cd) = (image.clone(), countdown.clone());
+    rt.set_write_probe(Some(Arc::new(move |pool| {
+        let mut c = cd.lock().unwrap();
+        match *c {
+            Some(0) => {
+                let crashed = pool.crash(&CrashConfig::drop_all(seed)).expect("crash");
+                *img.lock().unwrap() = Some(crashed.media_snapshot());
+                *c = None; // disarm: crash capture is expensive
+            }
+            Some(n) => *c = Some(n - 1),
+            None => {}
+        }
+    })));
+    for op in Workload::new(WorkloadKind::Load, n, kind.value_size(), seed) {
+        handle.exec(&rt, 0, &op);
+    }
+    let media = image.lock().unwrap().take().expect("probe fired");
+
+    // Recover and meter the events it generates.
+    let pool2 = Arc::new(PmemPool::open_from_media(media, PoolMode::CrashSim).expect("open"));
+    let rt2 = Runtime::open(pool2.clone(), RuntimeOptions::new(backend)).expect("runtime");
+    DsHandle::create_registry_only(kind, &rt2);
+    let before = pool2.stats().snapshot();
+    let report = rt2.recover().expect("recover");
+    let delta = pool2.stats().snapshot().delta(&before);
+    let cost = CostModel::optane();
+    Row {
+        system: if backend == Backend::Undo { "pmdk" } else { "clobber" },
+        structure: kind.label(),
+        open_ns: POOL_OPEN_NS,
+        apply_ns: cost.op_cost(&delta),
+        entries_applied: report.clobber_entries_applied + delta.log_entries,
+        recovered_txs: (report.reexecuted.len() + report.rolled_back) as u64,
+    }
+}
+
+impl DsHandle {
+    /// Registers txfuncs without creating a new instance (recovery path).
+    pub fn create_registry_only(kind: DsKind, rt: &Runtime) {
+        match kind {
+            DsKind::Hashmap => clobber_pds::HashMap::register(rt),
+            DsKind::Skiplist => clobber_pds::SkipList::register(rt),
+            DsKind::Rbtree => clobber_pds::RbTree::register(rt),
+            DsKind::Bptree => clobber_pds::BpTree::register(rt),
+        }
+    }
+}
+
+/// Runs the full figure: both systems over all structures.
+pub fn run(scale: Scale) -> Vec<Row> {
+    let mut rows = Vec::new();
+    for kind in DsKind::all() {
+        for backend in [Backend::clobber(), Backend::Undo] {
+            rows.push(run_cell(kind, backend, scale, 977));
+        }
+    }
+    rows
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn recovery_is_dominated_by_pool_open() {
+        // Paper: "the recovery latency of Clobber-NVM and PMDK are similar;
+        // most of their recovery latency is spent on pool managements".
+        for row in run(Scale::Quick) {
+            assert!(
+                row.open_ns > row.apply_ns,
+                "{}/{}: open {} vs apply {}",
+                row.system,
+                row.structure,
+                row.open_ns,
+                row.apply_ns
+            );
+        }
+    }
+
+    #[test]
+    fn both_systems_recover_the_interrupted_tx() {
+        for row in run(Scale::Quick) {
+            assert_eq!(row.recovered_txs, 1, "{row:?}");
+        }
+    }
+
+    #[test]
+    fn totals_are_comparable_between_systems() {
+        let rows = run(Scale::Quick);
+        for kind in DsKind::all() {
+            let get = |sys: &str| {
+                rows.iter()
+                    .find(|r| r.structure == kind.label() && r.system == sys)
+                    .map(|r| (r.open_ns + r.apply_ns) as f64)
+                    .unwrap()
+            };
+            let (c, p) = (get("clobber"), get("pmdk"));
+            let ratio = c.max(p) / c.min(p);
+            assert!(ratio < 2.0, "{}: clobber {c} vs pmdk {p}", kind.label());
+        }
+    }
+}

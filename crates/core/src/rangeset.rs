@@ -1,0 +1,295 @@
+//! Byte-range interval sets.
+//!
+//! The transaction context tracks its read set, write set and
+//! already-clobber-logged set as sets of half-open byte ranges
+//! `[start, end)` over pool offsets. Clobber detection is set algebra on
+//! these (paper §3.3): a store's *to-log* portion is
+//! `range ∩ inputs ∖ already_logged`.
+
+use std::collections::BTreeMap;
+
+/// A set of non-overlapping, non-adjacent half-open `u64` ranges.
+///
+/// # Example
+///
+/// ```
+/// use clobber_nvm::rangeset::RangeSet;
+///
+/// let mut s = RangeSet::new();
+/// s.insert(10, 20);
+/// s.insert(20, 30); // adjacent ranges coalesce
+/// assert_eq!(s.iter().collect::<Vec<_>>(), vec![(10, 30)]);
+/// assert_eq!(s.intersect(15, 35), vec![(15, 30)]);
+/// assert_eq!(s.subtract_from(15, 35), vec![(30, 35)]);
+/// ```
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct RangeSet {
+    /// start -> end
+    ranges: BTreeMap<u64, u64>,
+}
+
+impl RangeSet {
+    /// Creates an empty set.
+    pub fn new() -> Self {
+        RangeSet::default()
+    }
+
+    /// Removes all ranges.
+    pub fn clear(&mut self) {
+        self.ranges.clear();
+    }
+
+    /// Returns `true` if the set holds no ranges.
+    pub fn is_empty(&self) -> bool {
+        self.ranges.is_empty()
+    }
+
+    /// Number of disjoint ranges in the set.
+    pub fn len(&self) -> usize {
+        self.ranges.len()
+    }
+
+    /// Total bytes covered.
+    pub fn covered_bytes(&self) -> u64 {
+        self.ranges.iter().map(|(s, e)| e - s).sum()
+    }
+
+    /// Inserts `[start, end)`, merging overlapping and adjacent ranges.
+    ///
+    /// Empty ranges (`start >= end`) are ignored.
+    pub fn insert(&mut self, start: u64, end: u64) {
+        if start >= end {
+            return;
+        }
+        let mut new_start = start;
+        let mut new_end = end;
+        // Absorb a predecessor that overlaps or touches `start`.
+        if let Some((&s, &e)) = self.ranges.range(..=start).next_back() {
+            if e >= start {
+                new_start = s;
+                new_end = new_end.max(e);
+                self.ranges.remove(&s);
+            }
+        }
+        // Absorb all successors that overlap or touch the growing range.
+        loop {
+            let next = self
+                .ranges
+                .range(new_start..=new_end)
+                .next()
+                .map(|(&s, &e)| (s, e));
+            match next {
+                Some((s, e)) => {
+                    new_end = new_end.max(e);
+                    self.ranges.remove(&s);
+                }
+                None => break,
+            }
+        }
+        self.ranges.insert(new_start, new_end);
+    }
+
+    /// Returns `true` if every byte of `[start, end)` is in the set.
+    ///
+    /// The empty range is trivially contained.
+    pub fn contains(&self, start: u64, end: u64) -> bool {
+        if start >= end {
+            return true;
+        }
+        match self.ranges.range(..=start).next_back() {
+            Some((_, &e)) => e >= end,
+            None => false,
+        }
+    }
+
+    /// Returns `true` if any byte of `[start, end)` is in the set.
+    pub fn overlaps(&self, start: u64, end: u64) -> bool {
+        if start >= end {
+            return false;
+        }
+        if let Some((_, &e)) = self.ranges.range(..=start).next_back() {
+            if e > start {
+                return true;
+            }
+        }
+        self.ranges.range(start..end).next().is_some()
+    }
+
+    /// Returns the parts of `[start, end)` that are **in** the set, in
+    /// ascending order.
+    pub fn intersect(&self, start: u64, end: u64) -> Vec<(u64, u64)> {
+        let mut out = Vec::new();
+        if start >= end {
+            return out;
+        }
+        let from = match self.ranges.range(..=start).next_back() {
+            Some((&s, &e)) if e > start => s,
+            _ => start,
+        };
+        for (&s, &e) in self.ranges.range(from..end) {
+            let lo = s.max(start);
+            let hi = e.min(end);
+            if lo < hi {
+                out.push((lo, hi));
+            }
+        }
+        out
+    }
+
+    /// Returns the parts of `[start, end)` that are **not** in the set, in
+    /// ascending order.
+    pub fn subtract_from(&self, start: u64, end: u64) -> Vec<(u64, u64)> {
+        let mut out = Vec::new();
+        if start >= end {
+            return out;
+        }
+        let mut cursor = start;
+        for (lo, hi) in self.intersect(start, end) {
+            if cursor < lo {
+                out.push((cursor, lo));
+            }
+            cursor = hi;
+        }
+        if cursor < end {
+            out.push((cursor, end));
+        }
+        out
+    }
+
+    /// Iterates the disjoint ranges in ascending order.
+    pub fn iter(&self) -> impl Iterator<Item = (u64, u64)> + '_ {
+        self.ranges.iter().map(|(&s, &e)| (s, e))
+    }
+}
+
+impl FromIterator<(u64, u64)> for RangeSet {
+    fn from_iter<I: IntoIterator<Item = (u64, u64)>>(iter: I) -> Self {
+        let mut s = RangeSet::new();
+        for (a, b) in iter {
+            s.insert(a, b);
+        }
+        s
+    }
+}
+
+impl Extend<(u64, u64)> for RangeSet {
+    fn extend<I: IntoIterator<Item = (u64, u64)>>(&mut self, iter: I) {
+        for (a, b) in iter {
+            self.insert(a, b);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn insert_disjoint_keeps_both() {
+        let mut s = RangeSet::new();
+        s.insert(0, 5);
+        s.insert(10, 15);
+        assert_eq!(s.iter().collect::<Vec<_>>(), vec![(0, 5), (10, 15)]);
+        assert_eq!(s.covered_bytes(), 10);
+    }
+
+    #[test]
+    fn insert_overlapping_merges() {
+        let mut s = RangeSet::new();
+        s.insert(0, 10);
+        s.insert(5, 15);
+        assert_eq!(s.iter().collect::<Vec<_>>(), vec![(0, 15)]);
+    }
+
+    #[test]
+    fn insert_adjacent_coalesces() {
+        let mut s = RangeSet::new();
+        s.insert(0, 10);
+        s.insert(10, 20);
+        assert_eq!(s.len(), 1);
+        assert!(s.contains(0, 20));
+    }
+
+    #[test]
+    fn insert_spanning_swallows_many() {
+        let mut s = RangeSet::new();
+        s.insert(10, 12);
+        s.insert(20, 22);
+        s.insert(30, 32);
+        s.insert(5, 40);
+        assert_eq!(s.iter().collect::<Vec<_>>(), vec![(5, 40)]);
+    }
+
+    #[test]
+    fn empty_range_is_ignored() {
+        let mut s = RangeSet::new();
+        s.insert(5, 5);
+        s.insert(7, 3);
+        assert!(s.is_empty());
+    }
+
+    #[test]
+    fn contains_requires_full_coverage() {
+        let mut s = RangeSet::new();
+        s.insert(0, 10);
+        s.insert(20, 30);
+        assert!(s.contains(0, 10));
+        assert!(s.contains(2, 8));
+        assert!(!s.contains(5, 15));
+        assert!(!s.contains(15, 18));
+        assert!(s.contains(9, 9), "empty range trivially contained");
+    }
+
+    #[test]
+    fn overlaps_detects_partial_overlap() {
+        let mut s = RangeSet::new();
+        s.insert(10, 20);
+        assert!(s.overlaps(15, 25));
+        assert!(s.overlaps(5, 11));
+        assert!(!s.overlaps(0, 10), "half-open: end is exclusive");
+        assert!(!s.overlaps(20, 30), "half-open: start at end misses");
+    }
+
+    #[test]
+    fn intersect_clips_to_query() {
+        let mut s = RangeSet::new();
+        s.insert(0, 10);
+        s.insert(20, 30);
+        assert_eq!(s.intersect(5, 25), vec![(5, 10), (20, 25)]);
+        assert_eq!(s.intersect(10, 20), vec![]);
+    }
+
+    #[test]
+    fn subtract_from_returns_gaps() {
+        let mut s = RangeSet::new();
+        s.insert(0, 10);
+        s.insert(20, 30);
+        assert_eq!(s.subtract_from(5, 25), vec![(10, 20)]);
+        assert_eq!(s.subtract_from(12, 18), vec![(12, 18)]);
+        assert_eq!(s.subtract_from(0, 30), vec![(10, 20)]);
+        assert_eq!(s.subtract_from(2, 8), vec![]);
+    }
+
+    #[test]
+    fn from_iterator_collects() {
+        let s: RangeSet = vec![(0u64, 5u64), (5, 8), (20, 22)].into_iter().collect();
+        assert_eq!(s.iter().collect::<Vec<_>>(), vec![(0, 8), (20, 22)]);
+    }
+
+    #[test]
+    fn intersect_plus_subtract_partitions_query() {
+        let mut s = RangeSet::new();
+        s.insert(3, 9);
+        s.insert(14, 17);
+        let (a, b) = (0u64, 20u64);
+        let mut pieces = s.intersect(a, b);
+        pieces.extend(s.subtract_from(a, b));
+        pieces.sort();
+        let total: u64 = pieces.iter().map(|(s, e)| e - s).sum();
+        assert_eq!(total, b - a);
+        // No overlaps between pieces.
+        for w in pieces.windows(2) {
+            assert!(w[0].1 <= w[1].0);
+        }
+    }
+}

@@ -1,0 +1,164 @@
+//! Post-crash recovery.
+//!
+//! On restart the runtime scans every per-thread v_log slot (paper §4.3).
+//! For the clobber backend, an ongoing transaction is recovered by:
+//!
+//! 1. restoring its clobbered inputs from the `clobber_log`
+//!    (most-recent-first, so the original pre-transaction value wins),
+//! 2. clearing the `clobber_log` (the re-execution will refill it), and
+//! 3. re-executing the registered txfunc with the arguments and preserved
+//!    volatile blobs read back from the v_log, committing normally.
+//!
+//! Because the locking discipline guarantees ongoing transactions have
+//! disjoint lock sets, slots recover independently in any order.
+//!
+//! The baseline backends recover per their own disciplines: undo/Atlas roll
+//! uncommitted transactions back; redo replays transactions whose commit
+//! marker is set and discards the rest.
+//!
+//! Commit-window edge cases (all verified by the crash sweeps in
+//! `tests/`): a crash after the clobber commit's publish fence but before
+//! the status bit clears re-executes an already-complete transaction —
+//! harmless, since its clobbered inputs are restored first and re-execution
+//! regenerates identical outputs (fresh allocations replace the published
+//! ones, which leak but never dangle). An undo commit interrupted between
+//! its publish fence and log invalidation rolls back an *empty* log — a
+//! no-op, so the committed state stands. Deferred frees that a crash
+//! separates from their committed transaction are lost (a bounded leak),
+//! never double-applied.
+
+use crate::backend::Backend;
+use crate::error::TxError;
+use crate::runtime::Runtime;
+use crate::tx::Tx;
+
+/// What [`Runtime::recover`] found and did.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct RecoveryReport {
+    /// Slots examined.
+    pub slots_scanned: usize,
+    /// Names of transactions completed by re-execution (clobber backend).
+    pub reexecuted: Vec<String>,
+    /// Transactions rolled back (undo/Atlas; also discarded redo logs).
+    pub rolled_back: usize,
+    /// Committed redo logs replayed to completion.
+    pub redo_applied: usize,
+    /// Ongoing transactions abandoned because they crashed before
+    /// recording a needed preserve (no persistent write can have happened).
+    pub abandoned: usize,
+    /// clobber_log entries applied while restoring inputs.
+    pub clobber_entries_applied: u64,
+    /// clobber_log bytes applied while restoring inputs.
+    pub clobber_bytes_applied: u64,
+}
+
+impl RecoveryReport {
+    /// `true` if no interrupted transaction was found.
+    pub fn is_clean(&self) -> bool {
+        self.reexecuted.is_empty()
+            && self.rolled_back == 0
+            && self.redo_applied == 0
+            && self.abandoned == 0
+    }
+}
+
+impl Runtime {
+    /// Recovers all interrupted transactions. Must be called after
+    /// [`Runtime::open`] and after re-registering every txfunc; the
+    /// application may resume use of the pool afterwards.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TxError::Unregistered`] if an interrupted transaction's
+    /// txfunc was not re-registered, [`TxError::CorruptVlog`] if a v_log
+    /// record fails validation, and [`TxError::Pmem`] on substrate errors.
+    pub fn recover(&self) -> Result<RecoveryReport, TxError> {
+        let mut report = RecoveryReport::default();
+        let pool = self.pool().clone();
+        let slot_count = self.slot_count();
+        for idx in 0..slot_count {
+            let slot = self.slot(idx)?;
+            report.slots_scanned += 1;
+            match self.backend() {
+                Backend::NoLog => {}
+                Backend::Clobber(cfg) => {
+                    if !(cfg.vlog && cfg.clobber_log) {
+                        continue; // breakdown variants are not failure-atomic
+                    }
+                    if !slot.is_ongoing(&pool)? {
+                        continue;
+                    }
+                    let rec = slot.record(&pool)?;
+                    let clog = slot.clobber_log(&pool)?;
+                    // Restore clobbered inputs (most recent entry first so
+                    // the oldest value — the true input — wins).
+                    let entries = clog.entries(&pool)?;
+                    report.clobber_entries_applied += entries.len() as u64;
+                    report.clobber_bytes_applied +=
+                        entries.iter().map(|(_, d)| d.len() as u64).sum::<u64>();
+                    clog.apply_backwards(&pool)?;
+                    pool.fence();
+                    clog.clear(&pool)?;
+                    // Re-execute with restored inputs.
+                    let f = self.lookup(&rec.name)?;
+                    let rlog = slot.redo_log(&pool)?;
+                    let mut tx = Tx::new(
+                        &pool,
+                        self.backend(),
+                        slot,
+                        clog,
+                        rlog,
+                        true,
+                        Some(rec.preserves),
+                        None,
+                        None,
+                    );
+                    match f(&mut tx, &rec.args) {
+                        Ok(_) => {
+                            self.finish_commit(tx)?;
+                            report.reexecuted.push(rec.name);
+                        }
+                        Err(TxError::MissingPreserve { .. }) => {
+                            // The crashed run never recorded this volatile
+                            // input, so it cannot have written anything yet
+                            // (preserves precede all writes): abandon.
+                            drop(tx);
+                            slot.clear_ongoing(&pool)?;
+                            pool.fence();
+                            report.abandoned += 1;
+                        }
+                        Err(e) => return Err(e),
+                    }
+                }
+                Backend::Undo | Backend::Atlas => {
+                    if !slot.is_ongoing(&pool)? {
+                        continue;
+                    }
+                    let clog = slot.clobber_log(&pool)?;
+                    clog.apply_backwards(&pool)?;
+                    pool.fence();
+                    clog.clear(&pool)?;
+                    slot.clear_ongoing(&pool)?;
+                    pool.fence();
+                    report.rolled_back += 1;
+                }
+                Backend::Redo => {
+                    let rlog = slot.redo_log(&pool)?;
+                    if slot.is_redo_committed(&pool)? {
+                        rlog.apply_forwards(&pool)?;
+                        pool.fence();
+                        slot.clear_redo_committed_unfenced(&pool)?;
+                        slot.clear_ongoing(&pool)?;
+                        rlog.clear(&pool)?;
+                        report.redo_applied += 1;
+                    } else if slot.is_ongoing(&pool)? {
+                        slot.clear_ongoing(&pool)?;
+                        rlog.clear(&pool)?;
+                        report.rolled_back += 1;
+                    }
+                }
+            }
+        }
+        Ok(report)
+    }
+}

@@ -1,0 +1,386 @@
+//! The Clobber-NVM runtime: txfunc registry, per-thread slots, transaction
+//! execution, and the commit protocol.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+use std::thread::ThreadId;
+
+use clobber_pmem::{PAddr, PmemPool};
+use parking_lot::{Mutex, RwLock};
+
+use crate::args::ArgList;
+use crate::backend::Backend;
+use crate::error::TxError;
+use crate::ido::{IdoObserver, IdoTxStats};
+use crate::tx::{Tx, TxResult};
+use crate::vlog::VlogSlot;
+
+const RUNTIME_MAGIC: u64 = 0xC10B_BE12_0000_0002;
+
+/// Persistent runtime header layout (allocated block, pointed to by the pool
+/// root).
+mod hdr {
+    pub const MAGIC: u64 = 0;
+    pub const VLOG_HEAD: u64 = 8;
+    pub const APP_ROOT: u64 = 16;
+    pub const SIZE: u64 = 64;
+}
+
+/// Runtime configuration.
+#[derive(Debug, Clone, Copy)]
+pub struct RuntimeOptions {
+    /// The logging strategy applied to all transactions.
+    pub backend: Backend,
+    /// Attach the iDO shadow observer to every transaction (Fig. 8).
+    pub ido_shadow: bool,
+    /// Per-slot clobber/undo log buffer capacity in bytes.
+    pub clobber_log_cap: u64,
+    /// Per-slot redo log buffer capacity in bytes.
+    pub redo_log_cap: u64,
+    /// Persist the begin record eagerly at transaction start instead of
+    /// lazily before the first store. The paper's model implies eager
+    /// begin; the lazy default matches its measured read-path behaviour
+    /// (searches involve no logging, §5.6). The `begin_ablation` bench
+    /// quantifies the difference.
+    pub eager_begin: bool,
+}
+
+impl RuntimeOptions {
+    /// Options for the given backend with default log capacities.
+    pub fn new(backend: Backend) -> Self {
+        RuntimeOptions {
+            backend,
+            ido_shadow: false,
+            clobber_log_cap: 256 << 10,
+            redo_log_cap: 512 << 10,
+            eager_begin: false,
+        }
+    }
+
+    /// Builder form: persist begin records eagerly (ablation).
+    pub fn with_eager_begin(mut self) -> Self {
+        self.eager_begin = true;
+        self
+    }
+
+    /// Builder form: enables the iDO shadow observer.
+    pub fn with_ido_shadow(mut self) -> Self {
+        self.ido_shadow = true;
+        self
+    }
+}
+
+impl Default for RuntimeOptions {
+    fn default() -> Self {
+        RuntimeOptions::new(Backend::clobber())
+    }
+}
+
+type TxFn = Arc<dyn Fn(&mut Tx<'_>, &ArgList) -> TxResult + Send + Sync>;
+
+/// Aggregated iDO shadow statistics across all committed transactions.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct IdoAggregate {
+    /// Sum over transactions.
+    pub total: IdoTxStats,
+    /// Number of transactions observed.
+    pub transactions: u64,
+}
+
+/// The Clobber-NVM failure-atomicity runtime.
+///
+/// Owns the txfunc registry and the per-thread v_log slots; executes
+/// transactions under the configured [`Backend`]'s logging discipline; and
+/// recovers interrupted transactions on [`recover`](Runtime::recover).
+///
+/// # Example
+///
+/// ```
+/// use std::sync::Arc;
+/// use clobber_pmem::{PmemPool, PoolOptions};
+/// use clobber_nvm::{ArgList, Runtime, RuntimeOptions};
+///
+/// # fn main() -> Result<(), clobber_nvm::TxError> {
+/// let pool = Arc::new(PmemPool::create(PoolOptions::crash_sim(1 << 22))?);
+/// let rt = Runtime::create(pool, RuntimeOptions::default())?;
+///
+/// // A txfunc: allocate a cell and store a value in it.
+/// rt.register("store_cell", |tx, args| {
+///     let cell = tx.pmalloc(8)?;
+///     tx.write_u64(cell, args.u64(0)?)?;
+///     Ok(Some(cell.offset().to_le_bytes().to_vec()))
+/// });
+///
+/// let out = rt.run("store_cell", &ArgList::new().with_u64(7))?.unwrap();
+/// # let _ = out;
+/// # Ok(())
+/// # }
+/// ```
+pub struct Runtime {
+    pool: Arc<PmemPool>,
+    opts: RuntimeOptions,
+    header: PAddr,
+    registry: RwLock<HashMap<String, TxFn>>,
+    slots: Mutex<Vec<VlogSlot>>,
+    thread_slots: Mutex<HashMap<ThreadId, usize>>,
+    ido: Mutex<IdoAggregate>,
+    write_probe: Mutex<Option<crate::tx::WriteProbe>>,
+}
+
+impl std::fmt::Debug for Runtime {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Runtime")
+            .field("backend", &self.opts.backend)
+            .field("header", &self.header)
+            .finish_non_exhaustive()
+    }
+}
+
+impl Runtime {
+    /// Creates and formats a fresh runtime in `pool`, installing its header
+    /// as the pool root.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TxError::Pmem`] if the pool cannot hold the header.
+    pub fn create(pool: Arc<PmemPool>, opts: RuntimeOptions) -> Result<Runtime, TxError> {
+        let header = pool.alloc(hdr::SIZE)?;
+        pool.write_u64(header.add(hdr::MAGIC), RUNTIME_MAGIC)?;
+        pool.write_u64(header.add(hdr::VLOG_HEAD), 0)?;
+        pool.write_u64(header.add(hdr::APP_ROOT), 0)?;
+        pool.persist(header, hdr::SIZE)?;
+        pool.set_root(header)?;
+        Ok(Runtime {
+            pool,
+            opts,
+            header,
+            registry: RwLock::new(HashMap::new()),
+            slots: Mutex::new(Vec::new()),
+            thread_slots: Mutex::new(HashMap::new()),
+            ido: Mutex::new(IdoAggregate::default()),
+            write_probe: Mutex::new(None),
+        })
+    }
+
+    /// Reopens the runtime of an existing pool (e.g. after a crash). Call
+    /// [`recover`](Runtime::recover) after re-registering all txfuncs.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TxError::CorruptVlog`] if the pool holds no valid runtime
+    /// header.
+    pub fn open(pool: Arc<PmemPool>, opts: RuntimeOptions) -> Result<Runtime, TxError> {
+        let header = pool.root()?;
+        if header.is_null() || pool.read_u64(header.add(hdr::MAGIC))? != RUNTIME_MAGIC {
+            return Err(TxError::CorruptVlog("no runtime header in pool".into()));
+        }
+        // Walk the persistent slot list (newest first) and order by id.
+        let mut slots = Vec::new();
+        let mut cur = PAddr::new(pool.read_u64(header.add(hdr::VLOG_HEAD))?);
+        while !cur.is_null() {
+            let slot = VlogSlot::new(cur);
+            slots.push(slot);
+            cur = slot.next(&pool)?;
+        }
+        slots.sort_by_key(|s| s.id(&pool).unwrap_or(u64::MAX));
+        Ok(Runtime {
+            pool,
+            opts,
+            header,
+            registry: RwLock::new(HashMap::new()),
+            slots: Mutex::new(slots),
+            thread_slots: Mutex::new(HashMap::new()),
+            ido: Mutex::new(IdoAggregate::default()),
+            write_probe: Mutex::new(None),
+        })
+    }
+
+    /// The underlying pool.
+    pub fn pool(&self) -> &Arc<PmemPool> {
+        &self.pool
+    }
+
+    /// The configured backend.
+    pub fn backend(&self) -> Backend {
+        self.opts.backend
+    }
+
+    /// Stores the application's root object address durably.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TxError::Pmem`] on pool errors.
+    pub fn set_app_root(&self, root: PAddr) -> Result<(), TxError> {
+        self.pool.write_u64(self.header.add(hdr::APP_ROOT), root.offset())?;
+        self.pool.persist(self.header.add(hdr::APP_ROOT), 8)?;
+        Ok(())
+    }
+
+    /// Reads the application's root object address.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TxError::Pmem`] on pool errors.
+    pub fn app_root(&self) -> Result<PAddr, TxError> {
+        Ok(PAddr::new(self.pool.read_u64(self.header.add(hdr::APP_ROOT))?))
+    }
+
+    /// Registers a txfunc under `name`. Re-registering replaces the
+    /// previous function. Every txfunc must be re-registered before
+    /// [`recover`](Runtime::recover) so interrupted transactions can be
+    /// re-executed.
+    pub fn register<F>(&self, name: &str, f: F)
+    where
+        F: Fn(&mut Tx<'_>, &ArgList) -> TxResult + Send + Sync + 'static,
+    {
+        self.registry.write().insert(name.to_string(), Arc::new(f));
+    }
+
+    /// Returns `true` if `name` is registered.
+    pub fn is_registered(&self, name: &str) -> bool {
+        self.registry.read().contains_key(name)
+    }
+
+    pub(crate) fn lookup(&self, name: &str) -> Result<TxFn, TxError> {
+        self.registry
+            .read()
+            .get(name)
+            .cloned()
+            .ok_or_else(|| TxError::Unregistered(name.to_string()))
+    }
+
+    /// Returns slot `idx`, creating slots up to it on demand.
+    pub(crate) fn slot(&self, idx: usize) -> Result<VlogSlot, TxError> {
+        let mut slots = self.slots.lock();
+        while slots.len() <= idx {
+            let id = slots.len() as u64;
+            let head = PAddr::new(self.pool.read_u64(self.header.add(hdr::VLOG_HEAD))?);
+            let slot = VlogSlot::create(
+                &self.pool,
+                id,
+                head,
+                self.opts.clobber_log_cap,
+                self.opts.redo_log_cap,
+            )?;
+            self.pool
+                .write_u64(self.header.add(hdr::VLOG_HEAD), slot.base().offset())?;
+            self.pool.persist(self.header.add(hdr::VLOG_HEAD), 8)?;
+            slots.push(slot);
+        }
+        Ok(slots[idx])
+    }
+
+    /// Number of v_log slots created so far.
+    pub fn slot_count(&self) -> usize {
+        self.slots.lock().len()
+    }
+
+    /// Runs the registered txfunc `name` failure-atomically on the calling
+    /// thread's slot.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TxError::Unregistered`] for unknown names, the txfunc's own
+    /// error on abort, and [`TxError::Pmem`] on substrate errors.
+    pub fn run(&self, name: &str, args: &ArgList) -> TxResult {
+        let idx = {
+            let tid = std::thread::current().id();
+            let mut map = self.thread_slots.lock();
+            let next = map.len();
+            *map.entry(tid).or_insert(next)
+        };
+        self.run_on(idx, name, args)
+    }
+
+    /// Runs the registered txfunc `name` on an explicit logical-thread slot
+    /// (used by the discrete-event executor, where many logical threads
+    /// share one OS thread).
+    ///
+    /// # Errors
+    ///
+    /// Same as [`run`](Runtime::run).
+    pub fn run_on(&self, slot_idx: usize, name: &str, args: &ArgList) -> TxResult {
+        let f = self.lookup(name)?;
+        let slot = self.slot(slot_idx)?;
+        let clog = slot.clobber_log(&self.pool)?;
+        let rlog = slot.redo_log(&self.pool)?;
+
+        // Stale log tails from the previous transaction must be durable as
+        // empty before this transaction is marked ongoing; the begin fence
+        // orders these unfenced writes.
+        if !clog.is_empty(&self.pool)? {
+            self.pool.write_u64(clog.base(), 0)?;
+            self.pool.flush(clog.base(), 8)?;
+        }
+        if !rlog.is_empty(&self.pool)? {
+            self.pool.write_u64(rlog.base(), 0)?;
+            self.pool.flush(rlog.base(), 8)?;
+        }
+
+        let vlog_enabled = matches!(self.opts.backend, Backend::Clobber(cfg) if cfg.vlog);
+        // The begin record is deferred until the first persistent store
+        // (see Tx::ensure_begun): read-only transactions never fence.
+        let pending = crate::tx::PendingBegin {
+            name: name.to_string(),
+            args: args.clone(),
+        };
+
+        let ido = self
+            .opts
+            .ido_shadow
+            .then(|| IdoObserver::new(args.to_bytes().len() as u64));
+        let mut tx = Tx::new(
+            &self.pool,
+            self.opts.backend,
+            slot,
+            clog,
+            rlog,
+            vlog_enabled,
+            None,
+            ido,
+            Some(pending),
+        );
+        tx.set_write_probe(self.write_probe.lock().clone());
+        if self.opts.eager_begin {
+            tx.force_begin()?;
+        }
+        match f(&mut tx, args) {
+            Ok(out) => {
+                self.finish_commit(tx)?;
+                Ok(out)
+            }
+            Err(e) => {
+                let abort_err = tx.abort(e.to_string());
+                Err(abort_err)
+            }
+        }
+    }
+
+    pub(crate) fn finish_commit(&self, tx: Tx<'_>) -> Result<(), TxError> {
+        let outcome = tx.commit()?;
+        for addr in outcome.frees {
+            self.pool.free(addr)?;
+        }
+        if let Some(stats) = outcome.ido {
+            let mut agg = self.ido.lock();
+            agg.total.accumulate(&stats);
+            agg.transactions += 1;
+        }
+        Ok(())
+    }
+
+    /// Aggregated iDO shadow statistics (empty unless
+    /// [`RuntimeOptions::ido_shadow`] is set).
+    pub fn ido_stats(&self) -> IdoAggregate {
+        *self.ido.lock()
+    }
+
+    /// Installs (or clears) a probe invoked after every transactional
+    /// store. Crash tests use it to capture a pool image at arbitrary
+    /// points inside any registered transaction without modifying the
+    /// transaction's code. Probes only fire during normal execution, never
+    /// during recovery re-execution.
+    pub fn set_write_probe(&self, probe: Option<crate::tx::WriteProbe>) {
+        *self.write_probe.lock() = probe;
+    }
+}

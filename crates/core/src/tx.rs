@@ -1,0 +1,578 @@
+//! The transaction context.
+//!
+//! A [`Tx`] is handed to a registered txfunc and interposes on every
+//! persistent memory access — the role the paper's compiler-inserted
+//! callbacks play (§4.2, §4.4). It tracks the transaction's read set, write
+//! set and already-logged set as byte ranges, and applies the active
+//! [`Backend`]'s logging discipline on each store:
+//!
+//! * **Clobber** (refined): a store's old value is logged only for the byte
+//!   ranges that are *true inputs* — read before first written — and not
+//!   already clobber-logged. This is the exact dynamic counterpart of the
+//!   paper's refined static analysis.
+//! * **Clobber** (conservative): every store overlapping *any*
+//!   previously-read range is logged, every time — reintroducing the
+//!   *unexposed* (read-after-own-write treated as input) and *shadowed*
+//!   (repeated clobber of the same input, e.g. in loops) false candidates
+//!   that the paper's refinement pass removes (§4.4, Fig. 5).
+//! * **Undo**: the old value is logged for every byte not yet written this
+//!   transaction (PMDK's `TX_ADD` discipline — fresh allocations included).
+//! * **Redo**: stores are buffered volatilely; reads interpose on the write
+//!   set; nothing is persisted until commit.
+
+use std::sync::Arc;
+
+use clobber_pmem::{PAddr, PmemPool, Ulog};
+
+use crate::backend::Backend;
+use crate::error::TxError;
+use crate::ido::{IdoObserver, IdoTxStats};
+use crate::rangeset::RangeSet;
+use crate::vlog::VlogSlot;
+
+/// Result type of a registered txfunc: an optional opaque return payload.
+pub type TxResult = Result<Option<Vec<u8>>, TxError>;
+
+/// Hook invoked after every transactional store (crash-test injection
+/// point); receives the pool so it can capture a crash image.
+pub type WriteProbe = Arc<dyn Fn(&PmemPool) + Send + Sync>;
+
+/// Per-store logging decision for statically compiled transactions.
+///
+/// See [`Tx::write_bytes_with_policy`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum WritePolicy {
+    /// Let the runtime's dynamic read-set tracking decide (the default for
+    /// hand-written txfuncs).
+    #[default]
+    Auto,
+    /// This store site was identified as a clobber write by the compiler:
+    /// log the old value unconditionally.
+    ForceLog,
+    /// The compiler proved this store never clobbers an input: skip
+    /// logging.
+    NoLog,
+}
+
+pub(crate) struct Replay {
+    blobs: Vec<Vec<u8>>,
+    next: usize,
+}
+
+/// Deferred begin record: the v_log/status write is postponed until the
+/// transaction's first persistent store, so read-only transactions pay no
+/// ordering fences at all — matching the paper's observation that search
+/// operations "do not involve logging mechanisms" (§5.6).
+pub(crate) struct PendingBegin {
+    pub name: String,
+    pub args: crate::args::ArgList,
+}
+
+/// A live failure-atomic transaction.
+///
+/// Created by [`Runtime::run`](crate::Runtime::run); txfuncs receive
+/// `&mut Tx` and must perform **all** persistent accesses through it.
+/// Transactions must be deterministic functions of their arguments and the
+/// persistent state they read (paper §2.3) — in particular they must not
+/// read the clock, RNGs, or captured volatile state (use
+/// [`vlog_preserve`](Self::vlog_preserve) or arguments for volatile inputs).
+pub struct Tx<'rt> {
+    pool: &'rt PmemPool,
+    backend: Backend,
+    pub(crate) slot: VlogSlot,
+    pub(crate) clog: Ulog,
+    pub(crate) rlog: Ulog,
+    inputs: RangeSet,
+    raw_reads: RangeSet,
+    written: RangeSet,
+    clobber_logged: RangeSet,
+    redo_writes: Vec<(u64, Vec<u8>)>,
+    pub(crate) allocs: Vec<PAddr>,
+    pub(crate) frees: Vec<PAddr>,
+    replay: Option<Replay>,
+    pub(crate) ido: Option<IdoObserver>,
+    wrote: bool,
+    vlog_enabled: bool,
+    write_probe: Option<WriteProbe>,
+    pending_begin: Option<PendingBegin>,
+    begun: bool,
+}
+
+impl<'rt> Tx<'rt> {
+    pub(crate) fn new(
+        pool: &'rt PmemPool,
+        backend: Backend,
+        slot: VlogSlot,
+        clog: Ulog,
+        rlog: Ulog,
+        vlog_enabled: bool,
+        replay: Option<Vec<Vec<u8>>>,
+        ido: Option<IdoObserver>,
+        pending_begin: Option<PendingBegin>,
+    ) -> Tx<'rt> {
+        let begun = pending_begin.is_none();
+        Tx {
+            pool,
+            backend,
+            slot,
+            clog,
+            rlog,
+            inputs: RangeSet::new(),
+            raw_reads: RangeSet::new(),
+            written: RangeSet::new(),
+            clobber_logged: RangeSet::new(),
+            redo_writes: Vec::new(),
+            allocs: Vec::new(),
+            frees: Vec::new(),
+            replay: replay.map(|blobs| Replay { blobs, next: 0 }),
+            ido,
+            wrote: false,
+            vlog_enabled,
+            write_probe: None,
+            pending_begin,
+            begun,
+        }
+    }
+
+    /// Persists the begin record (v_log entry and/or status bit) if it is
+    /// still pending. Must run before the first store's logging so that
+    /// recovery sees a durable status before any durable log entry or data.
+    fn ensure_begun(&mut self) -> Result<(), TxError> {
+        let pending = match self.pending_begin.take() {
+            Some(p) => p,
+            None => return Ok(()),
+        };
+        match self.backend {
+            Backend::Clobber(cfg) if cfg.vlog => {
+                let n = self.slot.begin(self.pool, &pending.name, &pending.args)?;
+                let stats = self.pool.stats();
+                stats.vlog_entries.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                stats.vlog_bytes.fetch_add(n, std::sync::atomic::Ordering::Relaxed);
+            }
+            Backend::Undo => {
+                self.slot.mark_ongoing(self.pool)?;
+            }
+            Backend::Atlas => {
+                // Lock-acquisition record (see Backend::Atlas docs).
+                self.slot.mark_ongoing(self.pool)?;
+                self.pool.flush(self.slot.base(), 8)?;
+                self.pool.fence();
+            }
+            // Redo persists nothing until commit; NoLog and the partial
+            // clobber variants have no begin record.
+            _ => {}
+        }
+        self.begun = true;
+        Ok(())
+    }
+
+    pub(crate) fn set_write_probe(&mut self, probe: Option<WriteProbe>) {
+        self.write_probe = probe;
+    }
+
+    /// Persists the begin record immediately (eager-begin ablation).
+    pub(crate) fn force_begin(&mut self) -> Result<(), TxError> {
+        self.ensure_begun()
+    }
+
+    /// The pool this transaction operates on.
+    pub fn pool(&self) -> &PmemPool {
+        self.pool
+    }
+
+    /// Returns `true` when this execution is a recovery re-execution.
+    pub fn is_recovery(&self) -> bool {
+        self.replay.is_some()
+    }
+
+    /// Returns `true` once the transaction has issued a persistent store.
+    pub fn has_written(&self) -> bool {
+        self.wrote
+    }
+
+    /// Reads `len` bytes at `addr` within the transaction.
+    ///
+    /// # Errors
+    ///
+    /// Propagates pool bounds errors as [`TxError::Pmem`].
+    pub fn read_bytes(&mut self, addr: PAddr, len: u64) -> Result<Vec<u8>, TxError> {
+        let (s, e) = (addr.offset(), addr.offset() + len);
+        if len == 0 {
+            return Ok(Vec::new());
+        }
+        if let Some(obs) = &mut self.ido {
+            obs.on_read(s, e);
+        }
+        self.raw_reads.insert(s, e);
+        for (a, b) in self.written.subtract_from(s, e) {
+            self.inputs.insert(a, b);
+        }
+        let mut buf = self.pool.read_bytes(addr, len)?;
+        if self.backend == Backend::Redo {
+            // Read interposition: overlay the volatile write set, in store
+            // order, so the transaction sees its own writes — the "longer
+            // read path" the paper attributes Mnemosyne's read-side cost to.
+            let stats = self.pool.stats();
+            stats.interposed_reads.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+            for (ws, data) in &self.redo_writes {
+                let we = ws + data.len() as u64;
+                if *ws < e && we > s {
+                    let lo = s.max(*ws);
+                    let hi = e.min(we);
+                    buf[(lo - s) as usize..(hi - s) as usize]
+                        .copy_from_slice(&data[(lo - ws) as usize..(hi - ws) as usize]);
+                }
+            }
+        }
+        Ok(buf)
+    }
+
+    /// Reads a little-endian `u64` at `addr` within the transaction.
+    ///
+    /// # Errors
+    ///
+    /// Propagates pool bounds errors as [`TxError::Pmem`].
+    pub fn read_u64(&mut self, addr: PAddr) -> Result<u64, TxError> {
+        let b = self.read_bytes(addr, 8)?;
+        Ok(u64::from_le_bytes(b[..8].try_into().expect("8 bytes")))
+    }
+
+    /// Reads a persistent pointer (stored as a `u64` offset) at `addr`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates pool bounds errors as [`TxError::Pmem`].
+    pub fn read_paddr(&mut self, addr: PAddr) -> Result<PAddr, TxError> {
+        Ok(PAddr::new(self.read_u64(addr)?))
+    }
+
+    /// Stores `data` at `addr` within the transaction, applying the active
+    /// backend's logging discipline first.
+    ///
+    /// # Errors
+    ///
+    /// Propagates pool errors (bounds, log capacity) as [`TxError::Pmem`].
+    pub fn write_bytes(&mut self, addr: PAddr, data: &[u8]) -> Result<(), TxError> {
+        self.write_bytes_with_policy(addr, data, WritePolicy::Auto)
+    }
+
+    /// Stores `data` at `addr` with an explicit logging decision, the hook
+    /// used by statically compiled transactions: the `clobber-txir` compiler
+    /// decides at compile time which stores are clobber writes and
+    /// instruments exactly those with [`WritePolicy::ForceLog`]; all other
+    /// stores use [`WritePolicy::NoLog`]. Under non-clobber backends the
+    /// policy is ignored and the backend's own discipline applies — undo and
+    /// redo logging do not depend on clobber analysis.
+    ///
+    /// # Errors
+    ///
+    /// Propagates pool errors (bounds, log capacity) as [`TxError::Pmem`].
+    pub fn write_bytes_with_policy(
+        &mut self,
+        addr: PAddr,
+        data: &[u8],
+        policy: WritePolicy,
+    ) -> Result<(), TxError> {
+        if data.is_empty() {
+            return Ok(());
+        }
+        let (s, e) = (addr.offset(), addr.offset() + data.len() as u64);
+        if let Some(obs) = &mut self.ido {
+            obs.on_write(s, e);
+        }
+        self.ensure_begun()?;
+        if self.backend == Backend::Redo {
+            self.redo_writes.push((s, data.to_vec()));
+            self.written.insert(s, e);
+            self.wrote = true;
+            if let Some(probe) = &self.write_probe {
+                probe(self.pool);
+            }
+            return Ok(());
+        }
+        let to_log: Vec<(u64, u64)> = match self.backend {
+            Backend::Clobber(cfg) if cfg.clobber_log => match policy {
+                WritePolicy::Auto => {
+                    if cfg.refined {
+                        let mut v = Vec::new();
+                        for (a, b) in self.inputs.intersect(s, e) {
+                            v.extend(self.clobber_logged.subtract_from(a, b));
+                        }
+                        v
+                    } else {
+                        self.raw_reads.intersect(s, e)
+                    }
+                }
+                WritePolicy::ForceLog => vec![(s, e)],
+                WritePolicy::NoLog => Vec::new(),
+            },
+            Backend::Undo | Backend::Atlas => self.written.subtract_from(s, e),
+            _ => Vec::new(),
+        };
+        let refined = matches!(self.backend, Backend::Clobber(cfg) if cfg.refined);
+        let stats = self.pool.stats();
+        for &(a, b) in &to_log {
+            let old = self.pool.read_bytes(PAddr::new(a), b - a)?;
+            self.clog.append(self.pool, PAddr::new(a), &old)?;
+            stats.log_entries.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+            stats.log_bytes.fetch_add(b - a, std::sync::atomic::Ordering::Relaxed);
+            if refined {
+                self.clobber_logged.insert(a, b);
+            }
+        }
+        self.written.insert(s, e);
+        self.wrote = true;
+        self.pool.write_bytes(addr, data)?;
+        self.pool.flush(addr, data.len() as u64)?;
+        if let Some(probe) = &self.write_probe {
+            probe(self.pool);
+        }
+        Ok(())
+    }
+
+    /// Stores a little-endian `u64` at `addr` within the transaction.
+    ///
+    /// # Errors
+    ///
+    /// Propagates pool errors as [`TxError::Pmem`].
+    pub fn write_u64(&mut self, addr: PAddr, value: u64) -> Result<(), TxError> {
+        self.write_bytes(addr, &value.to_le_bytes())
+    }
+
+    /// Stores a persistent pointer at `addr` within the transaction.
+    ///
+    /// # Errors
+    ///
+    /// Propagates pool errors as [`TxError::Pmem`].
+    pub fn write_paddr(&mut self, addr: PAddr, value: PAddr) -> Result<(), TxError> {
+        self.write_u64(addr, value.offset())
+    }
+
+    /// Allocates `size` bytes from persistent memory, transactionally: the
+    /// allocation is reserved now (zero fences) and published at commit; an
+    /// uncommitted transaction's allocations roll back automatically on
+    /// crash (the paper's `pmalloc`, §4.1, backed by PMDK-style
+    /// reserve/publish).
+    ///
+    /// The payload is zeroed and counts as written by this transaction.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TxError::Pmem`] if the heap is exhausted.
+    pub fn pmalloc(&mut self, size: u64) -> Result<PAddr, TxError> {
+        let addr = self.pool.reserve(size)?;
+        // Zero-fill must be durable with the commit: flush it now, the
+        // commit fence orders it.
+        self.pool.flush(addr, size)?;
+        self.allocs.push(addr);
+        // Under clobber logging the allocation initializes its payload: it
+        // joins the write set so reads of it are not inputs. PMDK-style undo
+        // deliberately does *not* get this: its transactions `TX_ADD` the
+        // fields of freshly allocated objects too (paper Fig. 2b), so their
+        // first stores are snapshot-logged like any other.
+        if matches!(self.backend, Backend::Clobber(_) | Backend::NoLog) {
+            self.written.insert(addr.offset(), addr.offset() + size);
+        }
+        Ok(addr)
+    }
+
+    /// Frees a persistent block, transactionally: blocks allocated by this
+    /// transaction are simply cancelled; pre-existing blocks are freed after
+    /// commit (so a crash before commit leaves them intact).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TxError::Pmem`] if `addr` was not allocated.
+    pub fn pfree(&mut self, addr: PAddr) -> Result<(), TxError> {
+        if let Some(pos) = self.allocs.iter().position(|&a| a == addr) {
+            self.allocs.swap_remove(pos);
+            self.pool.cancel(&[addr])?;
+        } else {
+            self.frees.push(addr);
+        }
+        Ok(())
+    }
+
+    /// Records volatile data the transaction depends on (the paper's
+    /// `vlog_preserve`, §4.1/4.2) and returns the authoritative copy: during
+    /// normal execution the input itself (now durable in the v_log), during
+    /// recovery re-execution the blob recorded by the crashed run.
+    ///
+    /// Calls must happen at transaction begin, before any persistent write,
+    /// and in a deterministic order.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TxError::PreserveAfterWrite`] if a persistent store already
+    /// happened, [`TxError::VlogCapacity`] if the preserve buffer is full,
+    /// and [`TxError::MissingPreserve`] during recovery if the crashed run
+    /// never recorded this blob (the runtime abandons the transaction: no
+    /// write can have preceded an unrecorded preserve).
+    pub fn vlog_preserve(&mut self, data: &[u8]) -> Result<Vec<u8>, TxError> {
+        if let Some(replay) = &mut self.replay {
+            let i = replay.next;
+            replay.next += 1;
+            return replay
+                .blobs
+                .get(i)
+                .cloned()
+                .ok_or(TxError::MissingPreserve { index: i });
+        }
+        if self.wrote {
+            return Err(TxError::PreserveAfterWrite);
+        }
+        if self.vlog_enabled {
+            self.ensure_begun()?;
+            let n = self.slot.preserve(self.pool, data)?;
+            let stats = self.pool.stats();
+            stats.vlog_bytes.fetch_add(n, std::sync::atomic::Ordering::Relaxed);
+        }
+        Ok(data.to_vec())
+    }
+
+    /// Commits the transaction: publishes allocations, persists the backend's
+    /// commit record, clears the ongoing status, and returns the deferred
+    /// frees plus any iDO shadow stats.
+    pub(crate) fn commit(mut self) -> Result<CommitOutcome, TxError> {
+        let pool = self.pool;
+        let effects = self.wrote || !self.allocs.is_empty();
+        match self.backend {
+            Backend::NoLog => {
+                if effects {
+                    pool.publish(&self.allocs)?;
+                    pool.fence();
+                }
+            }
+            Backend::Clobber(cfg) => {
+                if effects {
+                    pool.publish(&self.allocs)?;
+                    pool.fence();
+                }
+                if cfg.vlog && self.begun {
+                    // The status bit is the commit marker; stale logs are
+                    // cleared lazily at the next begin.
+                    self.slot.clear_ongoing(pool)?;
+                    pool.fence();
+                }
+            }
+            Backend::Undo | Backend::Atlas => {
+                if self.backend == Backend::Atlas && self.begun {
+                    // FASE dependency record: Atlas persists the completed
+                    // FASE's position in the dependence graph for its log
+                    // pruner (one extra entry + fence per FASE).
+                    let dep = [0u8; 32];
+                    self.clog.append(pool, self.slot.base(), &dep)?;
+                    let stats = pool.stats();
+                    stats.log_entries.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                    stats.log_bytes.fetch_add(32, std::sync::atomic::Ordering::Relaxed);
+                }
+                if effects {
+                    pool.publish(&self.allocs)?;
+                    pool.fence();
+                }
+                if self.begun {
+                    // Invalidating the undo log commits the transaction.
+                    self.slot.clear_ongoing(pool)?;
+                    pool.write_u64(self.clog.base(), 0)?;
+                    pool.flush(self.clog.base(), 8)?;
+                    pool.fence();
+                }
+            }
+            Backend::Redo if self.redo_writes.is_empty() && self.allocs.is_empty() => {}
+            Backend::Redo => {
+                // Mnemosyne's raw-word log is word-granular: every 64-bit
+                // store becomes one log record (torn-bit encoded), so a
+                // buffered range is split into 8-byte entries. This is what
+                // makes redo logging byte-hungry on large values while
+                // staying fence-cheap (one ordering point for the batch).
+                let items: Vec<(PAddr, &[u8])> = self
+                    .redo_writes
+                    .iter()
+                    .flat_map(|(a, d)| {
+                        d.chunks(8)
+                            .enumerate()
+                            .map(move |(i, c)| (PAddr::new(a + i as u64 * 8), c))
+                    })
+                    .collect();
+                let stats = pool.stats();
+                stats
+                    .log_entries
+                    .fetch_add(items.len() as u64, std::sync::atomic::Ordering::Relaxed);
+                stats.log_bytes.fetch_add(
+                    items.iter().map(|(_, d)| d.len() as u64).sum::<u64>(),
+                    std::sync::atomic::Ordering::Relaxed,
+                );
+                self.rlog.append_batch(pool, &items)?; // one fence
+                pool.publish(&self.allocs)?;
+                self.slot.set_redo_committed(pool, true)?; // commit point
+                self.rlog.apply_forwards(pool)?;
+                pool.fence();
+                // Clear marker, status and log tail together.
+                self.slot.clear_redo_committed_unfenced(pool)?;
+                self.slot.clear_ongoing(pool)?;
+                pool.write_u64(self.rlog.base(), 0)?;
+                pool.flush(self.rlog.base(), 8)?;
+                pool.fence();
+            }
+        }
+        let ido = self.ido.take().map(IdoObserver::finish);
+        Ok(CommitOutcome {
+            frees: std::mem::take(&mut self.frees),
+            ido,
+        })
+    }
+
+    /// Aborts the transaction if the backend supports it.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TxError::AbortedAfterWrite`] for re-execution backends
+    /// (Clobber, NoLog) once a persistent store happened — they cannot roll
+    /// back. In that case the slot is left *ongoing* so that recovery
+    /// completes the transaction by re-execution.
+    pub(crate) fn abort(mut self, why: String) -> TxError {
+        let pool = self.pool;
+        let cancel_allocs = |allocs: &[PAddr]| {
+            // Cancel failures cannot occur for our own reservations.
+            let _ = pool.cancel(allocs);
+        };
+        match self.backend {
+            Backend::Undo | Backend::Atlas => {
+                if self.begun {
+                    if self.clog.apply_backwards(pool).is_ok() {
+                        pool.fence();
+                    }
+                    let _ = self.slot.clear_ongoing(pool);
+                    let _ = pool.write_u64(self.clog.base(), 0);
+                    let _ = pool.flush(self.clog.base(), 8);
+                    pool.fence();
+                }
+                cancel_allocs(&self.allocs);
+                TxError::Aborted(why)
+            }
+            Backend::Redo => {
+                self.redo_writes.clear();
+                cancel_allocs(&self.allocs);
+                TxError::Aborted(why)
+            }
+            Backend::NoLog | Backend::Clobber(_) => {
+                if !self.wrote {
+                    cancel_allocs(&self.allocs);
+                    if self.begun && matches!(self.backend, Backend::Clobber(cfg) if cfg.vlog) {
+                        let _ = self.slot.clear_ongoing(pool);
+                        pool.fence();
+                    }
+                    TxError::Aborted(why)
+                } else {
+                    TxError::AbortedAfterWrite(why)
+                }
+            }
+        }
+    }
+}
+
+/// What a committed transaction leaves for the runtime to finish.
+pub(crate) struct CommitOutcome {
+    pub frees: Vec<PAddr>,
+    pub ido: Option<IdoTxStats>,
+}

@@ -1,0 +1,103 @@
+//! Property-based tests of the interval set against a naive bitset model —
+//! the range algebra is what clobber detection's correctness rests on.
+
+use clobber_nvm::rangeset::RangeSet;
+use proptest::prelude::*;
+
+const DOMAIN: u64 = 256;
+
+fn model_insert(bits: &mut [bool], s: u64, e: u64) {
+    for i in s..e.min(DOMAIN) {
+        bits[i as usize] = true;
+    }
+}
+
+fn ranges_strategy() -> impl Strategy<Value = Vec<(u64, u64)>> {
+    proptest::collection::vec(
+        (0u64..DOMAIN, 0u64..32).prop_map(|(s, len)| (s, (s + len).min(DOMAIN))),
+        0..40,
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 256, ..ProptestConfig::default() })]
+
+    #[test]
+    fn membership_matches_bitset((inserts, query) in (ranges_strategy(), (0u64..DOMAIN, 0u64..32))) {
+        let mut set = RangeSet::new();
+        let mut bits = vec![false; DOMAIN as usize];
+        for (s, e) in inserts {
+            set.insert(s, e);
+            model_insert(&mut bits, s, e);
+        }
+        let (qs, qlen) = query;
+        let qe = (qs + qlen).min(DOMAIN);
+        let model_contains = (qs..qe).all(|i| bits[i as usize]);
+        let model_overlaps = (qs..qe).any(|i| bits[i as usize]);
+        prop_assert_eq!(set.contains(qs, qe), model_contains);
+        prop_assert_eq!(set.overlaps(qs, qe), model_overlaps);
+    }
+
+    #[test]
+    fn intersect_and_subtract_partition_the_query((inserts, query) in (ranges_strategy(), (0u64..DOMAIN, 1u64..32))) {
+        let mut set = RangeSet::new();
+        let mut bits = vec![false; DOMAIN as usize];
+        for (s, e) in inserts {
+            set.insert(s, e);
+            model_insert(&mut bits, s, e);
+        }
+        let (qs, qlen) = query;
+        let qe = (qs + qlen).min(DOMAIN).max(qs);
+        let inside = set.intersect(qs, qe);
+        let outside = set.subtract_from(qs, qe);
+        // Byte-exact agreement with the model.
+        let mut cover = vec![None::<bool>; (qe - qs) as usize];
+        for (s, e) in &inside {
+            for i in *s..*e {
+                prop_assert!(cover[(i - qs) as usize].is_none(), "double-covered byte");
+                cover[(i - qs) as usize] = Some(true);
+            }
+        }
+        for (s, e) in &outside {
+            for i in *s..*e {
+                prop_assert!(cover[(i - qs) as usize].is_none(), "double-covered byte");
+                cover[(i - qs) as usize] = Some(false);
+            }
+        }
+        for (off, c) in cover.iter().enumerate() {
+            let i = qs + off as u64;
+            prop_assert_eq!(*c, Some(bits[i as usize]), "byte {} misclassified", i);
+        }
+    }
+
+    #[test]
+    fn covered_bytes_matches_popcount(inserts in ranges_strategy()) {
+        let mut set = RangeSet::new();
+        let mut bits = vec![false; DOMAIN as usize];
+        for (s, e) in inserts {
+            set.insert(s, e);
+            model_insert(&mut bits, s, e);
+        }
+        let pop = bits.iter().filter(|b| **b).count() as u64;
+        prop_assert_eq!(set.covered_bytes(), pop);
+        // Stored ranges are disjoint, non-adjacent and sorted.
+        let ranges: Vec<_> = set.iter().collect();
+        for w in ranges.windows(2) {
+            prop_assert!(w[0].1 < w[1].0, "ranges must not touch: {:?}", ranges);
+        }
+    }
+
+    #[test]
+    fn insertion_order_is_irrelevant(mut inserts in ranges_strategy()) {
+        let mut a = RangeSet::new();
+        for &(s, e) in &inserts {
+            a.insert(s, e);
+        }
+        inserts.reverse();
+        let mut b = RangeSet::new();
+        for &(s, e) in &inserts {
+            b.insert(s, e);
+        }
+        prop_assert_eq!(a.iter().collect::<Vec<_>>(), b.iter().collect::<Vec<_>>());
+    }
+}

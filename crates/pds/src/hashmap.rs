@@ -1,0 +1,366 @@
+//! Persistent chained hash map with 256 reader-writer-locked buckets.
+//!
+//! Adapted from the PMDK `libpmemobj` hashmap example the paper uses
+//! (§5.2): 256 instances treated as buckets, each protected by its own
+//! reader-writer lock. An insert touches one bucket head — the single
+//! clobbered input the paper reports for this structure ("its clobber_log
+//! log count is one, and its log size is 8 bytes", §5.3).
+//!
+//! Layout:
+//!
+//! ```text
+//! root:  [magic][n_buckets][head_0]...[head_255]
+//! node:  [key][val_ptr][val_len][next]
+//! ```
+
+use clobber_nvm::{ArgList, Runtime, TxError};
+use clobber_pmem::{PAddr, PmemPool};
+
+use crate::value::store_value;
+
+const MAGIC: u64 = 0xC10B_0001;
+/// Number of buckets (one rwlock each), as in the paper.
+pub const BUCKETS: u64 = 256;
+
+const NODE_KEY: u64 = 0;
+const NODE_VPTR: u64 = 8;
+const NODE_VLEN: u64 = 16;
+const NODE_NEXT: u64 = 24;
+const NODE_SIZE: u64 = 32;
+
+/// Handle to a persistent hash map (all state lives in the pool).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct HashMap {
+    root: PAddr,
+}
+
+/// The txfunc names this structure registers.
+pub const TX_INSERT: &str = "hashmap_insert";
+/// Lookup txfunc name.
+pub const TX_GET: &str = "hashmap_get";
+/// Removal txfunc name.
+pub const TX_REMOVE: &str = "hashmap_remove";
+
+fn bucket_of(key: u64) -> u64 {
+    key.wrapping_mul(0xFF51_AFD7_ED55_8CCD) % BUCKETS
+}
+
+fn head_addr(root: PAddr, bucket: u64) -> PAddr {
+    root.add(16 + bucket * 8)
+}
+
+impl HashMap {
+    /// Allocates and formats an empty map.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TxError::Pmem`] if the pool is exhausted.
+    pub fn create(rt: &Runtime) -> Result<HashMap, TxError> {
+        let pool = rt.pool();
+        let root = pool.alloc(16 + BUCKETS * 8)?;
+        pool.write_u64(root, MAGIC)?;
+        pool.write_u64(root.add(8), BUCKETS)?;
+        pool.persist(root, 16 + BUCKETS * 8)?;
+        Ok(HashMap { root })
+    }
+
+    /// Adopts an existing map at `root`.
+    pub fn open(root: PAddr) -> HashMap {
+        HashMap { root }
+    }
+
+    /// The map's root address (store it in the app root to reopen).
+    pub fn root(&self) -> PAddr {
+        self.root
+    }
+
+    /// Registers the map's txfuncs; call once per runtime (and before
+    /// recovery).
+    pub fn register(rt: &Runtime) {
+        rt.register(TX_INSERT, |tx, args| {
+            let root = PAddr::new(args.u64(0)?);
+            let key = args.u64(1)?;
+            let value = args.bytes(2)?.to_vec();
+            let head = head_addr(root, bucket_of(key));
+            // Walk the chain looking for the key.
+            let mut cur = tx.read_paddr(head)?;
+            while !cur.is_null() {
+                if tx.read_u64(cur.add(NODE_KEY))? == key {
+                    // Update in place: fresh value buffer, swap ptr+len
+                    // (clobbers 16 bytes), free the old buffer at commit.
+                    let old_ptr = tx.read_paddr(cur.add(NODE_VPTR))?;
+                    let vbuf = store_value(tx, &value)?;
+                    tx.write_paddr(cur.add(NODE_VPTR), vbuf)?;
+                    tx.write_u64(cur.add(NODE_VLEN), value.len() as u64)?;
+                    tx.pfree(old_ptr)?;
+                    return Ok(None);
+                }
+                cur = tx.read_paddr(cur.add(NODE_NEXT))?;
+            }
+            // Prepend a fresh node; the bucket head is the clobbered input.
+            let vbuf = store_value(tx, &value)?;
+            let node = tx.pmalloc(NODE_SIZE)?;
+            tx.write_u64(node.add(NODE_KEY), key)?;
+            tx.write_paddr(node.add(NODE_VPTR), vbuf)?;
+            tx.write_u64(node.add(NODE_VLEN), value.len() as u64)?;
+            let old_head = tx.read_paddr(head)?;
+            tx.write_paddr(node.add(NODE_NEXT), old_head)?;
+            tx.write_paddr(head, node)?;
+            Ok(None)
+        });
+        rt.register(TX_GET, |tx, args| {
+            let root = PAddr::new(args.u64(0)?);
+            let key = args.u64(1)?;
+            let head = head_addr(root, bucket_of(key));
+            let mut cur = tx.read_paddr(head)?;
+            while !cur.is_null() {
+                if tx.read_u64(cur.add(NODE_KEY))? == key {
+                    let ptr = tx.read_paddr(cur.add(NODE_VPTR))?;
+                    let len = tx.read_u64(cur.add(NODE_VLEN))?;
+                    return Ok(Some(tx.read_bytes(ptr, len)?));
+                }
+                cur = tx.read_paddr(cur.add(NODE_NEXT))?;
+            }
+            Ok(None)
+        });
+        rt.register(TX_REMOVE, |tx, args| {
+            let root = PAddr::new(args.u64(0)?);
+            let key = args.u64(1)?;
+            let head = head_addr(root, bucket_of(key));
+            let mut prev = head;
+            let mut cur = tx.read_paddr(head)?;
+            while !cur.is_null() {
+                if tx.read_u64(cur.add(NODE_KEY))? == key {
+                    let next = tx.read_paddr(cur.add(NODE_NEXT))?;
+                    tx.write_paddr(prev, next)?; // clobber: prev link
+                    let vptr = tx.read_paddr(cur.add(NODE_VPTR))?;
+                    tx.pfree(vptr)?;
+                    tx.pfree(cur)?;
+                    return Ok(Some(vec![1]));
+                }
+                prev = cur.add(NODE_NEXT);
+                cur = tx.read_paddr(prev)?;
+            }
+            Ok(Some(vec![0]))
+        });
+    }
+
+    fn args(&self, key: u64) -> ArgList {
+        ArgList::new().with_u64(self.root.offset()).with_u64(key)
+    }
+
+    /// Inserts or updates `key` on the calling thread's slot.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TxError`] on substrate failure.
+    pub fn insert(&self, rt: &Runtime, key: u64, value: &[u8]) -> Result<(), TxError> {
+        rt.run(TX_INSERT, &self.args(key).with_bytes(value))?;
+        Ok(())
+    }
+
+    /// Inserts or updates on an explicit logical-thread slot (DES use).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TxError`] on substrate failure.
+    pub fn insert_on(
+        &self,
+        rt: &Runtime,
+        slot: usize,
+        key: u64,
+        value: &[u8],
+    ) -> Result<(), TxError> {
+        rt.run_on(slot, TX_INSERT, &self.args(key).with_bytes(value))?;
+        Ok(())
+    }
+
+    /// Looks `key` up.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TxError`] on substrate failure.
+    pub fn get(&self, rt: &Runtime, key: u64) -> Result<Option<Vec<u8>>, TxError> {
+        rt.run(TX_GET, &self.args(key))
+    }
+
+    /// Looks `key` up on an explicit slot.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TxError`] on substrate failure.
+    pub fn get_on(&self, rt: &Runtime, slot: usize, key: u64) -> Result<Option<Vec<u8>>, TxError> {
+        rt.run_on(slot, TX_GET, &self.args(key))
+    }
+
+    /// Removes `key`; returns `true` if it was present.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TxError`] on substrate failure.
+    pub fn remove(&self, rt: &Runtime, key: u64) -> Result<bool, TxError> {
+        Ok(rt.run(TX_REMOVE, &self.args(key))? == Some(vec![1]))
+    }
+
+    /// The rwlock protecting `key`'s bucket (for the discrete-event
+    /// executor); lock ids are namespaced by the root address.
+    pub fn lock_of(&self, key: u64) -> u64 {
+        self.root.offset().wrapping_mul(31) + bucket_of(key)
+    }
+
+    /// Walks all buckets, checking chain sanity, and returns every
+    /// `(key, value)` (verification, outside transactions).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TxError::Pmem`] on a corrupt chain.
+    pub fn dump(&self, pool: &PmemPool) -> Result<Vec<(u64, Vec<u8>)>, TxError> {
+        if pool.read_u64(self.root)? != MAGIC {
+            return Err(TxError::CorruptVlog("hashmap magic mismatch".into()));
+        }
+        let mut out = Vec::new();
+        for b in 0..BUCKETS {
+            let mut cur = PAddr::new(pool.read_u64(head_addr(self.root, b))?);
+            let mut hops = 0;
+            while !cur.is_null() {
+                let key = pool.read_u64(cur.add(NODE_KEY))?;
+                assert_eq!(bucket_of(key), b, "node in the wrong bucket");
+                let ptr = PAddr::new(pool.read_u64(cur.add(NODE_VPTR))?);
+                let len = pool.read_u64(cur.add(NODE_VLEN))?;
+                out.push((key, pool.read_bytes(ptr, len)?));
+                cur = PAddr::new(pool.read_u64(cur.add(NODE_NEXT))?);
+                hops += 1;
+                assert!(hops < 1_000_000, "cycle in bucket {b}");
+            }
+        }
+        Ok(out)
+    }
+
+    /// Number of entries (full walk).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TxError::Pmem`] on a corrupt chain.
+    pub fn len(&self, pool: &PmemPool) -> Result<usize, TxError> {
+        Ok(self.dump(pool)?.len())
+    }
+
+    /// `true` if the map holds no entries.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TxError::Pmem`] on a corrupt chain.
+    pub fn is_empty(&self, pool: &PmemPool) -> Result<bool, TxError> {
+        Ok(self.len(pool)? == 0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use clobber_nvm::{Backend, RuntimeOptions};
+    use clobber_pmem::{PmemPool, PoolOptions};
+    use std::sync::Arc;
+
+    fn setup(backend: Backend) -> (Arc<PmemPool>, Runtime, HashMap) {
+        let pool = Arc::new(PmemPool::create(PoolOptions::performance(64 << 20)).unwrap());
+        let rt = Runtime::create(pool.clone(), RuntimeOptions::new(backend)).unwrap();
+        HashMap::register(&rt);
+        let map = HashMap::create(&rt).unwrap();
+        (pool, rt, map)
+    }
+
+    #[test]
+    fn insert_then_get_round_trips() {
+        let (_p, rt, map) = setup(Backend::clobber());
+        map.insert(&rt, 7, b"seven").unwrap();
+        assert_eq!(map.get(&rt, 7).unwrap(), Some(b"seven".to_vec()));
+        assert_eq!(map.get(&rt, 8).unwrap(), None);
+    }
+
+    #[test]
+    fn update_replaces_value() {
+        let (_p, rt, map) = setup(Backend::clobber());
+        map.insert(&rt, 7, b"old").unwrap();
+        map.insert(&rt, 7, b"new-value").unwrap();
+        assert_eq!(map.get(&rt, 7).unwrap(), Some(b"new-value".to_vec()));
+        assert_eq!(map.len(rt.pool()).unwrap(), 1);
+    }
+
+    #[test]
+    fn remove_unlinks_and_reports() {
+        let (_p, rt, map) = setup(Backend::clobber());
+        for k in 0..20u64 {
+            map.insert(&rt, k, &k.to_le_bytes()).unwrap();
+        }
+        assert!(map.remove(&rt, 11).unwrap());
+        assert!(!map.remove(&rt, 11).unwrap());
+        assert_eq!(map.get(&rt, 11).unwrap(), None);
+        assert_eq!(map.len(rt.pool()).unwrap(), 19);
+    }
+
+    #[test]
+    fn works_under_every_backend() {
+        for backend in [
+            Backend::NoLog,
+            Backend::clobber(),
+            Backend::clobber_conservative(),
+            Backend::Undo,
+            Backend::Redo,
+            Backend::Atlas,
+        ] {
+            let (_p, rt, map) = setup(backend);
+            for k in 0..50u64 {
+                map.insert(&rt, k, format!("v{k}").as_bytes()).unwrap();
+            }
+            for k in 0..50u64 {
+                assert_eq!(
+                    map.get(&rt, k).unwrap(),
+                    Some(format!("v{k}").into_bytes()),
+                    "backend {}",
+                    backend.label()
+                );
+            }
+            assert_eq!(map.len(rt.pool()).unwrap(), 50);
+        }
+    }
+
+    #[test]
+    fn insert_clobbers_exactly_the_bucket_head() {
+        let (pool, rt, map) = setup(Backend::clobber());
+        map.insert(&rt, 1, &[0u8; 256]).unwrap(); // warm the slot
+        let before = pool.stats().snapshot();
+        map.insert(&rt, 999, &[0u8; 256]).unwrap();
+        let d = pool.stats().snapshot().delta(&before);
+        assert_eq!(d.log_entries, 1, "paper §5.3: hashmap clobber count is one");
+        assert_eq!(d.log_bytes, 8, "paper §5.3: and its size is 8 bytes");
+    }
+
+    #[test]
+    fn dump_returns_all_pairs() {
+        let (pool, rt, map) = setup(Backend::clobber());
+        for k in 0..100u64 {
+            map.insert(&rt, k, &k.to_le_bytes()).unwrap();
+        }
+        let mut pairs = map.dump(&pool).unwrap();
+        pairs.sort();
+        assert_eq!(pairs.len(), 100);
+        assert_eq!(pairs[5], (5, 5u64.to_le_bytes().to_vec()));
+    }
+
+    #[test]
+    fn buckets_have_distinct_locks() {
+        let (_p, _rt, map) = setup(Backend::clobber());
+        // Two keys in different buckets must have different lock ids.
+        let (mut a, mut b) = (None, None);
+        for k in 0..1000u64 {
+            match bucket_of(k) {
+                0 => a = Some(k),
+                1 => b = Some(k),
+                _ => {}
+            }
+        }
+        let (a, b) = (a.unwrap(), b.unwrap());
+        assert_ne!(map.lock_of(a), map.lock_of(b));
+    }
+}

@@ -1,0 +1,28 @@
+//! Persistent data structures over the Clobber-NVM runtime.
+//!
+//! The four benchmark structures of the paper's §5.2 — [`BpTree`] (32-byte
+//! keys, per-leaf locks), [`HashMap`] (256 rwlock buckets), [`SkipList`]
+//! (32 levels, global lock), [`RbTree`] (global rwlock) — plus the
+//! [`AvlTree`] used by vacation's data-structure swap (§5.7). All
+//! operations are registered txfuncs, so every structure is failure-atomic
+//! under any [`clobber_nvm::Backend`] and recoverable by re-execution
+//! under the clobber backend.
+//!
+//! Each structure ships a `dump` checker that validates its full structural
+//! invariants by reading the pool directly — the oracle the crash tests and
+//! property tests compare against.
+
+#![warn(missing_docs)]
+
+pub mod avltree;
+pub mod bptree;
+pub mod hashmap;
+pub mod rbtree;
+pub mod skiplist;
+pub mod value;
+
+pub use avltree::AvlTree;
+pub use bptree::BpTree;
+pub use hashmap::HashMap;
+pub use rbtree::RbTree;
+pub use skiplist::SkipList;

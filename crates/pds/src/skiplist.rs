@@ -1,0 +1,468 @@
+//! Persistent skiplist with 32 levels and a single global lock (paper
+//! §5.2).
+//!
+//! A node's height is a deterministic function of its key (geometric with
+//! p = 1/2), not of an RNG — transactions must be deterministic for
+//! re-execution (paper §2.3), and a re-executed insert must rebuild the
+//! node at the same height.
+//!
+//! Layout:
+//!
+//! ```text
+//! root: [magic][max_level][head]          head: full-height sentinel
+//! node: [key][val_ptr][val_len][level][next_0]...[next_31]
+//! ```
+
+use clobber_nvm::{ArgList, Runtime, TxError};
+use clobber_pmem::{PAddr, PmemPool};
+
+use crate::value::store_value;
+
+const MAGIC: u64 = 0xC10B_0002;
+/// Maximum node height, as in the paper.
+pub const MAX_LEVEL: u64 = 32;
+
+const NODE_KEY: u64 = 0;
+const NODE_VPTR: u64 = 8;
+const NODE_VLEN: u64 = 16;
+const NODE_LEVEL: u64 = 24;
+const NODE_NEXT0: u64 = 32;
+const NODE_SIZE: u64 = NODE_NEXT0 + MAX_LEVEL * 8;
+
+/// Handle to a persistent skiplist.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SkipList {
+    root: PAddr,
+}
+
+/// Insert txfunc name.
+pub const TX_INSERT: &str = "skiplist_insert";
+/// Lookup txfunc name.
+pub const TX_GET: &str = "skiplist_get";
+/// Removal txfunc name.
+pub const TX_REMOVE: &str = "skiplist_remove";
+
+/// Deterministic height for `key` in `1..=MAX_LEVEL` (geometric, p = 1/2).
+pub fn level_of(key: u64) -> u64 {
+    let h = key
+        .wrapping_mul(0xFF51_AFD7_ED55_8CCD)
+        .rotate_left(31)
+        .wrapping_mul(0xC4CE_B9FE_1A85_EC53);
+    (h.trailing_ones() as u64 + 1).min(MAX_LEVEL)
+}
+
+fn next_addr(node: PAddr, level: u64) -> PAddr {
+    node.add(NODE_NEXT0 + level * 8)
+}
+
+impl SkipList {
+    /// Allocates and formats an empty skiplist.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TxError::Pmem`] if the pool is exhausted.
+    pub fn create(rt: &Runtime) -> Result<SkipList, TxError> {
+        let pool = rt.pool();
+        let root = pool.alloc(24)?;
+        let head = pool.alloc(NODE_SIZE)?;
+        pool.write_u64(head.add(NODE_LEVEL), MAX_LEVEL)?;
+        pool.persist(head, NODE_SIZE)?;
+        pool.write_u64(root, MAGIC)?;
+        pool.write_u64(root.add(8), MAX_LEVEL)?;
+        pool.write_u64(root.add(16), head.offset())?;
+        pool.persist(root, 24)?;
+        Ok(SkipList { root })
+    }
+
+    /// Adopts an existing skiplist at `root`.
+    pub fn open(root: PAddr) -> SkipList {
+        SkipList { root }
+    }
+
+    /// The skiplist's root address.
+    pub fn root(&self) -> PAddr {
+        self.root
+    }
+
+    /// Registers the skiplist's txfuncs.
+    pub fn register(rt: &Runtime) {
+        rt.register(TX_INSERT, |tx, args| {
+            let root = PAddr::new(args.u64(0)?);
+            let key = args.u64(1)?;
+            let value = args.bytes(2)?.to_vec();
+            let head = PAddr::new(tx.read_u64(root.add(16))?);
+            // Find predecessors at every level.
+            let mut preds = [PAddr::NULL; MAX_LEVEL as usize];
+            let mut cur = head;
+            for l in (0..MAX_LEVEL).rev() {
+                loop {
+                    let nxt = tx.read_paddr(next_addr(cur, l))?;
+                    if nxt.is_null() || tx.read_u64(nxt.add(NODE_KEY))? >= key {
+                        break;
+                    }
+                    cur = nxt;
+                }
+                preds[l as usize] = cur;
+            }
+            // Existing key: update value in place.
+            let candidate = tx.read_paddr(next_addr(preds[0], 0))?;
+            if !candidate.is_null() && tx.read_u64(candidate.add(NODE_KEY))? == key {
+                let old_ptr = tx.read_paddr(candidate.add(NODE_VPTR))?;
+                let vbuf = store_value(tx, &value)?;
+                tx.write_paddr(candidate.add(NODE_VPTR), vbuf)?;
+                tx.write_u64(candidate.add(NODE_VLEN), value.len() as u64)?;
+                tx.pfree(old_ptr)?;
+                return Ok(None);
+            }
+            // Fresh node, linked on `level_of(key)` levels; each pred's
+            // next pointer is a clobbered input.
+            let level = level_of(key);
+            let vbuf = store_value(tx, &value)?;
+            let node = tx.pmalloc(NODE_SIZE)?;
+            tx.write_u64(node.add(NODE_KEY), key)?;
+            tx.write_paddr(node.add(NODE_VPTR), vbuf)?;
+            tx.write_u64(node.add(NODE_VLEN), value.len() as u64)?;
+            tx.write_u64(node.add(NODE_LEVEL), level)?;
+            for l in 0..level {
+                let succ = tx.read_paddr(next_addr(preds[l as usize], l))?;
+                tx.write_paddr(next_addr(node, l), succ)?;
+                tx.write_paddr(next_addr(preds[l as usize], l), node)?;
+            }
+            Ok(None)
+        });
+        rt.register(TX_GET, |tx, args| {
+            let root = PAddr::new(args.u64(0)?);
+            let key = args.u64(1)?;
+            let head = PAddr::new(tx.read_u64(root.add(16))?);
+            let mut cur = head;
+            for l in (0..MAX_LEVEL).rev() {
+                loop {
+                    let nxt = tx.read_paddr(next_addr(cur, l))?;
+                    if nxt.is_null() {
+                        break;
+                    }
+                    let k = tx.read_u64(nxt.add(NODE_KEY))?;
+                    if k < key {
+                        cur = nxt;
+                    } else {
+                        break;
+                    }
+                }
+            }
+            let cand = tx.read_paddr(next_addr(cur, 0))?;
+            if !cand.is_null() && tx.read_u64(cand.add(NODE_KEY))? == key {
+                let ptr = tx.read_paddr(cand.add(NODE_VPTR))?;
+                let len = tx.read_u64(cand.add(NODE_VLEN))?;
+                return Ok(Some(tx.read_bytes(ptr, len)?));
+            }
+            Ok(None)
+        });
+        rt.register(TX_REMOVE, |tx, args| {
+            let root = PAddr::new(args.u64(0)?);
+            let key = args.u64(1)?;
+            let head = PAddr::new(tx.read_u64(root.add(16))?);
+            let mut preds = [PAddr::NULL; MAX_LEVEL as usize];
+            let mut cur = head;
+            for l in (0..MAX_LEVEL).rev() {
+                loop {
+                    let nxt = tx.read_paddr(next_addr(cur, l))?;
+                    if nxt.is_null() || tx.read_u64(nxt.add(NODE_KEY))? >= key {
+                        break;
+                    }
+                    cur = nxt;
+                }
+                preds[l as usize] = cur;
+            }
+            let victim = tx.read_paddr(next_addr(preds[0], 0))?;
+            if victim.is_null() || tx.read_u64(victim.add(NODE_KEY))? != key {
+                return Ok(Some(vec![0]));
+            }
+            let level = tx.read_u64(victim.add(NODE_LEVEL))?;
+            for l in 0..level {
+                let pred_slot = next_addr(preds[l as usize], l);
+                if tx.read_paddr(pred_slot)? == victim {
+                    let succ = tx.read_paddr(next_addr(victim, l))?;
+                    tx.write_paddr(pred_slot, succ)?;
+                }
+            }
+            let vptr = tx.read_paddr(victim.add(NODE_VPTR))?;
+            tx.pfree(vptr)?;
+            tx.pfree(victim)?;
+            Ok(Some(vec![1]))
+        });
+    }
+
+    fn args(&self, key: u64) -> ArgList {
+        ArgList::new().with_u64(self.root.offset()).with_u64(key)
+    }
+
+    /// Inserts or updates `key`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TxError`] on substrate failure.
+    pub fn insert(&self, rt: &Runtime, key: u64, value: &[u8]) -> Result<(), TxError> {
+        rt.run(TX_INSERT, &self.args(key).with_bytes(value))?;
+        Ok(())
+    }
+
+    /// Inserts on an explicit logical-thread slot.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TxError`] on substrate failure.
+    pub fn insert_on(
+        &self,
+        rt: &Runtime,
+        slot: usize,
+        key: u64,
+        value: &[u8],
+    ) -> Result<(), TxError> {
+        rt.run_on(slot, TX_INSERT, &self.args(key).with_bytes(value))?;
+        Ok(())
+    }
+
+    /// Looks `key` up.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TxError`] on substrate failure.
+    pub fn get(&self, rt: &Runtime, key: u64) -> Result<Option<Vec<u8>>, TxError> {
+        rt.run(TX_GET, &self.args(key))
+    }
+
+    /// Looks `key` up on an explicit logical-thread slot.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TxError`] on substrate failure.
+    pub fn get_on(&self, rt: &Runtime, slot: usize, key: u64) -> Result<Option<Vec<u8>>, TxError> {
+        rt.run_on(slot, TX_GET, &self.args(key))
+    }
+
+    /// Removes `key`; returns `true` if present.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TxError`] on substrate failure.
+    pub fn remove(&self, rt: &Runtime, key: u64) -> Result<bool, TxError> {
+        Ok(rt.run(TX_REMOVE, &self.args(key))? == Some(vec![1]))
+    }
+
+    /// The global lock id (the paper uses a single lock for the skiplist).
+    pub fn lock(&self) -> u64 {
+        self.root.offset().wrapping_mul(31)
+    }
+
+    /// Range scan: up to `count` pairs with keys `>= start`, in order,
+    /// walking level 0. Read-only; the caller holds the structure's shared
+    /// lock.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TxError::Pmem`] on a corrupt list.
+    pub fn range(
+        &self,
+        pool: &PmemPool,
+        start: u64,
+        count: usize,
+    ) -> Result<Vec<(u64, Vec<u8>)>, TxError> {
+        let head = PAddr::new(pool.read_u64(self.root.add(16))?);
+        // Descend to the last node with key < start.
+        let mut cur = head;
+        for l in (0..MAX_LEVEL).rev() {
+            loop {
+                let nxt = PAddr::new(pool.read_u64(next_addr(cur, l))?);
+                if nxt.is_null() || pool.read_u64(nxt.add(NODE_KEY))? >= start {
+                    break;
+                }
+                cur = nxt;
+            }
+        }
+        let mut out = Vec::new();
+        let mut node = PAddr::new(pool.read_u64(next_addr(cur, 0))?);
+        while !node.is_null() && out.len() < count {
+            let key = pool.read_u64(node.add(NODE_KEY))?;
+            let ptr = PAddr::new(pool.read_u64(node.add(NODE_VPTR))?);
+            let len = pool.read_u64(node.add(NODE_VLEN))?;
+            out.push((key, pool.read_bytes(ptr, len)?));
+            node = PAddr::new(pool.read_u64(next_addr(node, 0))?);
+        }
+        Ok(out)
+    }
+
+    /// Full structural check: level-0 keys strictly ascend, every level is
+    /// a subsequence of level 0, node levels are within bounds. Returns all
+    /// `(key, value)` pairs in order.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TxError::Pmem`] on a corrupt list.
+    pub fn dump(&self, pool: &PmemPool) -> Result<Vec<(u64, Vec<u8>)>, TxError> {
+        if pool.read_u64(self.root)? != MAGIC {
+            return Err(TxError::CorruptVlog("skiplist magic mismatch".into()));
+        }
+        let head = PAddr::new(pool.read_u64(self.root.add(16))?);
+        // Level-0 walk.
+        let mut out = Vec::new();
+        let mut cur = PAddr::new(pool.read_u64(next_addr(head, 0))?);
+        let mut last_key = None;
+        while !cur.is_null() {
+            let key = pool.read_u64(cur.add(NODE_KEY))?;
+            if let Some(lk) = last_key {
+                assert!(key > lk, "keys must strictly ascend at level 0");
+            }
+            last_key = Some(key);
+            let level = pool.read_u64(cur.add(NODE_LEVEL))?;
+            assert!(level >= 1 && level <= MAX_LEVEL, "level out of range");
+            assert_eq!(level, level_of(key), "height must match the key hash");
+            let ptr = PAddr::new(pool.read_u64(cur.add(NODE_VPTR))?);
+            let len = pool.read_u64(cur.add(NODE_VLEN))?;
+            out.push((key, pool.read_bytes(ptr, len)?));
+            cur = PAddr::new(pool.read_u64(next_addr(cur, 0))?);
+            assert!(out.len() < 10_000_000, "cycle at level 0");
+        }
+        // Upper levels must be ordered subsequences.
+        let keys: std::collections::BTreeSet<u64> = out.iter().map(|(k, _)| *k).collect();
+        for l in 1..MAX_LEVEL {
+            let mut cur = PAddr::new(pool.read_u64(next_addr(head, l))?);
+            let mut last = None;
+            while !cur.is_null() {
+                let key = pool.read_u64(cur.add(NODE_KEY))?;
+                assert!(keys.contains(&key), "level {l} node missing from level 0");
+                if let Some(lk) = last {
+                    assert!(key > lk, "keys must ascend at level {l}");
+                }
+                last = Some(key);
+                assert!(
+                    pool.read_u64(cur.add(NODE_LEVEL))? > l,
+                    "node linked above its height"
+                );
+                cur = PAddr::new(pool.read_u64(next_addr(cur, l))?);
+            }
+        }
+        Ok(out)
+    }
+
+    /// Number of entries (level-0 walk).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TxError::Pmem`] on a corrupt list.
+    pub fn len(&self, pool: &PmemPool) -> Result<usize, TxError> {
+        Ok(self.dump(pool)?.len())
+    }
+
+    /// `true` if the skiplist holds no entries.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TxError::Pmem`] on a corrupt list.
+    pub fn is_empty(&self, pool: &PmemPool) -> Result<bool, TxError> {
+        Ok(self.len(pool)? == 0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use clobber_nvm::{Backend, RuntimeOptions};
+    use clobber_pmem::{PmemPool, PoolOptions};
+    use std::sync::Arc;
+
+    fn setup(backend: Backend) -> (Arc<PmemPool>, Runtime, SkipList) {
+        let pool = Arc::new(PmemPool::create(PoolOptions::performance(64 << 20)).unwrap());
+        let rt = Runtime::create(pool.clone(), RuntimeOptions::new(backend)).unwrap();
+        SkipList::register(&rt);
+        let sl = SkipList::create(&rt).unwrap();
+        (pool, rt, sl)
+    }
+
+    #[test]
+    fn level_distribution_is_geometric() {
+        let mut hist = [0u32; 33];
+        for k in 0..100_000u64 {
+            hist[level_of(k) as usize] += 1;
+        }
+        assert!(hist[1] > 40_000 && hist[1] < 60_000, "p=1/2 at level 1: {}", hist[1]);
+        assert!(hist[2] > 20_000 && hist[2] < 30_000);
+        assert_eq!(hist[0], 0);
+    }
+
+    #[test]
+    fn sorted_iteration_after_random_inserts() {
+        let (pool, rt, sl) = setup(Backend::clobber());
+        let keys = [50u64, 10, 90, 30, 70, 20, 60, 1, 99, 45];
+        for &k in &keys {
+            sl.insert(&rt, k, &k.to_le_bytes()).unwrap();
+        }
+        let dumped: Vec<u64> = sl.dump(&pool).unwrap().iter().map(|(k, _)| *k).collect();
+        let mut sorted = keys.to_vec();
+        sorted.sort();
+        assert_eq!(dumped, sorted);
+    }
+
+    #[test]
+    fn get_and_remove_work() {
+        let (pool, rt, sl) = setup(Backend::clobber());
+        for k in 0..100u64 {
+            sl.insert(&rt, k, format!("v{k}").as_bytes()).unwrap();
+        }
+        assert_eq!(sl.get(&rt, 42).unwrap(), Some(b"v42".to_vec()));
+        assert_eq!(sl.get(&rt, 1000).unwrap(), None);
+        assert!(sl.remove(&rt, 42).unwrap());
+        assert!(!sl.remove(&rt, 42).unwrap());
+        assert_eq!(sl.get(&rt, 42).unwrap(), None);
+        assert_eq!(sl.len(&pool).unwrap(), 99);
+    }
+
+    #[test]
+    fn update_existing_key_replaces_value() {
+        let (pool, rt, sl) = setup(Backend::clobber());
+        sl.insert(&rt, 5, b"first").unwrap();
+        sl.insert(&rt, 5, b"second").unwrap();
+        assert_eq!(sl.get(&rt, 5).unwrap(), Some(b"second".to_vec()));
+        assert_eq!(sl.len(&pool).unwrap(), 1);
+    }
+
+    #[test]
+    fn works_under_every_backend() {
+        for backend in [Backend::clobber(), Backend::Undo, Backend::Redo, Backend::Atlas] {
+            let (pool, rt, sl) = setup(backend);
+            for k in (0..60u64).rev() {
+                sl.insert(&rt, k, &k.to_le_bytes()).unwrap();
+            }
+            let dumped = sl.dump(&pool).unwrap();
+            assert_eq!(dumped.len(), 60, "backend {}", backend.label());
+            assert!(dumped.windows(2).all(|w| w[0].0 < w[1].0));
+        }
+    }
+
+    #[test]
+    fn range_scans_in_order() {
+        let (pool, rt, sl) = setup(Backend::clobber());
+        for k in 0..50u64 {
+            sl.insert(&rt, k * 3, &k.to_le_bytes()).unwrap();
+        }
+        let got = sl.range(&pool, 30, 5).unwrap();
+        let keys: Vec<u64> = got.iter().map(|(k, _)| *k).collect();
+        assert_eq!(keys, vec![30, 33, 36, 39, 42]);
+        assert!(sl.range(&pool, 1000, 5).unwrap().is_empty());
+    }
+
+    #[test]
+    fn insert_clobbers_one_pred_slot_per_level() {
+        let (pool, rt, sl) = setup(Backend::clobber());
+        sl.insert(&rt, 1, b"warm").unwrap();
+        // Find a key with a known level and count its clobber entries.
+        let key = (2..10_000u64).find(|&k| level_of(k) == 3).unwrap();
+        let before = pool.stats().snapshot();
+        sl.insert(&rt, key, &[0u8; 256]).unwrap();
+        let d = pool.stats().snapshot().delta(&before);
+        assert_eq!(
+            d.log_entries, 3,
+            "one clobbered pred->next per linked level"
+        );
+        assert_eq!(d.log_bytes, 24);
+    }
+}

@@ -1,0 +1,180 @@
+//! Property-based differential testing of every persistent structure
+//! against `std::collections::BTreeMap` as the model, under random
+//! operation sequences.
+
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
+use clobber_nvm::{Backend, Runtime, RuntimeOptions};
+use clobber_pds::{AvlTree, BpTree, HashMap, RbTree, SkipList};
+use clobber_pmem::{PmemPool, PoolOptions};
+use clobber_pds::value::key32;
+use proptest::prelude::*;
+
+#[derive(Debug, Clone)]
+enum Op {
+    Insert(u64, Vec<u8>),
+    Remove(u64),
+    Get(u64),
+}
+
+fn op_strategy() -> impl Strategy<Value = Op> {
+    // A small key domain forces collisions, updates and removes of present
+    // keys.
+    let key = 0u64..64;
+    prop_oneof![
+        3 => (key.clone(), proptest::collection::vec(any::<u8>(), 1..48))
+            .prop_map(|(k, v)| Op::Insert(k, v)),
+        1 => key.clone().prop_map(Op::Remove),
+        1 => key.prop_map(Op::Get),
+    ]
+}
+
+fn runtime(backend: Backend) -> (Arc<PmemPool>, Runtime) {
+    let pool = Arc::new(PmemPool::create(PoolOptions::performance(64 << 20)).unwrap());
+    let rt = Runtime::create(pool.clone(), RuntimeOptions::new(backend)).unwrap();
+    (pool, rt)
+}
+
+/// Applies `ops` to both the structure (via the closures) and the model,
+/// checking every `Get` against the model and the final dump against the
+/// model's contents.
+fn check<I, R, G, D>(ops: &[Op], mut insert: I, mut remove: R, mut get: G, dump: D)
+where
+    I: FnMut(u64, &[u8]),
+    R: FnMut(u64) -> bool,
+    G: FnMut(u64) -> Option<Vec<u8>>,
+    D: FnOnce() -> Vec<(u64, Vec<u8>)>,
+{
+    let mut model: BTreeMap<u64, Vec<u8>> = BTreeMap::new();
+    for op in ops {
+        match op {
+            Op::Insert(k, v) => {
+                insert(*k, v);
+                model.insert(*k, v.clone());
+            }
+            Op::Remove(k) => {
+                let got = remove(*k);
+                let expect = model.remove(k).is_some();
+                assert_eq!(got, expect, "remove({k}) presence mismatch");
+            }
+            Op::Get(k) => {
+                assert_eq!(get(*k), model.get(k).cloned(), "get({k}) mismatch");
+            }
+        }
+    }
+    let mut dumped = dump();
+    dumped.sort();
+    let expected: Vec<(u64, Vec<u8>)> = model.into_iter().collect();
+    assert_eq!(dumped, expected, "final contents diverge from the model");
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig {
+        cases: 24,
+        ..ProptestConfig::default()
+    })]
+
+    #[test]
+    fn hashmap_matches_model(ops in proptest::collection::vec(op_strategy(), 1..120)) {
+        let (pool, rt) = runtime(Backend::clobber());
+        HashMap::register(&rt);
+        let m = HashMap::create(&rt).unwrap();
+        check(
+            &ops,
+            |k, v| m.insert(&rt, k, v).unwrap(),
+            |k| m.remove(&rt, k).unwrap(),
+            |k| m.get(&rt, k).unwrap(),
+            || m.dump(&pool).unwrap(),
+        );
+    }
+
+    #[test]
+    fn skiplist_matches_model(ops in proptest::collection::vec(op_strategy(), 1..120)) {
+        let (pool, rt) = runtime(Backend::clobber());
+        SkipList::register(&rt);
+        let s = SkipList::create(&rt).unwrap();
+        check(
+            &ops,
+            |k, v| s.insert(&rt, k, v).unwrap(),
+            |k| s.remove(&rt, k).unwrap(),
+            |k| s.get(&rt, k).unwrap(),
+            || s.dump(&pool).unwrap(),
+        );
+    }
+
+    #[test]
+    fn rbtree_matches_model(ops in proptest::collection::vec(op_strategy(), 1..120)) {
+        let (pool, rt) = runtime(Backend::clobber());
+        RbTree::register(&rt);
+        let t = RbTree::create(&rt).unwrap();
+        check(
+            &ops,
+            |k, v| t.insert(&rt, k, v).unwrap(),
+            |k| t.remove(&rt, k).unwrap(),
+            |k| t.get(&rt, k).unwrap(),
+            || t.dump(&pool).unwrap(),
+        );
+    }
+
+    #[test]
+    fn avltree_matches_model(ops in proptest::collection::vec(op_strategy(), 1..120)) {
+        let (pool, rt) = runtime(Backend::clobber());
+        AvlTree::register(&rt);
+        let t = AvlTree::create(&rt).unwrap();
+        check(
+            &ops,
+            |k, v| t.insert(&rt, k, v).unwrap(),
+            |k| t.remove(&rt, k).unwrap(),
+            |k| t.get(&rt, k).unwrap(),
+            || t.dump(&pool).unwrap(),
+        );
+    }
+
+    #[test]
+    fn bptree_matches_model(ops in proptest::collection::vec(op_strategy(), 1..120)) {
+        let (pool, rt) = runtime(Backend::clobber());
+        BpTree::register(&rt);
+        let t = BpTree::create(&rt).unwrap();
+        check(
+            &ops,
+            |k, v| t.insert_u64(&rt, k, v).unwrap(),
+            |k| t.remove(&rt, &key32(k)).unwrap(),
+            |k| t.get_u64(&rt, k).unwrap(),
+            || {
+                t.dump(&pool)
+                    .unwrap()
+                    .into_iter()
+                    .map(|(k, v)| (u64::from_be_bytes(k[24..32].try_into().unwrap()), v))
+                    .collect()
+            },
+        );
+    }
+
+    #[test]
+    fn backends_agree_on_final_state(ops in proptest::collection::vec(op_strategy(), 1..60)) {
+        let mut dumps = Vec::new();
+        for backend in [Backend::NoLog, Backend::clobber(), Backend::Undo, Backend::Redo] {
+            let (pool, rt) = runtime(backend);
+            HashMap::register(&rt);
+            let m = HashMap::create(&rt).unwrap();
+            for op in &ops {
+                match op {
+                    Op::Insert(k, v) => m.insert(&rt, *k, v).unwrap(),
+                    Op::Remove(k) => {
+                        m.remove(&rt, *k).unwrap();
+                    }
+                    Op::Get(k) => {
+                        m.get(&rt, *k).unwrap();
+                    }
+                }
+            }
+            let mut d = m.dump(&pool).unwrap();
+            d.sort();
+            dumps.push(d);
+        }
+        for w in dumps.windows(2) {
+            prop_assert_eq!(&w[0], &w[1], "backends diverged");
+        }
+    }
+}

@@ -1,0 +1,193 @@
+//! Persistent addresses and cache-line geometry.
+
+use std::fmt;
+
+/// Size of a simulated CPU cache line in bytes.
+///
+/// Flush granularity, crash granularity and flush accounting all operate on
+/// cache lines, mirroring `clwb`/`clflush` semantics.
+pub const CACHE_LINE: u64 = 64;
+
+/// An offset into a [`PmemPool`](crate::PmemPool), the persistent analogue of
+/// a pointer.
+///
+/// Pool-relative offsets (rather than virtual addresses) make the backing
+/// region relocatable, which is why the paper's compiler interposes on every
+/// memory access to swizzle pointers (§4.4). `PAddr::NULL` (offset 0) plays
+/// the role of the null pointer; offset 0 always holds the pool header, so no
+/// valid object can live there.
+///
+/// # Example
+///
+/// ```
+/// use clobber_pmem::PAddr;
+///
+/// let a = PAddr::new(128);
+/// assert_eq!(a.offset(), 128);
+/// assert!(!a.is_null());
+/// assert!(PAddr::NULL.is_null());
+/// assert_eq!(a.add(8).offset(), 136);
+/// ```
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct PAddr(u64);
+
+impl PAddr {
+    /// The null persistent address.
+    pub const NULL: PAddr = PAddr(0);
+
+    /// Creates a persistent address from a raw pool offset.
+    #[inline]
+    pub const fn new(offset: u64) -> Self {
+        PAddr(offset)
+    }
+
+    /// Returns the raw pool offset.
+    #[inline]
+    pub const fn offset(self) -> u64 {
+        self.0
+    }
+
+    /// Returns `true` if this is [`PAddr::NULL`].
+    #[inline]
+    pub const fn is_null(self) -> bool {
+        self.0 == 0
+    }
+
+    /// Returns the address `bytes` past `self`.
+    ///
+    /// # Panics
+    ///
+    /// Panics on overflow of the 64-bit offset space.
+    #[inline]
+    pub const fn add(self, bytes: u64) -> Self {
+        PAddr(self.0 + bytes)
+    }
+
+    /// Returns the index of the cache line containing this address.
+    #[inline]
+    pub const fn line(self) -> u64 {
+        self.0 / CACHE_LINE
+    }
+}
+
+impl fmt::Debug for PAddr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.is_null() {
+            write!(f, "PAddr(NULL)")
+        } else {
+            write!(f, "PAddr({:#x})", self.0)
+        }
+    }
+}
+
+impl fmt::Display for PAddr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Debug::fmt(self, f)
+    }
+}
+
+impl From<PAddr> for u64 {
+    fn from(a: PAddr) -> u64 {
+        a.0
+    }
+}
+
+/// Returns the indices of all cache lines overlapped by `[offset, offset+len)`.
+///
+/// A zero-length range overlaps no lines.
+///
+/// # Example
+///
+/// ```
+/// use clobber_pmem::addr::lines_for_range;
+///
+/// assert_eq!(lines_for_range(0, 64).collect::<Vec<_>>(), vec![0]);
+/// assert_eq!(lines_for_range(60, 8).collect::<Vec<_>>(), vec![0, 1]);
+/// assert_eq!(lines_for_range(128, 0).count(), 0);
+/// ```
+pub fn lines_for_range(offset: u64, len: u64) -> impl Iterator<Item = u64> {
+    let first = offset / CACHE_LINE;
+    let last = if len == 0 {
+        first // empty iterator via first..first
+    } else {
+        (offset + len - 1) / CACHE_LINE + 1
+    };
+    first..last
+}
+
+/// Rounds `n` up to the next multiple of `align` (a power of two).
+///
+/// # Example
+///
+/// ```
+/// use clobber_pmem::addr::align_up;
+///
+/// assert_eq!(align_up(1, 16), 16);
+/// assert_eq!(align_up(16, 16), 16);
+/// assert_eq!(align_up(17, 16), 32);
+/// ```
+pub fn align_up(n: u64, align: u64) -> u64 {
+    debug_assert!(align.is_power_of_two());
+    (n + align - 1) & !(align - 1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn null_is_zero_offset() {
+        assert_eq!(PAddr::NULL.offset(), 0);
+        assert!(PAddr::NULL.is_null());
+        assert!(!PAddr::new(1).is_null());
+    }
+
+    #[test]
+    fn add_advances_offset() {
+        assert_eq!(PAddr::new(100).add(28), PAddr::new(128));
+    }
+
+    #[test]
+    fn line_index_uses_cache_line_granularity() {
+        assert_eq!(PAddr::new(0).line(), 0);
+        assert_eq!(PAddr::new(63).line(), 0);
+        assert_eq!(PAddr::new(64).line(), 1);
+        assert_eq!(PAddr::new(640).line(), 10);
+    }
+
+    #[test]
+    fn lines_for_range_covers_straddling_ranges() {
+        assert_eq!(lines_for_range(0, 1).collect::<Vec<_>>(), vec![0]);
+        assert_eq!(lines_for_range(63, 2).collect::<Vec<_>>(), vec![0, 1]);
+        assert_eq!(lines_for_range(64, 64).collect::<Vec<_>>(), vec![1]);
+        assert_eq!(lines_for_range(0, 129).collect::<Vec<_>>(), vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn lines_for_empty_range_is_empty() {
+        assert_eq!(lines_for_range(40, 0).count(), 0);
+    }
+
+    #[test]
+    fn align_up_rounds_to_power_of_two() {
+        assert_eq!(align_up(0, 8), 0);
+        assert_eq!(align_up(7, 8), 8);
+        assert_eq!(align_up(8, 8), 8);
+        assert_eq!(align_up(9, 8), 16);
+        assert_eq!(align_up(4097, 4096), 8192);
+    }
+
+    #[test]
+    fn debug_formats_null_specially() {
+        assert_eq!(format!("{:?}", PAddr::NULL), "PAddr(NULL)");
+        assert_eq!(format!("{:?}", PAddr::new(0x40)), "PAddr(0x40)");
+    }
+
+    #[test]
+    fn paddr_orders_by_offset() {
+        assert!(PAddr::new(1) < PAddr::new(2));
+        let mut v = vec![PAddr::new(9), PAddr::new(3)];
+        v.sort();
+        assert_eq!(v, vec![PAddr::new(3), PAddr::new(9)]);
+    }
+}

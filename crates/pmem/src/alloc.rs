@@ -1,0 +1,950 @@
+//! Crash-consistent persistent heap allocator.
+//!
+//! Modeled on PMDK's allocator as the paper uses it (§4.2):
+//!
+//! * **Immediate path** ([`PmemPool::alloc`]/[`PmemPool::free`]): every
+//!   metadata update is protected by a 64-byte write-ahead *redo record*.
+//!   The record (which holds absolute new values, so replay is idempotent)
+//!   is persisted before the update is applied and cleared after; pool open
+//!   replays an in-flight record. Costs two fences — use outside
+//!   transactions.
+//! * **Transactional path** ([`PmemPool::reserve`]/[`PmemPool::publish`]/
+//!   [`PmemPool::cancel`]): a reservation mutates only the volatile mirror
+//!   of the allocator metadata, costing zero fences. `publish` (called at
+//!   transaction commit) writes the updated free-list heads, frontier and
+//!   block headers to media with flushes; the caller's commit fence orders
+//!   them. If the transaction never commits, media metadata never changed,
+//!   so reserved blocks automatically roll back on crash — mirroring PMDK's
+//!   reserve/publish design. A crash *between* publish and the caller's
+//!   commit point can leak blocks but never corrupts the heap.
+//!
+//! Blocks are `[24-byte header][payload]`; small payloads use power-of-two
+//! size classes 16 B..4 KiB, larger payloads are "huge" blocks rounded to
+//! 4 KiB with their exact capacity stored in the header. Free-list chain
+//! pointers live in the *header*, never the payload: a transaction may
+//! reserve a freed block and overwrite its payload before publishing, and
+//! those (possibly durable) payload bytes must not be able to corrupt the
+//! persistent free chain a crash recovery walks.
+//!
+//! Concurrency contract: all paths run under the pool lock. Crash testing
+//! assumes at most one uncommitted transaction holds unpublished
+//! reservations per size class at the crash point (the paper's recovery
+//! model likewise recovers threads independently with disjoint lock sets).
+
+use std::collections::HashMap;
+
+use crate::addr::{align_up, PAddr};
+use crate::pool::{get_u64, layout, put_u64, PmemError, PmemPool, PoolInner, PoolMode};
+
+/// Payload capacities of the small size classes.
+pub const CLASS_SIZES: [u64; 9] = [16, 32, 64, 128, 256, 512, 1024, 2048, 4096];
+/// Index of the huge-block free list in the heads array.
+pub const HUGE_CLASS: u32 = 9;
+/// Number of free-list heads (small classes + huge list).
+pub const NUM_HEADS: usize = 10;
+
+const HDR_LEN: u64 = 24;
+const HDR_NEXT: u64 = 16;
+const STATE_ALLOC: u32 = 0xA11C_0C8D;
+const STATE_FREE: u32 = 0xF4EE_B10C;
+
+const OP_POP: u64 = 1;
+const OP_BUMP: u64 = 2;
+const OP_PUSH: u64 = 3;
+
+/// Where a reservation's block came from, for cancel/publish bookkeeping.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Origin {
+    FreeList,
+    Frontier,
+}
+
+#[derive(Debug, Clone, Copy)]
+struct Reservation {
+    class: u32,
+    /// Payload capacity in bytes.
+    capacity: u64,
+    origin: Origin,
+    /// Frontier value before a [`Origin::Frontier`] reservation, so a
+    /// cancel of the newest block rolls alignment padding back too.
+    prev_frontier: u64,
+}
+
+/// Volatile mirror of the persistent allocator metadata.
+///
+/// Rebuilt from media on pool open; reservations live only here until
+/// published.
+pub(crate) struct Mirror {
+    pub(crate) frontier: u64,
+    /// Free payload addresses per head, top of stack last.
+    free: Vec<Vec<u64>>,
+    /// Payload capacity of each free huge block (huge blocks have exact
+    /// sizes, unlike the fixed small classes).
+    huge_sizes: HashMap<u64, u64>,
+    reserved: HashMap<u64, Reservation>,
+    /// Heads whose media copy is stale relative to the mirror.
+    dirty_heads: Vec<bool>,
+    frontier_dirty: bool,
+}
+
+impl Mirror {
+    /// Rebuilds the mirror by walking the persistent free lists.
+    pub(crate) fn rebuild(media: &[u8]) -> Mirror {
+        let frontier = get_u64(media, layout::FRONTIER);
+        let mut free = Vec::with_capacity(NUM_HEADS);
+        let mut huge_sizes = HashMap::new();
+        for head_idx in 0..NUM_HEADS {
+            let mut chain = Vec::new();
+            let mut cur = get_u64(media, layout::FREE_HEADS + head_idx as u64 * 8);
+            // Walk head -> tail via header chain pointers, guarding against
+            // cycles or torn pointers from corruption.
+            let mut hops = 0u64;
+            while cur >= layout::HEAP_BASE + HDR_LEN
+                && cur + 8 <= media.len() as u64
+                && hops < (media.len() as u64 / 16)
+            {
+                chain.push(cur);
+                if head_idx == HUGE_CLASS as usize {
+                    huge_sizes.insert(cur, get_u64(media, cur - HDR_LEN + 8));
+                }
+                cur = get_u64(media, cur - HDR_LEN + HDR_NEXT);
+                hops += 1;
+            }
+            // Stack pop order must match list order: head is popped first.
+            chain.reverse();
+            free.push(chain);
+        }
+        Mirror {
+            frontier,
+            free,
+            huge_sizes,
+            reserved: HashMap::new(),
+            dirty_heads: vec![false; NUM_HEADS],
+            frontier_dirty: false,
+        }
+    }
+}
+
+/// Replays an in-flight allocator redo record against raw media.
+///
+/// Called on pool open; a record is only present if a crash interrupted an
+/// immediate alloc/free. All stored values are absolute, so replay is
+/// idempotent.
+pub(crate) fn replay_redo(media: &mut [u8]) {
+    let r = layout::ALLOC_REDO;
+    if get_u64(media, r) != 1 {
+        return;
+    }
+    let op = get_u64(media, r + 8);
+    let class = get_u64(media, r + 16) as u32;
+    let block = get_u64(media, r + 24);
+    let a = get_u64(media, r + 32);
+    let size = get_u64(media, r + 40);
+    let head_off = layout::FREE_HEADS + class as u64 * 8;
+    match op {
+        OP_POP => {
+            put_u64(media, head_off, a);
+            write_header_media(media, block, STATE_ALLOC, class, size);
+        }
+        OP_BUMP => {
+            put_u64(media, layout::FRONTIER, a);
+            write_header_media(media, block, STATE_ALLOC, class, size);
+        }
+        OP_PUSH => {
+            write_header_media(media, block, STATE_FREE, class, size);
+            put_u64(media, block - HDR_LEN + HDR_NEXT, a); // header chain pointer
+            put_u64(media, head_off, block);
+        }
+        _ => {} // unknown op: ignore rather than corrupt further
+    }
+    put_u64(media, r, 0);
+}
+
+fn write_header_media(media: &mut [u8], payload: u64, state: u32, class: u32, size: u64) {
+    let h = (payload - HDR_LEN) as usize;
+    media[h..h + 4].copy_from_slice(&state.to_le_bytes());
+    media[h + 4..h + 8].copy_from_slice(&class.to_le_bytes());
+    media[h + 8..h + 16].copy_from_slice(&size.to_le_bytes());
+}
+
+/// Returns `(head_index, payload_capacity)` for a request of `size` bytes.
+fn classify(size: u64) -> (u32, u64) {
+    for (i, &cs) in CLASS_SIZES.iter().enumerate() {
+        if size <= cs {
+            return (i as u32, cs);
+        }
+    }
+    (HUGE_CLASS, align_up(size, 4096))
+}
+
+/// Cache-aware persistent write helpers used while holding the pool lock.
+struct Ops<'a> {
+    inner: &'a mut PoolInner,
+    mode: PoolMode,
+    flushes: u64,
+    fences: u64,
+    write_bytes: u64,
+}
+
+impl<'a> Ops<'a> {
+    fn new(inner: &'a mut PoolInner, mode: PoolMode) -> Self {
+        Ops {
+            inner,
+            mode,
+            flushes: 0,
+            fences: 0,
+            write_bytes: 0,
+        }
+    }
+
+    fn write_u64(&mut self, offset: u64, value: u64) {
+        self.inner.write_raw(offset, &value.to_le_bytes(), self.mode);
+        self.write_bytes += 8;
+    }
+
+    fn write(&mut self, offset: u64, data: &[u8]) {
+        self.inner.write_raw(offset, data, self.mode);
+        self.write_bytes += data.len() as u64;
+    }
+
+    fn read_u64(&mut self, offset: u64) -> u64 {
+        let mut buf = [0u8; 8];
+        self.inner.read_raw(offset, &mut buf);
+        u64::from_le_bytes(buf)
+    }
+
+    fn flush(&mut self, offset: u64, len: u64) {
+        self.flushes += self.inner.flush_raw(offset, len, self.mode);
+    }
+
+    fn fence(&mut self) {
+        self.fences += 1;
+        if self.mode == PoolMode::CrashSim {
+            self.inner.fence_raw();
+        }
+    }
+
+    fn write_header(&mut self, payload: u64, state: u32, class: u32, size: u64) {
+        let h = payload - HDR_LEN;
+        let mut hdr = [0u8; 16];
+        hdr[0..4].copy_from_slice(&state.to_le_bytes());
+        hdr[4..8].copy_from_slice(&class.to_le_bytes());
+        hdr[8..16].copy_from_slice(&size.to_le_bytes());
+        self.write(h, &hdr);
+    }
+
+    /// Persists a full redo record in one flush+fence.
+    fn arm_redo(&mut self, op: u64, class: u32, block: u64, a: u64, size: u64) {
+        let r = layout::ALLOC_REDO;
+        self.write_u64(r + 8, op);
+        self.write_u64(r + 16, class as u64);
+        self.write_u64(r + 24, block);
+        self.write_u64(r + 32, a);
+        self.write_u64(r + 40, size);
+        self.write_u64(r, 1);
+        self.flush(r, 48);
+        self.fence();
+    }
+
+    fn disarm_redo(&mut self) {
+        let r = layout::ALLOC_REDO;
+        self.write_u64(r, 0);
+        self.flush(r, 8);
+        self.fence();
+    }
+}
+
+impl PmemPool {
+    fn finish_ops(&self, ops: Ops<'_>) {
+        let stats = self.stats();
+        stats.bump(&stats.flushes, ops.flushes);
+        stats.bump(&stats.fences, ops.fences);
+        stats.bump(&stats.write_bytes, ops.write_bytes);
+    }
+
+    /// Allocates `size` bytes from the persistent heap, immediately and
+    /// crash-consistently (two fences). For allocation inside a transaction
+    /// use [`reserve`](Self::reserve) via the runtime's `pmalloc`.
+    ///
+    /// The returned payload is zeroed.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PmemError::OutOfMemory`] if the heap is exhausted and
+    /// [`PmemError::OutOfBounds`] for zero-size requests beyond capacity.
+    pub fn alloc(&self, size: u64) -> Result<PAddr, PmemError> {
+        let mode = self.mode();
+        let mut inner = self.inner.lock();
+        let (class, capacity) = classify(size.max(8));
+        let inner = &mut *inner;
+        let picked = pick_block(&mut inner.mirror, class, capacity, self.capacity())?;
+        let mut ops = Ops::new(inner, mode);
+        match picked {
+            Picked::Pop { payload, next } => {
+                ops.arm_redo(OP_POP, class, payload, next, capacity);
+                ops.write_u64(layout::FREE_HEADS + class as u64 * 8, next);
+                ops.write_header(payload, STATE_ALLOC, class, capacity);
+                ops.flush(layout::FREE_HEADS + class as u64 * 8, 8);
+                ops.flush(payload - HDR_LEN, HDR_LEN);
+                ops.disarm_redo();
+                zero_payload(&mut ops, payload, capacity);
+                let stats = self.stats();
+                stats.bump(&stats.allocs, 1);
+                self.finish_ops(ops);
+                Ok(PAddr::new(payload))
+            }
+            Picked::Bump { payload, new_frontier } => {
+                ops.inner.mirror.frontier = new_frontier;
+                ops.arm_redo(OP_BUMP, class, payload, new_frontier, capacity);
+                ops.write_u64(layout::FRONTIER, new_frontier);
+                ops.write_header(payload, STATE_ALLOC, class, capacity);
+                ops.flush(layout::FRONTIER, 8);
+                ops.flush(payload - HDR_LEN, HDR_LEN);
+                ops.disarm_redo();
+                zero_payload(&mut ops, payload, capacity);
+                let stats = self.stats();
+                stats.bump(&stats.allocs, 1);
+                self.finish_ops(ops);
+                Ok(PAddr::new(payload))
+            }
+        }
+    }
+
+    /// Returns `addr` (from [`alloc`](Self::alloc) or a published
+    /// reservation) to the heap, immediately and crash-consistently.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PmemError::InvalidFree`] if `addr` does not point at an
+    /// allocated block.
+    pub fn free(&self, addr: PAddr) -> Result<(), PmemError> {
+        let mode = self.mode();
+        let mut inner = self.inner.lock();
+        let payload = addr.offset();
+        if payload < layout::HEAP_BASE + HDR_LEN || payload >= self.capacity() {
+            return Err(PmemError::InvalidFree { addr: payload });
+        }
+        let inner = &mut *inner;
+        let mut ops = Ops::new(inner, mode);
+        let h = payload - HDR_LEN;
+        let mut hdr = [0u8; 16];
+        ops.inner.read_raw(h, &mut hdr);
+        let state = u32::from_le_bytes(hdr[0..4].try_into().expect("4 bytes"));
+        let class = u32::from_le_bytes(hdr[4..8].try_into().expect("4 bytes"));
+        let size = u64::from_le_bytes(hdr[8..16].try_into().expect("8 bytes"));
+        if state != STATE_ALLOC || class as usize >= NUM_HEADS {
+            return Err(PmemError::InvalidFree { addr: payload });
+        }
+        let old_head = ops.read_u64(layout::FREE_HEADS + class as u64 * 8);
+        ops.arm_redo(OP_PUSH, class, payload, old_head, size);
+        ops.write_header(payload, STATE_FREE, class, size);
+        ops.write_u64(payload - HDR_LEN + HDR_NEXT, old_head);
+        ops.write_u64(layout::FREE_HEADS + class as u64 * 8, payload);
+        ops.flush(payload - HDR_LEN, HDR_LEN);
+        ops.flush(layout::FREE_HEADS + class as u64 * 8, 8);
+        ops.disarm_redo();
+        ops.inner.mirror.free[class as usize].push(payload);
+        if class == HUGE_CLASS {
+            ops.inner.mirror.huge_sizes.insert(payload, size);
+        }
+        let stats = self.stats();
+        stats.bump(&stats.frees, 1);
+        self.finish_ops(ops);
+        Ok(())
+    }
+
+    /// Reserves `size` bytes without touching persistent metadata (zero
+    /// fences). The block becomes durable only when
+    /// [`publish`](Self::publish)ed; until then a crash rolls it back
+    /// automatically.
+    ///
+    /// The payload is zeroed (volatile until flushed by the caller).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PmemError::OutOfMemory`] if the heap is exhausted.
+    pub fn reserve(&self, size: u64) -> Result<PAddr, PmemError> {
+        let mode = self.mode();
+        let mut inner = self.inner.lock();
+        let (class, capacity) = classify(size.max(8));
+        let inner = &mut *inner;
+        let picked = pick_block(&mut inner.mirror, class, capacity, self.capacity())?;
+        let prev_frontier = inner.mirror.frontier;
+        let (payload, origin) = match picked {
+            Picked::Pop { payload, .. } => {
+                inner.mirror.dirty_heads[class as usize] = true;
+                (payload, Origin::FreeList)
+            }
+            Picked::Bump { payload, new_frontier } => {
+                inner.mirror.frontier = new_frontier;
+                inner.mirror.frontier_dirty = true;
+                (payload, Origin::Frontier)
+            }
+        };
+        inner.mirror.reserved.insert(
+            payload,
+            Reservation {
+                class,
+                capacity,
+                origin,
+                prev_frontier,
+            },
+        );
+        let mut ops = Ops::new(inner, mode);
+        zero_payload(&mut ops, payload, capacity);
+        let stats = self.stats();
+        stats.bump(&stats.allocs, 1);
+        self.finish_ops(ops);
+        Ok(PAddr::new(payload))
+    }
+
+    /// Persists the metadata for reserved blocks: block headers plus any
+    /// free-list heads and frontier the reservations moved. Issues flushes
+    /// only — the caller's commit fence orders them.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PmemError::InvalidFree`] if an address was not reserved.
+    pub fn publish(&self, blocks: &[PAddr]) -> Result<(), PmemError> {
+        let mode = self.mode();
+        let mut inner = self.inner.lock();
+        let inner = &mut *inner;
+        let mut ops = Ops::new(inner, mode);
+        for &b in blocks {
+            let res = ops
+                .inner
+                .mirror
+                .reserved
+                .remove(&b.offset())
+                .ok_or(PmemError::InvalidFree { addr: b.offset() })?;
+            ops.write_header(b.offset(), STATE_ALLOC, res.class, res.capacity);
+            ops.flush(b.offset() - HDR_LEN, HDR_LEN);
+        }
+        // Write back every head/frontier moved by a reservation. Heads are
+        // written from the mirror top so the persistent chain stays intact.
+        for class in 0..NUM_HEADS {
+            if ops.inner.mirror.dirty_heads[class] {
+                let top = *ops.inner.mirror.free[class].last().unwrap_or(&0);
+                ops.write_u64(layout::FREE_HEADS + class as u64 * 8, top);
+                ops.flush(layout::FREE_HEADS + class as u64 * 8, 8);
+                ops.inner.mirror.dirty_heads[class] = false;
+            }
+        }
+        if ops.inner.mirror.frontier_dirty {
+            let f = ops.inner.mirror.frontier;
+            ops.write_u64(layout::FRONTIER, f);
+            ops.flush(layout::FRONTIER, 8);
+            ops.inner.mirror.frontier_dirty = false;
+        }
+        self.finish_ops(ops);
+        Ok(())
+    }
+
+    /// Returns unpublished reservations to the volatile mirror (clean abort).
+    ///
+    /// Free-list reservations are pushed back; a frontier reservation is
+    /// reclaimed only if it is still the newest block (otherwise its space
+    /// is abandoned until the pool is recreated — a bounded leak on the rare
+    /// clean-abort path).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PmemError::InvalidFree`] if an address was not reserved.
+    pub fn cancel(&self, blocks: &[PAddr]) -> Result<(), PmemError> {
+        let mut inner = self.inner.lock();
+        for &b in blocks.iter().rev() {
+            let res = inner
+                .mirror
+                .reserved
+                .remove(&b.offset())
+                .ok_or(PmemError::InvalidFree { addr: b.offset() })?;
+            match res.origin {
+                Origin::FreeList => {
+                    inner.mirror.free[res.class as usize].push(b.offset());
+                    if res.class == HUGE_CLASS {
+                        inner.mirror.huge_sizes.insert(b.offset(), res.capacity);
+                    }
+                }
+                Origin::Frontier => {
+                    if inner.mirror.frontier == b.offset() + res.capacity {
+                        inner.mirror.frontier = res.prev_frontier;
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Bytes of heap consumed by the allocation frontier.
+    pub fn heap_used(&self) -> u64 {
+        self.inner.lock().mirror.frontier - layout::HEAP_BASE
+    }
+}
+
+/// Result of [`PmemPool::check_heap`]: a media-level walk of every block
+/// between the heap base and the durable frontier.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct HeapReport {
+    /// Blocks in the allocated state.
+    pub allocated_blocks: u64,
+    /// Bytes of allocated payload.
+    pub allocated_bytes: u64,
+    /// Blocks in the free state.
+    pub free_blocks: u64,
+    /// Free blocks reachable from a free-list head (the rest are leaks —
+    /// possible after crashes in documented windows, never corruption).
+    pub free_blocks_listed: u64,
+}
+
+impl PmemPool {
+    /// Walks the durable heap (every block header between the heap base and
+    /// the media frontier), validating block states, class/capacity
+    /// consistency and free-list membership. Call on a quiescent or
+    /// freshly-recovered pool: volatile reservations are intentionally
+    /// invisible to this media-level view.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PmemError::CorruptPool`] describing the first structural
+    /// violation found.
+    pub fn check_heap(&self) -> Result<HeapReport, PmemError> {
+        let inner = self.inner.lock();
+        let media = &inner.media;
+        let frontier = get_u64(media, layout::FRONTIER);
+        if frontier < layout::HEAP_BASE || frontier > media.len() as u64 {
+            return Err(PmemError::CorruptPool(format!(
+                "frontier {frontier:#x} outside the heap"
+            )));
+        }
+        // Free blocks reachable from the persistent lists.
+        let mut listed = std::collections::HashSet::new();
+        for head_idx in 0..NUM_HEADS {
+            let mut cur = get_u64(media, layout::FREE_HEADS + head_idx as u64 * 8);
+            let mut hops = 0u64;
+            while cur != 0 {
+                if cur < layout::HEAP_BASE + HDR_LEN || cur + 8 > frontier + HDR_LEN + 4096 {
+                    return Err(PmemError::CorruptPool(format!(
+                        "free list {head_idx} points at {cur:#x}"
+                    )));
+                }
+                if !listed.insert(cur) {
+                    return Err(PmemError::CorruptPool(format!(
+                        "free block {cur:#x} linked twice"
+                    )));
+                }
+                cur = get_u64(media, cur - HDR_LEN + HDR_NEXT);
+                hops += 1;
+                if hops > media.len() as u64 / 16 {
+                    return Err(PmemError::CorruptPool("free-list cycle".into()));
+                }
+            }
+        }
+        // Contiguous block walk.
+        let mut report = HeapReport::default();
+        let mut at = crate::addr::align_up(layout::HEAP_BASE, 16);
+        while at + HDR_LEN < frontier {
+            let payload = at + HDR_LEN;
+            let state = u32::from_le_bytes(
+                media[at as usize..at as usize + 4].try_into().expect("4 bytes"),
+            );
+            let class = u32::from_le_bytes(
+                media[at as usize + 4..at as usize + 8].try_into().expect("4 bytes"),
+            );
+            let size = get_u64(media, at + 8);
+            match state {
+                STATE_ALLOC => {
+                    report.allocated_blocks += 1;
+                    report.allocated_bytes += size;
+                    if listed.contains(&payload) {
+                        return Err(PmemError::CorruptPool(format!(
+                            "allocated block {payload:#x} is on a free list"
+                        )));
+                    }
+                }
+                STATE_FREE => {
+                    report.free_blocks += 1;
+                    if listed.contains(&payload) {
+                        report.free_blocks_listed += 1;
+                    }
+                }
+                _ => {
+                    return Err(PmemError::CorruptPool(format!(
+                        "block {payload:#x} has unknown state {state:#x}"
+                    )))
+                }
+            }
+            let expected = if (class as usize) < CLASS_SIZES.len() {
+                CLASS_SIZES[class as usize]
+            } else if class == HUGE_CLASS {
+                size
+            } else {
+                return Err(PmemError::CorruptPool(format!(
+                    "block {payload:#x} has bad class {class}"
+                )));
+            };
+            if size != expected || size == 0 || payload + size > media.len() as u64 {
+                return Err(PmemError::CorruptPool(format!(
+                    "block {payload:#x} class {class} capacity {size} inconsistent"
+                )));
+            }
+            at = crate::addr::align_up(payload + size, 16);
+        }
+        Ok(report)
+    }
+}
+
+enum Picked {
+    Pop { payload: u64, next: u64 },
+    Bump { payload: u64, new_frontier: u64 },
+}
+
+fn pick_block(
+    mirror: &mut Mirror,
+    class: u32,
+    capacity: u64,
+    pool_capacity: u64,
+) -> Result<Picked, PmemError> {
+    if class != HUGE_CLASS {
+        if let Some(payload) = mirror.free[class as usize].pop() {
+            let next = *mirror.free[class as usize].last().unwrap_or(&0);
+            return Ok(Picked::Pop { payload, next });
+        }
+    } else {
+        // Huge blocks have exact capacities. Only the list head can be
+        // popped without relinking the persistent chain, so it is reused
+        // only on an exact capacity match; otherwise the frontier grows.
+        let top = mirror.free[HUGE_CLASS as usize].last().copied();
+        if let Some(payload) = top {
+            if mirror.huge_sizes.get(&payload) == Some(&capacity) {
+                let list = &mut mirror.free[HUGE_CLASS as usize];
+                let p = list.pop().expect("non-empty checked above");
+                let next = *list.last().unwrap_or(&0);
+                mirror.huge_sizes.remove(&p);
+                return Ok(Picked::Pop { payload: p, next });
+            }
+        }
+    }
+    let block_start = align_up(mirror.frontier, 16);
+    let payload = block_start + HDR_LEN;
+    let new_frontier = payload + capacity;
+    if new_frontier > pool_capacity {
+        return Err(PmemError::OutOfMemory { requested: capacity });
+    }
+    Ok(Picked::Bump {
+        payload,
+        new_frontier,
+    })
+}
+
+fn zero_payload(ops: &mut Ops<'_>, payload: u64, capacity: u64) {
+    const ZEROS: [u8; 4096] = [0u8; 4096];
+    let mut off = payload;
+    let mut left = capacity;
+    while left > 0 {
+        let n = left.min(4096);
+        ops.write(off, &ZEROS[..n as usize]);
+        off += n;
+        left -= n;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::crash::CrashConfig;
+    use crate::pool::PoolOptions;
+
+    fn pool() -> PmemPool {
+        PmemPool::create(PoolOptions::crash_sim(1 << 20)).expect("create")
+    }
+
+    #[test]
+    fn classify_picks_smallest_fitting_class() {
+        assert_eq!(classify(1), (0, 16));
+        assert_eq!(classify(16), (0, 16));
+        assert_eq!(classify(17), (1, 32));
+        assert_eq!(classify(4096), (8, 4096));
+        assert_eq!(classify(4097), (HUGE_CLASS, 8192));
+        assert_eq!(classify(10000), (HUGE_CLASS, 12288));
+    }
+
+    #[test]
+    fn alloc_returns_distinct_zeroed_blocks() {
+        let p = pool();
+        let a = p.alloc(64).unwrap();
+        let b = p.alloc(64).unwrap();
+        assert_ne!(a, b);
+        assert_eq!(p.read_bytes(a, 64).unwrap(), vec![0u8; 64]);
+        p.write_u64(a, 7).unwrap();
+        assert_eq!(p.read_u64(b).unwrap(), 0, "blocks do not overlap");
+    }
+
+    #[test]
+    fn free_then_alloc_reuses_block() {
+        let p = pool();
+        let a = p.alloc(100).unwrap(); // class 128
+        p.free(a).unwrap();
+        let b = p.alloc(100).unwrap();
+        assert_eq!(a, b, "LIFO reuse from the free list");
+    }
+
+    #[test]
+    fn freed_block_is_zeroed_on_realloc() {
+        let p = pool();
+        let a = p.alloc(64).unwrap();
+        p.write_bytes(a, &[0xAB; 64]).unwrap();
+        p.free(a).unwrap();
+        let b = p.alloc(64).unwrap();
+        assert_eq!(p.read_bytes(b, 64).unwrap(), vec![0u8; 64]);
+    }
+
+    #[test]
+    fn double_free_is_rejected() {
+        let p = pool();
+        let a = p.alloc(32).unwrap();
+        p.free(a).unwrap();
+        assert!(matches!(p.free(a), Err(PmemError::InvalidFree { .. })));
+    }
+
+    #[test]
+    fn free_of_garbage_address_is_rejected() {
+        let p = pool();
+        assert!(matches!(
+            p.free(PAddr::new(0)),
+            Err(PmemError::InvalidFree { .. })
+        ));
+        assert!(matches!(
+            p.free(PAddr::new(999_999_999)),
+            Err(PmemError::InvalidFree { .. })
+        ));
+    }
+
+    #[test]
+    fn out_of_memory_is_reported() {
+        let p = PmemPool::create(PoolOptions::performance(8192)).unwrap();
+        let mut got = 0;
+        loop {
+            match p.alloc(1024) {
+                Ok(_) => got += 1,
+                Err(PmemError::OutOfMemory { .. }) => break,
+                Err(e) => panic!("unexpected error: {e}"),
+            }
+            assert!(got < 100, "should exhaust an 8 KiB pool quickly");
+        }
+        assert!(got >= 1);
+    }
+
+    #[test]
+    fn alloc_metadata_survives_adversarial_crash() {
+        let p = pool();
+        let a = p.alloc(64).unwrap();
+        p.write_u64(a, 42).unwrap();
+        p.persist(a, 8).unwrap();
+        let p2 = p.crash(&CrashConfig::drop_all(1)).unwrap();
+        assert_eq!(p2.read_u64(a).unwrap(), 42);
+        // The recovered allocator must not hand the same block out again.
+        let b = p2.alloc(64).unwrap();
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn redo_replay_is_idempotent() {
+        let p = pool();
+        let a = p.alloc(64).unwrap();
+        p.free(a).unwrap();
+        let mut media = p.media_snapshot();
+        // Arm a fake in-flight pop of `a` and replay twice.
+        let next = get_u64(&media, a.offset());
+        put_u64(&mut media, layout::ALLOC_REDO + 8, OP_POP);
+        put_u64(&mut media, layout::ALLOC_REDO + 16, 2); // class 64 -> idx 2
+        put_u64(&mut media, layout::ALLOC_REDO + 24, a.offset());
+        put_u64(&mut media, layout::ALLOC_REDO + 32, next);
+        put_u64(&mut media, layout::ALLOC_REDO + 40, 64);
+        put_u64(&mut media, layout::ALLOC_REDO, 1);
+        let mut twice = media.clone();
+        replay_redo(&mut media);
+        replay_redo(&mut twice);
+        replay_redo(&mut twice);
+        assert_eq!(media, twice);
+        let p2 = PmemPool::open_from_media(media, PoolMode::CrashSim).unwrap();
+        let b = p2.alloc(64).unwrap();
+        assert_ne!(a, b, "replayed pop removed the block from the free list");
+    }
+
+    #[test]
+    fn unpublished_reservation_rolls_back_on_crash() {
+        let p = pool();
+        let r = p.reserve(64).unwrap();
+        p.write_u64(r, 9).unwrap();
+        p.persist(r, 8).unwrap(); // data persisted, metadata not
+        let p2 = p.crash(&CrashConfig::drop_all(2)).unwrap();
+        // The block was never allocated as far as the media is concerned.
+        let again = p2.alloc(64).unwrap();
+        assert_eq!(again, r, "rolled-back reservation is handed out afresh");
+    }
+
+    #[test]
+    fn published_reservation_survives_crash() {
+        let p = pool();
+        let r = p.reserve(64).unwrap();
+        p.write_u64(r, 9).unwrap();
+        p.flush(r, 8).unwrap();
+        p.publish(&[r]).unwrap();
+        p.fence(); // commit point
+        let p2 = p.crash(&CrashConfig::drop_all(3)).unwrap();
+        assert_eq!(p2.read_u64(r).unwrap(), 9);
+        let b = p2.alloc(64).unwrap();
+        assert_ne!(b, r, "published block is off the free structures");
+        // And it can be freed normally after recovery.
+        p2.free(r).unwrap();
+    }
+
+    #[test]
+    fn reserve_from_free_list_then_crash_restores_list() {
+        let p = pool();
+        let a = p.alloc(64).unwrap();
+        p.free(a).unwrap();
+        let r = p.reserve(64).unwrap();
+        assert_eq!(r, a, "reservation pops the freed block");
+        let p2 = p.crash(&CrashConfig::drop_all(4)).unwrap();
+        let again = p2.alloc(64).unwrap();
+        assert_eq!(again, a, "free list head restored after crash");
+    }
+
+    #[test]
+    fn cancel_returns_block_to_mirror() {
+        let p = pool();
+        let a = p.alloc(64).unwrap();
+        p.free(a).unwrap();
+        let r = p.reserve(64).unwrap();
+        p.cancel(&[r]).unwrap();
+        let again = p.reserve(64).unwrap();
+        assert_eq!(again, r);
+    }
+
+    #[test]
+    fn cancel_of_frontier_block_rolls_frontier_back() {
+        let p = pool();
+        let used_before = p.heap_used();
+        let r = p.reserve(64).unwrap();
+        p.cancel(&[r]).unwrap();
+        assert_eq!(p.heap_used(), used_before);
+    }
+
+    #[test]
+    fn publish_rejects_unreserved_address() {
+        let p = pool();
+        let a = p.alloc(64).unwrap();
+        assert!(matches!(
+            p.publish(&[a]),
+            Err(PmemError::InvalidFree { .. })
+        ));
+    }
+
+    #[test]
+    fn reserve_costs_no_fences() {
+        let p = pool();
+        let before = p.stats().snapshot();
+        let _ = p.reserve(64).unwrap();
+        let d = p.stats().snapshot().delta(&before);
+        assert_eq!(d.fences, 0);
+        assert_eq!(d.flushes, 0);
+    }
+
+    #[test]
+    fn huge_alloc_round_trips() {
+        let p = pool();
+        let a = p.alloc(10_000).unwrap();
+        p.write_bytes(a, &[0x7F; 10_000]).unwrap();
+        assert_eq!(p.read_bytes(a, 10_000).unwrap(), vec![0x7F; 10_000]);
+        p.free(a).unwrap();
+        let b = p.alloc(10_000).unwrap();
+        assert_eq!(a, b, "huge block reused");
+    }
+
+    #[test]
+    fn huge_blocks_reuse_only_exact_capacities() {
+        let p = pool();
+        let small_huge = p.alloc(8_000).unwrap(); // rounds to 8 KiB
+        p.free(small_huge).unwrap();
+        // A larger request must NOT reuse the freed 8 KiB block.
+        let bigger = p.alloc(12_000).unwrap();
+        p.write_bytes(bigger, &[0xEE; 12_000]).unwrap();
+        assert_ne!(bigger, small_huge, "capacity-mismatched reuse would overlap");
+        // An exact-capacity request does reuse it.
+        let again = p.alloc(8_000).unwrap();
+        assert_eq!(again, small_huge);
+        // And the larger block's payload is intact.
+        assert_eq!(p.read_bytes(bigger, 12_000).unwrap(), vec![0xEE; 12_000]);
+    }
+
+    #[test]
+    fn growing_reallocation_pattern_stays_disjoint() {
+        // The vacation customer-list pattern: free an N-byte buffer, then
+        // allocate N+delta — repeatedly, across the huge threshold.
+        let p = PmemPool::create(PoolOptions::performance(8 << 20)).unwrap();
+        let mut cur = p.alloc(64).unwrap();
+        let mut size = 64u64;
+        let sentinel = p.alloc(64).unwrap();
+        p.write_bytes(sentinel, &[0xAA; 64]).unwrap();
+        for step in 0..40u64 {
+            let bigger = size + 512;
+            let next = p.alloc(bigger).unwrap();
+            p.write_bytes(next, &vec![step as u8; bigger as usize]).unwrap();
+            p.free(cur).unwrap();
+            cur = next;
+            size = bigger;
+            assert_eq!(
+                p.read_bytes(sentinel, 64).unwrap(),
+                vec![0xAA; 64],
+                "step {step} corrupted an unrelated block"
+            );
+        }
+        assert_eq!(p.read_bytes(cur, size).unwrap(), vec![39u8; size as usize]);
+    }
+
+    #[test]
+    fn check_heap_accounts_for_allocs_and_frees() {
+        let p = pool();
+        let a = p.alloc(64).unwrap();
+        let b = p.alloc(500).unwrap();
+        let c = p.alloc(10_000).unwrap();
+        p.free(b).unwrap();
+        let r = p.check_heap().unwrap();
+        assert_eq!(r.allocated_blocks, 2);
+        assert_eq!(r.free_blocks, 1);
+        assert_eq!(r.free_blocks_listed, 1, "freed block must be listed");
+        let _ = (a, c);
+    }
+
+    #[test]
+    fn check_heap_passes_after_adversarial_crash() {
+        let p = pool();
+        let a = p.alloc(128).unwrap();
+        p.free(a).unwrap();
+        let _r1 = p.reserve(128).unwrap(); // unpublished at crash
+        let _r2 = p.reserve(5000).unwrap();
+        let crashed = p.crash(&CrashConfig::drop_all(77)).unwrap();
+        let p2 = PmemPool::open_from_media(crashed.media_snapshot(), PoolMode::CrashSim).unwrap();
+        let r = p2.check_heap().unwrap();
+        // The reservation rolled back: the freed block is free and listed.
+        assert_eq!(r.free_blocks, r.free_blocks_listed);
+    }
+
+    #[test]
+    fn many_allocs_do_not_overlap() {
+        let p = PmemPool::create(PoolOptions::performance(1 << 22)).unwrap();
+        let mut addrs = Vec::new();
+        for i in 0..200u64 {
+            let size = 16 + (i % 300);
+            let a = p.alloc(size).unwrap();
+            addrs.push((a, size.max(8)));
+        }
+        for (i, &(a, _)) in addrs.iter().enumerate() {
+            p.write_u64(a, i as u64 + 1).unwrap();
+        }
+        for (i, &(a, _)) in addrs.iter().enumerate() {
+            assert_eq!(p.read_u64(a).unwrap(), i as u64 + 1);
+        }
+    }
+}

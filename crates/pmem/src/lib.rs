@@ -1,0 +1,54 @@
+//! Simulated persistent memory (NVM) substrate for the Clobber-NVM
+//! reproduction.
+//!
+//! Real persistent memory (e.g. Intel Optane DC PMM) exposes storage through
+//! the load/store interface, with a volatile CPU cache in front of it: a
+//! store is durable only once its cache line has been written back (via
+//! `clwb`/`clflush`) and ordered (via `sfence`). This crate models exactly
+//! that contract in software:
+//!
+//! * [`PmemPool`] is a byte-addressable pool with a persistent *media* array
+//!   and, in [`PoolMode::CrashSim`], a simulated volatile cache in front of
+//!   it. Writes land in the cache; [`PmemPool::flush`] initiates write-back;
+//!   [`PmemPool::fence`] makes previously flushed lines durable.
+//! * [`PmemPool::crash`] simulates a power failure: flushed-but-unfenced and
+//!   dirty-unflushed lines survive only with a configurable (seeded)
+//!   probability, everything else is dropped — reproducing torn states.
+//! * [`alloc`] provides a crash-consistent persistent heap allocator with a
+//!   micro write-ahead redo record, in the spirit of PMDK's allocator.
+//! * [`ulog`] provides a PMDK-style undo-log buffer, the primitive on which
+//!   Clobber-NVM's `clobber_log` is built (paper §4.2).
+//! * [`stats::PmemStats`] counts every persistence event (flushes, fences,
+//!   media bytes) — the quantities the paper's evaluation attributes
+//!   performance to.
+//!
+//! # Example
+//!
+//! ```
+//! use clobber_pmem::{PmemPool, PoolOptions};
+//!
+//! # fn main() -> Result<(), clobber_pmem::PmemError> {
+//! let pool = PmemPool::create(PoolOptions::crash_sim(1 << 20))?;
+//! let addr = pool.alloc(64)?;
+//! pool.write_u64(addr, 42)?;
+//! pool.persist(addr, 8)?; // flush + fence: now durable
+//! assert_eq!(pool.read_u64(addr)?, 42);
+//! # Ok(())
+//! # }
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod addr;
+pub mod alloc;
+pub mod crash;
+pub mod pool;
+pub mod stats;
+pub mod ulog;
+
+pub use addr::{PAddr, CACHE_LINE};
+pub use alloc::HeapReport;
+pub use crash::CrashConfig;
+pub use pool::{PmemError, PmemPool, PoolMode, PoolOptions};
+pub use stats::{PmemStats, StatsSnapshot};
+pub use ulog::Ulog;

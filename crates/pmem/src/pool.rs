@@ -1,0 +1,737 @@
+//! The persistent memory pool: media, simulated cache, flush/fence, crash.
+
+use std::collections::HashMap;
+use std::error::Error;
+use std::fmt;
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::addr::{lines_for_range, PAddr, CACHE_LINE};
+use crate::alloc::Mirror;
+use crate::crash::CrashConfig;
+use crate::stats::PmemStats;
+
+/// Magic value identifying a valid pool header.
+const POOL_MAGIC: u64 = 0xC10B_BE12_0000_0001;
+
+/// Pool header layout (offsets within the pool).
+pub(crate) mod layout {
+    /// `u64` magic number.
+    pub const MAGIC: u64 = 0;
+    /// `u64` pool capacity in bytes.
+    pub const CAPACITY: u64 = 8;
+    /// `u64` root object address.
+    pub const ROOT: u64 = 16;
+    /// `u64` allocation frontier.
+    pub const FRONTIER: u64 = 24;
+    /// 64-byte allocator redo record.
+    pub const ALLOC_REDO: u64 = 64;
+    /// Free-list heads: one `u64` per size class, then the huge-list head.
+    pub const FREE_HEADS: u64 = 128;
+    /// First byte available to the heap.
+    pub const HEAP_BASE: u64 = 256;
+}
+
+/// Whether the pool models the volatile cache or runs at full speed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PoolMode {
+    /// Writes go straight to media; flushes/fences only bump counters.
+    /// Crash simulation is a no-op (everything is always durable), so this
+    /// mode is for throughput experiments, not crash testing.
+    Performance,
+    /// Writes land in a simulated volatile cache; only flushed-and-fenced
+    /// lines are guaranteed durable; [`PmemPool::crash`] produces torn
+    /// states. Use for failure-atomicity testing.
+    CrashSim,
+}
+
+/// Configuration for [`PmemPool::create`].
+///
+/// # Example
+///
+/// ```
+/// use clobber_pmem::{PoolMode, PoolOptions};
+///
+/// let opts = PoolOptions::crash_sim(1 << 20);
+/// assert_eq!(opts.mode, PoolMode::CrashSim);
+/// assert_eq!(opts.capacity, 1 << 20);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PoolOptions {
+    /// Pool size in bytes. Must be at least 4 KiB.
+    pub capacity: u64,
+    /// Cache-modeling mode.
+    pub mode: PoolMode,
+}
+
+impl PoolOptions {
+    /// Options for a performance-mode pool of `capacity` bytes.
+    pub fn performance(capacity: u64) -> Self {
+        PoolOptions {
+            capacity,
+            mode: PoolMode::Performance,
+        }
+    }
+
+    /// Options for a crash-simulation pool of `capacity` bytes.
+    pub fn crash_sim(capacity: u64) -> Self {
+        PoolOptions {
+            capacity,
+            mode: PoolMode::CrashSim,
+        }
+    }
+}
+
+/// Errors returned by pool operations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PmemError {
+    /// An access fell outside the pool.
+    OutOfBounds {
+        /// Start offset of the faulting access.
+        addr: u64,
+        /// Length of the faulting access.
+        len: u64,
+        /// Pool capacity.
+        capacity: u64,
+    },
+    /// The persistent heap cannot satisfy an allocation.
+    OutOfMemory {
+        /// Requested payload size in bytes.
+        requested: u64,
+    },
+    /// `free` was called on an address that is not an allocated block.
+    InvalidFree {
+        /// The faulting address.
+        addr: u64,
+    },
+    /// A log buffer ran out of space.
+    LogFull {
+        /// Bytes that did not fit.
+        needed: u64,
+        /// Log capacity in bytes.
+        capacity: u64,
+    },
+    /// The pool header or allocator metadata failed validation.
+    CorruptPool(String),
+    /// The requested capacity is too small to hold the pool metadata.
+    CapacityTooSmall {
+        /// Requested capacity.
+        requested: u64,
+        /// Minimum supported capacity.
+        minimum: u64,
+    },
+}
+
+impl fmt::Display for PmemError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PmemError::OutOfBounds {
+                addr,
+                len,
+                capacity,
+            } => write!(
+                f,
+                "access [{addr:#x}, {:#x}) out of bounds for pool of {capacity} bytes",
+                addr + len
+            ),
+            PmemError::OutOfMemory { requested } => {
+                write!(f, "persistent heap exhausted allocating {requested} bytes")
+            }
+            PmemError::InvalidFree { addr } => {
+                write!(f, "free of {addr:#x} which is not an allocated block")
+            }
+            PmemError::LogFull { needed, capacity } => {
+                write!(f, "log buffer of {capacity} bytes cannot fit {needed} more bytes")
+            }
+            PmemError::CorruptPool(why) => write!(f, "corrupt pool: {why}"),
+            PmemError::CapacityTooSmall { requested, minimum } => write!(
+                f,
+                "pool capacity {requested} below the minimum of {minimum} bytes"
+            ),
+        }
+    }
+}
+
+impl Error for PmemError {}
+
+/// State of one simulated cache line.
+#[derive(Debug, Clone)]
+struct CacheLine {
+    data: Vec<u8>,
+    /// Modified since last write-back.
+    dirty: bool,
+    /// A flush was issued but no fence has ordered it yet.
+    flush_pending: bool,
+}
+
+/// Mutable pool state behind the lock.
+pub(crate) struct PoolInner {
+    pub(crate) media: Vec<u8>,
+    /// Simulated cache, keyed by line index. Empty in performance mode.
+    cache: HashMap<u64, CacheLine>,
+    /// Lines with a write-back in flight, drained by the next fence (so a
+    /// fence touches only what was flushed, not the whole cache).
+    pending_flushes: Vec<u64>,
+    /// Volatile mirror of the allocator metadata.
+    pub(crate) mirror: Mirror,
+}
+
+impl PoolInner {
+    /// Reads `buf.len()` bytes at `offset`, overlaying cached lines on media.
+    pub(crate) fn read_raw(&self, offset: u64, buf: &mut [u8]) {
+        let len = buf.len() as u64;
+        buf.copy_from_slice(&self.media[offset as usize..(offset + len) as usize]);
+        if self.cache.is_empty() {
+            return;
+        }
+        for line in lines_for_range(offset, len) {
+            if let Some(cl) = self.cache.get(&line) {
+                let line_start = line * CACHE_LINE;
+                let copy_start = line_start.max(offset);
+                let copy_end = (line_start + CACHE_LINE).min(offset + len);
+                let src = &cl.data[(copy_start - line_start) as usize..(copy_end - line_start) as usize];
+                buf[(copy_start - offset) as usize..(copy_end - offset) as usize]
+                    .copy_from_slice(src);
+            }
+        }
+    }
+
+    /// Writes `data` at `offset` into the cache (crash-sim) or media
+    /// (performance).
+    pub(crate) fn write_raw(&mut self, offset: u64, data: &[u8], mode: PoolMode) {
+        let len = data.len() as u64;
+        match mode {
+            PoolMode::Performance => {
+                self.media[offset as usize..(offset + len) as usize].copy_from_slice(data);
+            }
+            PoolMode::CrashSim => {
+                for line in lines_for_range(offset, len) {
+                    let line_start = line * CACHE_LINE;
+                    let cl = self.cache.entry(line).or_insert_with(|| {
+                        let s = line_start as usize;
+                        CacheLine {
+                            data: self.media[s..s + CACHE_LINE as usize].to_vec(),
+                            dirty: false,
+                            flush_pending: false,
+                        }
+                    });
+                    let copy_start = line_start.max(offset);
+                    let copy_end = (line_start + CACHE_LINE).min(offset + len);
+                    cl.data[(copy_start - line_start) as usize..(copy_end - line_start) as usize]
+                        .copy_from_slice(
+                            &data[(copy_start - offset) as usize..(copy_end - offset) as usize],
+                        );
+                    cl.dirty = true;
+                    // A store after a flush re-dirties the line; the earlier
+                    // flush no longer guarantees this data's durability.
+                    cl.flush_pending = false;
+                }
+            }
+        }
+    }
+
+    /// Marks the lines covering `[offset, offset+len)` as write-back
+    /// initiated. Returns the number of lines touched (for flush accounting).
+    pub(crate) fn flush_raw(&mut self, offset: u64, len: u64, mode: PoolMode) -> u64 {
+        let mut n = 0;
+        for line in lines_for_range(offset, len) {
+            n += 1;
+            if mode == PoolMode::CrashSim {
+                if let Some(cl) = self.cache.get_mut(&line) {
+                    if cl.dirty && !cl.flush_pending {
+                        cl.flush_pending = true;
+                        self.pending_flushes.push(line);
+                    }
+                }
+            }
+        }
+        n
+    }
+
+    /// Orders all pending flushes: their lines become durable on media.
+    pub(crate) fn fence_raw(&mut self) {
+        for line in self.pending_flushes.drain(..) {
+            if let Some(cl) = self.cache.get_mut(&line) {
+                if cl.flush_pending {
+                    let s = (line * CACHE_LINE) as usize;
+                    self.media[s..s + CACHE_LINE as usize].copy_from_slice(&cl.data);
+                    cl.dirty = false;
+                    cl.flush_pending = false;
+                }
+            }
+        }
+    }
+}
+
+/// A simulated persistent memory pool.
+///
+/// All methods take `&self`; internal state is protected by a mutex, so a
+/// pool can be shared across threads via [`Arc`]. See the
+/// [crate documentation](crate) for the durability contract.
+pub struct PmemPool {
+    mode: PoolMode,
+    capacity: u64,
+    stats: Arc<PmemStats>,
+    pub(crate) inner: Mutex<PoolInner>,
+}
+
+impl fmt::Debug for PmemPool {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("PmemPool")
+            .field("mode", &self.mode)
+            .field("capacity", &self.capacity)
+            .finish_non_exhaustive()
+    }
+}
+
+impl PmemPool {
+    /// Creates and formats a fresh pool.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PmemError::CapacityTooSmall`] if `opts.capacity` cannot hold
+    /// the pool metadata.
+    pub fn create(opts: PoolOptions) -> Result<PmemPool, PmemError> {
+        if opts.capacity < layout::HEAP_BASE + 4096 {
+            return Err(PmemError::CapacityTooSmall {
+                requested: opts.capacity,
+                minimum: layout::HEAP_BASE + 4096,
+            });
+        }
+        let mut media = vec![0u8; opts.capacity as usize];
+        put_u64(&mut media, layout::MAGIC, POOL_MAGIC);
+        put_u64(&mut media, layout::CAPACITY, opts.capacity);
+        put_u64(&mut media, layout::ROOT, 0);
+        put_u64(&mut media, layout::FRONTIER, layout::HEAP_BASE);
+        // Free-list heads and the redo record are already zero.
+        let mirror = Mirror::rebuild(&media);
+        Ok(PmemPool {
+            mode: opts.mode,
+            capacity: opts.capacity,
+            stats: Arc::new(PmemStats::new()),
+            inner: Mutex::new(PoolInner {
+                media,
+                cache: HashMap::new(),
+                pending_flushes: Vec::new(),
+                mirror,
+            }),
+        })
+    }
+
+    /// Reopens a pool from raw media contents, e.g. after a crash.
+    ///
+    /// Replays any in-flight allocator redo record and rebuilds the volatile
+    /// allocator mirror, mirroring what a PMDK pool open does.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PmemError::CorruptPool`] if the header fails validation.
+    pub fn open_from_media(mut media: Vec<u8>, mode: PoolMode) -> Result<PmemPool, PmemError> {
+        if media.len() < (layout::HEAP_BASE + 4096) as usize {
+            return Err(PmemError::CorruptPool("media shorter than metadata".into()));
+        }
+        if get_u64(&media, layout::MAGIC) != POOL_MAGIC {
+            return Err(PmemError::CorruptPool("bad magic".into()));
+        }
+        let capacity = get_u64(&media, layout::CAPACITY);
+        if capacity as usize != media.len() {
+            return Err(PmemError::CorruptPool(format!(
+                "header capacity {capacity} does not match media length {}",
+                media.len()
+            )));
+        }
+        crate::alloc::replay_redo(&mut media);
+        let mirror = Mirror::rebuild(&media);
+        Ok(PmemPool {
+            mode,
+            capacity,
+            stats: Arc::new(PmemStats::new()),
+            inner: Mutex::new(PoolInner {
+                media,
+                cache: HashMap::new(),
+                pending_flushes: Vec::new(),
+                mirror,
+            }),
+        })
+    }
+
+    /// The pool's cache-modeling mode.
+    pub fn mode(&self) -> PoolMode {
+        self.mode
+    }
+
+    /// The pool capacity in bytes.
+    pub fn capacity(&self) -> u64 {
+        self.capacity
+    }
+
+    /// The pool's persistence-event counters.
+    pub fn stats(&self) -> &Arc<PmemStats> {
+        &self.stats
+    }
+
+    fn check(&self, addr: PAddr, len: u64) -> Result<(), PmemError> {
+        let off = addr.offset();
+        if off.checked_add(len).is_none_or(|end| end > self.capacity) {
+            return Err(PmemError::OutOfBounds {
+                addr: off,
+                len,
+                capacity: self.capacity,
+            });
+        }
+        Ok(())
+    }
+
+    /// Reads `buf.len()` bytes starting at `addr`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PmemError::OutOfBounds`] if the range exceeds the pool.
+    pub fn read_into(&self, addr: PAddr, buf: &mut [u8]) -> Result<(), PmemError> {
+        self.check(addr, buf.len() as u64)?;
+        self.stats.bump(&self.stats.reads, 1);
+        self.stats.bump(&self.stats.read_bytes, buf.len() as u64);
+        self.inner.lock().read_raw(addr.offset(), buf);
+        Ok(())
+    }
+
+    /// Reads `len` bytes starting at `addr` into a fresh vector.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PmemError::OutOfBounds`] if the range exceeds the pool.
+    pub fn read_bytes(&self, addr: PAddr, len: u64) -> Result<Vec<u8>, PmemError> {
+        let mut buf = vec![0u8; len as usize];
+        self.read_into(addr, &mut buf)?;
+        Ok(buf)
+    }
+
+    /// Reads a little-endian `u64` at `addr`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PmemError::OutOfBounds`] if the range exceeds the pool.
+    pub fn read_u64(&self, addr: PAddr) -> Result<u64, PmemError> {
+        let mut buf = [0u8; 8];
+        self.read_into(addr, &mut buf)?;
+        Ok(u64::from_le_bytes(buf))
+    }
+
+    /// Stores `data` at `addr`. The store is *not* durable until the covering
+    /// lines are flushed and fenced (crash-sim mode).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PmemError::OutOfBounds`] if the range exceeds the pool.
+    pub fn write_bytes(&self, addr: PAddr, data: &[u8]) -> Result<(), PmemError> {
+        self.check(addr, data.len() as u64)?;
+        self.stats.bump(&self.stats.writes, 1);
+        self.stats.bump(&self.stats.write_bytes, data.len() as u64);
+        self.inner.lock().write_raw(addr.offset(), data, self.mode);
+        Ok(())
+    }
+
+    /// Stores a little-endian `u64` at `addr` (not durable until persisted).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PmemError::OutOfBounds`] if the range exceeds the pool.
+    pub fn write_u64(&self, addr: PAddr, value: u64) -> Result<(), PmemError> {
+        self.write_bytes(addr, &value.to_le_bytes())
+    }
+
+    /// Issues a `clwb`-style write-back for every line covering
+    /// `[addr, addr+len)`. Durability still requires a subsequent
+    /// [`fence`](Self::fence).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PmemError::OutOfBounds`] if the range exceeds the pool.
+    pub fn flush(&self, addr: PAddr, len: u64) -> Result<(), PmemError> {
+        self.check(addr, len)?;
+        let n = self.inner.lock().flush_raw(addr.offset(), len, self.mode);
+        self.stats.bump(&self.stats.flushes, n);
+        Ok(())
+    }
+
+    /// Issues an `sfence`: all previously flushed lines become durable.
+    pub fn fence(&self) {
+        self.stats.bump(&self.stats.fences, 1);
+        if self.mode == PoolMode::CrashSim {
+            self.inner.lock().fence_raw();
+        }
+    }
+
+    /// Flush-and-fence convenience: makes `[addr, addr+len)` durable.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PmemError::OutOfBounds`] if the range exceeds the pool.
+    pub fn persist(&self, addr: PAddr, len: u64) -> Result<(), PmemError> {
+        self.flush(addr, len)?;
+        self.fence();
+        Ok(())
+    }
+
+    /// Sets and persists the pool's root object address.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PmemError::OutOfBounds`] if the pool is corrupt.
+    pub fn set_root(&self, root: PAddr) -> Result<(), PmemError> {
+        self.write_u64(PAddr::new(layout::ROOT), root.offset())?;
+        self.persist(PAddr::new(layout::ROOT), 8)
+    }
+
+    /// Returns the pool's root object address ([`PAddr::NULL`] if unset).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PmemError::OutOfBounds`] if the pool is corrupt.
+    pub fn root(&self) -> Result<PAddr, PmemError> {
+        Ok(PAddr::new(self.read_u64(PAddr::new(layout::ROOT))?))
+    }
+
+    /// Simulates a power failure and reopen.
+    ///
+    /// Each flushed-but-unfenced line survives with probability
+    /// `cfg.p_flushed_unfenced`; each dirty unflushed line with probability
+    /// `cfg.p_dirty`; fenced data always survives. Returns the pool as a
+    /// freshly opened instance (volatile state discarded, allocator redo
+    /// replayed, mirror rebuilt). In performance mode all writes are already
+    /// on media, so the result is simply a clean reopen.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PmemError::CorruptPool`] if the surviving media fails header
+    /// validation (which would indicate a bug in this crate, not the caller).
+    pub fn crash(&self, cfg: &CrashConfig) -> Result<PmemPool, PmemError> {
+        let inner = self.inner.lock();
+        let mut media = inner.media.clone();
+        let mut rng = StdRng::seed_from_u64(cfg.seed);
+        // Deterministic iteration order: sort lines.
+        let mut lines: Vec<_> = inner.cache.iter().collect();
+        lines.sort_by_key(|(line, _)| **line);
+        for (line, cl) in lines {
+            let survives = if cl.flush_pending {
+                rng.gen_bool(cfg.p_flushed_unfenced)
+            } else if cl.dirty {
+                rng.gen_bool(cfg.p_dirty)
+            } else {
+                continue; // clean lines already match media
+            };
+            if survives {
+                let s = (*line * CACHE_LINE) as usize;
+                media[s..s + CACHE_LINE as usize].copy_from_slice(&cl.data);
+            }
+        }
+        drop(inner);
+        PmemPool::open_from_media(media, self.mode)
+    }
+
+    /// Returns a copy of the durable media contents (what a crash with
+    /// [`CrashConfig::drop_all`] would preserve, before redo replay).
+    pub fn media_snapshot(&self) -> Vec<u8> {
+        self.inner.lock().media.clone()
+    }
+}
+
+pub(crate) fn get_u64(media: &[u8], offset: u64) -> u64 {
+    let s = offset as usize;
+    u64::from_le_bytes(media[s..s + 8].try_into().expect("8-byte slice"))
+}
+
+pub(crate) fn put_u64(media: &mut [u8], offset: u64, value: u64) {
+    let s = offset as usize;
+    media[s..s + 8].copy_from_slice(&value.to_le_bytes());
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn crash_pool() -> PmemPool {
+        PmemPool::create(PoolOptions::crash_sim(1 << 20)).expect("create")
+    }
+
+    #[test]
+    fn create_rejects_tiny_capacity() {
+        let err = PmemPool::create(PoolOptions::performance(64)).unwrap_err();
+        assert!(matches!(err, PmemError::CapacityTooSmall { .. }));
+    }
+
+    #[test]
+    fn read_back_what_was_written() {
+        let p = crash_pool();
+        let a = PAddr::new(4096);
+        p.write_bytes(a, b"hello pmem").unwrap();
+        assert_eq!(p.read_bytes(a, 10).unwrap(), b"hello pmem");
+    }
+
+    #[test]
+    fn out_of_bounds_access_is_rejected() {
+        let p = crash_pool();
+        let near_end = PAddr::new(p.capacity() - 4);
+        assert!(matches!(
+            p.write_u64(near_end, 1),
+            Err(PmemError::OutOfBounds { .. })
+        ));
+        assert!(matches!(
+            p.read_u64(near_end),
+            Err(PmemError::OutOfBounds { .. })
+        ));
+        // Overflowing offsets must not panic.
+        assert!(p.read_u64(PAddr::new(u64::MAX - 2)).is_err());
+    }
+
+    #[test]
+    fn unfenced_write_is_dropped_by_adversarial_crash() {
+        let p = crash_pool();
+        let a = PAddr::new(4096);
+        p.write_u64(a, 0xdead).unwrap();
+        // Not flushed, not fenced: an adversarial crash drops it.
+        let p2 = p.crash(&CrashConfig::drop_all(1)).unwrap();
+        assert_eq!(p2.read_u64(a).unwrap(), 0);
+    }
+
+    #[test]
+    fn flushed_but_unfenced_write_may_be_dropped() {
+        let p = crash_pool();
+        let a = PAddr::new(4096);
+        p.write_u64(a, 0xdead).unwrap();
+        p.flush(a, 8).unwrap();
+        let p2 = p.crash(&CrashConfig::drop_all(2)).unwrap();
+        assert_eq!(p2.read_u64(a).unwrap(), 0, "flush without fence is not durable");
+    }
+
+    #[test]
+    fn persisted_write_survives_any_crash() {
+        let p = crash_pool();
+        let a = PAddr::new(4096);
+        p.write_u64(a, 0xbeef).unwrap();
+        p.persist(a, 8).unwrap();
+        let p2 = p.crash(&CrashConfig::drop_all(3)).unwrap();
+        assert_eq!(p2.read_u64(a).unwrap(), 0xbeef);
+    }
+
+    #[test]
+    fn write_after_flush_redirties_the_line() {
+        let p = crash_pool();
+        let a = PAddr::new(4096);
+        p.write_u64(a, 1).unwrap();
+        p.flush(a, 8).unwrap();
+        p.write_u64(a, 2).unwrap(); // re-dirties; earlier flush is void
+        p.fence();
+        let p2 = p.crash(&CrashConfig::drop_all(4)).unwrap();
+        // Neither value is guaranteed, but the *old flush* must not have
+        // persisted value 2; with drop_all the line reverts to 0.
+        assert_eq!(p2.read_u64(a).unwrap(), 0);
+    }
+
+    #[test]
+    fn keep_all_crash_preserves_even_unflushed_writes() {
+        let p = crash_pool();
+        let a = PAddr::new(4096);
+        p.write_u64(a, 77).unwrap();
+        let p2 = p.crash(&CrashConfig::keep_all(5)).unwrap();
+        assert_eq!(p2.read_u64(a).unwrap(), 77);
+    }
+
+    #[test]
+    fn torn_multi_line_write_can_partially_survive() {
+        let p = crash_pool();
+        // Two writes on different lines, only the first is persisted.
+        let a = PAddr::new(4096);
+        let b = PAddr::new(4096 + 64);
+        p.write_u64(a, 11).unwrap();
+        p.write_u64(b, 22).unwrap();
+        p.persist(a, 8).unwrap();
+        let p2 = p.crash(&CrashConfig::drop_all(6)).unwrap();
+        assert_eq!(p2.read_u64(a).unwrap(), 11);
+        assert_eq!(p2.read_u64(b).unwrap(), 0, "unpersisted line torn away");
+    }
+
+    #[test]
+    fn reads_see_cached_writes_before_persistence() {
+        let p = crash_pool();
+        let a = PAddr::new(8192);
+        p.write_u64(a, 5).unwrap();
+        assert_eq!(p.read_u64(a).unwrap(), 5, "program order visibility");
+    }
+
+    #[test]
+    fn performance_mode_crash_keeps_everything() {
+        let p = PmemPool::create(PoolOptions::performance(1 << 20)).unwrap();
+        let a = PAddr::new(4096);
+        p.write_u64(a, 9).unwrap();
+        let p2 = p.crash(&CrashConfig::drop_all(7)).unwrap();
+        assert_eq!(p2.read_u64(a).unwrap(), 9);
+    }
+
+    #[test]
+    fn stats_count_flushes_and_fences() {
+        let p = crash_pool();
+        let a = PAddr::new(4096);
+        p.write_bytes(a, &[0u8; 130]).unwrap();
+        let before = p.stats().snapshot();
+        p.flush(a, 130).unwrap(); // 3 lines
+        p.fence();
+        let d = p.stats().snapshot().delta(&before);
+        assert_eq!(d.flushes, 3);
+        assert_eq!(d.fences, 1);
+    }
+
+    #[test]
+    fn root_round_trips_and_survives_crash() {
+        let p = crash_pool();
+        p.set_root(PAddr::new(12345)).unwrap();
+        let p2 = p.crash(&CrashConfig::drop_all(8)).unwrap();
+        assert_eq!(p2.root().unwrap(), PAddr::new(12345));
+    }
+
+    #[test]
+    fn open_rejects_bad_magic() {
+        let media = vec![0u8; 1 << 20];
+        assert!(matches!(
+            PmemPool::open_from_media(media, PoolMode::CrashSim),
+            Err(PmemError::CorruptPool(_))
+        ));
+    }
+
+    #[test]
+    fn open_rejects_capacity_mismatch() {
+        let p = crash_pool();
+        let mut media = p.media_snapshot();
+        media.truncate((1 << 20) - 64);
+        assert!(matches!(
+            PmemPool::open_from_media(media, PoolMode::CrashSim),
+            Err(PmemError::CorruptPool(_))
+        ));
+    }
+
+    #[test]
+    fn crash_is_deterministic_per_seed() {
+        let make = || {
+            let p = crash_pool();
+            for i in 0..64u64 {
+                p.write_u64(PAddr::new(4096 + i * 64), i + 1).unwrap();
+            }
+            p
+        };
+        let cfg = CrashConfig::with_seed(42);
+        let m1 = make().crash(&cfg).unwrap().media_snapshot();
+        let m2 = make().crash(&cfg).unwrap().media_snapshot();
+        assert_eq!(m1, m2);
+    }
+
+    #[test]
+    fn error_display_is_lowercase_and_informative() {
+        let e = PmemError::OutOfMemory { requested: 100 };
+        let msg = format!("{e}");
+        assert!(msg.contains("100"));
+        assert!(msg.starts_with(char::is_lowercase));
+    }
+}

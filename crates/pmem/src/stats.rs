@@ -1,0 +1,207 @@
+//! Persistence-event accounting.
+//!
+//! The paper's evaluation attributes performance differences between logging
+//! strategies to three quantities: the number of ordering fences, the number
+//! of cache-line flushes, and the number of bytes written/logged (§5.3).
+//! [`PmemStats`] counts all of them; [`StatsSnapshot`] captures a point-in-time
+//! copy so callers can compute per-operation deltas.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Shared, thread-safe persistence counters for one pool.
+///
+/// All counters are monotone. Logging-layer counters (`log_entries`,
+/// `log_bytes`, `vlog_entries`, `vlog_bytes`) are bumped by the runtime crate
+/// rather than the pool itself.
+#[derive(Debug, Default)]
+pub struct PmemStats {
+    /// Cache-line flushes issued (`clwb`-equivalents).
+    pub flushes: AtomicU64,
+    /// Ordering fences issued (`sfence`-equivalents).
+    pub fences: AtomicU64,
+    /// Store operations issued to the pool.
+    pub writes: AtomicU64,
+    /// Bytes stored to the pool.
+    pub write_bytes: AtomicU64,
+    /// Load operations issued to the pool.
+    pub reads: AtomicU64,
+    /// Bytes loaded from the pool.
+    pub read_bytes: AtomicU64,
+    /// Allocations served by the persistent heap.
+    pub allocs: AtomicU64,
+    /// Frees returned to the persistent heap.
+    pub frees: AtomicU64,
+    /// Log entries appended (undo/clobber/redo), bumped by the runtime.
+    pub log_entries: AtomicU64,
+    /// Log payload bytes appended, bumped by the runtime.
+    pub log_bytes: AtomicU64,
+    /// v_log entries recorded, bumped by the runtime.
+    pub vlog_entries: AtomicU64,
+    /// v_log payload bytes recorded, bumped by the runtime.
+    pub vlog_bytes: AtomicU64,
+    /// Reads redirected through a redo-log write set (Mnemosyne-style read
+    /// interposition), bumped by the runtime.
+    pub interposed_reads: AtomicU64,
+}
+
+impl PmemStats {
+    /// Creates zeroed counters.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Captures a point-in-time copy of all counters.
+    pub fn snapshot(&self) -> StatsSnapshot {
+        StatsSnapshot {
+            flushes: self.flushes.load(Ordering::Relaxed),
+            fences: self.fences.load(Ordering::Relaxed),
+            writes: self.writes.load(Ordering::Relaxed),
+            write_bytes: self.write_bytes.load(Ordering::Relaxed),
+            reads: self.reads.load(Ordering::Relaxed),
+            read_bytes: self.read_bytes.load(Ordering::Relaxed),
+            allocs: self.allocs.load(Ordering::Relaxed),
+            frees: self.frees.load(Ordering::Relaxed),
+            log_entries: self.log_entries.load(Ordering::Relaxed),
+            log_bytes: self.log_bytes.load(Ordering::Relaxed),
+            vlog_entries: self.vlog_entries.load(Ordering::Relaxed),
+            vlog_bytes: self.vlog_bytes.load(Ordering::Relaxed),
+            interposed_reads: self.interposed_reads.load(Ordering::Relaxed),
+        }
+    }
+
+    #[inline]
+    pub(crate) fn bump(&self, counter: &AtomicU64, by: u64) {
+        counter.fetch_add(by, Ordering::Relaxed);
+    }
+}
+
+/// A point-in-time copy of [`PmemStats`], with field meanings identical to
+/// the live counters.
+///
+/// # Example
+///
+/// ```
+/// use clobber_pmem::{PmemPool, PoolOptions};
+///
+/// # fn main() -> Result<(), clobber_pmem::PmemError> {
+/// let pool = PmemPool::create(PoolOptions::performance(1 << 20))?;
+/// let a = pool.alloc(64)?;
+/// let before = pool.stats().snapshot();
+/// pool.write_u64(a, 7)?;
+/// pool.persist(a, 8)?;
+/// let delta = pool.stats().snapshot().delta(&before);
+/// assert_eq!(delta.fences, 1);
+/// assert!(delta.flushes >= 1);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct StatsSnapshot {
+    /// Cache-line flushes issued.
+    pub flushes: u64,
+    /// Ordering fences issued.
+    pub fences: u64,
+    /// Store operations issued.
+    pub writes: u64,
+    /// Bytes stored.
+    pub write_bytes: u64,
+    /// Load operations issued.
+    pub reads: u64,
+    /// Bytes loaded.
+    pub read_bytes: u64,
+    /// Allocations served.
+    pub allocs: u64,
+    /// Frees returned.
+    pub frees: u64,
+    /// Log entries appended (undo/clobber/redo).
+    pub log_entries: u64,
+    /// Log payload bytes appended.
+    pub log_bytes: u64,
+    /// v_log records written.
+    pub vlog_entries: u64,
+    /// v_log payload bytes written.
+    pub vlog_bytes: u64,
+    /// Reads redirected through a redo write set.
+    pub interposed_reads: u64,
+}
+
+impl StatsSnapshot {
+    /// Computes `self - earlier`, field-wise.
+    ///
+    /// # Panics
+    ///
+    /// Panics in debug builds if `earlier` is not actually earlier (counter
+    /// values larger than `self`'s).
+    pub fn delta(&self, earlier: &StatsSnapshot) -> StatsSnapshot {
+        StatsSnapshot {
+            flushes: self.flushes - earlier.flushes,
+            fences: self.fences - earlier.fences,
+            writes: self.writes - earlier.writes,
+            write_bytes: self.write_bytes - earlier.write_bytes,
+            reads: self.reads - earlier.reads,
+            read_bytes: self.read_bytes - earlier.read_bytes,
+            allocs: self.allocs - earlier.allocs,
+            frees: self.frees - earlier.frees,
+            log_entries: self.log_entries - earlier.log_entries,
+            log_bytes: self.log_bytes - earlier.log_bytes,
+            vlog_entries: self.vlog_entries - earlier.vlog_entries,
+            vlog_bytes: self.vlog_bytes - earlier.vlog_bytes,
+            interposed_reads: self.interposed_reads - earlier.interposed_reads,
+        }
+    }
+
+    /// Total logged bytes across the clobber/undo/redo log and the v_log.
+    pub fn total_log_bytes(&self) -> u64 {
+        self.log_bytes + self.vlog_bytes
+    }
+
+    /// Total log entries across the clobber/undo/redo log and the v_log.
+    pub fn total_log_entries(&self) -> u64 {
+        self.log_entries + self.vlog_entries
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn snapshot_reflects_bumps() {
+        let s = PmemStats::new();
+        s.bump(&s.flushes, 3);
+        s.bump(&s.fences, 2);
+        s.bump(&s.write_bytes, 100);
+        let snap = s.snapshot();
+        assert_eq!(snap.flushes, 3);
+        assert_eq!(snap.fences, 2);
+        assert_eq!(snap.write_bytes, 100);
+        assert_eq!(snap.reads, 0);
+    }
+
+    #[test]
+    fn delta_subtracts_fieldwise() {
+        let s = PmemStats::new();
+        s.bump(&s.flushes, 5);
+        let a = s.snapshot();
+        s.bump(&s.flushes, 7);
+        s.bump(&s.log_bytes, 64);
+        let b = s.snapshot();
+        let d = b.delta(&a);
+        assert_eq!(d.flushes, 7);
+        assert_eq!(d.log_bytes, 64);
+        assert_eq!(d.fences, 0);
+    }
+
+    #[test]
+    fn totals_combine_log_and_vlog() {
+        let snap = StatsSnapshot {
+            log_entries: 3,
+            log_bytes: 24,
+            vlog_entries: 1,
+            vlog_bytes: 280,
+            ..Default::default()
+        };
+        assert_eq!(snap.total_log_entries(), 4);
+        assert_eq!(snap.total_log_bytes(), 304);
+    }
+}

@@ -1,0 +1,130 @@
+//! Property-based tests of the persistent allocator and the crash model.
+
+use clobber_pmem::{CrashConfig, PmemPool, PoolMode, PoolOptions};
+use proptest::prelude::*;
+
+#[derive(Debug, Clone)]
+enum AllocOp {
+    /// Allocate a block of the given size.
+    Alloc(u64),
+    /// Free the i-th live block (modulo the live count).
+    Free(usize),
+}
+
+fn ops_strategy() -> impl Strategy<Value = Vec<AllocOp>> {
+    proptest::collection::vec(
+        prop_oneof![
+            3 => (1u64..600).prop_map(AllocOp::Alloc),
+            2 => (0usize..64).prop_map(AllocOp::Free),
+        ],
+        1..60,
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 32, ..ProptestConfig::default() })]
+
+    /// Live blocks never overlap, data written to them round-trips, and
+    /// every free is accepted exactly once.
+    #[test]
+    fn allocations_are_disjoint_and_stable(ops in ops_strategy()) {
+        let pool = PmemPool::create(PoolOptions::performance(4 << 20)).unwrap();
+        let mut live: Vec<(clobber_pmem::PAddr, u64, u8)> = Vec::new();
+        let mut stamp = 1u8;
+        for op in ops {
+            match op {
+                AllocOp::Alloc(size) => {
+                    let a = pool.alloc(size).unwrap();
+                    // Disjointness against every live block.
+                    for (b, bsize, _) in &live {
+                        let (s1, e1) = (a.offset(), a.offset() + size);
+                        let (s2, e2) = (b.offset(), b.offset() + bsize);
+                        prop_assert!(e1 <= s2 || e2 <= s1, "overlap {a:?} and {b:?}");
+                    }
+                    pool.write_bytes(a, &vec![stamp; size as usize]).unwrap();
+                    live.push((a, size, stamp));
+                    stamp = stamp.wrapping_add(1).max(1);
+                }
+                AllocOp::Free(i) => {
+                    if live.is_empty() {
+                        continue;
+                    }
+                    let (a, _, _) = live.remove(i % live.len());
+                    pool.free(a).unwrap();
+                }
+            }
+            // All live payloads intact after every step.
+            for (a, size, s) in &live {
+                let data = pool.read_bytes(*a, *size).unwrap();
+                prop_assert!(data.iter().all(|b| b == s), "payload of {a:?} torn");
+            }
+        }
+    }
+
+    /// Persisted data survives adversarial crashes regardless of allocator
+    /// traffic, and the reopened allocator still works.
+    #[test]
+    fn persisted_blocks_survive_crash(sizes in proptest::collection::vec(1u64..300, 1..20), seed in 0u64..1000) {
+        let pool = PmemPool::create(PoolOptions::crash_sim(4 << 20)).unwrap();
+        let mut blocks = Vec::new();
+        for (i, size) in sizes.iter().enumerate() {
+            let a = pool.alloc(*size).unwrap();
+            pool.write_bytes(a, &vec![i as u8 ^ 0x55; *size as usize]).unwrap();
+            pool.persist(a, *size).unwrap();
+            blocks.push((a, *size, i as u8 ^ 0x55));
+        }
+        let crashed = pool.crash(&CrashConfig::drop_all(seed)).unwrap();
+        let pool2 = PmemPool::open_from_media(crashed.media_snapshot(), PoolMode::CrashSim).unwrap();
+        for (a, size, stamp) in &blocks {
+            let data = pool2.read_bytes(*a, *size).unwrap();
+            prop_assert!(data.iter().all(|b| b == stamp));
+        }
+        // The recovered allocator does not hand out any persisted block.
+        let fresh = pool2.alloc(128).unwrap();
+        for (a, size, _) in &blocks {
+            let (s1, e1) = (fresh.offset(), fresh.offset() + 128);
+            let (s2, e2) = (a.offset(), a.offset() + size);
+            prop_assert!(e1 <= s2 || e2 <= s1);
+        }
+    }
+
+    /// Reserve/cancel leaves the allocator exactly where it started.
+    #[test]
+    fn reserve_cancel_is_idempotent(sizes in proptest::collection::vec(1u64..300, 1..16)) {
+        let pool = PmemPool::create(PoolOptions::performance(4 << 20)).unwrap();
+        let used_before = pool.heap_used();
+        let reserved: Vec<_> = sizes.iter().map(|s| pool.reserve(*s).unwrap()).collect();
+        // Cancel in reverse order (LIFO), as a cleanly aborting transaction
+        // would.
+        for b in reserved.iter().rev() {
+            pool.cancel(&[*b]).unwrap();
+        }
+        prop_assert_eq!(pool.heap_used(), used_before);
+    }
+
+    /// The crash model is monotone: anything durable under `drop_all`
+    /// is also durable under any milder policy with the same seed.
+    #[test]
+    fn crash_policies_are_monotone(seed in 0u64..500) {
+        let make = || {
+            let pool = PmemPool::create(PoolOptions::crash_sim(1 << 20)).unwrap();
+            for i in 0..32u64 {
+                pool.write_u64(clobber_pmem::PAddr::new(4096 + i * 64), i + 1).unwrap();
+                if i % 3 == 0 {
+                    pool.persist(clobber_pmem::PAddr::new(4096 + i * 64), 8).unwrap();
+                }
+            }
+            pool
+        };
+        let hard = make().crash(&CrashConfig::drop_all(seed)).unwrap();
+        let soft = make().crash(&CrashConfig::keep_all(seed)).unwrap();
+        for i in 0..32u64 {
+            let addr = clobber_pmem::PAddr::new(4096 + i * 64);
+            let h = hard.read_u64(addr).unwrap();
+            let s = soft.read_u64(addr).unwrap();
+            if h != 0 {
+                prop_assert_eq!(h, s, "durable data must agree across policies");
+            }
+        }
+    }
+}

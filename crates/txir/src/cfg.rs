@@ -1,0 +1,222 @@
+//! Control-flow graph, reverse postorder, and reachability.
+
+use crate::ir::{BlockId, Function, Terminator, ValueId};
+
+/// Control-flow graph of a [`Function`], with block reachability for the
+/// "successor write" test of the clobber pass (paper §4.4: candidate clobber
+/// writes are writes that *may be executed after* the input read — including
+/// through loop back edges).
+#[derive(Debug)]
+pub struct Cfg {
+    succs: Vec<Vec<BlockId>>,
+    preds: Vec<Vec<BlockId>>,
+    rpo: Vec<BlockId>,
+    /// `reach[a][b]`: a non-empty path a → b exists.
+    reach: Vec<Vec<bool>>,
+}
+
+impl Cfg {
+    /// Builds the CFG of `f`.
+    pub fn new(f: &Function) -> Cfg {
+        let n = f.blocks.len();
+        let mut succs = vec![Vec::new(); n];
+        let mut preds = vec![Vec::new(); n];
+        for (bi, b) in f.blocks.iter().enumerate() {
+            let from = BlockId(bi as u32);
+            let mut add = |to: BlockId| {
+                succs[from.0 as usize].push(to);
+                preds[to.0 as usize].push(from);
+            };
+            match &b.term {
+                Terminator::Br(t) => add(*t),
+                Terminator::CondBr { then_, else_, .. } => {
+                    add(*then_);
+                    if then_ != else_ {
+                        add(*else_);
+                    }
+                }
+                Terminator::Ret(_) => {}
+            }
+        }
+        // Reverse postorder from the entry.
+        let mut rpo = Vec::with_capacity(n);
+        let mut state = vec![0u8; n]; // 0 unvisited, 1 on stack, 2 done
+        let mut stack: Vec<(usize, usize)> = vec![(0, 0)];
+        state[0] = 1;
+        while let Some((b, i)) = stack.pop() {
+            if i < succs[b].len() {
+                stack.push((b, i + 1));
+                let nb = succs[b][i].0 as usize;
+                if state[nb] == 0 {
+                    state[nb] = 1;
+                    stack.push((nb, 0));
+                }
+            } else {
+                state[b] = 2;
+                rpo.push(BlockId(b as u32));
+            }
+        }
+        rpo.reverse();
+        // Reachability via BFS from every block (graphs here are small).
+        let mut reach = vec![vec![false; n]; n];
+        for start in 0..n {
+            let mut queue: Vec<usize> = succs[start].iter().map(|b| b.0 as usize).collect();
+            while let Some(b) = queue.pop() {
+                if !reach[start][b] {
+                    reach[start][b] = true;
+                    queue.extend(succs[b].iter().map(|s| s.0 as usize));
+                }
+            }
+        }
+        Cfg {
+            succs,
+            preds,
+            rpo,
+            reach,
+        }
+    }
+
+    /// Successor blocks of `b`.
+    pub fn succs(&self, b: BlockId) -> &[BlockId] {
+        &self.succs[b.0 as usize]
+    }
+
+    /// Predecessor blocks of `b`.
+    pub fn preds(&self, b: BlockId) -> &[BlockId] {
+        &self.preds[b.0 as usize]
+    }
+
+    /// Blocks in reverse postorder from the entry (unreachable blocks
+    /// excluded).
+    pub fn rpo(&self) -> &[BlockId] {
+        &self.rpo
+    }
+
+    /// `true` if a non-empty path `from → to` exists.
+    pub fn reaches(&self, from: BlockId, to: BlockId) -> bool {
+        self.reach[from.0 as usize][to.0 as usize]
+    }
+
+    /// `true` if instruction `b` may execute after instruction `a` on some
+    /// execution: later in the same block, in a block reachable from `a`'s
+    /// block, or again via a cycle through `a`'s own block.
+    pub fn may_follow(&self, f: &Function, a: ValueId, b: ValueId) -> bool {
+        let pos = f.positions();
+        let (ab, ai) = match pos[a.0 as usize] {
+            Some(p) => p,
+            None => return false,
+        };
+        let (bb, bi) = match pos[b.0 as usize] {
+            Some(p) => p,
+            None => return false,
+        };
+        if ab == bb && bi > ai {
+            return true;
+        }
+        // Through control flow (including a cycle back into a's own block).
+        self.reaches(ab, bb)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ir::{CmpOp, FuncBuilder};
+
+    /// entry -> header -> {body -> header, exit}
+    fn loop_fn() -> Function {
+        let mut b = FuncBuilder::new("l", 1);
+        let p = b.param(0);
+        let zero = b.constant(0);
+        let ten = b.constant(10);
+        let one = b.constant(1);
+        let header = b.new_block();
+        let body = b.new_block();
+        let exit = b.new_block();
+        b.br(header);
+        b.switch_to(header);
+        let i = b.phi(vec![(BlockId(0), zero)]);
+        let c = b.cmp(CmpOp::Lt, i, ten);
+        b.condbr(c, body, exit);
+        b.switch_to(body);
+        let v = b.load(p);
+        let v1 = b.add(v, one);
+        b.store(p, v1);
+        let i1 = b.add(i, one);
+        b.br(header);
+        b.set_phi_incoming(i, vec![(BlockId(0), zero), (body, i1)]);
+        b.switch_to(exit);
+        b.ret(None);
+        b.finish()
+    }
+
+    #[test]
+    fn succs_and_preds_match_terminators() {
+        let f = loop_fn();
+        let cfg = Cfg::new(&f);
+        assert_eq!(cfg.succs(BlockId(0)), &[BlockId(1)]);
+        assert_eq!(cfg.succs(BlockId(1)), &[BlockId(2), BlockId(3)]);
+        assert_eq!(cfg.preds(BlockId(1)).len(), 2, "entry and back edge");
+        assert!(cfg.succs(BlockId(3)).is_empty());
+    }
+
+    #[test]
+    fn rpo_starts_at_entry_and_covers_all() {
+        let f = loop_fn();
+        let cfg = Cfg::new(&f);
+        assert_eq!(cfg.rpo()[0], BlockId(0));
+        assert_eq!(cfg.rpo().len(), 4);
+    }
+
+    #[test]
+    fn reachability_includes_cycles() {
+        let f = loop_fn();
+        let cfg = Cfg::new(&f);
+        assert!(cfg.reaches(BlockId(0), BlockId(3)));
+        assert!(cfg.reaches(BlockId(2), BlockId(2)), "loop body reaches itself");
+        assert!(cfg.reaches(BlockId(1), BlockId(1)), "header in a cycle");
+        assert!(!cfg.reaches(BlockId(3), BlockId(0)), "exit reaches nothing");
+    }
+
+    #[test]
+    fn may_follow_handles_same_block_and_loops() {
+        let f = loop_fn();
+        let cfg = Cfg::new(&f);
+        let loads = f.loads();
+        let stores = f.stores();
+        let (load, store) = (loads[0], stores[0]);
+        assert!(cfg.may_follow(&f, load, store), "store after load in block");
+        assert!(
+            cfg.may_follow(&f, store, load),
+            "load may re-execute after store via the back edge"
+        );
+    }
+
+    #[test]
+    fn straight_line_may_follow_is_ordered() {
+        let mut b = FuncBuilder::new("s", 1);
+        let p = b.param(0);
+        let v = b.load(p);
+        b.store(p, v);
+        b.ret(None);
+        let f = b.finish();
+        let cfg = Cfg::new(&f);
+        let (l, s) = (f.loads()[0], f.stores()[0]);
+        assert!(cfg.may_follow(&f, l, s));
+        assert!(!cfg.may_follow(&f, s, l), "no path back in straight line");
+    }
+
+    #[test]
+    fn condbr_with_equal_targets_has_single_edge() {
+        let mut b = FuncBuilder::new("e", 0);
+        let c = b.constant(1);
+        let t = b.new_block();
+        b.condbr(c, t, t);
+        b.switch_to(t);
+        b.ret(None);
+        let f = b.finish();
+        let cfg = Cfg::new(&f);
+        assert_eq!(cfg.succs(BlockId(0)).len(), 1);
+        assert_eq!(cfg.preds(t).len(), 1);
+    }
+}

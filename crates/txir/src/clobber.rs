@@ -1,0 +1,375 @@
+//! Clobber-write identification and dependency-analysis refinement.
+//!
+//! This is the paper's central compiler contribution (§4.4):
+//!
+//! **Conservative identification** (Fig. 4) runs in two steps. First,
+//! *candidate input reads*: every load not dominated by a must-aliasing
+//! store could be the first access to a transaction input. Second,
+//! *candidate clobber writes*: for each candidate read, every store that may
+//! alias it and may execute after it (including via loop back edges) could
+//! overwrite that input. Both steps only over-approximate — a missed clobber
+//! write would be a safety bug, a spurious one only costs logging.
+//!
+//! **Refinement** (Fig. 5) removes two classes of false candidates:
+//!
+//! * *unexposed*: a store `W` dominates the candidate read `L` and must-
+//!   alias the candidate clobber `S`. If `S` really overwrites `L`'s
+//!   location, then so did `W` — before the read — so `L` was never an
+//!   input and `(L, S)` cannot be a real clobber.
+//! * *shadowed*: another clobber candidate `W` for the same read strictly
+//!   dominates `S`, and either must-aliases `S` or must-aliases `L`. If `S`
+//!   overwrites the input, `W` already overwrote (and logged) it first, so
+//!   `S` need not log. This is the pattern the paper observes in loops:
+//!   an input clobbered before/at loop entry does not need re-logging by a
+//!   dominated store. A shadower must itself still be instrumented, so
+//!   removal checks shadowers against the *live* candidate set.
+
+use std::collections::BTreeSet;
+
+use crate::alias::{AliasAnalysis, AliasResult};
+use crate::cfg::Cfg;
+use crate::dom::DomTree;
+use crate::ir::{Function, Inst, ValueId};
+
+/// Result of clobber-write identification.
+#[derive(Debug, Clone)]
+pub struct ClobberAnalysis {
+    /// Loads that may be the first access to a transaction input.
+    pub candidate_reads: Vec<ValueId>,
+    /// `(read, store)` candidate pairs that survived.
+    pub pairs: Vec<(ValueId, ValueId)>,
+    /// Stores to instrument with a clobber-log callback.
+    pub clobber_stores: BTreeSet<ValueId>,
+    /// Pairs removed as *unexposed* (0 before refinement).
+    pub removed_unexposed: usize,
+    /// Pairs removed as *shadowed* (0 before refinement).
+    pub removed_shadowed: usize,
+}
+
+fn addr_of(f: &Function, v: ValueId) -> ValueId {
+    match &f.insts[v.0 as usize] {
+        Inst::Load { addr } => *addr,
+        Inst::Store { addr, .. } => *addr,
+        _ => unreachable!("addr_of on non-memory instruction"),
+    }
+}
+
+/// Conservative candidate identification (paper Fig. 4).
+pub fn conservative(
+    f: &Function,
+    cfg: &Cfg,
+    dom: &DomTree,
+    aa: &AliasAnalysis,
+) -> ClobberAnalysis {
+    let loads = f.loads();
+    let stores = f.stores();
+    // Step 1: candidate input reads.
+    let mut candidate_reads = Vec::new();
+    for &l in &loads {
+        let la = addr_of(f, l);
+        let killed = stores.iter().any(|&s| {
+            dom.inst_dominates(s, l) && aa.alias(addr_of(f, s), la) == AliasResult::Must
+        });
+        if !killed {
+            candidate_reads.push(l);
+        }
+    }
+    // Step 2: candidate clobber writes.
+    let mut pairs = Vec::new();
+    for &l in &candidate_reads {
+        let la = addr_of(f, l);
+        for &s in &stores {
+            if aa.alias(addr_of(f, s), la) != AliasResult::No && cfg.may_follow(f, l, s) {
+                pairs.push((l, s));
+            }
+        }
+    }
+    let clobber_stores = pairs.iter().map(|&(_, s)| s).collect();
+    ClobberAnalysis {
+        candidate_reads,
+        pairs,
+        clobber_stores,
+        removed_unexposed: 0,
+        removed_shadowed: 0,
+    }
+}
+
+/// Dependency-analysis propagation (paper Fig. 5): removes unexposed and
+/// shadowed false candidates from a conservative analysis.
+pub fn refine(f: &Function, dom: &DomTree, aa: &AliasAnalysis, base: &ClobberAnalysis) -> ClobberAnalysis {
+    let stores = f.stores();
+    let mut pairs: Vec<(ValueId, ValueId)> = base.pairs.clone();
+    let mut removed_unexposed = 0;
+    let mut removed_shadowed = 0;
+
+    // Unexposed: W dominates L and Must(W, S) — if S hits L's address, W
+    // wrote it before the read, so L is not an input.
+    pairs.retain(|&(l, s)| {
+        let keep = !stores.iter().any(|&w| {
+            w != s
+                && dom.inst_dominates(w, l)
+                && aa.alias(addr_of(f, w), addr_of(f, s)) == AliasResult::Must
+        });
+        if !keep {
+            removed_unexposed += 1;
+        }
+        keep
+    });
+
+    // Shadowed: iterate to a fixpoint, only accepting *live* shadowers so a
+    // removed candidate can never justify removing another. Mutual shadowing
+    // is broken deterministically: within a pass the earlier (load, store)
+    // pair in the ordered list is examined first and survives if its only
+    // shadower was already removed this pass.
+    let mut changed = true;
+    while changed {
+        changed = false;
+        let mut i = 0;
+        while i < pairs.len() {
+            let (l, s) = pairs[i];
+            let la = addr_of(f, l);
+            let sa = addr_of(f, s);
+            let shadowed = pairs.iter().any(|&(wl, w)| {
+                wl == l
+                    && w != s
+                    && dom.inst_dominates(w, s)
+                    && (aa.alias(addr_of(f, w), sa) == AliasResult::Must
+                        || aa.alias(addr_of(f, w), la) == AliasResult::Must)
+            });
+            if shadowed {
+                pairs.remove(i);
+                removed_shadowed += 1;
+                changed = true;
+            } else {
+                i += 1;
+            }
+        }
+    }
+
+    let clobber_stores: BTreeSet<ValueId> = pairs.iter().map(|&(_, s)| s).collect();
+    let candidate_reads: Vec<ValueId> = {
+        let live: BTreeSet<ValueId> = pairs.iter().map(|&(l, _)| l).collect();
+        base.candidate_reads
+            .iter()
+            .copied()
+            .filter(|l| live.contains(l))
+            .collect()
+    };
+    ClobberAnalysis {
+        candidate_reads,
+        pairs,
+        clobber_stores,
+        removed_unexposed,
+        removed_shadowed,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ir::{CmpOp, FuncBuilder};
+
+    fn analyze(f: &Function) -> (ClobberAnalysis, ClobberAnalysis) {
+        let cfg = Cfg::new(f);
+        let dom = DomTree::new(f, &cfg);
+        let aa = AliasAnalysis::new(f);
+        let cons = conservative(f, &cfg, &dom, &aa);
+        let refined = refine(f, &dom, &aa, &cons);
+        (cons, refined)
+    }
+
+    #[test]
+    fn read_modify_write_is_a_clobber() {
+        let mut b = FuncBuilder::new("rmw", 1);
+        let p = b.param(0);
+        let v = b.load(p);
+        let one = b.constant(1);
+        let v1 = b.add(v, one);
+        b.store(p, v1);
+        b.ret(None);
+        let f = b.finish();
+        let (cons, refined) = analyze(&f);
+        assert_eq!(cons.clobber_stores.len(), 1);
+        assert_eq!(refined.clobber_stores.len(), 1, "a true clobber survives");
+    }
+
+    #[test]
+    fn store_to_fresh_allocation_is_never_a_clobber() {
+        // Paper Fig. 2a: only the head-pointer store clobbers.
+        let mut b = FuncBuilder::new("list_insert", 2);
+        let head = b.param(0);
+        let val = b.param(1);
+        let sz = b.constant(16);
+        let node = b.alloc(sz);
+        b.store(node, val); // node->val = val
+        let old = b.load(head);
+        let nxt = b.gep_const(node, 8);
+        b.store(nxt, old); // node->next = *head
+        b.store(head, node); // *head = node  <- the only clobber
+        b.ret(None);
+        let f = b.finish();
+        let (cons, refined) = analyze(&f);
+        assert_eq!(cons.clobber_stores.len(), 1);
+        assert_eq!(refined.clobber_stores.len(), 1);
+        let s = *refined.clobber_stores.iter().next().unwrap();
+        assert_eq!(addr_of(&f, s), head);
+    }
+
+    #[test]
+    fn read_dominated_by_must_store_is_not_an_input() {
+        let mut b = FuncBuilder::new("wrw", 1);
+        let p = b.param(0);
+        let c = b.constant(7);
+        b.store(p, c);
+        let v = b.load(p); // reads our own store: not an input
+        b.store(p, v);
+        b.ret(None);
+        let f = b.finish();
+        let (cons, _) = analyze(&f);
+        assert!(cons.candidate_reads.is_empty());
+        assert!(cons.clobber_stores.is_empty());
+    }
+
+    #[test]
+    fn unexposed_candidate_is_removed() {
+        // Paper Fig. 5 (left): store W to p (may alias q's read), read q,
+        // store S to p with Must(W, S). Conservatively S is a candidate;
+        // refinement proves the pair unexposed.
+        let mut b = FuncBuilder::new("unexposed", 2);
+        let p = b.param(0);
+        let q = b.param(1);
+        let c = b.constant(1);
+        b.store(p, c); // W
+        let v = b.load(q); // candidate read (W only may-alias q)
+        let v1 = b.add(v, c);
+        b.store(p, v1); // S: Must(W, S)
+        b.ret(None);
+        let f = b.finish();
+        let (cons, refined) = analyze(&f);
+        // W precedes the read, so only S pairs with it conservatively.
+        assert_eq!(cons.clobber_stores.len(), 1);
+        assert_eq!(refined.clobber_stores.len(), 0);
+        assert!(refined.removed_unexposed >= 1);
+    }
+
+    #[test]
+    fn shadowed_candidate_is_removed() {
+        // Paper Fig. 5 (right): read q, clobber W (must alias q), then S
+        // (must alias W). W logs; S is shadowed.
+        let mut b = FuncBuilder::new("shadowed", 1);
+        let q = b.param(0);
+        let v = b.load(q);
+        let one = b.constant(1);
+        let v1 = b.add(v, one);
+        b.store(q, v1); // W: true clobber
+        let v2 = b.add(v1, one);
+        b.store(q, v2); // S: shadowed by W
+        b.ret(None);
+        let f = b.finish();
+        let (cons, refined) = analyze(&f);
+        assert_eq!(cons.clobber_stores.len(), 2);
+        assert_eq!(refined.clobber_stores.len(), 1);
+        assert_eq!(refined.removed_shadowed, 1);
+        // The surviving store is the dominating one (W).
+        let survivor = *refined.clobber_stores.iter().next().unwrap();
+        assert_eq!(survivor, f.stores()[0]);
+    }
+
+    #[test]
+    fn loop_store_shadowed_by_preheader_clobber() {
+        // *cell = load(cell) + 1 before the loop; the loop stores to cell
+        // again each iteration. The pre-loop clobber dominates the loop
+        // store, so the paper's "first iteration clobbers, the rest need no
+        // log" shape: only one instrumented site after refinement.
+        let mut b = FuncBuilder::new("loop_update", 1);
+        let cell = b.param(0);
+        let v0 = b.load(cell);
+        let one = b.constant(1);
+        let ten = b.constant(10);
+        let v1 = b.add(v0, one);
+        let first_store = b.store(cell, v1); // W: dominates the loop
+        let header = b.new_block();
+        let body = b.new_block();
+        let exit = b.new_block();
+        let entry = b.current_block();
+        b.br(header);
+        b.switch_to(header);
+        let i = b.phi(vec![(entry, one)]);
+        let c = b.cmp(CmpOp::Lt, i, ten);
+        b.condbr(c, body, exit);
+        b.switch_to(body);
+        let cur = b.load(cell);
+        let nv = b.add(cur, one);
+        b.store(cell, nv); // S: shadowed by W (Must alias)
+        let i1 = b.add(i, one);
+        b.br(header);
+        b.set_phi_incoming(i, vec![(entry, one), (body, i1)]);
+        b.switch_to(exit);
+        b.ret(None);
+        let f = b.finish();
+        f.validate().unwrap();
+        let (cons, refined) = analyze(&f);
+        assert!(cons.clobber_stores.len() >= 2);
+        assert_eq!(
+            refined.clobber_stores.len(),
+            1,
+            "only the dominating clobber remains: {refined:?}"
+        );
+        assert!(refined.clobber_stores.contains(&first_store));
+    }
+
+    #[test]
+    fn may_aliasing_pointers_stay_conservative() {
+        // Two distinct params: p may alias q, so storing through p after
+        // reading q must stay instrumented even after refinement.
+        let mut b = FuncBuilder::new("may", 2);
+        let p = b.param(0);
+        let q = b.param(1);
+        let v = b.load(q);
+        b.store(p, v);
+        b.ret(None);
+        let f = b.finish();
+        let (_, refined) = analyze(&f);
+        assert_eq!(refined.clobber_stores.len(), 1);
+    }
+
+    #[test]
+    fn store_before_any_read_is_not_a_clobber_of_it() {
+        let mut b = FuncBuilder::new("wr", 1);
+        let p = b.param(0);
+        let c = b.constant(3);
+        b.store(p, c);
+        b.load(p);
+        b.ret(None);
+        let f = b.finish();
+        let (cons, _) = analyze(&f);
+        assert!(cons.clobber_stores.is_empty(), "no store follows the read");
+    }
+
+    #[test]
+    fn diamond_stores_are_not_mutually_shadowed() {
+        // read q; branch; each arm stores to q. Neither arm dominates the
+        // other, so both must remain instrumented.
+        let mut b = FuncBuilder::new("diamond", 1);
+        let q = b.param(0);
+        let v = b.load(q);
+        let arm1 = b.new_block();
+        let arm2 = b.new_block();
+        let join = b.new_block();
+        b.condbr(v, arm1, arm2);
+        b.switch_to(arm1);
+        let one = b.constant(1);
+        b.store(q, one);
+        b.br(join);
+        b.switch_to(arm2);
+        let two = b.constant(2);
+        b.store(q, two);
+        b.br(join);
+        b.switch_to(join);
+        b.ret(None);
+        let f = b.finish();
+        f.validate().unwrap();
+        let (_, refined) = analyze(&f);
+        assert_eq!(refined.clobber_stores.len(), 2);
+    }
+}

@@ -1,0 +1,211 @@
+//! Dominator tree (Cooper–Harvey–Kennedy).
+//!
+//! The clobber pass needs dominance twice (paper §4.4): a read dominated by
+//! a must-aliasing write is not a candidate input, and the refinement step's
+//! *unexposed*/*shadowed* patterns are phrased in terms of dominating
+//! writes.
+
+use crate::cfg::Cfg;
+use crate::ir::{BlockId, Function, ValueId};
+
+/// Immediate-dominator tree over a function's CFG.
+#[derive(Debug)]
+pub struct DomTree {
+    /// `idom[b]`: immediate dominator of block `b`; entry's idom is itself.
+    /// `None` for unreachable blocks.
+    idom: Vec<Option<u32>>,
+    /// Cache of each instruction's placement.
+    positions: Vec<Option<(BlockId, usize)>>,
+}
+
+impl DomTree {
+    /// Computes the dominator tree of `f`.
+    pub fn new(f: &Function, cfg: &Cfg) -> DomTree {
+        let n = f.blocks.len();
+        // Map block -> RPO index; unreachable blocks get None.
+        let mut rpo_index = vec![None; n];
+        for (i, b) in cfg.rpo().iter().enumerate() {
+            rpo_index[b.0 as usize] = Some(i);
+        }
+        let mut idom: Vec<Option<u32>> = vec![None; n];
+        idom[0] = Some(0);
+        let mut changed = true;
+        while changed {
+            changed = false;
+            for &b in cfg.rpo().iter().skip(1) {
+                let mut new_idom: Option<u32> = None;
+                for &p in cfg.preds(b) {
+                    if idom[p.0 as usize].is_none() {
+                        continue; // unprocessed or unreachable predecessor
+                    }
+                    new_idom = Some(match new_idom {
+                        None => p.0,
+                        Some(cur) => intersect(&idom, &rpo_index, cur, p.0),
+                    });
+                }
+                if let Some(ni) = new_idom {
+                    if idom[b.0 as usize] != Some(ni) {
+                        idom[b.0 as usize] = Some(ni);
+                        changed = true;
+                    }
+                }
+            }
+        }
+        DomTree {
+            idom,
+            positions: f.positions(),
+        }
+    }
+
+    /// `true` if block `a` dominates block `b` (reflexive).
+    pub fn dominates(&self, a: BlockId, b: BlockId) -> bool {
+        let mut cur = b.0;
+        loop {
+            if cur == a.0 {
+                return true;
+            }
+            match self.idom[cur as usize] {
+                Some(i) if i != cur => cur = i,
+                _ => return false,
+            }
+        }
+    }
+
+    /// `true` if instruction `a` strictly dominates instruction `b`: every
+    /// path to `b` executes `a` first. Same-block instructions compare by
+    /// position; `a` never dominates itself here.
+    pub fn inst_dominates(&self, a: ValueId, b: ValueId) -> bool {
+        let (ab, ai) = match self.positions[a.0 as usize] {
+            Some(p) => p,
+            None => return false,
+        };
+        let (bb, bi) = match self.positions[b.0 as usize] {
+            Some(p) => p,
+            None => return false,
+        };
+        if ab == bb {
+            ai < bi
+        } else {
+            self.dominates(ab, bb)
+        }
+    }
+}
+
+fn intersect(idom: &[Option<u32>], rpo_index: &[Option<usize>], a: u32, b: u32) -> u32 {
+    let (mut fa, mut fb) = (a, b);
+    while fa != fb {
+        while rpo_index[fa as usize] > rpo_index[fb as usize] {
+            fa = idom[fa as usize].expect("processed block has idom");
+        }
+        while rpo_index[fb as usize] > rpo_index[fa as usize] {
+            fb = idom[fb as usize].expect("processed block has idom");
+        }
+    }
+    fa
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ir::FuncBuilder;
+
+    /// Diamond: 0 -> {1, 2} -> 3
+    fn diamond() -> Function {
+        let mut b = FuncBuilder::new("d", 1);
+        let p = b.param(0);
+        let c = b.load(p);
+        let b1 = b.new_block();
+        let b2 = b.new_block();
+        let b3 = b.new_block();
+        b.condbr(c, b1, b2);
+        b.switch_to(b1);
+        b.br(b3);
+        b.switch_to(b2);
+        b.br(b3);
+        b.switch_to(b3);
+        b.ret(None);
+        b.finish()
+    }
+
+    #[test]
+    fn entry_dominates_everything() {
+        let f = diamond();
+        let cfg = Cfg::new(&f);
+        let dom = DomTree::new(&f, &cfg);
+        for i in 0..4 {
+            assert!(dom.dominates(BlockId(0), BlockId(i)));
+        }
+    }
+
+    #[test]
+    fn branch_arms_do_not_dominate_join() {
+        let f = diamond();
+        let cfg = Cfg::new(&f);
+        let dom = DomTree::new(&f, &cfg);
+        assert!(!dom.dominates(BlockId(1), BlockId(3)));
+        assert!(!dom.dominates(BlockId(2), BlockId(3)));
+        assert!(!dom.dominates(BlockId(1), BlockId(2)));
+    }
+
+    #[test]
+    fn dominance_is_reflexive() {
+        let f = diamond();
+        let cfg = Cfg::new(&f);
+        let dom = DomTree::new(&f, &cfg);
+        for i in 0..4 {
+            assert!(dom.dominates(BlockId(i), BlockId(i)));
+        }
+    }
+
+    #[test]
+    fn inst_dominance_in_same_block_is_positional() {
+        let mut b = FuncBuilder::new("s", 1);
+        let p = b.param(0);
+        let v = b.load(p);
+        let s = b.store(p, v);
+        b.ret(None);
+        let f = b.finish();
+        let cfg = Cfg::new(&f);
+        let dom = DomTree::new(&f, &cfg);
+        assert!(dom.inst_dominates(v, s));
+        assert!(!dom.inst_dominates(s, v));
+        assert!(!dom.inst_dominates(s, s), "strict: no self-dominance");
+    }
+
+    #[test]
+    fn inst_dominance_across_blocks_uses_block_dominance() {
+        let f = diamond();
+        let cfg = Cfg::new(&f);
+        let dom = DomTree::new(&f, &cfg);
+        let load = f.loads()[0]; // in entry block
+        // Any instruction in b3 is dominated by the entry load; fabricate a
+        // check via block dominance since b3 has no instructions.
+        let (lb, _) = f.positions()[load.0 as usize].unwrap();
+        assert_eq!(lb, BlockId(0));
+        assert!(dom.dominates(lb, BlockId(3)));
+    }
+
+    #[test]
+    fn loop_header_dominates_body() {
+        // 0 -> 1 (header) -> 2 (body) -> 1, 1 -> 3 (exit)
+        let mut b = FuncBuilder::new("l", 1);
+        let p = b.param(0);
+        let header = b.new_block();
+        let body = b.new_block();
+        let exit = b.new_block();
+        b.br(header);
+        b.switch_to(header);
+        let c = b.load(p);
+        b.condbr(c, body, exit);
+        b.switch_to(body);
+        b.br(header);
+        b.switch_to(exit);
+        b.ret(None);
+        let f = b.finish();
+        let cfg = Cfg::new(&f);
+        let dom = DomTree::new(&f, &cfg);
+        assert!(dom.dominates(header, body));
+        assert!(dom.dominates(header, exit));
+        assert!(!dom.dominates(body, exit));
+    }
+}

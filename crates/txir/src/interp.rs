@@ -1,0 +1,447 @@
+//! IR interpreter.
+//!
+//! Executes a compiled transaction against a [`TxMemory`] backend. Against
+//! [`TxAdapter`] the interpreter plays the role of the paper's instrumented
+//! native code: stores at compiler-identified clobber sites invoke the
+//! clobber-log callback ([`WritePolicy::ForceLog`]), all other stores skip
+//! logging ([`WritePolicy::NoLog`]) — the runtime's dynamic detection is
+//! bypassed entirely, exactly as in the compiled C system.
+
+use std::collections::BTreeSet;
+
+use clobber_nvm::{Tx, TxError, WritePolicy};
+use clobber_pmem::PAddr;
+
+use crate::ir::{BinOp, BlockId, CmpOp, Function, Inst, Terminator, ValueId};
+
+/// Memory interface the interpreter runs against.
+pub trait TxMemory {
+    /// 8-byte load.
+    ///
+    /// # Errors
+    ///
+    /// Implementation-defined (e.g. out-of-bounds).
+    fn load(&mut self, addr: u64) -> Result<u64, TxError>;
+
+    /// 8-byte store; `clobber_site` is `true` when the compiler marked this
+    /// store instruction as a clobber write.
+    ///
+    /// # Errors
+    ///
+    /// Implementation-defined.
+    fn store(&mut self, addr: u64, value: u64, clobber_site: bool) -> Result<(), TxError>;
+
+    /// Persistent allocation returning a fresh address.
+    ///
+    /// # Errors
+    ///
+    /// Implementation-defined (e.g. out of memory).
+    fn alloc(&mut self, size: u64) -> Result<u64, TxError>;
+}
+
+/// Adapter running IR transactions on a live [`Tx`].
+pub struct TxAdapter<'a, 'rt> {
+    tx: &'a mut Tx<'rt>,
+    /// `true`: obey compiler decisions (ForceLog/NoLog); `false`: use the
+    /// runtime's dynamic detection (Auto) — useful as a golden reference.
+    static_mode: bool,
+}
+
+impl<'a, 'rt> TxAdapter<'a, 'rt> {
+    /// Compiler-driven logging (the paper's deployment model).
+    pub fn new_static(tx: &'a mut Tx<'rt>) -> Self {
+        TxAdapter {
+            tx,
+            static_mode: true,
+        }
+    }
+
+    /// Runtime dynamic detection (golden reference for differential tests).
+    pub fn new_dynamic(tx: &'a mut Tx<'rt>) -> Self {
+        TxAdapter {
+            tx,
+            static_mode: false,
+        }
+    }
+}
+
+impl TxMemory for TxAdapter<'_, '_> {
+    fn load(&mut self, addr: u64) -> Result<u64, TxError> {
+        self.tx.read_u64(PAddr::new(addr))
+    }
+
+    fn store(&mut self, addr: u64, value: u64, clobber_site: bool) -> Result<(), TxError> {
+        let policy = if self.static_mode {
+            if clobber_site {
+                WritePolicy::ForceLog
+            } else {
+                WritePolicy::NoLog
+            }
+        } else {
+            WritePolicy::Auto
+        };
+        self.tx
+            .write_bytes_with_policy(PAddr::new(addr), &value.to_le_bytes(), policy)
+    }
+
+    fn alloc(&mut self, size: u64) -> Result<u64, TxError> {
+        Ok(self.tx.pmalloc(size)?.offset())
+    }
+}
+
+/// Flat in-memory backend for analysis-free interpreter tests.
+#[derive(Debug, Default)]
+pub struct VecMemory {
+    /// Backing bytes; addresses index into it.
+    pub bytes: Vec<u8>,
+    next_alloc: u64,
+    /// Clobber-callback invocations observed: `(addr, old_value)`.
+    pub clobber_log: Vec<(u64, u64)>,
+}
+
+impl VecMemory {
+    /// A backend of `size` zeroed bytes; allocations start at `size/2`.
+    pub fn new(size: usize) -> VecMemory {
+        VecMemory {
+            bytes: vec![0; size],
+            next_alloc: size as u64 / 2,
+            clobber_log: Vec::new(),
+        }
+    }
+
+    /// Reads an 8-byte word (test convenience).
+    pub fn word(&self, addr: u64) -> u64 {
+        let s = addr as usize;
+        u64::from_le_bytes(self.bytes[s..s + 8].try_into().expect("8 bytes"))
+    }
+
+    /// Writes an 8-byte word (test convenience).
+    pub fn set_word(&mut self, addr: u64, v: u64) {
+        let s = addr as usize;
+        self.bytes[s..s + 8].copy_from_slice(&v.to_le_bytes());
+    }
+}
+
+impl TxMemory for VecMemory {
+    fn load(&mut self, addr: u64) -> Result<u64, TxError> {
+        if addr as usize + 8 > self.bytes.len() {
+            return Err(TxError::Aborted(format!("interp load oob at {addr:#x}")));
+        }
+        Ok(self.word(addr))
+    }
+
+    fn store(&mut self, addr: u64, value: u64, clobber_site: bool) -> Result<(), TxError> {
+        if addr as usize + 8 > self.bytes.len() {
+            return Err(TxError::Aborted(format!("interp store oob at {addr:#x}")));
+        }
+        if clobber_site {
+            let old = self.word(addr);
+            self.clobber_log.push((addr, old));
+        }
+        self.set_word(addr, value);
+        Ok(())
+    }
+
+    fn alloc(&mut self, size: u64) -> Result<u64, TxError> {
+        let addr = self.next_alloc;
+        self.next_alloc += size.max(8).div_ceil(8) * 8;
+        if self.next_alloc as usize > self.bytes.len() {
+            return Err(TxError::Aborted("interp heap exhausted".into()));
+        }
+        Ok(addr)
+    }
+}
+
+/// Interpreter failures.
+#[derive(Debug, Clone, PartialEq)]
+pub enum InterpError {
+    /// The step budget ran out (transactions must terminate, paper §2.3).
+    StepLimit {
+        /// The budget that was exceeded.
+        limit: u64,
+    },
+    /// Wrong number of arguments for the function.
+    ArgCount {
+        /// Parameters declared.
+        expected: u32,
+        /// Arguments supplied.
+        got: usize,
+    },
+    /// A memory operation failed.
+    Tx(TxError),
+}
+
+impl std::fmt::Display for InterpError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            InterpError::StepLimit { limit } => write!(f, "exceeded {limit} interpreter steps"),
+            InterpError::ArgCount { expected, got } => {
+                write!(f, "expected {expected} arguments, got {got}")
+            }
+            InterpError::Tx(e) => write!(f, "memory operation failed: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for InterpError {}
+
+impl From<TxError> for InterpError {
+    fn from(e: TxError) -> Self {
+        InterpError::Tx(e)
+    }
+}
+
+/// Executes `f` with `args` against `mem`; `clobber_sites` marks the store
+/// instructions the compiler identified as clobber writes.
+///
+/// # Errors
+///
+/// Returns [`InterpError::StepLimit`] after `max_steps` executed
+/// instructions, [`InterpError::ArgCount`] on arity mismatch, and
+/// propagates memory errors.
+pub fn interpret(
+    f: &Function,
+    clobber_sites: &BTreeSet<ValueId>,
+    mem: &mut dyn TxMemory,
+    args: &[u64],
+    max_steps: u64,
+) -> Result<Option<u64>, InterpError> {
+    if args.len() != f.n_params as usize {
+        return Err(InterpError::ArgCount {
+            expected: f.n_params,
+            got: args.len(),
+        });
+    }
+    let mut vals = vec![0u64; f.insts.len()];
+    let mut steps = 0u64;
+    let mut block = BlockId(0);
+    let mut prev: Option<BlockId> = None;
+    loop {
+        let b = &f.blocks[block.0 as usize];
+        // Phis evaluate simultaneously on block entry.
+        let mut phi_updates: Vec<(ValueId, u64)> = Vec::new();
+        for &v in &b.insts {
+            if let Inst::Phi { incoming } = &f.insts[v.0 as usize] {
+                let from = prev.expect("phi in entry block");
+                let (_, val) = incoming
+                    .iter()
+                    .find(|(p, _)| *p == from)
+                    .expect("validated phi has incoming for pred");
+                phi_updates.push((v, vals[val.0 as usize]));
+            }
+        }
+        for (v, x) in phi_updates {
+            vals[v.0 as usize] = x;
+        }
+        for &v in &b.insts {
+            steps += 1;
+            if steps > max_steps {
+                return Err(InterpError::StepLimit { limit: max_steps });
+            }
+            let out = match &f.insts[v.0 as usize] {
+                Inst::Phi { .. } => continue, // handled above
+                Inst::Param(i) => args[*i as usize],
+                Inst::Const(c) => *c as u64,
+                Inst::Gep { base, offset } => {
+                    vals[base.0 as usize].wrapping_add(vals[offset.0 as usize])
+                }
+                Inst::Load { addr } => mem.load(vals[addr.0 as usize])?,
+                Inst::Store { addr, value } => {
+                    mem.store(
+                        vals[addr.0 as usize],
+                        vals[value.0 as usize],
+                        clobber_sites.contains(&v),
+                    )?;
+                    0
+                }
+                Inst::Alloc { size } => mem.alloc(vals[size.0 as usize])?,
+                Inst::Bin { op, lhs, rhs } => {
+                    let (a, b2) = (vals[lhs.0 as usize], vals[rhs.0 as usize]);
+                    match op {
+                        BinOp::Add => a.wrapping_add(b2),
+                        BinOp::Sub => a.wrapping_sub(b2),
+                        BinOp::Mul => a.wrapping_mul(b2),
+                        BinOp::And => a & b2,
+                        BinOp::Or => a | b2,
+                        BinOp::Xor => a ^ b2,
+                        BinOp::Shl => a.wrapping_shl(b2 as u32),
+                        BinOp::Shr => a.wrapping_shr(b2 as u32),
+                        BinOp::Rem => {
+                            if b2 == 0 {
+                                0
+                            } else {
+                                a % b2
+                            }
+                        }
+                    }
+                }
+                Inst::Cmp { op, lhs, rhs } => {
+                    let (a, b2) = (vals[lhs.0 as usize], vals[rhs.0 as usize]);
+                    let r = match op {
+                        CmpOp::Eq => a == b2,
+                        CmpOp::Ne => a != b2,
+                        CmpOp::Lt => a < b2,
+                        CmpOp::Le => a <= b2,
+                        CmpOp::SLt => (a as i64) < (b2 as i64),
+                    };
+                    r as u64
+                }
+            };
+            vals[v.0 as usize] = out;
+        }
+        match &b.term {
+            Terminator::Br(t) => {
+                prev = Some(block);
+                block = *t;
+            }
+            Terminator::CondBr { cond, then_, else_ } => {
+                prev = Some(block);
+                block = if vals[cond.0 as usize] != 0 { *then_ } else { *else_ };
+            }
+            Terminator::Ret(v) => return Ok(v.map(|v| vals[v.0 as usize])),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ir::{CmpOp, FuncBuilder};
+
+    #[test]
+    fn straight_line_arithmetic() {
+        // ret (3 + 4) * 2
+        let mut b = FuncBuilder::new("math", 0);
+        let three = b.constant(3);
+        let four = b.constant(4);
+        let sum = b.add(three, four);
+        let two = b.constant(2);
+        let prod = b.bin(BinOp::Mul, sum, two);
+        b.ret(Some(prod));
+        let f = b.finish();
+        let mut mem = VecMemory::new(1024);
+        let r = interpret(&f, &BTreeSet::new(), &mut mem, &[], 1000).unwrap();
+        assert_eq!(r, Some(14));
+    }
+
+    #[test]
+    fn loads_and_stores_hit_memory() {
+        let mut b = FuncBuilder::new("copy", 2);
+        let src = b.param(0);
+        let dst = b.param(1);
+        let v = b.load(src);
+        b.store(dst, v);
+        b.ret(None);
+        let f = b.finish();
+        let mut mem = VecMemory::new(1024);
+        mem.set_word(16, 0xABCD);
+        interpret(&f, &BTreeSet::new(), &mut mem, &[16, 64], 1000).unwrap();
+        assert_eq!(mem.word(64), 0xABCD);
+    }
+
+    #[test]
+    fn clobber_sites_invoke_the_callback() {
+        let mut b = FuncBuilder::new("rmw", 1);
+        let p = b.param(0);
+        let v = b.load(p);
+        let one = b.constant(1);
+        let v1 = b.add(v, one);
+        let s = b.store(p, v1);
+        b.ret(None);
+        let f = b.finish();
+        let mut mem = VecMemory::new(1024);
+        mem.set_word(32, 41);
+        let sites: BTreeSet<_> = [s].into_iter().collect();
+        interpret(&f, &sites, &mut mem, &[32], 1000).unwrap();
+        assert_eq!(mem.word(32), 42);
+        assert_eq!(mem.clobber_log, vec![(32, 41)], "old value logged");
+    }
+
+    #[test]
+    fn loop_counts_to_ten() {
+        let mut b = FuncBuilder::new("count", 1);
+        let out = b.param(0);
+        let zero = b.constant(0);
+        let ten = b.constant(10);
+        let one = b.constant(1);
+        let entry = b.current_block();
+        let header = b.new_block();
+        let body = b.new_block();
+        let exit = b.new_block();
+        b.br(header);
+        b.switch_to(header);
+        let i = b.phi(vec![(entry, zero)]);
+        let c = b.cmp(CmpOp::Lt, i, ten);
+        b.condbr(c, body, exit);
+        b.switch_to(body);
+        let i1 = b.add(i, one);
+        b.br(header);
+        b.set_phi_incoming(i, vec![(entry, zero), (body, i1)]);
+        b.switch_to(exit);
+        b.store(out, i);
+        b.ret(Some(i));
+        let f = b.finish();
+        f.validate().unwrap();
+        let mut mem = VecMemory::new(1024);
+        let r = interpret(&f, &BTreeSet::new(), &mut mem, &[8], 10_000).unwrap();
+        assert_eq!(r, Some(10));
+        assert_eq!(mem.word(8), 10);
+    }
+
+    #[test]
+    fn infinite_loop_hits_step_limit() {
+        let mut b = FuncBuilder::new("spin", 0);
+        let l = b.new_block();
+        b.br(l);
+        b.switch_to(l);
+        let c = b.constant(0); // placed in the loop so steps accumulate
+        let _ = c;
+        b.br(l);
+        let f = b.finish();
+        let mut mem = VecMemory::new(64);
+        let r = interpret(&f, &BTreeSet::new(), &mut mem, &[], 100);
+        assert!(matches!(r, Err(InterpError::StepLimit { .. })));
+    }
+
+    #[test]
+    fn arg_count_is_checked() {
+        let mut b = FuncBuilder::new("two", 2);
+        b.param(0);
+        b.param(1);
+        b.ret(None);
+        let f = b.finish();
+        let mut mem = VecMemory::new(64);
+        assert!(matches!(
+            interpret(&f, &BTreeSet::new(), &mut mem, &[1], 100),
+            Err(InterpError::ArgCount { expected: 2, got: 1 })
+        ));
+    }
+
+    #[test]
+    fn alloc_returns_fresh_addresses() {
+        let mut b = FuncBuilder::new("a", 0);
+        let sz = b.constant(16);
+        let a1 = b.alloc(sz);
+        let a2 = b.alloc(sz);
+        let diff = b.bin(BinOp::Sub, a2, a1);
+        b.ret(Some(diff));
+        let f = b.finish();
+        let mut mem = VecMemory::new(1024);
+        let r = interpret(&f, &BTreeSet::new(), &mut mem, &[], 100).unwrap();
+        assert_eq!(r, Some(16));
+    }
+
+    #[test]
+    fn oob_access_reports_tx_error() {
+        let mut b = FuncBuilder::new("oob", 1);
+        let p = b.param(0);
+        b.load(p);
+        b.ret(None);
+        let f = b.finish();
+        let mut mem = VecMemory::new(64);
+        assert!(matches!(
+            interpret(&f, &BTreeSet::new(), &mut mem, &[1 << 40], 100),
+            Err(InterpError::Tx(_))
+        ));
+    }
+}

@@ -1,0 +1,644 @@
+//! The transaction IR.
+//!
+//! A small SSA-style intermediate representation rich enough to express the
+//! paper's transactions: pointer arithmetic (`Gep`), 8-byte loads and
+//! stores, persistent allocation, arithmetic, comparisons, phis, branches
+//! and loops. The clobber-identification passes (paper §4.4) run on this IR
+//! exactly as the paper's LLVM passes run on LLVM IR.
+//!
+//! Values are instruction results; `Param` and `Const` are instructions, so
+//! every value is a [`ValueId`] indexing the function's instruction arena.
+
+use std::fmt;
+
+/// Index of an instruction (and of the value it produces).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct ValueId(pub u32);
+
+/// Index of a basic block.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct BlockId(pub u32);
+
+/// Binary arithmetic operators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[allow(missing_docs)] // operator names are self-describing
+pub enum BinOp {
+    Add,
+    Sub,
+    Mul,
+    And,
+    Or,
+    Xor,
+    Shl,
+    Shr,
+    /// Unsigned remainder; division by zero yields zero (transactions must
+    /// not fault, paper §2.3).
+    Rem,
+}
+
+/// Comparison operators (produce 0 or 1).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[allow(missing_docs)] // operator names are self-describing
+pub enum CmpOp {
+    Eq,
+    Ne,
+    /// Unsigned less-than.
+    Lt,
+    /// Unsigned less-or-equal.
+    Le,
+    /// Signed less-than.
+    SLt,
+}
+
+/// One IR instruction.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Inst {
+    /// The i-th function parameter.
+    Param(u32),
+    /// A 64-bit constant.
+    Const(i64),
+    /// Pointer arithmetic: `base + offset` (byte offset).
+    Gep {
+        /// Base address value.
+        base: ValueId,
+        /// Byte offset value.
+        offset: ValueId,
+    },
+    /// 8-byte load from persistent memory.
+    Load {
+        /// Address value.
+        addr: ValueId,
+    },
+    /// 8-byte store to persistent memory.
+    Store {
+        /// Address value.
+        addr: ValueId,
+        /// Value stored.
+        value: ValueId,
+    },
+    /// Persistent allocation of `size` bytes (the paper's `pmalloc`).
+    /// Produces a fresh object address.
+    Alloc {
+        /// Size value in bytes.
+        size: ValueId,
+    },
+    /// Binary arithmetic.
+    Bin {
+        /// Operator.
+        op: BinOp,
+        /// Left operand.
+        lhs: ValueId,
+        /// Right operand.
+        rhs: ValueId,
+    },
+    /// Comparison producing 0/1.
+    Cmp {
+        /// Operator.
+        op: CmpOp,
+        /// Left operand.
+        lhs: ValueId,
+        /// Right operand.
+        rhs: ValueId,
+    },
+    /// SSA phi: value depends on the predecessor block taken.
+    Phi {
+        /// `(predecessor block, value)` pairs.
+        incoming: Vec<(BlockId, ValueId)>,
+    },
+}
+
+/// A basic block: ordered instructions plus a terminator.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Block {
+    /// Instruction ids in execution order.
+    pub insts: Vec<ValueId>,
+    /// Control transfer out of the block.
+    pub term: Terminator,
+}
+
+/// Block terminators.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Terminator {
+    /// Unconditional branch.
+    Br(BlockId),
+    /// Conditional branch on a 0/1 value.
+    CondBr {
+        /// Condition value (non-zero takes `then_`).
+        cond: ValueId,
+        /// Target when the condition is non-zero.
+        then_: BlockId,
+        /// Target when the condition is zero.
+        else_: BlockId,
+    },
+    /// Return from the transaction, optionally with a value.
+    Ret(Option<ValueId>),
+}
+
+/// A transaction function in SSA form.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Function {
+    /// The txfunc name (registry key).
+    pub name: String,
+    /// Number of parameters.
+    pub n_params: u32,
+    /// Instruction arena; [`ValueId`]s index into it.
+    pub insts: Vec<Inst>,
+    /// Basic blocks; block 0 is the entry.
+    pub blocks: Vec<Block>,
+}
+
+/// IR validation failures.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum IrError {
+    /// A value id points past the instruction arena.
+    BadValue(ValueId),
+    /// A block id points past the block list.
+    BadBlock(BlockId),
+    /// An instruction appears in more than one block, or not at all.
+    Unplaced(ValueId),
+    /// A non-phi instruction uses a value that does not dominate it (checked
+    /// structurally: the operand must be defined in the same block earlier,
+    /// or in a dominating block).
+    UseBeforeDef {
+        /// The instruction with the bad operand.
+        user: ValueId,
+        /// The operand used.
+        operand: ValueId,
+    },
+    /// A phi's incoming blocks do not match the block's predecessors.
+    BadPhi(ValueId),
+    /// The function has no blocks.
+    Empty,
+}
+
+impl fmt::Display for IrError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            IrError::BadValue(v) => write!(f, "value %{} out of range", v.0),
+            IrError::BadBlock(b) => write!(f, "block b{} out of range", b.0),
+            IrError::Unplaced(v) => write!(f, "instruction %{} not placed in exactly one block", v.0),
+            IrError::UseBeforeDef { user, operand } => {
+                write!(f, "%{} uses %{} before its definition", user.0, operand.0)
+            }
+            IrError::BadPhi(v) => write!(f, "phi %{} incoming blocks mismatch predecessors", v.0),
+            IrError::Empty => write!(f, "function has no blocks"),
+        }
+    }
+}
+
+impl std::error::Error for IrError {}
+
+impl Inst {
+    /// The operand values of this instruction.
+    pub fn operands(&self) -> Vec<ValueId> {
+        match self {
+            Inst::Param(_) | Inst::Const(_) => vec![],
+            Inst::Gep { base, offset } => vec![*base, *offset],
+            Inst::Load { addr } => vec![*addr],
+            Inst::Store { addr, value } => vec![*addr, *value],
+            Inst::Alloc { size } => vec![*size],
+            Inst::Bin { lhs, rhs, .. } | Inst::Cmp { lhs, rhs, .. } => vec![*lhs, *rhs],
+            Inst::Phi { incoming } => incoming.iter().map(|(_, v)| *v).collect(),
+        }
+    }
+
+    /// `true` for loads.
+    pub fn is_load(&self) -> bool {
+        matches!(self, Inst::Load { .. })
+    }
+
+    /// `true` for stores.
+    pub fn is_store(&self) -> bool {
+        matches!(self, Inst::Store { .. })
+    }
+}
+
+impl Function {
+    /// All `(block, position, value)` of load instructions in program order.
+    pub fn loads(&self) -> Vec<ValueId> {
+        self.placed(|i| i.is_load())
+    }
+
+    /// All store instruction ids in program order.
+    pub fn stores(&self) -> Vec<ValueId> {
+        self.placed(|i| i.is_store())
+    }
+
+    fn placed(&self, pred: impl Fn(&Inst) -> bool) -> Vec<ValueId> {
+        let mut out = Vec::new();
+        for b in &self.blocks {
+            for &v in &b.insts {
+                if pred(&self.insts[v.0 as usize]) {
+                    out.push(v);
+                }
+            }
+        }
+        out
+    }
+
+    /// The block and intra-block position of each placed instruction.
+    pub fn positions(&self) -> Vec<Option<(BlockId, usize)>> {
+        let mut pos = vec![None; self.insts.len()];
+        for (bi, b) in self.blocks.iter().enumerate() {
+            for (ii, &v) in b.insts.iter().enumerate() {
+                pos[v.0 as usize] = Some((BlockId(bi as u32), ii));
+            }
+        }
+        pos
+    }
+
+    /// Structural validation: ids in range, single placement, phis match
+    /// predecessors, and non-phi operands defined before use.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first [`IrError`] found.
+    pub fn validate(&self) -> Result<(), IrError> {
+        if self.blocks.is_empty() {
+            return Err(IrError::Empty);
+        }
+        let nv = self.insts.len() as u32;
+        let nb = self.blocks.len() as u32;
+        let check_v = |v: ValueId| if v.0 < nv { Ok(()) } else { Err(IrError::BadValue(v)) };
+        let check_b = |b: BlockId| if b.0 < nb { Ok(()) } else { Err(IrError::BadBlock(b)) };
+        // Placement: every placed id valid, no duplicates.
+        let mut placed = vec![false; self.insts.len()];
+        for b in &self.blocks {
+            for &v in &b.insts {
+                check_v(v)?;
+                if placed[v.0 as usize] {
+                    return Err(IrError::Unplaced(v));
+                }
+                placed[v.0 as usize] = true;
+            }
+            match &b.term {
+                Terminator::Br(t) => check_b(*t)?,
+                Terminator::CondBr { cond, then_, else_ } => {
+                    check_v(*cond)?;
+                    check_b(*then_)?;
+                    check_b(*else_)?;
+                }
+                Terminator::Ret(v) => {
+                    if let Some(v) = v {
+                        check_v(*v)?;
+                    }
+                }
+            }
+        }
+        // Operand validity and def-before-use via dominance.
+        let cfg = crate::cfg::Cfg::new(self);
+        let dom = crate::dom::DomTree::new(self, &cfg);
+        let pos = self.positions();
+        for (bi, b) in self.blocks.iter().enumerate() {
+            for (ii, &v) in b.insts.iter().enumerate() {
+                let inst = &self.insts[v.0 as usize];
+                if let Inst::Phi { incoming } = inst {
+                    let mut preds: Vec<u32> = cfg.preds(BlockId(bi as u32)).iter().map(|p| p.0).collect();
+                    let mut inc: Vec<u32> = incoming.iter().map(|(p, _)| p.0).collect();
+                    preds.sort_unstable();
+                    inc.sort_unstable();
+                    if preds != inc {
+                        return Err(IrError::BadPhi(v));
+                    }
+                    for (_, val) in incoming {
+                        check_v(*val)?;
+                    }
+                    continue;
+                }
+                for op in inst.operands() {
+                    check_v(op)?;
+                    let op_inst = &self.insts[op.0 as usize];
+                    if matches!(op_inst, Inst::Param(_) | Inst::Const(_)) {
+                        continue; // params and constants are always available
+                    }
+                    match pos[op.0 as usize] {
+                        None => return Err(IrError::Unplaced(op)),
+                        Some((ob, oi)) => {
+                            let here = BlockId(bi as u32);
+                            let ok = if ob == here {
+                                oi < ii
+                            } else {
+                                dom.dominates(ob, here)
+                            };
+                            if !ok {
+                                return Err(IrError::UseBeforeDef { user: v, operand: op });
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+impl fmt::Display for Function {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "fn {}({} params) {{", self.name, self.n_params)?;
+        for (bi, b) in self.blocks.iter().enumerate() {
+            writeln!(f, "b{bi}:")?;
+            for &v in &b.insts {
+                let i = &self.insts[v.0 as usize];
+                match i {
+                    Inst::Param(p) => writeln!(f, "  %{} = param {p}", v.0)?,
+                    Inst::Const(c) => writeln!(f, "  %{} = const {c}", v.0)?,
+                    Inst::Gep { base, offset } => {
+                        writeln!(f, "  %{} = gep %{} + %{}", v.0, base.0, offset.0)?
+                    }
+                    Inst::Load { addr } => writeln!(f, "  %{} = load [%{}]", v.0, addr.0)?,
+                    Inst::Store { addr, value } => {
+                        writeln!(f, "  %{} = store [%{}] <- %{}", v.0, addr.0, value.0)?
+                    }
+                    Inst::Alloc { size } => writeln!(f, "  %{} = alloc %{}", v.0, size.0)?,
+                    Inst::Bin { op, lhs, rhs } => {
+                        writeln!(f, "  %{} = {:?} %{}, %{}", v.0, op, lhs.0, rhs.0)?
+                    }
+                    Inst::Cmp { op, lhs, rhs } => {
+                        writeln!(f, "  %{} = cmp {:?} %{}, %{}", v.0, op, lhs.0, rhs.0)?
+                    }
+                    Inst::Phi { incoming } => {
+                        write!(f, "  %{} = phi", v.0)?;
+                        for (b, val) in incoming {
+                            write!(f, " [b{}: %{}]", b.0, val.0)?;
+                        }
+                        writeln!(f)?;
+                    }
+                }
+            }
+            match &b.term {
+                Terminator::Br(t) => writeln!(f, "  br b{}", t.0)?,
+                Terminator::CondBr { cond, then_, else_ } => {
+                    writeln!(f, "  condbr %{} ? b{} : b{}", cond.0, then_.0, else_.0)?
+                }
+                Terminator::Ret(Some(v)) => writeln!(f, "  ret %{}", v.0)?,
+                Terminator::Ret(None) => writeln!(f, "  ret")?,
+            }
+        }
+        write!(f, "}}")
+    }
+}
+
+/// Incremental [`Function`] builder.
+///
+/// # Example
+///
+/// ```
+/// use clobber_txir::ir::{FuncBuilder, CmpOp};
+///
+/// // fn bump(cell): *cell = *cell + 1
+/// let mut b = FuncBuilder::new("bump", 1);
+/// let cell = b.param(0);
+/// let v = b.load(cell);
+/// let one = b.constant(1);
+/// let v1 = b.add(v, one);
+/// b.store(cell, v1);
+/// b.ret(None);
+/// let f = b.finish();
+/// assert!(f.validate().is_ok());
+/// ```
+#[derive(Debug)]
+pub struct FuncBuilder {
+    f: Function,
+    current: BlockId,
+}
+
+impl FuncBuilder {
+    /// Starts a function with an entry block selected.
+    pub fn new(name: &str, n_params: u32) -> FuncBuilder {
+        FuncBuilder {
+            f: Function {
+                name: name.to_string(),
+                n_params,
+                insts: Vec::new(),
+                blocks: vec![Block {
+                    insts: Vec::new(),
+                    term: Terminator::Ret(None),
+                }],
+            },
+            current: BlockId(0),
+        }
+    }
+
+    /// Creates a new (empty) block and returns its id; does not switch.
+    pub fn new_block(&mut self) -> BlockId {
+        self.f.blocks.push(Block {
+            insts: Vec::new(),
+            term: Terminator::Ret(None),
+        });
+        BlockId(self.f.blocks.len() as u32 - 1)
+    }
+
+    /// Switches the insertion point to `b`.
+    pub fn switch_to(&mut self, b: BlockId) {
+        self.current = b;
+    }
+
+    /// The current insertion block.
+    pub fn current_block(&self) -> BlockId {
+        self.current
+    }
+
+    fn push(&mut self, inst: Inst) -> ValueId {
+        let id = ValueId(self.f.insts.len() as u32);
+        self.f.insts.push(inst);
+        self.f.blocks[self.current.0 as usize].insts.push(id);
+        id
+    }
+
+    /// Emits `param i` (conventionally in the entry block).
+    pub fn param(&mut self, i: u32) -> ValueId {
+        self.push(Inst::Param(i))
+    }
+
+    /// Emits a constant.
+    pub fn constant(&mut self, c: i64) -> ValueId {
+        self.push(Inst::Const(c))
+    }
+
+    /// Emits a pointer add with a constant byte offset.
+    pub fn gep_const(&mut self, base: ValueId, offset: i64) -> ValueId {
+        let c = self.constant(offset);
+        self.push(Inst::Gep { base, offset: c })
+    }
+
+    /// Emits a pointer add with a dynamic byte offset.
+    pub fn gep(&mut self, base: ValueId, offset: ValueId) -> ValueId {
+        self.push(Inst::Gep { base, offset })
+    }
+
+    /// Emits an 8-byte load.
+    pub fn load(&mut self, addr: ValueId) -> ValueId {
+        self.push(Inst::Load { addr })
+    }
+
+    /// Emits an 8-byte store.
+    pub fn store(&mut self, addr: ValueId, value: ValueId) -> ValueId {
+        self.push(Inst::Store { addr, value })
+    }
+
+    /// Emits a persistent allocation.
+    pub fn alloc(&mut self, size: ValueId) -> ValueId {
+        self.push(Inst::Alloc { size })
+    }
+
+    /// Emits `lhs + rhs`.
+    pub fn add(&mut self, lhs: ValueId, rhs: ValueId) -> ValueId {
+        self.push(Inst::Bin {
+            op: BinOp::Add,
+            lhs,
+            rhs,
+        })
+    }
+
+    /// Emits a binary operation.
+    pub fn bin(&mut self, op: BinOp, lhs: ValueId, rhs: ValueId) -> ValueId {
+        self.push(Inst::Bin { op, lhs, rhs })
+    }
+
+    /// Emits a comparison.
+    pub fn cmp(&mut self, op: CmpOp, lhs: ValueId, rhs: ValueId) -> ValueId {
+        self.push(Inst::Cmp { op, lhs, rhs })
+    }
+
+    /// Emits a phi.
+    pub fn phi(&mut self, incoming: Vec<(BlockId, ValueId)>) -> ValueId {
+        self.push(Inst::Phi { incoming })
+    }
+
+    /// Rewrites a phi's incoming list (for back edges built after the phi).
+    pub fn set_phi_incoming(&mut self, phi: ValueId, incoming: Vec<(BlockId, ValueId)>) {
+        self.f.insts[phi.0 as usize] = Inst::Phi { incoming };
+    }
+
+    /// Terminates the current block with an unconditional branch.
+    pub fn br(&mut self, to: BlockId) {
+        self.f.blocks[self.current.0 as usize].term = Terminator::Br(to);
+    }
+
+    /// Terminates the current block with a conditional branch.
+    pub fn condbr(&mut self, cond: ValueId, then_: BlockId, else_: BlockId) {
+        self.f.blocks[self.current.0 as usize].term = Terminator::CondBr { cond, then_, else_ };
+    }
+
+    /// Terminates the current block with a return.
+    pub fn ret(&mut self, v: Option<ValueId>) {
+        self.f.blocks[self.current.0 as usize].term = Terminator::Ret(v);
+    }
+
+    /// Finishes and returns the function.
+    pub fn finish(self) -> Function {
+        self.f
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn bump() -> Function {
+        let mut b = FuncBuilder::new("bump", 1);
+        let cell = b.param(0);
+        let v = b.load(cell);
+        let one = b.constant(1);
+        let v1 = b.add(v, one);
+        b.store(cell, v1);
+        b.ret(None);
+        b.finish()
+    }
+
+    #[test]
+    fn builder_produces_valid_ir() {
+        let f = bump();
+        assert!(f.validate().is_ok());
+        assert_eq!(f.loads().len(), 1);
+        assert_eq!(f.stores().len(), 1);
+    }
+
+    #[test]
+    fn display_shows_instructions() {
+        let f = bump();
+        let text = format!("{f}");
+        assert!(text.contains("load"));
+        assert!(text.contains("store"));
+        assert!(text.contains("fn bump"));
+    }
+
+    #[test]
+    fn validate_rejects_out_of_range_value() {
+        let mut f = bump();
+        f.blocks[0].insts.push(ValueId(99));
+        assert!(matches!(f.validate(), Err(IrError::BadValue(_))));
+    }
+
+    #[test]
+    fn validate_rejects_duplicate_placement() {
+        let mut f = bump();
+        let first = f.blocks[0].insts[0];
+        f.blocks[0].insts.push(first);
+        assert!(matches!(f.validate(), Err(IrError::Unplaced(_))));
+    }
+
+    #[test]
+    fn validate_rejects_bad_branch_target() {
+        let mut f = bump();
+        f.blocks[0].term = Terminator::Br(BlockId(7));
+        assert!(matches!(f.validate(), Err(IrError::BadBlock(_))));
+    }
+
+    #[test]
+    fn validate_rejects_use_before_def() {
+        // %1 = add %0, %2 where %2 is a load defined later in the block
+        // (constants and params are exempt from the def-before-use check).
+        let mut b = FuncBuilder::new("bad", 1);
+        let p = b.param(0);
+        let later = ValueId(2);
+        b.push(Inst::Bin {
+            op: BinOp::Add,
+            lhs: p,
+            rhs: later,
+        });
+        b.load(p); // this becomes %2, after its use
+        b.ret(None);
+        let f = b.finish();
+        assert!(matches!(f.validate(), Err(IrError::UseBeforeDef { .. })));
+    }
+
+    #[test]
+    fn validate_rejects_phi_predecessor_mismatch() {
+        let mut b = FuncBuilder::new("badphi", 0);
+        let c = b.constant(1);
+        let b1 = b.new_block();
+        b.br(b1);
+        b.switch_to(b1);
+        // Phi claims an incoming edge from b1 itself, but the only pred is b0.
+        b.phi(vec![(b1, c)]);
+        b.ret(None);
+        let f = b.finish();
+        assert!(matches!(f.validate(), Err(IrError::BadPhi(_))));
+    }
+
+    #[test]
+    fn loop_with_phi_validates() {
+        // for i in 0..10 { } — classic phi loop.
+        let mut b = FuncBuilder::new("loop", 0);
+        let zero = b.constant(0);
+        let ten = b.constant(10);
+        let one = b.constant(1);
+        let header = b.new_block();
+        let body = b.new_block();
+        let exit = b.new_block();
+        b.br(header);
+        b.switch_to(header);
+        let i = b.phi(vec![(BlockId(0), zero)]);
+        let c = b.cmp(CmpOp::Lt, i, ten);
+        b.condbr(c, body, exit);
+        b.switch_to(body);
+        let i1 = b.add(i, one);
+        b.br(header);
+        b.set_phi_incoming(i, vec![(BlockId(0), zero), (body, i1)]);
+        b.switch_to(exit);
+        b.ret(None);
+        let f = b.finish();
+        assert!(f.validate().is_ok(), "{:?}", f.validate());
+    }
+}

@@ -1,0 +1,342 @@
+//! Textual IR parser — the inverse of [`Function`]'s `Display`.
+//!
+//! Lets transactions be written, stored and diffed as text, mirroring how
+//! the paper's artifact ships LLVM IR for its examples:
+//!
+//! ```text
+//! fn bump(1 params) {
+//! b0:
+//!   %0 = param 0
+//!   %1 = load [%0]
+//!   %2 = const 1
+//!   %3 = Add %1, %2
+//!   %4 = store [%0] <- %3
+//!   ret
+//! }
+//! ```
+
+use std::collections::HashMap;
+
+use crate::ir::{BinOp, Block, BlockId, CmpOp, Function, Inst, Terminator, ValueId};
+
+/// Parse failures, with the offending line.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseError {
+    /// 1-based line number.
+    pub line: usize,
+    /// What went wrong.
+    pub message: String,
+}
+
+impl std::fmt::Display for ParseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "line {}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+fn err<T>(line: usize, message: impl Into<String>) -> Result<T, ParseError> {
+    Err(ParseError {
+        line,
+        message: message.into(),
+    })
+}
+
+fn parse_value(tok: &str, line: usize) -> Result<ValueId, ParseError> {
+    let tok = tok.trim_end_matches(',');
+    match tok.strip_prefix('%').and_then(|n| n.parse::<u32>().ok()) {
+        Some(n) => Ok(ValueId(n)),
+        None => err(line, format!("expected a value like %3, got `{tok}`")),
+    }
+}
+
+fn parse_block_ref(tok: &str, line: usize) -> Result<BlockId, ParseError> {
+    let tok = tok.trim_end_matches(|c| c == ':' || c == ',');
+    match tok.strip_prefix('b').and_then(|n| n.parse::<u32>().ok()) {
+        Some(n) => Ok(BlockId(n)),
+        None => err(line, format!("expected a block like b2, got `{tok}`")),
+    }
+}
+
+fn parse_bracketed(tok: &str, line: usize) -> Result<ValueId, ParseError> {
+    let inner = tok
+        .strip_prefix('[')
+        .and_then(|t| t.strip_suffix(']'))
+        .ok_or(())
+        .or_else(|_| err::<&str>(line, format!("expected [%n], got `{tok}`")))?;
+    parse_value(inner, line)
+}
+
+/// Parses the textual form produced by `Function`'s `Display`.
+///
+/// # Errors
+///
+/// Returns [`ParseError`] on malformed input; the parsed function is also
+/// structurally [validated](Function::validate), with validation failures
+/// reported as a parse error on line 0.
+///
+/// # Example
+///
+/// ```
+/// use clobber_txir::{parse::parse_function, programs};
+///
+/// let f = programs::list_insert();
+/// let round_tripped = parse_function(&f.to_string()).unwrap();
+/// assert_eq!(round_tripped, f);
+/// ```
+pub fn parse_function(text: &str) -> Result<Function, ParseError> {
+    let mut lines = text.lines().enumerate().map(|(i, l)| (i + 1, l.trim()));
+    // Header: fn name(N params) {
+    let (hline, header) = loop {
+        match lines.next() {
+            Some((_, l)) if l.is_empty() => continue,
+            Some((i, l)) => break (i, l),
+            None => return err(0, "empty input"),
+        }
+    };
+    let header = header
+        .strip_prefix("fn ")
+        .and_then(|h| h.strip_suffix('{'))
+        .map(str::trim)
+        .ok_or(())
+        .or_else(|_| err::<&str>(hline, "expected `fn name(N params) {`"))?;
+    let open = header.find('(').ok_or(()).or_else(|_| err::<usize>(hline, "missing `(`"))?;
+    let name = header[..open].to_string();
+    let n_params: u32 = header[open + 1..]
+        .split_whitespace()
+        .next()
+        .and_then(|n| n.parse().ok())
+        .ok_or(())
+        .or_else(|_| err::<u32>(hline, "missing parameter count"))?;
+
+    let mut insts: Vec<Inst> = Vec::new();
+    let mut blocks: Vec<Block> = Vec::new();
+    let mut block_map: HashMap<u32, usize> = HashMap::new();
+    let mut current: Option<usize> = None;
+
+    for (lineno, line) in lines {
+        if line.is_empty() {
+            continue;
+        }
+        if line == "}" {
+            break;
+        }
+        // Block label.
+        if let Some(label) = line.strip_suffix(':') {
+            let id = parse_block_ref(label, lineno)?;
+            while blocks.len() <= id.0 as usize {
+                blocks.push(Block {
+                    insts: Vec::new(),
+                    term: Terminator::Ret(None),
+                });
+            }
+            block_map.insert(id.0, id.0 as usize);
+            current = Some(id.0 as usize);
+            continue;
+        }
+        let cur = match current {
+            Some(c) => c,
+            None => return err(lineno, "instruction before any block label"),
+        };
+        let toks: Vec<&str> = line.split_whitespace().collect();
+        // Terminators.
+        match toks[0] {
+            "br" => {
+                blocks[cur].term = Terminator::Br(parse_block_ref(toks[1], lineno)?);
+                continue;
+            }
+            "condbr" => {
+                // condbr %c ? bX : bY
+                let cond = parse_value(toks[1], lineno)?;
+                let then_ = parse_block_ref(toks[3], lineno)?;
+                let else_ = parse_block_ref(toks[5], lineno)?;
+                blocks[cur].term = Terminator::CondBr { cond, then_, else_ };
+                continue;
+            }
+            "ret" => {
+                let v = if toks.len() > 1 {
+                    Some(parse_value(toks[1], lineno)?)
+                } else {
+                    None
+                };
+                blocks[cur].term = Terminator::Ret(v);
+                continue;
+            }
+            _ => {}
+        }
+        // Instruction: %n = <op> ...
+        if toks.len() < 3 || toks[1] != "=" {
+            return err(lineno, format!("expected `%n = ...`, got `{line}`"));
+        }
+        let id = parse_value(toks[0], lineno)?;
+        let inst = match toks[2] {
+            "param" => Inst::Param(
+                toks[3]
+                    .parse()
+                    .ok()
+                    .ok_or(())
+                    .or_else(|_| err::<u32>(lineno, "bad param index"))?,
+            ),
+            "const" => Inst::Const(
+                toks[3]
+                    .parse()
+                    .ok()
+                    .ok_or(())
+                    .or_else(|_| err::<i64>(lineno, "bad constant"))?,
+            ),
+            "gep" => {
+                // gep %a + %b
+                Inst::Gep {
+                    base: parse_value(toks[3], lineno)?,
+                    offset: parse_value(toks[5], lineno)?,
+                }
+            }
+            "load" => Inst::Load {
+                addr: parse_bracketed(toks[3], lineno)?,
+            },
+            "store" => {
+                // store [%a] <- %v
+                Inst::Store {
+                    addr: parse_bracketed(toks[3], lineno)?,
+                    value: parse_value(toks[5], lineno)?,
+                }
+            }
+            "alloc" => Inst::Alloc {
+                size: parse_value(toks[3], lineno)?,
+            },
+            "cmp" => {
+                let op = match toks[3] {
+                    "Eq" => CmpOp::Eq,
+                    "Ne" => CmpOp::Ne,
+                    "Lt" => CmpOp::Lt,
+                    "Le" => CmpOp::Le,
+                    "SLt" => CmpOp::SLt,
+                    other => return err(lineno, format!("unknown cmp op `{other}`")),
+                };
+                Inst::Cmp {
+                    op,
+                    lhs: parse_value(toks[4], lineno)?,
+                    rhs: parse_value(toks[5], lineno)?,
+                }
+            }
+            "phi" => {
+                // phi [b0: %1] [b2: %5]
+                let rest = line.split_once("phi").expect("phi token present").1;
+                let mut incoming = Vec::new();
+                for part in rest.split('[').skip(1) {
+                    let part = part
+                        .split(']')
+                        .next()
+                        .ok_or(())
+                        .or_else(|_| err::<&str>(lineno, "unclosed phi arm"))?;
+                    let (b, v) = part
+                        .split_once(':')
+                        .ok_or(())
+                        .or_else(|_| err::<(&str, &str)>(lineno, "phi arm needs `bN: %v`"))?;
+                    incoming.push((
+                        parse_block_ref(b.trim(), lineno)?,
+                        parse_value(v.trim(), lineno)?,
+                    ));
+                }
+                Inst::Phi { incoming }
+            }
+            bin @ ("Add" | "Sub" | "Mul" | "And" | "Or" | "Xor" | "Shl" | "Shr" | "Rem") => {
+                let op = match bin {
+                    "Add" => BinOp::Add,
+                    "Sub" => BinOp::Sub,
+                    "Mul" => BinOp::Mul,
+                    "And" => BinOp::And,
+                    "Or" => BinOp::Or,
+                    "Xor" => BinOp::Xor,
+                    "Shl" => BinOp::Shl,
+                    "Shr" => BinOp::Shr,
+                    _ => BinOp::Rem,
+                };
+                Inst::Bin {
+                    op,
+                    lhs: parse_value(toks[3], lineno)?,
+                    rhs: parse_value(toks[4], lineno)?,
+                }
+            }
+            other => return err(lineno, format!("unknown instruction `{other}`")),
+        };
+        while insts.len() <= id.0 as usize {
+            insts.push(Inst::Const(0)); // placeholder until defined
+        }
+        insts[id.0 as usize] = inst;
+        blocks[cur].insts.push(id);
+    }
+
+    let f = Function {
+        name,
+        n_params,
+        insts,
+        blocks,
+    };
+    f.validate()
+        .map_err(|e| ParseError {
+            line: 0,
+            message: format!("validation failed: {e}"),
+        })?;
+    Ok(f)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::programs;
+
+    #[test]
+    fn round_trips_the_entire_corpus() {
+        for p in programs::corpus() {
+            let text = p.function.to_string();
+            let parsed = parse_function(&text)
+                .unwrap_or_else(|e| panic!("{}: {e}\n{text}", p.function.name));
+            assert_eq!(parsed, p.function, "{}", p.function.name);
+        }
+    }
+
+    #[test]
+    fn parses_a_hand_written_function() {
+        let f = parse_function(
+            "fn double(1 params) {\nb0:\n  %0 = param 0\n  %1 = load [%0]\n  %2 = Add %1, %1\n  %3 = store [%0] <- %2\n  ret %2\n}",
+        )
+        .unwrap();
+        assert_eq!(f.name, "double");
+        assert_eq!(f.loads().len(), 1);
+        assert_eq!(f.stores().len(), 1);
+    }
+
+    #[test]
+    fn reports_unknown_instructions_with_line_numbers() {
+        let e = parse_function("fn x(0 params) {\nb0:\n  %0 = frobnicate 3\n  ret\n}")
+            .unwrap_err();
+        assert_eq!(e.line, 3);
+        assert!(e.message.contains("frobnicate"));
+    }
+
+    #[test]
+    fn rejects_invalid_ir_after_parsing() {
+        // Parses fine, but %1 uses itself: validation must fail.
+        let e = parse_function("fn x(0 params) {\nb0:\n  %0 = Add %0, %0\n  ret\n}")
+            .unwrap_err();
+        assert_eq!(e.line, 0);
+        assert!(e.message.contains("validation"));
+    }
+
+    #[test]
+    fn rejects_instructions_outside_blocks() {
+        let e = parse_function("fn x(0 params) {\n  %0 = const 1\n}").unwrap_err();
+        assert!(e.message.contains("before any block"));
+    }
+
+    #[test]
+    fn parsed_functions_compile() {
+        let f = programs::loop_update();
+        let parsed = parse_function(&f.to_string()).unwrap();
+        let c = crate::pipeline::compile(parsed, crate::pipeline::CompileOptions::default())
+            .unwrap();
+        assert_eq!(c.clobber_sites.len(), 1);
+    }
+}

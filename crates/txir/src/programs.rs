@@ -1,0 +1,447 @@
+//! IR program corpus.
+//!
+//! Transactions modeled after the paper's workloads and examples, used by
+//! the Fig. 13 (optimization effectiveness) and Fig. 14 (compile time)
+//! experiments and by the differential/crash tests in this crate.
+
+use crate::ir::{CmpOp, FuncBuilder, Function};
+
+/// A corpus entry.
+#[derive(Debug, Clone)]
+pub struct Program {
+    /// The transaction IR.
+    pub function: Function,
+    /// What it models.
+    pub description: &'static str,
+}
+
+/// `counter_bump(cell)`: `*cell += 1` — the minimal clobber.
+pub fn counter_bump() -> Function {
+    let mut b = FuncBuilder::new("counter_bump", 1);
+    let cell = b.param(0);
+    let v = b.load(cell);
+    let one = b.constant(1);
+    let v1 = b.add(v, one);
+    b.store(cell, v1);
+    b.ret(Some(v1));
+    b.finish()
+}
+
+/// `list_insert(head, val)`: the paper's Fig. 2a transaction. Node layout:
+/// `[val][next]`; only the head-pointer store clobbers.
+pub fn list_insert() -> Function {
+    let mut b = FuncBuilder::new("list_insert", 2);
+    let head = b.param(0);
+    let val = b.param(1);
+    let sz = b.constant(16);
+    let node = b.alloc(sz);
+    b.store(node, val);
+    let old = b.load(head);
+    let nxt = b.gep_const(node, 8);
+    b.store(nxt, old);
+    b.store(head, node);
+    b.ret(Some(node));
+    b.finish()
+}
+
+/// `array_shift(arr, n, val)`: B+Tree-leaf-style insertion at the front of a
+/// sorted array: shift `arr[0..n]` right by one, then write `val` at
+/// `arr[0]`. The shift loop reads `arr[i]` and writes `arr[i+1]` with
+/// dynamic offsets — all may-alias, so the conservative pass instruments the
+/// loop store.
+pub fn array_shift() -> Function {
+    let mut b = FuncBuilder::new("array_shift", 3);
+    let arr = b.param(0);
+    let n = b.param(1);
+    let val = b.param(2);
+    let zero = b.constant(0);
+    let one = b.constant(1);
+    let eight = b.constant(8);
+    let entry = b.current_block();
+    let header = b.new_block();
+    let body = b.new_block();
+    let exit = b.new_block();
+    b.br(header);
+    b.switch_to(header);
+    // i counts down from n to 1.
+    let i = b.phi(vec![(entry, n)]);
+    let c = b.cmp(CmpOp::Lt, zero, i);
+    b.condbr(c, body, exit);
+    b.switch_to(body);
+    let im1 = b.bin(crate::ir::BinOp::Sub, i, one);
+    let src_off = b.bin(crate::ir::BinOp::Mul, im1, eight);
+    let dst_off = b.bin(crate::ir::BinOp::Mul, i, eight);
+    let src = b.gep(arr, src_off);
+    let dst = b.gep(arr, dst_off);
+    let v = b.load(src);
+    b.store(dst, v);
+    b.br(header);
+    b.set_phi_incoming(i, vec![(entry, n), (body, im1)]);
+    b.switch_to(exit);
+    b.store(arr, val);
+    b.ret(None);
+    b.finish()
+}
+
+/// `hashmap_put(bucket, key, val_cell_value)`: walk the chain; if the key
+/// exists overwrite its value (clobber), else prepend a node (clobbers the
+/// bucket head). Node layout: `[key][val][next]`.
+pub fn hashmap_put() -> Function {
+    let mut b = FuncBuilder::new("hashmap_put", 3);
+    let bucket = b.param(0);
+    let key = b.param(1);
+    let val = b.param(2);
+    let zero = b.constant(0);
+    let entry = b.current_block();
+    let header = b.new_block();
+    let check = b.new_block();
+    let found = b.new_block();
+    let advance = b.new_block();
+    let prepend = b.new_block();
+    let first = b.load(bucket);
+    b.br(header);
+    b.switch_to(header);
+    let cur = b.phi(vec![(entry, first)]);
+    let is_null = b.cmp(CmpOp::Eq, cur, zero);
+    b.condbr(is_null, prepend, check);
+    b.switch_to(check);
+    let k = b.load(cur);
+    let eq = b.cmp(CmpOp::Eq, k, key);
+    b.condbr(eq, found, advance);
+    b.switch_to(found);
+    let val_addr = b.gep_const(cur, 8);
+    b.store(val_addr, val); // clobber: overwrites an existing value
+    b.ret(Some(cur));
+    b.switch_to(advance);
+    let next_addr = b.gep_const(cur, 16);
+    let nxt = b.load(next_addr);
+    b.br(header);
+    b.set_phi_incoming(cur, vec![(entry, first), (advance, nxt)]);
+    b.switch_to(prepend);
+    let sz = b.constant(24);
+    let node = b.alloc(sz);
+    b.store(node, key);
+    let nv = b.gep_const(node, 8);
+    b.store(nv, val);
+    let nn = b.gep_const(node, 16);
+    b.store(nn, first);
+    b.store(bucket, node); // clobber: bucket head
+    b.ret(Some(node));
+    b.finish()
+}
+
+/// `skiplist_link(node, pred, levels)`: link `node` after `pred` on
+/// `levels` consecutive levels. Level arrays live at offset 8; each
+/// iteration reads `pred->next[l]` and overwrites it — a clobber per level,
+/// which refinement cannot coalesce (distinct dynamic offsets), matching
+/// the paper's observation that skiplist keeps several clobber entries.
+pub fn skiplist_link() -> Function {
+    let mut b = FuncBuilder::new("skiplist_link", 3);
+    let node = b.param(0);
+    let pred = b.param(1);
+    let levels = b.param(2);
+    let zero = b.constant(0);
+    let one = b.constant(1);
+    let eight = b.constant(8);
+    let entry = b.current_block();
+    let header = b.new_block();
+    let body = b.new_block();
+    let exit = b.new_block();
+    b.br(header);
+    b.switch_to(header);
+    let l = b.phi(vec![(entry, zero)]);
+    let c = b.cmp(CmpOp::Lt, l, levels);
+    b.condbr(c, body, exit);
+    b.switch_to(body);
+    let off = b.bin(crate::ir::BinOp::Mul, l, eight);
+    let off8 = b.add(off, eight);
+    let pred_slot = b.gep(pred, off8);
+    let node_slot = b.gep(node, off8);
+    let succ = b.load(pred_slot);
+    b.store(node_slot, succ); // node->next[l] = pred->next[l]
+    b.store(pred_slot, node); // clobber: pred->next[l]
+    let l1 = b.add(l, one);
+    b.br(header);
+    b.set_phi_incoming(l, vec![(entry, zero), (body, l1)]);
+    b.switch_to(exit);
+    b.ret(None);
+    b.finish()
+}
+
+/// `rotate_left(x_cell)`: red-black-tree-style rotation through loaded
+/// pointers — everything may-alias, the conservative pass is maximally
+/// pessimistic. Node layout: `[left][right]`.
+pub fn rotate_left() -> Function {
+    let mut b = FuncBuilder::new("rotate_left", 1);
+    let x_cell = b.param(0);
+    let x = b.load(x_cell);
+    let x_right = b.gep_const(x, 8);
+    let y = b.load(x_right);
+    let y_left = b.gep_const(y, 0);
+    let yl = b.load(y_left);
+    b.store(x_right, yl); // x->right = y->left
+    b.store(y_left, x); // y->left = x
+    b.store(x_cell, y); // *x_cell = y
+    b.ret(Some(y));
+    b.finish()
+}
+
+/// `reserve_item(price_cell, qty_cell, budget)`: vacation-style reservation:
+/// check the price, decrement the quantity, add the price to a total.
+pub fn reserve_item() -> Function {
+    let mut b = FuncBuilder::new("reserve_item", 3);
+    let price_cell = b.param(0);
+    let qty_cell = b.param(1);
+    let total_cell = b.param(2);
+    let one = b.constant(1);
+    let price = b.load(price_cell);
+    let qty = b.load(qty_cell);
+    let zero = b.constant(0);
+    let has = b.cmp(CmpOp::Lt, zero, qty);
+    let do_it = b.new_block();
+    let done = b.new_block();
+    b.condbr(has, do_it, done);
+    b.switch_to(do_it);
+    let q1 = b.bin(crate::ir::BinOp::Sub, qty, one);
+    b.store(qty_cell, q1); // clobber: quantity
+    let t = b.load(total_cell);
+    let t1 = b.add(t, price);
+    b.store(total_cell, t1); // clobber: running total
+    b.br(done);
+    b.switch_to(done);
+    b.ret(None);
+    b.finish()
+}
+
+/// `relink_triangle(tri, old_n, new_n)`: yada-style neighbor relink: scan a
+/// triangle's three neighbor slots and replace `old_n` with `new_n`.
+pub fn relink_triangle() -> Function {
+    let mut b = FuncBuilder::new("relink_triangle", 3);
+    let tri = b.param(0);
+    let old_n = b.param(1);
+    let new_n = b.param(2);
+    let zero = b.constant(0);
+    let one = b.constant(1);
+    let three = b.constant(3);
+    let eight = b.constant(8);
+    let entry = b.current_block();
+    let header = b.new_block();
+    let body = b.new_block();
+    let hit = b.new_block();
+    let next = b.new_block();
+    let exit = b.new_block();
+    b.br(header);
+    b.switch_to(header);
+    let i = b.phi(vec![(entry, zero)]);
+    let c = b.cmp(CmpOp::Lt, i, three);
+    b.condbr(c, body, exit);
+    b.switch_to(body);
+    let off = b.bin(crate::ir::BinOp::Mul, i, eight);
+    let slot = b.gep(tri, off);
+    let n = b.load(slot);
+    let eq = b.cmp(CmpOp::Eq, n, old_n);
+    b.condbr(eq, hit, next);
+    b.switch_to(hit);
+    b.store(slot, new_n); // clobber: a read neighbor slot
+    b.br(next);
+    b.switch_to(next);
+    let i1 = b.add(i, one);
+    b.br(header);
+    b.set_phi_incoming(i, vec![(entry, zero), (next, i1)]);
+    b.switch_to(exit);
+    b.ret(None);
+    b.finish()
+}
+
+/// `loop_update(cell)`: the paper's loop-shadowing shape — a clobber before
+/// the loop dominates the (otherwise identical) clobber inside it, so
+/// refinement drops the loop store's logging.
+pub fn loop_update() -> Function {
+    let mut b = FuncBuilder::new("loop_update", 1);
+    let cell = b.param(0);
+    let v0 = b.load(cell);
+    let one = b.constant(1);
+    let ten = b.constant(10);
+    let v1 = b.add(v0, one);
+    b.store(cell, v1);
+    let entry = b.current_block();
+    let header = b.new_block();
+    let body = b.new_block();
+    let exit = b.new_block();
+    b.br(header);
+    b.switch_to(header);
+    let i = b.phi(vec![(entry, one)]);
+    let c = b.cmp(CmpOp::Lt, i, ten);
+    b.condbr(c, body, exit);
+    b.switch_to(body);
+    let cur = b.load(cell);
+    let nv = b.add(cur, one);
+    b.store(cell, nv);
+    let i1 = b.add(i, one);
+    b.br(header);
+    b.set_phi_incoming(i, vec![(entry, one), (body, i1)]);
+    b.switch_to(exit);
+    b.ret(None);
+    b.finish()
+}
+
+/// `unexposed(p, q)`: the paper's Fig. 5 (left) pattern; refinement proves
+/// the later store never clobbers an input.
+pub fn unexposed() -> Function {
+    let mut b = FuncBuilder::new("unexposed", 2);
+    let p = b.param(0);
+    let q = b.param(1);
+    let c = b.constant(1);
+    b.store(p, c);
+    let v = b.load(q);
+    let v1 = b.add(v, c);
+    b.store(p, v1);
+    b.ret(None);
+    b.finish()
+}
+
+/// A synthetic straight-line transaction of `n` read-modify-write pairs
+/// over one array, for compile-time scaling (Fig. 14).
+pub fn synthetic_rmw_chain(n: usize) -> Function {
+    let mut b = FuncBuilder::new("synthetic_rmw_chain", 1);
+    let base = b.param(0);
+    let one = b.constant(1);
+    for i in 0..n {
+        let addr = b.gep_const(base, (i as i64) * 8);
+        let v = b.load(addr);
+        let v1 = b.add(v, one);
+        b.store(addr, v1);
+    }
+    b.ret(None);
+    b.finish()
+}
+
+/// The full corpus used by the Fig. 13/14 experiments.
+pub fn corpus() -> Vec<Program> {
+    vec![
+        Program {
+            function: counter_bump(),
+            description: "minimal read-modify-write clobber",
+        },
+        Program {
+            function: list_insert(),
+            description: "paper Fig. 2a persistent list insert",
+        },
+        Program {
+            function: array_shift(),
+            description: "B+Tree-style sorted-array shift",
+        },
+        Program {
+            function: hashmap_put(),
+            description: "hashmap bucket insert/update",
+        },
+        Program {
+            function: skiplist_link(),
+            description: "skiplist multi-level link",
+        },
+        Program {
+            function: rotate_left(),
+            description: "red-black-tree rotation",
+        },
+        Program {
+            function: reserve_item(),
+            description: "vacation-style reservation",
+        },
+        Program {
+            function: relink_triangle(),
+            description: "yada-style neighbor relink",
+        },
+        Program {
+            function: loop_update(),
+            description: "loop-shadowed clobber (paper Fig. 5 right)",
+        },
+        Program {
+            function: unexposed(),
+            description: "unexposed false candidate (paper Fig. 5 left)",
+        },
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pipeline::{compile, CompileOptions};
+
+    #[test]
+    fn entire_corpus_validates() {
+        for p in corpus() {
+            assert!(
+                p.function.validate().is_ok(),
+                "{}: {:?}",
+                p.function.name,
+                p.function.validate()
+            );
+        }
+    }
+
+    #[test]
+    fn corpus_names_are_unique() {
+        let mut names: Vec<_> = corpus().iter().map(|p| p.function.name.clone()).collect();
+        let before = names.len();
+        names.sort();
+        names.dedup();
+        assert_eq!(names.len(), before);
+    }
+
+    #[test]
+    fn refinement_never_adds_sites() {
+        for p in corpus() {
+            let refined = compile(p.function.clone(), CompileOptions { refine: true }).unwrap();
+            let cons = compile(p.function.clone(), CompileOptions { refine: false }).unwrap();
+            assert!(
+                refined.clobber_sites.len() <= cons.clobber_sites.len(),
+                "{}",
+                p.function.name
+            );
+            assert!(
+                refined.clobber_sites.is_subset(&cons.clobber_sites),
+                "{}: refinement must only remove sites",
+                p.function.name
+            );
+        }
+    }
+
+    #[test]
+    fn list_insert_has_exactly_one_clobber_site() {
+        let c = compile(list_insert(), CompileOptions::default()).unwrap();
+        assert_eq!(c.clobber_sites.len(), 1);
+    }
+
+    #[test]
+    fn loop_update_refines_from_two_sites_to_one() {
+        let refined = compile(loop_update(), CompileOptions { refine: true }).unwrap();
+        let cons = compile(loop_update(), CompileOptions { refine: false }).unwrap();
+        assert_eq!(cons.clobber_sites.len(), 2);
+        assert_eq!(refined.clobber_sites.len(), 1);
+        assert_eq!(refined.analysis.removed_shadowed, 1);
+    }
+
+    #[test]
+    fn unexposed_refines_to_zero_sites() {
+        let refined = compile(unexposed(), CompileOptions { refine: true }).unwrap();
+        assert!(refined.clobber_sites.is_empty());
+        assert_eq!(refined.analysis.removed_unexposed, 1);
+    }
+
+    #[test]
+    fn skiplist_link_keeps_its_level_clobber() {
+        let c = compile(skiplist_link(), CompileOptions::default()).unwrap();
+        assert!(
+            !c.clobber_sites.is_empty(),
+            "per-level pred->next overwrite must be instrumented"
+        );
+    }
+
+    #[test]
+    fn synthetic_chain_scales() {
+        let small = compile(synthetic_rmw_chain(4), CompileOptions::default()).unwrap();
+        let large = compile(synthetic_rmw_chain(64), CompileOptions::default()).unwrap();
+        assert_eq!(small.clobber_sites.len(), 4);
+        assert_eq!(large.clobber_sites.len(), 64);
+    }
+}

@@ -1,0 +1,24 @@
+//! Workload generators for the Clobber-NVM evaluation.
+//!
+//! * [`zipf`] — a Zipfian distribution (the YCSB request skew);
+//! * [`ycsb`] — YCSB-style key-value workloads; the paper's data-structure
+//!   experiments use YCSB-Load (populate with inserts, §5.2);
+//! * [`memslap`] — memslap-style request streams for the memcached-like
+//!   server: uniformly distributed 16-byte keys, 64-byte values, four
+//!   insertion/search mixes (§5.6);
+//! * [`vacation`] — the STAMP vacation action mix: 99 % reservations or
+//!   cancellations, the rest add/delete items, with a queries-per-task knob
+//!   (§5.7).
+//!
+//! All generators are deterministic given a seed.
+
+#![warn(missing_docs)]
+
+pub mod memslap;
+pub mod vacation;
+pub mod ycsb;
+pub mod zipf;
+
+pub use memslap::{Mix, Request, RequestStream};
+pub use ycsb::{KvOp, Workload, WorkloadKind};
+pub use zipf::Zipf;

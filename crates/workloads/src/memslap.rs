@@ -1,0 +1,204 @@
+//! memslap-style request streams for the memcached-like server.
+//!
+//! The paper drives its memcached port with memslap: uniformly distributed
+//! 16-byte keys and 64-byte values, in four mixes from insertion-intensive
+//! (95 % set) to search-intensive (5 % set) (§5.6).
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// One memcached-protocol request.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Request {
+    /// `set key value`.
+    Set {
+        /// 16-byte key.
+        key: Vec<u8>,
+        /// 64-byte value.
+        value: Vec<u8>,
+    },
+    /// `get key`.
+    Get {
+        /// 16-byte key.
+        key: Vec<u8>,
+    },
+}
+
+impl Request {
+    /// The request's key bytes.
+    pub fn key(&self) -> &[u8] {
+        match self {
+            Request::Set { key, .. } | Request::Get { key } => key,
+        }
+    }
+}
+
+/// The paper's four workload mixes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Mix {
+    /// 95 % insertion / 5 % search.
+    InsertIntensive,
+    /// 75 % insertion / 25 % search.
+    InsertMost,
+    /// 25 % insertion / 75 % search.
+    SearchMost,
+    /// 5 % insertion / 95 % search.
+    SearchIntensive,
+}
+
+impl Mix {
+    /// Percentage of `set` requests.
+    pub fn set_pct(&self) -> u32 {
+        match self {
+            Mix::InsertIntensive => 95,
+            Mix::InsertMost => 75,
+            Mix::SearchMost => 25,
+            Mix::SearchIntensive => 5,
+        }
+    }
+
+    /// Stable label for CSV output.
+    pub fn label(&self) -> &'static str {
+        match self {
+            Mix::InsertIntensive => "insert95",
+            Mix::InsertMost => "insert75",
+            Mix::SearchMost => "search75",
+            Mix::SearchIntensive => "search95",
+        }
+    }
+
+    /// All four mixes, insert-heaviest first (Fig. 10 order).
+    pub fn all() -> [Mix; 4] {
+        [
+            Mix::InsertIntensive,
+            Mix::InsertMost,
+            Mix::SearchMost,
+            Mix::SearchIntensive,
+        ]
+    }
+}
+
+/// Key size memslap uses in the paper's experiments.
+pub const KEY_SIZE: usize = 16;
+/// Value size memslap uses in the paper's experiments.
+pub const VALUE_SIZE: usize = 64;
+
+/// A deterministic memslap-style request stream.
+///
+/// # Example
+///
+/// ```
+/// use clobber_workloads::{Mix, RequestStream};
+///
+/// let reqs: Vec<_> = RequestStream::new(Mix::InsertIntensive, 100, 1000, 7).collect();
+/// assert_eq!(reqs.len(), 100);
+/// ```
+#[derive(Debug)]
+pub struct RequestStream {
+    mix: Mix,
+    count: u64,
+    issued: u64,
+    key_space: u64,
+    rng: StdRng,
+}
+
+impl RequestStream {
+    /// `count` requests over `key_space` uniformly distributed keys.
+    pub fn new(mix: Mix, count: u64, key_space: u64, seed: u64) -> RequestStream {
+        RequestStream {
+            mix,
+            count,
+            issued: 0,
+            key_space: key_space.max(1),
+            rng: StdRng::seed_from_u64(seed),
+        }
+    }
+
+    /// The 16-byte key for key id `k`.
+    pub fn key_bytes(k: u64) -> Vec<u8> {
+        let mut key = vec![0u8; KEY_SIZE];
+        key[..8].copy_from_slice(&k.to_le_bytes());
+        key[8..].copy_from_slice(&k.wrapping_mul(0x9E37_79B9_7F4A_7C15).to_le_bytes());
+        key
+    }
+
+    /// The 64-byte value for key id `k`.
+    pub fn value_bytes(k: u64) -> Vec<u8> {
+        let kb = k.to_le_bytes();
+        (0..VALUE_SIZE).map(|i| kb[i % 8] ^ (i as u8)).collect()
+    }
+}
+
+impl Iterator for RequestStream {
+    type Item = Request;
+
+    fn next(&mut self) -> Option<Request> {
+        if self.issued >= self.count {
+            return None;
+        }
+        self.issued += 1;
+        let k = self.rng.gen_range(0..self.key_space);
+        let req = if self.rng.gen_range(0..100) < self.mix.set_pct() {
+            Request::Set {
+                key: Self::key_bytes(k),
+                value: Self::value_bytes(k),
+            }
+        } else {
+            Request::Get {
+                key: Self::key_bytes(k),
+            }
+        };
+        Some(req)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn keys_and_values_have_memslap_sizes() {
+        for r in RequestStream::new(Mix::InsertMost, 100, 50, 1) {
+            assert_eq!(r.key().len(), KEY_SIZE);
+            if let Request::Set { value, .. } = r {
+                assert_eq!(value.len(), VALUE_SIZE);
+            }
+        }
+    }
+
+    #[test]
+    fn mixes_have_expected_set_ratio() {
+        for mix in Mix::all() {
+            let sets = RequestStream::new(mix, 10_000, 1000, 2)
+                .filter(|r| matches!(r, Request::Set { .. }))
+                .count() as i64;
+            let expected = mix.set_pct() as i64 * 100;
+            assert!(
+                (sets - expected).abs() < 300,
+                "{}: got {sets} sets, expected ~{expected}",
+                mix.label()
+            );
+        }
+    }
+
+    #[test]
+    fn stream_is_deterministic() {
+        let a: Vec<_> = RequestStream::new(Mix::SearchMost, 100, 500, 3).collect();
+        let b: Vec<_> = RequestStream::new(Mix::SearchMost, 100, 500, 3).collect();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn distinct_key_ids_produce_distinct_keys() {
+        assert_ne!(RequestStream::key_bytes(1), RequestStream::key_bytes(2));
+        assert_eq!(RequestStream::key_bytes(9), RequestStream::key_bytes(9));
+    }
+
+    #[test]
+    fn mix_labels_are_unique() {
+        let mut labels: Vec<_> = Mix::all().iter().map(|m| m.label()).collect();
+        labels.sort();
+        labels.dedup();
+        assert_eq!(labels.len(), 4);
+    }
+}

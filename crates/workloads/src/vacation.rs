@@ -1,0 +1,215 @@
+//! STAMP vacation action mix.
+//!
+//! Vacation simulates a travel agency over four tables (cars, flights,
+//! rooms, customers). The paper's configuration (§5.7): 100 000 records per
+//! reservation table, a workload of 99 % reservations-or-cancellations with
+//! the remainder adding/removing items, and a *queries per task* knob
+//! controlling how many items each transaction examines.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// The three reservation tables.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ResKind {
+    /// Rental cars.
+    Car,
+    /// Flights.
+    Flight,
+    /// Hotel rooms.
+    Room,
+}
+
+impl ResKind {
+    /// All reservation kinds.
+    pub fn all() -> [ResKind; 3] {
+        [ResKind::Car, ResKind::Flight, ResKind::Room]
+    }
+
+    /// Stable index (table id).
+    pub fn index(&self) -> usize {
+        match self {
+            ResKind::Car => 0,
+            ResKind::Flight => 1,
+            ResKind::Room => 2,
+        }
+    }
+}
+
+/// One vacation task.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Action {
+    /// Examine `queries` items and reserve the cheapest available one of
+    /// each queried kind for `customer`.
+    MakeReservation {
+        /// Customer id.
+        customer: u64,
+        /// `(kind, item id)` pairs to examine.
+        queries: Vec<(ResKind, u64)>,
+    },
+    /// Cancel the customer's most recent reservation.
+    CancelReservation {
+        /// Customer id.
+        customer: u64,
+    },
+    /// Add stock/price to an item (manager action).
+    AddItem {
+        /// Table.
+        kind: ResKind,
+        /// Item id.
+        item: u64,
+        /// Quantity to add.
+        quantity: u64,
+        /// New price.
+        price: u64,
+    },
+    /// Remove stock from an item (manager action).
+    DeleteItem {
+        /// Table.
+        kind: ResKind,
+        /// Item id.
+        item: u64,
+        /// Quantity to remove.
+        quantity: u64,
+    },
+}
+
+/// Deterministic vacation task stream.
+///
+/// # Example
+///
+/// ```
+/// use clobber_workloads::vacation::ActionStream;
+///
+/// let tasks: Vec<_> = ActionStream::new(100, 1000, 500, 4, 11).collect();
+/// assert_eq!(tasks.len(), 100);
+/// ```
+#[derive(Debug)]
+pub struct ActionStream {
+    count: u64,
+    issued: u64,
+    relations: u64,
+    customers: u64,
+    queries_per_task: usize,
+    rng: StdRng,
+}
+
+impl ActionStream {
+    /// `count` tasks over `relations` items per table and `customers`
+    /// customers, each reservation examining `queries_per_task` items.
+    pub fn new(
+        count: u64,
+        relations: u64,
+        customers: u64,
+        queries_per_task: usize,
+        seed: u64,
+    ) -> ActionStream {
+        ActionStream {
+            count,
+            issued: 0,
+            relations: relations.max(1),
+            customers: customers.max(1),
+            queries_per_task: queries_per_task.max(1),
+            rng: StdRng::seed_from_u64(seed),
+        }
+    }
+}
+
+impl Iterator for ActionStream {
+    type Item = Action;
+
+    fn next(&mut self) -> Option<Action> {
+        if self.issued >= self.count {
+            return None;
+        }
+        self.issued += 1;
+        let roll = self.rng.gen_range(0..100);
+        let action = if roll < 89 {
+            let customer = self.rng.gen_range(0..self.customers);
+            let queries = (0..self.queries_per_task)
+                .map(|_| {
+                    let kind = ResKind::all()[self.rng.gen_range(0..3)];
+                    (kind, self.rng.gen_range(0..self.relations))
+                })
+                .collect();
+            Action::MakeReservation { customer, queries }
+        } else if roll < 99 {
+            Action::CancelReservation {
+                customer: self.rng.gen_range(0..self.customers),
+            }
+        } else if roll == 99 && self.rng.gen_bool(0.5) {
+            Action::AddItem {
+                kind: ResKind::all()[self.rng.gen_range(0..3)],
+                item: self.rng.gen_range(0..self.relations),
+                quantity: 100,
+                price: 50 + self.rng.gen_range(0..500),
+            }
+        } else {
+            Action::DeleteItem {
+                kind: ResKind::all()[self.rng.gen_range(0..3)],
+                item: self.rng.gen_range(0..self.relations),
+                quantity: 100,
+            }
+        };
+        Some(action)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mix_is_mostly_reservations_and_cancellations() {
+        let tasks: Vec<_> = ActionStream::new(10_000, 1000, 500, 2, 1).collect();
+        let res_or_cancel = tasks
+            .iter()
+            .filter(|a| {
+                matches!(
+                    a,
+                    Action::MakeReservation { .. } | Action::CancelReservation { .. }
+                )
+            })
+            .count();
+        assert!(
+            res_or_cancel >= 9800,
+            "expected ~99% reservations/cancellations, got {res_or_cancel}/10000"
+        );
+    }
+
+    #[test]
+    fn queries_per_task_is_respected() {
+        for q in [2usize, 4, 6] {
+            for a in ActionStream::new(200, 100, 50, q, 2) {
+                if let Action::MakeReservation { queries, .. } = a {
+                    assert_eq!(queries.len(), q);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn stream_is_deterministic() {
+        let a: Vec<_> = ActionStream::new(100, 1000, 100, 3, 9).collect();
+        let b: Vec<_> = ActionStream::new(100, 1000, 100, 3, 9).collect();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn item_ids_stay_in_range() {
+        for a in ActionStream::new(1000, 77, 33, 2, 4) {
+            match a {
+                Action::MakeReservation { customer, queries } => {
+                    assert!(customer < 33);
+                    for (_, id) in queries {
+                        assert!(id < 77);
+                    }
+                }
+                Action::CancelReservation { customer } => assert!(customer < 33),
+                Action::AddItem { item, .. } | Action::DeleteItem { item, .. } => {
+                    assert!(item < 77)
+                }
+            }
+        }
+    }
+}

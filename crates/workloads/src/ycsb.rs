@@ -1,0 +1,208 @@
+//! YCSB-style key-value workloads.
+//!
+//! The paper's data-structure experiments (Figs. 6–8) run YCSB-Load —
+//! populating the structure with inserts — with 8-byte keys (32-byte for
+//! B+Tree) and 256-byte values, 1 M entries (§5.2). The read/update mixes
+//! (A/B/C) are provided as well for wider coverage.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::zipf::Zipf;
+
+/// One key-value operation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum KvOp {
+    /// Insert a fresh key.
+    Insert {
+        /// The key.
+        key: u64,
+        /// Deterministic value payload.
+        value: Vec<u8>,
+    },
+    /// Point lookup.
+    Read {
+        /// The key.
+        key: u64,
+    },
+    /// Overwrite an existing key's value.
+    Update {
+        /// The key.
+        key: u64,
+        /// New value payload.
+        value: Vec<u8>,
+    },
+}
+
+impl KvOp {
+    /// The operation's key.
+    pub fn key(&self) -> u64 {
+        match self {
+            KvOp::Insert { key, .. } | KvOp::Read { key } | KvOp::Update { key, .. } => *key,
+        }
+    }
+
+    /// `true` for inserts and updates.
+    pub fn is_write(&self) -> bool {
+        !matches!(self, KvOp::Read { .. })
+    }
+}
+
+/// The standard YCSB workload letters plus Load.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum WorkloadKind {
+    /// Populate: 100 % inserts of distinct keys (the paper's Figs. 6–8).
+    Load,
+    /// 50 % reads / 50 % updates, zipfian keys.
+    A,
+    /// 95 % reads / 5 % updates, zipfian keys.
+    B,
+    /// 100 % reads, zipfian keys.
+    C,
+}
+
+/// A deterministic YCSB-style operation stream.
+///
+/// # Example
+///
+/// ```
+/// use clobber_workloads::{Workload, WorkloadKind};
+///
+/// let ops: Vec<_> = Workload::new(WorkloadKind::Load, 100, 256, 42).collect();
+/// assert_eq!(ops.len(), 100);
+/// assert!(ops.iter().all(|o| o.is_write()));
+/// ```
+#[derive(Debug)]
+pub struct Workload {
+    kind: WorkloadKind,
+    count: u64,
+    issued: u64,
+    value_size: usize,
+    rng: StdRng,
+    zipf: Zipf,
+    /// Keys already inserted (for Load: the insertion order permutation).
+    population: u64,
+}
+
+impl Workload {
+    /// A stream of `count` operations over a key space of the same size,
+    /// with `value_size`-byte values.
+    pub fn new(kind: WorkloadKind, count: u64, value_size: usize, seed: u64) -> Workload {
+        Workload {
+            kind,
+            count,
+            issued: 0,
+            value_size,
+            rng: StdRng::seed_from_u64(seed),
+            zipf: Zipf::new(count.max(1), 0.99),
+            population: count.max(1),
+        }
+    }
+
+    /// Deterministic value payload for `key` (first bytes encode the key so
+    /// reads can verify contents).
+    pub fn value_for(key: u64, value_size: usize) -> Vec<u8> {
+        let mut v = vec![0u8; value_size];
+        let kb = key.to_le_bytes();
+        for (i, b) in v.iter_mut().enumerate() {
+            *b = kb[i % 8] ^ (i as u8);
+        }
+        v
+    }
+
+    fn scramble(&self, i: u64) -> u64 {
+        // Fibonacci hashing: a bijection on u64, so Load inserts distinct
+        // keys in pseudo-random order.
+        i.wrapping_mul(0x9E37_79B9_7F4A_7C15)
+    }
+}
+
+impl Iterator for Workload {
+    type Item = KvOp;
+
+    fn next(&mut self) -> Option<KvOp> {
+        if self.issued >= self.count {
+            return None;
+        }
+        let i = self.issued;
+        self.issued += 1;
+        let op = match self.kind {
+            WorkloadKind::Load => KvOp::Insert {
+                key: self.scramble(i),
+                value: Self::value_for(self.scramble(i), self.value_size),
+            },
+            WorkloadKind::A | WorkloadKind::B => {
+                let read_pct = if self.kind == WorkloadKind::A { 50 } else { 95 };
+                let sampled = self.zipf.sample(&mut self.rng) % self.population;
+                let key = self.scramble(sampled);
+                if self.rng.gen_range(0..100) < read_pct {
+                    KvOp::Read { key }
+                } else {
+                    KvOp::Update {
+                        key,
+                        value: Self::value_for(key ^ 1, self.value_size),
+                    }
+                }
+            }
+            WorkloadKind::C => {
+                let sampled = self.zipf.sample(&mut self.rng) % self.population;
+                KvOp::Read {
+                    key: self.scramble(sampled),
+                }
+            }
+        };
+        Some(op)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+
+    #[test]
+    fn load_inserts_distinct_keys() {
+        let keys: HashSet<u64> = Workload::new(WorkloadKind::Load, 1000, 8, 1)
+            .map(|op| op.key())
+            .collect();
+        assert_eq!(keys.len(), 1000);
+    }
+
+    #[test]
+    fn load_is_deterministic() {
+        let a: Vec<_> = Workload::new(WorkloadKind::Load, 50, 16, 5).collect();
+        let b: Vec<_> = Workload::new(WorkloadKind::Load, 50, 16, 5).collect();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn mix_ratios_are_roughly_right() {
+        let ops: Vec<_> = Workload::new(WorkloadKind::B, 10_000, 8, 2).collect();
+        let writes = ops.iter().filter(|o| o.is_write()).count();
+        assert!(
+            (300..=800).contains(&writes),
+            "B is ~5% updates, got {writes}/10000"
+        );
+        let ops: Vec<_> = Workload::new(WorkloadKind::C, 1000, 8, 3).collect();
+        assert!(ops.iter().all(|o| !o.is_write()));
+    }
+
+    #[test]
+    fn values_encode_their_key() {
+        let v1 = Workload::value_for(7, 64);
+        let v2 = Workload::value_for(8, 64);
+        assert_eq!(v1.len(), 64);
+        assert_ne!(v1, v2);
+        assert_eq!(v1, Workload::value_for(7, 64));
+    }
+
+    #[test]
+    fn updates_target_loaded_keys() {
+        let loaded: HashSet<u64> = Workload::new(WorkloadKind::Load, 100, 8, 9)
+            .map(|o| o.key())
+            .collect();
+        for op in Workload::new(WorkloadKind::A, 100, 8, 9) {
+            assert!(loaded.contains(&op.key()), "key {} not in population", op.key());
+        }
+    }
+}

@@ -1,0 +1,141 @@
+//! Zipfian distribution over `0..n`, as used by YCSB.
+
+use rand::Rng;
+
+/// A Zipfian sampler using the classic Gray et al. rejection-free method
+/// (the same algorithm YCSB's `ZipfianGenerator` uses).
+///
+/// # Example
+///
+/// ```
+/// use clobber_workloads::Zipf;
+/// use rand::{rngs::StdRng, SeedableRng};
+///
+/// let z = Zipf::new(1000, 0.99);
+/// let mut rng = StdRng::seed_from_u64(1);
+/// let x = z.sample(&mut rng);
+/// assert!(x < 1000);
+/// ```
+#[derive(Debug, Clone)]
+pub struct Zipf {
+    n: u64,
+    theta: f64,
+    alpha: f64,
+    zetan: f64,
+    eta: f64,
+}
+
+impl Zipf {
+    /// Creates a sampler over `0..n` with skew `theta` (YCSB default 0.99).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0` or `theta` is not in `(0, 1)`.
+    pub fn new(n: u64, theta: f64) -> Zipf {
+        assert!(n > 0, "zipf needs a non-empty domain");
+        assert!(theta > 0.0 && theta < 1.0, "theta must be in (0, 1)");
+        let zetan = zeta(n, theta);
+        let zeta2 = zeta(2, theta);
+        Zipf {
+            n,
+            theta,
+            alpha: 1.0 / (1.0 - theta),
+            zetan,
+            eta: (1.0 - (2.0 / n as f64).powf(1.0 - theta)) / (1.0 - zeta2 / zetan),
+        }
+    }
+
+    /// Domain size.
+    pub fn n(&self) -> u64 {
+        self.n
+    }
+
+    /// Draws one sample in `0..n`; rank 0 is the most popular.
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> u64 {
+        let u: f64 = rng.gen();
+        let uz = u * self.zetan;
+        if uz < 1.0 {
+            return 0;
+        }
+        if uz < 1.0 + 0.5f64.powf(self.theta) {
+            return 1;
+        }
+        let v = (self.n as f64 * (self.eta * u - self.eta + 1.0).powf(self.alpha)) as u64;
+        v.min(self.n - 1)
+    }
+}
+
+fn zeta(n: u64, theta: f64) -> f64 {
+    // Exact for small n, Euler–Maclaurin style approximation beyond.
+    const EXACT: u64 = 1_000_000;
+    if n <= EXACT {
+        (1..=n).map(|i| 1.0 / (i as f64).powf(theta)).sum()
+    } else {
+        let head: f64 = (1..=EXACT).map(|i| 1.0 / (i as f64).powf(theta)).sum();
+        let tail = ((n as f64).powf(1.0 - theta) - (EXACT as f64).powf(1.0 - theta)) / (1.0 - theta);
+        head + tail
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn samples_stay_in_range() {
+        let z = Zipf::new(100, 0.99);
+        let mut rng = StdRng::seed_from_u64(7);
+        for _ in 0..10_000 {
+            assert!(z.sample(&mut rng) < 100);
+        }
+    }
+
+    #[test]
+    fn low_ranks_dominate() {
+        let z = Zipf::new(1000, 0.99);
+        let mut rng = StdRng::seed_from_u64(9);
+        let mut head = 0u32;
+        const DRAWS: u32 = 20_000;
+        for _ in 0..DRAWS {
+            if z.sample(&mut rng) < 10 {
+                head += 1;
+            }
+        }
+        // With theta=0.99 the top-10 of 1000 draw far more than uniform 1 %.
+        assert!(
+            head > DRAWS / 10,
+            "zipf skew too weak: {head}/{DRAWS} in the top 10"
+        );
+    }
+
+    #[test]
+    fn deterministic_for_a_seed() {
+        let z = Zipf::new(500, 0.8);
+        let a: Vec<u64> = {
+            let mut rng = StdRng::seed_from_u64(3);
+            (0..100).map(|_| z.sample(&mut rng)).collect()
+        };
+        let b: Vec<u64> = {
+            let mut rng = StdRng::seed_from_u64(3);
+            (0..100).map(|_| z.sample(&mut rng)).collect()
+        };
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-empty domain")]
+    fn zero_domain_panics() {
+        let _ = Zipf::new(0, 0.9);
+    }
+
+    #[test]
+    fn singleton_domain_always_zero() {
+        let z = Zipf::new(1, 0.5);
+        let mut rng = StdRng::seed_from_u64(4);
+        for _ in 0..100 {
+            assert_eq!(z.sample(&mut rng), 0);
+        }
+    }
+}

@@ -1,0 +1,80 @@
+//! Compile a transaction from textual IR, inspect the clobber analysis,
+//! and run it — crash included — through the interpreter.
+//!
+//! ```bash
+//! cargo run --example compiled_txn
+//! ```
+
+use std::sync::Arc;
+
+use clobber_repro::nvm::{ArgList, Runtime, RuntimeOptions};
+use clobber_repro::pmem::{PmemPool, PoolOptions};
+use clobber_repro::txir::parse::parse_function;
+use clobber_repro::txir::pipeline::{compile, register_compiled, CompileOptions};
+
+/// The paper's Fig. 2a list insert, as textual IR. Node layout: [val][next].
+const LIST_INSERT: &str = "
+fn list_insert(2 params) {
+b0:
+  %0 = param 0
+  %1 = param 1
+  %2 = const 16
+  %3 = alloc %2
+  %4 = store [%3] <- %1
+  %5 = load [%0]
+  %6 = const 8
+  %7 = gep %3 + %6
+  %8 = store [%7] <- %5
+  %9 = store [%0] <- %3
+  ret %3
+}";
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // Front end + the Clobber-NVM passes.
+    let function = parse_function(LIST_INSERT.trim())?;
+    println!("--- IR ---\n{function}\n");
+    let refined = compile(function.clone(), CompileOptions { refine: true })?;
+    let conservative = compile(function, CompileOptions { refine: false })?;
+    println!(
+        "conservative analysis instruments {} store(s); refined analysis {} store(s)",
+        conservative.clobber_sites.len(),
+        refined.clobber_sites.len()
+    );
+    for site in &refined.clobber_sites {
+        println!("  clobber write at %{} (the head-pointer store)", site.0);
+    }
+    println!(
+        "compile time: {} ns front end + {} ns Clobber-NVM passes\n",
+        refined.timing.frontend_ns, refined.timing.passes_ns
+    );
+
+    // Execute the instrumented transaction on a real pool.
+    let pool = Arc::new(PmemPool::create(PoolOptions::crash_sim(8 << 20))?);
+    let rt = Runtime::create(pool.clone(), RuntimeOptions::default())?;
+    register_compiled(&rt, Arc::new(refined));
+    let head = pool.alloc(8)?;
+    pool.persist(head, 8)?;
+
+    let before = pool.stats().snapshot();
+    for v in [10u64, 20, 30] {
+        rt.run(
+            "list_insert",
+            &ArgList::new().with_u64(head.offset()).with_u64(v),
+        )?;
+    }
+    let d = pool.stats().snapshot().delta(&before);
+    println!(
+        "3 compiled inserts: {} clobber entries / {} bytes logged (one 8-byte head pointer each)",
+        d.log_entries, d.log_bytes
+    );
+
+    let mut cur = pool.read_u64(head)?;
+    let mut vals = Vec::new();
+    while cur != 0 {
+        vals.push(pool.read_u64(clobber_repro::pmem::PAddr::new(cur))?);
+        cur = pool.read_u64(clobber_repro::pmem::PAddr::new(cur + 8))?;
+    }
+    println!("list contents (LIFO): {vals:?}");
+    assert_eq!(vals, vec![30, 20, 10]);
+    Ok(())
+}

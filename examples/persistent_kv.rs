@@ -1,0 +1,47 @@
+//! Drive the memcached-like server with a memslap-style workload and
+//! compare the logging traffic of the three library strategies.
+//!
+//! ```bash
+//! cargo run --release --example persistent_kv
+//! ```
+
+use clobber_apps::kvserver::{KvServer, LockScheme};
+use clobber_nvm::{Backend, Runtime, RuntimeOptions};
+use clobber_pmem::{PmemPool, PoolOptions};
+use clobber_sim::CostModel;
+use clobber_workloads::{Mix, RequestStream};
+use std::sync::Arc;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let cost = CostModel::optane();
+    println!(
+        "{:<11} {:<10} {:>12} {:>14} {:>12} {:>10}",
+        "system", "mix", "ops/sec(sim)", "log entries/tx", "log bytes/tx", "fences/tx"
+    );
+    for mix in Mix::all() {
+        for backend in [Backend::clobber(), Backend::Undo, Backend::Redo] {
+            let pool = Arc::new(PmemPool::create(PoolOptions::performance(256 << 20))?);
+            let rt = Runtime::create(pool.clone(), RuntimeOptions::new(backend))?;
+            let server = KvServer::create(&rt, LockScheme::BucketRw)?;
+            let n = 2000u64;
+            let before = pool.stats().snapshot();
+            let mut total_ns = 0u64;
+            for req in RequestStream::new(mix, n, 5000, 1) {
+                let b = pool.stats().snapshot();
+                server.handle(&rt, &req)?;
+                total_ns += cost.op_cost(&pool.stats().snapshot().delta(&b));
+            }
+            let d = pool.stats().snapshot().delta(&before);
+            println!(
+                "{:<11} {:<10} {:>12.0} {:>14.2} {:>12.1} {:>10.2}",
+                backend.label(),
+                mix.label(),
+                n as f64 * 1e9 / total_ns.max(1) as f64,
+                (d.log_entries + d.vlog_entries) as f64 / n as f64,
+                (d.log_bytes + d.vlog_bytes) as f64 / n as f64,
+                d.fences as f64 / n as f64,
+            );
+        }
+    }
+    Ok(())
+}

@@ -1,0 +1,27 @@
+//! Top-level reproduction package for *Clobber-NVM: Log Less, Re-execute
+//! More* (ASPLOS 2021).
+//!
+//! This crate re-exports the workspace members under one roof for the
+//! runnable examples (`examples/`) and the cross-crate integration tests
+//! (`tests/`). The substance lives in the member crates:
+//!
+//! * [`pmem`] — simulated persistent memory with crash injection;
+//! * [`nvm`] — the Clobber-NVM runtime and baseline logging backends;
+//! * [`txir`] — the clobber-identification compiler;
+//! * [`pds`] — persistent data structures;
+//! * [`workloads`] — workload generators;
+//! * [`sim`] — discrete-event thread-scaling executor and cost model;
+//! * [`apps`] — KV server, vacation, yada.
+//!
+//! See the repository README for a guided tour and DESIGN.md for the
+//! paper-to-module map.
+
+#![warn(missing_docs)]
+
+pub use clobber_apps as apps;
+pub use clobber_nvm as nvm;
+pub use clobber_pds as pds;
+pub use clobber_pmem as pmem;
+pub use clobber_sim as sim;
+pub use clobber_txir as txir;
+pub use clobber_workloads as workloads;

@@ -1,0 +1,222 @@
+//! Cross-crate integration tests: the full system — simulated NVM,
+//! runtime, compiler, data structures and applications — exercised
+//! together through crashes and recovery.
+
+use std::sync::{Arc, Mutex};
+
+use clobber_repro::apps::kvserver::{KvServer, LockScheme};
+use clobber_repro::apps::{TreeKind, Vacation, Yada};
+use clobber_repro::nvm::{ArgList, Backend, Runtime, RuntimeOptions};
+use clobber_repro::pds::HashMap;
+use clobber_repro::pmem::{CrashConfig, PAddr, PmemPool, PoolMode, PoolOptions};
+use clobber_repro::txir::pipeline::{compile, register_compiled, CompileOptions};
+use clobber_repro::txir::programs;
+use clobber_repro::workloads::vacation::ActionStream;
+use clobber_repro::workloads::{Mix, Request, RequestStream};
+
+/// Captures a crash image after N transactional stores via the runtime's
+/// write probe.
+fn arm_trap(rt: &Runtime, after: u64, seed: u64) -> Arc<Mutex<Option<Vec<u8>>>> {
+    let image: Arc<Mutex<Option<Vec<u8>>>> = Arc::new(Mutex::new(None));
+    let countdown = Arc::new(Mutex::new(Some(after)));
+    let (img, cd) = (image.clone(), countdown);
+    rt.set_write_probe(Some(Arc::new(move |pool| {
+        let mut c = cd.lock().unwrap();
+        match *c {
+            Some(0) => {
+                let crashed = pool.crash(&CrashConfig::drop_all(seed)).expect("crash");
+                *img.lock().unwrap() = Some(crashed.media_snapshot());
+                *c = None; // disarm: crash capture is expensive
+            }
+            Some(n) => *c = Some(n - 1),
+            None => {}
+        }
+    })));
+    image
+}
+
+#[test]
+fn compiled_and_handwritten_transactions_share_a_pool() {
+    // A statically compiled IR transaction (list insert) and a hand-written
+    // hashmap run against the same pool; a crash interrupts one of them and
+    // recovery completes both worlds.
+    let pool = Arc::new(PmemPool::create(PoolOptions::crash_sim(64 << 20)).unwrap());
+    let rt = Runtime::create(pool.clone(), RuntimeOptions::default()).unwrap();
+    HashMap::register(&rt);
+    let map = HashMap::create(&rt).unwrap();
+    let compiled = Arc::new(compile(programs::list_insert(), CompileOptions::default()).unwrap());
+    register_compiled(&rt, compiled.clone());
+    let head = pool.alloc(8).unwrap();
+    pool.persist(head, 8).unwrap();
+    rt.set_app_root(map.root()).unwrap();
+
+    let image = arm_trap(&rt, 55, 1);
+    for k in 0..8u64 {
+        map.insert(&rt, k, format!("v{k}").as_bytes()).unwrap();
+        rt.run(
+            "list_insert",
+            &ArgList::new().with_u64(head.offset()).with_u64(1000 + k),
+        )
+        .unwrap();
+    }
+    let media = image.lock().unwrap().take().expect("trap fired");
+
+    let pool2 = Arc::new(PmemPool::open_from_media(media, PoolMode::CrashSim).unwrap());
+    let rt2 = Runtime::open(pool2.clone(), RuntimeOptions::default()).unwrap();
+    HashMap::register(&rt2);
+    register_compiled(&rt2, compiled);
+    let report = rt2.recover().unwrap();
+    assert!(report.reexecuted.len() <= 1);
+
+    // Hashmap contents are a verified prefix.
+    let map2 = HashMap::open(rt2.app_root().unwrap());
+    for (k, v) in map2.dump(&pool2).unwrap() {
+        assert_eq!(v, format!("v{k}").into_bytes());
+    }
+    // The list's nodes chain correctly (IR node layout: [val][next]).
+    let mut cur = pool2.read_u64(head).unwrap();
+    let mut seen = 0;
+    while cur != 0 {
+        let val = pool2.read_u64(PAddr::new(cur)).unwrap();
+        assert!((1000..1008).contains(&val), "bad list value {val}");
+        cur = pool2.read_u64(PAddr::new(cur + 8)).unwrap();
+        seen += 1;
+    }
+    assert!(seen >= map2.len(&pool2).unwrap().saturating_sub(1));
+}
+
+#[test]
+fn kv_server_survives_a_mid_request_power_failure() {
+    let pool = Arc::new(PmemPool::create(PoolOptions::crash_sim(64 << 20)).unwrap());
+    let rt = Runtime::create(pool.clone(), RuntimeOptions::default()).unwrap();
+    let server = KvServer::create(&rt, LockScheme::BucketRw).unwrap();
+    let image = arm_trap(&rt, 120, 2);
+    let mut last = std::collections::HashMap::new();
+    for req in RequestStream::new(Mix::InsertIntensive, 60, 40, 3) {
+        if let Request::Set { key, value } = &req {
+            last.insert(key.clone(), value.clone());
+        }
+        server.handle(&rt, &req).unwrap();
+    }
+    let media = image.lock().unwrap().take().expect("trap fired");
+
+    let pool2 = Arc::new(PmemPool::open_from_media(media, PoolMode::CrashSim).unwrap());
+    let rt2 = Runtime::open(pool2.clone(), RuntimeOptions::default()).unwrap();
+    KvServer::register(&rt2);
+    rt2.recover().unwrap();
+    let server2 = KvServer::open(&rt2, LockScheme::BucketRw).unwrap();
+    // Every key the recovered store holds must carry an intact value (no
+    // torn writes); keys set before the crash point must be present.
+    let table = server2.table();
+    for (k, v) in table.dump(&pool2).unwrap() {
+        assert_eq!(v, RequestStream::value_bytes(k), "torn value for {k}");
+    }
+}
+
+#[test]
+fn vacation_conservation_holds_through_crashes() {
+    let pool = Arc::new(PmemPool::create(PoolOptions::crash_sim(128 << 20)).unwrap());
+    let rt = Runtime::create(pool.clone(), RuntimeOptions::default()).unwrap();
+    let v = Vacation::create(&rt, TreeKind::RedBlack, 40).unwrap();
+    // Arm after setup so the crash lands inside a reservation transaction.
+    let image = arm_trap(&rt, 333, 4);
+    for action in ActionStream::new(120, 40, 15, 3, 8) {
+        v.run_action(&rt, 0, &action).unwrap();
+    }
+    let media = image.lock().unwrap().take().expect("trap fired");
+
+    let pool2 = Arc::new(PmemPool::open_from_media(media, PoolMode::CrashSim).unwrap());
+    let rt2 = Runtime::open(pool2.clone(), RuntimeOptions::default()).unwrap();
+    Vacation::register(&rt2);
+    let report = rt2.recover().unwrap();
+    let v2 = Vacation::open(&rt2).unwrap();
+    // The books balance: every reservation held by a customer is matched by
+    // a decremented item — even for the re-executed transaction.
+    v2.verify(&pool2).unwrap();
+    assert!(report.rolled_back == 0);
+}
+
+#[test]
+fn yada_mesh_survives_crash_and_converges() {
+    let pool = Arc::new(PmemPool::create(PoolOptions::crash_sim(128 << 20)).unwrap());
+    let rt = Runtime::create(pool.clone(), RuntimeOptions::default()).unwrap();
+    let mesh = Yada::create(&rt, 50, 20.0, 31).unwrap();
+    let image = arm_trap(&rt, 200, 5);
+    let _ = mesh.refine_all(&rt, 0, 30).unwrap();
+    let media = image.lock().unwrap().take().expect("trap fired");
+
+    let pool2 = Arc::new(PmemPool::open_from_media(media, PoolMode::CrashSim).unwrap());
+    let rt2 = Runtime::open(pool2.clone(), RuntimeOptions::default()).unwrap();
+    Yada::register(&rt2);
+    rt2.recover().unwrap();
+    let mesh2 = Yada::open(&rt2).unwrap();
+    mesh2.verify(&pool2, false).unwrap();
+    let stats = mesh2.refine_all(&rt2, 0, 100_000).unwrap();
+    assert!(!stats.capped);
+    mesh2.verify(&pool2, true).unwrap();
+}
+
+#[test]
+fn repeated_crashes_during_recovery_still_converge() {
+    // Crash, start recovering, crash again mid-recovery, recover again:
+    // the final state must still be consistent (recovery is idempotent
+    // because re-execution restores inputs first).
+    let pool = Arc::new(PmemPool::create(PoolOptions::crash_sim(64 << 20)).unwrap());
+    let rt = Runtime::create(pool.clone(), RuntimeOptions::default()).unwrap();
+    HashMap::register(&rt);
+    let map = HashMap::create(&rt).unwrap();
+    rt.set_app_root(map.root()).unwrap();
+    let image = arm_trap(&rt, 33, 6);
+    for k in 0..10u64 {
+        map.insert(&rt, k, format!("v{k}").as_bytes()).unwrap();
+    }
+    let media = image.lock().unwrap().take().expect("trap fired");
+
+    // First recovery attempt, itself interrupted by a crash.
+    let pool2 = Arc::new(PmemPool::open_from_media(media, PoolMode::CrashSim).unwrap());
+    let rt2 = Runtime::open(pool2.clone(), RuntimeOptions::default()).unwrap();
+    HashMap::register(&rt2);
+    let image2 = arm_trap(&rt2, 2, 7); // crash after 2 writes of the re-execution
+    rt2.recover().unwrap();
+    let media2 = image2.lock().unwrap().take();
+    if let Some(media2) = media2 {
+        let pool3 = Arc::new(PmemPool::open_from_media(media2, PoolMode::CrashSim).unwrap());
+        let rt3 = Runtime::open(pool3.clone(), RuntimeOptions::default()).unwrap();
+        HashMap::register(&rt3);
+        rt3.recover().unwrap();
+        let map3 = HashMap::open(rt3.app_root().unwrap());
+        for (k, v) in map3.dump(&pool3).unwrap() {
+            assert_eq!(v, format!("v{k}").into_bytes());
+        }
+    } else {
+        // The interrupted tx may have had no writes before the trap point;
+        // then the first recovery already converged.
+        let map2 = HashMap::open(rt2.app_root().unwrap());
+        map2.dump(&pool2).unwrap();
+    }
+}
+
+#[test]
+fn backends_reach_identical_data_structure_states() {
+    // Determinism across logging strategies on a multi-structure workload.
+    let mut fingerprints = Vec::new();
+    for backend in [Backend::NoLog, Backend::clobber(), Backend::Undo, Backend::Redo, Backend::Atlas]
+    {
+        let pool = Arc::new(PmemPool::create(PoolOptions::performance(64 << 20)).unwrap());
+        let rt = Runtime::create(pool.clone(), RuntimeOptions::new(backend)).unwrap();
+        HashMap::register(&rt);
+        let map = HashMap::create(&rt).unwrap();
+        for k in 0..100u64 {
+            map.insert(&rt, k % 37, format!("{}", k * k).as_bytes()).unwrap();
+        }
+        for k in (0..37u64).step_by(3) {
+            map.remove(&rt, k).unwrap();
+        }
+        let mut dump = map.dump(&pool).unwrap();
+        dump.sort();
+        fingerprints.push(dump);
+    }
+    for w in fingerprints.windows(2) {
+        assert_eq!(w[0], w[1]);
+    }
+}
