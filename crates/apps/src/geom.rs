@@ -39,8 +39,7 @@ pub fn in_circumcircle(a: Point, b: Point, c: Point, p: Point) -> bool {
     let (ax, ay) = (a.x - p.x, a.y - p.y);
     let (bx, by) = (b.x - p.x, b.y - p.y);
     let (cx, cy) = (c.x - p.x, c.y - p.y);
-    let det = (ax * ax + ay * ay) * (bx * cy - cx * by)
-        - (bx * bx + by * by) * (ax * cy - cx * ay)
+    let det = (ax * ax + ay * ay) * (bx * cy - cx * by) - (bx * bx + by * by) * (ax * cy - cx * ay)
         + (cx * cx + cy * cy) * (ax * by - bx * ay);
     det > 0.0
 }
@@ -269,12 +268,7 @@ impl Triangulation {
                         continue;
                     }
                     assert!(
-                        !in_circumcircle(
-                            self.points[a],
-                            self.points[b],
-                            self.points[c],
-                            *p
-                        ),
+                        !in_circumcircle(self.points[a], self.points[b], self.points[c], *p),
                         "triangle {t} circumcircle contains point {pi}"
                     );
                 }
@@ -302,7 +296,11 @@ mod tests {
 
     #[test]
     fn orientation_signs() {
-        let (a, b, c) = (Point::new(0.0, 0.0), Point::new(1.0, 0.0), Point::new(0.0, 1.0));
+        let (a, b, c) = (
+            Point::new(0.0, 0.0),
+            Point::new(1.0, 0.0),
+            Point::new(0.0, 1.0),
+        );
         assert!(orient2d(a, b, c) > 0.0, "CCW positive");
         assert!(orient2d(a, c, b) < 0.0, "CW negative");
         assert_eq!(orient2d(a, b, Point::new(2.0, 0.0)), 0.0, "collinear zero");
@@ -310,14 +308,22 @@ mod tests {
 
     #[test]
     fn circumcircle_membership() {
-        let (a, b, c) = (Point::new(0.0, 0.0), Point::new(1.0, 0.0), Point::new(0.0, 1.0));
+        let (a, b, c) = (
+            Point::new(0.0, 0.0),
+            Point::new(1.0, 0.0),
+            Point::new(0.0, 1.0),
+        );
         assert!(in_circumcircle(a, b, c, Point::new(0.5, 0.5)));
         assert!(!in_circumcircle(a, b, c, Point::new(2.0, 2.0)));
     }
 
     #[test]
     fn circumcenter_is_equidistant() {
-        let (a, b, c) = (Point::new(0.0, 0.0), Point::new(4.0, 0.0), Point::new(1.0, 3.0));
+        let (a, b, c) = (
+            Point::new(0.0, 0.0),
+            Point::new(4.0, 0.0),
+            Point::new(1.0, 3.0),
+        );
         let o = circumcenter(a, b, c);
         let (ra, rb, rc) = (o.dist2(&a), o.dist2(&b), o.dist2(&c));
         assert!((ra - rb).abs() < 1e-9);
@@ -328,7 +334,11 @@ mod tests {
     fn min_angle_of_known_triangles() {
         // Equilateral: 60 degrees everywhere.
         let h = 3f64.sqrt() / 2.0;
-        let eq = min_angle_deg(Point::new(0.0, 0.0), Point::new(1.0, 0.0), Point::new(0.5, h));
+        let eq = min_angle_deg(
+            Point::new(0.0, 0.0),
+            Point::new(1.0, 0.0),
+            Point::new(0.5, h),
+        );
         assert!((eq - 60.0).abs() < 1e-9);
         // Right isoceles: 45.
         let ri = min_angle_deg(
@@ -386,9 +396,15 @@ mod tests {
             // box boundary.
             let (pa, pb) = (tri.points[a], tri.points[b]);
             let on_box = |p: Point| {
-                p.x.abs() < 1e-9 || (p.x - 1.0).abs() < 1e-9 || p.y.abs() < 1e-9 || (p.y - 1.0).abs() < 1e-9
+                p.x.abs() < 1e-9
+                    || (p.x - 1.0).abs() < 1e-9
+                    || p.y.abs() < 1e-9
+                    || (p.y - 1.0).abs() < 1e-9
             };
-            assert!(on_box(pa) && on_box(pb), "hull edge off the box: {pa:?} {pb:?}");
+            assert!(
+                on_box(pa) && on_box(pb),
+                "hull edge off the box: {pa:?} {pb:?}"
+            );
         }
     }
 

@@ -13,9 +13,9 @@ use clobber_nvm::{Runtime, TxError};
 use clobber_sim::{LockRequest, SimOp};
 use clobber_workloads::{Mix, Request, RequestStream};
 
-use clobber_pds::hashmap::HashMap;
 #[cfg(test)]
 use clobber_pds::hashmap;
+use clobber_pds::hashmap::HashMap;
 
 /// Lock scheme for the request path (paper §5.6's scalability fix).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -152,6 +152,7 @@ pub struct KvOpSource {
 
 impl KvOpSource {
     /// One stream per logical thread, `ops_per_thread` requests each.
+    #[allow(clippy::too_many_arguments)]
     pub fn new(
         server: KvServer,
         rt: std::sync::Arc<Runtime>,
@@ -228,7 +229,12 @@ mod tests {
     fn get_of_absent_key_is_none() {
         let (_p, rt, srv) = setup(Backend::clobber());
         let got = srv
-            .handle(&rt, &Request::Get { key: RequestStream::key_bytes(7) })
+            .handle(
+                &rt,
+                &Request::Get {
+                    key: RequestStream::key_bytes(7),
+                },
+            )
             .unwrap();
         assert_eq!(got, None);
     }
@@ -267,7 +273,10 @@ mod tests {
         assert_eq!(rw.locks_for(&get)[0].mode, clobber_sim::LockMode::Shared);
         assert_eq!(rw.locks_for(&set)[0].mode, clobber_sim::LockMode::Exclusive);
         let spin = KvServer::open(&rt, LockScheme::BucketSpin).unwrap();
-        assert_eq!(spin.locks_for(&get)[0].mode, clobber_sim::LockMode::Exclusive);
+        assert_eq!(
+            spin.locks_for(&get)[0].mode,
+            clobber_sim::LockMode::Exclusive
+        );
     }
 
     #[test]

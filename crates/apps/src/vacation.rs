@@ -326,7 +326,9 @@ impl Vacation {
             Action::CancelReservation { customer } => rt.run_on(
                 slot,
                 TX_CANCEL,
-                &ArgList::new().with_u64(self.root.offset()).with_u64(*customer),
+                &ArgList::new()
+                    .with_u64(self.root.offset())
+                    .with_u64(*customer),
             )?,
             Action::AddItem {
                 kind,
@@ -368,8 +370,7 @@ impl Vacation {
         let table_lock = |i: u64| LockRequest::exclusive(base + i);
         match action {
             Action::MakeReservation { queries, .. } => {
-                let mut locks: Vec<u64> =
-                    queries.iter().map(|(k, _)| k.index() as u64).collect();
+                let mut locks: Vec<u64> = queries.iter().map(|(k, _)| k.index() as u64).collect();
                 locks.push(3); // customers
                 locks.sort_unstable();
                 locks.dedup();
@@ -429,8 +430,7 @@ impl Vacation {
             for i in 0..count {
                 let off = 8 + (i * 24) as usize;
                 let tbl = u64::from_le_bytes(list[off..off + 8].try_into().expect("tbl"));
-                let item =
-                    u64::from_le_bytes(list[off + 8..off + 16].try_into().expect("item"));
+                let item = u64::from_le_bytes(list[off + 8..off + 16].try_into().expect("item"));
                 let e = outstanding.entry((tbl, item)).or_insert(0);
                 *e -= 1;
                 total += 1;

@@ -151,7 +151,12 @@ impl Yada {
     /// # Errors
     ///
     /// Returns [`TxError::Pmem`] if the pool is exhausted.
-    pub fn create(rt: &Runtime, n_points: usize, angle_deg: f64, seed: u64) -> Result<Yada, TxError> {
+    pub fn create(
+        rt: &Runtime,
+        n_points: usize,
+        angle_deg: f64,
+        seed: u64,
+    ) -> Result<Yada, TxError> {
         Self::register(rt);
         let pool = rt.pool();
         let input = geom::generate_input(n_points, seed);
@@ -272,7 +277,11 @@ impl Yada {
     ///
     /// Returns [`TxError`] on substrate failure.
     pub fn refine_step(&self, rt: &Runtime, slot: usize) -> Result<StepOutcome, TxError> {
-        let out = rt.run_on(slot, TX_REFINE, &ArgList::new().with_u64(self.root.offset()))?;
+        let out = rt.run_on(
+            slot,
+            TX_REFINE,
+            &ArgList::new().with_u64(self.root.offset()),
+        )?;
         Ok(match out.as_deref() {
             Some([1]) => StepOutcome::Refined,
             Some([2]) => StepOutcome::CapacityExhausted,
@@ -285,7 +294,12 @@ impl Yada {
     /// # Errors
     ///
     /// Returns [`TxError`] on substrate failure.
-    pub fn refine_all(&self, rt: &Runtime, slot: usize, max_steps: u64) -> Result<RefineStats, TxError> {
+    pub fn refine_all(
+        &self,
+        rt: &Runtime,
+        slot: usize,
+        max_steps: u64,
+    ) -> Result<RefineStats, TxError> {
         let mut stats = RefineStats::default();
         loop {
             if stats.steps >= max_steps {
@@ -362,10 +376,7 @@ impl Yada {
                     .map(|k| pool.read_u64(cur.add(T_V0 + k * 8)))
                     .collect::<Result<_, _>>()?;
                 let p: Vec<Point> = v.iter().map(|&i| read_pt(i)).collect::<Result<_, _>>()?;
-                assert!(
-                    orient2d(p[0], p[1], p[2]) > 0.0,
-                    "triangle {cur:?} not CCW"
-                );
+                assert!(orient2d(p[0], p[1], p[2]) > 0.0, "triangle {cur:?} not CCW");
                 for k in 0..3u64 {
                     let n = PAddr::new(pool.read_u64(cur.add(T_N0 + k * 8))?);
                     if n.is_null() {
@@ -375,9 +386,8 @@ impl Yada {
                         is_alive(pool.read_u64(n.add(T_ALIVE))?),
                         "alive triangle links to a dead neighbor"
                     );
-                    let back = (0..3u64).any(|j| {
-                        pool.read_u64(n.add(T_N0 + j * 8)).map(PAddr::new) == Ok(cur)
-                    });
+                    let back = (0..3u64)
+                        .any(|j| pool.read_u64(n.add(T_N0 + j * 8)).map(PAddr::new) == Ok(cur));
                     assert!(back, "neighbor link not reciprocal");
                 }
                 if require_quality && state == 1 {
@@ -595,6 +605,7 @@ fn insert_point(
 }
 
 /// Bowyer–Watson insertion of point `pid` at `p`, seeded at `seed`.
+#[allow(clippy::too_many_arguments)]
 fn insert_point_with_id(
     tx: &mut Tx<'_>,
     root: PAddr,
@@ -606,10 +617,11 @@ fn insert_point_with_id(
     min_r2: f64,
 ) -> Result<(), TxError> {
     // Grow the cavity from the seed.
-    let seed = if {
+    let seed_covers = {
         let (_, pts) = tri_points(tx, points, seed)?;
         in_circumcircle(pts[0], pts[1], pts[2], p)
-    } {
+    };
+    let seed = if seed_covers {
         seed
     } else {
         find_seed(tx, root, points, p)?
@@ -751,7 +763,10 @@ mod tests {
         let before_tris = y.alive_triangles(&pool).unwrap();
         let stats = y.refine_all(&rt, 0, 20_000).unwrap();
         assert!(!stats.capped, "refinement should converge: {stats:?}");
-        assert!(stats.steps > 0, "the random mesh must contain bad triangles");
+        assert!(
+            stats.steps > 0,
+            "the random mesh must contain bad triangles"
+        );
         assert!(stats.final_triangles > before_tris);
         y.verify(&pool, true).unwrap();
     }

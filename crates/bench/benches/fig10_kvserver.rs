@@ -33,7 +33,12 @@ fn bench(c: &mut Criterion) {
             b.iter(|| {
                 k += 1;
                 server
-                    .handle(&rt, &Request::Get { key: RequestStream::key_bytes(k % 1000) })
+                    .handle(
+                        &rt,
+                        &Request::Get {
+                            key: RequestStream::key_bytes(k % 1000),
+                        },
+                    )
                     .unwrap();
             });
         });

@@ -26,7 +26,10 @@ fn bench(c: &mut Criterion) {
                             0,
                             &Action::MakeReservation {
                                 customer: i % 30,
-                                queries: vec![(ResKind::Car, i % 60), (ResKind::Room, (i * 7) % 60)],
+                                queries: vec![
+                                    (ResKind::Car, i % 60),
+                                    (ResKind::Room, (i * 7) % 60),
+                                ],
                             },
                         )
                         .unwrap();

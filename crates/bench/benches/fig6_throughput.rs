@@ -6,14 +6,19 @@ use criterion::{criterion_group, criterion_main, Criterion};
 
 use clobber_bench::common::{make_runtime, DsHandle, DsKind, Scale};
 use clobber_nvm::Backend;
-use clobber_workloads::Workload;
 use clobber_workloads::ycsb::KvOp;
+use clobber_workloads::Workload;
 
 fn bench(c: &mut Criterion) {
     let mut group = c.benchmark_group("fig6_insert");
     group.sample_size(10);
     for kind in DsKind::all() {
-        for backend in [Backend::clobber(), Backend::Undo, Backend::Atlas, Backend::Redo] {
+        for backend in [
+            Backend::clobber(),
+            Backend::Undo,
+            Backend::Atlas,
+            Backend::Redo,
+        ] {
             let (_pool, rt) = make_runtime(backend, Scale::Quick);
             let handle = DsHandle::create(kind, &rt);
             let mut key = 0u64;

@@ -24,19 +24,26 @@ fn bench(c: &mut Criterion) {
         let rt = Arc::new(Runtime::create(pool, opts).unwrap());
         let handle = DsHandle::create(DsKind::Skiplist, &rt);
         let mut key = 0u64;
-        group.bench_function(if shadow { "with_shadow" } else { "without_shadow" }, |b| {
-            b.iter(|| {
-                key = (key + 1) % 4096; // steady-state updates, see fig6 bench
-                handle.exec(
-                    &rt,
-                    0,
-                    &KvOp::Insert {
-                        key: key.wrapping_mul(0x9E37_79B9_7F4A_7C15),
-                        value: Workload::value_for(key, 256),
-                    },
-                );
-            });
-        });
+        group.bench_function(
+            if shadow {
+                "with_shadow"
+            } else {
+                "without_shadow"
+            },
+            |b| {
+                b.iter(|| {
+                    key = (key + 1) % 4096; // steady-state updates, see fig6 bench
+                    handle.exec(
+                        &rt,
+                        0,
+                        &KvOp::Insert {
+                            key: key.wrapping_mul(0x9E37_79B9_7F4A_7C15),
+                            value: Workload::value_for(key, 256),
+                        },
+                    );
+                });
+            },
+        );
     }
     group.finish();
 }

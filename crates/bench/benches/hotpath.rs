@@ -1,0 +1,130 @@
+//! Hot-path microbenchmarks for the pmem substrate and the transactional
+//! fast path — the before/after instrument for the dense line cache.
+//!
+//! `crashsim_reference` runs the map-based reference cache (the original
+//! model, kept for A/B comparison); `crashsim_dense` runs the dense
+//! bitmap + shadow-buffer cache; `performance` skips cache simulation
+//! entirely and bounds what the CrashSim path can hope to reach.
+//! EXPERIMENTS.md records the measured numbers.
+
+use std::sync::Arc;
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+use clobber_nvm::{Runtime, RuntimeOptions};
+use clobber_pds::HashMap;
+use clobber_pmem::{PmemPool, PoolOptions};
+use clobber_workloads::Workload;
+
+const STORE_POOL: u64 = 16 << 20;
+const LOAD_POOL: u64 = 64 << 20;
+
+fn variants(capacity: u64) -> [(&'static str, PoolOptions); 3] {
+    [
+        ("crashsim_dense", PoolOptions::crash_sim(capacity)),
+        (
+            "crashsim_reference",
+            PoolOptions::crash_sim(capacity).with_reference_cache(),
+        ),
+        ("performance", PoolOptions::performance(capacity)),
+    ]
+}
+
+/// Raw substrate store path: one 64-byte store + flush per iteration, a
+/// fence every 64 — the instruction mix of a logging-heavy transaction.
+fn store_flush_fence(c: &mut Criterion) {
+    let mut group = c.benchmark_group("hotpath_store");
+    group.sample_size(20);
+    for (label, opts) in variants(STORE_POOL) {
+        let pool = PmemPool::create(opts).unwrap();
+        let base = pool.alloc(1 << 20).unwrap();
+        let data = [0xA5u8; 64];
+        let mut i = 0u64;
+        group.bench_function(format!("{label}/store64_flush"), |b| {
+            b.iter(|| {
+                let addr = base.add((i % 16_384) * 64);
+                i += 1;
+                pool.write_bytes(addr, &data).unwrap();
+                pool.flush(addr, 64).unwrap();
+                if i % 64 == 0 {
+                    pool.fence();
+                }
+            });
+        });
+    }
+    group.finish();
+}
+
+/// End-to-end YCSB-Load step: one hashmap insert transaction (clobber
+/// backend) per iteration, 256-byte values as in the paper's §5.2.
+fn ycsb_load(c: &mut Criterion) {
+    let mut group = c.benchmark_group("hotpath_ycsb_load");
+    group.sample_size(10);
+    for (label, opts) in variants(LOAD_POOL) {
+        let pool = Arc::new(PmemPool::create(opts).unwrap());
+        let rt = Runtime::create(pool, RuntimeOptions::default()).unwrap();
+        HashMap::register(&rt);
+        let map = HashMap::create(&rt).unwrap();
+        let value = Workload::value_for(0, 256);
+        let mut key = 0u64;
+        group.bench_function(format!("{label}/hashmap_insert"), |b| {
+            b.iter(|| {
+                // Wrap the key space so long runs settle into steady-state
+                // updates and cannot exhaust the pool.
+                key = (key + 1) % 8192;
+                map.insert(&rt, key.wrapping_mul(0x9E37_79B9_7F4A_7C15), &value)
+                    .unwrap();
+            });
+        });
+    }
+    group.finish();
+}
+
+/// Many-range RangeSet insert/query mix: the set algebra a transaction
+/// with a large, scattered read set exercises per store.
+fn rangeset_dense_inserts(c: &mut Criterion) {
+    use clobber_nvm::rangeset::RangeSet;
+    let mut group = c.benchmark_group("hotpath_rangeset");
+    group.sample_size(20);
+    group.bench_function("insert_512_scattered", |b| {
+        let mut set = RangeSet::new();
+        b.iter(|| {
+            set.clear();
+            // Odd 16-byte ranges first (no merges), then the even gaps
+            // (every insert merges two neighbours).
+            for i in 0..256u64 {
+                set.insert((2 * i + 1) * 16, (2 * i + 2) * 16);
+            }
+            for i in 0..256u64 {
+                set.insert(2 * i * 16, (2 * i + 1) * 16);
+            }
+            criterion::black_box(set.len())
+        });
+    });
+    group.bench_function("intersect_subtract_into_512", |b| {
+        let mut set = RangeSet::new();
+        for i in 0..512u64 {
+            set.insert(2 * i * 16, (2 * i + 1) * 16);
+        }
+        let mut isect = Vec::new();
+        let mut sub = Vec::new();
+        let mut q = 0u64;
+        b.iter(|| {
+            q = (q + 97) % (512 * 32);
+            isect.clear();
+            sub.clear();
+            set.intersect_into(q, q + 256, &mut isect);
+            set.subtract_into(q, q + 256, &mut sub);
+            criterion::black_box(isect.len() + sub.len())
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    store_flush_fence,
+    ycsb_load,
+    rangeset_dense_inserts
+);
+criterion_main!(benches);

@@ -114,12 +114,20 @@ fn run_one(fig: &str, scale: Scale, out: &std::path::Path) {
         }
         "fig10" => {
             let rows = fig10::run(scale);
-            emit(out, "fig10.csv", fig10::HEADER, rows.iter().map(|r| r.csv()));
+            emit(
+                out,
+                "fig10.csv",
+                fig10::HEADER,
+                rows.iter().map(|r| r.csv()),
+            );
             for mix in clobber_workloads::Mix::all() {
                 let pick = |sys: &str| {
                     rows.iter()
                         .find(|r| {
-                            r.system == sys && r.mix == mix.label() && r.locks == "rwlock" && r.threads == 1
+                            r.system == sys
+                                && r.mix == mix.label()
+                                && r.locks == "rwlock"
+                                && r.threads == 1
                         })
                         .map(|r| r.throughput)
                         .unwrap_or(0.0)
@@ -134,7 +142,12 @@ fn run_one(fig: &str, scale: Scale, out: &std::path::Path) {
         }
         "fig11" => {
             let rows = fig11::run(scale);
-            emit(out, "fig11.csv", fig11::HEADER, rows.iter().map(|r| r.csv()));
+            emit(
+                out,
+                "fig11.csv",
+                fig11::HEADER,
+                rows.iter().map(|r| r.csv()),
+            );
             for r in rows.iter().filter(|r| r.system != "nolog") {
                 println!(
                     "    {:<10} {:<8} q={} overhead {:+.0}%",
@@ -144,7 +157,12 @@ fn run_one(fig: &str, scale: Scale, out: &std::path::Path) {
         }
         "fig12" => {
             let rows = fig12::run(scale);
-            emit(out, "fig12.csv", fig12::HEADER, rows.iter().map(|r| r.csv()));
+            emit(
+                out,
+                "fig12.csv",
+                fig12::HEADER,
+                rows.iter().map(|r| r.csv()),
+            );
             for r in &rows {
                 println!(
                     "    angle {:>2}  {:<8} {:>9.2} ms  ({} steps, {} triangles, {:+.0}%)",
@@ -154,7 +172,12 @@ fn run_one(fig: &str, scale: Scale, out: &std::path::Path) {
         }
         "fig13" => {
             let rows = fig13::run(scale);
-            emit(out, "fig13.csv", fig13::HEADER, rows.iter().map(|r| r.csv()));
+            emit(
+                out,
+                "fig13.csv",
+                fig13::HEADER,
+                rows.iter().map(|r| r.csv()),
+            );
             let stat = fig13::run_static();
             emit(
                 out,
@@ -177,7 +200,12 @@ fn run_one(fig: &str, scale: Scale, out: &std::path::Path) {
         }
         "fig14" => {
             let rows = fig14::run();
-            emit(out, "fig14.csv", fig14::HEADER, rows.iter().map(|r| r.csv()));
+            emit(
+                out,
+                "fig14.csv",
+                fig14::HEADER,
+                rows.iter().map(|r| r.csv()),
+            );
             for r in &rows {
                 println!(
                     "    {:<20} {:>4} insts  frontend {:>7} ns  passes {:>7} ns  ({:.0}%)",
@@ -192,12 +220,7 @@ fn run_one(fig: &str, scale: Scale, out: &std::path::Path) {
     }
 }
 
-fn emit(
-    out: &std::path::Path,
-    file: &str,
-    header: &str,
-    rows: impl Iterator<Item = String>,
-) {
+fn emit(out: &std::path::Path, file: &str, header: &str, rows: impl Iterator<Item = String>) {
     let rows: Vec<String> = rows.collect();
     let path = out.join(file);
     write_csv(&path, header, &rows).expect("write csv");

@@ -74,8 +74,10 @@ impl Scale {
 
 /// Creates a performance-mode pool and runtime for the given backend.
 pub fn make_runtime(backend: Backend, scale: Scale) -> (Arc<PmemPool>, Arc<Runtime>) {
-    let pool = Arc::new(PmemPool::create(PoolOptions::performance(scale.pool_bytes())).expect("pool"));
-    let rt = Arc::new(Runtime::create(pool.clone(), RuntimeOptions::new(backend)).expect("runtime"));
+    let pool =
+        Arc::new(PmemPool::create(PoolOptions::performance(scale.pool_bytes())).expect("pool"));
+    let rt =
+        Arc::new(Runtime::create(pool.clone(), RuntimeOptions::new(backend)).expect("runtime"));
     (pool, rt)
 }
 
@@ -95,7 +97,12 @@ pub enum DsKind {
 impl DsKind {
     /// All four, in the paper's figure order.
     pub fn all() -> [DsKind; 4] {
-        [DsKind::Bptree, DsKind::Hashmap, DsKind::Skiplist, DsKind::Rbtree]
+        [
+            DsKind::Bptree,
+            DsKind::Hashmap,
+            DsKind::Skiplist,
+            DsKind::Rbtree,
+        ]
     }
 
     /// CSV label.
@@ -337,8 +344,7 @@ impl PerTx {
     /// carries — the apples-to-apples quantity for cross-system byte
     /// comparisons.
     pub fn persisted_log_bytes(&self) -> f64 {
-        self.total_bytes()
-            + self.log_entries * clobber_pmem::ulog::ENTRY_OVERHEAD as f64
+        self.total_bytes() + self.log_entries * clobber_pmem::ulog::ENTRY_OVERHEAD as f64
     }
 }
 

@@ -68,7 +68,12 @@ pub fn run(scale: Scale) -> Vec<Row> {
     for tree in [TreeKind::RedBlack, TreeKind::Avl] {
         for queries in [2usize, 4, 6] {
             let baseline = run_one(Backend::NoLog, tree, queries, scale);
-            for backend in [Backend::NoLog, Backend::clobber(), Backend::Undo, Backend::Redo] {
+            for backend in [
+                Backend::NoLog,
+                Backend::clobber(),
+                Backend::Undo,
+                Backend::Redo,
+            ] {
                 let tput = if backend == Backend::NoLog {
                     baseline
                 } else {

@@ -45,7 +45,12 @@ impl Row {
     pub fn csv(&self) -> String {
         format!(
             "{},{},{:.2},{},{},{:.1}",
-            self.system, self.angle, self.elapsed_ms, self.steps, self.final_triangles, self.overhead_pct
+            self.system,
+            self.angle,
+            self.elapsed_ms,
+            self.steps,
+            self.final_triangles,
+            self.overhead_pct
         )
     }
 }
@@ -127,7 +132,10 @@ mod tests {
                 .filter(|r| r.angle == angle)
                 .map(|r| r.final_triangles)
                 .collect();
-            assert!(sizes.windows(2).all(|w| w[0] == w[1]), "angle {angle}: {sizes:?}");
+            assert!(
+                sizes.windows(2).all(|w| w[0] == w[1]),
+                "angle {angle}: {sizes:?}"
+            );
         }
     }
 

@@ -123,18 +123,22 @@ pub fn run(scale: Scale) -> Vec<Row> {
         }));
     }
     for mix in [Mix::InsertIntensive, Mix::SearchIntensive] {
-        rows.push(compare(&format!("memcached-{}", mix.label()), scale, move |rt| {
-            let server = KvServer::create(rt, LockScheme::BucketRw).expect("server");
-            let n = scale.kv_ops() / 2;
-            for req in RequestStream::new(mix, n, 2000, 5) {
-                match req {
-                    Request::Set { .. } | Request::Get { .. } => {
-                        server.handle(rt, &req).expect("req");
+        rows.push(compare(
+            &format!("memcached-{}", mix.label()),
+            scale,
+            move |rt| {
+                let server = KvServer::create(rt, LockScheme::BucketRw).expect("server");
+                let n = scale.kv_ops() / 2;
+                for req in RequestStream::new(mix, n, 2000, 5) {
+                    match req {
+                        Request::Set { .. } | Request::Get { .. } => {
+                            server.handle(rt, &req).expect("req");
+                        }
                     }
                 }
-            }
-            n
-        }));
+                n
+            },
+        ));
     }
     rows.push(compare("vacation", scale, move |rt| {
         let v = Vacation::create(rt, TreeKind::RedBlack, 60).expect("vacation");

@@ -43,11 +43,22 @@ impl Row {
 
 /// The systems compared in Fig. 6.
 pub fn systems() -> [Backend; 4] {
-    [Backend::clobber(), Backend::Undo, Backend::Atlas, Backend::Redo]
+    [
+        Backend::clobber(),
+        Backend::Undo,
+        Backend::Atlas,
+        Backend::Redo,
+    ]
 }
 
 /// Runs one cell of the figure.
-pub fn run_cell(kind: DsKind, backend: Backend, threads: usize, total_ops: u64, scale: Scale) -> Row {
+pub fn run_cell(
+    kind: DsKind,
+    backend: Backend,
+    threads: usize,
+    total_ops: u64,
+    scale: Scale,
+) -> Row {
     let (_pool, rt) = make_runtime(backend, scale);
     let handle = DsHandle::create(kind, &rt);
     let mut src = DsOpSource::new(

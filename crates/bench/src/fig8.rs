@@ -37,7 +37,11 @@ impl Row {
     pub fn csv(&self) -> String {
         format!(
             "{},{:.2},{:.1},{:.2},{:.1}",
-            self.structure, self.clobber_points, self.clobber_bytes, self.ido_points, self.ido_bytes
+            self.structure,
+            self.clobber_points,
+            self.clobber_bytes,
+            self.ido_points,
+            self.ido_bytes
         )
     }
 }
@@ -74,7 +78,10 @@ pub fn run_cell(kind: DsKind, scale: Scale) -> Row {
 
 /// Runs all four structures.
 pub fn run(scale: Scale) -> Vec<Row> {
-    DsKind::all().into_iter().map(|k| run_cell(k, scale)).collect()
+    DsKind::all()
+        .into_iter()
+        .map(|k| run_cell(k, scale))
+        .collect()
 }
 
 #[cfg(test)]

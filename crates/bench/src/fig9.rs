@@ -58,8 +58,9 @@ impl Row {
 
 /// Crashes an insert stream mid-transaction and measures recovery.
 pub fn run_cell(kind: DsKind, backend: Backend, scale: Scale, seed: u64) -> Row {
-    let pool =
-        Arc::new(PmemPool::create(PoolOptions::crash_sim(scale.pool_bytes().min(256 << 20))).expect("pool"));
+    let pool = Arc::new(
+        PmemPool::create(PoolOptions::crash_sim(scale.pool_bytes().min(256 << 20))).expect("pool"),
+    );
     let rt = Runtime::create(pool.clone(), RuntimeOptions::new(backend)).expect("runtime");
     let handle = DsHandle::create(kind, &rt);
     let root = match handle {
@@ -103,7 +104,11 @@ pub fn run_cell(kind: DsKind, backend: Backend, scale: Scale, seed: u64) -> Row 
     let delta = pool2.stats().snapshot().delta(&before);
     let cost = CostModel::optane();
     Row {
-        system: if backend == Backend::Undo { "pmdk" } else { "clobber" },
+        system: if backend == Backend::Undo {
+            "pmdk"
+        } else {
+            "clobber"
+        },
         structure: kind.label(),
         open_ns: POOL_OPEN_NS,
         apply_ns: cost.op_cost(&delta),

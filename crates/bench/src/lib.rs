@@ -30,4 +30,4 @@ pub mod fig7;
 pub mod fig8;
 pub mod fig9;
 
-pub use common::{Scale, write_csv};
+pub use common::{write_csv, Scale};

@@ -1,0 +1,96 @@
+//! Counter-preservation regression: fixed-seed fig6/fig9-style runs must
+//! produce bit-identical `StatsSnapshot`s under the dense line cache and
+//! the reference (map-based) model, for every backend.
+//!
+//! The dense cache is a pure performance refactor of the CrashSim
+//! substrate; every flush/fence/log accounting decision — and the seeded
+//! crash's per-line survival draws — are part of its contract. If these
+//! assertions fail, the substrate's behaviour (not just its speed) changed
+//! and every recorded experiment in EXPERIMENTS.md is invalidated.
+
+use std::sync::Arc;
+
+use clobber_nvm::{Backend, Runtime, RuntimeOptions};
+use clobber_pds::{BpTree, HashMap};
+use clobber_pmem::{CrashConfig, PmemPool, PoolOptions, StatsSnapshot};
+use clobber_workloads::{KvOp, Workload, WorkloadKind};
+
+const OPS: u64 = 400;
+const VALUE_SIZE: usize = 256;
+const WORKLOAD_SEED: u64 = 42;
+const CRASH_SEED: u64 = 7;
+
+fn pool(reference: bool) -> Arc<PmemPool> {
+    let mut opts = PoolOptions::crash_sim(64 << 20);
+    if reference {
+        opts = opts.with_reference_cache();
+    }
+    Arc::new(PmemPool::create(opts).unwrap())
+}
+
+/// YCSB-Load into the hashmap, then a seeded crash, recovery, and a full
+/// dump: returns the pre-crash counters and the recovered contents.
+fn hashmap_load(reference: bool, backend: Backend) -> (StatsSnapshot, Vec<(u64, Vec<u8>)>) {
+    let pool = pool(reference);
+    let rt = Runtime::create(pool.clone(), RuntimeOptions::new(backend)).unwrap();
+    HashMap::register(&rt);
+    let map = HashMap::create(&rt).unwrap();
+    for op in Workload::new(WorkloadKind::Load, OPS, VALUE_SIZE, WORKLOAD_SEED) {
+        if let KvOp::Insert { key, value } = op {
+            map.insert(&rt, key, &value).unwrap();
+        }
+    }
+    let snap = pool.stats().snapshot();
+    let crashed = Arc::new(pool.crash(&CrashConfig::with_seed(CRASH_SEED)).unwrap());
+    let rt2 = Runtime::open(crashed.clone(), RuntimeOptions::new(backend)).unwrap();
+    HashMap::register(&rt2);
+    rt2.recover().unwrap();
+    let mut pairs = HashMap::open(map.root()).dump(&crashed).unwrap();
+    pairs.sort();
+    (snap, pairs)
+}
+
+/// YCSB-Load (32-byte keys) into the B+Tree under the clobber backend.
+fn bptree_load(reference: bool) -> (StatsSnapshot, Vec<(Vec<u8>, Vec<u8>)>) {
+    let pool = pool(reference);
+    let rt = Runtime::create(pool.clone(), RuntimeOptions::default()).unwrap();
+    BpTree::register(&rt);
+    let tree = BpTree::create(&rt).unwrap();
+    for op in Workload::new(WorkloadKind::Load, OPS, VALUE_SIZE, WORKLOAD_SEED) {
+        if let KvOp::Insert { key, value } = op {
+            tree.insert_u64(&rt, key, &value).unwrap();
+        }
+    }
+    let snap = pool.stats().snapshot();
+    let dump = tree.dump(&pool).unwrap();
+    (snap, dump)
+}
+
+#[test]
+fn hashmap_load_counters_identical_across_cache_models() {
+    for backend in [
+        Backend::clobber(),
+        Backend::clobber_conservative(),
+        Backend::Undo,
+        Backend::Redo,
+        Backend::Atlas,
+    ] {
+        let (dense, dense_pairs) = hashmap_load(false, backend);
+        let (refr, ref_pairs) = hashmap_load(true, backend);
+        assert_eq!(dense, refr, "counters diverged under {}", backend.label());
+        assert_eq!(
+            dense_pairs,
+            ref_pairs,
+            "recovered contents diverged under {}",
+            backend.label()
+        );
+    }
+}
+
+#[test]
+fn bptree_load_counters_identical_across_cache_models() {
+    let (dense, dense_dump) = bptree_load(false);
+    let (refr, ref_dump) = bptree_load(true);
+    assert_eq!(dense, refr, "B+Tree load counters diverged");
+    assert_eq!(dense_dump, ref_dump, "B+Tree contents diverged");
+}

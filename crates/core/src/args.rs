@@ -313,12 +313,17 @@ mod tests {
             Err(ArgError::Malformed)
         );
         assert_eq!(ArgList::from_bytes(&[99]), Err(ArgError::Malformed));
-        assert_eq!(ArgList::from_bytes(&[TAG_U64, 1, 2]), Err(ArgError::Malformed));
+        assert_eq!(
+            ArgList::from_bytes(&[TAG_U64, 1, 2]),
+            Err(ArgError::Malformed)
+        );
     }
 
     #[test]
     fn collects_from_iterator() {
-        let args: ArgList = vec![ArgValue::U64(1), ArgValue::U64(2)].into_iter().collect();
+        let args: ArgList = vec![ArgValue::U64(1), ArgValue::U64(2)]
+            .into_iter()
+            .collect();
         assert_eq!(args.len(), 2);
     }
 }

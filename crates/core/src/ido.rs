@@ -162,7 +162,7 @@ mod tests {
         let mut obs = IdoObserver::new(0);
         obs.on_read(0, 8);
         obs.on_write(0, 8); // boundary 1
-        // New region: the same location is only an input if re-read.
+                            // New region: the same location is only an input if re-read.
         obs.on_write(0, 8); // no read since boundary: no new boundary
         obs.on_read(16, 24);
         obs.on_write(16, 24); // boundary 2

@@ -5,8 +5,12 @@
 //! `[start, end)` over pool offsets. Clobber detection is set algebra on
 //! these (paper §3.3): a store's *to-log* portion is
 //! `range ∩ inputs ∖ already_logged`.
-
-use std::collections::BTreeMap;
+//!
+//! The set is a sorted `Vec` of disjoint ranges rather than a tree:
+//! transactions hold at most a few dozen ranges, queries are binary
+//! searches, and — decisive for the allocation-free hot path —
+//! [`RangeSet::clear`] retains capacity, so a pooled set reaches a
+//! steady state where inserts allocate nothing.
 
 /// A set of non-overlapping, non-adjacent half-open `u64` ranges.
 ///
@@ -24,8 +28,8 @@ use std::collections::BTreeMap;
 /// ```
 #[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct RangeSet {
-    /// start -> end
-    ranges: BTreeMap<u64, u64>,
+    /// Sorted, pairwise disjoint and non-adjacent `(start, end)` ranges.
+    ranges: Vec<(u64, u64)>,
 }
 
 impl RangeSet {
@@ -34,7 +38,7 @@ impl RangeSet {
         RangeSet::default()
     }
 
-    /// Removes all ranges.
+    /// Removes all ranges, retaining allocated capacity for reuse.
     pub fn clear(&mut self) {
         self.ranges.clear();
     }
@@ -54,39 +58,34 @@ impl RangeSet {
         self.ranges.iter().map(|(s, e)| e - s).sum()
     }
 
+    /// Index of the first range whose start is greater than `point`; the
+    /// range before it (if any) is the only one that can contain `point`.
+    #[inline]
+    fn upper_bound(&self, point: u64) -> usize {
+        self.ranges.partition_point(|&(s, _)| s <= point)
+    }
+
     /// Inserts `[start, end)`, merging overlapping and adjacent ranges.
     ///
-    /// Empty ranges (`start >= end`) are ignored.
+    /// Empty ranges (`start >= end`) are ignored. Steady-state cost is a
+    /// binary search plus a bounded shift; no allocation once the backing
+    /// vector has warmed up.
     pub fn insert(&mut self, start: u64, end: u64) {
         if start >= end {
             return;
         }
-        let mut new_start = start;
-        let mut new_end = end;
-        // Absorb a predecessor that overlaps or touches `start`.
-        if let Some((&s, &e)) = self.ranges.range(..=start).next_back() {
-            if e >= start {
-                new_start = s;
-                new_end = new_end.max(e);
-                self.ranges.remove(&s);
-            }
+        // First range that could merge: its end touches `start` or later.
+        let lo = self.ranges.partition_point(|&(_, e)| e < start);
+        // One past the last range that could merge: starts at or before `end`.
+        let hi = lo + self.ranges[lo..].partition_point(|&(s, _)| s <= end);
+        if lo == hi {
+            // No overlap and no adjacency: plain insertion.
+            self.ranges.insert(lo, (start, end));
+            return;
         }
-        // Absorb all successors that overlap or touch the growing range.
-        loop {
-            let next = self
-                .ranges
-                .range(new_start..=new_end)
-                .next()
-                .map(|(&s, &e)| (s, e));
-            match next {
-                Some((s, e)) => {
-                    new_end = new_end.max(e);
-                    self.ranges.remove(&s);
-                }
-                None => break,
-            }
-        }
-        self.ranges.insert(new_start, new_end);
+        let merged = (start.min(self.ranges[lo].0), end.max(self.ranges[hi - 1].1));
+        self.ranges[lo] = merged;
+        self.ranges.drain(lo + 1..hi);
     }
 
     /// Returns `true` if every byte of `[start, end)` is in the set.
@@ -96,10 +95,8 @@ impl RangeSet {
         if start >= end {
             return true;
         }
-        match self.ranges.range(..=start).next_back() {
-            Some((_, &e)) => e >= end,
-            None => false,
-        }
+        let i = self.upper_bound(start);
+        i > 0 && self.ranges[i - 1].1 >= end
     }
 
     /// Returns `true` if any byte of `[start, end)` is in the set.
@@ -107,58 +104,70 @@ impl RangeSet {
         if start >= end {
             return false;
         }
-        if let Some((_, &e)) = self.ranges.range(..=start).next_back() {
-            if e > start {
-                return true;
-            }
+        let i = self.upper_bound(start);
+        (i > 0 && self.ranges[i - 1].1 > start) || self.ranges.get(i).is_some_and(|&(s, _)| s < end)
+    }
+
+    /// Appends the parts of `[start, end)` that are **in** the set to `out`,
+    /// in ascending order. The caller owns (and typically reuses) `out`.
+    pub fn intersect_into(&self, start: u64, end: u64, out: &mut Vec<(u64, u64)>) {
+        if start >= end {
+            return;
         }
-        self.ranges.range(start..end).next().is_some()
+        // First range that can reach past `start`.
+        let mut i = self.ranges.partition_point(|&(_, e)| e <= start);
+        while let Some(&(s, e)) = self.ranges.get(i) {
+            if s >= end {
+                break;
+            }
+            out.push((s.max(start), e.min(end)));
+            i += 1;
+        }
     }
 
     /// Returns the parts of `[start, end)` that are **in** the set, in
     /// ascending order.
     pub fn intersect(&self, start: u64, end: u64) -> Vec<(u64, u64)> {
         let mut out = Vec::new();
-        if start >= end {
-            return out;
-        }
-        let from = match self.ranges.range(..=start).next_back() {
-            Some((&s, &e)) if e > start => s,
-            _ => start,
-        };
-        for (&s, &e) in self.ranges.range(from..end) {
-            let lo = s.max(start);
-            let hi = e.min(end);
-            if lo < hi {
-                out.push((lo, hi));
-            }
-        }
+        self.intersect_into(start, end, &mut out);
         out
+    }
+
+    /// Appends the parts of `[start, end)` that are **not** in the set to
+    /// `out`, in ascending order. The caller owns (and typically reuses)
+    /// `out`.
+    pub fn subtract_into(&self, start: u64, end: u64, out: &mut Vec<(u64, u64)>) {
+        if start >= end {
+            return;
+        }
+        let mut cursor = start;
+        let mut i = self.ranges.partition_point(|&(_, e)| e <= start);
+        while let Some(&(s, e)) = self.ranges.get(i) {
+            if s >= end {
+                break;
+            }
+            if cursor < s {
+                out.push((cursor, s));
+            }
+            cursor = e.min(end);
+            i += 1;
+        }
+        if cursor < end {
+            out.push((cursor, end));
+        }
     }
 
     /// Returns the parts of `[start, end)` that are **not** in the set, in
     /// ascending order.
     pub fn subtract_from(&self, start: u64, end: u64) -> Vec<(u64, u64)> {
         let mut out = Vec::new();
-        if start >= end {
-            return out;
-        }
-        let mut cursor = start;
-        for (lo, hi) in self.intersect(start, end) {
-            if cursor < lo {
-                out.push((cursor, lo));
-            }
-            cursor = hi;
-        }
-        if cursor < end {
-            out.push((cursor, end));
-        }
+        self.subtract_into(start, end, &mut out);
         out
     }
 
     /// Iterates the disjoint ranges in ascending order.
     pub fn iter(&self) -> impl Iterator<Item = (u64, u64)> + '_ {
-        self.ranges.iter().map(|(&s, &e)| (s, e))
+        self.ranges.iter().copied()
     }
 }
 
@@ -221,6 +230,18 @@ mod tests {
     }
 
     #[test]
+    fn insert_before_and_between_existing() {
+        let mut s = RangeSet::new();
+        s.insert(20, 25);
+        s.insert(0, 5);
+        s.insert(10, 12);
+        assert_eq!(
+            s.iter().collect::<Vec<_>>(),
+            vec![(0, 5), (10, 12), (20, 25)]
+        );
+    }
+
+    #[test]
     fn empty_range_is_ignored() {
         let mut s = RangeSet::new();
         s.insert(5, 5);
@@ -268,6 +289,28 @@ mod tests {
         assert_eq!(s.subtract_from(12, 18), vec![(12, 18)]);
         assert_eq!(s.subtract_from(0, 30), vec![(10, 20)]);
         assert_eq!(s.subtract_from(2, 8), vec![]);
+    }
+
+    #[test]
+    fn into_variants_append_without_clearing() {
+        let mut s = RangeSet::new();
+        s.insert(0, 10);
+        let mut out = vec![(100, 200)];
+        s.intersect_into(5, 15, &mut out);
+        s.subtract_into(5, 15, &mut out);
+        assert_eq!(out, vec![(100, 200), (5, 10), (10, 15)]);
+    }
+
+    #[test]
+    fn clear_retains_capacity() {
+        let mut s = RangeSet::new();
+        for i in 0..32u64 {
+            s.insert(i * 10, i * 10 + 5);
+        }
+        let cap = s.ranges.capacity();
+        s.clear();
+        assert!(s.is_empty());
+        assert_eq!(s.ranges.capacity(), cap);
     }
 
     #[test]

@@ -112,6 +112,7 @@ impl Runtime {
                         Some(rec.preserves),
                         None,
                         None,
+                        self.take_scratch(),
                     );
                     match f(&mut tx, &rec.args) {
                         Ok(_) => {

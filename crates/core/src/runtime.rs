@@ -12,7 +12,7 @@ use crate::args::ArgList;
 use crate::backend::Backend;
 use crate::error::TxError;
 use crate::ido::{IdoObserver, IdoTxStats};
-use crate::tx::{Tx, TxResult};
+use crate::tx::{CommitOutcome, Tx, TxResult, TxScratch};
 use crate::vlog::VlogSlot;
 
 const RUNTIME_MAGIC: u64 = 0xC10B_BE12_0000_0002;
@@ -125,6 +125,9 @@ pub struct Runtime {
     thread_slots: Mutex<HashMap<ThreadId, usize>>,
     ido: Mutex<IdoAggregate>,
     write_probe: Mutex<Option<crate::tx::WriteProbe>>,
+    /// Free-list of per-transaction scratch state. Recycling warmed-up
+    /// scratches is what makes steady-state transactions allocation-free.
+    scratch_pool: Mutex<Vec<TxScratch>>,
 }
 
 impl std::fmt::Debug for Runtime {
@@ -159,6 +162,7 @@ impl Runtime {
             thread_slots: Mutex::new(HashMap::new()),
             ido: Mutex::new(IdoAggregate::default()),
             write_probe: Mutex::new(None),
+            scratch_pool: Mutex::new(Vec::new()),
         })
     }
 
@@ -192,6 +196,7 @@ impl Runtime {
             thread_slots: Mutex::new(HashMap::new()),
             ido: Mutex::new(IdoAggregate::default()),
             write_probe: Mutex::new(None),
+            scratch_pool: Mutex::new(Vec::new()),
         })
     }
 
@@ -211,7 +216,8 @@ impl Runtime {
     ///
     /// Returns [`TxError::Pmem`] on pool errors.
     pub fn set_app_root(&self, root: PAddr) -> Result<(), TxError> {
-        self.pool.write_u64(self.header.add(hdr::APP_ROOT), root.offset())?;
+        self.pool
+            .write_u64(self.header.add(hdr::APP_ROOT), root.offset())?;
         self.pool.persist(self.header.add(hdr::APP_ROOT), 8)?;
         Ok(())
     }
@@ -222,7 +228,9 @@ impl Runtime {
     ///
     /// Returns [`TxError::Pmem`] on pool errors.
     pub fn app_root(&self) -> Result<PAddr, TxError> {
-        Ok(PAddr::new(self.pool.read_u64(self.header.add(hdr::APP_ROOT))?))
+        Ok(PAddr::new(
+            self.pool.read_u64(self.header.add(hdr::APP_ROOT))?,
+        ))
     }
 
     /// Registers a txfunc under `name`. Re-registering replaces the
@@ -339,6 +347,7 @@ impl Runtime {
             None,
             ido,
             Some(pending),
+            self.take_scratch(),
         );
         tx.set_write_probe(self.write_probe.lock().clone());
         if self.opts.eager_begin {
@@ -350,22 +359,35 @@ impl Runtime {
                 Ok(out)
             }
             Err(e) => {
-                let abort_err = tx.abort(e.to_string());
+                let (abort_err, scratch) = tx.abort(e.to_string());
+                self.recycle_scratch(scratch);
                 Err(abort_err)
             }
         }
     }
 
+    /// Pops a pooled transaction scratch, or starts a fresh one.
+    pub(crate) fn take_scratch(&self) -> TxScratch {
+        self.scratch_pool.lock().pop().unwrap_or_default()
+    }
+
+    /// Clears `scratch` and returns it to the free-list.
+    pub(crate) fn recycle_scratch(&self, mut scratch: TxScratch) {
+        scratch.reset();
+        self.scratch_pool.lock().push(scratch);
+    }
+
     pub(crate) fn finish_commit(&self, tx: Tx<'_>) -> Result<(), TxError> {
-        let outcome = tx.commit()?;
-        for addr in outcome.frees {
-            self.pool.free(addr)?;
+        let CommitOutcome { scratch, ido } = tx.commit()?;
+        for i in 0..scratch.frees.len() {
+            self.pool.free(scratch.frees[i])?;
         }
-        if let Some(stats) = outcome.ido {
+        if let Some(stats) = ido {
             let mut agg = self.ido.lock();
             agg.total.accumulate(&stats);
             agg.transactions += 1;
         }
+        self.recycle_scratch(scratch);
         Ok(())
     }
 

@@ -59,6 +59,57 @@ pub(crate) struct Replay {
     next: usize,
 }
 
+/// Reusable per-transaction state: the range sets driving clobber
+/// detection, the scratch buffers the set algebra writes into, the
+/// old-value staging buffer, the (flattened) redo write set, and the
+/// allocation ledgers.
+///
+/// The runtime keeps a free-list of these and threads one through each
+/// transaction, so a warmed-up scratch makes the steady-state
+/// read + clobber-detect + log path allocation-free: every container
+/// below is `clear()`ed between transactions, which retains capacity.
+#[derive(Default)]
+pub(crate) struct TxScratch {
+    /// True inputs: bytes read before first being written.
+    inputs: RangeSet,
+    /// Every byte read, regardless of prior writes (conservative variant).
+    raw_reads: RangeSet,
+    /// Bytes stored by this transaction.
+    written: RangeSet,
+    /// Input bytes whose old value is already in the clobber log.
+    clobber_logged: RangeSet,
+    /// Intermediate `inputs ∩ store` ranges for the current store.
+    isect: Vec<(u64, u64)>,
+    /// Final to-log ranges for the current store.
+    to_log: Vec<(u64, u64)>,
+    /// Old-value bytes staged for the current log entry.
+    log_buf: Vec<u8>,
+    /// Redo write set: `(pool offset, start, len)` into [`Self::redo_data`].
+    /// Flattened so buffering a store never allocates per entry.
+    redo_writes: Vec<(u64, usize, usize)>,
+    /// Backing bytes for [`Self::redo_writes`], in store order.
+    redo_data: Vec<u8>,
+    pub(crate) allocs: Vec<PAddr>,
+    pub(crate) frees: Vec<PAddr>,
+}
+
+impl TxScratch {
+    /// Empties every container while keeping its allocation.
+    pub(crate) fn reset(&mut self) {
+        self.inputs.clear();
+        self.raw_reads.clear();
+        self.written.clear();
+        self.clobber_logged.clear();
+        self.isect.clear();
+        self.to_log.clear();
+        self.log_buf.clear();
+        self.redo_writes.clear();
+        self.redo_data.clear();
+        self.allocs.clear();
+        self.frees.clear();
+    }
+}
+
 /// Deferred begin record: the v_log/status write is postponed until the
 /// transaction's first persistent store, so read-only transactions pay no
 /// ordering fences at all — matching the paper's observation that search
@@ -82,13 +133,7 @@ pub struct Tx<'rt> {
     pub(crate) slot: VlogSlot,
     pub(crate) clog: Ulog,
     pub(crate) rlog: Ulog,
-    inputs: RangeSet,
-    raw_reads: RangeSet,
-    written: RangeSet,
-    clobber_logged: RangeSet,
-    redo_writes: Vec<(u64, Vec<u8>)>,
-    pub(crate) allocs: Vec<PAddr>,
-    pub(crate) frees: Vec<PAddr>,
+    scratch: TxScratch,
     replay: Option<Replay>,
     pub(crate) ido: Option<IdoObserver>,
     wrote: bool,
@@ -99,6 +144,7 @@ pub struct Tx<'rt> {
 }
 
 impl<'rt> Tx<'rt> {
+    #[allow(clippy::too_many_arguments)]
     pub(crate) fn new(
         pool: &'rt PmemPool,
         backend: Backend,
@@ -109,6 +155,7 @@ impl<'rt> Tx<'rt> {
         replay: Option<Vec<Vec<u8>>>,
         ido: Option<IdoObserver>,
         pending_begin: Option<PendingBegin>,
+        scratch: TxScratch,
     ) -> Tx<'rt> {
         let begun = pending_begin.is_none();
         Tx {
@@ -117,13 +164,7 @@ impl<'rt> Tx<'rt> {
             slot,
             clog,
             rlog,
-            inputs: RangeSet::new(),
-            raw_reads: RangeSet::new(),
-            written: RangeSet::new(),
-            clobber_logged: RangeSet::new(),
-            redo_writes: Vec::new(),
-            allocs: Vec::new(),
-            frees: Vec::new(),
+            scratch,
             replay: replay.map(|blobs| Replay { blobs, next: 0 }),
             ido,
             wrote: false,
@@ -146,8 +187,12 @@ impl<'rt> Tx<'rt> {
             Backend::Clobber(cfg) if cfg.vlog => {
                 let n = self.slot.begin(self.pool, &pending.name, &pending.args)?;
                 let stats = self.pool.stats();
-                stats.vlog_entries.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
-                stats.vlog_bytes.fetch_add(n, std::sync::atomic::Ordering::Relaxed);
+                stats
+                    .vlog_entries
+                    .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                stats
+                    .vlog_bytes
+                    .fetch_add(n, std::sync::atomic::Ordering::Relaxed);
             }
             Backend::Undo => {
                 self.slot.mark_ongoing(self.pool)?;
@@ -190,51 +235,86 @@ impl<'rt> Tx<'rt> {
         self.wrote
     }
 
-    /// Reads `len` bytes at `addr` within the transaction.
+    /// Reads `buf.len()` bytes at `addr` within the transaction into a
+    /// caller-owned buffer — the allocation-free read primitive.
+    ///
+    /// Read-set tracking reuses the transaction's pooled scratch state, so
+    /// a steady-state call allocates nothing.
     ///
     /// # Errors
     ///
     /// Propagates pool bounds errors as [`TxError::Pmem`].
-    pub fn read_bytes(&mut self, addr: PAddr, len: u64) -> Result<Vec<u8>, TxError> {
-        let (s, e) = (addr.offset(), addr.offset() + len);
-        if len == 0 {
-            return Ok(Vec::new());
+    pub fn read_into(&mut self, addr: PAddr, buf: &mut [u8]) -> Result<(), TxError> {
+        if buf.is_empty() {
+            return Ok(());
         }
+        let (s, e) = (addr.offset(), addr.offset() + buf.len() as u64);
         if let Some(obs) = &mut self.ido {
             obs.on_read(s, e);
         }
-        self.raw_reads.insert(s, e);
-        for (a, b) in self.written.subtract_from(s, e) {
-            self.inputs.insert(a, b);
+        let scratch = &mut self.scratch;
+        scratch.raw_reads.insert(s, e);
+        // Bytes not yet written by this transaction become inputs. The
+        // common cases — the range is entirely unwritten (fresh read) or
+        // entirely written (read-own-write) — skip the set subtraction.
+        if !scratch.written.overlaps(s, e) {
+            scratch.inputs.insert(s, e);
+        } else if !scratch.written.contains(s, e) {
+            scratch.isect.clear();
+            scratch.written.subtract_into(s, e, &mut scratch.isect);
+            for i in 0..scratch.isect.len() {
+                let (a, b) = scratch.isect[i];
+                scratch.inputs.insert(a, b);
+            }
         }
-        let mut buf = self.pool.read_bytes(addr, len)?;
+        self.pool.read_into(addr, buf)?;
         if self.backend == Backend::Redo {
             // Read interposition: overlay the volatile write set, in store
             // order, so the transaction sees its own writes — the "longer
             // read path" the paper attributes Mnemosyne's read-side cost to.
             let stats = self.pool.stats();
-            stats.interposed_reads.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
-            for (ws, data) in &self.redo_writes {
-                let we = ws + data.len() as u64;
-                if *ws < e && we > s {
-                    let lo = s.max(*ws);
+            stats
+                .interposed_reads
+                .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+            for &(ws, ds, dl) in &self.scratch.redo_writes {
+                let we = ws + dl as u64;
+                if ws < e && we > s {
+                    let lo = s.max(ws);
                     let hi = e.min(we);
-                    buf[(lo - s) as usize..(hi - s) as usize]
-                        .copy_from_slice(&data[(lo - ws) as usize..(hi - ws) as usize]);
+                    buf[(lo - s) as usize..(hi - s) as usize].copy_from_slice(
+                        &self.scratch.redo_data[ds + (lo - ws) as usize..ds + (hi - ws) as usize],
+                    );
                 }
             }
         }
+        Ok(())
+    }
+
+    /// Reads `len` bytes at `addr` within the transaction.
+    ///
+    /// Allocates the returned vector; hot paths should prefer
+    /// [`read_into`](Self::read_into) with a reused buffer.
+    ///
+    /// # Errors
+    ///
+    /// Propagates pool bounds errors as [`TxError::Pmem`].
+    pub fn read_bytes(&mut self, addr: PAddr, len: u64) -> Result<Vec<u8>, TxError> {
+        let mut buf = vec![0u8; len as usize];
+        self.read_into(addr, &mut buf)?;
         Ok(buf)
     }
 
     /// Reads a little-endian `u64` at `addr` within the transaction.
     ///
+    /// Uses a stack buffer: no heap allocation.
+    ///
     /// # Errors
     ///
     /// Propagates pool bounds errors as [`TxError::Pmem`].
     pub fn read_u64(&mut self, addr: PAddr) -> Result<u64, TxError> {
-        let b = self.read_bytes(addr, 8)?;
-        Ok(u64::from_le_bytes(b[..8].try_into().expect("8 bytes")))
+        let mut buf = [0u8; 8];
+        self.read_into(addr, &mut buf)?;
+        Ok(u64::from_le_bytes(buf))
     }
 
     /// Reads a persistent pointer (stored as a `u64` offset) at `addr`.
@@ -282,45 +362,72 @@ impl<'rt> Tx<'rt> {
         }
         self.ensure_begun()?;
         if self.backend == Backend::Redo {
-            self.redo_writes.push((s, data.to_vec()));
-            self.written.insert(s, e);
+            let ds = self.scratch.redo_data.len();
+            self.scratch.redo_data.extend_from_slice(data);
+            self.scratch.redo_writes.push((s, ds, data.len()));
+            self.scratch.written.insert(s, e);
             self.wrote = true;
             if let Some(probe) = &self.write_probe {
                 probe(self.pool);
             }
             return Ok(());
         }
-        let to_log: Vec<(u64, u64)> = match self.backend {
+        // Clobber detection is set algebra over the scratch's range sets,
+        // written into its reusable buffers: nothing here allocates once
+        // the scratch has warmed up. The `overlaps` probes are the inline
+        // fast path for the dominant case of a store that touches no
+        // read-set byte at all.
+        let scratch = &mut self.scratch;
+        scratch.to_log.clear();
+        match self.backend {
             Backend::Clobber(cfg) if cfg.clobber_log => match policy {
                 WritePolicy::Auto => {
                     if cfg.refined {
-                        let mut v = Vec::new();
-                        for (a, b) in self.inputs.intersect(s, e) {
-                            v.extend(self.clobber_logged.subtract_from(a, b));
+                        if scratch.inputs.overlaps(s, e) {
+                            scratch.isect.clear();
+                            scratch.inputs.intersect_into(s, e, &mut scratch.isect);
+                            for &(a, b) in &scratch.isect {
+                                scratch
+                                    .clobber_logged
+                                    .subtract_into(a, b, &mut scratch.to_log);
+                            }
                         }
-                        v
-                    } else {
-                        self.raw_reads.intersect(s, e)
+                    } else if scratch.raw_reads.overlaps(s, e) {
+                        scratch.raw_reads.intersect_into(s, e, &mut scratch.to_log);
                     }
                 }
-                WritePolicy::ForceLog => vec![(s, e)],
-                WritePolicy::NoLog => Vec::new(),
+                WritePolicy::ForceLog => scratch.to_log.push((s, e)),
+                WritePolicy::NoLog => {}
             },
-            Backend::Undo | Backend::Atlas => self.written.subtract_from(s, e),
-            _ => Vec::new(),
-        };
+            Backend::Undo | Backend::Atlas => {
+                if !scratch.written.overlaps(s, e) {
+                    scratch.to_log.push((s, e));
+                } else {
+                    scratch.written.subtract_into(s, e, &mut scratch.to_log);
+                }
+            }
+            _ => {}
+        }
         let refined = matches!(self.backend, Backend::Clobber(cfg) if cfg.refined);
         let stats = self.pool.stats();
-        for &(a, b) in &to_log {
-            let old = self.pool.read_bytes(PAddr::new(a), b - a)?;
-            self.clog.append(self.pool, PAddr::new(a), &old)?;
-            stats.log_entries.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
-            stats.log_bytes.fetch_add(b - a, std::sync::atomic::Ordering::Relaxed);
+        for i in 0..self.scratch.to_log.len() {
+            let (a, b) = self.scratch.to_log[i];
+            self.scratch.log_buf.resize((b - a) as usize, 0);
+            self.pool
+                .read_into(PAddr::new(a), &mut self.scratch.log_buf)?;
+            self.clog
+                .append(self.pool, PAddr::new(a), &self.scratch.log_buf)?;
+            stats
+                .log_entries
+                .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+            stats
+                .log_bytes
+                .fetch_add(b - a, std::sync::atomic::Ordering::Relaxed);
             if refined {
-                self.clobber_logged.insert(a, b);
+                self.scratch.clobber_logged.insert(a, b);
             }
         }
-        self.written.insert(s, e);
+        self.scratch.written.insert(s, e);
         self.wrote = true;
         self.pool.write_bytes(addr, data)?;
         self.pool.flush(addr, data.len() as u64)?;
@@ -364,14 +471,16 @@ impl<'rt> Tx<'rt> {
         // Zero-fill must be durable with the commit: flush it now, the
         // commit fence orders it.
         self.pool.flush(addr, size)?;
-        self.allocs.push(addr);
+        self.scratch.allocs.push(addr);
         // Under clobber logging the allocation initializes its payload: it
         // joins the write set so reads of it are not inputs. PMDK-style undo
         // deliberately does *not* get this: its transactions `TX_ADD` the
         // fields of freshly allocated objects too (paper Fig. 2b), so their
         // first stores are snapshot-logged like any other.
         if matches!(self.backend, Backend::Clobber(_) | Backend::NoLog) {
-            self.written.insert(addr.offset(), addr.offset() + size);
+            self.scratch
+                .written
+                .insert(addr.offset(), addr.offset() + size);
         }
         Ok(addr)
     }
@@ -384,11 +493,11 @@ impl<'rt> Tx<'rt> {
     ///
     /// Returns [`TxError::Pmem`] if `addr` was not allocated.
     pub fn pfree(&mut self, addr: PAddr) -> Result<(), TxError> {
-        if let Some(pos) = self.allocs.iter().position(|&a| a == addr) {
-            self.allocs.swap_remove(pos);
+        if let Some(pos) = self.scratch.allocs.iter().position(|&a| a == addr) {
+            self.scratch.allocs.swap_remove(pos);
             self.pool.cancel(&[addr])?;
         } else {
-            self.frees.push(addr);
+            self.scratch.frees.push(addr);
         }
         Ok(())
     }
@@ -425,7 +534,9 @@ impl<'rt> Tx<'rt> {
             self.ensure_begun()?;
             let n = self.slot.preserve(self.pool, data)?;
             let stats = self.pool.stats();
-            stats.vlog_bytes.fetch_add(n, std::sync::atomic::Ordering::Relaxed);
+            stats
+                .vlog_bytes
+                .fetch_add(n, std::sync::atomic::Ordering::Relaxed);
         }
         Ok(data.to_vec())
     }
@@ -435,17 +546,17 @@ impl<'rt> Tx<'rt> {
     /// frees plus any iDO shadow stats.
     pub(crate) fn commit(mut self) -> Result<CommitOutcome, TxError> {
         let pool = self.pool;
-        let effects = self.wrote || !self.allocs.is_empty();
+        let effects = self.wrote || !self.scratch.allocs.is_empty();
         match self.backend {
             Backend::NoLog => {
                 if effects {
-                    pool.publish(&self.allocs)?;
+                    pool.publish(&self.scratch.allocs)?;
                     pool.fence();
                 }
             }
             Backend::Clobber(cfg) => {
                 if effects {
-                    pool.publish(&self.allocs)?;
+                    pool.publish(&self.scratch.allocs)?;
                     pool.fence();
                 }
                 if cfg.vlog && self.begun {
@@ -463,11 +574,15 @@ impl<'rt> Tx<'rt> {
                     let dep = [0u8; 32];
                     self.clog.append(pool, self.slot.base(), &dep)?;
                     let stats = pool.stats();
-                    stats.log_entries.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
-                    stats.log_bytes.fetch_add(32, std::sync::atomic::Ordering::Relaxed);
+                    stats
+                        .log_entries
+                        .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                    stats
+                        .log_bytes
+                        .fetch_add(32, std::sync::atomic::Ordering::Relaxed);
                 }
                 if effects {
-                    pool.publish(&self.allocs)?;
+                    pool.publish(&self.scratch.allocs)?;
                     pool.fence();
                 }
                 if self.begun {
@@ -478,7 +593,8 @@ impl<'rt> Tx<'rt> {
                     pool.fence();
                 }
             }
-            Backend::Redo if self.redo_writes.is_empty() && self.allocs.is_empty() => {}
+            Backend::Redo
+                if self.scratch.redo_writes.is_empty() && self.scratch.allocs.is_empty() => {}
             Backend::Redo => {
                 // Mnemosyne's raw-word log is word-granular: every 64-bit
                 // store becomes one log record (torn-bit encoded), so a
@@ -486,10 +602,12 @@ impl<'rt> Tx<'rt> {
                 // makes redo logging byte-hungry on large values while
                 // staying fence-cheap (one ordering point for the batch).
                 let items: Vec<(PAddr, &[u8])> = self
+                    .scratch
                     .redo_writes
                     .iter()
-                    .flat_map(|(a, d)| {
-                        d.chunks(8)
+                    .flat_map(|&(a, ds, dl)| {
+                        self.scratch.redo_data[ds..ds + dl]
+                            .chunks(8)
                             .enumerate()
                             .map(move |(i, c)| (PAddr::new(a + i as u64 * 8), c))
                     })
@@ -503,7 +621,7 @@ impl<'rt> Tx<'rt> {
                     std::sync::atomic::Ordering::Relaxed,
                 );
                 self.rlog.append_batch(pool, &items)?; // one fence
-                pool.publish(&self.allocs)?;
+                pool.publish(&self.scratch.allocs)?;
                 self.slot.set_redo_committed(pool, true)?; // commit point
                 self.rlog.apply_forwards(pool)?;
                 pool.fence();
@@ -517,7 +635,7 @@ impl<'rt> Tx<'rt> {
         }
         let ido = self.ido.take().map(IdoObserver::finish);
         Ok(CommitOutcome {
-            frees: std::mem::take(&mut self.frees),
+            scratch: std::mem::take(&mut self.scratch),
             ido,
         })
     }
@@ -530,13 +648,16 @@ impl<'rt> Tx<'rt> {
     /// (Clobber, NoLog) once a persistent store happened — they cannot roll
     /// back. In that case the slot is left *ongoing* so that recovery
     /// completes the transaction by re-execution.
-    pub(crate) fn abort(mut self, why: String) -> TxError {
+    ///
+    /// Also returns the transaction's scratch state so the runtime can
+    /// recycle it.
+    pub(crate) fn abort(mut self, why: String) -> (TxError, TxScratch) {
         let pool = self.pool;
         let cancel_allocs = |allocs: &[PAddr]| {
             // Cancel failures cannot occur for our own reservations.
             let _ = pool.cancel(allocs);
         };
-        match self.backend {
+        let err = match self.backend {
             Backend::Undo | Backend::Atlas => {
                 if self.begun {
                     if self.clog.apply_backwards(pool).is_ok() {
@@ -547,17 +668,18 @@ impl<'rt> Tx<'rt> {
                     let _ = pool.flush(self.clog.base(), 8);
                     pool.fence();
                 }
-                cancel_allocs(&self.allocs);
+                cancel_allocs(&self.scratch.allocs);
                 TxError::Aborted(why)
             }
             Backend::Redo => {
-                self.redo_writes.clear();
-                cancel_allocs(&self.allocs);
+                self.scratch.redo_writes.clear();
+                self.scratch.redo_data.clear();
+                cancel_allocs(&self.scratch.allocs);
                 TxError::Aborted(why)
             }
             Backend::NoLog | Backend::Clobber(_) => {
                 if !self.wrote {
-                    cancel_allocs(&self.allocs);
+                    cancel_allocs(&self.scratch.allocs);
                     if self.begun && matches!(self.backend, Backend::Clobber(cfg) if cfg.vlog) {
                         let _ = self.slot.clear_ongoing(pool);
                         pool.fence();
@@ -567,12 +689,15 @@ impl<'rt> Tx<'rt> {
                     TxError::AbortedAfterWrite(why)
                 }
             }
-        }
+        };
+        (err, std::mem::take(&mut self.scratch))
     }
 }
 
-/// What a committed transaction leaves for the runtime to finish.
+/// What a committed transaction leaves for the runtime to finish: deferred
+/// frees (still inside the scratch) and iDO shadow stats; the scratch
+/// itself goes back on the runtime's free-list.
 pub(crate) struct CommitOutcome {
-    pub frees: Vec<PAddr>,
+    pub scratch: TxScratch,
     pub ido: Option<IdoTxStats>,
 }

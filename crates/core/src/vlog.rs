@@ -190,7 +190,10 @@ impl VlogSlot {
         pool.write_u64(self.base.add(PRESERVE_COUNT), 0)?;
         pool.write_u64(self.base.add(PRESERVE_TAIL), 0)?;
         // Fence 1: the record must be durable before the status bit.
-        pool.flush(self.base.add(NAME_LEN), ARGS - NAME_LEN + arg_bytes.len() as u64)?;
+        pool.flush(
+            self.base.add(NAME_LEN),
+            ARGS - NAME_LEN + arg_bytes.len() as u64,
+        )?;
         pool.flush(self.base.add(PRESERVE_COUNT), 16)?;
         pool.fence();
         // Fence 2: the status bit marks the transaction ongoing.
@@ -342,7 +345,10 @@ mod tests {
         slot.preserve(&pool, b"first").unwrap();
         slot.preserve(&pool, b"second-blob").unwrap();
         let rec = slot.record(&pool).unwrap();
-        assert_eq!(rec.preserves, vec![b"first".to_vec(), b"second-blob".to_vec()]);
+        assert_eq!(
+            rec.preserves,
+            vec![b"first".to_vec(), b"second-blob".to_vec()]
+        );
     }
 
     #[test]
@@ -396,11 +402,13 @@ mod tests {
     #[test]
     fn begin_overwrites_previous_record() {
         let (pool, slot) = setup();
-        slot.begin(&pool, "first", &ArgList::new().with_u64(1)).unwrap();
+        slot.begin(&pool, "first", &ArgList::new().with_u64(1))
+            .unwrap();
         slot.preserve(&pool, b"blob").unwrap();
         slot.clear_ongoing(&pool).unwrap();
         pool.fence();
-        slot.begin(&pool, "second", &ArgList::new().with_u64(2)).unwrap();
+        slot.begin(&pool, "second", &ArgList::new().with_u64(2))
+            .unwrap();
         let rec = slot.record(&pool).unwrap();
         assert_eq!(rec.name, "second");
         assert_eq!(rec.args.u64(0).unwrap(), 2);

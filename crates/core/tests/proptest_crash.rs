@@ -31,7 +31,9 @@ fn register(rt: &Runtime) {
 }
 
 fn total(pool: &PmemPool, base: PAddr) -> u64 {
-    (0..ACCOUNTS).map(|i| pool.read_u64(base.add(i * 8)).unwrap()).sum()
+    (0..ACCOUNTS)
+        .map(|i| pool.read_u64(base.add(i * 8)).unwrap())
+        .sum()
 }
 
 proptest! {

@@ -88,6 +88,40 @@ proptest! {
     }
 
     #[test]
+    fn into_variants_match_allocating_variants(
+        (inserts, queries) in (
+            ranges_strategy(),
+            proptest::collection::vec((0u64..DOMAIN, 1u64..32), 1..8),
+        )
+    ) {
+        let mut set = RangeSet::new();
+        let mut bits = vec![false; DOMAIN as usize];
+        for (s, e) in inserts {
+            set.insert(s, e);
+            model_insert(&mut bits, s, e);
+        }
+        // One pair of scratch buffers across all queries, as the Tx hot
+        // path reuses them: the append-style variants must behave exactly
+        // like their allocating wrappers after a plain clear().
+        let mut isect = Vec::new();
+        let mut sub = Vec::new();
+        for (qs, qlen) in queries {
+            let qe = (qs + qlen).min(DOMAIN).max(qs);
+            isect.clear();
+            sub.clear();
+            set.intersect_into(qs, qe, &mut isect);
+            set.subtract_into(qs, qe, &mut sub);
+            prop_assert_eq!(&isect, &set.intersect(qs, qe));
+            prop_assert_eq!(&sub, &set.subtract_from(qs, qe));
+            // And against the bitset model, byte for byte.
+            for i in qs..qe {
+                let in_isect = isect.iter().any(|&(a, b)| a <= i && i < b);
+                prop_assert_eq!(in_isect, bits[i as usize], "byte {} misclassified", i);
+            }
+        }
+    }
+
+    #[test]
     fn insertion_order_is_irrelevant(mut inserts in ranges_strategy()) {
         let mut a = RangeSet::new();
         for &(s, e) in &inserts {

@@ -132,7 +132,12 @@ fn reopen(image: Vec<u8>, backend: Backend) -> (Arc<PmemPool>, Runtime, PAddr) {
 
 #[test]
 fn committed_pushes_survive_adversarial_crash() {
-    for backend in [Backend::clobber(), Backend::Undo, Backend::Redo, Backend::Atlas] {
+    for backend in [
+        Backend::clobber(),
+        Backend::Undo,
+        Backend::Redo,
+        Backend::Atlas,
+    ] {
         let (pool, rt, head) = new_runtime(backend);
         register_stack(&rt, None);
         for i in 0..5u64 {
@@ -147,7 +152,12 @@ fn committed_pushes_survive_adversarial_crash() {
         assert!(report.is_clean(), "{}: {report:?}", backend.label());
         let vals = stack_contents(&pool2, head2);
         assert_eq!(vals.len(), 5, "backend {}", backend.label());
-        assert_eq!(vals[0], b"value-4", "LIFO order, backend {}", backend.label());
+        assert_eq!(
+            vals[0],
+            b"value-4",
+            "LIFO order, backend {}",
+            backend.label()
+        );
     }
 }
 
@@ -160,13 +170,17 @@ fn clobber_reexecutes_interrupted_push_at_every_crash_point() {
         register_stack(&rt, Some(trap.clone()));
         rt.run(
             "push",
-            &ArgList::new().with_u64(head.offset()).with_bytes(b"committed"),
+            &ArgList::new()
+                .with_u64(head.offset())
+                .with_bytes(b"committed"),
         )
         .unwrap();
         trap.arm(crash_at);
         rt.run(
             "push",
-            &ArgList::new().with_u64(head.offset()).with_bytes(b"interrupted"),
+            &ArgList::new()
+                .with_u64(head.offset())
+                .with_bytes(b"interrupted"),
         )
         .unwrap();
         let image = trap.take_image().expect("trap fired");
@@ -194,13 +208,17 @@ fn undo_rolls_back_interrupted_push_at_every_crash_point() {
         register_stack(&rt, Some(trap.clone()));
         rt.run(
             "push",
-            &ArgList::new().with_u64(head.offset()).with_bytes(b"committed"),
+            &ArgList::new()
+                .with_u64(head.offset())
+                .with_bytes(b"committed"),
         )
         .unwrap();
         trap.arm(crash_at);
         rt.run(
             "push",
-            &ArgList::new().with_u64(head.offset()).with_bytes(b"interrupted"),
+            &ArgList::new()
+                .with_u64(head.offset())
+                .with_bytes(b"interrupted"),
         )
         .unwrap();
         let image = trap.take_image().expect("trap fired");
@@ -224,13 +242,17 @@ fn redo_discards_uncommitted_push() {
         register_stack(&rt, Some(trap.clone()));
         rt.run(
             "push",
-            &ArgList::new().with_u64(head.offset()).with_bytes(b"committed"),
+            &ArgList::new()
+                .with_u64(head.offset())
+                .with_bytes(b"committed"),
         )
         .unwrap();
         trap.arm(crash_at);
         rt.run(
             "push",
-            &ArgList::new().with_u64(head.offset()).with_bytes(b"interrupted"),
+            &ArgList::new()
+                .with_u64(head.offset())
+                .with_bytes(b"interrupted"),
         )
         .unwrap();
         let image = trap.take_image().expect("trap fired");
@@ -248,7 +270,9 @@ fn atlas_rolls_back_interrupted_push() {
     register_stack(&rt, Some(trap.clone()));
     rt.run(
         "push",
-        &ArgList::new().with_u64(head.offset()).with_bytes(b"interrupted"),
+        &ArgList::new()
+            .with_u64(head.offset())
+            .with_bytes(b"interrupted"),
     )
     .unwrap();
     let image = trap.take_image().expect("trap fired");
@@ -263,7 +287,12 @@ fn atlas_rolls_back_interrupted_push() {
 /// backend.
 #[test]
 fn paired_cells_stay_equal_across_crashes() {
-    for backend in [Backend::clobber(), Backend::Undo, Backend::Redo, Backend::Atlas] {
+    for backend in [
+        Backend::clobber(),
+        Backend::Undo,
+        Backend::Redo,
+        Backend::Atlas,
+    ] {
         for crash_at in 0..2u32 {
             let pool = Arc::new(PmemPool::create(PoolOptions::crash_sim(4 << 20)).unwrap());
             let rt = Runtime::create(pool.clone(), RuntimeOptions::new(backend)).unwrap();
@@ -333,7 +362,9 @@ fn vlog_preserve_replays_during_recovery() {
     let len_cell = rt.pool().alloc(8).unwrap();
     rt.pool().persist(cell, 64).unwrap();
     rt.pool().persist(len_cell, 8).unwrap();
-    let args = ArgList::new().with_u64(cell.offset()).with_u64(len_cell.offset());
+    let args = ArgList::new()
+        .with_u64(cell.offset())
+        .with_u64(len_cell.offset());
     rt.run("store_volatile", &args).unwrap();
     let image = trap.take_image().expect("trap fired");
 
@@ -394,13 +425,22 @@ fn multiple_slots_recover_independently() {
     // Run an interrupted tx on slot 0 and slot 1 by beginning on each slot
     // and crashing before either commits: emulate by running each halfway
     // via the trapless path, then crafting ongoing slots directly.
-    rt.run_on(0, "set_cell", &ArgList::new().with_u64(c0.offset()).with_u64(10))
-        .unwrap();
-    rt.run_on(1, "set_cell", &ArgList::new().with_u64(c1.offset()).with_u64(20))
-        .unwrap();
+    rt.run_on(
+        0,
+        "set_cell",
+        &ArgList::new().with_u64(c0.offset()).with_u64(10),
+    )
+    .unwrap();
+    rt.run_on(
+        1,
+        "set_cell",
+        &ArgList::new().with_u64(c1.offset()).with_u64(20),
+    )
+    .unwrap();
     // Crash cleanly: both slots idle.
     let crashed = pool.crash(&CrashConfig::drop_all(8)).unwrap();
-    let pool2 = Arc::new(PmemPool::open_from_media(crashed.media_snapshot(), PoolMode::CrashSim).unwrap());
+    let pool2 =
+        Arc::new(PmemPool::open_from_media(crashed.media_snapshot(), PoolMode::CrashSim).unwrap());
     let rt2 = Runtime::open(pool2.clone(), RuntimeOptions::default()).unwrap();
     register(&rt2);
     let report = rt2.recover().unwrap();
@@ -417,14 +457,19 @@ fn clobber_logs_exactly_the_clobbered_input() {
     let before = pool.stats().snapshot();
     rt.run(
         "push",
-        &ArgList::new().with_u64(head.offset()).with_bytes(&[0xAB; 256]),
+        &ArgList::new()
+            .with_u64(head.offset())
+            .with_bytes(&[0xAB; 256]),
     )
     .unwrap();
     let d = pool.stats().snapshot().delta(&before);
     assert_eq!(d.log_entries, 1, "only the head pointer is clobbered");
     assert_eq!(d.log_bytes, 8, "exactly the 8-byte head pointer");
     assert_eq!(d.vlog_entries, 1, "one v_log record per transaction");
-    assert!(d.vlog_bytes > 256, "v_log holds the serialized value argument");
+    assert!(
+        d.vlog_bytes > 256,
+        "v_log holds the serialized value argument"
+    );
 }
 
 #[test]
@@ -435,7 +480,9 @@ fn undo_logs_far_more_than_clobber() {
         let before = pool.stats().snapshot();
         rt.run(
             "push",
-            &ArgList::new().with_u64(head.offset()).with_bytes(&[0xCD; 256]),
+            &ArgList::new()
+                .with_u64(head.offset())
+                .with_bytes(&[0xCD; 256]),
         )
         .unwrap();
         pool.stats().snapshot().delta(&before)
@@ -525,7 +572,11 @@ fn undo_abort_after_write_rolls_back_inline() {
         .run("write_then_abort", &ArgList::new().with_u64(cell.offset()))
         .unwrap_err();
     assert!(matches!(err, TxError::Aborted(_)));
-    assert_eq!(pool.read_u64(cell).unwrap(), 5, "undo rolled the write back");
+    assert_eq!(
+        pool.read_u64(cell).unwrap(),
+        5,
+        "undo rolled the write back"
+    );
 }
 
 #[test]
@@ -577,7 +628,9 @@ fn pfree_of_pre_existing_block_is_deferred_to_commit() {
     });
     let flag = pool.alloc(8).unwrap();
     pool.persist(flag, 8).unwrap();
-    let args = ArgList::new().with_u64(victim.offset()).with_u64(flag.offset());
+    let args = ArgList::new()
+        .with_u64(victim.offset())
+        .with_u64(flag.offset());
     rt.run("free_it", &args).unwrap();
     // Committed: the block is genuinely free (allocating reuses it).
     let again = pool.alloc(64).unwrap();
@@ -599,7 +652,10 @@ fn pfree_of_pre_existing_block_is_deferred_to_commit() {
     let report = rt2.recover().unwrap();
     assert_eq!(report.reexecuted.len(), 1);
     let again2 = pool2.alloc(64).unwrap();
-    assert_eq!(again2, victim, "deferred free applied during recovery commit");
+    assert_eq!(
+        again2, victim,
+        "deferred free applied during recovery commit"
+    );
 }
 
 #[test]

@@ -1,0 +1,84 @@
+//! Proves the steady-state transactional read + clobber-detect + log path
+//! performs zero heap allocations, with a counting global allocator.
+//!
+//! The first run of the txfunc warms every pooled buffer (the recycled
+//! `TxScratch`, the dense cache's shadow, the clobber log staging buffer);
+//! the second run measures the allocation count inside the transaction
+//! body, after its first store, and must observe none.
+//!
+//! This file intentionally holds a single test: the counter is global, so
+//! a concurrently running test in the same binary would pollute the delta.
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use clobber_nvm::{ArgList, Runtime, RuntimeOptions};
+use clobber_pmem::{PAddr, PmemPool, PoolOptions};
+
+static ALLOCS: AtomicU64 = AtomicU64::new(0);
+
+struct Counting;
+
+// SAFETY: delegates every operation to `System` unchanged; the counter is
+// a relaxed atomic with no effect on the returned memory.
+unsafe impl GlobalAlloc for Counting {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.alloc(layout) }
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        unsafe { System.dealloc(ptr, layout) }
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.realloc(ptr, layout, new_size) }
+    }
+}
+
+#[global_allocator]
+static COUNTER: Counting = Counting;
+
+#[test]
+fn steady_state_read_clobber_path_is_allocation_free() {
+    let pool = Arc::new(PmemPool::create(PoolOptions::crash_sim(4 << 20)).unwrap());
+    let rt = Runtime::create(pool, RuntimeOptions::default()).unwrap();
+    let base = rt.pool().alloc(1024).unwrap();
+
+    rt.register("hot", |tx, args| {
+        let base = PAddr::new(args.u64(0)?);
+        // First store: persists the deferred begin record (which writes the
+        // txfunc name and args to the v_log) before the measured window.
+        tx.write_u64(base, 1)?;
+        let start = ALLOCS.load(Ordering::Relaxed);
+        let mut buf = [0u8; 64];
+        for round in 0..64u64 {
+            for cell in 0..8u64 {
+                // Read-before-write makes each cell a clobbered input: the
+                // first round logs its old value, later rounds hit the
+                // already-logged fast path.
+                let addr = base.add(64 + cell * 64);
+                let v = tx.read_u64(addr)?;
+                tx.write_u64(addr, v + round)?;
+            }
+            tx.read_into(base.add(64), &mut buf)?;
+        }
+        let delta = ALLOCS.load(Ordering::Relaxed) - start;
+        Ok(Some(delta.to_le_bytes().to_vec()))
+    });
+
+    let args = ArgList::new().with_u64(base.offset());
+    // Warm-up transaction: sizes the pooled scratch, the cache shadow and
+    // the log staging buffer. Its allocation count is irrelevant.
+    rt.run("hot", &args).unwrap();
+    // Steady state: the identical transaction must not allocate at all
+    // inside its read/write loop.
+    let out = rt.run("hot", &args).unwrap().unwrap();
+    let delta = u64::from_le_bytes(out[..8].try_into().unwrap());
+    assert_eq!(
+        delta, 0,
+        "steady-state read+clobber-detect path allocated {delta} time(s)"
+    );
+}

@@ -32,7 +32,12 @@ const NODE_SIZE: u64 = 48;
 /// # Errors
 ///
 /// Returns [`TxError::Pmem`] on substrate failure.
-pub fn tx_insert(tx: &mut Tx<'_>, root_block: PAddr, key: u64, value: &[u8]) -> Result<(), TxError> {
+pub fn tx_insert(
+    tx: &mut Tx<'_>,
+    root_block: PAddr,
+    key: u64,
+    value: &[u8],
+) -> Result<(), TxError> {
     let root = tx.read_paddr(root_block.add(8))?;
     let new_root = insert_rec(tx, root, key, value)?;
     if new_root != root {
@@ -159,12 +164,7 @@ fn rebalance(tx: &mut Tx<'_>, n: PAddr) -> Result<PAddr, TxError> {
     Ok(n)
 }
 
-fn insert_rec(
-    tx: &mut Tx<'_>,
-    n: PAddr,
-    key: u64,
-    value: &[u8],
-) -> Result<PAddr, TxError> {
+fn insert_rec(tx: &mut Tx<'_>, n: PAddr, key: u64, value: &[u8]) -> Result<PAddr, TxError> {
     if n.is_null() {
         let vbuf = store_value(tx, value)?;
         let z = tx.pmalloc(NODE_SIZE)?;
@@ -199,12 +199,7 @@ fn insert_rec(
     rebalance(tx, n)
 }
 
-fn remove_rec(
-    tx: &mut Tx<'_>,
-    n: PAddr,
-    key: u64,
-    removed: &mut bool,
-) -> Result<PAddr, TxError> {
+fn remove_rec(tx: &mut Tx<'_>, n: PAddr, key: u64, removed: &mut bool) -> Result<PAddr, TxError> {
     if n.is_null() {
         return Ok(n);
     }
@@ -298,7 +293,7 @@ impl AvlTree {
         rt.register(TX_GET, |tx, args| {
             let root_block = PAddr::new(args.u64(0)?);
             let key = args.u64(1)?;
-            Ok(tx_get(tx, root_block, key)?)
+            tx_get(tx, root_block, key)
         });
         rt.register(TX_REMOVE, |tx, args| {
             let root_block = PAddr::new(args.u64(0)?);
@@ -481,7 +476,12 @@ mod tests {
 
     #[test]
     fn works_under_every_backend() {
-        for backend in [Backend::clobber(), Backend::Undo, Backend::Redo, Backend::Atlas] {
+        for backend in [
+            Backend::clobber(),
+            Backend::Undo,
+            Backend::Redo,
+            Backend::Atlas,
+        ] {
             let (pool, rt, t) = setup(backend);
             for k in 0..50u64 {
                 t.insert(&rt, (k * 17) % 50, &k.to_le_bytes()).unwrap();

@@ -42,6 +42,9 @@ const NODE_SIZE: u64 = 512;
 const TAG_LEAF: u64 = 1;
 const TAG_INTERNAL: u64 = 2;
 
+/// Key/value byte pairs returned by scans and dumps, in key order.
+pub type KvPairs = Vec<(Vec<u8>, Vec<u8>)>;
+
 /// Handle to a persistent B+Tree.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct BpTree {
@@ -67,8 +70,12 @@ fn child_addr(node: PAddr, i: u64) -> PAddr {
     node.add(CHILDREN + i * 8)
 }
 
-fn read_key(tx: &mut Tx<'_>, node: PAddr, i: u64) -> Result<Vec<u8>, TxError> {
-    tx.read_bytes(key_addr(node, i), KEY_LEN)
+/// Reads key `i` of `node` into a stack buffer: key reads happen on every
+/// step of every search loop, so they must not allocate.
+fn read_key(tx: &mut Tx<'_>, node: PAddr, i: u64) -> Result<[u8; KEY_LEN as usize], TxError> {
+    let mut k = [0u8; KEY_LEN as usize];
+    tx.read_into(key_addr(node, i), &mut k)?;
+    Ok(k)
 }
 
 /// Finds the position of `key` among the node's keys: `Ok(i)` if equal to
@@ -101,10 +108,14 @@ fn leaf_shift_right(tx: &mut Tx<'_>, node: PAddr, from: u64, n: u64) -> Result<(
     if n == from {
         return Ok(());
     }
-    let keys = tx.read_bytes(key_addr(node, from), (n - from) * KEY_LEN)?;
-    tx.write_bytes(key_addr(node, from + 1), &keys)?;
-    let vals = tx.read_bytes(val_addr(node, from), (n - from) * 16)?;
-    tx.write_bytes(val_addr(node, from + 1), &vals)?;
+    let klen = ((n - from) * KEY_LEN) as usize;
+    let mut keys = [0u8; (CAP * KEY_LEN) as usize];
+    tx.read_into(key_addr(node, from), &mut keys[..klen])?;
+    tx.write_bytes(key_addr(node, from + 1), &keys[..klen])?;
+    let vlen = ((n - from) * 16) as usize;
+    let mut vals = [0u8; (CAP * 16) as usize];
+    tx.read_into(val_addr(node, from), &mut vals[..vlen])?;
+    tx.write_bytes(val_addr(node, from + 1), &vals[..vlen])?;
     Ok(())
 }
 
@@ -114,10 +125,14 @@ fn internal_shift_right(tx: &mut Tx<'_>, node: PAddr, from: u64, n: u64) -> Resu
     if n == from {
         return Ok(());
     }
-    let keys = tx.read_bytes(key_addr(node, from), (n - from) * KEY_LEN)?;
-    tx.write_bytes(key_addr(node, from + 1), &keys)?;
-    let children = tx.read_bytes(child_addr(node, from + 1), (n - from) * 8)?;
-    tx.write_bytes(child_addr(node, from + 2), &children)?;
+    let klen = ((n - from) * KEY_LEN) as usize;
+    let mut keys = [0u8; (CAP * KEY_LEN) as usize];
+    tx.read_into(key_addr(node, from), &mut keys[..klen])?;
+    tx.write_bytes(key_addr(node, from + 1), &keys[..klen])?;
+    let clen = ((n - from) * 8) as usize;
+    let mut children = [0u8; (CAP * 8) as usize];
+    tx.read_into(child_addr(node, from + 1), &mut children[..clen])?;
+    tx.write_bytes(child_addr(node, from + 2), &children[..clen])?;
     Ok(())
 }
 
@@ -142,7 +157,7 @@ fn insert_rec(
     node: PAddr,
     key: &[u8],
     value: &[u8],
-) -> Result<Option<(Vec<u8>, PAddr)>, TxError> {
+) -> Result<Option<([u8; KEY_LEN as usize], PAddr)>, TxError> {
     let tag = tx.read_u64(node.add(TAG))?;
     if tag == TAG_LEAF {
         let n = tx.read_u64(node.add(NKEYS))?;
@@ -169,7 +184,8 @@ fn insert_rec(
                 let half = CAP / 2;
                 for i in half..CAP {
                     let k = read_key(tx, node, i)?;
-                    let v = tx.read_bytes(val_addr(node, i), 16)?;
+                    let mut v = [0u8; 16];
+                    tx.read_into(val_addr(node, i), &mut v)?;
                     tx.write_bytes(key_addr(right, i - half), &k)?;
                     tx.write_bytes(val_addr(right, i - half), &v)?;
                 }
@@ -273,10 +289,10 @@ impl BpTree {
     pub fn register(rt: &Runtime) {
         rt.register(TX_INSERT, |tx, args| {
             let root_block = PAddr::new(args.u64(0)?);
-            let key = args.bytes(1)?.to_vec();
-            let value = args.bytes(2)?.to_vec();
+            let key = args.bytes(1)?;
+            let value = args.bytes(2)?;
             let root = tx.read_paddr(root_block.add(8))?;
-            if let Some((sep, right)) = insert_rec(tx, root, &key, &value)? {
+            if let Some((sep, right)) = insert_rec(tx, root, key, value)? {
                 let new_root = new_node(tx, TAG_INTERNAL)?;
                 tx.write_bytes(key_addr(new_root, 0), &sep)?;
                 tx.write_paddr(child_addr(new_root, 0), root)?;
@@ -288,12 +304,12 @@ impl BpTree {
         });
         rt.register(TX_GET, |tx, args| {
             let root_block = PAddr::new(args.u64(0)?);
-            let key = args.bytes(1)?.to_vec();
+            let key = args.bytes(1)?;
             let mut node = tx.read_paddr(root_block.add(8))?;
             loop {
                 let tag = tx.read_u64(node.add(TAG))?;
                 if tag == TAG_LEAF {
-                    return match search(tx, node, &key)? {
+                    return match search(tx, node, key)? {
                         Ok(i) => {
                             let ptr = tx.read_paddr(val_addr(node, i))?;
                             let len = tx.read_u64(val_addr(node, i).add(8))?;
@@ -302,7 +318,7 @@ impl BpTree {
                         Err(_) => Ok(None),
                     };
                 }
-                let idx = match search(tx, node, &key)? {
+                let idx = match search(tx, node, key)? {
                     Ok(i) => i + 1,
                     Err(i) => i,
                 };
@@ -311,22 +327,25 @@ impl BpTree {
         });
         rt.register(TX_REMOVE, |tx, args| {
             let root_block = PAddr::new(args.u64(0)?);
-            let key = args.bytes(1)?.to_vec();
+            let key = args.bytes(1)?;
             let mut node = tx.read_paddr(root_block.add(8))?;
             loop {
                 let tag = tx.read_u64(node.add(TAG))?;
                 if tag == TAG_LEAF {
-                    return match search(tx, node, &key)? {
+                    return match search(tx, node, key)? {
                         Ok(i) => {
                             let n = tx.read_u64(node.add(NKEYS))?;
                             let vptr = tx.read_paddr(val_addr(node, i))?;
                             // Shift left over the removed slot (bulk move).
                             if i + 1 < n {
-                                let keys =
-                                    tx.read_bytes(key_addr(node, i + 1), (n - i - 1) * KEY_LEN)?;
-                                tx.write_bytes(key_addr(node, i), &keys)?;
-                                let vals = tx.read_bytes(val_addr(node, i + 1), (n - i - 1) * 16)?;
-                                tx.write_bytes(val_addr(node, i), &vals)?;
+                                let klen = ((n - i - 1) * KEY_LEN) as usize;
+                                let mut keys = [0u8; (CAP * KEY_LEN) as usize];
+                                tx.read_into(key_addr(node, i + 1), &mut keys[..klen])?;
+                                tx.write_bytes(key_addr(node, i), &keys[..klen])?;
+                                let vlen = ((n - i - 1) * 16) as usize;
+                                let mut vals = [0u8; (CAP * 16) as usize];
+                                tx.read_into(val_addr(node, i + 1), &mut vals[..vlen])?;
+                                tx.write_bytes(val_addr(node, i), &vals[..vlen])?;
                             }
                             tx.write_u64(node.add(NKEYS), n - 1)?;
                             tx.pfree(vptr)?;
@@ -335,7 +354,7 @@ impl BpTree {
                         Err(_) => Ok(Some(vec![0])),
                     };
                 }
-                let idx = match search(tx, node, &key)? {
+                let idx = match search(tx, node, key)? {
                     Ok(i) => i + 1,
                     Err(i) => i,
                 };
@@ -411,7 +430,12 @@ impl BpTree {
     /// # Errors
     ///
     /// Returns [`TxError`] on substrate failure.
-    pub fn get_u64_on(&self, rt: &Runtime, slot: usize, key: u64) -> Result<Option<Vec<u8>>, TxError> {
+    pub fn get_u64_on(
+        &self,
+        rt: &Runtime,
+        slot: usize,
+        key: u64,
+    ) -> Result<Option<Vec<u8>>, TxError> {
         rt.run_on(slot, TX_GET, &self.args_key(&key32(key)))
     }
 
@@ -491,12 +515,7 @@ impl BpTree {
     /// # Errors
     ///
     /// Returns [`TxError::Pmem`] on a corrupt tree.
-    pub fn range(
-        &self,
-        pool: &PmemPool,
-        start: &[u8],
-        count: usize,
-    ) -> Result<Vec<(Vec<u8>, Vec<u8>)>, TxError> {
+    pub fn range(&self, pool: &PmemPool, start: &[u8], count: usize) -> Result<KvPairs, TxError> {
         let (mut leaf, _, _) = self.locate_leaf_path(pool, start)?;
         let mut out = Vec::new();
         while !leaf.is_null() && out.len() < count {
@@ -529,7 +548,7 @@ impl BpTree {
     /// # Panics
     ///
     /// Panics if an invariant is violated (this is a checker).
-    pub fn dump(&self, pool: &PmemPool) -> Result<Vec<(Vec<u8>, Vec<u8>)>, TxError> {
+    pub fn dump(&self, pool: &PmemPool) -> Result<KvPairs, TxError> {
         if pool.read_u64(self.root)? != MAGIC {
             return Err(TxError::CorruptVlog("bptree magic mismatch".into()));
         }
@@ -541,7 +560,7 @@ impl BpTree {
             node: PAddr,
             depth: u64,
             leaf_depth: &mut Option<u64>,
-            out: &mut Vec<(Vec<u8>, Vec<u8>)>,
+            out: &mut KvPairs,
             leaves: &mut Vec<PAddr>,
         ) -> Result<(), TxError> {
             let tag = pool.read_u64(node.add(TAG))?;
@@ -637,7 +656,10 @@ mod tests {
         for k in [5u64, 1, 3] {
             t.insert_u64(&rt, k, &k.to_le_bytes()).unwrap();
         }
-        assert_eq!(t.get_u64(&rt, 3).unwrap(), Some(3u64.to_le_bytes().to_vec()));
+        assert_eq!(
+            t.get_u64(&rt, 3).unwrap(),
+            Some(3u64.to_le_bytes().to_vec())
+        );
         assert_eq!(t.get_u64(&rt, 4).unwrap(), None);
         assert_eq!(t.len(&pool).unwrap(), 3);
     }
@@ -650,7 +672,10 @@ mod tests {
                 .unwrap();
         }
         let dumped = t.dump(&pool).unwrap();
-        assert!(dumped.len() >= 499, "dup collisions aside, most keys present");
+        assert!(
+            dumped.len() >= 499,
+            "dup collisions aside, most keys present"
+        );
     }
 
     #[test]
@@ -700,10 +725,16 @@ mod tests {
 
     #[test]
     fn works_under_every_backend() {
-        for backend in [Backend::clobber(), Backend::Undo, Backend::Redo, Backend::Atlas] {
+        for backend in [
+            Backend::clobber(),
+            Backend::Undo,
+            Backend::Redo,
+            Backend::Atlas,
+        ] {
             let (pool, rt, t) = setup(backend);
             for k in 0..150u64 {
-                t.insert_u64(&rt, (k * 37) % 1000, &k.to_le_bytes()).unwrap();
+                t.insert_u64(&rt, (k * 37) % 1000, &k.to_le_bytes())
+                    .unwrap();
             }
             assert_eq!(t.len(&pool).unwrap(), 150, "backend {}", backend.label());
         }

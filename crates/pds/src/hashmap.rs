@@ -80,7 +80,7 @@ impl HashMap {
         rt.register(TX_INSERT, |tx, args| {
             let root = PAddr::new(args.u64(0)?);
             let key = args.u64(1)?;
-            let value = args.bytes(2)?.to_vec();
+            let value = args.bytes(2)?;
             let head = head_addr(root, bucket_of(key));
             // Walk the chain looking for the key.
             let mut cur = tx.read_paddr(head)?;
@@ -89,7 +89,7 @@ impl HashMap {
                     // Update in place: fresh value buffer, swap ptr+len
                     // (clobbers 16 bytes), free the old buffer at commit.
                     let old_ptr = tx.read_paddr(cur.add(NODE_VPTR))?;
-                    let vbuf = store_value(tx, &value)?;
+                    let vbuf = store_value(tx, value)?;
                     tx.write_paddr(cur.add(NODE_VPTR), vbuf)?;
                     tx.write_u64(cur.add(NODE_VLEN), value.len() as u64)?;
                     tx.pfree(old_ptr)?;
@@ -98,7 +98,7 @@ impl HashMap {
                 cur = tx.read_paddr(cur.add(NODE_NEXT))?;
             }
             // Prepend a fresh node; the bucket head is the clobbered input.
-            let vbuf = store_value(tx, &value)?;
+            let vbuf = store_value(tx, value)?;
             let node = tx.pmalloc(NODE_SIZE)?;
             tx.write_u64(node.add(NODE_KEY), key)?;
             tx.write_paddr(node.add(NODE_VPTR), vbuf)?;

@@ -299,7 +299,7 @@ impl RbTree {
         rt.register(TX_GET, |tx, args| {
             let root_block = PAddr::new(args.u64(0)?);
             let key = args.u64(1)?;
-            Ok(tx_get(tx, root_block, key)?)
+            tx_get(tx, root_block, key)
         });
         rt.register(TX_REMOVE, |tx, args| {
             let root_block = PAddr::new(args.u64(0)?);
@@ -316,7 +316,12 @@ impl RbTree {
 /// # Errors
 ///
 /// Returns [`TxError::Pmem`] on substrate failure.
-pub fn tx_insert(tx: &mut Tx<'_>, root_block: PAddr, key: u64, value: &[u8]) -> Result<(), TxError> {
+pub fn tx_insert(
+    tx: &mut Tx<'_>,
+    root_block: PAddr,
+    key: u64,
+    value: &[u8],
+) -> Result<(), TxError> {
     {
         {
             let value = value.to_vec();
@@ -459,7 +464,6 @@ pub fn tx_remove(tx: &mut Tx<'_>, root_block: PAddr, key: u64) -> Result<bool, T
 }
 
 impl RbTree {
-
     fn args(&self, key: u64) -> ArgList {
         ArgList::new().with_u64(self.root.offset()).with_u64(key)
     }
@@ -711,7 +715,12 @@ mod tests {
 
     #[test]
     fn works_under_every_backend() {
-        for backend in [Backend::clobber(), Backend::Undo, Backend::Redo, Backend::Atlas] {
+        for backend in [
+            Backend::clobber(),
+            Backend::Undo,
+            Backend::Redo,
+            Backend::Atlas,
+        ] {
             let (pool, rt, t) = setup(backend);
             for k in 0..80u64 {
                 t.insert(&rt, (k * 37) % 80, &k.to_le_bytes()).unwrap();

@@ -314,7 +314,7 @@ impl SkipList {
             }
             last_key = Some(key);
             let level = pool.read_u64(cur.add(NODE_LEVEL))?;
-            assert!(level >= 1 && level <= MAX_LEVEL, "level out of range");
+            assert!((1..=MAX_LEVEL).contains(&level), "level out of range");
             assert_eq!(level, level_of(key), "height must match the key hash");
             let ptr = PAddr::new(pool.read_u64(cur.add(NODE_VPTR))?);
             let len = pool.read_u64(cur.add(NODE_VLEN))?;
@@ -384,7 +384,11 @@ mod tests {
         for k in 0..100_000u64 {
             hist[level_of(k) as usize] += 1;
         }
-        assert!(hist[1] > 40_000 && hist[1] < 60_000, "p=1/2 at level 1: {}", hist[1]);
+        assert!(
+            hist[1] > 40_000 && hist[1] < 60_000,
+            "p=1/2 at level 1: {}",
+            hist[1]
+        );
         assert!(hist[2] > 20_000 && hist[2] < 30_000);
         assert_eq!(hist[0], 0);
     }
@@ -427,7 +431,12 @@ mod tests {
 
     #[test]
     fn works_under_every_backend() {
-        for backend in [Backend::clobber(), Backend::Undo, Backend::Redo, Backend::Atlas] {
+        for backend in [
+            Backend::clobber(),
+            Backend::Undo,
+            Backend::Redo,
+            Backend::Atlas,
+        ] {
             let (pool, rt, sl) = setup(backend);
             for k in (0..60u64).rev() {
                 sl.insert(&rt, k, &k.to_le_bytes()).unwrap();

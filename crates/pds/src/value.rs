@@ -44,7 +44,9 @@ pub fn key32(k: u64) -> [u8; 32] {
 /// then the prefix breaks ties — which cannot happen for `key32`-generated
 /// keys).
 pub fn cmp_key32(a: &[u8], b: &[u8]) -> std::cmp::Ordering {
-    a[24..32].cmp(&b[24..32]).then_with(|| a[..24].cmp(&b[..24]))
+    a[24..32]
+        .cmp(&b[24..32])
+        .then_with(|| a[..24].cmp(&b[..24]))
 }
 
 #[cfg(test)]

@@ -174,9 +174,21 @@ fn crash_experiment(
     pool2.check_heap().unwrap();
     let root2 = rt2.app_root().unwrap();
     let pairs: BTreeMap<u64, Vec<u8>> = match structure {
-        "hashmap" => HashMap::open(root2).dump(&pool2).unwrap().into_iter().collect(),
-        "skiplist" => SkipList::open(root2).dump(&pool2).unwrap().into_iter().collect(),
-        "rbtree" => RbTree::open(root2).dump(&pool2).unwrap().into_iter().collect(),
+        "hashmap" => HashMap::open(root2)
+            .dump(&pool2)
+            .unwrap()
+            .into_iter()
+            .collect(),
+        "skiplist" => SkipList::open(root2)
+            .dump(&pool2)
+            .unwrap()
+            .into_iter()
+            .collect(),
+        "rbtree" => RbTree::open(root2)
+            .dump(&pool2)
+            .unwrap()
+            .into_iter()
+            .collect(),
         "bptree" => BpTree::open(root2)
             .dump(&pool2)
             .unwrap()
@@ -221,8 +233,7 @@ fn clobber_recovery_completes_the_interrupted_insert() {
 #[test]
 fn undo_recovery_rolls_back_the_interrupted_insert() {
     for structure in ["hashmap", "skiplist", "rbtree", "bptree"] {
-        let (pairs, reexec, _rolled) =
-            crash_experiment(structure, Backend::Undo, 24, 47, 200);
+        let (pairs, reexec, _rolled) = crash_experiment(structure, Backend::Undo, 24, 47, 200);
         assert_eq!(reexec, 0, "{structure}");
         // Contents are exactly the committed prefix.
         let len = pairs.len() as u64;
@@ -235,8 +246,7 @@ fn undo_recovery_rolls_back_the_interrupted_insert() {
 #[test]
 fn redo_recovery_discards_the_uncommitted_insert() {
     for structure in ["hashmap", "rbtree"] {
-        let (pairs, _reexec, _rolled) =
-            crash_experiment(structure, Backend::Redo, 24, 20, 300);
+        let (pairs, _reexec, _rolled) = crash_experiment(structure, Backend::Redo, 24, 20, 300);
         let len = pairs.len() as u64;
         for k in 0..len {
             assert_eq!(pairs.get(&k), Some(&value_of(k)), "{structure}: key {k}");
@@ -255,7 +265,11 @@ fn sweep_many_crash_points_on_the_rbtree() {
         assert_eq!(rolled, 0);
         let len = pairs.len() as u64;
         for k in 0..len {
-            assert_eq!(pairs.get(&k), Some(&value_of(k)), "crash@{crash_at}: key {k}");
+            assert_eq!(
+                pairs.get(&k),
+                Some(&value_of(k)),
+                "crash@{crash_at}: key {k}"
+            );
         }
     }
 }
@@ -271,7 +285,11 @@ fn sweep_crash_points_through_bptree_splits() {
         assert_eq!(rolled, 0);
         let len = pairs.len() as u64;
         for k in 0..len {
-            assert_eq!(pairs.get(&k), Some(&value_of(k)), "crash@{crash_at}: key {k}");
+            assert_eq!(
+                pairs.get(&k),
+                Some(&value_of(k)),
+                "crash@{crash_at}: key {k}"
+            );
         }
     }
 }

@@ -6,9 +6,9 @@ use std::collections::BTreeMap;
 use std::sync::Arc;
 
 use clobber_nvm::{Backend, Runtime, RuntimeOptions};
+use clobber_pds::value::key32;
 use clobber_pds::{AvlTree, BpTree, HashMap, RbTree, SkipList};
 use clobber_pmem::{PmemPool, PoolOptions};
-use clobber_pds::value::key32;
 use proptest::prelude::*;
 
 #[derive(Debug, Clone)]

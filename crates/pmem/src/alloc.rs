@@ -198,7 +198,8 @@ impl<'a> Ops<'a> {
     }
 
     fn write_u64(&mut self, offset: u64, value: u64) {
-        self.inner.write_raw(offset, &value.to_le_bytes(), self.mode);
+        self.inner
+            .write_raw(offset, &value.to_le_bytes(), self.mode);
         self.write_bytes += 8;
     }
 
@@ -293,7 +294,10 @@ impl PmemPool {
                 self.finish_ops(ops);
                 Ok(PAddr::new(payload))
             }
-            Picked::Bump { payload, new_frontier } => {
+            Picked::Bump {
+                payload,
+                new_frontier,
+            } => {
                 ops.inner.mirror.frontier = new_frontier;
                 ops.arm_redo(OP_BUMP, class, payload, new_frontier, capacity);
                 ops.write_u64(layout::FRONTIER, new_frontier);
@@ -375,7 +379,10 @@ impl PmemPool {
                 inner.mirror.dirty_heads[class as usize] = true;
                 (payload, Origin::FreeList)
             }
-            Picked::Bump { payload, new_frontier } => {
+            Picked::Bump {
+                payload,
+                new_frontier,
+            } => {
                 inner.mirror.frontier = new_frontier;
                 inner.mirror.frontier_dirty = true;
                 (payload, Origin::Frontier)
@@ -545,10 +552,14 @@ impl PmemPool {
         while at + HDR_LEN < frontier {
             let payload = at + HDR_LEN;
             let state = u32::from_le_bytes(
-                media[at as usize..at as usize + 4].try_into().expect("4 bytes"),
+                media[at as usize..at as usize + 4]
+                    .try_into()
+                    .expect("4 bytes"),
             );
             let class = u32::from_le_bytes(
-                media[at as usize + 4..at as usize + 8].try_into().expect("4 bytes"),
+                media[at as usize + 4..at as usize + 8]
+                    .try_into()
+                    .expect("4 bytes"),
             );
             let size = get_u64(media, at + 8);
             match state {
@@ -628,7 +639,9 @@ fn pick_block(
     let payload = block_start + HDR_LEN;
     let new_frontier = payload + capacity;
     if new_frontier > pool_capacity {
-        return Err(PmemError::OutOfMemory { requested: capacity });
+        return Err(PmemError::OutOfMemory {
+            requested: capacity,
+        });
     }
     Ok(Picked::Bump {
         payload,
@@ -870,7 +883,10 @@ mod tests {
         // A larger request must NOT reuse the freed 8 KiB block.
         let bigger = p.alloc(12_000).unwrap();
         p.write_bytes(bigger, &[0xEE; 12_000]).unwrap();
-        assert_ne!(bigger, small_huge, "capacity-mismatched reuse would overlap");
+        assert_ne!(
+            bigger, small_huge,
+            "capacity-mismatched reuse would overlap"
+        );
         // An exact-capacity request does reuse it.
         let again = p.alloc(8_000).unwrap();
         assert_eq!(again, small_huge);
@@ -890,7 +906,8 @@ mod tests {
         for step in 0..40u64 {
             let bigger = size + 512;
             let next = p.alloc(bigger).unwrap();
-            p.write_bytes(next, &vec![step as u8; bigger as usize]).unwrap();
+            p.write_bytes(next, &vec![step as u8; bigger as usize])
+                .unwrap();
             p.free(cur).unwrap();
             cur = next;
             size = bigger;

@@ -41,6 +41,7 @@
 
 pub mod addr;
 pub mod alloc;
+pub(crate) mod cache;
 pub mod crash;
 pub mod pool;
 pub mod stats;
@@ -49,6 +50,6 @@ pub mod ulog;
 pub use addr::{PAddr, CACHE_LINE};
 pub use alloc::HeapReport;
 pub use crash::CrashConfig;
-pub use pool::{PmemError, PmemPool, PoolMode, PoolOptions};
+pub use pool::{CacheImpl, PmemError, PmemPool, PoolMode, PoolOptions};
 pub use stats::{PmemStats, StatsSnapshot};
 pub use ulog::Ulog;

@@ -1,6 +1,5 @@
 //! The persistent memory pool: media, simulated cache, flush/fence, crash.
 
-use std::collections::HashMap;
 use std::error::Error;
 use std::fmt;
 use std::sync::Arc;
@@ -9,8 +8,9 @@ use parking_lot::Mutex;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
-use crate::addr::{lines_for_range, PAddr, CACHE_LINE};
+use crate::addr::{PAddr, CACHE_LINE};
 use crate::alloc::Mirror;
+use crate::cache::{line_count, Cache, LineCache, RefCache};
 use crate::crash::CrashConfig;
 use crate::stats::PmemStats;
 
@@ -48,6 +48,22 @@ pub enum PoolMode {
     CrashSim,
 }
 
+/// Which data structure backs the simulated cache in crash-sim mode.
+///
+/// Both implementations obey the same durability contract and produce
+/// bit-identical durable media, reads, stats and seeded crash outcomes (see
+/// [`crate::cache`]); the dense model is simply faster. The reference model
+/// is retained as the executable specification for equivalence tests and
+/// A/B benchmarks.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum CacheImpl {
+    /// Dense line-indexed model: per-line state bits + one shadow buffer.
+    #[default]
+    Dense,
+    /// Original `HashMap`-per-line model (slower; testing only).
+    Reference,
+}
+
 /// Configuration for [`PmemPool::create`].
 ///
 /// # Example
@@ -65,6 +81,8 @@ pub struct PoolOptions {
     pub capacity: u64,
     /// Cache-modeling mode.
     pub mode: PoolMode,
+    /// Cache implementation (crash-sim mode only).
+    pub cache_impl: CacheImpl,
 }
 
 impl PoolOptions {
@@ -73,6 +91,7 @@ impl PoolOptions {
         PoolOptions {
             capacity,
             mode: PoolMode::Performance,
+            cache_impl: CacheImpl::Dense,
         }
     }
 
@@ -81,7 +100,15 @@ impl PoolOptions {
         PoolOptions {
             capacity,
             mode: PoolMode::CrashSim,
+            cache_impl: CacheImpl::Dense,
         }
+    }
+
+    /// Selects the reference (hash-map) cache model, for equivalence tests
+    /// and before/after benchmarks.
+    pub fn with_reference_cache(mut self) -> Self {
+        self.cache_impl = CacheImpl::Reference;
+        self
     }
 }
 
@@ -144,7 +171,10 @@ impl fmt::Display for PmemError {
                 write!(f, "free of {addr:#x} which is not an allocated block")
             }
             PmemError::LogFull { needed, capacity } => {
-                write!(f, "log buffer of {capacity} bytes cannot fit {needed} more bytes")
+                write!(
+                    f,
+                    "log buffer of {capacity} bytes cannot fit {needed} more bytes"
+                )
             }
             PmemError::CorruptPool(why) => write!(f, "corrupt pool: {why}"),
             PmemError::CapacityTooSmall { requested, minimum } => write!(
@@ -157,112 +187,65 @@ impl fmt::Display for PmemError {
 
 impl Error for PmemError {}
 
-/// State of one simulated cache line.
-#[derive(Debug, Clone)]
-struct CacheLine {
-    data: Vec<u8>,
-    /// Modified since last write-back.
-    dirty: bool,
-    /// A flush was issued but no fence has ordered it yet.
-    flush_pending: bool,
-}
-
 /// Mutable pool state behind the lock.
 pub(crate) struct PoolInner {
     pub(crate) media: Vec<u8>,
-    /// Simulated cache, keyed by line index. Empty in performance mode.
-    cache: HashMap<u64, CacheLine>,
-    /// Lines with a write-back in flight, drained by the next fence (so a
-    /// fence touches only what was flushed, not the whole cache).
-    pending_flushes: Vec<u64>,
+    /// Simulated cache. Stays clean (and unallocated) in performance mode.
+    cache: Cache,
     /// Volatile mirror of the allocator metadata.
     pub(crate) mirror: Mirror,
 }
 
 impl PoolInner {
+    fn new(media: Vec<u8>, cache_impl: CacheImpl) -> PoolInner {
+        let mirror = Mirror::rebuild(&media);
+        let cache = match cache_impl {
+            CacheImpl::Dense => Cache::Dense(LineCache::new()),
+            CacheImpl::Reference => Cache::Reference(RefCache::new()),
+        };
+        PoolInner {
+            media,
+            cache,
+            mirror,
+        }
+    }
+
     /// Reads `buf.len()` bytes at `offset`, overlaying cached lines on media.
     pub(crate) fn read_raw(&self, offset: u64, buf: &mut [u8]) {
         let len = buf.len() as u64;
         buf.copy_from_slice(&self.media[offset as usize..(offset + len) as usize]);
-        if self.cache.is_empty() {
+        if self.cache.is_clean() {
             return;
         }
-        for line in lines_for_range(offset, len) {
-            if let Some(cl) = self.cache.get(&line) {
-                let line_start = line * CACHE_LINE;
-                let copy_start = line_start.max(offset);
-                let copy_end = (line_start + CACHE_LINE).min(offset + len);
-                let src = &cl.data[(copy_start - line_start) as usize..(copy_end - line_start) as usize];
-                buf[(copy_start - offset) as usize..(copy_end - offset) as usize]
-                    .copy_from_slice(src);
-            }
-        }
+        self.cache.overlay(offset, buf);
     }
 
     /// Writes `data` at `offset` into the cache (crash-sim) or media
     /// (performance).
     pub(crate) fn write_raw(&mut self, offset: u64, data: &[u8], mode: PoolMode) {
-        let len = data.len() as u64;
         match mode {
             PoolMode::Performance => {
-                self.media[offset as usize..(offset + len) as usize].copy_from_slice(data);
+                self.media[offset as usize..offset as usize + data.len()].copy_from_slice(data);
             }
-            PoolMode::CrashSim => {
-                for line in lines_for_range(offset, len) {
-                    let line_start = line * CACHE_LINE;
-                    let cl = self.cache.entry(line).or_insert_with(|| {
-                        let s = line_start as usize;
-                        CacheLine {
-                            data: self.media[s..s + CACHE_LINE as usize].to_vec(),
-                            dirty: false,
-                            flush_pending: false,
-                        }
-                    });
-                    let copy_start = line_start.max(offset);
-                    let copy_end = (line_start + CACHE_LINE).min(offset + len);
-                    cl.data[(copy_start - line_start) as usize..(copy_end - line_start) as usize]
-                        .copy_from_slice(
-                            &data[(copy_start - offset) as usize..(copy_end - offset) as usize],
-                        );
-                    cl.dirty = true;
-                    // A store after a flush re-dirties the line; the earlier
-                    // flush no longer guarantees this data's durability.
-                    cl.flush_pending = false;
-                }
-            }
+            PoolMode::CrashSim => self.cache.write(offset, data, &self.media),
         }
     }
 
     /// Marks the lines covering `[offset, offset+len)` as write-back
     /// initiated. Returns the number of lines touched (for flush accounting).
+    ///
+    /// The count is pure geometry — identical in both modes and independent
+    /// of cache state — so performance mode only does the arithmetic.
     pub(crate) fn flush_raw(&mut self, offset: u64, len: u64, mode: PoolMode) -> u64 {
-        let mut n = 0;
-        for line in lines_for_range(offset, len) {
-            n += 1;
-            if mode == PoolMode::CrashSim {
-                if let Some(cl) = self.cache.get_mut(&line) {
-                    if cl.dirty && !cl.flush_pending {
-                        cl.flush_pending = true;
-                        self.pending_flushes.push(line);
-                    }
-                }
-            }
+        if mode == PoolMode::CrashSim {
+            self.cache.flush_range(offset, len);
         }
-        n
+        line_count(offset, len)
     }
 
     /// Orders all pending flushes: their lines become durable on media.
     pub(crate) fn fence_raw(&mut self) {
-        for line in self.pending_flushes.drain(..) {
-            if let Some(cl) = self.cache.get_mut(&line) {
-                if cl.flush_pending {
-                    let s = (line * CACHE_LINE) as usize;
-                    self.media[s..s + CACHE_LINE as usize].copy_from_slice(&cl.data);
-                    cl.dirty = false;
-                    cl.flush_pending = false;
-                }
-            }
-        }
+        self.cache.fence(&mut self.media);
     }
 }
 
@@ -273,6 +256,7 @@ impl PoolInner {
 /// [crate documentation](crate) for the durability contract.
 pub struct PmemPool {
     mode: PoolMode,
+    cache_impl: CacheImpl,
     capacity: u64,
     stats: Arc<PmemStats>,
     pub(crate) inner: Mutex<PoolInner>,
@@ -307,17 +291,12 @@ impl PmemPool {
         put_u64(&mut media, layout::ROOT, 0);
         put_u64(&mut media, layout::FRONTIER, layout::HEAP_BASE);
         // Free-list heads and the redo record are already zero.
-        let mirror = Mirror::rebuild(&media);
         Ok(PmemPool {
             mode: opts.mode,
+            cache_impl: opts.cache_impl,
             capacity: opts.capacity,
             stats: Arc::new(PmemStats::new()),
-            inner: Mutex::new(PoolInner {
-                media,
-                cache: HashMap::new(),
-                pending_flushes: Vec::new(),
-                mirror,
-            }),
+            inner: Mutex::new(PoolInner::new(media, opts.cache_impl)),
         })
     }
 
@@ -329,7 +308,15 @@ impl PmemPool {
     /// # Errors
     ///
     /// Returns [`PmemError::CorruptPool`] if the header fails validation.
-    pub fn open_from_media(mut media: Vec<u8>, mode: PoolMode) -> Result<PmemPool, PmemError> {
+    pub fn open_from_media(media: Vec<u8>, mode: PoolMode) -> Result<PmemPool, PmemError> {
+        Self::open_from_media_with(media, mode, CacheImpl::Dense)
+    }
+
+    fn open_from_media_with(
+        mut media: Vec<u8>,
+        mode: PoolMode,
+        cache_impl: CacheImpl,
+    ) -> Result<PmemPool, PmemError> {
         if media.len() < (layout::HEAP_BASE + 4096) as usize {
             return Err(PmemError::CorruptPool("media shorter than metadata".into()));
         }
@@ -344,17 +331,12 @@ impl PmemPool {
             )));
         }
         crate::alloc::replay_redo(&mut media);
-        let mirror = Mirror::rebuild(&media);
         Ok(PmemPool {
             mode,
+            cache_impl,
             capacity,
             stats: Arc::new(PmemStats::new()),
-            inner: Mutex::new(PoolInner {
-                media,
-                cache: HashMap::new(),
-                pending_flushes: Vec::new(),
-                mirror,
-            }),
+            inner: Mutex::new(PoolInner::new(media, cache_impl)),
         })
     }
 
@@ -512,24 +494,21 @@ impl PmemPool {
         let inner = self.inner.lock();
         let mut media = inner.media.clone();
         let mut rng = StdRng::seed_from_u64(cfg.seed);
-        // Deterministic iteration order: sort lines.
-        let mut lines: Vec<_> = inner.cache.iter().collect();
-        lines.sort_by_key(|(line, _)| **line);
-        for (line, cl) in lines {
-            let survives = if cl.flush_pending {
+        // One survival draw per modified line, in ascending line order —
+        // both cache models visit identically, so outcomes are seed-stable.
+        inner.cache.for_each_modified(|line, flush_pending, bytes| {
+            let survives = if flush_pending {
                 rng.gen_bool(cfg.p_flushed_unfenced)
-            } else if cl.dirty {
-                rng.gen_bool(cfg.p_dirty)
             } else {
-                continue; // clean lines already match media
+                rng.gen_bool(cfg.p_dirty)
             };
             if survives {
-                let s = (*line * CACHE_LINE) as usize;
-                media[s..s + CACHE_LINE as usize].copy_from_slice(&cl.data);
+                let s = (line * CACHE_LINE) as usize;
+                media[s..s + CACHE_LINE as usize].copy_from_slice(bytes);
             }
-        }
+        });
         drop(inner);
-        PmemPool::open_from_media(media, self.mode)
+        PmemPool::open_from_media_with(media, self.mode, self.cache_impl)
     }
 
     /// Returns a copy of the durable media contents (what a crash with
@@ -604,7 +583,11 @@ mod tests {
         p.write_u64(a, 0xdead).unwrap();
         p.flush(a, 8).unwrap();
         let p2 = p.crash(&CrashConfig::drop_all(2)).unwrap();
-        assert_eq!(p2.read_u64(a).unwrap(), 0, "flush without fence is not durable");
+        assert_eq!(
+            p2.read_u64(a).unwrap(),
+            0,
+            "flush without fence is not durable"
+        );
     }
 
     #[test]

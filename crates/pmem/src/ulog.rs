@@ -128,16 +128,9 @@ impl Ulog {
     /// Returns [`PmemError::LogFull`] if the batch does not fit (the log is
     /// left unchanged) and [`PmemError::OutOfBounds`] on a corrupt
     /// descriptor.
-    pub fn append_batch(
-        &self,
-        pool: &PmemPool,
-        items: &[(PAddr, &[u8])],
-    ) -> Result<(), PmemError> {
+    pub fn append_batch(&self, pool: &PmemPool, items: &[(PAddr, &[u8])]) -> Result<(), PmemError> {
         let tail = pool.read_u64(self.base)?;
-        let need: u64 = items
-            .iter()
-            .map(|(_, d)| ENTRY_HDR + d.len() as u64)
-            .sum();
+        let need: u64 = items.iter().map(|(_, d)| ENTRY_HDR + d.len() as u64).sum();
         if DATA_OFF + tail + need > self.capacity {
             return Err(PmemError::LogFull {
                 needed: need,

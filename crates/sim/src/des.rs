@@ -66,7 +66,9 @@ pub struct SimOp {
 
 impl std::fmt::Debug for SimOp {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        f.debug_struct("SimOp").field("locks", &self.locks).finish_non_exhaustive()
+        f.debug_struct("SimOp")
+            .field("locks", &self.locks)
+            .finish_non_exhaustive()
     }
 }
 
@@ -108,8 +110,7 @@ impl LockState {
         match mode {
             LockMode::Shared => self.writer.is_none_or(|w| w == thread),
             LockMode::Exclusive => {
-                self.writer.is_none_or(|w| w == thread)
-                    && self.readers.iter().all(|&r| r == thread)
+                self.writer.is_none_or(|w| w == thread) && self.readers.iter().all(|&r| r == thread)
             }
         }
     }
@@ -174,7 +175,10 @@ pub fn run_des(threads: usize, source: &mut dyn OpSource) -> DesResult {
             return Some(op);
         }
         for r in &op.locks {
-            locks.get_mut(&r.lock).expect("entry created").acquire(thread, r.mode);
+            locks
+                .get_mut(&r.lock)
+                .expect("entry created")
+                .acquire(thread, r.mode);
         }
         held[thread] = op.locks.clone();
         let duration = (op.execute)();
@@ -219,7 +223,15 @@ pub fn run_des(threads: usize, source: &mut dyn OpSource) -> DesResult {
         let mut still_waiting: VecDeque<Waiter> = VecDeque::new();
         while let Some(w) = waiters.pop_front() {
             let mut s = w.seq;
-            match try_start(&mut locks, &mut events, &mut held, w.thread, w.op, now, &mut s) {
+            match try_start(
+                &mut locks,
+                &mut events,
+                &mut held,
+                w.thread,
+                w.op,
+                now,
+                &mut s,
+            ) {
                 None => {}
                 Some(op) => still_waiting.push_back(Waiter {
                     seq: w.seq,
@@ -360,9 +372,12 @@ mod tests {
                 })
             }
         }
-        let r = run_des(3, &mut Multi {
-            remaining: vec![5, 5, 5],
-        });
+        let r = run_des(
+            3,
+            &mut Multi {
+                remaining: vec![5, 5, 5],
+            },
+        );
         assert_eq!(r.total_ops, 15);
         // Thread 0 conflicts with both: its 5 ops serialize against
         // everything; threads 1/2 overlap with each other.

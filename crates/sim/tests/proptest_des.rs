@@ -26,7 +26,10 @@ impl OpSource for ScriptSource {
             LockMode::Shared
         };
         Some(SimOp {
-            locks: vec![LockRequest { lock: op.lock, mode }],
+            locks: vec![LockRequest {
+                lock: op.lock,
+                mode,
+            }],
             execute: Box::new(move || op.duration),
         })
     }

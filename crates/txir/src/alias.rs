@@ -152,13 +152,9 @@ impl AliasAnalysis {
             _ => {}
         }
         let same_base = match (pa.base, pb.base) {
-            (Base::Param(i), Base::Param(j)) => {
-                if i == j {
-                    true
-                } else {
-                    return AliasResult::May; // distinct params may alias
-                }
-            }
+            (Base::Param(i), Base::Param(j)) if i == j => true,
+            // Distinct params may alias.
+            (Base::Param(_), Base::Param(_)) => return AliasResult::May,
             (Base::Alloc(x), Base::Alloc(y)) => x == y,
             _ => return AliasResult::May, // Unknown involved
         };

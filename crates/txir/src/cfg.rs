@@ -173,7 +173,10 @@ mod tests {
         let f = loop_fn();
         let cfg = Cfg::new(&f);
         assert!(cfg.reaches(BlockId(0), BlockId(3)));
-        assert!(cfg.reaches(BlockId(2), BlockId(2)), "loop body reaches itself");
+        assert!(
+            cfg.reaches(BlockId(2), BlockId(2)),
+            "loop body reaches itself"
+        );
         assert!(cfg.reaches(BlockId(1), BlockId(1)), "header in a cycle");
         assert!(!cfg.reaches(BlockId(3), BlockId(0)), "exit reaches nothing");
     }

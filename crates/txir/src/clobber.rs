@@ -55,21 +55,16 @@ fn addr_of(f: &Function, v: ValueId) -> ValueId {
 }
 
 /// Conservative candidate identification (paper Fig. 4).
-pub fn conservative(
-    f: &Function,
-    cfg: &Cfg,
-    dom: &DomTree,
-    aa: &AliasAnalysis,
-) -> ClobberAnalysis {
+pub fn conservative(f: &Function, cfg: &Cfg, dom: &DomTree, aa: &AliasAnalysis) -> ClobberAnalysis {
     let loads = f.loads();
     let stores = f.stores();
     // Step 1: candidate input reads.
     let mut candidate_reads = Vec::new();
     for &l in &loads {
         let la = addr_of(f, l);
-        let killed = stores.iter().any(|&s| {
-            dom.inst_dominates(s, l) && aa.alias(addr_of(f, s), la) == AliasResult::Must
-        });
+        let killed = stores
+            .iter()
+            .any(|&s| dom.inst_dominates(s, l) && aa.alias(addr_of(f, s), la) == AliasResult::Must);
         if !killed {
             candidate_reads.push(l);
         }
@@ -96,7 +91,12 @@ pub fn conservative(
 
 /// Dependency-analysis propagation (paper Fig. 5): removes unexposed and
 /// shadowed false candidates from a conservative analysis.
-pub fn refine(f: &Function, dom: &DomTree, aa: &AliasAnalysis, base: &ClobberAnalysis) -> ClobberAnalysis {
+pub fn refine(
+    f: &Function,
+    dom: &DomTree,
+    aa: &AliasAnalysis,
+    base: &ClobberAnalysis,
+) -> ClobberAnalysis {
     let stores = f.stores();
     let mut pairs: Vec<(ValueId, ValueId)> = base.pairs.clone();
     let mut removed_unexposed = 0;

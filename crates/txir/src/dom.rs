@@ -178,8 +178,8 @@ mod tests {
         let cfg = Cfg::new(&f);
         let dom = DomTree::new(&f, &cfg);
         let load = f.loads()[0]; // in entry block
-        // Any instruction in b3 is dominated by the entry load; fabricate a
-        // check via block dominance since b3 has no instructions.
+                                 // Any instruction in b3 is dominated by the entry load; fabricate a
+                                 // check via block dominance since b3 has no instructions.
         let (lb, _) = f.positions()[load.0 as usize].unwrap();
         assert_eq!(lb, BlockId(0));
         assert!(dom.dominates(lb, BlockId(3)));

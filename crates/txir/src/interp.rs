@@ -296,7 +296,11 @@ pub fn interpret(
             }
             Terminator::CondBr { cond, then_, else_ } => {
                 prev = Some(block);
-                block = if vals[cond.0 as usize] != 0 { *then_ } else { *else_ };
+                block = if vals[cond.0 as usize] != 0 {
+                    *then_
+                } else {
+                    *else_
+                };
             }
             Terminator::Ret(v) => return Ok(v.map(|v| vals[v.0 as usize])),
         }
@@ -413,7 +417,10 @@ mod tests {
         let mut mem = VecMemory::new(64);
         assert!(matches!(
             interpret(&f, &BTreeSet::new(), &mut mem, &[1], 100),
-            Err(InterpError::ArgCount { expected: 2, got: 1 })
+            Err(InterpError::ArgCount {
+                expected: 2,
+                got: 1
+            })
         ));
     }
 

@@ -176,7 +176,9 @@ impl fmt::Display for IrError {
         match self {
             IrError::BadValue(v) => write!(f, "value %{} out of range", v.0),
             IrError::BadBlock(b) => write!(f, "block b{} out of range", b.0),
-            IrError::Unplaced(v) => write!(f, "instruction %{} not placed in exactly one block", v.0),
+            IrError::Unplaced(v) => {
+                write!(f, "instruction %{} not placed in exactly one block", v.0)
+            }
             IrError::UseBeforeDef { user, operand } => {
                 write!(f, "%{} uses %{} before its definition", user.0, operand.0)
             }
@@ -259,8 +261,20 @@ impl Function {
         }
         let nv = self.insts.len() as u32;
         let nb = self.blocks.len() as u32;
-        let check_v = |v: ValueId| if v.0 < nv { Ok(()) } else { Err(IrError::BadValue(v)) };
-        let check_b = |b: BlockId| if b.0 < nb { Ok(()) } else { Err(IrError::BadBlock(b)) };
+        let check_v = |v: ValueId| {
+            if v.0 < nv {
+                Ok(())
+            } else {
+                Err(IrError::BadValue(v))
+            }
+        };
+        let check_b = |b: BlockId| {
+            if b.0 < nb {
+                Ok(())
+            } else {
+                Err(IrError::BadBlock(b))
+            }
+        };
         // Placement: every placed id valid, no duplicates.
         let mut placed = vec![false; self.insts.len()];
         for b in &self.blocks {
@@ -293,7 +307,8 @@ impl Function {
             for (ii, &v) in b.insts.iter().enumerate() {
                 let inst = &self.insts[v.0 as usize];
                 if let Inst::Phi { incoming } = inst {
-                    let mut preds: Vec<u32> = cfg.preds(BlockId(bi as u32)).iter().map(|p| p.0).collect();
+                    let mut preds: Vec<u32> =
+                        cfg.preds(BlockId(bi as u32)).iter().map(|p| p.0).collect();
                     let mut inc: Vec<u32> = incoming.iter().map(|(p, _)| p.0).collect();
                     preds.sort_unstable();
                     inc.sort_unstable();
@@ -321,7 +336,10 @@ impl Function {
                                 dom.dominates(ob, here)
                             };
                             if !ok {
-                                return Err(IrError::UseBeforeDef { user: v, operand: op });
+                                return Err(IrError::UseBeforeDef {
+                                    user: v,
+                                    operand: op,
+                                });
                             }
                         }
                     }

@@ -45,5 +45,5 @@ pub use alias::{AliasAnalysis, AliasResult};
 pub use cfg::Cfg;
 pub use clobber::ClobberAnalysis;
 pub use dom::DomTree;
-pub use ir::{Function, FuncBuilder};
+pub use ir::{FuncBuilder, Function};
 pub use pipeline::{compile, CompileOptions, Compiled};

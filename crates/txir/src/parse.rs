@@ -52,7 +52,7 @@ fn parse_value(tok: &str, line: usize) -> Result<ValueId, ParseError> {
 }
 
 fn parse_block_ref(tok: &str, line: usize) -> Result<BlockId, ParseError> {
-    let tok = tok.trim_end_matches(|c| c == ':' || c == ',');
+    let tok = tok.trim_end_matches([':', ',']);
     match tok.strip_prefix('b').and_then(|n| n.parse::<u32>().ok()) {
         Some(n) => Ok(BlockId(n)),
         None => err(line, format!("expected a block like b2, got `{tok}`")),
@@ -90,7 +90,7 @@ pub fn parse_function(text: &str) -> Result<Function, ParseError> {
     // Header: fn name(N params) {
     let (hline, header) = loop {
         match lines.next() {
-            Some((_, l)) if l.is_empty() => continue,
+            Some((_, "")) => continue,
             Some((i, l)) => break (i, l),
             None => return err(0, "empty input"),
         }
@@ -101,7 +101,10 @@ pub fn parse_function(text: &str) -> Result<Function, ParseError> {
         .map(str::trim)
         .ok_or(())
         .or_else(|_| err::<&str>(hline, "expected `fn name(N params) {`"))?;
-    let open = header.find('(').ok_or(()).or_else(|_| err::<usize>(hline, "missing `(`"))?;
+    let open = header
+        .find('(')
+        .ok_or(())
+        .or_else(|_| err::<usize>(hline, "missing `(`"))?;
     let name = header[..open].to_string();
     let n_params: u32 = header[open + 1..]
         .split_whitespace()
@@ -274,11 +277,10 @@ pub fn parse_function(text: &str) -> Result<Function, ParseError> {
         insts,
         blocks,
     };
-    f.validate()
-        .map_err(|e| ParseError {
-            line: 0,
-            message: format!("validation failed: {e}"),
-        })?;
+    f.validate().map_err(|e| ParseError {
+        line: 0,
+        message: format!("validation failed: {e}"),
+    })?;
     Ok(f)
 }
 
@@ -310,8 +312,7 @@ mod tests {
 
     #[test]
     fn reports_unknown_instructions_with_line_numbers() {
-        let e = parse_function("fn x(0 params) {\nb0:\n  %0 = frobnicate 3\n  ret\n}")
-            .unwrap_err();
+        let e = parse_function("fn x(0 params) {\nb0:\n  %0 = frobnicate 3\n  ret\n}").unwrap_err();
         assert_eq!(e.line, 3);
         assert!(e.message.contains("frobnicate"));
     }
@@ -319,8 +320,7 @@ mod tests {
     #[test]
     fn rejects_invalid_ir_after_parsing() {
         // Parses fine, but %1 uses itself: validation must fail.
-        let e = parse_function("fn x(0 params) {\nb0:\n  %0 = Add %0, %0\n  ret\n}")
-            .unwrap_err();
+        let e = parse_function("fn x(0 params) {\nb0:\n  %0 = Add %0, %0\n  ret\n}").unwrap_err();
         assert_eq!(e.line, 0);
         assert!(e.message.contains("validation"));
     }
@@ -335,8 +335,8 @@ mod tests {
     fn parsed_functions_compile() {
         let f = programs::loop_update();
         let parsed = parse_function(&f.to_string()).unwrap();
-        let c = crate::pipeline::compile(parsed, crate::pipeline::CompileOptions::default())
-            .unwrap();
+        let c =
+            crate::pipeline::compile(parsed, crate::pipeline::CompileOptions::default()).unwrap();
         assert_eq!(c.clobber_sites.len(), 1);
     }
 }

@@ -37,7 +37,9 @@ fn alloc_init(pool: &PmemPool, words: &[u64]) -> PAddr {
 }
 
 fn read_words(pool: &PmemPool, a: PAddr, n: u64) -> Vec<u64> {
-    (0..n).map(|i| pool.read_u64(a.add(i * 8)).unwrap()).collect()
+    (0..n)
+        .map(|i| pool.read_u64(a.add(i * 8)).unwrap())
+        .collect()
 }
 
 /// Builds every scenario against `pool`.
@@ -215,7 +217,13 @@ fn run_mode(scenario_index: usize, static_mode: bool) -> Vec<u64> {
         } else {
             TxAdapter::new_dynamic(tx)
         };
-        match interpret(&c2.function, &c2.clobber_sites, &mut mem, &argv, TX_STEP_LIMIT) {
+        match interpret(
+            &c2.function,
+            &c2.clobber_sites,
+            &mut mem,
+            &argv,
+            TX_STEP_LIMIT,
+        ) {
             Ok(r) => Ok(r.map(|v| v.to_le_bytes().to_vec())),
             Err(InterpError::Tx(e)) => Err(e),
             Err(e) => Err(TxError::Aborted(e.to_string())),
@@ -313,7 +321,13 @@ fn crash_at_every_store_recovers_to_the_uninterrupted_state() {
                     inner: TxAdapter::new_static(tx),
                     n: cnt.clone(),
                 };
-                match interpret(&c2.function, &c2.clobber_sites, &mut mem, &argv, TX_STEP_LIMIT) {
+                match interpret(
+                    &c2.function,
+                    &c2.clobber_sites,
+                    &mut mem,
+                    &argv,
+                    TX_STEP_LIMIT,
+                ) {
                     Ok(r) => Ok(r.map(|v| v.to_le_bytes().to_vec())),
                     Err(InterpError::Tx(e)) => Err(e),
                     Err(e) => Err(TxError::Aborted(e.to_string())),
@@ -345,7 +359,13 @@ fn crash_at_every_store_recovers_to_the_uninterrupted_state() {
                     crash_after,
                     image: img.clone(),
                 };
-                match interpret(&c2.function, &c2.clobber_sites, &mut mem, &argv, TX_STEP_LIMIT) {
+                match interpret(
+                    &c2.function,
+                    &c2.clobber_sites,
+                    &mut mem,
+                    &argv,
+                    TX_STEP_LIMIT,
+                ) {
                     Ok(r) => Ok(r.map(|v| v.to_le_bytes().to_vec())),
                     Err(InterpError::Tx(e)) => Err(e),
                     Err(e) => Err(TxError::Aborted(e.to_string())),
@@ -391,7 +411,8 @@ fn conservative_instrumentation_is_also_crash_sound() {
     let pool = Arc::new(PmemPool::create(PoolOptions::crash_sim(16 << 20)).unwrap());
     let rt = Runtime::create(pool.clone(), RuntimeOptions::default()).unwrap();
     let scen = scenarios(&pool).remove(9); // loop_update
-    let compiled = Arc::new(compile(scen.function.clone(), CompileOptions { refine: false }).unwrap());
+    let compiled =
+        Arc::new(compile(scen.function.clone(), CompileOptions { refine: false }).unwrap());
     assert!(compiled.clobber_sites.len() > 1);
     let image: Arc<Mutex<Option<Vec<u8>>>> = Arc::new(Mutex::new(None));
     let (c2, img, pl) = (compiled.clone(), image.clone(), pool.clone());
@@ -404,7 +425,13 @@ fn conservative_instrumentation_is_also_crash_sound() {
             crash_after: 5,
             image: img.clone(),
         };
-        match interpret(&c2.function, &c2.clobber_sites, &mut mem, &argv, TX_STEP_LIMIT) {
+        match interpret(
+            &c2.function,
+            &c2.clobber_sites,
+            &mut mem,
+            &argv,
+            TX_STEP_LIMIT,
+        ) {
             Ok(r) => Ok(r.map(|v| v.to_le_bytes().to_vec())),
             Err(InterpError::Tx(e)) => Err(e),
             Err(e) => Err(TxError::Aborted(e.to_string())),

@@ -138,7 +138,7 @@ impl Iterator for RequestStream {
         }
         self.issued += 1;
         let k = self.rng.gen_range(0..self.key_space);
-        let req = if self.rng.gen_range(0..100) < self.mix.set_pct() {
+        let req = if self.rng.gen_range(0..100u32) < self.mix.set_pct() {
             Request::Set {
                 key: Self::key_bytes(k),
                 value: Self::value_bytes(k),

@@ -128,7 +128,7 @@ impl Iterator for ActionStream {
             let customer = self.rng.gen_range(0..self.customers);
             let queries = (0..self.queries_per_task)
                 .map(|_| {
-                    let kind = ResKind::all()[self.rng.gen_range(0..3)];
+                    let kind = ResKind::all()[self.rng.gen_range(0..3usize)];
                     (kind, self.rng.gen_range(0..self.relations))
                 })
                 .collect();
@@ -139,14 +139,14 @@ impl Iterator for ActionStream {
             }
         } else if roll == 99 && self.rng.gen_bool(0.5) {
             Action::AddItem {
-                kind: ResKind::all()[self.rng.gen_range(0..3)],
+                kind: ResKind::all()[self.rng.gen_range(0..3usize)],
                 item: self.rng.gen_range(0..self.relations),
                 quantity: 100,
-                price: 50 + self.rng.gen_range(0..500),
+                price: 50 + self.rng.gen_range(0..500u64),
             }
         } else {
             Action::DeleteItem {
-                kind: ResKind::all()[self.rng.gen_range(0..3)],
+                kind: ResKind::all()[self.rng.gen_range(0..3usize)],
                 item: self.rng.gen_range(0..self.relations),
                 quantity: 100,
             }

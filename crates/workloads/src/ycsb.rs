@@ -202,7 +202,11 @@ mod tests {
             .map(|o| o.key())
             .collect();
         for op in Workload::new(WorkloadKind::A, 100, 8, 9) {
-            assert!(loaded.contains(&op.key()), "key {} not in population", op.key());
+            assert!(
+                loaded.contains(&op.key()),
+                "key {} not in population",
+                op.key()
+            );
         }
     }
 }

@@ -36,15 +36,16 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let rt2 = Runtime::open(pool2.clone(), RuntimeOptions::default())?;
     Yada::register(&rt2);
     let report = rt2.recover()?;
-    println!("recovery re-executed {} transaction(s)", report.reexecuted.len());
+    println!(
+        "recovery re-executed {} transaction(s)",
+        report.reexecuted.len()
+    );
 
     let mesh2 = Yada::open(&rt2)?;
     let stats = mesh2.refine_all(&rt2, 0, 1_000_000)?;
     println!(
         "resumed to convergence: +{} steps, {} points inserted total, {} final triangles",
-        stats.steps,
-        stats.inserted_points,
-        stats.final_triangles
+        stats.steps, stats.inserted_points, stats.final_triangles
     );
     mesh2.verify(&pool2, true)?;
     println!("final mesh is valid."); // the artifact's yada prints the same

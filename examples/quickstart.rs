@@ -52,7 +52,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     for word in ["log", "less,", "re-execute", "more"] {
         rt.run(
             "list_insert",
-            &ArgList::new().with_u64(head.offset()).with_bytes(word.as_bytes()),
+            &ArgList::new()
+                .with_u64(head.offset())
+                .with_bytes(word.as_bytes()),
         )?;
     }
     let delta = pool.stats().snapshot().delta(&before);
@@ -78,6 +80,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         report.reexecuted.len(),
         walk(&pool2, head2)
     );
-    assert_eq!(walk(&pool2, head2).len(), 4, "all committed inserts survive");
+    assert_eq!(
+        walk(&pool2, head2).len(),
+        4,
+        "all committed inserts survive"
+    );
     Ok(())
 }

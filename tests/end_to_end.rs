@@ -200,14 +200,20 @@ fn repeated_crashes_during_recovery_still_converge() {
 fn backends_reach_identical_data_structure_states() {
     // Determinism across logging strategies on a multi-structure workload.
     let mut fingerprints = Vec::new();
-    for backend in [Backend::NoLog, Backend::clobber(), Backend::Undo, Backend::Redo, Backend::Atlas]
-    {
+    for backend in [
+        Backend::NoLog,
+        Backend::clobber(),
+        Backend::Undo,
+        Backend::Redo,
+        Backend::Atlas,
+    ] {
         let pool = Arc::new(PmemPool::create(PoolOptions::performance(64 << 20)).unwrap());
         let rt = Runtime::create(pool.clone(), RuntimeOptions::new(backend)).unwrap();
         HashMap::register(&rt);
         let map = HashMap::create(&rt).unwrap();
         for k in 0..100u64 {
-            map.insert(&rt, k % 37, format!("{}", k * k).as_bytes()).unwrap();
+            map.insert(&rt, k % 37, format!("{}", k * k).as_bytes())
+                .unwrap();
         }
         for k in (0..37u64).step_by(3) {
             map.remove(&rt, k).unwrap();

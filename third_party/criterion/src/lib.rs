@@ -1,0 +1,194 @@
+//! Vendored `criterion` shim: a thin wall-clock benchmark harness with the
+//! API subset this workspace uses (`benchmark_group`, `sample_size`,
+//! `bench_function`, `Bencher::iter`, `criterion_group!`/`criterion_main!`).
+//!
+//! Each bench function is warmed up, then timed over `sample_size` samples;
+//! the median and mean nanoseconds per iteration are printed to stdout.
+//! There is no statistical analysis, plotting, or baseline comparison.
+
+use std::time::{Duration, Instant};
+
+/// Re-export of the standard optimization barrier.
+pub use std::hint::black_box;
+
+const WARM_UP: Duration = Duration::from_millis(60);
+const TARGET_SAMPLE: Duration = Duration::from_millis(4);
+
+/// Top-level harness handle passed to bench functions.
+pub struct Criterion {
+    default_sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Criterion {
+        Criterion {
+            default_sample_size: 30,
+        }
+    }
+}
+
+impl Criterion {
+    /// Starts a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            sample_size: self.default_sample_size,
+            _c: self,
+        }
+    }
+
+    /// Runs a single benchmark outside any group.
+    pub fn bench_function<F>(&mut self, id: impl Into<String>, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let n = self.default_sample_size;
+        run_one(&id.into(), n, f);
+        self
+    }
+}
+
+/// A named set of benchmarks sharing a sample-size setting.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    sample_size: usize,
+    _c: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the number of timed samples per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(2);
+        self
+    }
+
+    /// Times `f` and prints `group/id  time: [...]`.
+    pub fn bench_function<F>(&mut self, id: impl Into<String>, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let full = format!("{}/{}", self.name, id.into());
+        run_one(&full, self.sample_size, f);
+        self
+    }
+
+    /// Ends the group (exists for API compatibility).
+    pub fn finish(self) {}
+}
+
+/// Passed to the closure given to `bench_function`; call [`Bencher::iter`].
+pub struct Bencher {
+    sample_size: usize,
+    samples_ns: Vec<f64>,
+}
+
+impl Bencher {
+    /// Times `routine`, recording nanoseconds per iteration.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        // Warm-up: run until the budget elapses, estimating iteration cost.
+        let warm_start = Instant::now();
+        let mut warm_iters: u64 = 0;
+        while warm_start.elapsed() < WARM_UP {
+            black_box(routine());
+            warm_iters += 1;
+        }
+        let per_iter = warm_start.elapsed().as_nanos() as f64 / warm_iters as f64;
+        let iters_per_sample = (TARGET_SAMPLE.as_nanos() as f64 / per_iter.max(1.0))
+            .max(1.0)
+            .min(u64::MAX as f64) as u64;
+
+        self.samples_ns.clear();
+        for _ in 0..self.sample_size {
+            let t = Instant::now();
+            for _ in 0..iters_per_sample {
+                black_box(routine());
+            }
+            self.samples_ns
+                .push(t.elapsed().as_nanos() as f64 / iters_per_sample as f64);
+        }
+    }
+}
+
+fn run_one<F: FnMut(&mut Bencher)>(id: &str, sample_size: usize, mut f: F) {
+    let mut b = Bencher {
+        sample_size,
+        samples_ns: Vec::new(),
+    };
+    f(&mut b);
+    if b.samples_ns.is_empty() {
+        println!("{id:<60} (no samples)");
+        return;
+    }
+    let mut sorted = b.samples_ns.clone();
+    sorted.sort_by(|a, c| a.partial_cmp(c).unwrap());
+    let median = sorted[sorted.len() / 2];
+    let mean = sorted.iter().sum::<f64>() / sorted.len() as f64;
+    println!(
+        "{id:<60} time: [median {} mean {}] ({} samples)",
+        fmt_ns(median),
+        fmt_ns(mean),
+        sorted.len()
+    );
+}
+
+fn fmt_ns(ns: f64) -> String {
+    if ns < 1_000.0 {
+        format!("{ns:.1} ns")
+    } else if ns < 1_000_000.0 {
+        format!("{:.2} us", ns / 1_000.0)
+    } else if ns < 1_000_000_000.0 {
+        format!("{:.2} ms", ns / 1_000_000.0)
+    } else {
+        format!("{:.3} s", ns / 1_000_000_000.0)
+    }
+}
+
+/// Bundles bench functions into a runner callable from `criterion_main!`.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Generates `main` for a `harness = false` bench target.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn group_times_a_trivial_routine() {
+        let mut c = Criterion::default();
+        let mut group = c.benchmark_group("shim");
+        group.sample_size(5);
+        let mut runs = 0u64;
+        group.bench_function("add", |b| {
+            b.iter(|| {
+                runs += 1;
+                black_box(2u64 + 2)
+            })
+        });
+        group.finish();
+        assert!(runs > 0, "routine never executed");
+    }
+
+    #[test]
+    fn fmt_ns_picks_sane_units() {
+        assert!(fmt_ns(12.3).ends_with("ns"));
+        assert!(fmt_ns(12_300.0).ends_with("us"));
+        assert!(fmt_ns(12_300_000.0).ends_with("ms"));
+        assert!(fmt_ns(12_300_000_000.0).ends_with('s'));
+    }
+}
