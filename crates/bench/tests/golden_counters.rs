@@ -12,7 +12,7 @@ use std::sync::Arc;
 
 use clobber_nvm::{Backend, Runtime, RuntimeOptions};
 use clobber_pds::{BpTree, HashMap};
-use clobber_pmem::{CrashConfig, PmemPool, PoolOptions, StatsSnapshot};
+use clobber_pmem::{CrashConfig, FaultPlan, PmemPool, PoolOptions, StatsSnapshot};
 use clobber_workloads::{KvOp, Workload, WorkloadKind};
 
 const OPS: u64 = 400;
@@ -31,7 +31,20 @@ fn pool(reference: bool) -> Arc<PmemPool> {
 /// YCSB-Load into the hashmap, then a seeded crash, recovery, and a full
 /// dump: returns the pre-crash counters and the recovered contents.
 fn hashmap_load(reference: bool, backend: Backend) -> (StatsSnapshot, Vec<(u64, Vec<u8>)>) {
+    hashmap_load_faulted(reference, backend, false)
+}
+
+/// As [`hashmap_load`], optionally with a count-only fault plan armed for
+/// the whole load — the injector must observe without perturbing.
+fn hashmap_load_faulted(
+    reference: bool,
+    backend: Backend,
+    armed: bool,
+) -> (StatsSnapshot, Vec<(u64, Vec<u8>)>) {
     let pool = pool(reference);
+    if armed {
+        pool.arm_faults(FaultPlan::count_only());
+    }
     let rt = Runtime::create(pool.clone(), RuntimeOptions::new(backend)).unwrap();
     HashMap::register(&rt);
     let map = HashMap::create(&rt).unwrap();
@@ -79,12 +92,38 @@ fn hashmap_load_counters_identical_across_cache_models() {
         let (refr, ref_pairs) = hashmap_load(true, backend);
         assert_eq!(dense, refr, "counters diverged under {}", backend.label());
         assert_eq!(
+            (
+                dense.faults_armed,
+                dense.faults_tripped,
+                dense.fault_retries
+            ),
+            (0, 0, 0),
+            "no fault activity in a plain run under {}",
+            backend.label()
+        );
+        assert_eq!(
             dense_pairs,
             ref_pairs,
             "recovered contents diverged under {}",
             backend.label()
         );
     }
+}
+
+/// A count-only fault plan armed for the whole run must not perturb a
+/// single persistence counter: the injector observes, never interferes.
+#[test]
+fn armed_count_only_plan_leaves_counters_untouched() {
+    let backend = Backend::clobber();
+    let (plain, plain_pairs) = hashmap_load(false, backend);
+    let (armed, armed_pairs) = hashmap_load_faulted(false, backend, true);
+    let mut masked = armed;
+    assert_eq!(masked.faults_armed, 1);
+    assert_eq!(masked.faults_tripped, 0);
+    assert_eq!(masked.fault_retries, 0);
+    masked.faults_armed = 0;
+    assert_eq!(masked, plain, "armed-but-idle injector perturbed counters");
+    assert_eq!(armed_pairs, plain_pairs);
 }
 
 #[test]

@@ -48,6 +48,15 @@ pub enum TxError {
     },
 }
 
+impl TxError {
+    /// `true` for faults that may succeed if the operation is retried
+    /// (currently only [`PmemError::TransientMediaFault`]). Recovery's
+    /// bounded-retry loop keys off this.
+    pub fn is_transient(&self) -> bool {
+        matches!(self, TxError::Pmem(PmemError::TransientMediaFault { .. }))
+    }
+}
+
 impl fmt::Display for TxError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {

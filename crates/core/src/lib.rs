@@ -68,7 +68,7 @@ pub mod vlog;
 pub use args::{ArgList, ArgValue};
 pub use backend::{Backend, ClobberCfg};
 pub use error::TxError;
-pub use recovery::RecoveryReport;
+pub use recovery::{RecoveryOptions, RecoveryPolicy, RecoveryReport, SlotQuarantine};
 pub use runtime::{IdoAggregate, Runtime, RuntimeOptions};
 pub use tx::{Tx, TxResult, WritePolicy, WriteProbe};
 pub use vlog::VlogSlot;

@@ -16,6 +16,28 @@
 //! uncommitted transactions back; redo replays transactions whose commit
 //! marker is set and discards the rest.
 //!
+//! # Fault tolerance
+//!
+//! Recovery itself runs on possibly-faulty media, so it is hardened two
+//! ways:
+//!
+//! * **Policy.** [`RecoveryPolicy::Strict`] (the default) fails the whole
+//!   scan on the first slot whose v_log or clobber_log fails validation.
+//!   [`RecoveryPolicy::BestEffort`] instead *quarantines* that slot —
+//!   records it in [`RecoveryReport::quarantined`] with the reason and moves
+//!   on, so one decayed slot cannot hold the rest of the pool hostage.
+//! * **Retry.** Transient substrate faults
+//!   ([`TxError::is_transient`]) retry the slot with bounded exponential
+//!   backoff. Re-running a slot's recovery is safe at any point: restoring
+//!   clobbered inputs is most-recent-first (the oldest value wins no matter
+//!   how often it is replayed) and a partial re-execution merely re-logs the
+//!   same restored inputs.
+//!
+//! The same idempotence argument covers a *crash during recovery*: if
+//! `recover` dies mid-re-execution (e.g. an injected trip point), reopening
+//! the pool and calling `recover` again completes the transaction — the
+//! crash-sweep tests exercise every persist event inside recovery too.
+//!
 //! Commit-window edge cases (all verified by the crash sweeps in
 //! `tests/`): a crash after the clobber commit's publish fence but before
 //! the status bit clears re-executes an already-complete transaction —
@@ -27,10 +49,68 @@
 //! separates from their committed transaction are lost (a bounded leak),
 //! never double-applied.
 
+use std::sync::atomic::Ordering;
+use std::time::Duration;
+
+use clobber_pmem::{PmemError, PmemPool};
+
 use crate::backend::Backend;
 use crate::error::TxError;
 use crate::runtime::Runtime;
 use crate::tx::Tx;
+
+/// How [`Runtime::recover_with`] responds to a slot that fails validation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum RecoveryPolicy {
+    /// Fail the whole scan on the first bad slot (the historical behavior,
+    /// and the right choice when corruption should stop the application).
+    #[default]
+    Strict,
+    /// Quarantine bad slots (recorded in [`RecoveryReport::quarantined`])
+    /// and keep scanning, recovering every healthy slot.
+    BestEffort,
+}
+
+/// Options for [`Runtime::recover_with`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RecoveryOptions {
+    /// Validation-failure policy.
+    pub policy: RecoveryPolicy,
+    /// Retries per slot for transient faults before giving up (Strict:
+    /// propagate; BestEffort: quarantine).
+    pub max_retries: u32,
+    /// Base backoff between retries, doubled each attempt.
+    pub retry_backoff: Duration,
+}
+
+impl Default for RecoveryOptions {
+    fn default() -> Self {
+        RecoveryOptions {
+            policy: RecoveryPolicy::Strict,
+            max_retries: 3,
+            retry_backoff: Duration::from_micros(100),
+        }
+    }
+}
+
+impl RecoveryOptions {
+    /// Best-effort options with default retry bounds.
+    pub fn best_effort() -> Self {
+        RecoveryOptions {
+            policy: RecoveryPolicy::BestEffort,
+            ..Self::default()
+        }
+    }
+}
+
+/// A slot that best-effort recovery set aside instead of recovering.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SlotQuarantine {
+    /// Index of the quarantined slot.
+    pub slot: usize,
+    /// Why its recovery failed (display form of the underlying error).
+    pub reason: String,
+}
 
 /// What [`Runtime::recover`] found and did.
 #[derive(Debug, Clone, Default, PartialEq, Eq)]
@@ -50,22 +130,68 @@ pub struct RecoveryReport {
     pub clobber_entries_applied: u64,
     /// clobber_log bytes applied while restoring inputs.
     pub clobber_bytes_applied: u64,
+    /// Slots best-effort recovery set aside, with reasons.
+    pub quarantined: Vec<SlotQuarantine>,
+    /// Slot-recovery attempts repeated after a transient fault.
+    pub transient_retries: u64,
 }
 
 impl RecoveryReport {
-    /// `true` if no interrupted transaction was found.
+    /// `true` if no interrupted transaction was found and nothing was
+    /// quarantined.
     pub fn is_clean(&self) -> bool {
         self.reexecuted.is_empty()
             && self.rolled_back == 0
             && self.redo_applied == 0
             && self.abandoned == 0
+            && self.quarantined.is_empty()
     }
 }
 
+/// Per-slot recovery outcome, merged into the report only once the slot
+/// completes — a retried attempt must not double-count its partial work.
+#[derive(Debug, Default)]
+struct SlotDelta {
+    reexecuted: Vec<String>,
+    rolled_back: usize,
+    redo_applied: usize,
+    abandoned: usize,
+    clobber_entries_applied: u64,
+    clobber_bytes_applied: u64,
+}
+
+impl SlotDelta {
+    fn merge_into(self, report: &mut RecoveryReport) {
+        report.reexecuted.extend(self.reexecuted);
+        report.rolled_back += self.rolled_back;
+        report.redo_applied += self.redo_applied;
+        report.abandoned += self.abandoned;
+        report.clobber_entries_applied += self.clobber_entries_applied;
+        report.clobber_bytes_applied += self.clobber_bytes_applied;
+    }
+}
+
+/// `true` for failures that condemn one slot rather than the whole pool:
+/// best-effort recovery may quarantine these. Injected whole-pool crashes,
+/// heap exhaustion, and misconfiguration always propagate.
+fn quarantinable(e: &TxError) -> bool {
+    matches!(
+        e,
+        TxError::CorruptVlog(_)
+            | TxError::Pmem(PmemError::OutOfBounds { .. })
+            | TxError::Pmem(PmemError::CorruptPool(_))
+            | TxError::Pmem(PmemError::TransientMediaFault { .. })
+    )
+}
+
 impl Runtime {
-    /// Recovers all interrupted transactions. Must be called after
-    /// [`Runtime::open`] and after re-registering every txfunc; the
+    /// Recovers all interrupted transactions with [`RecoveryOptions`]'
+    /// defaults (strict policy, bounded transient retry). Must be called
+    /// after [`Runtime::open`] and after re-registering every txfunc; the
     /// application may resume use of the pool afterwards.
+    ///
+    /// Safe to call again (on a reopened pool) if a crash interrupts it —
+    /// see the module docs on idempotence.
     ///
     /// # Errors
     ///
@@ -73,93 +199,148 @@ impl Runtime {
     /// txfunc was not re-registered, [`TxError::CorruptVlog`] if a v_log
     /// record fails validation, and [`TxError::Pmem`] on substrate errors.
     pub fn recover(&self) -> Result<RecoveryReport, TxError> {
+        self.recover_with(&RecoveryOptions::default())
+    }
+
+    /// Recovers all interrupted transactions under an explicit policy.
+    ///
+    /// # Errors
+    ///
+    /// As [`Runtime::recover`], except that under
+    /// [`RecoveryPolicy::BestEffort`] validation failures confined to one
+    /// slot are quarantined (see [`RecoveryReport::quarantined`]) instead of
+    /// returned. [`TxError::Unregistered`] always propagates — a missing
+    /// txfunc is a configuration error, not media damage.
+    pub fn recover_with(&self, opts: &RecoveryOptions) -> Result<RecoveryReport, TxError> {
         let mut report = RecoveryReport::default();
         let pool = self.pool().clone();
         let slot_count = self.slot_count();
         for idx in 0..slot_count {
-            let slot = self.slot(idx)?;
             report.slots_scanned += 1;
-            match self.backend() {
-                Backend::NoLog => {}
-                Backend::Clobber(cfg) => {
-                    if !(cfg.vlog && cfg.clobber_log) {
-                        continue; // breakdown variants are not failure-atomic
+            let mut attempt = 0u32;
+            loop {
+                match self.recover_slot(idx, &pool) {
+                    Ok(delta) => {
+                        delta.merge_into(&mut report);
+                        break;
                     }
-                    if !slot.is_ongoing(&pool)? {
-                        continue;
-                    }
-                    let rec = slot.record(&pool)?;
-                    let clog = slot.clobber_log(&pool)?;
-                    // Restore clobbered inputs (most recent entry first so
-                    // the oldest value — the true input — wins).
-                    let entries = clog.entries(&pool)?;
-                    report.clobber_entries_applied += entries.len() as u64;
-                    report.clobber_bytes_applied +=
-                        entries.iter().map(|(_, d)| d.len() as u64).sum::<u64>();
-                    clog.apply_backwards(&pool)?;
-                    pool.fence();
-                    clog.clear(&pool)?;
-                    // Re-execute with restored inputs.
-                    let f = self.lookup(&rec.name)?;
-                    let rlog = slot.redo_log(&pool)?;
-                    let mut tx = Tx::new(
-                        &pool,
-                        self.backend(),
-                        slot,
-                        clog,
-                        rlog,
-                        true,
-                        Some(rec.preserves),
-                        None,
-                        None,
-                        self.take_scratch(),
-                    );
-                    match f(&mut tx, &rec.args) {
-                        Ok(_) => {
-                            self.finish_commit(tx)?;
-                            report.reexecuted.push(rec.name);
+                    Err(e) if e.is_transient() && attempt < opts.max_retries => {
+                        attempt += 1;
+                        report.transient_retries += 1;
+                        let stats = pool.stats();
+                        stats.fault_retries.fetch_add(1, Ordering::Relaxed);
+                        let backoff = opts
+                            .retry_backoff
+                            .saturating_mul(1u32 << (attempt - 1).min(10));
+                        if !backoff.is_zero() {
+                            std::thread::sleep(backoff);
                         }
-                        Err(TxError::MissingPreserve { .. }) => {
-                            // The crashed run never recorded this volatile
-                            // input, so it cannot have written anything yet
-                            // (preserves precede all writes): abandon.
-                            drop(tx);
-                            slot.clear_ongoing(&pool)?;
-                            pool.fence();
-                            report.abandoned += 1;
+                    }
+                    Err(e) => {
+                        if opts.policy == RecoveryPolicy::BestEffort && quarantinable(&e) {
+                            report.quarantined.push(SlotQuarantine {
+                                slot: idx,
+                                reason: e.to_string(),
+                            });
+                            break;
                         }
-                        Err(e) => return Err(e),
-                    }
-                }
-                Backend::Undo | Backend::Atlas => {
-                    if !slot.is_ongoing(&pool)? {
-                        continue;
-                    }
-                    let clog = slot.clobber_log(&pool)?;
-                    clog.apply_backwards(&pool)?;
-                    pool.fence();
-                    clog.clear(&pool)?;
-                    slot.clear_ongoing(&pool)?;
-                    pool.fence();
-                    report.rolled_back += 1;
-                }
-                Backend::Redo => {
-                    let rlog = slot.redo_log(&pool)?;
-                    if slot.is_redo_committed(&pool)? {
-                        rlog.apply_forwards(&pool)?;
-                        pool.fence();
-                        slot.clear_redo_committed_unfenced(&pool)?;
-                        slot.clear_ongoing(&pool)?;
-                        rlog.clear(&pool)?;
-                        report.redo_applied += 1;
-                    } else if slot.is_ongoing(&pool)? {
-                        slot.clear_ongoing(&pool)?;
-                        rlog.clear(&pool)?;
-                        report.rolled_back += 1;
+                        return Err(e);
                     }
                 }
             }
         }
         Ok(report)
+    }
+
+    /// Recovers one slot, returning what it did.
+    ///
+    /// Idempotent with respect to pool state: a partial run (ended by a
+    /// crash or transient fault) leaves the slot recoverable by simply
+    /// calling this again. Counters for the attempt live in the returned
+    /// [`SlotDelta`], so a discarded attempt never skews the report.
+    fn recover_slot(&self, idx: usize, pool: &PmemPool) -> Result<SlotDelta, TxError> {
+        let mut delta = SlotDelta::default();
+        let slot = self.slot(idx)?;
+        match self.backend() {
+            Backend::NoLog => {}
+            Backend::Clobber(cfg) => {
+                if !(cfg.vlog && cfg.clobber_log) {
+                    return Ok(delta); // breakdown variants are not failure-atomic
+                }
+                if !slot.is_ongoing(pool)? {
+                    return Ok(delta);
+                }
+                let rec = slot.record(pool)?;
+                let clog = slot.clobber_log(pool)?;
+                // Restore clobbered inputs (most recent entry first so
+                // the oldest value — the true input — wins).
+                let entries = clog.entries(pool)?;
+                delta.clobber_entries_applied += entries.len() as u64;
+                delta.clobber_bytes_applied +=
+                    entries.iter().map(|(_, d)| d.len() as u64).sum::<u64>();
+                clog.apply_backwards(pool)?;
+                pool.fence();
+                clog.clear(pool)?;
+                // Re-execute with restored inputs.
+                let f = self.lookup(&rec.name)?;
+                let rlog = slot.redo_log(pool)?;
+                let mut tx = Tx::new(
+                    pool,
+                    self.backend(),
+                    slot,
+                    clog,
+                    rlog,
+                    true,
+                    Some(rec.preserves),
+                    None,
+                    None,
+                    self.take_scratch(),
+                );
+                match f(&mut tx, &rec.args) {
+                    Ok(_) => {
+                        self.finish_commit(tx)?;
+                        delta.reexecuted.push(rec.name);
+                    }
+                    Err(TxError::MissingPreserve { .. }) => {
+                        // The crashed run never recorded this volatile
+                        // input, so it cannot have written anything yet
+                        // (preserves precede all writes): abandon.
+                        drop(tx);
+                        slot.clear_ongoing(pool)?;
+                        pool.fence();
+                        delta.abandoned += 1;
+                    }
+                    Err(e) => return Err(e),
+                }
+            }
+            Backend::Undo | Backend::Atlas => {
+                if !slot.is_ongoing(pool)? {
+                    return Ok(delta);
+                }
+                let clog = slot.clobber_log(pool)?;
+                clog.apply_backwards(pool)?;
+                pool.fence();
+                clog.clear(pool)?;
+                slot.clear_ongoing(pool)?;
+                pool.fence();
+                delta.rolled_back += 1;
+            }
+            Backend::Redo => {
+                let rlog = slot.redo_log(pool)?;
+                if slot.is_redo_committed(pool)? {
+                    rlog.apply_forwards(pool)?;
+                    pool.fence();
+                    slot.clear_redo_committed_unfenced(pool)?;
+                    slot.clear_ongoing(pool)?;
+                    rlog.clear(pool)?;
+                    delta.redo_applied += 1;
+                } else if slot.is_ongoing(pool)? {
+                    slot.clear_ongoing(pool)?;
+                    rlog.clear(pool)?;
+                    delta.rolled_back += 1;
+                }
+            }
+        }
+        Ok(delta)
     }
 }

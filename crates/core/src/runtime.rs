@@ -283,6 +283,19 @@ impl Runtime {
         self.slots.lock().len()
     }
 
+    /// Returns a handle to slot `idx`, creating slots up to it on demand.
+    ///
+    /// Intended for fault-injection harnesses that need a slot's on-media
+    /// layout (e.g. [`VlogSlot::record_region`]) to corrupt it
+    /// deliberately; normal transaction code never needs slot handles.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TxError::Pmem`] if slot creation fails.
+    pub fn slot_handle(&self, idx: usize) -> Result<VlogSlot, TxError> {
+        self.slot(idx)
+    }
+
     /// Runs the registered txfunc `name` failure-atomically on the calling
     /// thread's slot.
     ///

@@ -109,6 +109,18 @@ impl VlogSlot {
         self.base
     }
 
+    /// The region holding the begin record (name length through preserves),
+    /// as `(start, len)`.
+    ///
+    /// Fault-injection tests corrupt this region in place (e.g. with
+    /// `PmemPool::inject_bit_corruption`) to exercise the
+    /// [`CorruptVlog`](TxError::CorruptVlog) quarantine path; the first 8
+    /// bytes are the name-length word that [`record`](Self::record)
+    /// validates.
+    pub fn record_region(&self) -> (PAddr, u64) {
+        (self.base.add(NAME_LEN), SLOT_SIZE - NAME_LEN)
+    }
+
     /// The slot's creation id (list position).
     pub fn id(&self, pool: &PmemPool) -> Result<u64, PmemError> {
         pool.read_u64(self.base.add(ID))

@@ -1,0 +1,307 @@
+//! Shared crash-sweep harness.
+//!
+//! The harness runs a deterministic bank-transfer workload once with a
+//! count-only [`FaultPlan`] to learn how many persist events it issues, then
+//! replays it from scratch for each chosen event index `k`, trips an
+//! injected crash at `k`, takes an adversarial (`drop_all`) power failure,
+//! recovers, and checks the conservation invariant. Optionally a *second*
+//! crash is injected inside recovery itself, proving recovery idempotence.
+
+#![allow(dead_code)] // each test binary uses a subset of the harness
+
+use std::sync::{Arc, Barrier};
+
+use clobber_nvm::{ArgList, Backend, Runtime, RuntimeOptions, TxError};
+use clobber_pmem::{CrashConfig, FaultPlan, PAddr, PmemPool, PoolMode, PoolOptions};
+
+/// Number of bank accounts in the sweep workload.
+pub const ACCOUNTS: u64 = 8;
+/// Initial balance per account; `ACCOUNTS * INITIAL` is the invariant.
+pub const INITIAL: u64 = 1000;
+
+/// Fixed transfer script: `(from, to, amount)` per transaction. Every entry
+/// performs two persistent writes (amount is non-zero, from != to, and no
+/// account can go negative under any prefix of the script).
+pub const SCRIPT: &[(u64, u64, u64)] = &[(0, 1, 30), (2, 3, 45), (1, 2, 10), (3, 0, 25)];
+
+/// Registers the transfer txfunc used by the whole sweep.
+pub fn register_transfer(rt: &Runtime) {
+    rt.register("transfer", |tx, args| {
+        let base = PAddr::new(args.u64(0)?);
+        let from = args.u64(1)? % ACCOUNTS;
+        let to = args.u64(2)? % ACCOUNTS;
+        let amount = args.u64(3)? % 50;
+        let from_bal = tx.read_u64(base.add(from * 8))?;
+        if from_bal < amount || from == to {
+            return Ok(Some(vec![0]));
+        }
+        tx.write_u64(base.add(from * 8), from_bal - amount)?;
+        let to_bal = tx.read_u64(base.add(to * 8))?;
+        tx.write_u64(base.add(to * 8), to_bal + amount)?;
+        Ok(Some(vec![1]))
+    });
+}
+
+/// Sum of all account balances.
+pub fn total(pool: &PmemPool, base: PAddr) -> u64 {
+    (0..ACCOUNTS)
+        .map(|i| pool.read_u64(base.add(i * 8)).unwrap())
+        .sum()
+}
+
+/// Small log capacities keep each replayed pool cheap to create.
+fn sweep_options(backend: Backend) -> RuntimeOptions {
+    let mut opts = RuntimeOptions::new(backend);
+    opts.clobber_log_cap = 32 << 10;
+    opts.redo_log_cap = 32 << 10;
+    opts
+}
+
+/// Creates a fresh pool + runtime with the bank initialized and durable.
+/// Identical across calls, so persist-event streams replay exactly.
+pub fn setup(backend: Backend) -> (Arc<PmemPool>, Runtime, PAddr) {
+    let pool = Arc::new(PmemPool::create(PoolOptions::crash_sim(1 << 20)).unwrap());
+    let rt = Runtime::create(pool.clone(), sweep_options(backend)).unwrap();
+    register_transfer(&rt);
+    let base = pool.alloc(ACCOUNTS * 8).unwrap();
+    for i in 0..ACCOUNTS {
+        pool.write_u64(base.add(i * 8), INITIAL).unwrap();
+    }
+    pool.persist(base, ACCOUNTS * 8).unwrap();
+    rt.set_app_root(base).unwrap();
+    (pool, rt, base)
+}
+
+/// Reopens crashed media with a runtime ready to recover.
+pub fn reopen(media: Vec<u8>, backend: Backend) -> (Arc<PmemPool>, Runtime) {
+    let pool = Arc::new(PmemPool::open_from_media(media, PoolMode::CrashSim).unwrap());
+    let rt = Runtime::open(pool.clone(), sweep_options(backend)).unwrap();
+    register_transfer(&rt);
+    (pool, rt)
+}
+
+fn transfer_args(base: PAddr, (f, t, a): (u64, u64, u64)) -> ArgList {
+    ArgList::new()
+        .with_u64(base.offset())
+        .with_u64(f)
+        .with_u64(t)
+        .with_u64(a)
+}
+
+/// Runs the script until the first failure (e.g. an injected crash). Once
+/// the pool is dead every subsequent transaction fails fast, so stopping at
+/// the first error loses nothing.
+pub fn run_script(rt: &Runtime, base: PAddr) -> Result<(), TxError> {
+    for &step in SCRIPT {
+        rt.run("transfer", &transfer_args(base, step))?;
+    }
+    Ok(())
+}
+
+/// Counts the persist events the script issues under `backend`.
+pub fn count_script_events(backend: Backend) -> u64 {
+    let (pool, rt, base) = setup(backend);
+    pool.arm_faults(FaultPlan::count_only());
+    run_script(&rt, base).expect("count run must not fail");
+    let n = pool.disarm_faults();
+    assert_eq!(total(&pool, base), ACCOUNTS * INITIAL);
+    assert!(n > 0, "script must issue persist events");
+    n
+}
+
+/// How the sweep injects a second crash inside recovery.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Nested {
+    /// Recover without a nested crash.
+    Off,
+    /// One nested crash per outer crash point, at a recovery event that
+    /// rotates with `k` (cheap full-k coverage).
+    Rotating,
+    /// Every recovery event for every outer crash point (quadratic; for the
+    /// `--ignored` exhaustive test).
+    Exhaustive,
+}
+
+/// Aggregate of what one sweep did, for coverage reporting.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct SweepSummary {
+    /// Persist events the intact script issues (the sweep's `N`).
+    pub events: u64,
+    /// Outer crash points actually visited.
+    pub crash_points: u64,
+    /// Nested (crash-during-recovery) points exercised.
+    pub nested_points: u64,
+    /// Interrupted transactions completed by re-execution (clobber).
+    pub reexecuted: u64,
+    /// Interrupted transactions rolled back (undo/redo/atlas).
+    pub rolled_back: u64,
+    /// Committed redo logs replayed.
+    pub redo_applied: u64,
+    /// Transactions abandoned before any persistent write.
+    pub abandoned: u64,
+}
+
+/// Recovers `media`, asserts the invariant and recovery idempotence, and
+/// returns the recovered pool's report folded into `summary`.
+fn recover_and_check(media: Vec<u8>, backend: Backend, ctx: &str, summary: &mut SweepSummary) {
+    let (pool, rt) = reopen(media, backend);
+    let report = rt
+        .recover()
+        .unwrap_or_else(|e| panic!("{ctx}: recovery failed: {e}"));
+    summary.reexecuted += report.reexecuted.len() as u64;
+    summary.rolled_back += report.rolled_back as u64;
+    summary.redo_applied += report.redo_applied as u64;
+    summary.abandoned += report.abandoned as u64;
+    let base = rt.app_root().unwrap();
+    assert_eq!(
+        total(&pool, base),
+        ACCOUNTS * INITIAL,
+        "{ctx}: conservation violated after recovery"
+    );
+    // Idempotence: recovery left nothing ongoing behind.
+    let again = rt.recover().unwrap();
+    assert!(
+        again.is_clean(),
+        "{ctx}: second recover found leftover work: {again:?}"
+    );
+    // The recovered pool keeps serving transactions.
+    rt.run("transfer", &transfer_args(base, (0, 1, 5))).unwrap();
+    assert_eq!(
+        total(&pool, base),
+        ACCOUNTS * INITIAL,
+        "{ctx}: post-recovery tx"
+    );
+}
+
+/// Runs the script to event `k`, trips, takes a `drop_all` power failure,
+/// and returns the surviving media.
+fn crash_at(backend: Backend, k: u64) -> Vec<u8> {
+    let (pool, rt, base) = setup(backend);
+    pool.arm_faults(FaultPlan::crash_at(k));
+    // A trip on a trailing fence can leave the script completing Ok; any
+    // other trip surfaces as an error. Both are valid crash points.
+    let _ = run_script(&rt, base);
+    assert_eq!(pool.fault_tripped(), Some(k), "event {k} must trip");
+    pool.crash(&CrashConfig::drop_all(0xC0FFEE ^ k))
+        .unwrap()
+        .media_snapshot()
+}
+
+/// Full crash-point sweep for one backend.
+///
+/// For every `k` in `0, stride, 2*stride, .. < N`: replay to event `k`,
+/// crash adversarially, recover, and check the invariant. With `nested` on,
+/// recovery itself is also crashed (at rotating or all recovery events) and
+/// re-run from the re-crashed media — the idempotence proof.
+pub fn sweep(backend: Backend, stride: u64, nested: Nested) -> SweepSummary {
+    assert!(stride > 0);
+    let mut summary = SweepSummary {
+        events: count_script_events(backend),
+        ..SweepSummary::default()
+    };
+    let mut k = 0;
+    while k < summary.events {
+        let media = crash_at(backend, k);
+        summary.crash_points += 1;
+
+        // Plain recovery from this crash point.
+        recover_and_check(media.clone(), backend, &format!("k={k}"), &mut summary);
+
+        if nested != Nested::Off {
+            // Count recovery's own persist events from identical media.
+            let (pool_m, rt_m) = reopen(media.clone(), backend);
+            pool_m.arm_faults(FaultPlan::count_only());
+            rt_m.recover().unwrap();
+            let m = pool_m.disarm_faults();
+
+            let js: Vec<u64> = match nested {
+                Nested::Off => unreachable!(),
+                Nested::Rotating if m == 0 => Vec::new(),
+                Nested::Rotating => vec![k % m],
+                Nested::Exhaustive => (0..m).collect(),
+            };
+            for j in js {
+                let (pool_n, rt_n) = reopen(media.clone(), backend);
+                pool_n.arm_faults(FaultPlan::crash_at(j));
+                // Recovery dies at event j (a trip on recovery's final
+                // fence may still let it return Ok — also a valid point).
+                let _ = rt_n.recover();
+                assert_eq!(pool_n.fault_tripped(), Some(j));
+                let media2 = pool_n
+                    .crash(&CrashConfig::drop_all(0xBAD ^ (k << 16) ^ j))
+                    .unwrap()
+                    .media_snapshot();
+                recover_and_check(
+                    media2,
+                    backend,
+                    &format!("k={k} nested j={j}"),
+                    &mut summary,
+                );
+                summary.nested_points += 1;
+            }
+        }
+        k += stride;
+    }
+    summary
+}
+
+/// Registers a non-parking replacement for `parked_transfer`: recovery
+/// re-execution must not block on test barriers, so recovered runtimes get
+/// this plain unconditional transfer under the same name.
+pub fn register_parked_plain(rt: &Runtime) {
+    rt.register("parked_transfer", |tx, args| {
+        let base = PAddr::new(args.u64(0)?);
+        let from = args.u64(1)?;
+        let to = args.u64(2)?;
+        let amount = args.u64(3)?;
+        let from_bal = tx.read_u64(base.add(from * 8))?;
+        tx.write_u64(base.add(from * 8), from_bal - amount)?;
+        let to_bal = tx.read_u64(base.add(to * 8))?;
+        tx.write_u64(base.add(to * 8), to_bal + amount)?;
+        Ok(None)
+    });
+}
+
+/// Captures crashed media holding **two** genuinely concurrent interrupted
+/// transfers, one per v_log slot: `assignments[i] = (from, to, amount)` runs
+/// on slot `i`. Each worker parks inside its txfunc after both writes; the
+/// main thread then takes an adversarial crash snapshot and releases them.
+pub fn two_parked_transfers(backend: Backend, assignments: [(u64, u64, u64); 2]) -> Vec<u8> {
+    let (pool, rt, base) = setup(backend);
+    let rendezvous = Arc::new(Barrier::new(3));
+    let release = Arc::new(Barrier::new(3));
+    {
+        let (rendezvous, release) = (rendezvous.clone(), release.clone());
+        rt.register("parked_transfer", move |tx, args| {
+            let base = PAddr::new(args.u64(0)?);
+            let from = args.u64(1)?;
+            let to = args.u64(2)?;
+            let amount = args.u64(3)?;
+            let from_bal = tx.read_u64(base.add(from * 8))?;
+            tx.write_u64(base.add(from * 8), from_bal - amount)?;
+            let to_bal = tx.read_u64(base.add(to * 8))?;
+            tx.write_u64(base.add(to * 8), to_bal + amount)?;
+            rendezvous.wait(); // both writes logged and in flight
+            release.wait(); // hold until the snapshot is taken
+            Ok(None)
+        });
+    }
+    let mut media = None;
+    std::thread::scope(|s| {
+        for (slot, &step) in assignments.iter().enumerate() {
+            let rt = &rt;
+            s.spawn(move || {
+                rt.run_on(slot, "parked_transfer", &transfer_args(base, step))
+                    .unwrap();
+            });
+        }
+        rendezvous.wait();
+        media = Some(
+            pool.crash(&CrashConfig::drop_all(77))
+                .unwrap()
+                .media_snapshot(),
+        );
+        release.wait();
+    });
+    media.unwrap()
+}

@@ -7,6 +7,8 @@
 //! `Runtime::recover` runs. This simulates a power failure at every
 //! interesting instant of the transaction.
 
+mod common;
+
 use std::sync::{Arc, Mutex};
 
 use clobber_nvm::{ArgList, Backend, Runtime, RuntimeOptions, TxError};
@@ -656,6 +658,54 @@ fn pfree_of_pre_existing_block_is_deferred_to_commit() {
         again2, victim,
         "deferred free applied during recovery commit"
     );
+}
+
+/// Two *genuinely concurrent* transactions — both parked mid-txfunc, after
+/// their writes, in different v_log slots at the instant of the crash —
+/// recover independently in either slot assignment (the doc claim in
+/// `core/src/recovery.rs` that slots recover in any order). Both transfers
+/// complete exactly once under clobber re-execution.
+#[test]
+fn concurrent_interrupted_slots_recover_independently() {
+    let backend = Backend::clobber();
+    // Either order: which transfer lands in slot 0 vs slot 1 is swapped.
+    for assignments in [[(0, 1, 30), (2, 3, 45)], [(2, 3, 45), (0, 1, 30)]] {
+        let media = common::two_parked_transfers(backend, assignments);
+        let (pool2, rt2) = common::reopen(media, backend);
+        common::register_parked_plain(&rt2);
+        let report = rt2.recover().unwrap();
+        assert_eq!(report.slots_scanned, 2);
+        assert_eq!(
+            report.reexecuted.len(),
+            2,
+            "both interrupted slots re-execute: {report:?}"
+        );
+        let base = rt2.app_root().unwrap();
+        // Exactly-once: the final balances reflect each transfer applied
+        // once, independent of slot assignment.
+        assert_eq!(pool2.read_u64(base.add(0)).unwrap(), common::INITIAL - 30);
+        assert_eq!(pool2.read_u64(base.add(8)).unwrap(), common::INITIAL + 30);
+        assert_eq!(pool2.read_u64(base.add(16)).unwrap(), common::INITIAL - 45);
+        assert_eq!(pool2.read_u64(base.add(24)).unwrap(), common::INITIAL + 45);
+    }
+}
+
+/// The same concurrent-interruption image under the rollback backends:
+/// both slots roll back independently, restoring the initial balances.
+#[test]
+fn concurrent_interrupted_slots_roll_back_independently() {
+    for backend in [Backend::Undo, Backend::Atlas] {
+        let media = common::two_parked_transfers(backend, [(0, 1, 30), (2, 3, 45)]);
+        let (pool2, rt2) = common::reopen(media, backend);
+        common::register_parked_plain(&rt2);
+        let report = rt2.recover().unwrap();
+        assert_eq!(report.slots_scanned, 2);
+        assert_eq!(report.rolled_back, 2, "{report:?}");
+        let base = rt2.app_root().unwrap();
+        for i in 0..common::ACCOUNTS {
+            assert_eq!(pool2.read_u64(base.add(i * 8)).unwrap(), common::INITIAL);
+        }
+    }
 }
 
 #[test]

@@ -274,6 +274,7 @@ impl PmemPool {
     /// Returns [`PmemError::OutOfMemory`] if the heap is exhausted and
     /// [`PmemError::OutOfBounds`] for zero-size requests beyond capacity.
     pub fn alloc(&self, size: u64) -> Result<PAddr, PmemError> {
+        self.fail_if_dead()?;
         let mode = self.mode();
         let mut inner = self.inner.lock();
         let (class, capacity) = classify(size.max(8));
@@ -322,6 +323,7 @@ impl PmemPool {
     /// Returns [`PmemError::InvalidFree`] if `addr` does not point at an
     /// allocated block.
     pub fn free(&self, addr: PAddr) -> Result<(), PmemError> {
+        self.fail_if_dead()?;
         let mode = self.mode();
         let mut inner = self.inner.lock();
         let payload = addr.offset();
@@ -368,6 +370,7 @@ impl PmemPool {
     ///
     /// Returns [`PmemError::OutOfMemory`] if the heap is exhausted.
     pub fn reserve(&self, size: u64) -> Result<PAddr, PmemError> {
+        self.fail_if_dead()?;
         let mode = self.mode();
         let mut inner = self.inner.lock();
         let (class, capacity) = classify(size.max(8));
@@ -413,6 +416,7 @@ impl PmemPool {
     ///
     /// Returns [`PmemError::InvalidFree`] if an address was not reserved.
     pub fn publish(&self, blocks: &[PAddr]) -> Result<(), PmemError> {
+        self.fail_if_dead()?;
         let mode = self.mode();
         let mut inner = self.inner.lock();
         let inner = &mut *inner;
@@ -458,6 +462,7 @@ impl PmemPool {
     ///
     /// Returns [`PmemError::InvalidFree`] if an address was not reserved.
     pub fn cancel(&self, blocks: &[PAddr]) -> Result<(), PmemError> {
+        self.fail_if_dead()?;
         let mut inner = self.inner.lock();
         for &b in blocks.iter().rev() {
             let res = inner

@@ -21,15 +21,31 @@
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct CrashConfig {
     /// Probability that a flushed-but-unfenced line reaches media.
+    ///
+    /// Contract: must lie in `[0.0, 1.0]`. Constructors clamp into that
+    /// range, and `PmemPool::crash` clamps again before drawing, so an
+    /// out-of-range value written directly into the field behaves like the
+    /// nearest bound (NaN behaves like `0.0`).
     pub p_flushed_unfenced: f64,
     /// Probability that a dirty, never-flushed line is evicted to media
-    /// before the failure.
+    /// before the failure. Same `[0.0, 1.0]` contract as
+    /// [`p_flushed_unfenced`](Self::p_flushed_unfenced).
     pub p_dirty: f64,
     /// RNG seed for the per-line survival decisions.
     pub seed: u64,
 }
 
 impl CrashConfig {
+    /// Builds a config from explicit survival probabilities, clamping each
+    /// into `[0.0, 1.0]` (NaN clamps to `0.0`).
+    pub fn new(p_flushed_unfenced: f64, p_dirty: f64, seed: u64) -> Self {
+        CrashConfig {
+            p_flushed_unfenced: clamp_probability(p_flushed_unfenced),
+            p_dirty: clamp_probability(p_dirty),
+            seed,
+        }
+    }
+
     /// Default survival probabilities with the given seed: flushed-unfenced
     /// lines survive 50 % of the time, dirty lines 25 %.
     pub fn with_seed(seed: u64) -> Self {
@@ -64,6 +80,26 @@ impl CrashConfig {
     }
 }
 
+impl CrashConfig {
+    /// Returns a copy with both probabilities clamped into `[0.0, 1.0]`.
+    ///
+    /// The fields are public, so a caller can store any `f64`;
+    /// `PmemPool::crash` normalizes through this before drawing survival
+    /// decisions.
+    pub fn clamped(&self) -> Self {
+        CrashConfig::new(self.p_flushed_unfenced, self.p_dirty, self.seed)
+    }
+}
+
+/// Clamps `p` into `[0.0, 1.0]`; NaN maps to `0.0`.
+fn clamp_probability(p: f64) -> f64 {
+    if p.is_nan() {
+        0.0
+    } else {
+        p.clamp(0.0, 1.0)
+    }
+}
+
 impl Default for CrashConfig {
     fn default() -> Self {
         CrashConfig::with_seed(0)
@@ -92,5 +128,32 @@ mod tests {
         let c = CrashConfig::keep_all(9);
         assert_eq!(c.p_flushed_unfenced, 1.0);
         assert_eq!(c.p_dirty, 1.0);
+    }
+
+    #[test]
+    fn new_clamps_out_of_range_probabilities() {
+        let c = CrashConfig::new(1.5, -0.25, 4);
+        assert_eq!(c.p_flushed_unfenced, 1.0);
+        assert_eq!(c.p_dirty, 0.0);
+        assert_eq!(c.seed, 4);
+    }
+
+    #[test]
+    fn clamped_normalizes_direct_field_writes() {
+        let c = CrashConfig {
+            p_flushed_unfenced: f64::NAN,
+            p_dirty: 7.0,
+            seed: 1,
+        };
+        let n = c.clamped();
+        assert_eq!(n.p_flushed_unfenced, 0.0);
+        assert_eq!(n.p_dirty, 1.0);
+        assert_eq!(n.seed, 1);
+    }
+
+    #[test]
+    fn clamped_is_identity_in_range() {
+        let c = CrashConfig::with_seed(11);
+        assert_eq!(c.clamped(), c);
     }
 }

@@ -1,0 +1,127 @@
+//! Programmable media-fault injection.
+//!
+//! A [`FaultPlan`] armed on a [`PmemPool`](crate::PmemPool) turns the pool
+//! into a fault-injection harness: every *persist event* (store, flush, or
+//! fence issued through the pool API) advances a counter, and the plan can
+//! direct the pool to fail at a chosen event, tear a multi-line store, or
+//! serve a bounded burst of transient read faults. Crash-sweep tests use the
+//! counter to enumerate every persist event a workload issues and then replay
+//! the workload, crashing at each event in turn.
+//!
+//! Semantics after the trip point fires ("dead pool"): the pool models total
+//! power loss — every subsequent read, write, flush, or allocator call
+//! returns [`PmemError::InjectedCrash`](crate::PmemError::InjectedCrash), and
+//! fences are silently lost. The test harness then calls
+//! [`PmemPool::crash`](crate::PmemPool::crash) to materialize the surviving
+//! media and reopen.
+
+/// A programmable fault schedule for one pool.
+///
+/// Arm with [`PmemPool::arm_faults`](crate::PmemPool::arm_faults); disarm
+/// with [`PmemPool::disarm_faults`](crate::PmemPool::disarm_faults). While a
+/// plan is armed, each store/flush/fence is assigned a 0-based *persist event*
+/// index in issue order.
+///
+/// # Example
+///
+/// ```
+/// use clobber_pmem::{FaultPlan, PmemError, PmemPool, PoolOptions, PAddr};
+///
+/// # fn main() -> Result<(), PmemError> {
+/// let pool = PmemPool::create(PoolOptions::crash_sim(1 << 20))?;
+/// pool.arm_faults(FaultPlan::crash_at(1));
+/// let a = PAddr::new(4096);
+/// pool.write_u64(a, 7)?; // event 0: succeeds
+/// let err = pool.write_u64(a, 8).unwrap_err(); // event 1: trips
+/// assert_eq!(err, PmemError::InjectedCrash { event: 1 });
+/// assert!(pool.write_u64(a, 9).is_err(), "pool is dead after the trip");
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FaultPlan {
+    /// Persist event (0-based) at which the pool dies with
+    /// [`PmemError::InjectedCrash`](crate::PmemError::InjectedCrash).
+    /// `None` counts events without ever tripping.
+    pub trip_at_event: Option<u64>,
+    /// When the tripping event is a store spanning more than one cache line,
+    /// tear it: a seeded prefix of its lines reaches media durably (as if
+    /// evicted at the instant of failure) while the rest is lost.
+    pub torn_store: bool,
+    /// Number of upcoming reads that fail with
+    /// [`PmemError::TransientMediaFault`](crate::PmemError::TransientMediaFault)
+    /// before reads start succeeding again. Models recoverable media errors.
+    pub transient_read_faults: u64,
+    /// Seed for torn-store prefix selection.
+    pub seed: u64,
+}
+
+impl FaultPlan {
+    /// Counts persist events without injecting any fault.
+    ///
+    /// Use this to measure how many events a workload issues, then replay
+    /// with [`FaultPlan::crash_at`] for each index.
+    pub fn count_only() -> Self {
+        FaultPlan {
+            trip_at_event: None,
+            torn_store: false,
+            transient_read_faults: 0,
+            seed: 0,
+        }
+    }
+
+    /// Trips the pool at persist event `event` (0-based).
+    pub fn crash_at(event: u64) -> Self {
+        FaultPlan {
+            trip_at_event: Some(event),
+            ..Self::count_only()
+        }
+    }
+
+    /// Trips at `event`, and if that event is a multi-line store, tears it:
+    /// a seeded prefix of its lines still reaches media.
+    pub fn torn_crash_at(event: u64, seed: u64) -> Self {
+        FaultPlan {
+            trip_at_event: Some(event),
+            torn_store: true,
+            transient_read_faults: 0,
+            seed,
+        }
+    }
+
+    /// Fails the next `n` reads transiently; reads succeed again afterwards.
+    pub fn transient_reads(n: u64) -> Self {
+        FaultPlan {
+            transient_read_faults: n,
+            ..Self::count_only()
+        }
+    }
+}
+
+/// Live injector state behind the pool's fault mutex.
+#[derive(Debug, Default)]
+pub(crate) struct FaultState {
+    /// The armed plan, if any.
+    pub(crate) plan: Option<FaultPlan>,
+    /// Persist events observed since arming.
+    pub(crate) events: u64,
+    /// Event index at which the pool tripped, once it has.
+    pub(crate) tripped_at: Option<u64>,
+    /// Transient read faults still to be served.
+    pub(crate) transient_remaining: u64,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constructors_set_expected_fields() {
+        assert_eq!(FaultPlan::count_only().trip_at_event, None);
+        assert_eq!(FaultPlan::crash_at(5).trip_at_event, Some(5));
+        let torn = FaultPlan::torn_crash_at(3, 9);
+        assert!(torn.torn_store);
+        assert_eq!(torn.seed, 9);
+        assert_eq!(FaultPlan::transient_reads(2).transient_read_faults, 2);
+    }
+}

@@ -21,6 +21,10 @@
 //! * [`stats::PmemStats`] counts every persistence event (flushes, fences,
 //!   media bytes) — the quantities the paper's evaluation attributes
 //!   performance to.
+//! * [`fault::FaultPlan`] arms programmable fault injection on a pool:
+//!   trip-point crashes at any chosen persist event, torn multi-line
+//!   stores, seeded bit corruption, and transient read faults — the
+//!   substrate for exhaustive crash-point sweeps.
 //!
 //! # Example
 //!
@@ -43,6 +47,7 @@ pub mod addr;
 pub mod alloc;
 pub(crate) mod cache;
 pub mod crash;
+pub mod fault;
 pub mod pool;
 pub mod stats;
 pub mod ulog;
@@ -50,6 +55,7 @@ pub mod ulog;
 pub use addr::{PAddr, CACHE_LINE};
 pub use alloc::HeapReport;
 pub use crash::CrashConfig;
+pub use fault::FaultPlan;
 pub use pool::{CacheImpl, PmemError, PmemPool, PoolMode, PoolOptions};
 pub use stats::{PmemStats, StatsSnapshot};
 pub use ulog::Ulog;

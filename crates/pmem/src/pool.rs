@@ -2,6 +2,7 @@
 
 use std::error::Error;
 use std::fmt;
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 
 use parking_lot::Mutex;
@@ -12,6 +13,7 @@ use crate::addr::{PAddr, CACHE_LINE};
 use crate::alloc::Mirror;
 use crate::cache::{line_count, Cache, LineCache, RefCache};
 use crate::crash::CrashConfig;
+use crate::fault::{FaultPlan, FaultState};
 use crate::stats::PmemStats;
 
 /// Magic value identifying a valid pool header.
@@ -150,6 +152,18 @@ pub enum PmemError {
         /// Minimum supported capacity.
         minimum: u64,
     },
+    /// An armed [`FaultPlan`] tripped: the pool models total power loss at
+    /// the given persist event and refuses all further operations.
+    InjectedCrash {
+        /// The 0-based persist event at which the injector fired.
+        event: u64,
+    },
+    /// A read hit a transient media fault; retrying the operation may
+    /// succeed. Injected by [`FaultPlan::transient_read_faults`].
+    TransientMediaFault {
+        /// Start offset of the faulting read.
+        addr: u64,
+    },
 }
 
 impl fmt::Display for PmemError {
@@ -181,6 +195,12 @@ impl fmt::Display for PmemError {
                 f,
                 "pool capacity {requested} below the minimum of {minimum} bytes"
             ),
+            PmemError::InjectedCrash { event } => {
+                write!(f, "injected crash at persist event {event}")
+            }
+            PmemError::TransientMediaFault { addr } => {
+                write!(f, "transient media fault reading {addr:#x} (retryable)")
+            }
         }
     }
 }
@@ -259,6 +279,10 @@ pub struct PmemPool {
     cache_impl: CacheImpl,
     capacity: u64,
     stats: Arc<PmemStats>,
+    /// Fast-path flag: true while a [`FaultPlan`] is armed. Lets the
+    /// disarmed hot path skip the fault mutex entirely.
+    faults_armed: AtomicBool,
+    faults: Mutex<FaultState>,
     pub(crate) inner: Mutex<PoolInner>,
 }
 
@@ -296,6 +320,8 @@ impl PmemPool {
             cache_impl: opts.cache_impl,
             capacity: opts.capacity,
             stats: Arc::new(PmemStats::new()),
+            faults_armed: AtomicBool::new(false),
+            faults: Mutex::new(FaultState::default()),
             inner: Mutex::new(PoolInner::new(media, opts.cache_impl)),
         })
     }
@@ -336,6 +362,8 @@ impl PmemPool {
             cache_impl,
             capacity,
             stats: Arc::new(PmemStats::new()),
+            faults_armed: AtomicBool::new(false),
+            faults: Mutex::new(FaultState::default()),
             inner: Mutex::new(PoolInner::new(media, cache_impl)),
         })
     }
@@ -353,6 +381,165 @@ impl PmemPool {
     /// The pool's persistence-event counters.
     pub fn stats(&self) -> &Arc<PmemStats> {
         &self.stats
+    }
+
+    /// Arms a [`FaultPlan`] on this pool, resetting the persist-event
+    /// counter to zero. Replaces any previously armed plan.
+    pub fn arm_faults(&self, plan: FaultPlan) {
+        let mut st = self.faults.lock();
+        st.transient_remaining = plan.transient_read_faults;
+        st.plan = Some(plan);
+        st.events = 0;
+        st.tripped_at = None;
+        self.stats.bump(&self.stats.faults_armed, 1);
+        self.faults_armed.store(true, Ordering::Relaxed);
+    }
+
+    /// Disarms the injector and returns the number of persist events
+    /// observed while the plan was armed.
+    ///
+    /// Arming with [`FaultPlan::count_only`], running a workload, and
+    /// disarming yields the event count `N` to sweep with
+    /// [`FaultPlan::crash_at`] for every `k < N`.
+    pub fn disarm_faults(&self) -> u64 {
+        let mut st = self.faults.lock();
+        self.faults_armed.store(false, Ordering::Relaxed);
+        st.plan = None;
+        st.tripped_at = None;
+        st.transient_remaining = 0;
+        st.events
+    }
+
+    /// Persist events observed since the current plan was armed.
+    pub fn fault_events(&self) -> u64 {
+        self.faults.lock().events
+    }
+
+    /// The persist event at which the armed plan tripped, if it has.
+    pub fn fault_tripped(&self) -> Option<u64> {
+        self.faults.lock().tripped_at
+    }
+
+    /// Returns `InjectedCrash` if an armed plan has already tripped.
+    ///
+    /// Allocator entry points call this: they mutate media through internal
+    /// paths that bypass the store/flush/fence hooks, so the dead-pool
+    /// contract is enforced at their boundary instead.
+    pub(crate) fn fail_if_dead(&self) -> Result<(), PmemError> {
+        if !self.faults_armed.load(Ordering::Relaxed) {
+            return Ok(());
+        }
+        match self.faults.lock().tripped_at {
+            Some(event) => Err(PmemError::InjectedCrash { event }),
+            None => Ok(()),
+        }
+    }
+
+    /// Consults the injector for one persist event (store/flush/fence).
+    ///
+    /// On a tripping *store*, `store` carries `(offset, data)` so a torn
+    /// plan can push a seeded prefix of the store's cache lines straight to
+    /// media — modeling lines evicted at the instant of failure — before the
+    /// pool dies.
+    fn fault_persist_event(&self, store: Option<(u64, &[u8])>) -> Result<(), PmemError> {
+        let mut st = self.faults.lock();
+        if let Some(event) = st.tripped_at {
+            return Err(PmemError::InjectedCrash { event });
+        }
+        let event = st.events;
+        st.events += 1;
+        let Some(plan) = st.plan else { return Ok(()) };
+        if plan.trip_at_event != Some(event) {
+            return Ok(());
+        }
+        st.tripped_at = Some(event);
+        drop(st);
+        self.stats.bump(&self.stats.faults_tripped, 1);
+        if plan.torn_store {
+            if let Some((offset, data)) = store {
+                self.tear_store_to_media(offset, data, plan.seed ^ event);
+            }
+        }
+        Err(PmemError::InjectedCrash { event })
+    }
+
+    /// Writes a seeded prefix of the store's cache lines directly to media.
+    ///
+    /// Only multi-line stores tear: a single-line store is atomic at the
+    /// media level, matching the 8-byte/line failure-atomicity model.
+    fn tear_store_to_media(&self, offset: u64, data: &[u8], seed: u64) {
+        let lines = line_count(offset, data.len() as u64);
+        if lines < 2 {
+            return;
+        }
+        let mut rng = StdRng::seed_from_u64(seed);
+        let surviving: u64 = rng.gen_range(1..lines);
+        // Bytes of `data` that fall within the first `surviving` lines.
+        let first_line = offset / CACHE_LINE;
+        let cut = ((first_line + surviving) * CACHE_LINE - offset) as usize;
+        let cut = cut.min(data.len());
+        let s = offset as usize;
+        self.inner.lock().media[s..s + cut].copy_from_slice(&data[..cut]);
+    }
+
+    /// Consults the injector before a read: dead pools refuse, and a plan
+    /// may serve a bounded burst of transient faults.
+    fn fault_read_event(&self, offset: u64) -> Result<(), PmemError> {
+        let mut st = self.faults.lock();
+        if let Some(event) = st.tripped_at {
+            return Err(PmemError::InjectedCrash { event });
+        }
+        if st.transient_remaining > 0 {
+            st.transient_remaining -= 1;
+            drop(st);
+            self.stats.bump(&self.stats.faults_tripped, 1);
+            return Err(PmemError::TransientMediaFault { addr: offset });
+        }
+        Ok(())
+    }
+
+    /// Flips `flips` distinct seeded bits within `[addr, addr+len)` directly
+    /// on the durable media, modeling at-rest corruption of that region
+    /// (e.g. a v_log slot whose lines decayed).
+    ///
+    /// The simulated volatile cache is not touched, so a pool that still
+    /// holds those lines dirty may mask the damage until a crash/reopen —
+    /// exactly like real hardware. Corrupt after [`crash`](Self::crash) (or
+    /// on a freshly opened pool) to make the damage visible to recovery.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PmemError::OutOfBounds`] if the range exceeds the pool, and
+    /// [`PmemError::CorruptPool`] if `flips` exceeds the `len * 8` available
+    /// bits.
+    pub fn inject_bit_corruption(
+        &self,
+        addr: PAddr,
+        len: u64,
+        seed: u64,
+        flips: u32,
+    ) -> Result<(), PmemError> {
+        self.check(addr, len)?;
+        let bits = len * 8;
+        if u64::from(flips) > bits {
+            return Err(PmemError::CorruptPool(format!(
+                "cannot flip {flips} distinct bits in a {len}-byte region"
+            )));
+        }
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut chosen = std::collections::HashSet::new();
+        let mut inner = self.inner.lock();
+        while chosen.len() < flips as usize {
+            let bit: u64 = rng.gen_range(0..bits);
+            if !chosen.insert(bit) {
+                continue;
+            }
+            let byte = (addr.offset() + bit / 8) as usize;
+            inner.media[byte] ^= 1 << (bit % 8);
+        }
+        drop(inner);
+        self.stats.bump(&self.stats.faults_tripped, 1);
+        Ok(())
     }
 
     fn check(&self, addr: PAddr, len: u64) -> Result<(), PmemError> {
@@ -374,6 +561,9 @@ impl PmemPool {
     /// Returns [`PmemError::OutOfBounds`] if the range exceeds the pool.
     pub fn read_into(&self, addr: PAddr, buf: &mut [u8]) -> Result<(), PmemError> {
         self.check(addr, buf.len() as u64)?;
+        if self.faults_armed.load(Ordering::Relaxed) {
+            self.fault_read_event(addr.offset())?;
+        }
         self.stats.bump(&self.stats.reads, 1);
         self.stats.bump(&self.stats.read_bytes, buf.len() as u64);
         self.inner.lock().read_raw(addr.offset(), buf);
@@ -410,6 +600,9 @@ impl PmemPool {
     /// Returns [`PmemError::OutOfBounds`] if the range exceeds the pool.
     pub fn write_bytes(&self, addr: PAddr, data: &[u8]) -> Result<(), PmemError> {
         self.check(addr, data.len() as u64)?;
+        if self.faults_armed.load(Ordering::Relaxed) {
+            self.fault_persist_event(Some((addr.offset(), data)))?;
+        }
         self.stats.bump(&self.stats.writes, 1);
         self.stats.bump(&self.stats.write_bytes, data.len() as u64);
         self.inner.lock().write_raw(addr.offset(), data, self.mode);
@@ -434,13 +627,24 @@ impl PmemPool {
     /// Returns [`PmemError::OutOfBounds`] if the range exceeds the pool.
     pub fn flush(&self, addr: PAddr, len: u64) -> Result<(), PmemError> {
         self.check(addr, len)?;
+        if self.faults_armed.load(Ordering::Relaxed) {
+            self.fault_persist_event(None)?;
+        }
         let n = self.inner.lock().flush_raw(addr.offset(), len, self.mode);
         self.stats.bump(&self.stats.flushes, n);
         Ok(())
     }
 
     /// Issues an `sfence`: all previously flushed lines become durable.
+    ///
+    /// When an armed [`FaultPlan`] trips on (or before) this fence, the
+    /// fence is silently lost — the power failed before the ordering point,
+    /// so pending flushes never become durable. Subsequent fallible
+    /// operations report the injected crash.
     pub fn fence(&self) {
+        if self.faults_armed.load(Ordering::Relaxed) && self.fault_persist_event(None).is_err() {
+            return;
+        }
         self.stats.bump(&self.stats.fences, 1);
         if self.mode == PoolMode::CrashSim {
             self.inner.lock().fence_raw();
@@ -491,6 +695,7 @@ impl PmemPool {
     /// Returns [`PmemError::CorruptPool`] if the surviving media fails header
     /// validation (which would indicate a bug in this crate, not the caller).
     pub fn crash(&self, cfg: &CrashConfig) -> Result<PmemPool, PmemError> {
+        let cfg = &cfg.clamped();
         let inner = self.inner.lock();
         let mut media = inner.media.clone();
         let mut rng = StdRng::seed_from_u64(cfg.seed);
@@ -716,5 +921,176 @@ mod tests {
         let msg = format!("{e}");
         assert!(msg.contains("100"));
         assert!(msg.starts_with(char::is_lowercase));
+    }
+
+    #[test]
+    fn count_only_plan_counts_stores_flushes_and_fences() {
+        let p = crash_pool();
+        p.arm_faults(FaultPlan::count_only());
+        let a = PAddr::new(4096);
+        p.write_u64(a, 1).unwrap(); // event 0
+        p.flush(a, 8).unwrap(); // event 1
+        p.fence(); // event 2
+        assert_eq!(p.fault_events(), 3);
+        assert_eq!(p.fault_tripped(), None);
+        assert_eq!(p.disarm_faults(), 3);
+        // Disarmed: operations proceed without advancing any counter.
+        p.write_u64(a, 2).unwrap();
+        assert_eq!(p.fault_events(), 3);
+    }
+
+    #[test]
+    fn tripped_pool_refuses_all_operations() {
+        let p = crash_pool();
+        let a = PAddr::new(4096);
+        p.arm_faults(FaultPlan::crash_at(0));
+        assert_eq!(
+            p.write_u64(a, 1).unwrap_err(),
+            PmemError::InjectedCrash { event: 0 }
+        );
+        assert!(matches!(
+            p.read_u64(a),
+            Err(PmemError::InjectedCrash { .. })
+        ));
+        assert!(matches!(
+            p.flush(a, 8),
+            Err(PmemError::InjectedCrash { .. })
+        ));
+        assert!(matches!(p.alloc(64), Err(PmemError::InjectedCrash { .. })));
+        assert!(matches!(
+            p.free(PAddr::new(8192)),
+            Err(PmemError::InjectedCrash { .. })
+        ));
+        assert_eq!(p.fault_tripped(), Some(0));
+        // The dead pool can still be crashed and reopened — that is the
+        // harness path — and the reopened pool is healthy.
+        let p2 = p.crash(&CrashConfig::drop_all(1)).unwrap();
+        assert!(p2.read_u64(a).is_ok());
+    }
+
+    #[test]
+    fn trip_on_fence_is_silent_but_kills_the_pool() {
+        let p = crash_pool();
+        let a = PAddr::new(4096);
+        p.arm_faults(FaultPlan::crash_at(2));
+        p.write_u64(a, 7).unwrap(); // event 0
+        p.flush(a, 8).unwrap(); // event 1
+        let fences_before = p.stats().snapshot().fences;
+        p.fence(); // event 2: the fence is lost with the power
+        assert_eq!(p.stats().snapshot().fences, fences_before);
+        assert!(matches!(
+            p.read_u64(a),
+            Err(PmemError::InjectedCrash { .. })
+        ));
+        // The lost fence means the flush never ordered: drop_all reverts.
+        let p2 = p.crash(&CrashConfig::drop_all(9)).unwrap();
+        assert_eq!(p2.read_u64(a).unwrap(), 0);
+    }
+
+    #[test]
+    fn tripping_store_does_not_reach_media_or_stats() {
+        let p = crash_pool();
+        let a = PAddr::new(4096);
+        p.arm_faults(FaultPlan::crash_at(0));
+        let before = p.stats().snapshot();
+        let _ = p.write_u64(a, 0xAB);
+        let d = p.stats().snapshot().delta(&before);
+        assert_eq!(d.writes, 0, "failed store must not count");
+        assert_eq!(d.faults_tripped, 1);
+        let p2 = p.crash(&CrashConfig::keep_all(3)).unwrap();
+        assert_eq!(p2.read_u64(a).unwrap(), 0, "store never happened");
+    }
+
+    #[test]
+    fn torn_store_persists_a_strict_prefix_of_lines() {
+        let p = crash_pool();
+        let a = PAddr::new(4096);
+        let data = vec![0xCD_u8; 256]; // 4 lines
+        p.arm_faults(FaultPlan::torn_crash_at(0, 42));
+        assert!(p.write_bytes(a, &data).is_err());
+        // The torn prefix went straight to media, so it survives drop_all.
+        let p2 = p.crash(&CrashConfig::drop_all(0)).unwrap();
+        let got = p2.read_bytes(a, 256).unwrap();
+        let survived = got.iter().take_while(|&&b| b == 0xCD).count();
+        assert!(survived > 0, "a torn store persists at least one line");
+        assert!(survived < 256, "a torn store must not persist fully");
+        assert_eq!(survived % CACHE_LINE as usize, 0, "tear at line boundary");
+        assert!(
+            got[survived..].iter().all(|&b| b == 0),
+            "bytes past the tear never reached media"
+        );
+    }
+
+    #[test]
+    fn torn_single_line_store_is_atomic() {
+        let p = crash_pool();
+        let a = PAddr::new(4096);
+        p.arm_faults(FaultPlan::torn_crash_at(0, 7));
+        assert!(p.write_u64(a, 0xFFFF).is_err());
+        let p2 = p.crash(&CrashConfig::drop_all(0)).unwrap();
+        assert_eq!(p2.read_u64(a).unwrap(), 0, "single-line store never tears");
+    }
+
+    #[test]
+    fn transient_read_faults_succeed_on_retry() {
+        let p = crash_pool();
+        let a = PAddr::new(4096);
+        p.write_u64(a, 123).unwrap();
+        p.persist(a, 8).unwrap();
+        p.arm_faults(FaultPlan::transient_reads(2));
+        assert_eq!(
+            p.read_u64(a).unwrap_err(),
+            PmemError::TransientMediaFault { addr: 4096 }
+        );
+        assert!(p.read_u64(a).is_err());
+        assert_eq!(p.read_u64(a).unwrap(), 123, "third attempt succeeds");
+        assert_eq!(p.stats().snapshot().faults_tripped, 2);
+    }
+
+    #[test]
+    fn bit_corruption_flips_exactly_the_requested_bits() {
+        let p = crash_pool();
+        let a = PAddr::new(4096);
+        p.write_bytes(a, &[0u8; 64]).unwrap();
+        p.persist(a, 64).unwrap();
+        let clean = p.media_snapshot();
+        p.inject_bit_corruption(a, 64, 11, 5).unwrap();
+        let dirty = p.media_snapshot();
+        let flipped: u32 = clean
+            .iter()
+            .zip(dirty.iter())
+            .map(|(x, y)| (x ^ y).count_ones())
+            .sum();
+        assert_eq!(flipped, 5);
+        // All damage confined to the target region.
+        assert_eq!(clean[..4096], dirty[..4096]);
+        assert_eq!(clean[4096 + 64..], dirty[4096 + 64..]);
+        // Deterministic per seed.
+        let p2 = PmemPool::open_from_media(clean, PoolMode::CrashSim).unwrap();
+        p2.inject_bit_corruption(a, 64, 11, 5).unwrap();
+        assert_eq!(p2.media_snapshot(), dirty);
+    }
+
+    #[test]
+    fn bit_corruption_rejects_more_flips_than_bits() {
+        let p = crash_pool();
+        assert!(matches!(
+            p.inject_bit_corruption(PAddr::new(4096), 1, 0, 9),
+            Err(PmemError::CorruptPool(_))
+        ));
+    }
+
+    #[test]
+    fn rearming_resets_the_event_counter() {
+        let p = crash_pool();
+        let a = PAddr::new(4096);
+        p.arm_faults(FaultPlan::count_only());
+        p.write_u64(a, 1).unwrap();
+        p.write_u64(a, 2).unwrap();
+        assert_eq!(p.fault_events(), 2);
+        p.arm_faults(FaultPlan::crash_at(1));
+        p.write_u64(a, 3).unwrap(); // event 0 of the new plan
+        assert!(p.write_u64(a, 4).is_err());
+        assert_eq!(p.stats().snapshot().faults_armed, 2);
     }
 }

@@ -42,6 +42,14 @@ pub struct PmemStats {
     /// Reads redirected through a redo-log write set (Mnemosyne-style read
     /// interposition), bumped by the runtime.
     pub interposed_reads: AtomicU64,
+    /// Fault plans armed on the pool (see `FaultPlan`).
+    pub faults_armed: AtomicU64,
+    /// Injected faults that actually fired: trip-point crashes, torn stores,
+    /// and transient read faults.
+    pub faults_tripped: AtomicU64,
+    /// Operations retried after a transient media fault, bumped by the
+    /// runtime's recovery retry loop.
+    pub fault_retries: AtomicU64,
 }
 
 impl PmemStats {
@@ -66,6 +74,9 @@ impl PmemStats {
             vlog_entries: self.vlog_entries.load(Ordering::Relaxed),
             vlog_bytes: self.vlog_bytes.load(Ordering::Relaxed),
             interposed_reads: self.interposed_reads.load(Ordering::Relaxed),
+            faults_armed: self.faults_armed.load(Ordering::Relaxed),
+            faults_tripped: self.faults_tripped.load(Ordering::Relaxed),
+            fault_retries: self.fault_retries.load(Ordering::Relaxed),
         }
     }
 
@@ -123,6 +134,12 @@ pub struct StatsSnapshot {
     pub vlog_bytes: u64,
     /// Reads redirected through a redo write set.
     pub interposed_reads: u64,
+    /// Fault plans armed on the pool.
+    pub faults_armed: u64,
+    /// Injected faults that fired (crashes, torn stores, transient reads).
+    pub faults_tripped: u64,
+    /// Operations retried after a transient media fault.
+    pub fault_retries: u64,
 }
 
 impl StatsSnapshot {
@@ -147,6 +164,9 @@ impl StatsSnapshot {
             vlog_entries: self.vlog_entries - earlier.vlog_entries,
             vlog_bytes: self.vlog_bytes - earlier.vlog_bytes,
             interposed_reads: self.interposed_reads - earlier.interposed_reads,
+            faults_armed: self.faults_armed - earlier.faults_armed,
+            faults_tripped: self.faults_tripped - earlier.faults_tripped,
+            fault_retries: self.fault_retries - earlier.fault_retries,
         }
     }
 

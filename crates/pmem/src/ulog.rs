@@ -109,7 +109,10 @@ impl Ulog {
         let entry = self.base.add(DATA_OFF + tail);
         pool.write_u64(entry, addr.offset())?;
         pool.write_u64(entry.add(8), old.len() as u64)?;
-        pool.write_u64(entry.add(16), checksum(addr.offset(), old))?;
+        pool.write_u64(
+            entry.add(16),
+            checksum(addr.offset(), old.len() as u64, old),
+        )?;
         pool.write_bytes(entry.add(24), old)?;
         pool.flush(entry, need)?;
         pool.write_u64(self.base, tail + need)?;
@@ -142,7 +145,10 @@ impl Ulog {
             let entry = self.base.add(DATA_OFF + off);
             pool.write_u64(entry, addr.offset())?;
             pool.write_u64(entry.add(8), data.len() as u64)?;
-            pool.write_u64(entry.add(16), checksum(addr.offset(), data))?;
+            pool.write_u64(
+                entry.add(16),
+                checksum(addr.offset(), data.len() as u64, data),
+            )?;
             pool.write_bytes(entry.add(24), data)?;
             off += ENTRY_HDR + data.len() as u64;
         }
@@ -188,7 +194,7 @@ impl Ulog {
                 break; // torn: length runs past the tail
             }
             let data = pool.read_bytes(entry.add(24), len)?;
-            if checksum(addr, &data) != sum {
+            if checksum(addr, len, &data) != sum {
                 break; // torn: payload never became durable
             }
             out.push((PAddr::new(addr), data));
@@ -243,10 +249,21 @@ impl Ulog {
     }
 }
 
-/// FNV-1a over the address and payload; cheap torn-entry detection.
-fn checksum(addr: u64, data: &[u8]) -> u64 {
+/// FNV-1a over the address, the entry length, and the payload; cheap
+/// torn-entry detection.
+///
+/// Binding `len` into the hash matters for torn appends: if a stale
+/// in-bounds length field survives from an earlier (cleared) entry, it must
+/// not be able to pair with coincidentally checksum-valid payload bytes. An
+/// addr+payload-only hash leaves the length field unauthenticated.
+fn checksum(addr: u64, len: u64, data: &[u8]) -> u64 {
     let mut h: u64 = 0xcbf2_9ce4_8422_2325;
-    for b in addr.to_le_bytes().iter().chain(data.iter()) {
+    for b in addr
+        .to_le_bytes()
+        .iter()
+        .chain(len.to_le_bytes().iter())
+        .chain(data.iter())
+    {
         h ^= *b as u64;
         h = h.wrapping_mul(0x100_0000_01b3);
     }
@@ -367,7 +384,29 @@ mod tests {
 
     #[test]
     fn checksum_differs_for_different_addresses() {
-        assert_ne!(checksum(1, b"x"), checksum(2, b"x"));
-        assert_ne!(checksum(1, b"x"), checksum(1, b"y"));
+        assert_ne!(checksum(1, 1, b"x"), checksum(2, 1, b"x"));
+        assert_ne!(checksum(1, 1, b"x"), checksum(1, 1, b"y"));
+    }
+
+    #[test]
+    fn checksum_binds_the_length_field() {
+        // Regression for the torn-append hazard: a stale length paired with
+        // the same payload bytes must not validate.
+        assert_ne!(checksum(7, 4, b"abcd"), checksum(7, 8, b"abcd"));
+        assert_ne!(checksum(7, 0, b""), checksum(7, 24, b""));
+    }
+
+    #[test]
+    fn tampered_length_field_invalidates_the_entry() {
+        let (pool, log) = setup();
+        log.append(&pool, PAddr::new(512), b"abcdefgh").unwrap();
+        log.append(&pool, PAddr::new(640), b"ij").unwrap();
+        // Shrink the first entry's recorded length in place. Its first four
+        // payload bytes are intact and in bounds, but the checksum binds the
+        // length, so the entry (and everything after it) is rejected.
+        let entry = log.base().add(DATA_OFF);
+        pool.write_u64(entry.add(8), 4).unwrap();
+        pool.persist(entry.add(8), 8).unwrap();
+        assert!(log.entries(&pool).unwrap().is_empty());
     }
 }
