@@ -12,7 +12,9 @@ use std::sync::Arc;
 
 use clobber_nvm::{Backend, Runtime, RuntimeOptions};
 use clobber_pds::{BpTree, HashMap};
-use clobber_pmem::{CrashConfig, FaultPlan, PmemPool, PoolOptions, StatsSnapshot};
+use clobber_pmem::{
+    CrashConfig, FaultPlan, PmemPool, PoolConcurrency, PoolOptions, StatsSnapshot, CACHE_LINE,
+};
 use clobber_workloads::{KvOp, Workload, WorkloadKind};
 
 const OPS: u64 = 400;
@@ -25,6 +27,11 @@ fn pool(reference: bool) -> Arc<PmemPool> {
     if reference {
         opts = opts.with_reference_cache();
     }
+    Arc::new(PmemPool::create(opts).unwrap())
+}
+
+fn pool_with(concurrency: PoolConcurrency) -> Arc<PmemPool> {
+    let opts = PoolOptions::crash_sim(64 << 20).with_concurrency(concurrency);
     Arc::new(PmemPool::create(opts).unwrap())
 }
 
@@ -41,7 +48,16 @@ fn hashmap_load_faulted(
     backend: Backend,
     armed: bool,
 ) -> (StatsSnapshot, Vec<(u64, Vec<u8>)>) {
-    let pool = pool(reference);
+    hashmap_load_on(pool(reference), backend, armed)
+}
+
+/// The [`hashmap_load`] pipeline on an explicit pool — the concurrency-mode
+/// pins reuse the exact workload the cache-model pins run.
+fn hashmap_load_on(
+    pool: Arc<PmemPool>,
+    backend: Backend,
+    armed: bool,
+) -> (StatsSnapshot, Vec<(u64, Vec<u8>)>) {
     if armed {
         pool.arm_faults(FaultPlan::count_only());
     }
@@ -132,4 +148,139 @@ fn bptree_load_counters_identical_across_cache_models() {
     let (refr, ref_dump) = bptree_load(true);
     assert_eq!(dense, refr, "B+Tree load counters diverged");
     assert_eq!(dense_dump, ref_dump, "B+Tree contents diverged");
+}
+
+/// The sharded and `SingleThread` engines must reproduce the single-lock
+/// pool's counters and recovered contents bit-for-bit on the same fixed
+/// workload — the concurrency analogue of the cache-model pins above.
+#[test]
+fn hashmap_load_counters_identical_across_concurrency_modes() {
+    for backend in [Backend::clobber(), Backend::Undo, Backend::Redo] {
+        let (global, global_pairs) =
+            hashmap_load_on(pool_with(PoolConcurrency::GlobalLock), backend, false);
+        for concurrency in [
+            PoolConcurrency::Sharded { shards: 4 },
+            PoolConcurrency::Sharded { shards: 16 },
+            PoolConcurrency::SingleThread,
+        ] {
+            let (snap, pairs) = hashmap_load_on(pool_with(concurrency), backend, false);
+            assert_eq!(
+                snap,
+                global,
+                "counters diverged under {} / {concurrency:?}",
+                backend.label()
+            );
+            assert_eq!(
+                pairs,
+                global_pairs,
+                "recovered contents diverged under {} / {concurrency:?}",
+                backend.label()
+            );
+        }
+    }
+}
+
+/// Golden per-shard pins: a fixed raw store/flush/fence pattern on a
+/// 4-shard pool must attribute exactly these counts to each shard bank, and
+/// the banks must sum to the aggregated snapshot. Shard geometry: 1 MiB /
+/// 4 = 256 KiB per shard, line-aligned, so the offsets below land where the
+/// comments say.
+#[test]
+fn sharded_per_shard_counters_pin() {
+    let opts = PoolOptions::crash_sim(1 << 20).with_shards(4);
+    let pool = PmemPool::create(opts).unwrap();
+    let shard_bytes: u64 = (1 << 20) / 4;
+    assert_eq!(pool.shard_count(), 4);
+    let base = pool.alloc(768 << 10).unwrap();
+    let before: Vec<StatsSnapshot> = pool.stats().shard_snapshots();
+    let agg_before = pool.stats().snapshot();
+
+    // Offsets are pool-global; `base` is inside shard 0 (the allocator
+    // serves from the pool head), so aim each op by absolute shard.
+    let in_shard = |s: u64, off: u64| {
+        let abs = s * shard_bytes + off;
+        assert!(abs >= base.offset(), "workload must stay inside the block");
+        clobber_pmem::PAddr::new(abs)
+    };
+    let line = [0x11u8; CACHE_LINE as usize];
+
+    // Shard 1: two single-line stores, one flushed (1 line).
+    pool.write_bytes(in_shard(1, 0), &line).unwrap();
+    pool.write_bytes(in_shard(1, CACHE_LINE), &line).unwrap();
+    pool.flush(in_shard(1, 0), CACHE_LINE).unwrap();
+    // Shard 2: one 3-line store, all flushed (3 lines).
+    let big = [0x22u8; 3 * CACHE_LINE as usize];
+    pool.write_bytes(in_shard(2, 0), &big).unwrap();
+    pool.flush(in_shard(2, 0), 3 * CACHE_LINE).unwrap();
+    // Boundary store straddling shards 2→3: attributed to shard 2 (first
+    // byte), its flush splits 1 line to shard 2 and 1 line to shard 3.
+    pool.write_bytes(in_shard(2, shard_bytes - CACHE_LINE), &[0x33u8; 128])
+        .unwrap();
+    pool.flush(in_shard(2, shard_bytes - CACHE_LINE), 128)
+        .unwrap();
+    // One fence: attributed to shard 0.
+    pool.fence();
+    // Shard 3: a read (one op, CACHE_LINE bytes).
+    pool.read_bytes(in_shard(3, 0), CACHE_LINE).unwrap();
+
+    let after: Vec<StatsSnapshot> = pool.stats().shard_snapshots();
+    let delta: Vec<StatsSnapshot> = after.iter().zip(&before).map(|(a, b)| a.delta(b)).collect();
+
+    // Shard 0: only the fence.
+    assert_eq!(
+        (
+            delta[0].writes,
+            delta[0].flushes,
+            delta[0].fences,
+            delta[0].reads
+        ),
+        (0, 0, 1, 0),
+        "shard 0: {:?}",
+        delta[0]
+    );
+    // Shard 1: 2 stores of 64 B, 1 flushed line.
+    assert_eq!(
+        (delta[1].writes, delta[1].write_bytes, delta[1].flushes),
+        (2, 128, 1),
+        "shard 1: {:?}",
+        delta[1]
+    );
+    // Shard 2: 3-line store + boundary store (full 128 B attributed here),
+    // 3 + 1 flushed lines.
+    assert_eq!(
+        (delta[2].writes, delta[2].write_bytes, delta[2].flushes),
+        (2, 192 + 128, 4),
+        "shard 2: {:?}",
+        delta[2]
+    );
+    // Shard 3: the spilled flush line and the read.
+    assert_eq!(
+        (
+            delta[3].writes,
+            delta[3].flushes,
+            delta[3].reads,
+            delta[3].read_bytes
+        ),
+        (0, 1, 1, CACHE_LINE),
+        "shard 3: {:?}",
+        delta[3]
+    );
+
+    // Aggregation: summed banks equal the snapshot's hot fields.
+    let agg = pool.stats().snapshot().delta(&agg_before);
+    let sums = delta.iter().fold(StatsSnapshot::default(), |mut acc, d| {
+        acc.flushes += d.flushes;
+        acc.fences += d.fences;
+        acc.writes += d.writes;
+        acc.write_bytes += d.write_bytes;
+        acc.reads += d.reads;
+        acc.read_bytes += d.read_bytes;
+        acc
+    });
+    assert_eq!(agg.flushes, sums.flushes);
+    assert_eq!(agg.fences, sums.fences);
+    assert_eq!(agg.writes, sums.writes);
+    assert_eq!(agg.write_bytes, sums.write_bytes);
+    assert_eq!(agg.reads, sums.reads);
+    assert_eq!(agg.read_bytes, sums.read_bytes);
 }

@@ -12,7 +12,9 @@
 use std::sync::{Arc, Barrier};
 
 use clobber_nvm::{ArgList, Backend, Runtime, RuntimeOptions, TxError};
-use clobber_pmem::{CrashConfig, FaultPlan, PAddr, PmemPool, PoolMode, PoolOptions};
+use clobber_pmem::{
+    CacheImpl, CrashConfig, FaultPlan, PAddr, PmemPool, PoolConcurrency, PoolMode, PoolOptions,
+};
 
 /// Number of bank accounts in the sweep workload.
 pub const ACCOUNTS: u64 = 8;
@@ -60,7 +62,18 @@ fn sweep_options(backend: Backend) -> RuntimeOptions {
 /// Creates a fresh pool + runtime with the bank initialized and durable.
 /// Identical across calls, so persist-event streams replay exactly.
 pub fn setup(backend: Backend) -> (Arc<PmemPool>, Runtime, PAddr) {
-    let pool = Arc::new(PmemPool::create(PoolOptions::crash_sim(1 << 20)).unwrap());
+    setup_with(backend, PoolConcurrency::GlobalLock)
+}
+
+/// [`setup`] on a pool with the given concurrency mode. The persist-event
+/// stream is identical at every shard count (the ordering contract), so
+/// sweeps parameterized this way must agree event-for-event.
+pub fn setup_with(
+    backend: Backend,
+    concurrency: PoolConcurrency,
+) -> (Arc<PmemPool>, Runtime, PAddr) {
+    let opts = PoolOptions::crash_sim(1 << 20).with_concurrency(concurrency);
+    let pool = Arc::new(PmemPool::create(opts).unwrap());
     let rt = Runtime::create(pool.clone(), sweep_options(backend)).unwrap();
     register_transfer(&rt);
     let base = pool.alloc(ACCOUNTS * 8).unwrap();
@@ -74,7 +87,19 @@ pub fn setup(backend: Backend) -> (Arc<PmemPool>, Runtime, PAddr) {
 
 /// Reopens crashed media with a runtime ready to recover.
 pub fn reopen(media: Vec<u8>, backend: Backend) -> (Arc<PmemPool>, Runtime) {
-    let pool = Arc::new(PmemPool::open_from_media(media, PoolMode::CrashSim).unwrap());
+    reopen_with(media, backend, PoolConcurrency::GlobalLock)
+}
+
+/// [`reopen`] on a pool with the given concurrency mode.
+pub fn reopen_with(
+    media: Vec<u8>,
+    backend: Backend,
+    concurrency: PoolConcurrency,
+) -> (Arc<PmemPool>, Runtime) {
+    let pool = Arc::new(
+        PmemPool::open_from_media_with(media, PoolMode::CrashSim, CacheImpl::Dense, concurrency)
+            .unwrap(),
+    );
     let rt = Runtime::open(pool.clone(), sweep_options(backend)).unwrap();
     register_transfer(&rt);
     (pool, rt)
@@ -100,7 +125,12 @@ pub fn run_script(rt: &Runtime, base: PAddr) -> Result<(), TxError> {
 
 /// Counts the persist events the script issues under `backend`.
 pub fn count_script_events(backend: Backend) -> u64 {
-    let (pool, rt, base) = setup(backend);
+    count_script_events_with(backend, PoolConcurrency::GlobalLock)
+}
+
+/// [`count_script_events`] on a pool with the given concurrency mode.
+pub fn count_script_events_with(backend: Backend, concurrency: PoolConcurrency) -> u64 {
+    let (pool, rt, base) = setup_with(backend, concurrency);
     pool.arm_faults(FaultPlan::count_only());
     run_script(&rt, base).expect("count run must not fail");
     let n = pool.disarm_faults();
@@ -143,8 +173,14 @@ pub struct SweepSummary {
 
 /// Recovers `media`, asserts the invariant and recovery idempotence, and
 /// returns the recovered pool's report folded into `summary`.
-fn recover_and_check(media: Vec<u8>, backend: Backend, ctx: &str, summary: &mut SweepSummary) {
-    let (pool, rt) = reopen(media, backend);
+fn recover_and_check(
+    media: Vec<u8>,
+    backend: Backend,
+    concurrency: PoolConcurrency,
+    ctx: &str,
+    summary: &mut SweepSummary,
+) {
+    let (pool, rt) = reopen_with(media, backend, concurrency);
     let report = rt
         .recover()
         .unwrap_or_else(|e| panic!("{ctx}: recovery failed: {e}"));
@@ -175,8 +211,8 @@ fn recover_and_check(media: Vec<u8>, backend: Backend, ctx: &str, summary: &mut 
 
 /// Runs the script to event `k`, trips, takes a `drop_all` power failure,
 /// and returns the surviving media.
-fn crash_at(backend: Backend, k: u64) -> Vec<u8> {
-    let (pool, rt, base) = setup(backend);
+fn crash_at(backend: Backend, concurrency: PoolConcurrency, k: u64) -> Vec<u8> {
+    let (pool, rt, base) = setup_with(backend, concurrency);
     pool.arm_faults(FaultPlan::crash_at(k));
     // A trip on a trailing fence can leave the script completing Ok; any
     // other trip surfaces as an error. Both are valid crash points.
@@ -194,22 +230,42 @@ fn crash_at(backend: Backend, k: u64) -> Vec<u8> {
 /// recovery itself is also crashed (at rotating or all recovery events) and
 /// re-run from the re-crashed media — the idempotence proof.
 pub fn sweep(backend: Backend, stride: u64, nested: Nested) -> SweepSummary {
+    sweep_with(backend, stride, nested, PoolConcurrency::GlobalLock)
+}
+
+/// [`sweep`] with every pool in the pipeline (workload, recovery, nested
+/// recovery) running at the given concurrency mode. Because persist-event
+/// numbering and seeded crash draws are shard-count-invariant, the returned
+/// summary must be identical across concurrency modes for the same
+/// `(backend, stride, nested)` — callers assert exactly that.
+pub fn sweep_with(
+    backend: Backend,
+    stride: u64,
+    nested: Nested,
+    concurrency: PoolConcurrency,
+) -> SweepSummary {
     assert!(stride > 0);
     let mut summary = SweepSummary {
-        events: count_script_events(backend),
+        events: count_script_events_with(backend, concurrency),
         ..SweepSummary::default()
     };
     let mut k = 0;
     while k < summary.events {
-        let media = crash_at(backend, k);
+        let media = crash_at(backend, concurrency, k);
         summary.crash_points += 1;
 
         // Plain recovery from this crash point.
-        recover_and_check(media.clone(), backend, &format!("k={k}"), &mut summary);
+        recover_and_check(
+            media.clone(),
+            backend,
+            concurrency,
+            &format!("k={k}"),
+            &mut summary,
+        );
 
         if nested != Nested::Off {
             // Count recovery's own persist events from identical media.
-            let (pool_m, rt_m) = reopen(media.clone(), backend);
+            let (pool_m, rt_m) = reopen_with(media.clone(), backend, concurrency);
             pool_m.arm_faults(FaultPlan::count_only());
             rt_m.recover().unwrap();
             let m = pool_m.disarm_faults();
@@ -221,7 +277,7 @@ pub fn sweep(backend: Backend, stride: u64, nested: Nested) -> SweepSummary {
                 Nested::Exhaustive => (0..m).collect(),
             };
             for j in js {
-                let (pool_n, rt_n) = reopen(media.clone(), backend);
+                let (pool_n, rt_n) = reopen_with(media.clone(), backend, concurrency);
                 pool_n.arm_faults(FaultPlan::crash_at(j));
                 // Recovery dies at event j (a trip on recovery's final
                 // fence may still let it return Ok — also a valid point).
@@ -234,6 +290,7 @@ pub fn sweep(backend: Backend, stride: u64, nested: Nested) -> SweepSummary {
                 recover_and_check(
                     media2,
                     backend,
+                    concurrency,
                     &format!("k={k} nested j={j}"),
                     &mut summary,
                 );

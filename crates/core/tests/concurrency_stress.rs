@@ -1,0 +1,226 @@
+//! Multi-thread stress test for the sharded pool: N threads run
+//! transactions on disjoint account regions and disjoint v_log slots of one
+//! sharded pool, the pool takes a seeded power failure, and recovery must
+//! restore conservation. Along the way the per-shard statistics banks must
+//! aggregate exactly: summing [`shard_snapshots`] reproduces the hot fields
+//! of [`snapshot`] — the invariant that makes per-shard counters free of
+//! double counting and loss under real concurrency.
+//!
+//! The seed comes from `CLOBBER_STRESS_SEED` (default 42) so CI can run a
+//! seed matrix without recompiling.
+//!
+//! [`shard_snapshots`]: clobber_pmem::PmemStats::shard_snapshots
+//! [`snapshot`]: clobber_pmem::PmemStats::snapshot
+
+use std::sync::Arc;
+
+use clobber_nvm::{ArgList, Runtime, RuntimeOptions};
+use clobber_pmem::{
+    CacheImpl, CrashConfig, PAddr, PmemPool, PoolConcurrency, PoolMode, PoolOptions, StatsSnapshot,
+};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+const THREADS: usize = 4;
+const ACCTS_PER_THREAD: u64 = 8;
+const INITIAL: u64 = 1000;
+const TRANSFERS_PER_THREAD: u64 = 40;
+const SHARDS: u32 = 8;
+
+/// Small per-slot log capacities so four slots fit the test pool.
+fn rt_options() -> RuntimeOptions {
+    let mut opts = RuntimeOptions::new(clobber_nvm::Backend::clobber());
+    opts.clobber_log_cap = 32 << 10;
+    opts.redo_log_cap = 32 << 10;
+    opts
+}
+
+fn seed_from_env() -> u64 {
+    std::env::var("CLOBBER_STRESS_SEED")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(42)
+}
+
+fn register_transfer(rt: &Runtime) {
+    rt.register("stress_transfer", |tx, args| {
+        let base = PAddr::new(args.u64(0)?);
+        let from = args.u64(1)?;
+        let to = args.u64(2)?;
+        let amount = args.u64(3)?;
+        let from_bal = tx.read_u64(base.add(from * 8))?;
+        if from_bal < amount || from == to {
+            return Ok(Some(vec![0]));
+        }
+        tx.write_u64(base.add(from * 8), from_bal - amount)?;
+        let to_bal = tx.read_u64(base.add(to * 8))?;
+        tx.write_u64(base.add(to * 8), to_bal + amount)?;
+        Ok(Some(vec![1]))
+    });
+}
+
+/// Sum of every account balance across all thread regions.
+fn grand_total(pool: &PmemPool, base: PAddr) -> u64 {
+    (0..THREADS as u64 * ACCTS_PER_THREAD)
+        .map(|i| pool.read_u64(base.add(i * 8)).unwrap())
+        .sum()
+}
+
+/// Field-wise sum of the hot counters over all shard banks.
+fn sum_hot(shards: &[StatsSnapshot]) -> StatsSnapshot {
+    let mut sum = StatsSnapshot::default();
+    for s in shards {
+        sum.flushes += s.flushes;
+        sum.fences += s.fences;
+        sum.writes += s.writes;
+        sum.write_bytes += s.write_bytes;
+        sum.reads += s.reads;
+        sum.read_bytes += s.read_bytes;
+    }
+    sum
+}
+
+/// Asserts `Σ shard_snapshots == snapshot` on the hot fields.
+fn assert_banks_aggregate(pool: &PmemPool) {
+    let shards = pool.stats().shard_snapshots();
+    assert_eq!(shards.len(), pool.shard_count(), "one stats bank per shard");
+    let sum = sum_hot(&shards);
+    let snap = pool.stats().snapshot();
+    assert_eq!(sum.flushes, snap.flushes, "flushes lost or double-counted");
+    assert_eq!(sum.fences, snap.fences, "fences lost or double-counted");
+    assert_eq!(sum.writes, snap.writes, "writes lost or double-counted");
+    assert_eq!(sum.write_bytes, snap.write_bytes, "write_bytes mismatch");
+    assert_eq!(sum.reads, snap.reads, "reads lost or double-counted");
+    assert_eq!(sum.read_bytes, snap.read_bytes, "read_bytes mismatch");
+}
+
+#[test]
+fn threads_on_disjoint_slots_conserve_through_crash_and_recovery() {
+    let seed = seed_from_env();
+    let opts = PoolOptions::crash_sim(2 << 20).with_shards(SHARDS);
+    let pool = Arc::new(PmemPool::create(opts).unwrap());
+    let rt = Runtime::create(pool.clone(), rt_options()).unwrap();
+    register_transfer(&rt);
+
+    let accounts = THREADS as u64 * ACCTS_PER_THREAD;
+    let base = pool.alloc(accounts * 8).unwrap();
+    for i in 0..accounts {
+        pool.write_u64(base.add(i * 8), INITIAL).unwrap();
+    }
+    pool.persist(base, accounts * 8).unwrap();
+    rt.set_app_root(base).unwrap();
+
+    // Each thread transacts only inside its own region, on its own v_log
+    // slot — disjoint persistent state, fully shared pool internals.
+    std::thread::scope(|s| {
+        for t in 0..THREADS {
+            let rt = &rt;
+            s.spawn(move || {
+                let region = base.add(t as u64 * ACCTS_PER_THREAD * 8);
+                let mut rng = StdRng::seed_from_u64(seed ^ (t as u64) << 32);
+                for _ in 0..TRANSFERS_PER_THREAD {
+                    let from = rng.gen_range(0..ACCTS_PER_THREAD);
+                    let to = rng.gen_range(0..ACCTS_PER_THREAD);
+                    let amount = rng.gen_range(0..30u64);
+                    let args = ArgList::new()
+                        .with_u64(region.offset())
+                        .with_u64(from)
+                        .with_u64(to)
+                        .with_u64(amount);
+                    rt.run_on(t, "stress_transfer", &args).unwrap();
+                }
+            });
+        }
+    });
+
+    // All transactions committed: conservation holds region-by-region and
+    // globally, and the per-shard banks must aggregate exactly.
+    assert_eq!(grand_total(&pool, base), accounts * INITIAL);
+    for t in 0..THREADS as u64 {
+        let region = base.add(t * ACCTS_PER_THREAD * 8);
+        let region_total: u64 = (0..ACCTS_PER_THREAD)
+            .map(|i| pool.read_u64(region.add(i * 8)).unwrap())
+            .sum();
+        assert_eq!(
+            region_total,
+            ACCTS_PER_THREAD * INITIAL,
+            "thread {t}: transfers leaked across regions"
+        );
+    }
+    assert_banks_aggregate(&pool);
+
+    // Power failure with seeded line survival, then recovery on a pool
+    // reopened at the same shard count.
+    let media = pool
+        .crash(&CrashConfig::with_seed(seed))
+        .unwrap()
+        .media_snapshot();
+    let pool2 = Arc::new(
+        PmemPool::open_from_media_with(
+            media,
+            PoolMode::CrashSim,
+            CacheImpl::Dense,
+            PoolConcurrency::Sharded { shards: SHARDS },
+        )
+        .unwrap(),
+    );
+    let rt2 = Runtime::open(pool2.clone(), rt_options()).unwrap();
+    register_transfer(&rt2);
+    rt2.recover().unwrap();
+    let base2 = rt2.app_root().unwrap();
+    assert_eq!(
+        grand_total(&pool2, base2),
+        accounts * INITIAL,
+        "conservation violated after crash + recovery"
+    );
+    assert_banks_aggregate(&pool2);
+}
+
+/// The same workload single-threaded in `SingleThread` mode produces the
+/// same final balances as `GlobalLock` — and a second thread touching the
+/// pool panics rather than racing.
+#[test]
+fn single_thread_mode_matches_and_rejects_foreign_threads() {
+    let seed = seed_from_env();
+    let mut totals = Vec::new();
+    for concurrency in [PoolConcurrency::GlobalLock, PoolConcurrency::SingleThread] {
+        let opts = PoolOptions::crash_sim(1 << 20).with_concurrency(concurrency);
+        let pool = Arc::new(PmemPool::create(opts).unwrap());
+        let rt = Runtime::create(pool.clone(), rt_options()).unwrap();
+        register_transfer(&rt);
+        let base = pool.alloc(ACCTS_PER_THREAD * 8).unwrap();
+        for i in 0..ACCTS_PER_THREAD {
+            pool.write_u64(base.add(i * 8), INITIAL).unwrap();
+        }
+        pool.persist(base, ACCTS_PER_THREAD * 8).unwrap();
+        let mut rng = StdRng::seed_from_u64(seed);
+        for _ in 0..TRANSFERS_PER_THREAD {
+            let from = rng.gen_range(0..ACCTS_PER_THREAD);
+            let to = rng.gen_range(0..ACCTS_PER_THREAD);
+            let amount = rng.gen_range(0..30u64);
+            let args = ArgList::new()
+                .with_u64(base.offset())
+                .with_u64(from)
+                .with_u64(to)
+                .with_u64(amount);
+            rt.run("stress_transfer", &args).unwrap();
+        }
+        let balances: Vec<u64> = (0..ACCTS_PER_THREAD)
+            .map(|i| pool.read_u64(base.add(i * 8)).unwrap())
+            .collect();
+        totals.push((pool, balances));
+    }
+    assert_eq!(
+        totals[0].1, totals[1].1,
+        "SingleThread diverged from GlobalLock"
+    );
+
+    // Foreign-thread access must panic, not corrupt.
+    let (st_pool, _) = &totals[1];
+    let pool = st_pool.clone();
+    let res = std::thread::spawn(move || pool.read_u64(PAddr::new(4096))).join();
+    assert!(
+        res.is_err(),
+        "a second thread must not be able to touch a SingleThread pool"
+    );
+}

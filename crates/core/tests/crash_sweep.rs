@@ -11,12 +11,12 @@
 mod common;
 
 use common::{
-    register_parked_plain, register_transfer, reopen, sweep, total, two_parked_transfers, Nested,
-    SweepSummary, ACCOUNTS, INITIAL,
+    register_parked_plain, register_transfer, reopen, sweep, sweep_with, total,
+    two_parked_transfers, Nested, SweepSummary, ACCOUNTS, INITIAL,
 };
 
 use clobber_nvm::{Backend, RecoveryOptions, TxError};
-use clobber_pmem::{FaultPlan, PmemError};
+use clobber_pmem::{FaultPlan, PmemError, PoolConcurrency};
 
 /// Stride between swept crash points. Release builds (and
 /// `CLOBBER_FULL_SWEEP=1`) visit every event; plain debug-mode
@@ -70,6 +70,27 @@ fn sweep_atlas() {
     assert!(s.rolled_back > 0, "atlas sweep should roll back: {s:?}");
 }
 
+/// The sweep at shard counts 1 and 4 must agree point-for-point with the
+/// single-lock sweep: same event count, same crash/nested points visited,
+/// same recovery actions — zero lock-step divergence. This is the
+/// shard-count-invariance contract of the persist-event order applied to
+/// the full workload → crash → recover pipeline.
+#[test]
+fn sweep_clobber_sharded_matches_global_lock() {
+    let stride = smoke_stride();
+    let reference = sweep(Backend::clobber(), stride, Nested::Rotating);
+    assert_covered(&reference, "clobber/global");
+    for shards in [1u32, 4] {
+        let s = sweep_with(
+            Backend::clobber(),
+            stride,
+            Nested::Rotating,
+            PoolConcurrency::Sharded { shards },
+        );
+        assert_eq!(s, reference, "sharded({shards}) sweep diverged");
+    }
+}
+
 /// The full acceptance sweep: stride 1 on every backend with a nested
 /// recovery crash at *every* recovery event. Quadratic in the event count —
 /// run explicitly with `cargo test --release -- --ignored` or via
@@ -91,6 +112,22 @@ fn full_sweep_exhaustive_nested() {
             "{}: every event visited",
             backend.label()
         );
+        // The exhaustive sweep must hold — point-for-point — at shard
+        // counts 1 and 4 too.
+        for shards in [1u32, 4] {
+            let sharded = sweep_with(
+                backend,
+                1,
+                Nested::Exhaustive,
+                PoolConcurrency::Sharded { shards },
+            );
+            assert_eq!(
+                sharded,
+                s,
+                "{}: sharded({shards}) exhaustive sweep diverged",
+                backend.label()
+            );
+        }
     }
 }
 

@@ -478,8 +478,9 @@ impl BpTree {
                 return Ok((node, n >= CAP, parent));
             }
             let mut idx = n;
+            let mut k = [0u8; KEY_LEN as usize];
             for i in 0..n {
-                let k = pool.read_bytes(key_addr(node, i), KEY_LEN)?;
+                pool.read_into(key_addr(node, i), &mut k)?;
                 match cmp_key32(key, &k) {
                     Ordering::Less => {
                         idx = i;
@@ -518,19 +519,20 @@ impl BpTree {
     pub fn range(&self, pool: &PmemPool, start: &[u8], count: usize) -> Result<KvPairs, TxError> {
         let (mut leaf, _, _) = self.locate_leaf_path(pool, start)?;
         let mut out = Vec::new();
+        let mut k = [0u8; KEY_LEN as usize];
         while !leaf.is_null() && out.len() < count {
             let n = pool.read_u64(leaf.add(NKEYS))?;
             for i in 0..n {
                 if out.len() >= count {
                     break;
                 }
-                let k = pool.read_bytes(key_addr(leaf, i), KEY_LEN)?;
+                pool.read_into(key_addr(leaf, i), &mut k)?;
                 if cmp_key32(&k, start) == Ordering::Less {
                     continue;
                 }
                 let ptr = PAddr::new(pool.read_u64(val_addr(leaf, i))?);
                 let len = pool.read_u64(val_addr(leaf, i).add(8))?;
-                out.push((k, pool.read_bytes(ptr, len)?));
+                out.push((k.to_vec(), pool.read_bytes(ptr, len)?));
             }
             leaf = PAddr::new(pool.read_u64(leaf.add(LEAF_NEXT))?);
         }

@@ -14,7 +14,7 @@ use std::collections::BTreeMap;
 use std::sync::{Arc, Mutex};
 
 use clobber_nvm::{Backend, Runtime, RuntimeOptions};
-use clobber_pds::{BpTree, HashMap, RbTree, SkipList};
+use clobber_pds::{AvlTree, BpTree, HashMap, RbTree, SkipList};
 use clobber_pmem::{CrashConfig, PmemPool, PoolMode, PoolOptions};
 
 struct Trap {
@@ -83,6 +83,7 @@ fn run_inserts(structure: &str, backend: Backend, n_keys: u64, hook: impl FnOnce
         "hashmap" => HashMap::register(&rt),
         "skiplist" => SkipList::register(&rt),
         "rbtree" => RbTree::register(&rt),
+        "avltree" => AvlTree::register(&rt),
         "bptree" => BpTree::register(&rt),
         _ => unreachable!(),
     }
@@ -102,6 +103,12 @@ fn run_inserts(structure: &str, backend: Backend, n_keys: u64, hook: impl FnOnce
         }
         "rbtree" => {
             let h = RbTree::create(&rt).unwrap();
+            for k in 0..n_keys {
+                h.insert(&rt, k, &value_of(k)).unwrap();
+            }
+        }
+        "avltree" => {
+            let h = AvlTree::create(&rt).unwrap();
             for k in 0..n_keys {
                 h.insert(&rt, k, &value_of(k)).unwrap();
             }
@@ -131,6 +138,7 @@ fn crash_experiment(
         "hashmap" => HashMap::register(rt),
         "skiplist" => SkipList::register(rt),
         "rbtree" => RbTree::register(rt),
+        "avltree" => AvlTree::register(rt),
         "bptree" => BpTree::register(rt),
         _ => unreachable!(),
     };
@@ -139,12 +147,14 @@ fn crash_experiment(
         H(HashMap),
         S(SkipList),
         R(RbTree),
+        A(AvlTree),
         B(BpTree),
     }
     let h = match structure {
         "hashmap" => Handle::H(HashMap::create(&rt).unwrap()),
         "skiplist" => Handle::S(SkipList::create(&rt).unwrap()),
         "rbtree" => Handle::R(RbTree::create(&rt).unwrap()),
+        "avltree" => Handle::A(AvlTree::create(&rt).unwrap()),
         "bptree" => Handle::B(BpTree::create(&rt).unwrap()),
         _ => unreachable!(),
     };
@@ -152,6 +162,7 @@ fn crash_experiment(
         Handle::H(x) => x.root(),
         Handle::S(x) => x.root(),
         Handle::R(x) => x.root(),
+        Handle::A(x) => x.root(),
         Handle::B(x) => x.root(),
     };
     rt.set_app_root(root).unwrap();
@@ -161,6 +172,7 @@ fn crash_experiment(
             Handle::H(x) => x.insert(&rt, k, &value_of(k)).unwrap(),
             Handle::S(x) => x.insert(&rt, k, &value_of(k)).unwrap(),
             Handle::R(x) => x.insert(&rt, k, &value_of(k)).unwrap(),
+            Handle::A(x) => x.insert(&rt, k, &value_of(k)).unwrap(),
             Handle::B(x) => x.insert_u64(&rt, k, &value_of(k)).unwrap(),
         }
     }
@@ -189,6 +201,11 @@ fn crash_experiment(
             .unwrap()
             .into_iter()
             .collect(),
+        "avltree" => AvlTree::open(root2)
+            .dump(&pool2)
+            .unwrap()
+            .into_iter()
+            .collect(),
         "bptree" => BpTree::open(root2)
             .dump(&pool2)
             .unwrap()
@@ -202,7 +219,7 @@ fn crash_experiment(
 
 #[test]
 fn clobber_recovery_completes_the_interrupted_insert() {
-    for structure in ["hashmap", "skiplist", "rbtree", "bptree"] {
+    for structure in ["hashmap", "skiplist", "rbtree", "avltree", "bptree"] {
         let n = 24;
         let total = count_writes(structure, Backend::clobber(), n);
         // Crash points landing in early, middle and late inserts.
@@ -232,7 +249,7 @@ fn clobber_recovery_completes_the_interrupted_insert() {
 
 #[test]
 fn undo_recovery_rolls_back_the_interrupted_insert() {
-    for structure in ["hashmap", "skiplist", "rbtree", "bptree"] {
+    for structure in ["hashmap", "skiplist", "rbtree", "avltree", "bptree"] {
         let (pairs, reexec, _rolled) = crash_experiment(structure, Backend::Undo, 24, 47, 200);
         assert_eq!(reexec, 0, "{structure}");
         // Contents are exactly the committed prefix.
@@ -262,6 +279,47 @@ fn sweep_many_crash_points_on_the_rbtree() {
     for crash_at in (0..total.min(120)).step_by(7) {
         let (pairs, _reexec, rolled) =
             crash_experiment("rbtree", Backend::clobber(), 16, crash_at, 400 + crash_at);
+        assert_eq!(rolled, 0);
+        let len = pairs.len() as u64;
+        for k in 0..len {
+            assert_eq!(
+                pairs.get(&k),
+                Some(&value_of(k)),
+                "crash@{crash_at}: key {k}"
+            );
+        }
+    }
+}
+
+#[test]
+fn sweep_many_crash_points_on_the_skiplist() {
+    // Tower links make skiplist inserts multi-node updates; sweep crash
+    // points through a stream whose deterministic tower heights cover
+    // several levels.
+    let total = count_writes("skiplist", Backend::clobber(), 16);
+    for crash_at in (0..total.min(120)).step_by(11) {
+        let (pairs, _reexec, rolled) =
+            crash_experiment("skiplist", Backend::clobber(), 16, crash_at, 600 + crash_at);
+        assert_eq!(rolled, 0);
+        let len = pairs.len() as u64;
+        for k in 0..len {
+            assert_eq!(
+                pairs.get(&k),
+                Some(&value_of(k)),
+                "crash@{crash_at}: key {k}"
+            );
+        }
+    }
+}
+
+#[test]
+fn sweep_many_crash_points_on_the_avltree() {
+    // Height rebalancing makes the avltree's re-execution path distinct
+    // from the rbtree's recoloring; sweep through rotation-heavy inserts.
+    let total = count_writes("avltree", Backend::clobber(), 16);
+    for crash_at in (0..total.min(120)).step_by(9) {
+        let (pairs, _reexec, rolled) =
+            crash_experiment("avltree", Backend::clobber(), 16, crash_at, 700 + crash_at);
         assert_eq!(rolled, 0);
         let len = pairs.len() as u64;
         for k in 0..len {

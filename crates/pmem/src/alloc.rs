@@ -34,7 +34,7 @@
 use std::collections::HashMap;
 
 use crate::addr::{align_up, PAddr};
-use crate::pool::{get_u64, layout, put_u64, PmemError, PmemPool, PoolInner, PoolMode};
+use crate::pool::{get_u64, layout, put_u64, PmemError, PmemPool, PoolMode, RawPmem};
 
 /// Payload capacities of the small size classes.
 pub const CLASS_SIZES: [u64; 9] = [16, 32, 64, 128, 256, 512, 1024, 2048, 4096];
@@ -177,19 +177,20 @@ fn classify(size: u64) -> (u32, u64) {
     (HUGE_CLASS, align_up(size, 4096))
 }
 
-/// Cache-aware persistent write helpers used while holding the pool lock.
-struct Ops<'a> {
-    inner: &'a mut PoolInner,
+/// Cache-aware persistent write helpers used while the engine's locks are
+/// held (the whole pool under the global lock, or mirror + all shards).
+struct Ops<'a, 'b> {
+    raw: &'a mut (dyn RawPmem + 'b),
     mode: PoolMode,
     flushes: u64,
     fences: u64,
     write_bytes: u64,
 }
 
-impl<'a> Ops<'a> {
-    fn new(inner: &'a mut PoolInner, mode: PoolMode) -> Self {
+impl<'a, 'b> Ops<'a, 'b> {
+    fn new(raw: &'a mut (dyn RawPmem + 'b), mode: PoolMode) -> Self {
         Ops {
-            inner,
+            raw,
             mode,
             flushes: 0,
             fences: 0,
@@ -198,31 +199,37 @@ impl<'a> Ops<'a> {
     }
 
     fn write_u64(&mut self, offset: u64, value: u64) {
-        self.inner
-            .write_raw(offset, &value.to_le_bytes(), self.mode);
+        self.raw.write_raw(offset, &value.to_le_bytes(), self.mode);
         self.write_bytes += 8;
     }
 
     fn write(&mut self, offset: u64, data: &[u8]) {
-        self.inner.write_raw(offset, data, self.mode);
+        self.raw.write_raw(offset, data, self.mode);
         self.write_bytes += data.len() as u64;
     }
 
     fn read_u64(&mut self, offset: u64) -> u64 {
         let mut buf = [0u8; 8];
-        self.inner.read_raw(offset, &mut buf);
+        self.raw.read_raw(offset, &mut buf);
         u64::from_le_bytes(buf)
     }
 
     fn flush(&mut self, offset: u64, len: u64) {
-        self.flushes += self.inner.flush_raw(offset, len, self.mode);
+        self.flushes += self.raw.flush_raw(offset, len, self.mode);
     }
 
     fn fence(&mut self) {
         self.fences += 1;
         if self.mode == PoolMode::CrashSim {
-            self.inner.fence_raw();
+            self.raw.fence_raw();
         }
+    }
+
+    /// Credits the accumulated hot-path counters while the engine's locks
+    /// are still held. Call exactly once, after the last persist op.
+    fn finish(self) {
+        self.raw
+            .credit_hot(self.flushes, self.fences, self.write_bytes);
     }
 
     fn write_header(&mut self, payload: u64, state: u32, class: u32, size: u64) {
@@ -256,13 +263,6 @@ impl<'a> Ops<'a> {
 }
 
 impl PmemPool {
-    fn finish_ops(&self, ops: Ops<'_>) {
-        let stats = self.stats();
-        stats.bump(&stats.flushes, ops.flushes);
-        stats.bump(&stats.fences, ops.fences);
-        stats.bump(&stats.write_bytes, ops.write_bytes);
-    }
-
     /// Allocates `size` bytes from the persistent heap, immediately and
     /// crash-consistently (two fences). For allocation inside a transaction
     /// use [`reserve`](Self::reserve) via the runtime's `pmalloc`.
@@ -276,43 +276,42 @@ impl PmemPool {
     pub fn alloc(&self, size: u64) -> Result<PAddr, PmemError> {
         self.fail_if_dead()?;
         let mode = self.mode();
-        let mut inner = self.inner.lock();
-        let (class, capacity) = classify(size.max(8));
-        let inner = &mut *inner;
-        let picked = pick_block(&mut inner.mirror, class, capacity, self.capacity())?;
-        let mut ops = Ops::new(inner, mode);
-        match picked {
-            Picked::Pop { payload, next } => {
-                ops.arm_redo(OP_POP, class, payload, next, capacity);
-                ops.write_u64(layout::FREE_HEADS + class as u64 * 8, next);
-                ops.write_header(payload, STATE_ALLOC, class, capacity);
-                ops.flush(layout::FREE_HEADS + class as u64 * 8, 8);
-                ops.flush(payload - HDR_LEN, HDR_LEN);
-                ops.disarm_redo();
-                zero_payload(&mut ops, payload, capacity);
-                let stats = self.stats();
-                stats.bump(&stats.allocs, 1);
-                self.finish_ops(ops);
-                Ok(PAddr::new(payload))
-            }
-            Picked::Bump {
-                payload,
-                new_frontier,
-            } => {
-                ops.inner.mirror.frontier = new_frontier;
-                ops.arm_redo(OP_BUMP, class, payload, new_frontier, capacity);
-                ops.write_u64(layout::FRONTIER, new_frontier);
-                ops.write_header(payload, STATE_ALLOC, class, capacity);
-                ops.flush(layout::FRONTIER, 8);
-                ops.flush(payload - HDR_LEN, HDR_LEN);
-                ops.disarm_redo();
-                zero_payload(&mut ops, payload, capacity);
-                let stats = self.stats();
-                stats.bump(&stats.allocs, 1);
-                self.finish_ops(ops);
-                Ok(PAddr::new(payload))
-            }
-        }
+        let pool_capacity = self.capacity();
+        let payload = self.with_raw(|mirror, raw| {
+            let (class, capacity) = classify(size.max(8));
+            let picked = pick_block(mirror, class, capacity, pool_capacity)?;
+            let mut ops = Ops::new(raw, mode);
+            let payload = match picked {
+                Picked::Pop { payload, next } => {
+                    ops.arm_redo(OP_POP, class, payload, next, capacity);
+                    ops.write_u64(layout::FREE_HEADS + class as u64 * 8, next);
+                    ops.write_header(payload, STATE_ALLOC, class, capacity);
+                    ops.flush(layout::FREE_HEADS + class as u64 * 8, 8);
+                    ops.flush(payload - HDR_LEN, HDR_LEN);
+                    ops.disarm_redo();
+                    payload
+                }
+                Picked::Bump {
+                    payload,
+                    new_frontier,
+                } => {
+                    mirror.frontier = new_frontier;
+                    ops.arm_redo(OP_BUMP, class, payload, new_frontier, capacity);
+                    ops.write_u64(layout::FRONTIER, new_frontier);
+                    ops.write_header(payload, STATE_ALLOC, class, capacity);
+                    ops.flush(layout::FRONTIER, 8);
+                    ops.flush(payload - HDR_LEN, HDR_LEN);
+                    ops.disarm_redo();
+                    payload
+                }
+            };
+            zero_payload(&mut ops, payload, capacity);
+            ops.finish();
+            Ok(payload)
+        })?;
+        let stats = self.stats();
+        stats.bump(&stats.allocs, 1);
+        Ok(PAddr::new(payload))
     }
 
     /// Returns `addr` (from [`alloc`](Self::alloc) or a published
@@ -325,37 +324,38 @@ impl PmemPool {
     pub fn free(&self, addr: PAddr) -> Result<(), PmemError> {
         self.fail_if_dead()?;
         let mode = self.mode();
-        let mut inner = self.inner.lock();
         let payload = addr.offset();
         if payload < layout::HEAP_BASE + HDR_LEN || payload >= self.capacity() {
             return Err(PmemError::InvalidFree { addr: payload });
         }
-        let inner = &mut *inner;
-        let mut ops = Ops::new(inner, mode);
-        let h = payload - HDR_LEN;
-        let mut hdr = [0u8; 16];
-        ops.inner.read_raw(h, &mut hdr);
-        let state = u32::from_le_bytes(hdr[0..4].try_into().expect("4 bytes"));
-        let class = u32::from_le_bytes(hdr[4..8].try_into().expect("4 bytes"));
-        let size = u64::from_le_bytes(hdr[8..16].try_into().expect("8 bytes"));
-        if state != STATE_ALLOC || class as usize >= NUM_HEADS {
-            return Err(PmemError::InvalidFree { addr: payload });
-        }
-        let old_head = ops.read_u64(layout::FREE_HEADS + class as u64 * 8);
-        ops.arm_redo(OP_PUSH, class, payload, old_head, size);
-        ops.write_header(payload, STATE_FREE, class, size);
-        ops.write_u64(payload - HDR_LEN + HDR_NEXT, old_head);
-        ops.write_u64(layout::FREE_HEADS + class as u64 * 8, payload);
-        ops.flush(payload - HDR_LEN, HDR_LEN);
-        ops.flush(layout::FREE_HEADS + class as u64 * 8, 8);
-        ops.disarm_redo();
-        ops.inner.mirror.free[class as usize].push(payload);
-        if class == HUGE_CLASS {
-            ops.inner.mirror.huge_sizes.insert(payload, size);
-        }
+        self.with_raw(|mirror, raw| {
+            let mut ops = Ops::new(raw, mode);
+            let h = payload - HDR_LEN;
+            let mut hdr = [0u8; 16];
+            ops.raw.read_raw(h, &mut hdr);
+            let state = u32::from_le_bytes(hdr[0..4].try_into().expect("4 bytes"));
+            let class = u32::from_le_bytes(hdr[4..8].try_into().expect("4 bytes"));
+            let size = u64::from_le_bytes(hdr[8..16].try_into().expect("8 bytes"));
+            if state != STATE_ALLOC || class as usize >= NUM_HEADS {
+                return Err(PmemError::InvalidFree { addr: payload });
+            }
+            let old_head = ops.read_u64(layout::FREE_HEADS + class as u64 * 8);
+            ops.arm_redo(OP_PUSH, class, payload, old_head, size);
+            ops.write_header(payload, STATE_FREE, class, size);
+            ops.write_u64(payload - HDR_LEN + HDR_NEXT, old_head);
+            ops.write_u64(layout::FREE_HEADS + class as u64 * 8, payload);
+            ops.flush(payload - HDR_LEN, HDR_LEN);
+            ops.flush(layout::FREE_HEADS + class as u64 * 8, 8);
+            ops.disarm_redo();
+            ops.finish();
+            mirror.free[class as usize].push(payload);
+            if class == HUGE_CLASS {
+                mirror.huge_sizes.insert(payload, size);
+            }
+            Ok(())
+        })?;
         let stats = self.stats();
         stats.bump(&stats.frees, 1);
-        self.finish_ops(ops);
         Ok(())
     }
 
@@ -372,39 +372,41 @@ impl PmemPool {
     pub fn reserve(&self, size: u64) -> Result<PAddr, PmemError> {
         self.fail_if_dead()?;
         let mode = self.mode();
-        let mut inner = self.inner.lock();
-        let (class, capacity) = classify(size.max(8));
-        let inner = &mut *inner;
-        let picked = pick_block(&mut inner.mirror, class, capacity, self.capacity())?;
-        let prev_frontier = inner.mirror.frontier;
-        let (payload, origin) = match picked {
-            Picked::Pop { payload, .. } => {
-                inner.mirror.dirty_heads[class as usize] = true;
-                (payload, Origin::FreeList)
-            }
-            Picked::Bump {
+        let pool_capacity = self.capacity();
+        let payload = self.with_raw(|mirror, raw| {
+            let (class, capacity) = classify(size.max(8));
+            let picked = pick_block(mirror, class, capacity, pool_capacity)?;
+            let prev_frontier = mirror.frontier;
+            let (payload, origin) = match picked {
+                Picked::Pop { payload, .. } => {
+                    mirror.dirty_heads[class as usize] = true;
+                    (payload, Origin::FreeList)
+                }
+                Picked::Bump {
+                    payload,
+                    new_frontier,
+                } => {
+                    mirror.frontier = new_frontier;
+                    mirror.frontier_dirty = true;
+                    (payload, Origin::Frontier)
+                }
+            };
+            mirror.reserved.insert(
                 payload,
-                new_frontier,
-            } => {
-                inner.mirror.frontier = new_frontier;
-                inner.mirror.frontier_dirty = true;
-                (payload, Origin::Frontier)
-            }
-        };
-        inner.mirror.reserved.insert(
-            payload,
-            Reservation {
-                class,
-                capacity,
-                origin,
-                prev_frontier,
-            },
-        );
-        let mut ops = Ops::new(inner, mode);
-        zero_payload(&mut ops, payload, capacity);
+                Reservation {
+                    class,
+                    capacity,
+                    origin,
+                    prev_frontier,
+                },
+            );
+            let mut ops = Ops::new(raw, mode);
+            zero_payload(&mut ops, payload, capacity);
+            ops.finish();
+            Ok(payload)
+        })?;
         let stats = self.stats();
         stats.bump(&stats.allocs, 1);
-        self.finish_ops(ops);
         Ok(PAddr::new(payload))
     }
 
@@ -418,37 +420,36 @@ impl PmemPool {
     pub fn publish(&self, blocks: &[PAddr]) -> Result<(), PmemError> {
         self.fail_if_dead()?;
         let mode = self.mode();
-        let mut inner = self.inner.lock();
-        let inner = &mut *inner;
-        let mut ops = Ops::new(inner, mode);
-        for &b in blocks {
-            let res = ops
-                .inner
-                .mirror
-                .reserved
-                .remove(&b.offset())
-                .ok_or(PmemError::InvalidFree { addr: b.offset() })?;
-            ops.write_header(b.offset(), STATE_ALLOC, res.class, res.capacity);
-            ops.flush(b.offset() - HDR_LEN, HDR_LEN);
-        }
-        // Write back every head/frontier moved by a reservation. Heads are
-        // written from the mirror top so the persistent chain stays intact.
-        for class in 0..NUM_HEADS {
-            if ops.inner.mirror.dirty_heads[class] {
-                let top = *ops.inner.mirror.free[class].last().unwrap_or(&0);
-                ops.write_u64(layout::FREE_HEADS + class as u64 * 8, top);
-                ops.flush(layout::FREE_HEADS + class as u64 * 8, 8);
-                ops.inner.mirror.dirty_heads[class] = false;
+        self.with_raw(|mirror, raw| {
+            let mut ops = Ops::new(raw, mode);
+            for &b in blocks {
+                let res = mirror
+                    .reserved
+                    .remove(&b.offset())
+                    .ok_or(PmemError::InvalidFree { addr: b.offset() })?;
+                ops.write_header(b.offset(), STATE_ALLOC, res.class, res.capacity);
+                ops.flush(b.offset() - HDR_LEN, HDR_LEN);
             }
-        }
-        if ops.inner.mirror.frontier_dirty {
-            let f = ops.inner.mirror.frontier;
-            ops.write_u64(layout::FRONTIER, f);
-            ops.flush(layout::FRONTIER, 8);
-            ops.inner.mirror.frontier_dirty = false;
-        }
-        self.finish_ops(ops);
-        Ok(())
+            // Write back every head/frontier moved by a reservation. Heads
+            // are written from the mirror top so the persistent chain stays
+            // intact.
+            for class in 0..NUM_HEADS {
+                if mirror.dirty_heads[class] {
+                    let top = *mirror.free[class].last().unwrap_or(&0);
+                    ops.write_u64(layout::FREE_HEADS + class as u64 * 8, top);
+                    ops.flush(layout::FREE_HEADS + class as u64 * 8, 8);
+                    mirror.dirty_heads[class] = false;
+                }
+            }
+            if mirror.frontier_dirty {
+                let f = mirror.frontier;
+                ops.write_u64(layout::FRONTIER, f);
+                ops.flush(layout::FRONTIER, 8);
+                mirror.frontier_dirty = false;
+            }
+            ops.finish();
+            Ok(())
+        })
     }
 
     /// Returns unpublished reservations to the volatile mirror (clean abort).
@@ -463,33 +464,33 @@ impl PmemPool {
     /// Returns [`PmemError::InvalidFree`] if an address was not reserved.
     pub fn cancel(&self, blocks: &[PAddr]) -> Result<(), PmemError> {
         self.fail_if_dead()?;
-        let mut inner = self.inner.lock();
-        for &b in blocks.iter().rev() {
-            let res = inner
-                .mirror
-                .reserved
-                .remove(&b.offset())
-                .ok_or(PmemError::InvalidFree { addr: b.offset() })?;
-            match res.origin {
-                Origin::FreeList => {
-                    inner.mirror.free[res.class as usize].push(b.offset());
-                    if res.class == HUGE_CLASS {
-                        inner.mirror.huge_sizes.insert(b.offset(), res.capacity);
+        self.with_mirror(|mirror| {
+            for &b in blocks.iter().rev() {
+                let res = mirror
+                    .reserved
+                    .remove(&b.offset())
+                    .ok_or(PmemError::InvalidFree { addr: b.offset() })?;
+                match res.origin {
+                    Origin::FreeList => {
+                        mirror.free[res.class as usize].push(b.offset());
+                        if res.class == HUGE_CLASS {
+                            mirror.huge_sizes.insert(b.offset(), res.capacity);
+                        }
                     }
-                }
-                Origin::Frontier => {
-                    if inner.mirror.frontier == b.offset() + res.capacity {
-                        inner.mirror.frontier = res.prev_frontier;
+                    Origin::Frontier => {
+                        if mirror.frontier == b.offset() + res.capacity {
+                            mirror.frontier = res.prev_frontier;
+                        }
                     }
                 }
             }
-        }
-        Ok(())
+            Ok(())
+        })
     }
 
     /// Bytes of heap consumed by the allocation frontier.
     pub fn heap_used(&self) -> u64 {
-        self.inner.lock().mirror.frontier - layout::HEAP_BASE
+        self.with_mirror(|mirror| mirror.frontier) - layout::HEAP_BASE
     }
 }
 
@@ -520,8 +521,10 @@ impl PmemPool {
     /// Returns [`PmemError::CorruptPool`] describing the first structural
     /// violation found.
     pub fn check_heap(&self) -> Result<HeapReport, PmemError> {
-        let inner = self.inner.lock();
-        let media = &inner.media;
+        // A diagnostic walk over the durable image: operating on a snapshot
+        // keeps it engine-agnostic (and off every hot lock).
+        let media = self.media_snapshot();
+        let media = &media[..];
         let frontier = get_u64(media, layout::FRONTIER);
         if frontier < layout::HEAP_BASE || frontier > media.len() as u64 {
             return Err(PmemError::CorruptPool(format!(
@@ -654,7 +657,7 @@ fn pick_block(
     })
 }
 
-fn zero_payload(ops: &mut Ops<'_>, payload: u64, capacity: u64) {
+fn zero_payload(ops: &mut Ops<'_, '_>, payload: u64, capacity: u64) {
     const ZEROS: [u8; 4096] = [0u8; 4096];
     let mut off = payload;
     let mut left = capacity;

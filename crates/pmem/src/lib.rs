@@ -49,6 +49,7 @@ pub(crate) mod cache;
 pub mod crash;
 pub mod fault;
 pub mod pool;
+pub(crate) mod shard;
 pub mod stats;
 pub mod ulog;
 
@@ -56,6 +57,6 @@ pub use addr::{PAddr, CACHE_LINE};
 pub use alloc::HeapReport;
 pub use crash::CrashConfig;
 pub use fault::FaultPlan;
-pub use pool::{CacheImpl, PmemError, PmemPool, PoolMode, PoolOptions};
-pub use stats::{PmemStats, StatsSnapshot};
+pub use pool::{CacheImpl, PmemError, PmemPool, PoolConcurrency, PoolMode, PoolOptions};
+pub use stats::{PmemStats, ShardCounters, StatsSnapshot};
 pub use ulog::Ulog;

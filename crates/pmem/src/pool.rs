@@ -14,6 +14,7 @@ use crate::alloc::Mirror;
 use crate::cache::{line_count, Cache, LineCache, RefCache};
 use crate::crash::CrashConfig;
 use crate::fault::{FaultPlan, FaultState};
+use crate::shard::ShardedPool;
 use crate::stats::PmemStats;
 
 /// Magic value identifying a valid pool header.
@@ -66,6 +67,41 @@ pub enum CacheImpl {
     Reference,
 }
 
+/// How the pool synchronizes its internal state.
+///
+/// All three modes implement the identical durability contract and produce
+/// bit-identical durable media, counters (in aggregate) and seeded crash
+/// outcomes; they differ only in how the hot path locks. The lock-step
+/// property test (`tests/proptest_shard_equiv.rs`) holds them to that.
+///
+/// **Persist-event ordering across shards:** fault injection needs one
+/// coherent total order of persist events no matter how many shards exist.
+/// That order is defined by acquisition order on the pool's single fault
+/// mutex, which every armed store/flush/fence acquires *before* touching
+/// any shard. Disarmed pools skip the mutex entirely (one relaxed atomic
+/// load), so the ordering authority costs nothing unless a [`FaultPlan`]
+/// is armed — and while armed, a fixed single-threaded workload trips at
+/// the same event index regardless of shard count.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum PoolConcurrency {
+    /// One mutex around all pool state — the retained reference
+    /// implementation the sharded modes are tested against.
+    #[default]
+    GlobalLock,
+    /// State is partitioned into contiguous, line-aligned address ranges,
+    /// each behind its own lock; disjoint-range operations proceed in
+    /// parallel. Requests are clamped to at least one line per shard, so
+    /// the effective shard count may be lower for tiny pools.
+    Sharded {
+        /// Requested number of address-range shards (clamped to ≥ 1).
+        shards: u32,
+    },
+    /// No locking on the hot path at all. The first thread to touch the
+    /// pool claims it; any access from another thread panics. For
+    /// single-threaded benchmarks and harnesses.
+    SingleThread,
+}
+
 /// Configuration for [`PmemPool::create`].
 ///
 /// # Example
@@ -85,6 +121,8 @@ pub struct PoolOptions {
     pub mode: PoolMode,
     /// Cache implementation (crash-sim mode only).
     pub cache_impl: CacheImpl,
+    /// Locking strategy for the pool's internal state.
+    pub concurrency: PoolConcurrency,
 }
 
 impl PoolOptions {
@@ -94,6 +132,7 @@ impl PoolOptions {
             capacity,
             mode: PoolMode::Performance,
             cache_impl: CacheImpl::Dense,
+            concurrency: PoolConcurrency::GlobalLock,
         }
     }
 
@@ -103,6 +142,7 @@ impl PoolOptions {
             capacity,
             mode: PoolMode::CrashSim,
             cache_impl: CacheImpl::Dense,
+            concurrency: PoolConcurrency::GlobalLock,
         }
     }
 
@@ -110,6 +150,24 @@ impl PoolOptions {
     /// and before/after benchmarks.
     pub fn with_reference_cache(mut self) -> Self {
         self.cache_impl = CacheImpl::Reference;
+        self
+    }
+
+    /// Partitions pool state into `shards` address-range shards.
+    pub fn with_shards(mut self, shards: u32) -> Self {
+        self.concurrency = PoolConcurrency::Sharded { shards };
+        self
+    }
+
+    /// Selects the lock-free single-thread hot path.
+    pub fn single_thread(mut self) -> Self {
+        self.concurrency = PoolConcurrency::SingleThread;
+        self
+    }
+
+    /// Selects an explicit [`PoolConcurrency`] mode.
+    pub fn with_concurrency(mut self, concurrency: PoolConcurrency) -> Self {
+        self.concurrency = concurrency;
         self
     }
 }
@@ -207,27 +265,25 @@ impl fmt::Display for PmemError {
 
 impl Error for PmemError {}
 
-/// Mutable pool state behind the lock.
-pub(crate) struct PoolInner {
+/// One contiguous span of media plus its simulated cache — the unit both
+/// engines are built from: the global engine holds exactly one covering the
+/// whole pool, the sharded engine holds one per address-range shard.
+///
+/// All offsets are local to `media` (for the global engine, local equals
+/// pool-global).
+pub(crate) struct MediaCache {
     pub(crate) media: Vec<u8>,
     /// Simulated cache. Stays clean (and unallocated) in performance mode.
-    cache: Cache,
-    /// Volatile mirror of the allocator metadata.
-    pub(crate) mirror: Mirror,
+    pub(crate) cache: Cache,
 }
 
-impl PoolInner {
-    fn new(media: Vec<u8>, cache_impl: CacheImpl) -> PoolInner {
-        let mirror = Mirror::rebuild(&media);
+impl MediaCache {
+    pub(crate) fn new(media: Vec<u8>, cache_impl: CacheImpl) -> MediaCache {
         let cache = match cache_impl {
             CacheImpl::Dense => Cache::Dense(LineCache::new()),
             CacheImpl::Reference => Cache::Reference(RefCache::new()),
         };
-        PoolInner {
-            media,
-            cache,
-            mirror,
-        }
+        MediaCache { media, cache }
     }
 
     /// Reads `buf.len()` bytes at `offset`, overlaying cached lines on media.
@@ -269,6 +325,75 @@ impl PoolInner {
     }
 }
 
+/// Mutable state of the single-lock (reference) engine.
+pub(crate) struct PoolInner {
+    pub(crate) mc: MediaCache,
+    /// Volatile mirror of the allocator metadata.
+    pub(crate) mirror: Mirror,
+}
+
+impl PoolInner {
+    fn new(media: Vec<u8>, cache_impl: CacheImpl) -> PoolInner {
+        let mirror = Mirror::rebuild(&media);
+        PoolInner {
+            mc: MediaCache::new(media, cache_impl),
+            mirror,
+        }
+    }
+}
+
+/// Raw persist operations over pool-global offsets, with bounds already
+/// checked by the caller. The allocator runs against this so one
+/// implementation serves both engines; for the sharded engine the
+/// implementor holds *every* shard for the duration of the allocator
+/// operation, giving allocator metadata updates the same atomicity they have
+/// under the global lock.
+pub(crate) trait RawPmem {
+    fn read_raw(&mut self, offset: u64, buf: &mut [u8]);
+    fn write_raw(&mut self, offset: u64, data: &[u8], mode: PoolMode);
+    fn flush_raw(&mut self, offset: u64, len: u64, mode: PoolMode) -> u64;
+    fn fence_raw(&mut self);
+    /// Credits hot-path counters accumulated over an allocator operation.
+    /// Must be called while the implementor still holds its locks (the
+    /// sharded engine writes a per-shard bank that requires exclusivity).
+    fn credit_hot(&mut self, flushes: u64, fences: u64, write_bytes: u64);
+}
+
+/// [`RawPmem`] over the global engine's single `MediaCache`.
+struct GlobalRaw<'a> {
+    mc: &'a mut MediaCache,
+    stats: &'a PmemStats,
+}
+
+impl RawPmem for GlobalRaw<'_> {
+    fn read_raw(&mut self, offset: u64, buf: &mut [u8]) {
+        self.mc.read_raw(offset, buf);
+    }
+    fn write_raw(&mut self, offset: u64, data: &[u8], mode: PoolMode) {
+        self.mc.write_raw(offset, data, mode);
+    }
+    fn flush_raw(&mut self, offset: u64, len: u64, mode: PoolMode) -> u64 {
+        self.mc.flush_raw(offset, len, mode)
+    }
+    fn fence_raw(&mut self) {
+        self.mc.fence_raw();
+    }
+    fn credit_hot(&mut self, flushes: u64, fences: u64, write_bytes: u64) {
+        self.stats.bump(&self.stats.flushes, flushes);
+        self.stats.bump(&self.stats.fences, fences);
+        self.stats.bump(&self.stats.write_bytes, write_bytes);
+    }
+}
+
+/// The synchronization engine behind a pool.
+enum Engine {
+    /// Everything behind one mutex (the reference design).
+    Global(Mutex<PoolInner>),
+    /// Address-range shards, each behind its own lock (or unsynchronized
+    /// owner-checked cells in `SingleThread` mode).
+    Sharded(ShardedPool),
+}
+
 /// A simulated persistent memory pool.
 ///
 /// All methods take `&self`; internal state is protected by a mutex, so a
@@ -277,13 +402,17 @@ impl PoolInner {
 pub struct PmemPool {
     mode: PoolMode,
     cache_impl: CacheImpl,
+    concurrency: PoolConcurrency,
     capacity: u64,
     stats: Arc<PmemStats>,
     /// Fast-path flag: true while a [`FaultPlan`] is armed. Lets the
     /// disarmed hot path skip the fault mutex entirely.
     faults_armed: AtomicBool,
+    /// The single fault injector. While armed, acquisition order on this
+    /// mutex defines the pool-wide total order of persist events — the
+    /// shard-ordering model documented on [`PoolConcurrency`].
     faults: Mutex<FaultState>,
-    pub(crate) inner: Mutex<PoolInner>,
+    engine: Engine,
 }
 
 impl fmt::Debug for PmemPool {
@@ -315,15 +444,12 @@ impl PmemPool {
         put_u64(&mut media, layout::ROOT, 0);
         put_u64(&mut media, layout::FRONTIER, layout::HEAP_BASE);
         // Free-list heads and the redo record are already zero.
-        Ok(PmemPool {
-            mode: opts.mode,
-            cache_impl: opts.cache_impl,
-            capacity: opts.capacity,
-            stats: Arc::new(PmemStats::new()),
-            faults_armed: AtomicBool::new(false),
-            faults: Mutex::new(FaultState::default()),
-            inner: Mutex::new(PoolInner::new(media, opts.cache_impl)),
-        })
+        Ok(Self::assemble(
+            media,
+            opts.mode,
+            opts.cache_impl,
+            opts.concurrency,
+        ))
     }
 
     /// Reopens a pool from raw media contents, e.g. after a crash.
@@ -335,13 +461,21 @@ impl PmemPool {
     ///
     /// Returns [`PmemError::CorruptPool`] if the header fails validation.
     pub fn open_from_media(media: Vec<u8>, mode: PoolMode) -> Result<PmemPool, PmemError> {
-        Self::open_from_media_with(media, mode, CacheImpl::Dense)
+        Self::open_from_media_with(media, mode, CacheImpl::Dense, PoolConcurrency::GlobalLock)
     }
 
-    fn open_from_media_with(
+    /// As [`open_from_media`](Self::open_from_media), with an explicit cache
+    /// model and concurrency mode (the crash-sweep harness reopens crashed
+    /// media under the same configuration it ran with).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PmemError::CorruptPool`] if the header fails validation.
+    pub fn open_from_media_with(
         mut media: Vec<u8>,
         mode: PoolMode,
         cache_impl: CacheImpl,
+        concurrency: PoolConcurrency,
     ) -> Result<PmemPool, PmemError> {
         if media.len() < (layout::HEAP_BASE + 4096) as usize {
             return Err(PmemError::CorruptPool("media shorter than metadata".into()));
@@ -357,15 +491,42 @@ impl PmemPool {
             )));
         }
         crate::alloc::replay_redo(&mut media);
-        Ok(PmemPool {
+        Ok(Self::assemble(media, mode, cache_impl, concurrency))
+    }
+
+    /// Builds the engine and stats for validated media.
+    fn assemble(
+        media: Vec<u8>,
+        mode: PoolMode,
+        cache_impl: CacheImpl,
+        concurrency: PoolConcurrency,
+    ) -> PmemPool {
+        let capacity = media.len() as u64;
+        let engine = match concurrency {
+            PoolConcurrency::GlobalLock => {
+                Engine::Global(Mutex::new(PoolInner::new(media, cache_impl)))
+            }
+            PoolConcurrency::Sharded { shards } => {
+                Engine::Sharded(ShardedPool::new(media, cache_impl, shards as usize, false))
+            }
+            PoolConcurrency::SingleThread => {
+                Engine::Sharded(ShardedPool::new(media, cache_impl, 1, true))
+            }
+        };
+        let stats = Arc::new(match &engine {
+            Engine::Global(_) => PmemStats::new(),
+            Engine::Sharded(s) => PmemStats::with_banks(s.shard_count()),
+        });
+        PmemPool {
             mode,
             cache_impl,
+            concurrency,
             capacity,
-            stats: Arc::new(PmemStats::new()),
+            stats,
             faults_armed: AtomicBool::new(false),
             faults: Mutex::new(FaultState::default()),
-            inner: Mutex::new(PoolInner::new(media, cache_impl)),
-        })
+            engine,
+        }
     }
 
     /// The pool's cache-modeling mode.
@@ -373,9 +534,49 @@ impl PmemPool {
         self.mode
     }
 
+    /// The pool's concurrency mode.
+    pub fn concurrency(&self) -> PoolConcurrency {
+        self.concurrency
+    }
+
+    /// The number of address-range shards (1 for the global-lock and
+    /// single-thread engines).
+    pub fn shard_count(&self) -> usize {
+        match &self.engine {
+            Engine::Global(_) => 1,
+            Engine::Sharded(s) => s.shard_count(),
+        }
+    }
+
     /// The pool capacity in bytes.
     pub fn capacity(&self) -> u64 {
         self.capacity
+    }
+
+    /// Runs `f` with the allocator mirror and raw persist ops, holding
+    /// whatever locks the engine needs (the global mutex, or the mirror lock
+    /// plus every shard in ascending order — the documented lock order).
+    pub(crate) fn with_raw<R>(&self, f: impl FnOnce(&mut Mirror, &mut dyn RawPmem) -> R) -> R {
+        match &self.engine {
+            Engine::Global(m) => {
+                let mut guard = m.lock();
+                let inner = &mut *guard;
+                let mut raw = GlobalRaw {
+                    mc: &mut inner.mc,
+                    stats: &self.stats,
+                };
+                f(&mut inner.mirror, &mut raw)
+            }
+            Engine::Sharded(s) => s.with_raw(&self.stats, f),
+        }
+    }
+
+    /// Runs `f` with just the allocator mirror locked.
+    pub(crate) fn with_mirror<R>(&self, f: impl FnOnce(&mut Mirror) -> R) -> R {
+        match &self.engine {
+            Engine::Global(m) => f(&mut m.lock().mirror),
+            Engine::Sharded(s) => s.with_mirror(f),
+        }
     }
 
     /// The pool's persistence-event counters.
@@ -478,8 +679,13 @@ impl PmemPool {
         let first_line = offset / CACHE_LINE;
         let cut = ((first_line + surviving) * CACHE_LINE - offset) as usize;
         let cut = cut.min(data.len());
-        let s = offset as usize;
-        self.inner.lock().media[s..s + cut].copy_from_slice(&data[..cut]);
+        match &self.engine {
+            Engine::Global(m) => {
+                let s = offset as usize;
+                m.lock().mc.media[s..s + cut].copy_from_slice(&data[..cut]);
+            }
+            Engine::Sharded(s) => s.media_write(offset, &data[..cut]),
+        }
     }
 
     /// Consults the injector before a read: dead pools refuse, and a plan
@@ -528,16 +734,26 @@ impl PmemPool {
         }
         let mut rng = StdRng::seed_from_u64(seed);
         let mut chosen = std::collections::HashSet::new();
-        let mut inner = self.inner.lock();
+        // Draw the bit positions first (the sequence must not depend on the
+        // engine), then apply the flips — XOR commutes, so order is moot.
         while chosen.len() < flips as usize {
             let bit: u64 = rng.gen_range(0..bits);
-            if !chosen.insert(bit) {
-                continue;
-            }
-            let byte = (addr.offset() + bit / 8) as usize;
-            inner.media[byte] ^= 1 << (bit % 8);
+            chosen.insert(bit);
         }
-        drop(inner);
+        match &self.engine {
+            Engine::Global(m) => {
+                let mut inner = m.lock();
+                for &bit in &chosen {
+                    let byte = (addr.offset() + bit / 8) as usize;
+                    inner.mc.media[byte] ^= 1 << (bit % 8);
+                }
+            }
+            Engine::Sharded(s) => {
+                for &bit in &chosen {
+                    s.media_xor(addr.offset() + bit / 8, 1 << (bit % 8));
+                }
+            }
+        }
         self.stats.bump(&self.stats.faults_tripped, 1);
         Ok(())
     }
@@ -564,9 +780,14 @@ impl PmemPool {
         if self.faults_armed.load(Ordering::Relaxed) {
             self.fault_read_event(addr.offset())?;
         }
-        self.stats.bump(&self.stats.reads, 1);
-        self.stats.bump(&self.stats.read_bytes, buf.len() as u64);
-        self.inner.lock().read_raw(addr.offset(), buf);
+        match &self.engine {
+            Engine::Global(m) => {
+                self.stats.bump(&self.stats.reads, 1);
+                self.stats.bump(&self.stats.read_bytes, buf.len() as u64);
+                m.lock().mc.read_raw(addr.offset(), buf);
+            }
+            Engine::Sharded(s) => s.read(addr.offset(), buf, &self.stats),
+        }
         Ok(())
     }
 
@@ -603,9 +824,14 @@ impl PmemPool {
         if self.faults_armed.load(Ordering::Relaxed) {
             self.fault_persist_event(Some((addr.offset(), data)))?;
         }
-        self.stats.bump(&self.stats.writes, 1);
-        self.stats.bump(&self.stats.write_bytes, data.len() as u64);
-        self.inner.lock().write_raw(addr.offset(), data, self.mode);
+        match &self.engine {
+            Engine::Global(m) => {
+                self.stats.bump(&self.stats.writes, 1);
+                self.stats.bump(&self.stats.write_bytes, data.len() as u64);
+                m.lock().mc.write_raw(addr.offset(), data, self.mode);
+            }
+            Engine::Sharded(s) => s.write(addr.offset(), data, self.mode, &self.stats),
+        }
         Ok(())
     }
 
@@ -630,8 +856,13 @@ impl PmemPool {
         if self.faults_armed.load(Ordering::Relaxed) {
             self.fault_persist_event(None)?;
         }
-        let n = self.inner.lock().flush_raw(addr.offset(), len, self.mode);
-        self.stats.bump(&self.stats.flushes, n);
+        match &self.engine {
+            Engine::Global(m) => {
+                let n = m.lock().mc.flush_raw(addr.offset(), len, self.mode);
+                self.stats.bump(&self.stats.flushes, n);
+            }
+            Engine::Sharded(s) => s.flush(addr.offset(), len, self.mode, &self.stats),
+        }
         Ok(())
     }
 
@@ -645,9 +876,14 @@ impl PmemPool {
         if self.faults_armed.load(Ordering::Relaxed) && self.fault_persist_event(None).is_err() {
             return;
         }
-        self.stats.bump(&self.stats.fences, 1);
-        if self.mode == PoolMode::CrashSim {
-            self.inner.lock().fence_raw();
+        match &self.engine {
+            Engine::Global(m) => {
+                self.stats.bump(&self.stats.fences, 1);
+                if self.mode == PoolMode::CrashSim {
+                    m.lock().mc.fence_raw();
+                }
+            }
+            Engine::Sharded(s) => s.fence(self.mode, &self.stats),
         }
     }
 
@@ -696,30 +932,45 @@ impl PmemPool {
     /// validation (which would indicate a bug in this crate, not the caller).
     pub fn crash(&self, cfg: &CrashConfig) -> Result<PmemPool, PmemError> {
         let cfg = &cfg.clamped();
-        let inner = self.inner.lock();
-        let mut media = inner.media.clone();
         let mut rng = StdRng::seed_from_u64(cfg.seed);
         // One survival draw per modified line, in ascending line order —
-        // both cache models visit identically, so outcomes are seed-stable.
-        inner.cache.for_each_modified(|line, flush_pending, bytes| {
-            let survives = if flush_pending {
+        // both cache models and both engines visit identically (the sharded
+        // engine walks shards in ascending address order, and shard bases
+        // are line-aligned, so its draw sequence equals the global one).
+        let mut draw = |flush_pending: bool| {
+            if flush_pending {
                 rng.gen_bool(cfg.p_flushed_unfenced)
             } else {
                 rng.gen_bool(cfg.p_dirty)
-            };
-            if survives {
-                let s = (line * CACHE_LINE) as usize;
-                media[s..s + CACHE_LINE as usize].copy_from_slice(bytes);
             }
-        });
-        drop(inner);
-        PmemPool::open_from_media_with(media, self.mode, self.cache_impl)
+        };
+        let media = match &self.engine {
+            Engine::Global(m) => {
+                let inner = m.lock();
+                let mut media = inner.mc.media.clone();
+                inner
+                    .mc
+                    .cache
+                    .for_each_modified(|line, flush_pending, bytes| {
+                        if draw(flush_pending) {
+                            let s = (line * CACHE_LINE) as usize;
+                            media[s..s + CACHE_LINE as usize].copy_from_slice(bytes);
+                        }
+                    });
+                media
+            }
+            Engine::Sharded(s) => s.crash_media(&mut draw),
+        };
+        PmemPool::open_from_media_with(media, self.mode, self.cache_impl, self.concurrency)
     }
 
     /// Returns a copy of the durable media contents (what a crash with
     /// [`CrashConfig::drop_all`] would preserve, before redo replay).
     pub fn media_snapshot(&self) -> Vec<u8> {
-        self.inner.lock().media.clone()
+        match &self.engine {
+            Engine::Global(m) => m.lock().mc.media.clone(),
+            Engine::Sharded(s) => s.media_snapshot(),
+        }
     }
 }
 

@@ -1,0 +1,492 @@
+//! The sharded pool engine: address-range shards, each behind its own lock.
+//!
+//! The pool's media and simulated cache are partitioned into contiguous,
+//! cache-line-aligned byte ranges. Operations touching one range take one
+//! shard lock; operations spanning a boundary visit the overlapping shards
+//! in ascending address order. Because shard bases are line-aligned, a line
+//! never spans shards, and the ascending-shard × ascending-local-line walk
+//! used by [`ShardedPool::crash_media`] reproduces exactly the global
+//! ascending line order of the single-lock engine — which is what keeps
+//! seeded crash outcomes bit-identical across engines and shard counts.
+//!
+//! Ordering model (documented on [`PoolConcurrency`]): fault injection and
+//! persist-event numbering live *outside* the shards, on the pool's single
+//! fault mutex, consulted before any shard is touched. Shards therefore
+//! never need to agree on an event order among themselves.
+//!
+//! `SingleThread` mode reuses this engine with one shard held in an
+//! owner-checked [`UnsafeCell`] instead of a mutex: the first thread to
+//! touch the pool claims it with a CAS on a thread-local token, and every
+//! later access checks the claim (and panics on a foreign thread) before
+//! the cell is dereferenced — so the unsynchronized access stays sound.
+//!
+//! Hot-path statistics go to per-shard [`ShardCounters`] banks owned by the
+//! shard lock holder; [`PmemStats::snapshot`] folds them back into pool
+//! totals. Operation counts attribute to the shard holding the first byte;
+//! flush line counts attribute per shard (they sum to the same geometry the
+//! global engine reports); fences attribute to shard 0.
+//!
+//! [`PoolConcurrency`]: crate::PoolConcurrency
+//! [`ShardCounters`]: crate::stats::ShardCounters
+//! [`PmemStats::snapshot`]: crate::PmemStats::snapshot
+
+use std::cell::UnsafeCell;
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+use parking_lot::Mutex;
+
+use crate::addr::{align_up, CACHE_LINE};
+use crate::alloc::Mirror;
+use crate::pool::{CacheImpl, MediaCache, PoolMode, RawPmem};
+use crate::stats::PmemStats;
+
+thread_local! {
+    /// Address-identity token for the `SingleThread` owner check: the TLS
+    /// slot's address is unique per live thread and far cheaper to read
+    /// than `std::thread::current()`.
+    static THREAD_TOKEN: u8 = const { 0 };
+}
+
+fn thread_token() -> usize {
+    THREAD_TOKEN.with(|t| t as *const u8 as usize)
+}
+
+/// One address-range shard: a base offset plus its media/cache span.
+pub(crate) struct Shard {
+    /// Pool-global byte offset where this shard's range starts (multiple of
+    /// [`CACHE_LINE`]).
+    base: u64,
+    mc: MediaCache,
+}
+
+impl Shard {
+    /// Reads from pool-global `offset` (caller guarantees containment).
+    fn read(&self, offset: u64, buf: &mut [u8]) {
+        self.mc.read_raw(offset - self.base, buf);
+    }
+
+    fn write(&mut self, offset: u64, data: &[u8], mode: PoolMode) {
+        self.mc.write_raw(offset - self.base, data, mode);
+    }
+
+    /// Flush line accounting is translation-invariant because `base` is
+    /// line-aligned, so the local count equals the global geometry.
+    fn flush(&mut self, offset: u64, len: u64, mode: PoolMode) -> u64 {
+        self.mc.flush_raw(offset - self.base, len, mode)
+    }
+
+    fn fence(&mut self) {
+        self.mc.fence_raw();
+    }
+}
+
+/// A shard slot: locked for `Sharded`, owner-checked for `SingleThread`.
+enum ShardCell {
+    Locked(Mutex<Shard>),
+    Unsync(UnsafeCell<Shard>),
+}
+
+// SAFETY: the `Unsync` variant is only dereferenced by
+// `ShardedPool::with_shard`/`with_raw` after `check_owner` has established
+// that the calling thread holds the pool's exclusive ownership claim, so no
+// two threads can alias the cell's contents.
+unsafe impl Sync for ShardCell {}
+
+/// The sharded engine: contiguous address-range shards plus the (cold)
+/// allocator mirror behind its own lock.
+///
+/// Lock order, where multiple locks are held: mirror → shards ascending.
+/// The pool-level fault mutex is never held across a shard acquisition.
+pub(crate) struct ShardedPool {
+    cells: Box<[ShardCell]>,
+    /// Bytes per shard (multiple of [`CACHE_LINE`]); the last shard holds
+    /// the remainder.
+    shard_bytes: u64,
+    capacity: u64,
+    /// Volatile allocator mirror — allocator paths lock this first, then
+    /// every shard, giving metadata updates global-lock atomicity.
+    mirror: Mutex<Mirror>,
+    /// `SingleThread` ownership claim (0 = unclaimed, else the owner's
+    /// thread token). Unused when all cells are `Locked`.
+    owner: AtomicUsize,
+}
+
+impl ShardedPool {
+    pub(crate) fn new(
+        media: Vec<u8>,
+        cache_impl: CacheImpl,
+        shards: usize,
+        unsync: bool,
+    ) -> ShardedPool {
+        let capacity = media.len() as u64;
+        let mirror = Mirror::rebuild(&media);
+        let want = shards.clamp(1, 4096) as u64;
+        let shard_bytes = align_up(capacity.div_ceil(want).max(1), CACHE_LINE);
+        let mut cells = Vec::new();
+        let mut rest = media;
+        let mut base = 0u64;
+        while !rest.is_empty() {
+            let take = (shard_bytes as usize).min(rest.len());
+            let tail = rest.split_off(take);
+            let shard = Shard {
+                base,
+                mc: MediaCache::new(rest, cache_impl),
+            };
+            cells.push(if unsync {
+                ShardCell::Unsync(UnsafeCell::new(shard))
+            } else {
+                ShardCell::Locked(Mutex::new(shard))
+            });
+            base += take as u64;
+            rest = tail;
+        }
+        ShardedPool {
+            cells: cells.into_boxed_slice(),
+            shard_bytes,
+            capacity,
+            mirror: Mutex::new(mirror),
+            owner: AtomicUsize::new(0),
+        }
+    }
+
+    pub(crate) fn shard_count(&self) -> usize {
+        self.cells.len()
+    }
+
+    /// Verifies (or establishes) this thread's `SingleThread` ownership.
+    ///
+    /// # Panics
+    ///
+    /// Panics when a second thread touches a `SingleThread` pool.
+    fn check_owner(&self) {
+        let me = thread_token();
+        // A relaxed load suffices for the owner re-check: only this thread
+        // can have stored `me`.
+        let cur = self.owner.load(Ordering::Relaxed);
+        if cur == me {
+            return;
+        }
+        if cur == 0
+            && self
+                .owner
+                .compare_exchange(0, me, Ordering::AcqRel, Ordering::Acquire)
+                .is_ok()
+        {
+            return;
+        }
+        panic!("PoolConcurrency::SingleThread pool accessed from a second thread");
+    }
+
+    /// Runs `f` with exclusive access to shard `idx`.
+    fn with_shard<R>(&self, idx: usize, f: impl FnOnce(&mut Shard) -> R) -> R {
+        match &self.cells[idx] {
+            ShardCell::Locked(m) => f(&mut m.lock()),
+            ShardCell::Unsync(c) => {
+                self.check_owner();
+                // SAFETY: `check_owner` established that this thread holds
+                // the pool's exclusive claim, so no other reference to the
+                // shard exists (see `ShardCell`'s `Sync` justification).
+                f(unsafe { &mut *c.get() })
+            }
+        }
+    }
+
+    /// Shard index containing `offset`, clamped so a zero-length access at
+    /// `offset == capacity` still lands on the last shard.
+    fn shard_index(&self, offset: u64) -> usize {
+        ((offset / self.shard_bytes) as usize).min(self.cells.len() - 1)
+    }
+
+    /// Visits each `(shard_index, range_start, range_len)` piece of
+    /// `[offset, offset+len)` in ascending address order.
+    fn for_each_range(&self, offset: u64, len: u64, mut f: impl FnMut(usize, u64, u64)) {
+        let end = offset + len;
+        let mut at = offset;
+        while at < end {
+            let idx = (at / self.shard_bytes) as usize;
+            let stop = ((idx as u64 + 1) * self.shard_bytes).min(end);
+            f(idx, at, stop - at);
+            at = stop;
+        }
+    }
+
+    pub(crate) fn read(&self, offset: u64, buf: &mut [u8], stats: &PmemStats) {
+        if buf.is_empty() {
+            let idx = self.shard_index(offset);
+            self.with_shard(idx, |_| {
+                let b = stats.bank(idx);
+                b.add(&b.reads, 1);
+            });
+            return;
+        }
+        let mut first = true;
+        self.for_each_range(offset, buf.len() as u64, |idx, at, len| {
+            self.with_shard(idx, |sh| {
+                if first {
+                    let b = stats.bank(idx);
+                    b.add(&b.reads, 1);
+                    b.add(&b.read_bytes, buf.len() as u64);
+                }
+                let s = (at - offset) as usize;
+                sh.read(at, &mut buf[s..s + len as usize]);
+            });
+            first = false;
+        });
+    }
+
+    pub(crate) fn write(&self, offset: u64, data: &[u8], mode: PoolMode, stats: &PmemStats) {
+        if data.is_empty() {
+            let idx = self.shard_index(offset);
+            self.with_shard(idx, |_| {
+                let b = stats.bank(idx);
+                b.add(&b.writes, 1);
+            });
+            return;
+        }
+        let mut first = true;
+        self.for_each_range(offset, data.len() as u64, |idx, at, len| {
+            self.with_shard(idx, |sh| {
+                if first {
+                    let b = stats.bank(idx);
+                    b.add(&b.writes, 1);
+                    b.add(&b.write_bytes, data.len() as u64);
+                }
+                let s = (at - offset) as usize;
+                sh.write(at, &data[s..s + len as usize], mode);
+            });
+            first = false;
+        });
+    }
+
+    pub(crate) fn flush(&self, offset: u64, len: u64, mode: PoolMode, stats: &PmemStats) {
+        self.for_each_range(offset, len, |idx, at, l| {
+            self.with_shard(idx, |sh| {
+                let n = sh.flush(at, l, mode);
+                let b = stats.bank(idx);
+                b.add(&b.flushes, n);
+            });
+        });
+    }
+
+    pub(crate) fn fence(&self, mode: PoolMode, stats: &PmemStats) {
+        if mode != PoolMode::CrashSim {
+            // Nothing to write back; only the counter moves.
+            self.with_shard(0, |_| {
+                let b = stats.bank(0);
+                b.add(&b.fences, 1);
+            });
+            return;
+        }
+        for idx in 0..self.cells.len() {
+            self.with_shard(idx, |sh| {
+                if idx == 0 {
+                    let b = stats.bank(0);
+                    b.add(&b.fences, 1);
+                }
+                sh.fence();
+            });
+        }
+    }
+
+    /// Writes straight to durable media, bypassing the cache (torn-store
+    /// injection).
+    pub(crate) fn media_write(&self, offset: u64, data: &[u8]) {
+        self.for_each_range(offset, data.len() as u64, |idx, at, len| {
+            self.with_shard(idx, |sh| {
+                let local = (at - sh.base) as usize;
+                let s = (at - offset) as usize;
+                sh.mc.media[local..local + len as usize]
+                    .copy_from_slice(&data[s..s + len as usize]);
+            });
+        });
+    }
+
+    /// XORs one durable media byte (bit-corruption injection).
+    pub(crate) fn media_xor(&self, byte: u64, mask: u8) {
+        let idx = self.shard_index(byte);
+        self.with_shard(idx, |sh| {
+            sh.mc.media[(byte - sh.base) as usize] ^= mask;
+        });
+    }
+
+    /// Concatenated durable media, ascending shard order.
+    pub(crate) fn media_snapshot(&self) -> Vec<u8> {
+        let mut media = Vec::with_capacity(self.capacity as usize);
+        for idx in 0..self.cells.len() {
+            self.with_shard(idx, |sh| media.extend_from_slice(&sh.mc.media));
+        }
+        media
+    }
+
+    /// Post-crash media image: durable bytes plus every modified line that
+    /// `draw` lets survive. Ascending shard order × ascending local line
+    /// order equals the global ascending line order, so `draw` sees the
+    /// same sequence the single-lock engine produces.
+    pub(crate) fn crash_media(&self, draw: &mut dyn FnMut(bool) -> bool) -> Vec<u8> {
+        let mut media = Vec::with_capacity(self.capacity as usize);
+        for idx in 0..self.cells.len() {
+            self.with_shard(idx, |sh| {
+                let start = media.len();
+                media.extend_from_slice(&sh.mc.media);
+                sh.mc.cache.for_each_modified(|line, flush_pending, bytes| {
+                    if draw(flush_pending) {
+                        let s = start + (line * CACHE_LINE) as usize;
+                        media[s..s + CACHE_LINE as usize].copy_from_slice(bytes);
+                    }
+                });
+            });
+        }
+        media
+    }
+
+    /// Runs `f` with the mirror locked.
+    pub(crate) fn with_mirror<R>(&self, f: impl FnOnce(&mut Mirror) -> R) -> R {
+        f(&mut self.mirror.lock())
+    }
+
+    /// Runs `f` with the mirror plus *every* shard held (mirror first, then
+    /// shards ascending), exposing the shards as one [`RawPmem`] — the
+    /// allocator path.
+    pub(crate) fn with_raw<R>(
+        &self,
+        stats: &PmemStats,
+        f: impl FnOnce(&mut Mirror, &mut dyn RawPmem) -> R,
+    ) -> R {
+        let mut mirror = self.mirror.lock();
+        let mut guards: Vec<ShardGuardMut<'_>> = Vec::with_capacity(self.cells.len());
+        for cell in self.cells.iter() {
+            guards.push(match cell {
+                ShardCell::Locked(m) => ShardGuardMut::Locked(m.lock()),
+                ShardCell::Unsync(c) => {
+                    self.check_owner();
+                    // SAFETY: exclusive ownership established by
+                    // `check_owner`; each cell is visited once, so the
+                    // collected `&mut`s never alias.
+                    ShardGuardMut::Unsync(unsafe { &mut *c.get() })
+                }
+            });
+        }
+        let mut raw = ShardedRaw {
+            guards,
+            shard_bytes: self.shard_bytes,
+            stats,
+        };
+        f(&mut mirror, &mut raw)
+    }
+}
+
+enum ShardGuardMut<'a> {
+    Locked(parking_lot::MutexGuard<'a, Shard>),
+    Unsync(&'a mut Shard),
+}
+
+impl ShardGuardMut<'_> {
+    fn shard(&mut self) -> &mut Shard {
+        match self {
+            ShardGuardMut::Locked(g) => g,
+            ShardGuardMut::Unsync(s) => s,
+        }
+    }
+}
+
+/// [`RawPmem`] over all shards at once (every lock held). Hot-path credits
+/// go to shard 0's bank, which the held locks make safe to write.
+struct ShardedRaw<'a> {
+    guards: Vec<ShardGuardMut<'a>>,
+    shard_bytes: u64,
+    stats: &'a PmemStats,
+}
+
+impl ShardedRaw<'_> {
+    fn for_each_range(&mut self, offset: u64, len: u64, mut f: impl FnMut(&mut Shard, u64, u64)) {
+        let end = offset + len;
+        let mut at = offset;
+        while at < end {
+            let idx = (at / self.shard_bytes) as usize;
+            let stop = ((idx as u64 + 1) * self.shard_bytes).min(end);
+            let sh = self.guards[idx].shard();
+            f(sh, at, stop - at);
+            at = stop;
+        }
+    }
+}
+
+impl RawPmem for ShardedRaw<'_> {
+    fn read_raw(&mut self, offset: u64, buf: &mut [u8]) {
+        let start = offset;
+        self.for_each_range(offset, buf.len() as u64, |sh, at, len| {
+            let s = (at - start) as usize;
+            sh.read(at, &mut buf[s..s + len as usize]);
+        });
+    }
+
+    fn write_raw(&mut self, offset: u64, data: &[u8], mode: PoolMode) {
+        let start = offset;
+        self.for_each_range(offset, data.len() as u64, |sh, at, len| {
+            let s = (at - start) as usize;
+            sh.write(at, &data[s..s + len as usize], mode);
+        });
+    }
+
+    fn flush_raw(&mut self, offset: u64, len: u64, mode: PoolMode) -> u64 {
+        let mut n = 0;
+        self.for_each_range(offset, len, |sh, at, l| {
+            n += sh.flush(at, l, mode);
+        });
+        n
+    }
+
+    fn fence_raw(&mut self) {
+        for g in &mut self.guards {
+            g.shard().fence();
+        }
+    }
+
+    fn credit_hot(&mut self, flushes: u64, fences: u64, write_bytes: u64) {
+        let b = self.stats.bank(0);
+        b.add(&b.flushes, flushes);
+        b.add(&b.fences, fences);
+        b.add(&b.write_bytes, write_bytes);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn shard_geometry_is_line_aligned_and_covers_capacity() {
+        let media = vec![0u8; 1 << 20];
+        let s = ShardedPool::new(media, CacheImpl::Dense, 4, false);
+        assert_eq!(s.shard_count(), 4);
+        assert_eq!(s.shard_bytes % CACHE_LINE, 0);
+        assert_eq!(s.media_snapshot().len(), 1 << 20);
+    }
+
+    #[test]
+    fn tiny_pool_gets_fewer_shards_than_requested() {
+        // 8 KiB across 4096 requested shards: at least one line per shard.
+        let media = vec![0u8; 8192];
+        let s = ShardedPool::new(media, CacheImpl::Dense, 4096, false);
+        assert_eq!(s.shard_count(), 8192 / CACHE_LINE as usize);
+        assert_eq!(s.shard_bytes, CACHE_LINE);
+    }
+
+    #[test]
+    fn cross_shard_write_and_read_round_trip() {
+        let media = vec![0u8; 8192];
+        let s = ShardedPool::new(media, CacheImpl::Dense, 2, false);
+        let stats = PmemStats::with_banks(s.shard_count());
+        let boundary = s.shard_bytes - 32;
+        let data: Vec<u8> = (0..64u8).collect();
+        s.write(boundary, &data, PoolMode::Performance, &stats);
+        let mut back = vec![0u8; 64];
+        s.read(boundary, &mut back, &stats);
+        assert_eq!(back, data);
+        // Op attributed to the first shard only; bytes are the full store.
+        let shards = stats.shard_snapshots();
+        assert_eq!(shards[0].writes, 1);
+        assert_eq!(shards[0].write_bytes, 64);
+        assert_eq!(shards[1].writes, 0);
+    }
+}

@@ -8,11 +8,70 @@
 
 use std::sync::atomic::{AtomicU64, Ordering};
 
+/// One shard's bank of hot-path counters.
+///
+/// Sharded pools route the six per-operation counters (stores, loads,
+/// flushes, fences and their byte counts) here instead of the shared
+/// [`PmemStats`] atomics, so the store path never touches a contended cache
+/// line. The bank's writer is whoever holds the owning shard's lock (or the
+/// claimed thread of a `SingleThread` pool), which is why the increments can
+/// be plain load+store pairs instead of atomic read-modify-writes: there is
+/// exactly one writer at a time, and concurrent
+/// [`snapshot`](PmemStats::snapshot) readers only ever see a slightly stale
+/// value, never a torn one. Padded to two cache lines so neighbouring
+/// shards' banks never false-share.
+#[derive(Debug, Default)]
+#[repr(align(128))]
+pub struct ShardCounters {
+    /// Cache-line flushes issued against this shard's lines.
+    pub flushes: AtomicU64,
+    /// Ordering fences (attributed to shard 0, the fence-epoch owner).
+    pub fences: AtomicU64,
+    /// Store operations whose first byte fell in this shard.
+    pub writes: AtomicU64,
+    /// Bytes of those stores (the full store, even if it spilled into the
+    /// next shard — operation counts attribute to the first shard).
+    pub write_bytes: AtomicU64,
+    /// Load operations whose first byte fell in this shard.
+    pub reads: AtomicU64,
+    /// Bytes of those loads.
+    pub read_bytes: AtomicU64,
+}
+
+impl ShardCounters {
+    /// Adds `by` with a plain load+store (no RMW). Callers must hold the
+    /// owning shard's lock (or be the claimed single thread) — see the type
+    /// docs for why that makes this exact.
+    #[inline]
+    pub(crate) fn add(&self, counter: &AtomicU64, by: u64) {
+        counter.store(counter.load(Ordering::Relaxed) + by, Ordering::Relaxed);
+    }
+
+    /// This bank's counters as a snapshot with only the hot fields set.
+    pub fn snapshot_hot(&self) -> StatsSnapshot {
+        StatsSnapshot {
+            flushes: self.flushes.load(Ordering::Relaxed),
+            fences: self.fences.load(Ordering::Relaxed),
+            writes: self.writes.load(Ordering::Relaxed),
+            write_bytes: self.write_bytes.load(Ordering::Relaxed),
+            reads: self.reads.load(Ordering::Relaxed),
+            read_bytes: self.read_bytes.load(Ordering::Relaxed),
+            ..StatsSnapshot::default()
+        }
+    }
+}
+
 /// Shared, thread-safe persistence counters for one pool.
 ///
 /// All counters are monotone. Logging-layer counters (`log_entries`,
 /// `log_bytes`, `vlog_entries`, `vlog_bytes`) are bumped by the runtime crate
 /// rather than the pool itself.
+///
+/// Sharded pools additionally carry one [`ShardCounters`] bank per shard;
+/// [`snapshot`](Self::snapshot) folds the banks into the shared atomics so a
+/// snapshot means the same thing under every [`PoolConcurrency`] mode.
+///
+/// [`PoolConcurrency`]: crate::PoolConcurrency
 #[derive(Debug, Default)]
 pub struct PmemStats {
     /// Cache-line flushes issued (`clwb`-equivalents).
@@ -50,23 +109,64 @@ pub struct PmemStats {
     /// Operations retried after a transient media fault, bumped by the
     /// runtime's recovery retry loop.
     pub fault_retries: AtomicU64,
+    /// Per-shard hot-counter banks. Empty for single-lock pools; sharded
+    /// pools route all hot-path counts here and leave the shared hot
+    /// atomics above at zero, so [`snapshot`](Self::snapshot) can always
+    /// report `shared + Σ banks`.
+    banks: Vec<ShardCounters>,
 }
 
 impl PmemStats {
-    /// Creates zeroed counters.
+    /// Creates zeroed counters with no per-shard banks (single-lock pools).
     pub fn new() -> Self {
         Self::default()
     }
 
-    /// Captures a point-in-time copy of all counters.
+    /// Creates zeroed counters with `shards` per-shard banks.
+    pub(crate) fn with_banks(shards: usize) -> Self {
+        Self {
+            banks: (0..shards).map(|_| ShardCounters::default()).collect(),
+            ..Self::default()
+        }
+    }
+
+    /// The hot-counter bank for shard `idx`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `idx` is out of range (single-lock pools have no banks).
+    pub(crate) fn bank(&self, idx: usize) -> &ShardCounters {
+        &self.banks[idx]
+    }
+
+    /// Point-in-time copies of each shard's hot counters, in shard order.
+    /// Empty for single-lock pools. Summing these equals the hot fields of
+    /// [`snapshot`](Self::snapshot) for a sharded pool.
+    pub fn shard_snapshots(&self) -> Vec<StatsSnapshot> {
+        self.banks.iter().map(ShardCounters::snapshot_hot).collect()
+    }
+
+    /// Captures a point-in-time copy of all counters. Hot fields fold the
+    /// per-shard banks into the shared atomics, so the snapshot means the
+    /// same thing under every concurrency mode.
     pub fn snapshot(&self) -> StatsSnapshot {
+        let mut hot = StatsSnapshot::default();
+        for bank in &self.banks {
+            let b = bank.snapshot_hot();
+            hot.flushes += b.flushes;
+            hot.fences += b.fences;
+            hot.writes += b.writes;
+            hot.write_bytes += b.write_bytes;
+            hot.reads += b.reads;
+            hot.read_bytes += b.read_bytes;
+        }
         StatsSnapshot {
-            flushes: self.flushes.load(Ordering::Relaxed),
-            fences: self.fences.load(Ordering::Relaxed),
-            writes: self.writes.load(Ordering::Relaxed),
-            write_bytes: self.write_bytes.load(Ordering::Relaxed),
-            reads: self.reads.load(Ordering::Relaxed),
-            read_bytes: self.read_bytes.load(Ordering::Relaxed),
+            flushes: hot.flushes + self.flushes.load(Ordering::Relaxed),
+            fences: hot.fences + self.fences.load(Ordering::Relaxed),
+            writes: hot.writes + self.writes.load(Ordering::Relaxed),
+            write_bytes: hot.write_bytes + self.write_bytes.load(Ordering::Relaxed),
+            reads: hot.reads + self.reads.load(Ordering::Relaxed),
+            read_bytes: hot.read_bytes + self.read_bytes.load(Ordering::Relaxed),
             allocs: self.allocs.load(Ordering::Relaxed),
             frees: self.frees.load(Ordering::Relaxed),
             log_entries: self.log_entries.load(Ordering::Relaxed),
@@ -210,6 +310,27 @@ mod tests {
         assert_eq!(d.flushes, 7);
         assert_eq!(d.log_bytes, 64);
         assert_eq!(d.fences, 0);
+    }
+
+    #[test]
+    fn snapshot_folds_shard_banks_into_hot_fields() {
+        let s = PmemStats::with_banks(3);
+        s.bank(0).add(&s.bank(0).writes, 2);
+        s.bank(0).add(&s.bank(0).write_bytes, 128);
+        s.bank(2).add(&s.bank(2).writes, 1);
+        s.bank(2).add(&s.bank(2).flushes, 4);
+        s.bump(&s.writes, 10); // e.g. shared-path attribution
+        s.bump(&s.allocs, 1);
+        let snap = s.snapshot();
+        assert_eq!(snap.writes, 13);
+        assert_eq!(snap.write_bytes, 128);
+        assert_eq!(snap.flushes, 4);
+        assert_eq!(snap.allocs, 1);
+        let shards = s.shard_snapshots();
+        assert_eq!(shards.len(), 3);
+        assert_eq!(shards[0].writes, 2);
+        assert_eq!(shards[1], StatsSnapshot::default());
+        assert_eq!(shards[2].flushes, 4);
     }
 
     #[test]
