@@ -20,7 +20,7 @@ fn bench(c: &mut Criterion) {
                     i += 1;
                     // Alternate reserve/cancel so customer lists and item
                     // availability stay in steady state across long runs.
-                    if i % 2 == 0 {
+                    if i.is_multiple_of(2) {
                         v.run_action(
                             &rt,
                             0,

@@ -57,7 +57,7 @@ fn store_flush_fence(c: &mut Criterion) {
                 i += 1;
                 pool.write_bytes(addr, &data).unwrap();
                 pool.flush(addr, 64).unwrap();
-                if i % 64 == 0 {
+                if i.is_multiple_of(64) {
                     pool.fence();
                 }
             });

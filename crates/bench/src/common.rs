@@ -255,6 +255,7 @@ pub struct DsOpSource {
 
 impl DsOpSource {
     /// Splits a YCSB workload round-robin over `threads` logical threads.
+    #[allow(clippy::too_many_arguments)]
     pub fn new(
         handle: DsHandle,
         rt: Arc<Runtime>,

@@ -116,9 +116,9 @@ mod tests {
     fn clobber_wins_every_mix_single_thread() {
         let rows = cached_rows();
         for mix in Mix::all() {
-            let c = get(&rows, "clobber", mix.label(), "rwlock", 1);
-            let p = get(&rows, "pmdk", mix.label(), "rwlock", 1);
-            let m = get(&rows, "mnemosyne", mix.label(), "rwlock", 1);
+            let c = get(rows, "clobber", mix.label(), "rwlock", 1);
+            let p = get(rows, "pmdk", mix.label(), "rwlock", 1);
+            let m = get(rows, "mnemosyne", mix.label(), "rwlock", 1);
             assert!(c > p, "{}: clobber {c:.0} vs pmdk {p:.0}", mix.label());
             assert!(c > m, "{}: clobber {c:.0} vs mnemosyne {m:.0}", mix.label());
         }
@@ -129,7 +129,7 @@ mod tests {
         // Paper: Clobber-NVM outperforms more on insert-intensive mixes.
         let rows = cached_rows();
         let gain = |mix: &str| {
-            get(&rows, "clobber", mix, "rwlock", 1) / get(&rows, "pmdk", mix, "rwlock", 1)
+            get(rows, "clobber", mix, "rwlock", 1) / get(rows, "pmdk", mix, "rwlock", 1)
         };
         assert!(
             gain("insert95") > gain("search95"),
@@ -144,8 +144,8 @@ mod tests {
         // Paper: "the longer read path of redo-log based systems results in
         // lower performance of Mnemosyne" on search-heavy mixes.
         let rows = cached_rows();
-        let m = get(&rows, "mnemosyne", "search95", "rwlock", 1);
-        let p = get(&rows, "pmdk", "search95", "rwlock", 1);
+        let m = get(rows, "mnemosyne", "search95", "rwlock", 1);
+        let p = get(rows, "pmdk", "search95", "rwlock", 1);
         assert!(m < p, "mnemosyne {m:.0} vs pmdk {p:.0}");
     }
 
@@ -153,8 +153,8 @@ mod tests {
     fn rwlock_scales_search_heavy_mixes() {
         let rows = cached_rows();
         let threads = *Scale::Quick.threads().last().unwrap();
-        let rw = get(&rows, "clobber", "search95", "rwlock", threads);
-        let spin = get(&rows, "clobber", "search95", "spinlock", threads);
+        let rw = get(rows, "clobber", "search95", "rwlock", threads);
+        let spin = get(rows, "clobber", "search95", "spinlock", threads);
         assert!(
             rw >= spin * 0.95,
             "readers should share: rwlock {rw:.0} vs spinlock {spin:.0}"

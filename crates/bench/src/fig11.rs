@@ -114,8 +114,8 @@ mod tests {
         let rows = cached_rows();
         for tree in ["rbtree", "avltree"] {
             for q in [2, 4, 6] {
-                let c = get(&rows, "clobber", tree, q).overhead_pct;
-                let p = get(&rows, "pmdk", tree, q).overhead_pct;
+                let c = get(rows, "clobber", tree, q).overhead_pct;
+                let p = get(rows, "pmdk", tree, q).overhead_pct;
                 assert!(c < p, "{tree}/q{q}: clobber {c:.0}% vs pmdk {p:.0}%");
             }
         }
@@ -127,8 +127,8 @@ mod tests {
         // clobber/undo logging overhead.
         let rows = cached_rows();
         for sys in ["clobber", "pmdk"] {
-            let low = get(&rows, sys, "rbtree", 2).overhead_pct;
-            let high = get(&rows, sys, "rbtree", 6).overhead_pct;
+            let low = get(rows, sys, "rbtree", 2).overhead_pct;
+            let high = get(rows, sys, "rbtree", 6).overhead_pct;
             assert!(high < low + 1.0, "{sys}: q2 {low:.0}% vs q6 {high:.0}%");
         }
     }

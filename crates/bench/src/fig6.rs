@@ -116,9 +116,9 @@ mod tests {
     fn clobber_beats_undo_and_atlas_single_thread() {
         let rows = cached_rows();
         for ds in ["hashmap", "skiplist", "rbtree", "bptree"] {
-            let clobber = throughput(&rows, "clobber", ds, 1);
-            let pmdk = throughput(&rows, "pmdk", ds, 1);
-            let atlas = throughput(&rows, "atlas", ds, 1);
+            let clobber = throughput(rows, "clobber", ds, 1);
+            let pmdk = throughput(rows, "pmdk", ds, 1);
+            let atlas = throughput(rows, "atlas", ds, 1);
             assert!(
                 clobber > pmdk,
                 "{ds}: clobber {clobber:.0} vs pmdk {pmdk:.0}"
@@ -130,8 +130,8 @@ mod tests {
     #[test]
     fn bptree_scales_with_per_leaf_locks() {
         let rows = cached_rows();
-        let t1 = throughput(&rows, "clobber", "bptree", 1);
-        let t4 = throughput(&rows, "clobber", "bptree", 4);
+        let t1 = throughput(rows, "clobber", "bptree", 1);
+        let t4 = throughput(rows, "clobber", "bptree", 4);
         assert!(t4 > t1 * 1.5, "bptree should scale: {t1:.0} -> {t4:.0}");
     }
 
@@ -140,10 +140,10 @@ mod tests {
         // Paper: Mnemosyne matches Clobber-NVM on rbtree/skiplist at high
         // thread counts because it is not serialized by the global lock.
         let rows = cached_rows();
-        let clobber_gain = throughput(&rows, "clobber", "skiplist", 4)
-            / throughput(&rows, "clobber", "skiplist", 1);
-        let mnemosyne_gain = throughput(&rows, "mnemosyne", "skiplist", 4)
-            / throughput(&rows, "mnemosyne", "skiplist", 1);
+        let clobber_gain =
+            throughput(rows, "clobber", "skiplist", 4) / throughput(rows, "clobber", "skiplist", 1);
+        let mnemosyne_gain = throughput(rows, "mnemosyne", "skiplist", 4)
+            / throughput(rows, "mnemosyne", "skiplist", 1);
         assert!(
             mnemosyne_gain > clobber_gain,
             "mnemosyne {mnemosyne_gain:.2}x vs clobber {clobber_gain:.2}x"

@@ -141,7 +141,7 @@ mod tests {
     #[test]
     fn clobber_uses_far_fewer_entries_than_pmdk() {
         let rows = cached_rows();
-        for (ds, entries_ratio, bytes_ratio) in paper_ratios(&rows) {
+        for (ds, entries_ratio, bytes_ratio) in paper_ratios(rows) {
             assert!(
                 entries_ratio < 0.7,
                 "{ds}: clobber/pmdk entry ratio {entries_ratio:.2} (paper: 0.215-0.423)"

@@ -80,6 +80,7 @@ fn hashmap_load_on(
 }
 
 /// YCSB-Load (32-byte keys) into the B+Tree under the clobber backend.
+#[allow(clippy::type_complexity)]
 fn bptree_load(reference: bool) -> (StatsSnapshot, Vec<(Vec<u8>, Vec<u8>)>) {
     let pool = pool(reference);
     let rt = Runtime::create(pool.clone(), RuntimeOptions::default()).unwrap();
@@ -177,6 +178,48 @@ fn hashmap_load_counters_identical_across_concurrency_modes() {
                 backend.label()
             );
         }
+    }
+}
+
+/// Golden allocator-counter pins: a fixed alloc/free/reserve/publish/cancel
+/// sequence must attribute exactly these counts — and identically across
+/// every engine. `alloc_freelist`/`alloc_frontier` split where each block
+/// came from; `magazine_hits` counts reserves served lock-free from the
+/// thread's magazine (refilled by the first free-list reserve).
+#[test]
+fn allocator_counters_pin_across_engines() {
+    for concurrency in [
+        PoolConcurrency::GlobalLock,
+        PoolConcurrency::Sharded { shards: 4 },
+        PoolConcurrency::Sharded { shards: 16 },
+        PoolConcurrency::SingleThread,
+    ] {
+        let pool = pool_with(concurrency);
+        let before = pool.stats().snapshot();
+        let a = pool.alloc(64).unwrap(); // frontier
+        let b = pool.alloc(64).unwrap(); // frontier
+        pool.free(a).unwrap();
+        pool.free(b).unwrap();
+        let r1 = pool.reserve(64).unwrap(); // free list (refills magazine)
+        let r2 = pool.reserve(64).unwrap(); // magazine hit
+        let r3 = pool.reserve(64).unwrap(); // frontier (lists drained)
+        pool.publish(&[r1, r2]).unwrap();
+        pool.fence();
+        pool.cancel(&[r3]).unwrap();
+        let d = pool.stats().snapshot().delta(&before);
+        assert_eq!(
+            (d.allocs, d.frees, d.reserves, d.publishes, d.cancels),
+            (5, 2, 3, 1, 1),
+            "{concurrency:?}: {d:?}"
+        );
+        assert_eq!(
+            (d.alloc_freelist, d.alloc_frontier, d.magazine_hits),
+            (2, 3, 1),
+            "{concurrency:?}: {d:?}"
+        );
+        // The two engines must hand out identical addresses too.
+        assert_eq!(r1, b, "LIFO pop order");
+        assert_eq!(r2, a, "magazine preserves unbatched pop order");
     }
 }
 

@@ -302,6 +302,152 @@ pub fn sweep_with(
     summary
 }
 
+/// Cells in the regrow workload's initial customer list.
+pub const REGROW_INITIAL: u64 = 5;
+/// Cells added by each regrow transaction.
+pub const REGROW_DELTA: u64 = 5;
+/// Regrow transactions in the alloc-heavy script.
+pub const REGROW_STEPS: u64 = 5;
+
+/// Registers the vacation-style growing-reallocation txfunc: each call
+/// replaces the customer list at `base` (`[ptr, cells]`) with a copy one
+/// `REGROW_DELTA` larger — `pmalloc` the bigger block, carry the contents,
+/// extend, swap the root pointer, `pfree` the old block. Cell `i` always
+/// holds `i + 1`, whatever prefix of the script committed.
+pub fn register_regrow(rt: &Runtime) {
+    rt.register("regrow", |tx, args| {
+        let base = PAddr::new(args.u64(0)?);
+        let old = PAddr::new(tx.read_u64(base)?);
+        let old_cells = tx.read_u64(base.add(8))?;
+        let new_cells = old_cells + REGROW_DELTA;
+        let block = tx.pmalloc(new_cells * 8)?;
+        for i in 0..old_cells {
+            let v = tx.read_u64(old.add(i * 8))?;
+            tx.write_u64(block.add(i * 8), v)?;
+        }
+        for i in old_cells..new_cells {
+            tx.write_u64(block.add(i * 8), i + 1)?;
+        }
+        tx.write_u64(base, block.offset())?;
+        tx.write_u64(base.add(8), new_cells)?;
+        tx.pfree(old)?;
+        Ok(None)
+    });
+}
+
+/// Fresh pool + runtime with the regrow root (`[ptr, cells]`) and initial
+/// list durable. Deterministic, so persist-event streams replay exactly.
+pub fn setup_regrow(
+    backend: Backend,
+    concurrency: PoolConcurrency,
+) -> (Arc<PmemPool>, Runtime, PAddr) {
+    let opts = PoolOptions::crash_sim(1 << 20).with_concurrency(concurrency);
+    let pool = Arc::new(PmemPool::create(opts).unwrap());
+    let rt = Runtime::create(pool.clone(), sweep_options(backend)).unwrap();
+    register_regrow(&rt);
+    let base = pool.alloc(16).unwrap();
+    let list = pool.alloc(REGROW_INITIAL * 8).unwrap();
+    for i in 0..REGROW_INITIAL {
+        pool.write_u64(list.add(i * 8), i + 1).unwrap();
+    }
+    pool.write_u64(base, list.offset()).unwrap();
+    pool.write_u64(base.add(8), REGROW_INITIAL).unwrap();
+    pool.persist(base, 16).unwrap();
+    pool.persist(list, REGROW_INITIAL * 8).unwrap();
+    rt.set_app_root(base).unwrap();
+    (pool, rt, base)
+}
+
+fn run_regrow_script(rt: &Runtime, base: PAddr) -> Result<(), TxError> {
+    for _ in 0..REGROW_STEPS {
+        rt.run("regrow", &ArgList::new().with_u64(base.offset()))?;
+    }
+    Ok(())
+}
+
+/// The regrow invariant: the root points at a list of `REGROW_INITIAL +
+/// k * REGROW_DELTA` cells for some committed prefix `k`, and cell `i`
+/// holds `i + 1`.
+fn check_regrow_list(pool: &PmemPool, base: PAddr, ctx: &str) {
+    let ptr = PAddr::new(pool.read_u64(base).unwrap());
+    let cells = pool.read_u64(base.add(8)).unwrap();
+    assert!(
+        (REGROW_INITIAL..=REGROW_INITIAL + REGROW_STEPS * REGROW_DELTA).contains(&cells)
+            && (cells - REGROW_INITIAL).is_multiple_of(REGROW_DELTA),
+        "{ctx}: list has {cells} cells — not a committed prefix"
+    );
+    for i in 0..cells {
+        assert_eq!(
+            pool.read_u64(ptr.add(i * 8)).unwrap(),
+            i + 1,
+            "{ctx}: cell {i} corrupted"
+        );
+    }
+}
+
+/// Alloc-heavy crash-point sweep: the growing-reallocation script crashed
+/// at every `stride`-th persist event, recovered, and checked — list
+/// invariant *and* a full [`PmemPool::check_heap`] walk after every
+/// recovery (allocator metadata must stay structurally sound at every
+/// crash point, not just on the happy path).
+pub fn sweep_regrow(backend: Backend, stride: u64, concurrency: PoolConcurrency) -> SweepSummary {
+    assert!(stride > 0);
+    let mut summary = SweepSummary::default();
+    // Count the script's persist events (and verify the harness baseline).
+    {
+        let (pool, rt, base) = setup_regrow(backend, concurrency);
+        pool.arm_faults(FaultPlan::count_only());
+        run_regrow_script(&rt, base).expect("count run must not fail");
+        summary.events = pool.disarm_faults();
+        check_regrow_list(&pool, base, "baseline");
+        pool.check_heap().expect("baseline heap");
+        assert!(summary.events > 0);
+    }
+    let mut k = 0;
+    while k < summary.events {
+        let media = {
+            let (pool, rt, base) = setup_regrow(backend, concurrency);
+            pool.arm_faults(FaultPlan::crash_at(k));
+            let _ = run_regrow_script(&rt, base);
+            assert_eq!(pool.fault_tripped(), Some(k), "event {k} must trip");
+            pool.crash(&CrashConfig::drop_all(0xA110C ^ k))
+                .unwrap()
+                .media_snapshot()
+        };
+        summary.crash_points += 1;
+        let pool = Arc::new(
+            PmemPool::open_from_media_with(
+                media,
+                PoolMode::CrashSim,
+                CacheImpl::Dense,
+                concurrency,
+            )
+            .unwrap(),
+        );
+        let rt = Runtime::open(pool.clone(), sweep_options(backend)).unwrap();
+        register_regrow(&rt);
+        let report = rt
+            .recover()
+            .unwrap_or_else(|e| panic!("k={k}: recovery failed: {e}"));
+        summary.reexecuted += report.reexecuted.len() as u64;
+        summary.rolled_back += report.rolled_back as u64;
+        summary.redo_applied += report.redo_applied as u64;
+        summary.abandoned += report.abandoned as u64;
+        let base = rt.app_root().unwrap();
+        check_regrow_list(&pool, base, &format!("k={k}"));
+        // The allocator's durable structures must be sound at every point.
+        pool.check_heap()
+            .unwrap_or_else(|e| panic!("k={k}: heap check failed: {e}"));
+        // And the recovered heap keeps serving growing reallocations.
+        rt.run("regrow", &ArgList::new().with_u64(base.offset()))
+            .unwrap();
+        pool.check_heap()
+            .unwrap_or_else(|e| panic!("k={k}: post-recovery heap check failed: {e}"));
+        k += stride;
+    }
+    summary
+}
+
 /// Registers a non-parking replacement for `parked_transfer`: recovery
 /// re-execution must not block on test barriers, so recovered runtimes get
 /// this plain unconditional transfer under the same name.

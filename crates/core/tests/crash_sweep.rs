@@ -11,7 +11,7 @@
 mod common;
 
 use common::{
-    register_parked_plain, register_transfer, reopen, sweep, sweep_with, total,
+    register_parked_plain, register_transfer, reopen, sweep, sweep_regrow, sweep_with, total,
     two_parked_transfers, Nested, SweepSummary, ACCOUNTS, INITIAL,
 };
 
@@ -89,6 +89,45 @@ fn sweep_clobber_sharded_matches_global_lock() {
         );
         assert_eq!(s, reference, "sharded({shards}) sweep diverged");
     }
+}
+
+/// Alloc-heavy sweep: the vacation-style growing-reallocation script
+/// (pmalloc bigger / copy / swap root / pfree old, every transaction)
+/// crashed at every swept persist event, with the list invariant *and* a
+/// full `check_heap` walk asserted after every recovery. Run at shard
+/// counts 1 and 4, which must agree point-for-point with the single-lock
+/// sweep — allocator arenas and reservation magazines sit entirely inside
+/// the shard-count-invariance contract.
+#[test]
+fn sweep_regrow_alloc_heavy_across_shard_counts() {
+    let stride = smoke_stride();
+    let reference = sweep_regrow(Backend::clobber(), stride, PoolConcurrency::GlobalLock);
+    assert!(reference.events > 0, "regrow script must issue events");
+    assert!(reference.crash_points > 0);
+    assert!(
+        reference.reexecuted + reference.abandoned > 0,
+        "clobber regrow sweep should recover by re-execution: {reference:?}"
+    );
+    for shards in [1u32, 4] {
+        let s = sweep_regrow(
+            Backend::clobber(),
+            stride,
+            PoolConcurrency::Sharded { shards },
+        );
+        assert_eq!(s, reference, "regrow sharded({shards}) sweep diverged");
+    }
+}
+
+/// The regrow sweep holds under undo logging too (PMDK-style transactional
+/// allocation with snapshot logging instead of re-execution).
+#[test]
+fn sweep_regrow_undo() {
+    let s = sweep_regrow(Backend::Undo, smoke_stride(), PoolConcurrency::GlobalLock);
+    assert!(s.events > 0 && s.crash_points > 0);
+    assert!(
+        s.rolled_back > 0,
+        "undo regrow sweep should roll back: {s:?}"
+    );
 }
 
 /// The full acceptance sweep: stride 1 on every backend with a nested

@@ -26,15 +26,40 @@
 //! those (possibly durable) payload bytes must not be able to corrupt the
 //! persistent free chain a crash recovery walks.
 //!
-//! Concurrency contract: all paths run under the pool lock. Crash testing
-//! assumes at most one uncommitted transaction holds unpublished
-//! reservations per size class at the crash point (the paper's recovery
-//! model likewise recovers threads independently with disjoint lock sets).
+//! **Arenas and concurrency:** the heap is partitioned into arenas (see
+//! [`HeapGeometry`]), each with its own persistent frontier, free-list
+//! heads, redo record and volatile [`ArenaMirror`]. Threads are assigned
+//! arenas round-robin at their first allocator call (the first thread gets
+//! arena 0, keeping single-threaded runs bit-identical to the single-arena
+//! layout); huge blocks always use arena 0, and exhaustion spills
+//! deterministically to the other arenas in index order. An allocator call
+//! locks only its arena's mirror plus the engine locks covering that
+//! arena's byte span, so calls on different arenas proceed in parallel.
+//!
+//! **Reservation magazines:** each thread keeps a small per-class magazine
+//! of pre-reserved, pre-zeroed blocks per pool, refilled by batch-popping
+//! the arena's free list while the arena lock is already held. A magazine
+//! hit makes `reserve` completely lock-free. Magazines are volatile-only:
+//! their blocks sit in the mirror's reserved set like any other unpublished
+//! reservation, so a crash rolls them back unless a later `publish` in the
+//! same class persisted a deeper list head first — in which case they are
+//! *leaked* (unlisted free blocks — the same documented, bounded leak class
+//! an unpublished pop already had), never corruption.
+//!
+//! Crash testing assumes at most one uncommitted transaction holds
+//! unpublished reservations per size class *per arena* at the crash point —
+//! which per-thread arena routing now enforces by construction for
+//! transactional workloads.
+//!
+//! [`HeapGeometry`]: crate::pool::HeapGeometry
 
+use std::cell::RefCell;
 use std::collections::HashMap;
 
 use crate::addr::{align_up, PAddr};
-use crate::pool::{get_u64, layout, put_u64, PmemError, PmemPool, PoolMode, RawPmem};
+use crate::pool::{
+    get_u64, put_u64, ArenaLayout, HeapGeometry, PmemError, PmemPool, PoolMode, RawPmem,
+};
 
 /// Payload capacities of the small size classes.
 pub const CLASS_SIZES: [u64; 9] = [16, 32, 64, 128, 256, 512, 1024, 2048, 4096];
@@ -52,6 +77,13 @@ const OP_POP: u64 = 1;
 const OP_BUMP: u64 = 2;
 const OP_PUSH: u64 = 3;
 
+/// Blocks a thread-local magazine holds per size class.
+const MAGAZINE_CAP: usize = 8;
+/// Pools a thread keeps routing/magazine state for (oldest evicted; an
+/// evicted magazine's blocks stay reserved in the mirror — a bounded
+/// volatile leak until the pool is reopened).
+const TLS_POOL_CAP: usize = 8;
+
 /// Where a reservation's block came from, for cancel/publish bookkeeping.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 enum Origin {
@@ -66,15 +98,16 @@ struct Reservation {
     capacity: u64,
     origin: Origin,
     /// Frontier value before a [`Origin::Frontier`] reservation, so a
-    /// cancel of the newest block rolls alignment padding back too.
+    /// cancel rolls alignment padding back too.
     prev_frontier: u64,
 }
 
-/// Volatile mirror of the persistent allocator metadata.
+/// Volatile mirror of one arena's persistent allocator metadata.
 ///
 /// Rebuilt from media on pool open; reservations live only here until
 /// published.
-pub(crate) struct Mirror {
+pub(crate) struct ArenaMirror {
+    pub(crate) layout: ArenaLayout,
     pub(crate) frontier: u64,
     /// Free payload addresses per head, top of stack last.
     free: Vec<Vec<u64>>,
@@ -85,22 +118,26 @@ pub(crate) struct Mirror {
     /// Heads whose media copy is stale relative to the mirror.
     dirty_heads: Vec<bool>,
     frontier_dirty: bool,
+    /// Frontier spans abandoned by out-of-order cancels: block end →
+    /// frontier value to roll back to once the frontier retreats to that
+    /// end (i.e. once the intervening blocks are cancelled too).
+    pending_rollback: HashMap<u64, u64>,
 }
 
-impl Mirror {
-    /// Rebuilds the mirror by walking the persistent free lists.
-    pub(crate) fn rebuild(media: &[u8]) -> Mirror {
-        let frontier = get_u64(media, layout::FRONTIER);
+impl ArenaMirror {
+    /// Rebuilds the mirror by walking the arena's persistent free lists.
+    pub(crate) fn rebuild(media: &[u8], layout: ArenaLayout) -> ArenaMirror {
+        let frontier = get_u64(media, layout.frontier_off());
         let mut free = Vec::with_capacity(NUM_HEADS);
         let mut huge_sizes = HashMap::new();
         for head_idx in 0..NUM_HEADS {
             let mut chain = Vec::new();
-            let mut cur = get_u64(media, layout::FREE_HEADS + head_idx as u64 * 8);
+            let mut cur = get_u64(media, layout.head_off(head_idx as u32));
             // Walk head -> tail via header chain pointers, guarding against
             // cycles or torn pointers from corruption.
             let mut hops = 0u64;
-            while cur >= layout::HEAP_BASE + HDR_LEN
-                && cur + 8 <= media.len() as u64
+            while cur >= layout.heap_lo + HDR_LEN
+                && cur + 8 <= layout.heap_hi
                 && hops < (media.len() as u64 / 16)
             {
                 chain.push(cur);
@@ -114,50 +151,55 @@ impl Mirror {
             chain.reverse();
             free.push(chain);
         }
-        Mirror {
+        ArenaMirror {
+            layout,
             frontier,
             free,
             huge_sizes,
             reserved: HashMap::new(),
             dirty_heads: vec![false; NUM_HEADS],
             frontier_dirty: false,
+            pending_rollback: HashMap::new(),
         }
     }
 }
 
-/// Replays an in-flight allocator redo record against raw media.
+/// Replays in-flight allocator redo records against raw media, one per
+/// arena.
 ///
 /// Called on pool open; a record is only present if a crash interrupted an
 /// immediate alloc/free. All stored values are absolute, so replay is
 /// idempotent.
-pub(crate) fn replay_redo(media: &mut [u8]) {
-    let r = layout::ALLOC_REDO;
-    if get_u64(media, r) != 1 {
-        return;
+pub(crate) fn replay_redo(media: &mut [u8], geom: &HeapGeometry) {
+    for arena in geom.arenas() {
+        let r = arena.redo_off();
+        if get_u64(media, r) != 1 {
+            continue;
+        }
+        let op = get_u64(media, r + 8);
+        let class = get_u64(media, r + 16) as u32;
+        let block = get_u64(media, r + 24);
+        let a = get_u64(media, r + 32);
+        let size = get_u64(media, r + 40);
+        let head_off = arena.head_off(class);
+        match op {
+            OP_POP => {
+                put_u64(media, head_off, a);
+                write_header_media(media, block, STATE_ALLOC, class, size);
+            }
+            OP_BUMP => {
+                put_u64(media, arena.frontier_off(), a);
+                write_header_media(media, block, STATE_ALLOC, class, size);
+            }
+            OP_PUSH => {
+                write_header_media(media, block, STATE_FREE, class, size);
+                put_u64(media, block - HDR_LEN + HDR_NEXT, a); // header chain pointer
+                put_u64(media, head_off, block);
+            }
+            _ => {} // unknown op: ignore rather than corrupt further
+        }
+        put_u64(media, r, 0);
     }
-    let op = get_u64(media, r + 8);
-    let class = get_u64(media, r + 16) as u32;
-    let block = get_u64(media, r + 24);
-    let a = get_u64(media, r + 32);
-    let size = get_u64(media, r + 40);
-    let head_off = layout::FREE_HEADS + class as u64 * 8;
-    match op {
-        OP_POP => {
-            put_u64(media, head_off, a);
-            write_header_media(media, block, STATE_ALLOC, class, size);
-        }
-        OP_BUMP => {
-            put_u64(media, layout::FRONTIER, a);
-            write_header_media(media, block, STATE_ALLOC, class, size);
-        }
-        OP_PUSH => {
-            write_header_media(media, block, STATE_FREE, class, size);
-            put_u64(media, block - HDR_LEN + HDR_NEXT, a); // header chain pointer
-            put_u64(media, head_off, block);
-        }
-        _ => {} // unknown op: ignore rather than corrupt further
-    }
-    put_u64(media, r, 0);
 }
 
 fn write_header_media(media: &mut [u8], payload: u64, state: u32, class: u32, size: u64) {
@@ -177,8 +219,48 @@ fn classify(size: u64) -> (u32, u64) {
     (HUGE_CLASS, align_up(size, 4096))
 }
 
+/// Thread-local allocator state for one pool: the arena this thread routes
+/// to plus its per-class reservation magazines.
+struct PoolTls {
+    pool_id: u64,
+    arena: u32,
+    /// Pre-reserved, pre-zeroed blocks per small size class; popping one is
+    /// a lock-free `reserve`.
+    mags: [Vec<u64>; CLASS_SIZES.len()],
+}
+
+#[derive(Default)]
+struct AllocTls {
+    pools: Vec<PoolTls>,
+}
+
+impl AllocTls {
+    /// Index of (creating if absent) this pool's state. Creation claims an
+    /// arena from the pool's round-robin counter and may evict the oldest
+    /// entry.
+    fn slot(&mut self, pool: &PmemPool) -> usize {
+        if let Some(i) = self.pools.iter().position(|p| p.pool_id == pool.pool_id()) {
+            return i;
+        }
+        if self.pools.len() >= TLS_POOL_CAP {
+            self.pools.remove(0);
+        }
+        self.pools.push(PoolTls {
+            pool_id: pool.pool_id(),
+            arena: pool.claim_arena(),
+            mags: Default::default(),
+        });
+        self.pools.len() - 1
+    }
+}
+
+thread_local! {
+    static ALLOC_TLS: RefCell<AllocTls> = RefCell::new(AllocTls::default());
+}
+
 /// Cache-aware persistent write helpers used while the engine's locks are
-/// held (the whole pool under the global lock, or mirror + all shards).
+/// held (the whole pool under the global lock, or one arena mirror + the
+/// shards covering the arena's span).
 struct Ops<'a, 'b> {
     raw: &'a mut (dyn RawPmem + 'b),
     mode: PoolMode,
@@ -242,8 +324,16 @@ impl<'a, 'b> Ops<'a, 'b> {
     }
 
     /// Persists a full redo record in one flush+fence.
-    fn arm_redo(&mut self, op: u64, class: u32, block: u64, a: u64, size: u64) {
-        let r = layout::ALLOC_REDO;
+    fn arm_redo(
+        &mut self,
+        arena: &ArenaLayout,
+        op: u64,
+        class: u32,
+        block: u64,
+        a: u64,
+        size: u64,
+    ) {
+        let r = arena.redo_off();
         self.write_u64(r + 8, op);
         self.write_u64(r + 16, class as u64);
         self.write_u64(r + 24, block);
@@ -254,8 +344,8 @@ impl<'a, 'b> Ops<'a, 'b> {
         self.fence();
     }
 
-    fn disarm_redo(&mut self) {
-        let r = layout::ALLOC_REDO;
+    fn disarm_redo(&mut self, arena: &ArenaLayout) {
+        let r = arena.redo_off();
         self.write_u64(r, 0);
         self.flush(r, 8);
         self.fence();
@@ -263,6 +353,38 @@ impl<'a, 'b> Ops<'a, 'b> {
 }
 
 impl PmemPool {
+    /// The arena this thread's allocations route to (claiming one on the
+    /// thread's first allocator call against this pool).
+    fn routed_arena(&self) -> usize {
+        if self.arena_count() == 1 {
+            return 0;
+        }
+        ALLOC_TLS.with(|t| {
+            let mut t = t.borrow_mut();
+            let i = t.slot(self);
+            t.pools[i].arena as usize
+        })
+    }
+
+    /// Visits `home` first, then every other arena ascending, applying `f`
+    /// until it returns something other than `OutOfMemory` — the
+    /// deterministic spill order.
+    fn spill<R>(
+        &self,
+        home: usize,
+        requested: u64,
+        mut f: impl FnMut(usize) -> Result<R, PmemError>,
+    ) -> Result<R, PmemError> {
+        let n = self.arena_count();
+        for idx in std::iter::once(home).chain((0..n).filter(|&i| i != home)) {
+            match f(idx) {
+                Err(PmemError::OutOfMemory { .. }) => continue,
+                r => return r,
+            }
+        }
+        Err(PmemError::OutOfMemory { requested })
+    }
+
     /// Allocates `size` bytes from the persistent heap, immediately and
     /// crash-consistently (two fences). For allocation inside a transaction
     /// use [`reserve`](Self::reserve) via the runtime's `pmalloc`.
@@ -275,47 +397,64 @@ impl PmemPool {
     /// [`PmemError::OutOfBounds`] for zero-size requests beyond capacity.
     pub fn alloc(&self, size: u64) -> Result<PAddr, PmemError> {
         self.fail_if_dead()?;
+        let (class, capacity) = classify(size.max(8));
+        let home = if class == HUGE_CLASS {
+            0
+        } else {
+            self.routed_arena()
+        };
+        let (payload, origin) =
+            self.spill(home, capacity, |idx| self.alloc_in(idx, class, capacity))?;
+        let stats = self.stats();
+        stats.bump(&stats.allocs, 1);
+        match origin {
+            Origin::FreeList => stats.bump(&stats.alloc_freelist, 1),
+            Origin::Frontier => stats.bump(&stats.alloc_frontier, 1),
+        }
+        Ok(PAddr::new(payload))
+    }
+
+    /// The immediate (redo-protected) allocation path against one arena.
+    fn alloc_in(&self, idx: usize, class: u32, capacity: u64) -> Result<(u64, Origin), PmemError> {
         let mode = self.mode();
-        let pool_capacity = self.capacity();
-        let payload = self.with_raw(|mirror, raw| {
-            let (class, capacity) = classify(size.max(8));
-            let picked = pick_block(mirror, class, capacity, pool_capacity)?;
+        self.with_arena_raw(idx, |am, raw| {
+            let picked = pick_block(am, class, capacity)?;
+            let l = am.layout;
             let mut ops = Ops::new(raw, mode);
-            let payload = match picked {
+            let (payload, origin) = match picked {
                 Picked::Pop { payload, next } => {
-                    ops.arm_redo(OP_POP, class, payload, next, capacity);
-                    ops.write_u64(layout::FREE_HEADS + class as u64 * 8, next);
+                    ops.arm_redo(&l, OP_POP, class, payload, next, capacity);
+                    ops.write_u64(l.head_off(class), next);
                     ops.write_header(payload, STATE_ALLOC, class, capacity);
-                    ops.flush(layout::FREE_HEADS + class as u64 * 8, 8);
+                    ops.flush(l.head_off(class), 8);
                     ops.flush(payload - HDR_LEN, HDR_LEN);
-                    ops.disarm_redo();
-                    payload
+                    ops.disarm_redo(&l);
+                    (payload, Origin::FreeList)
                 }
                 Picked::Bump {
                     payload,
                     new_frontier,
                 } => {
-                    mirror.frontier = new_frontier;
-                    ops.arm_redo(OP_BUMP, class, payload, new_frontier, capacity);
-                    ops.write_u64(layout::FRONTIER, new_frontier);
+                    am.frontier = new_frontier;
+                    ops.arm_redo(&l, OP_BUMP, class, payload, new_frontier, capacity);
+                    ops.write_u64(l.frontier_off(), new_frontier);
                     ops.write_header(payload, STATE_ALLOC, class, capacity);
-                    ops.flush(layout::FRONTIER, 8);
+                    ops.flush(l.frontier_off(), 8);
                     ops.flush(payload - HDR_LEN, HDR_LEN);
-                    ops.disarm_redo();
-                    payload
+                    ops.disarm_redo(&l);
+                    (payload, Origin::Frontier)
                 }
             };
             zero_payload(&mut ops, payload, capacity);
             ops.finish();
-            Ok(payload)
-        })?;
-        let stats = self.stats();
-        stats.bump(&stats.allocs, 1);
-        Ok(PAddr::new(payload))
+            Ok((payload, origin))
+        })
     }
 
     /// Returns `addr` (from [`alloc`](Self::alloc) or a published
-    /// reservation) to the heap, immediately and crash-consistently.
+    /// reservation) to the heap, immediately and crash-consistently. The
+    /// block goes back to its owning arena's free list, whichever thread
+    /// frees it.
     ///
     /// # Errors
     ///
@@ -325,10 +464,15 @@ impl PmemPool {
         self.fail_if_dead()?;
         let mode = self.mode();
         let payload = addr.offset();
-        if payload < layout::HEAP_BASE + HDR_LEN || payload >= self.capacity() {
+        if payload >= self.capacity() {
             return Err(PmemError::InvalidFree { addr: payload });
         }
-        self.with_raw(|mirror, raw| {
+        let idx = self.geom().arena_of(payload);
+        let l = self.geom().arenas()[idx];
+        if payload < l.heap_lo + HDR_LEN || payload >= l.heap_hi {
+            return Err(PmemError::InvalidFree { addr: payload });
+        }
+        self.with_arena_raw(idx, |am, raw| {
             let mut ops = Ops::new(raw, mode);
             let h = payload - HDR_LEN;
             let mut hdr = [0u8; 16];
@@ -339,18 +483,18 @@ impl PmemPool {
             if state != STATE_ALLOC || class as usize >= NUM_HEADS {
                 return Err(PmemError::InvalidFree { addr: payload });
             }
-            let old_head = ops.read_u64(layout::FREE_HEADS + class as u64 * 8);
-            ops.arm_redo(OP_PUSH, class, payload, old_head, size);
+            let old_head = ops.read_u64(l.head_off(class));
+            ops.arm_redo(&l, OP_PUSH, class, payload, old_head, size);
             ops.write_header(payload, STATE_FREE, class, size);
             ops.write_u64(payload - HDR_LEN + HDR_NEXT, old_head);
-            ops.write_u64(layout::FREE_HEADS + class as u64 * 8, payload);
+            ops.write_u64(l.head_off(class), payload);
             ops.flush(payload - HDR_LEN, HDR_LEN);
-            ops.flush(layout::FREE_HEADS + class as u64 * 8, 8);
-            ops.disarm_redo();
+            ops.flush(l.head_off(class), 8);
+            ops.disarm_redo(&l);
             ops.finish();
-            mirror.free[class as usize].push(payload);
+            am.free[class as usize].push(payload);
             if class == HUGE_CLASS {
-                mirror.huge_sizes.insert(payload, size);
+                am.huge_sizes.insert(payload, size);
             }
             Ok(())
         })?;
@@ -360,9 +504,9 @@ impl PmemPool {
     }
 
     /// Reserves `size` bytes without touching persistent metadata (zero
-    /// fences). The block becomes durable only when
-    /// [`publish`](Self::publish)ed; until then a crash rolls it back
-    /// automatically.
+    /// fences — and zero locks when the thread's magazine has a block). The
+    /// block becomes durable only when [`publish`](Self::publish)ed; until
+    /// then a crash rolls it back automatically.
     ///
     /// The payload is zeroed (volatile until flushed by the caller).
     ///
@@ -371,27 +515,100 @@ impl PmemPool {
     /// Returns [`PmemError::OutOfMemory`] if the heap is exhausted.
     pub fn reserve(&self, size: u64) -> Result<PAddr, PmemError> {
         self.fail_if_dead()?;
+        let (class, capacity) = classify(size.max(8));
+        let stats = self.stats();
+        let mut home = 0usize;
+        if class != HUGE_CLASS {
+            // Magazine fast path: no lock at all.
+            let hit = ALLOC_TLS.with(|t| {
+                let mut t = t.borrow_mut();
+                let i = t.slot(self);
+                let e = &mut t.pools[i];
+                home = e.arena as usize;
+                e.mags[class as usize].pop()
+            });
+            if let Some(payload) = hit {
+                stats.bump(&stats.allocs, 1);
+                stats.bump(&stats.reserves, 1);
+                stats.bump(&stats.alloc_freelist, 1);
+                stats.bump(&stats.magazine_hits, 1);
+                return Ok(PAddr::new(payload));
+            }
+        }
+        let (payload, origin, refill) = self.spill(home, capacity, |idx| {
+            self.reserve_in(idx, class, capacity, idx == home && class != HUGE_CLASS)
+        })?;
+        if !refill.is_empty() {
+            ALLOC_TLS.with(|t| {
+                let mut t = t.borrow_mut();
+                let i = t.slot(self);
+                t.pools[i].mags[class as usize] = refill;
+            });
+        }
+        stats.bump(&stats.allocs, 1);
+        stats.bump(&stats.reserves, 1);
+        match origin {
+            Origin::FreeList => stats.bump(&stats.alloc_freelist, 1),
+            Origin::Frontier => stats.bump(&stats.alloc_frontier, 1),
+        }
+        Ok(PAddr::new(payload))
+    }
+
+    /// The locked reservation path against one arena. With `refill`, batch-
+    /// pops the free list: the first block is served and up to
+    /// [`MAGAZINE_CAP`] more are reserved+zeroed for the caller's magazine,
+    /// ordered so magazine pops yield the exact sequence unbatched pops
+    /// would have.
+    fn reserve_in(
+        &self,
+        idx: usize,
+        class: u32,
+        capacity: u64,
+        refill: bool,
+    ) -> Result<(u64, Origin, Vec<u64>), PmemError> {
         let mode = self.mode();
-        let pool_capacity = self.capacity();
-        let payload = self.with_raw(|mirror, raw| {
-            let (class, capacity) = classify(size.max(8));
-            let picked = pick_block(mirror, class, capacity, pool_capacity)?;
-            let prev_frontier = mirror.frontier;
+        self.with_arena_raw(idx, |am, raw| {
+            if refill && !am.free[class as usize].is_empty() {
+                let mut ops = Ops::new(raw, mode);
+                let take = (MAGAZINE_CAP + 1).min(am.free[class as usize].len());
+                let mut popped = Vec::with_capacity(take);
+                for _ in 0..take {
+                    let payload = am.free[class as usize].pop().expect("length checked");
+                    am.reserved.insert(
+                        payload,
+                        Reservation {
+                            class,
+                            capacity,
+                            origin: Origin::FreeList,
+                            prev_frontier: am.frontier,
+                        },
+                    );
+                    zero_payload(&mut ops, payload, capacity);
+                    popped.push(payload);
+                }
+                am.dirty_heads[class as usize] = true;
+                ops.finish();
+                let served = popped.remove(0);
+                popped.reverse(); // Vec::pop then yields original list order
+                return Ok((served, Origin::FreeList, popped));
+            }
+            let picked = pick_block(am, class, capacity)?;
+            let prev_frontier = am.frontier;
             let (payload, origin) = match picked {
                 Picked::Pop { payload, .. } => {
-                    mirror.dirty_heads[class as usize] = true;
+                    am.dirty_heads[class as usize] = true;
                     (payload, Origin::FreeList)
                 }
                 Picked::Bump {
                     payload,
                     new_frontier,
                 } => {
-                    mirror.frontier = new_frontier;
-                    mirror.frontier_dirty = true;
+                    am.frontier = new_frontier;
+                    am.frontier_dirty = true;
                     (payload, Origin::Frontier)
                 }
             };
-            mirror.reserved.insert(
+            am.reserved.insert(
                 payload,
                 Reservation {
                     class,
@@ -403,16 +620,15 @@ impl PmemPool {
             let mut ops = Ops::new(raw, mode);
             zero_payload(&mut ops, payload, capacity);
             ops.finish();
-            Ok(payload)
-        })?;
-        let stats = self.stats();
-        stats.bump(&stats.allocs, 1);
-        Ok(PAddr::new(payload))
+            Ok((payload, origin, Vec::new()))
+        })
     }
 
     /// Persists the metadata for reserved blocks: block headers plus any
-    /// free-list heads and frontier the reservations moved. Issues flushes
-    /// only — the caller's commit fence orders them.
+    /// free-list heads and frontier the owning arenas moved. Issues flushes
+    /// only — the caller's commit fence orders them. Arenas are visited in
+    /// ascending index order; arenas with no blocks in `blocks` are left
+    /// untouched (their moved heads persist with a later publish there).
     ///
     /// # Errors
     ///
@@ -420,82 +636,127 @@ impl PmemPool {
     pub fn publish(&self, blocks: &[PAddr]) -> Result<(), PmemError> {
         self.fail_if_dead()?;
         let mode = self.mode();
-        self.with_raw(|mirror, raw| {
-            let mut ops = Ops::new(raw, mode);
-            for &b in blocks {
-                let res = mirror
-                    .reserved
-                    .remove(&b.offset())
-                    .ok_or(PmemError::InvalidFree { addr: b.offset() })?;
-                ops.write_header(b.offset(), STATE_ALLOC, res.class, res.capacity);
-                ops.flush(b.offset() - HDR_LEN, HDR_LEN);
+        let stats = self.stats();
+        stats.bump(&stats.publishes, 1);
+        let n = self.arena_count();
+        for idx in 0..n {
+            if !blocks
+                .iter()
+                .any(|b| self.geom().arena_of(b.offset()) == idx)
+            {
+                continue;
             }
-            // Write back every head/frontier moved by a reservation. Heads
-            // are written from the mirror top so the persistent chain stays
-            // intact.
-            for class in 0..NUM_HEADS {
-                if mirror.dirty_heads[class] {
-                    let top = *mirror.free[class].last().unwrap_or(&0);
-                    ops.write_u64(layout::FREE_HEADS + class as u64 * 8, top);
-                    ops.flush(layout::FREE_HEADS + class as u64 * 8, 8);
-                    mirror.dirty_heads[class] = false;
+            self.with_arena_raw(idx, |am, raw| {
+                let mut ops = Ops::new(raw, mode);
+                for &b in blocks
+                    .iter()
+                    .filter(|b| self.geom().arena_of(b.offset()) == idx)
+                {
+                    let res = am
+                        .reserved
+                        .remove(&b.offset())
+                        .ok_or(PmemError::InvalidFree { addr: b.offset() })?;
+                    ops.write_header(b.offset(), STATE_ALLOC, res.class, res.capacity);
+                    ops.flush(b.offset() - HDR_LEN, HDR_LEN);
                 }
-            }
-            if mirror.frontier_dirty {
-                let f = mirror.frontier;
-                ops.write_u64(layout::FRONTIER, f);
-                ops.flush(layout::FRONTIER, 8);
-                mirror.frontier_dirty = false;
-            }
-            ops.finish();
-            Ok(())
-        })
+                // Write back every head/frontier this arena's reservations
+                // moved. Heads are written from the mirror top so the
+                // persistent chain stays intact.
+                let l = am.layout;
+                for class in 0..NUM_HEADS {
+                    if am.dirty_heads[class] {
+                        let top = *am.free[class].last().unwrap_or(&0);
+                        ops.write_u64(l.head_off(class as u32), top);
+                        ops.flush(l.head_off(class as u32), 8);
+                        am.dirty_heads[class] = false;
+                    }
+                }
+                if am.frontier_dirty {
+                    let f = am.frontier;
+                    ops.write_u64(l.frontier_off(), f);
+                    ops.flush(l.frontier_off(), 8);
+                    am.frontier_dirty = false;
+                }
+                ops.finish();
+                Ok(())
+            })?;
+        }
+        Ok(())
     }
 
-    /// Returns unpublished reservations to the volatile mirror (clean abort).
+    /// Returns unpublished reservations to the volatile mirror (clean
+    /// abort).
     ///
-    /// Free-list reservations are pushed back; a frontier reservation is
-    /// reclaimed only if it is still the newest block (otherwise its space
-    /// is abandoned until the pool is recreated — a bounded leak on the rare
-    /// clean-abort path).
+    /// Free-list reservations are pushed back. A frontier reservation that
+    /// is still the newest block rolls the frontier straight back; one
+    /// cancelled out of order parks a pending rollback that is reclaimed as
+    /// soon as the intervening blocks are cancelled too, so any order of
+    /// cancels eventually returns the frontier to its pre-reservation
+    /// value.
     ///
     /// # Errors
     ///
     /// Returns [`PmemError::InvalidFree`] if an address was not reserved.
     pub fn cancel(&self, blocks: &[PAddr]) -> Result<(), PmemError> {
         self.fail_if_dead()?;
-        self.with_mirror(|mirror| {
-            for &b in blocks.iter().rev() {
-                let res = mirror
-                    .reserved
-                    .remove(&b.offset())
-                    .ok_or(PmemError::InvalidFree { addr: b.offset() })?;
-                match res.origin {
-                    Origin::FreeList => {
-                        mirror.free[res.class as usize].push(b.offset());
-                        if res.class == HUGE_CLASS {
-                            mirror.huge_sizes.insert(b.offset(), res.capacity);
+        let stats = self.stats();
+        stats.bump(&stats.cancels, 1);
+        let n = self.arena_count();
+        for idx in 0..n {
+            if !blocks
+                .iter()
+                .any(|b| self.geom().arena_of(b.offset()) == idx)
+            {
+                continue;
+            }
+            self.with_arena_mirror(idx, |am| {
+                for &b in blocks
+                    .iter()
+                    .rev()
+                    .filter(|b| self.geom().arena_of(b.offset()) == idx)
+                {
+                    let res = am
+                        .reserved
+                        .remove(&b.offset())
+                        .ok_or(PmemError::InvalidFree { addr: b.offset() })?;
+                    match res.origin {
+                        Origin::FreeList => {
+                            am.free[res.class as usize].push(b.offset());
+                            if res.class == HUGE_CLASS {
+                                am.huge_sizes.insert(b.offset(), res.capacity);
+                            }
                         }
-                    }
-                    Origin::Frontier => {
-                        if mirror.frontier == b.offset() + res.capacity {
-                            mirror.frontier = res.prev_frontier;
+                        Origin::Frontier => {
+                            let end = b.offset() + res.capacity;
+                            if am.frontier == end {
+                                am.frontier = res.prev_frontier;
+                                // Chain through spans whose cancel arrived
+                                // before ours.
+                                while let Some(back) = am.pending_rollback.remove(&am.frontier) {
+                                    am.frontier = back;
+                                }
+                            } else {
+                                am.pending_rollback.insert(end, res.prev_frontier);
+                            }
                         }
                     }
                 }
-            }
-            Ok(())
-        })
+                Ok(())
+            })?;
+        }
+        Ok(())
     }
 
-    /// Bytes of heap consumed by the allocation frontier.
+    /// Bytes of heap consumed by the allocation frontiers, over all arenas.
     pub fn heap_used(&self) -> u64 {
-        self.with_mirror(|mirror| mirror.frontier) - layout::HEAP_BASE
+        (0..self.arena_count())
+            .map(|i| self.with_arena_mirror(i, |am| am.frontier - am.layout.heap_lo))
+            .sum()
     }
 }
 
 /// Result of [`PmemPool::check_heap`]: a media-level walk of every block
-/// between the heap base and the durable frontier.
+/// between each arena's heap base and its durable frontier.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct HeapReport {
     /// Blocks in the allocated state.
@@ -510,11 +771,11 @@ pub struct HeapReport {
 }
 
 impl PmemPool {
-    /// Walks the durable heap (every block header between the heap base and
-    /// the media frontier), validating block states, class/capacity
-    /// consistency and free-list membership. Call on a quiescent or
-    /// freshly-recovered pool: volatile reservations are intentionally
-    /// invisible to this media-level view.
+    /// Walks the durable heap of every arena (every block header between
+    /// the arena's heap base and its media frontier), validating block
+    /// states, class/capacity consistency and free-list membership. Call on
+    /// a quiescent or freshly-recovered pool: volatile reservations are
+    /// intentionally invisible to this media-level view.
     ///
     /// # Errors
     ///
@@ -525,91 +786,103 @@ impl PmemPool {
         // keeps it engine-agnostic (and off every hot lock).
         let media = self.media_snapshot();
         let media = &media[..];
-        let frontier = get_u64(media, layout::FRONTIER);
-        if frontier < layout::HEAP_BASE || frontier > media.len() as u64 {
-            return Err(PmemError::CorruptPool(format!(
-                "frontier {frontier:#x} outside the heap"
-            )));
-        }
-        // Free blocks reachable from the persistent lists.
-        let mut listed = std::collections::HashSet::new();
-        for head_idx in 0..NUM_HEADS {
-            let mut cur = get_u64(media, layout::FREE_HEADS + head_idx as u64 * 8);
-            let mut hops = 0u64;
-            while cur != 0 {
-                if cur < layout::HEAP_BASE + HDR_LEN || cur + 8 > frontier + HDR_LEN + 4096 {
-                    return Err(PmemError::CorruptPool(format!(
-                        "free list {head_idx} points at {cur:#x}"
-                    )));
-                }
-                if !listed.insert(cur) {
-                    return Err(PmemError::CorruptPool(format!(
-                        "free block {cur:#x} linked twice"
-                    )));
-                }
-                cur = get_u64(media, cur - HDR_LEN + HDR_NEXT);
-                hops += 1;
-                if hops > media.len() as u64 / 16 {
-                    return Err(PmemError::CorruptPool("free-list cycle".into()));
-                }
-            }
-        }
-        // Contiguous block walk.
         let mut report = HeapReport::default();
-        let mut at = crate::addr::align_up(layout::HEAP_BASE, 16);
-        while at + HDR_LEN < frontier {
-            let payload = at + HDR_LEN;
-            let state = u32::from_le_bytes(
-                media[at as usize..at as usize + 4]
-                    .try_into()
-                    .expect("4 bytes"),
-            );
-            let class = u32::from_le_bytes(
-                media[at as usize + 4..at as usize + 8]
-                    .try_into()
-                    .expect("4 bytes"),
-            );
-            let size = get_u64(media, at + 8);
-            match state {
-                STATE_ALLOC => {
-                    report.allocated_blocks += 1;
-                    report.allocated_bytes += size;
-                    if listed.contains(&payload) {
-                        return Err(PmemError::CorruptPool(format!(
-                            "allocated block {payload:#x} is on a free list"
-                        )));
-                    }
-                }
-                STATE_FREE => {
-                    report.free_blocks += 1;
-                    if listed.contains(&payload) {
-                        report.free_blocks_listed += 1;
-                    }
-                }
-                _ => {
-                    return Err(PmemError::CorruptPool(format!(
-                        "block {payload:#x} has unknown state {state:#x}"
-                    )))
-                }
-            }
-            let expected = if (class as usize) < CLASS_SIZES.len() {
-                CLASS_SIZES[class as usize]
-            } else if class == HUGE_CLASS {
-                size
-            } else {
-                return Err(PmemError::CorruptPool(format!(
-                    "block {payload:#x} has bad class {class}"
-                )));
-            };
-            if size != expected || size == 0 || payload + size > media.len() as u64 {
-                return Err(PmemError::CorruptPool(format!(
-                    "block {payload:#x} class {class} capacity {size} inconsistent"
-                )));
-            }
-            at = crate::addr::align_up(payload + size, 16);
+        for (idx, arena) in self.geom().arenas().iter().enumerate() {
+            check_arena(media, idx, arena, &mut report)?;
         }
         Ok(report)
     }
+}
+
+fn check_arena(
+    media: &[u8],
+    idx: usize,
+    arena: &ArenaLayout,
+    report: &mut HeapReport,
+) -> Result<(), PmemError> {
+    let frontier = get_u64(media, arena.frontier_off());
+    if frontier < arena.heap_lo || frontier > arena.heap_hi {
+        return Err(PmemError::CorruptPool(format!(
+            "arena {idx} frontier {frontier:#x} outside its heap"
+        )));
+    }
+    // Free blocks reachable from the arena's persistent lists.
+    let mut listed = std::collections::HashSet::new();
+    for head_idx in 0..NUM_HEADS {
+        let mut cur = get_u64(media, arena.head_off(head_idx as u32));
+        let mut hops = 0u64;
+        while cur != 0 {
+            if cur < arena.heap_lo + HDR_LEN || cur + 8 > frontier + HDR_LEN + 4096 {
+                return Err(PmemError::CorruptPool(format!(
+                    "arena {idx} free list {head_idx} points at {cur:#x}"
+                )));
+            }
+            if !listed.insert(cur) {
+                return Err(PmemError::CorruptPool(format!(
+                    "free block {cur:#x} linked twice"
+                )));
+            }
+            cur = get_u64(media, cur - HDR_LEN + HDR_NEXT);
+            hops += 1;
+            if hops > media.len() as u64 / 16 {
+                return Err(PmemError::CorruptPool("free-list cycle".into()));
+            }
+        }
+    }
+    // Contiguous block walk.
+    let mut at = align_up(arena.heap_lo, 16);
+    while at + HDR_LEN < frontier {
+        let payload = at + HDR_LEN;
+        let state = u32::from_le_bytes(
+            media[at as usize..at as usize + 4]
+                .try_into()
+                .expect("4 bytes"),
+        );
+        let class = u32::from_le_bytes(
+            media[at as usize + 4..at as usize + 8]
+                .try_into()
+                .expect("4 bytes"),
+        );
+        let size = get_u64(media, at + 8);
+        match state {
+            STATE_ALLOC => {
+                report.allocated_blocks += 1;
+                report.allocated_bytes += size;
+                if listed.contains(&payload) {
+                    return Err(PmemError::CorruptPool(format!(
+                        "allocated block {payload:#x} is on a free list"
+                    )));
+                }
+            }
+            STATE_FREE => {
+                report.free_blocks += 1;
+                if listed.contains(&payload) {
+                    report.free_blocks_listed += 1;
+                }
+            }
+            _ => {
+                return Err(PmemError::CorruptPool(format!(
+                    "block {payload:#x} has unknown state {state:#x}"
+                )))
+            }
+        }
+        let expected = if (class as usize) < CLASS_SIZES.len() {
+            CLASS_SIZES[class as usize]
+        } else if class == HUGE_CLASS {
+            size
+        } else {
+            return Err(PmemError::CorruptPool(format!(
+                "block {payload:#x} has bad class {class}"
+            )));
+        };
+        if size != expected || size == 0 || payload + size > arena.heap_hi {
+            return Err(PmemError::CorruptPool(format!(
+                "block {payload:#x} class {class} capacity {size} inconsistent"
+            )));
+        }
+        at = align_up(payload + size, 16);
+    }
+    Ok(())
 }
 
 enum Picked {
@@ -617,36 +890,31 @@ enum Picked {
     Bump { payload: u64, new_frontier: u64 },
 }
 
-fn pick_block(
-    mirror: &mut Mirror,
-    class: u32,
-    capacity: u64,
-    pool_capacity: u64,
-) -> Result<Picked, PmemError> {
+fn pick_block(am: &mut ArenaMirror, class: u32, capacity: u64) -> Result<Picked, PmemError> {
     if class != HUGE_CLASS {
-        if let Some(payload) = mirror.free[class as usize].pop() {
-            let next = *mirror.free[class as usize].last().unwrap_or(&0);
+        if let Some(payload) = am.free[class as usize].pop() {
+            let next = *am.free[class as usize].last().unwrap_or(&0);
             return Ok(Picked::Pop { payload, next });
         }
     } else {
         // Huge blocks have exact capacities. Only the list head can be
         // popped without relinking the persistent chain, so it is reused
         // only on an exact capacity match; otherwise the frontier grows.
-        let top = mirror.free[HUGE_CLASS as usize].last().copied();
+        let top = am.free[HUGE_CLASS as usize].last().copied();
         if let Some(payload) = top {
-            if mirror.huge_sizes.get(&payload) == Some(&capacity) {
-                let list = &mut mirror.free[HUGE_CLASS as usize];
+            if am.huge_sizes.get(&payload) == Some(&capacity) {
+                let list = &mut am.free[HUGE_CLASS as usize];
                 let p = list.pop().expect("non-empty checked above");
                 let next = *list.last().unwrap_or(&0);
-                mirror.huge_sizes.remove(&p);
+                am.huge_sizes.remove(&p);
                 return Ok(Picked::Pop { payload: p, next });
             }
         }
     }
-    let block_start = align_up(mirror.frontier, 16);
+    let block_start = align_up(am.frontier, 16);
     let payload = block_start + HDR_LEN;
     let new_frontier = payload + capacity;
-    if new_frontier > pool_capacity {
+    if new_frontier > am.layout.heap_hi {
         return Err(PmemError::OutOfMemory {
             requested: capacity,
         });
@@ -673,7 +941,7 @@ fn zero_payload(ops: &mut Ops<'_, '_>, payload: u64, capacity: u64) {
 mod tests {
     use super::*;
     use crate::crash::CrashConfig;
-    use crate::pool::PoolOptions;
+    use crate::pool::{layout, PoolOptions};
 
     fn pool() -> PmemPool {
         PmemPool::create(PoolOptions::crash_sim(1 << 20)).expect("create")
@@ -774,6 +1042,7 @@ mod tests {
         let a = p.alloc(64).unwrap();
         p.free(a).unwrap();
         let mut media = p.media_snapshot();
+        let geom = HeapGeometry::read(&media).unwrap();
         // Arm a fake in-flight pop of `a` and replay twice.
         let next = get_u64(&media, a.offset());
         put_u64(&mut media, layout::ALLOC_REDO + 8, OP_POP);
@@ -783,9 +1052,9 @@ mod tests {
         put_u64(&mut media, layout::ALLOC_REDO + 40, 64);
         put_u64(&mut media, layout::ALLOC_REDO, 1);
         let mut twice = media.clone();
-        replay_redo(&mut media);
-        replay_redo(&mut twice);
-        replay_redo(&mut twice);
+        replay_redo(&mut media, &geom);
+        replay_redo(&mut twice, &geom);
+        replay_redo(&mut twice, &geom);
         assert_eq!(media, twice);
         let p2 = PmemPool::open_from_media(media, PoolMode::CrashSim).unwrap();
         let b = p2.alloc(64).unwrap();
@@ -850,6 +1119,91 @@ mod tests {
         let r = p.reserve(64).unwrap();
         p.cancel(&[r]).unwrap();
         assert_eq!(p.heap_used(), used_before);
+    }
+
+    #[test]
+    fn out_of_order_frontier_cancels_reclaim_once_gap_closes() {
+        // Regression: cancelling the OLDEST frontier block first used to
+        // abandon its span forever. The pending-rollback chain reclaims it
+        // as soon as the intervening blocks are cancelled too.
+        let p = pool();
+        let used0 = p.heap_used();
+        let a = p.reserve(64).unwrap();
+        let b = p.reserve(64).unwrap();
+        let c = p.reserve(64).unwrap();
+        p.cancel(&[a]).unwrap(); // out of order: parks a pending span
+        assert!(p.heap_used() > used0, "not reclaimable yet");
+        p.cancel(&[c]).unwrap(); // newest: rolls back to b's end
+        p.cancel(&[b]).unwrap(); // closes the gap: chain reclaims a's span
+        assert_eq!(p.heap_used(), used0, "all frontier space reclaimed");
+        // And the next reservation reuses the space from the bottom.
+        let again = p.reserve(64).unwrap();
+        assert_eq!(again, a);
+        p.cancel(&[again]).unwrap();
+    }
+
+    #[test]
+    fn mixed_order_cancel_in_one_call_reclaims_everything() {
+        let p = pool();
+        let used0 = p.heap_used();
+        let a = p.reserve(48).unwrap();
+        let b = p.reserve(300).unwrap();
+        let c = p.reserve(17).unwrap();
+        p.cancel(&[a, c, b]).unwrap();
+        assert_eq!(p.heap_used(), used0);
+    }
+
+    #[test]
+    fn magazine_serves_repeat_reservations_without_locks() {
+        let p = pool();
+        // Stock the free list with several blocks of one class.
+        let mut blocks = Vec::new();
+        for _ in 0..6 {
+            blocks.push(p.alloc(64).unwrap());
+        }
+        for &b in &blocks {
+            p.free(b).unwrap();
+        }
+        let before = p.stats().snapshot();
+        // First reserve refills the magazine; the rest hit it.
+        let mut got = Vec::new();
+        for _ in 0..6 {
+            got.push(p.reserve(64).unwrap());
+        }
+        let d = p.stats().snapshot().delta(&before);
+        assert_eq!(d.reserves, 6);
+        assert_eq!(d.alloc_freelist, 6);
+        assert_eq!(d.magazine_hits, 5, "all but the refill pop are hits");
+        assert_eq!(d.fences, 0);
+        assert_eq!(d.flushes, 0);
+        // Magazine pops preserve the exact unbatched LIFO order.
+        let mut expect = blocks.clone();
+        expect.reverse();
+        assert_eq!(got, expect);
+        // Magazine blocks are real reservations: they publish fine.
+        p.publish(&got).unwrap();
+        p.fence();
+        for &g in &got {
+            p.free(g).unwrap();
+        }
+    }
+
+    #[test]
+    fn magazine_blocks_roll_back_on_crash_like_any_reservation() {
+        let p = pool();
+        let mut blocks = Vec::new();
+        for _ in 0..4 {
+            blocks.push(p.alloc(32).unwrap());
+        }
+        for &b in &blocks {
+            p.free(b).unwrap();
+        }
+        let _r = p.reserve(32).unwrap(); // refills the magazine
+        let p2 = p.crash(&CrashConfig::drop_all(12)).unwrap();
+        // Nothing was published: the whole free list is intact on media.
+        let rep = p2.check_heap().unwrap();
+        assert_eq!(rep.free_blocks, 4);
+        assert_eq!(rep.free_blocks_listed, 4);
     }
 
     #[test]
@@ -926,6 +1280,90 @@ mod tests {
             );
         }
         assert_eq!(p.read_bytes(cur, size).unwrap(), vec![39u8; size as usize]);
+    }
+
+    #[test]
+    fn allocation_spills_into_side_arenas_when_the_main_arena_fills() {
+        let p = PmemPool::create(PoolOptions::performance(1 << 20)).unwrap();
+        assert!(p.arena_count() > 1, "1 MiB pool gets side arenas");
+        let mut addrs = Vec::new();
+        loop {
+            match p.alloc(60_000) {
+                Ok(a) => addrs.push(a),
+                Err(PmemError::OutOfMemory { .. }) => break,
+                Err(e) => panic!("unexpected error: {e}"),
+            }
+            assert!(addrs.len() < 64, "1 MiB cannot hold this many");
+        }
+        assert!(
+            addrs.iter().any(|a| p.geom().arena_of(a.offset()) != 0),
+            "exhausting arena 0 spills into side arenas"
+        );
+        // Spilled blocks are real blocks: disjoint, writable, freeable.
+        for (i, &a) in addrs.iter().enumerate() {
+            p.write_u64(a, i as u64 + 1).unwrap();
+        }
+        for (i, &a) in addrs.iter().enumerate() {
+            assert_eq!(p.read_u64(a).unwrap(), i as u64 + 1);
+        }
+        p.check_heap().unwrap();
+        for &a in &addrs {
+            p.free(a).unwrap();
+        }
+    }
+
+    #[test]
+    fn threads_route_to_distinct_arenas() {
+        let p = std::sync::Arc::new(
+            PmemPool::create(PoolOptions::crash_sim(1 << 20).with_shards(4)).unwrap(),
+        );
+        assert!(p.arena_count() >= 3);
+        // This thread claims arena 0 first (single-thread determinism).
+        let mine = p.alloc(64).unwrap();
+        assert_eq!(p.geom().arena_of(mine.offset()), 0);
+        let mut handles = Vec::new();
+        for _ in 0..2 {
+            let p = p.clone();
+            handles.push(std::thread::spawn(move || {
+                let a = p.reserve(64).unwrap();
+                p.publish(&[a]).unwrap();
+                p.fence();
+                p.geom().arena_of(a.offset())
+            }));
+        }
+        let mut arenas: Vec<usize> = handles.into_iter().map(|h| h.join().unwrap()).collect();
+        arenas.sort_unstable();
+        arenas.dedup();
+        assert_eq!(arenas.len(), 2, "two threads claimed two distinct arenas");
+        assert!(!arenas.contains(&0), "arena 0 stays with the first thread");
+        p.check_heap().unwrap();
+    }
+
+    #[test]
+    fn multi_arena_heap_survives_crash_and_check() {
+        let p = pool();
+        assert!(p.arena_count() > 1);
+        // Fill arena 0 enough that small allocations spill is not needed,
+        // then force activity in a side arena from another thread.
+        let a = p.alloc(128).unwrap();
+        let p = std::sync::Arc::new(p);
+        {
+            let p = p.clone();
+            std::thread::spawn(move || {
+                let r = p.reserve(256).unwrap();
+                p.write_u64(r, 7).unwrap();
+                p.flush(r, 8).unwrap();
+                p.publish(&[r]).unwrap();
+                p.fence();
+            })
+            .join()
+            .unwrap();
+        }
+        p.free(a).unwrap();
+        let p2 = p.crash(&CrashConfig::drop_all(9)).unwrap();
+        let rep = p2.check_heap().unwrap();
+        assert_eq!(rep.allocated_blocks, 1, "published side-arena block");
+        assert_eq!(rep.free_blocks, 1);
     }
 
     #[test]

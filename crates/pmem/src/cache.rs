@@ -86,6 +86,21 @@ impl Cache {
         }
     }
 
+    /// Completes pending write-backs for lines starting in `[lo, hi)` byte
+    /// offsets; flushes pending outside the range stay pending. Used by the
+    /// allocator so its internal fences order only the owning arena's
+    /// metadata — a semantics that is identical across engines and shard
+    /// counts because it depends only on the (engine-independent) arena
+    /// geometry.
+    pub(crate) fn fence_range(&mut self, media: &mut [u8], lo: u64, hi: u64) {
+        let lo_line = lo / CACHE_LINE;
+        let hi_line = hi.div_ceil(CACHE_LINE);
+        match self {
+            Cache::Dense(c) => c.fence_lines(media, lo_line, hi_line),
+            Cache::Reference(c) => c.fence_lines(media, lo_line, hi_line),
+        }
+    }
+
     /// Overlays cached line contents onto `buf` (already filled from media).
     pub(crate) fn overlay(&self, offset: u64, buf: &mut [u8]) {
         match self {
@@ -203,6 +218,25 @@ impl LineCache {
         self.pending_flushes = pending;
     }
 
+    fn fence_lines(&mut self, media: &mut [u8], lo_line: u64, hi_line: u64) {
+        let mut pending = std::mem::take(&mut self.pending_flushes);
+        pending.retain(|&line| {
+            if line < lo_line || line >= hi_line {
+                return true; // outside the fence's range: stays pending
+            }
+            let (w, b) = word_bit(line);
+            if self.flush_pending[w] & b != 0 {
+                let s = (line * CACHE_LINE) as usize;
+                media[s..s + LINE].copy_from_slice(&self.shadow[s..s + LINE]);
+                self.flush_pending[w] &= !b;
+                self.dirty[w] &= !b;
+                self.modified -= 1;
+            }
+            false
+        });
+        self.pending_flushes = pending;
+    }
+
     fn overlay(&self, offset: u64, buf: &mut [u8]) {
         let len = buf.len() as u64;
         for line in lines_for_range(offset, len) {
@@ -301,6 +335,25 @@ impl RefCache {
                 }
             }
         }
+    }
+
+    fn fence_lines(&mut self, media: &mut [u8], lo_line: u64, hi_line: u64) {
+        let mut pending = std::mem::take(&mut self.pending_flushes);
+        pending.retain(|&line| {
+            if line < lo_line || line >= hi_line {
+                return true;
+            }
+            if let Some(cl) = self.lines.get_mut(&line) {
+                if cl.flush_pending {
+                    let s = (line * CACHE_LINE) as usize;
+                    media[s..s + LINE].copy_from_slice(&cl.data);
+                    cl.dirty = false;
+                    cl.flush_pending = false;
+                }
+            }
+            false
+        });
+        self.pending_flushes = pending;
     }
 
     fn overlay(&self, offset: u64, buf: &mut [u8]) {
@@ -420,6 +473,31 @@ mod tests {
         dense.fence(&mut media);
         assert_ne!(&media[0..8], &[0xBB; 8], "voided flush must not persist");
         assert_eq!(read(&media, &dense, 0, 8), vec![0xBB; 8]);
+    }
+
+    #[test]
+    fn fence_range_leaves_out_of_range_flushes_pending() {
+        let (mut m1, mut dense, mut m2, mut reference) = both(64 * 8);
+        for cache_media in [(&mut dense, &mut m1), (&mut reference, &mut m2)] {
+            let (cache, media) = cache_media;
+            cache.write(0, &[0x11; 8], media);
+            cache.write(256, &[0x22; 8], media);
+            cache.flush_range(0, 8);
+            cache.flush_range(256, 8);
+            // Fence only the first line's range.
+            cache.fence_range(media, 0, 64);
+            assert_eq!(&media[0..8], &[0x11; 8], "in-range flush persisted");
+            let untouched: Vec<u8> = (0u8..8).collect();
+            assert_eq!(
+                &media[256..264],
+                &untouched[..],
+                "out-of-range stays pending"
+            );
+            // A later full fence completes the survivor.
+            cache.fence(media);
+            assert_eq!(&media[256..264], &[0x22; 8]);
+        }
+        assert_eq!(m1, m2, "models agree on range-fence semantics");
     }
 
     #[test]

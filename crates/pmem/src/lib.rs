@@ -15,7 +15,9 @@
 //!   dirty-unflushed lines survive only with a configurable (seeded)
 //!   probability, everything else is dropped — reproducing torn states.
 //! * [`alloc`] provides a crash-consistent persistent heap allocator with a
-//!   micro write-ahead redo record, in the spirit of PMDK's allocator.
+//!   micro write-ahead redo record, in the spirit of PMDK's allocator —
+//!   sharded into per-thread arenas with thread-local reservation
+//!   magazines so transactions scale past a single allocator lock.
 //! * [`ulog`] provides a PMDK-style undo-log buffer, the primitive on which
 //!   Clobber-NVM's `clobber_log` is built (paper §4.2).
 //! * [`stats::PmemStats`] counts every persistence event (flushes, fences,
@@ -57,6 +59,8 @@ pub use addr::{PAddr, CACHE_LINE};
 pub use alloc::HeapReport;
 pub use crash::CrashConfig;
 pub use fault::FaultPlan;
-pub use pool::{CacheImpl, PmemError, PmemPool, PoolConcurrency, PoolMode, PoolOptions};
+pub use pool::{
+    CacheImpl, PmemError, PmemPool, PoolConcurrency, PoolMode, PoolOptions, DEFAULT_ARENAS,
+};
 pub use stats::{PmemStats, ShardCounters, StatsSnapshot};
 pub use ulog::Ulog;

@@ -2,7 +2,7 @@
 
 use std::error::Error;
 use std::fmt;
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU32, AtomicU64, Ordering};
 use std::sync::Arc;
 
 use parking_lot::Mutex;
@@ -10,17 +10,28 @@ use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
 use crate::addr::{PAddr, CACHE_LINE};
-use crate::alloc::Mirror;
+use crate::alloc::ArenaMirror;
 use crate::cache::{line_count, Cache, LineCache, RefCache};
 use crate::crash::CrashConfig;
 use crate::fault::{FaultPlan, FaultState};
 use crate::shard::ShardedPool;
 use crate::stats::PmemStats;
 
-/// Magic value identifying a valid pool header.
-const POOL_MAGIC: u64 = 0xC10B_BE12_0000_0001;
+/// Magic value of the original single-arena pool format (still opened).
+const POOL_MAGIC_V1: u64 = 0xC10B_BE12_0000_0001;
+/// Magic value of the multi-arena pool format.
+const POOL_MAGIC_V2: u64 = 0xC10B_BE12_0000_0002;
+
+/// Monotonic id source distinguishing live pools for thread-local allocator
+/// state (arena routing and reservation magazines).
+static NEXT_POOL_ID: AtomicU64 = AtomicU64::new(1);
 
 /// Pool header layout (offsets within the pool).
+///
+/// The same relative layout serves every arena: arena 0's metadata *is* the
+/// pool header (`meta_base == 0`), and each side arena repeats the
+/// `FRONTIER`/`ALLOC_REDO`/`FREE_HEADS` block at its own `meta_base`, with a
+/// `HEAP_BASE`-sized metadata prefix before its heap.
 pub(crate) mod layout {
     /// `u64` magic number.
     pub const MAGIC: u64 = 0;
@@ -28,14 +39,170 @@ pub(crate) mod layout {
     pub const CAPACITY: u64 = 8;
     /// `u64` root object address.
     pub const ROOT: u64 = 16;
-    /// `u64` allocation frontier.
+    /// `u64` allocation frontier (relative to the arena's `meta_base`).
     pub const FRONTIER: u64 = 24;
-    /// 64-byte allocator redo record.
+    /// `u64` arena count (v2 pools; a v1 pool is one arena).
+    pub const ARENAS: u64 = 32;
+    /// `u64` bytes spanned by each side arena (v2 pools, 0 if none).
+    pub const ARENA_BYTES: u64 = 40;
+    /// 64-byte allocator redo record (relative to the arena's `meta_base`).
     pub const ALLOC_REDO: u64 = 64;
-    /// Free-list heads: one `u64` per size class, then the huge-list head.
+    /// Free-list heads: one `u64` per size class, then the huge-list head
+    /// (relative to the arena's `meta_base`).
     pub const FREE_HEADS: u64 = 128;
-    /// First byte available to the heap.
+    /// First byte available to the heap (relative to the arena's
+    /// `meta_base`) — i.e. the per-arena metadata size.
     pub const HEAP_BASE: u64 = 256;
+}
+
+/// Byte geometry of one allocator arena.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) struct ArenaLayout {
+    /// Start of this arena's metadata block (0 for arena 0 — the pool
+    /// header doubles as its metadata).
+    pub(crate) meta_base: u64,
+    /// First heap byte (`meta_base + layout::HEAP_BASE`).
+    pub(crate) heap_lo: u64,
+    /// One past the last heap byte.
+    pub(crate) heap_hi: u64,
+}
+
+impl ArenaLayout {
+    pub(crate) fn frontier_off(&self) -> u64 {
+        self.meta_base + layout::FRONTIER
+    }
+    pub(crate) fn redo_off(&self) -> u64 {
+        self.meta_base + layout::ALLOC_REDO
+    }
+    pub(crate) fn head_off(&self, class: u32) -> u64 {
+        self.meta_base + layout::FREE_HEADS + class as u64 * 8
+    }
+    /// The whole byte span owned by this arena (metadata + heap): the lock
+    /// and fence scope of allocator operations on it.
+    pub(crate) fn span(&self) -> (u64, u64) {
+        (self.meta_base, self.heap_hi)
+    }
+}
+
+/// The pool's arena partition, derived from (and persisted in) the header.
+///
+/// Arena 0 keeps the exact v1 shape — metadata at offset 0, heap from
+/// `HEAP_BASE` up to `main_hi` — so single-arena pools are bit-compatible
+/// with the v1 format and huge allocations keep the largest region. Side
+/// arenas are fixed-size spans carved from the top of the pool. Geometry is
+/// a property of the pool *format*, never of the engine or shard count, so
+/// every concurrency mode computes identical block addresses.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub(crate) struct HeapGeometry {
+    arenas: Vec<ArenaLayout>,
+    /// End of arena 0's heap (== capacity when there are no side arenas).
+    main_hi: u64,
+    /// Bytes per side arena (0 when there are none).
+    side_bytes: u64,
+}
+
+/// Smallest heap arena 0 must keep when carving side arenas.
+const MIN_MAIN_HEAP: u64 = 64 * 1024;
+/// Minimum span of one side arena (metadata + heap).
+const SIDE_ARENA_MIN: u64 = 64 * 1024;
+
+impl HeapGeometry {
+    /// Single-arena geometry (v1 pools and tiny v2 pools).
+    pub(crate) fn single(capacity: u64) -> HeapGeometry {
+        HeapGeometry {
+            arenas: vec![ArenaLayout {
+                meta_base: 0,
+                heap_lo: layout::HEAP_BASE,
+                heap_hi: capacity,
+            }],
+            main_hi: capacity,
+            side_bytes: 0,
+        }
+    }
+
+    fn with_sides(capacity: u64, sides: u64, side_bytes: u64) -> HeapGeometry {
+        let main_hi = capacity - sides * side_bytes;
+        let mut arenas = vec![ArenaLayout {
+            meta_base: 0,
+            heap_lo: layout::HEAP_BASE,
+            heap_hi: main_hi,
+        }];
+        for j in 0..sides {
+            let meta_base = main_hi + j * side_bytes;
+            arenas.push(ArenaLayout {
+                meta_base,
+                heap_lo: meta_base + layout::HEAP_BASE,
+                heap_hi: meta_base + side_bytes,
+            });
+        }
+        HeapGeometry {
+            arenas,
+            main_hi,
+            side_bytes,
+        }
+    }
+
+    /// Plans the arena partition for a fresh pool: up to `requested - 1`
+    /// side arenas of `max(64 KiB, capacity/16)` bytes each, carved from
+    /// the top, as long as arena 0 keeps a useful heap. Pools too small (or
+    /// with a capacity that is not cache-line aligned, which would let an
+    /// arena boundary split a line) stay single-arena.
+    pub(crate) fn plan(capacity: u64, requested: u32) -> HeapGeometry {
+        let wanted = requested.clamp(1, 64) as u64 - 1;
+        if wanted == 0 || !capacity.is_multiple_of(CACHE_LINE) {
+            return HeapGeometry::single(capacity);
+        }
+        let side_bytes = (capacity / 16).max(SIDE_ARENA_MIN);
+        let side_bytes = side_bytes - side_bytes % CACHE_LINE;
+        let spare = capacity.saturating_sub(layout::HEAP_BASE + MIN_MAIN_HEAP);
+        let sides = wanted.min(spare / side_bytes);
+        if sides == 0 {
+            return HeapGeometry::single(capacity);
+        }
+        HeapGeometry::with_sides(capacity, sides, side_bytes)
+    }
+
+    /// Reads (and validates) the geometry persisted in a pool header.
+    pub(crate) fn read(media: &[u8]) -> Result<HeapGeometry, PmemError> {
+        let capacity = media.len() as u64;
+        if get_u64(media, layout::MAGIC) == POOL_MAGIC_V1 {
+            return Ok(HeapGeometry::single(capacity));
+        }
+        let count = get_u64(media, layout::ARENAS);
+        let side_bytes = get_u64(media, layout::ARENA_BYTES);
+        if count == 0 || count > 4096 {
+            return Err(PmemError::CorruptPool(format!(
+                "header arena count {count} invalid"
+            )));
+        }
+        if count == 1 {
+            return Ok(HeapGeometry::single(capacity));
+        }
+        let sides = count - 1;
+        if side_bytes < layout::HEAP_BASE + CACHE_LINE
+            || !side_bytes.is_multiple_of(CACHE_LINE)
+            || sides
+                .checked_mul(side_bytes)
+                .is_none_or(|total| total + layout::HEAP_BASE + CACHE_LINE > capacity)
+        {
+            return Err(PmemError::CorruptPool(format!(
+                "header arena span {side_bytes} invalid for {count} arenas"
+            )));
+        }
+        Ok(HeapGeometry::with_sides(capacity, sides, side_bytes))
+    }
+
+    pub(crate) fn arenas(&self) -> &[ArenaLayout] {
+        &self.arenas
+    }
+
+    /// Index of the arena owning byte `offset`.
+    pub(crate) fn arena_of(&self, offset: u64) -> usize {
+        if offset < self.main_hi || self.side_bytes == 0 {
+            return 0;
+        }
+        (1 + ((offset - self.main_hi) / self.side_bytes) as usize).min(self.arenas.len() - 1)
+    }
 }
 
 /// Whether the pool models the volatile cache or runs at full speed.
@@ -123,7 +290,16 @@ pub struct PoolOptions {
     pub cache_impl: CacheImpl,
     /// Locking strategy for the pool's internal state.
     pub concurrency: PoolConcurrency,
+    /// Requested allocator arena count (clamped to what the capacity can
+    /// hold; tiny pools stay single-arena). Arenas partition the heap so
+    /// concurrent allocator calls from different threads take disjoint
+    /// locks; the partition is persisted in the pool header and independent
+    /// of the concurrency mode.
+    pub arenas: u32,
 }
+
+/// Default allocator arena count for fresh pools.
+pub const DEFAULT_ARENAS: u32 = 4;
 
 impl PoolOptions {
     /// Options for a performance-mode pool of `capacity` bytes.
@@ -133,6 +309,7 @@ impl PoolOptions {
             mode: PoolMode::Performance,
             cache_impl: CacheImpl::Dense,
             concurrency: PoolConcurrency::GlobalLock,
+            arenas: DEFAULT_ARENAS,
         }
     }
 
@@ -143,7 +320,15 @@ impl PoolOptions {
             mode: PoolMode::CrashSim,
             cache_impl: CacheImpl::Dense,
             concurrency: PoolConcurrency::GlobalLock,
+            arenas: DEFAULT_ARENAS,
         }
+    }
+
+    /// Requests `arenas` allocator arenas (clamped to the capacity's room;
+    /// 1 disables side arenas for v1-identical layout).
+    pub fn with_arenas(mut self, arenas: u32) -> Self {
+        self.arenas = arenas;
+        self
     }
 
     /// Selects the reference (hash-map) cache model, for equivalence tests
@@ -323,21 +508,31 @@ impl MediaCache {
     pub(crate) fn fence_raw(&mut self) {
         self.cache.fence(&mut self.media);
     }
+
+    /// Orders pending flushes whose lines start within `[lo, hi)` local
+    /// byte offsets (the allocator's arena-scoped fence).
+    pub(crate) fn fence_range_raw(&mut self, lo: u64, hi: u64) {
+        self.cache.fence_range(&mut self.media, lo, hi);
+    }
 }
 
 /// Mutable state of the single-lock (reference) engine.
 pub(crate) struct PoolInner {
     pub(crate) mc: MediaCache,
-    /// Volatile mirror of the allocator metadata.
-    pub(crate) mirror: Mirror,
+    /// Volatile mirrors of the allocator metadata, one per arena.
+    pub(crate) mirrors: Vec<ArenaMirror>,
 }
 
 impl PoolInner {
-    fn new(media: Vec<u8>, cache_impl: CacheImpl) -> PoolInner {
-        let mirror = Mirror::rebuild(&media);
+    fn new(media: Vec<u8>, cache_impl: CacheImpl, geom: &HeapGeometry) -> PoolInner {
+        let mirrors = geom
+            .arenas()
+            .iter()
+            .map(|&l| ArenaMirror::rebuild(&media, l))
+            .collect();
         PoolInner {
             mc: MediaCache::new(media, cache_impl),
-            mirror,
+            mirrors,
         }
     }
 }
@@ -345,13 +540,16 @@ impl PoolInner {
 /// Raw persist operations over pool-global offsets, with bounds already
 /// checked by the caller. The allocator runs against this so one
 /// implementation serves both engines; for the sharded engine the
-/// implementor holds *every* shard for the duration of the allocator
-/// operation, giving allocator metadata updates the same atomicity they have
-/// under the global lock.
+/// implementor holds the shards overlapping the owning arena's span for the
+/// duration of the allocator operation, giving that arena's metadata
+/// updates the same atomicity they have under the global lock. Fences are
+/// arena-scoped in *both* engines (see [`Cache::fence_range`]) so the
+/// durable outcome never depends on the engine or shard count.
 pub(crate) trait RawPmem {
     fn read_raw(&mut self, offset: u64, buf: &mut [u8]);
     fn write_raw(&mut self, offset: u64, data: &[u8], mode: PoolMode);
     fn flush_raw(&mut self, offset: u64, len: u64, mode: PoolMode) -> u64;
+    /// Orders previously flushed lines within the owning arena's span.
     fn fence_raw(&mut self);
     /// Credits hot-path counters accumulated over an allocator operation.
     /// Must be called while the implementor still holds its locks (the
@@ -359,10 +557,13 @@ pub(crate) trait RawPmem {
     fn credit_hot(&mut self, flushes: u64, fences: u64, write_bytes: u64);
 }
 
-/// [`RawPmem`] over the global engine's single `MediaCache`.
+/// [`RawPmem`] over the global engine's single `MediaCache`, scoped to one
+/// arena's byte span for fencing.
 struct GlobalRaw<'a> {
     mc: &'a mut MediaCache,
     stats: &'a PmemStats,
+    /// The owning arena's `[lo, hi)` span — the fence scope.
+    span: (u64, u64),
 }
 
 impl RawPmem for GlobalRaw<'_> {
@@ -376,7 +577,7 @@ impl RawPmem for GlobalRaw<'_> {
         self.mc.flush_raw(offset, len, mode)
     }
     fn fence_raw(&mut self) {
-        self.mc.fence_raw();
+        self.mc.fence_range_raw(self.span.0, self.span.1);
     }
     fn credit_hot(&mut self, flushes: u64, fences: u64, write_bytes: u64) {
         self.stats.bump(&self.stats.flushes, flushes);
@@ -404,6 +605,15 @@ pub struct PmemPool {
     cache_impl: CacheImpl,
     concurrency: PoolConcurrency,
     capacity: u64,
+    /// Arena partition, read from the (versioned) pool header.
+    geom: HeapGeometry,
+    /// Identity for thread-local allocator state (routing + magazines):
+    /// unique per live pool instance, so a reopened pool starts fresh.
+    pool_id: u64,
+    /// Round-robin source for thread→arena assignment. The first thread to
+    /// allocate always claims arena 0, which keeps single-threaded
+    /// workloads bit-identical to the v1 single-arena layout.
+    next_arena: AtomicU32,
     stats: Arc<PmemStats>,
     /// Fast-path flag: true while a [`FaultPlan`] is armed. Lets the
     /// disarmed hot path skip the fault mutex entirely.
@@ -438,17 +648,23 @@ impl PmemPool {
                 minimum: layout::HEAP_BASE + 4096,
             });
         }
+        let geom = HeapGeometry::plan(opts.capacity, opts.arenas);
         let mut media = vec![0u8; opts.capacity as usize];
-        put_u64(&mut media, layout::MAGIC, POOL_MAGIC);
+        put_u64(&mut media, layout::MAGIC, POOL_MAGIC_V2);
         put_u64(&mut media, layout::CAPACITY, opts.capacity);
         put_u64(&mut media, layout::ROOT, 0);
-        put_u64(&mut media, layout::FRONTIER, layout::HEAP_BASE);
-        // Free-list heads and the redo record are already zero.
+        put_u64(&mut media, layout::ARENAS, geom.arenas().len() as u64);
+        put_u64(&mut media, layout::ARENA_BYTES, geom.side_bytes);
+        for arena in geom.arenas() {
+            put_u64(&mut media, arena.frontier_off(), arena.heap_lo);
+        }
+        // Free-list heads and the redo records are already zero.
         Ok(Self::assemble(
             media,
             opts.mode,
             opts.cache_impl,
             opts.concurrency,
+            geom,
         ))
     }
 
@@ -480,7 +696,8 @@ impl PmemPool {
         if media.len() < (layout::HEAP_BASE + 4096) as usize {
             return Err(PmemError::CorruptPool("media shorter than metadata".into()));
         }
-        if get_u64(&media, layout::MAGIC) != POOL_MAGIC {
+        let magic = get_u64(&media, layout::MAGIC);
+        if magic != POOL_MAGIC_V1 && magic != POOL_MAGIC_V2 {
             return Err(PmemError::CorruptPool("bad magic".into()));
         }
         let capacity = get_u64(&media, layout::CAPACITY);
@@ -490,8 +707,9 @@ impl PmemPool {
                 media.len()
             )));
         }
-        crate::alloc::replay_redo(&mut media);
-        Ok(Self::assemble(media, mode, cache_impl, concurrency))
+        let geom = HeapGeometry::read(&media)?;
+        crate::alloc::replay_redo(&mut media, &geom);
+        Ok(Self::assemble(media, mode, cache_impl, concurrency, geom))
     }
 
     /// Builds the engine and stats for validated media.
@@ -500,17 +718,22 @@ impl PmemPool {
         mode: PoolMode,
         cache_impl: CacheImpl,
         concurrency: PoolConcurrency,
+        geom: HeapGeometry,
     ) -> PmemPool {
         let capacity = media.len() as u64;
         let engine = match concurrency {
             PoolConcurrency::GlobalLock => {
-                Engine::Global(Mutex::new(PoolInner::new(media, cache_impl)))
+                Engine::Global(Mutex::new(PoolInner::new(media, cache_impl, &geom)))
             }
-            PoolConcurrency::Sharded { shards } => {
-                Engine::Sharded(ShardedPool::new(media, cache_impl, shards as usize, false))
-            }
+            PoolConcurrency::Sharded { shards } => Engine::Sharded(ShardedPool::new(
+                media,
+                cache_impl,
+                shards as usize,
+                false,
+                &geom,
+            )),
             PoolConcurrency::SingleThread => {
-                Engine::Sharded(ShardedPool::new(media, cache_impl, 1, true))
+                Engine::Sharded(ShardedPool::new(media, cache_impl, 1, true, &geom))
             }
         };
         let stats = Arc::new(match &engine {
@@ -522,11 +745,34 @@ impl PmemPool {
             cache_impl,
             concurrency,
             capacity,
+            geom,
+            pool_id: NEXT_POOL_ID.fetch_add(1, Ordering::Relaxed),
+            next_arena: AtomicU32::new(0),
             stats,
             faults_armed: AtomicBool::new(false),
             faults: Mutex::new(FaultState::default()),
             engine,
         }
+    }
+
+    /// The pool's arena partition.
+    pub(crate) fn geom(&self) -> &HeapGeometry {
+        &self.geom
+    }
+
+    /// This pool instance's identity for thread-local allocator state.
+    pub(crate) fn pool_id(&self) -> u64 {
+        self.pool_id
+    }
+
+    /// Claims the next arena for a newly routed thread (round-robin).
+    pub(crate) fn claim_arena(&self) -> u32 {
+        self.next_arena.fetch_add(1, Ordering::Relaxed) % self.geom.arenas().len() as u32
+    }
+
+    /// The number of allocator arenas the heap is partitioned into.
+    pub fn arena_count(&self) -> usize {
+        self.geom.arenas().len()
     }
 
     /// The pool's cache-modeling mode.
@@ -553,29 +799,42 @@ impl PmemPool {
         self.capacity
     }
 
-    /// Runs `f` with the allocator mirror and raw persist ops, holding
-    /// whatever locks the engine needs (the global mutex, or the mirror lock
-    /// plus every shard in ascending order — the documented lock order).
-    pub(crate) fn with_raw<R>(&self, f: impl FnOnce(&mut Mirror, &mut dyn RawPmem) -> R) -> R {
+    /// Runs `f` with arena `idx`'s mirror and raw persist ops, holding
+    /// whatever locks the engine needs: the global mutex, or the arena's
+    /// mirror lock plus only the shards overlapping the arena's span, in
+    /// ascending order — the documented lock order (at most one arena
+    /// mirror per thread, then shards ascending, so disjoint arenas never
+    /// deadlock and mostly don't contend).
+    pub(crate) fn with_arena_raw<R>(
+        &self,
+        idx: usize,
+        f: impl FnOnce(&mut ArenaMirror, &mut dyn RawPmem) -> R,
+    ) -> R {
         match &self.engine {
             Engine::Global(m) => {
+                let span = self.geom.arenas()[idx].span();
                 let mut guard = m.lock();
                 let inner = &mut *guard;
                 let mut raw = GlobalRaw {
                     mc: &mut inner.mc,
                     stats: &self.stats,
+                    span,
                 };
-                f(&mut inner.mirror, &mut raw)
+                f(&mut inner.mirrors[idx], &mut raw)
             }
-            Engine::Sharded(s) => s.with_raw(&self.stats, f),
+            Engine::Sharded(s) => s.with_arena_raw(idx, &self.stats, f),
         }
     }
 
-    /// Runs `f` with just the allocator mirror locked.
-    pub(crate) fn with_mirror<R>(&self, f: impl FnOnce(&mut Mirror) -> R) -> R {
+    /// Runs `f` with just arena `idx`'s mirror locked.
+    pub(crate) fn with_arena_mirror<R>(
+        &self,
+        idx: usize,
+        f: impl FnOnce(&mut ArenaMirror) -> R,
+    ) -> R {
         match &self.engine {
-            Engine::Global(m) => f(&mut m.lock().mirror),
-            Engine::Sharded(s) => s.with_mirror(f),
+            Engine::Global(m) => f(&mut m.lock().mirrors[idx]),
+            Engine::Sharded(s) => s.with_arena_mirror(idx, f),
         }
     }
 

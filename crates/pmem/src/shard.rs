@@ -20,11 +20,19 @@
 //! later access checks the claim (and panics on a foreign thread) before
 //! the cell is dereferenced — so the unsynchronized access stays sound.
 //!
+//! Allocator state is per-arena: each arena's volatile [`ArenaMirror`] sits
+//! behind its own mutex, and an allocator operation locks that mirror plus
+//! only the shards overlapping the arena's byte span (mirror first, then
+//! shards ascending — at most one mirror per thread, so threads working
+//! disjoint arenas never contend and the global acquisition order stays
+//! acyclic even when arena boundaries share a shard).
+//!
 //! Hot-path statistics go to per-shard [`ShardCounters`] banks owned by the
 //! shard lock holder; [`PmemStats::snapshot`] folds them back into pool
 //! totals. Operation counts attribute to the shard holding the first byte;
 //! flush line counts attribute per shard (they sum to the same geometry the
-//! global engine reports); fences attribute to shard 0.
+//! global engine reports); fences attribute to shard 0, and allocator
+//! hot-path credits to the first shard of the owning arena's span.
 //!
 //! [`PoolConcurrency`]: crate::PoolConcurrency
 //! [`ShardCounters`]: crate::stats::ShardCounters
@@ -36,8 +44,8 @@ use std::sync::atomic::{AtomicUsize, Ordering};
 use parking_lot::Mutex;
 
 use crate::addr::{align_up, CACHE_LINE};
-use crate::alloc::Mirror;
-use crate::pool::{CacheImpl, MediaCache, PoolMode, RawPmem};
+use crate::alloc::ArenaMirror;
+use crate::pool::{CacheImpl, HeapGeometry, MediaCache, PoolMode, RawPmem};
 use crate::stats::PmemStats;
 
 thread_local! {
@@ -60,6 +68,11 @@ pub(crate) struct Shard {
 }
 
 impl Shard {
+    /// One past this shard's last pool-global byte.
+    fn end(&self) -> u64 {
+        self.base + self.mc.media.len() as u64
+    }
+
     /// Reads from pool-global `offset` (caller guarantees containment).
     fn read(&self, offset: u64, buf: &mut [u8]) {
         self.mc.read_raw(offset - self.base, buf);
@@ -78,6 +91,12 @@ impl Shard {
     fn fence(&mut self) {
         self.mc.fence_raw();
     }
+
+    /// Orders pending flushes within pool-global `[lo, hi)` (clipped to
+    /// this shard by the caller).
+    fn fence_range(&mut self, lo: u64, hi: u64) {
+        self.mc.fence_range_raw(lo - self.base, hi - self.base);
+    }
 }
 
 /// A shard slot: locked for `Sharded`, owner-checked for `SingleThread`.
@@ -87,25 +106,29 @@ enum ShardCell {
 }
 
 // SAFETY: the `Unsync` variant is only dereferenced by
-// `ShardedPool::with_shard`/`with_raw` after `check_owner` has established
-// that the calling thread holds the pool's exclusive ownership claim, so no
-// two threads can alias the cell's contents.
+// `ShardedPool::with_shard`/`with_arena_raw` after `check_owner` has
+// established that the calling thread holds the pool's exclusive ownership
+// claim, so no two threads can alias the cell's contents.
 unsafe impl Sync for ShardCell {}
 
-/// The sharded engine: contiguous address-range shards plus the (cold)
-/// allocator mirror behind its own lock.
+/// The sharded engine: contiguous address-range shards plus one allocator
+/// mirror lock per arena.
 ///
-/// Lock order, where multiple locks are held: mirror → shards ascending.
-/// The pool-level fault mutex is never held across a shard acquisition.
+/// Lock order, where multiple locks are held: one arena mirror → the shards
+/// overlapping that arena's span, ascending. The pool-level fault mutex is
+/// never held across a shard acquisition.
 pub(crate) struct ShardedPool {
     cells: Box<[ShardCell]>,
     /// Bytes per shard (multiple of [`CACHE_LINE`]); the last shard holds
     /// the remainder.
     shard_bytes: u64,
     capacity: u64,
-    /// Volatile allocator mirror — allocator paths lock this first, then
-    /// every shard, giving metadata updates global-lock atomicity.
-    mirror: Mutex<Mirror>,
+    /// Volatile allocator mirrors, one per arena — allocator paths lock the
+    /// owning arena's mirror first, then the shards its span overlaps,
+    /// giving that arena's metadata updates global-lock atomicity.
+    mirrors: Box<[Mutex<ArenaMirror>]>,
+    /// `[lo, hi)` byte span of each arena (metadata + heap).
+    arena_spans: Vec<(u64, u64)>,
     /// `SingleThread` ownership claim (0 = unclaimed, else the owner's
     /// thread token). Unused when all cells are `Locked`.
     owner: AtomicUsize,
@@ -117,9 +140,15 @@ impl ShardedPool {
         cache_impl: CacheImpl,
         shards: usize,
         unsync: bool,
+        geom: &HeapGeometry,
     ) -> ShardedPool {
         let capacity = media.len() as u64;
-        let mirror = Mirror::rebuild(&media);
+        let mirrors: Vec<Mutex<ArenaMirror>> = geom
+            .arenas()
+            .iter()
+            .map(|&l| Mutex::new(ArenaMirror::rebuild(&media, l)))
+            .collect();
+        let arena_spans = geom.arenas().iter().map(|l| l.span()).collect();
         let want = shards.clamp(1, 4096) as u64;
         let shard_bytes = align_up(capacity.div_ceil(want).max(1), CACHE_LINE);
         let mut cells = Vec::new();
@@ -144,7 +173,8 @@ impl ShardedPool {
             cells: cells.into_boxed_slice(),
             shard_bytes,
             capacity,
-            mirror: Mutex::new(mirror),
+            mirrors: mirrors.into_boxed_slice(),
+            arena_spans,
             owner: AtomicUsize::new(0),
         }
     }
@@ -339,22 +369,32 @@ impl ShardedPool {
         media
     }
 
-    /// Runs `f` with the mirror locked.
-    pub(crate) fn with_mirror<R>(&self, f: impl FnOnce(&mut Mirror) -> R) -> R {
-        f(&mut self.mirror.lock())
+    /// Runs `f` with arena `idx`'s mirror locked (no shards).
+    pub(crate) fn with_arena_mirror<R>(
+        &self,
+        idx: usize,
+        f: impl FnOnce(&mut ArenaMirror) -> R,
+    ) -> R {
+        f(&mut self.mirrors[idx].lock())
     }
 
-    /// Runs `f` with the mirror plus *every* shard held (mirror first, then
-    /// shards ascending), exposing the shards as one [`RawPmem`] — the
-    /// allocator path.
-    pub(crate) fn with_raw<R>(
+    /// Runs `f` with arena `idx`'s mirror plus the shards overlapping the
+    /// arena's byte span held (mirror first, then shards ascending),
+    /// exposing those shards as one [`RawPmem`] — the allocator path.
+    /// Allocator operations on arenas with disjoint shard coverage run
+    /// fully in parallel.
+    pub(crate) fn with_arena_raw<R>(
         &self,
+        idx: usize,
         stats: &PmemStats,
-        f: impl FnOnce(&mut Mirror, &mut dyn RawPmem) -> R,
+        f: impl FnOnce(&mut ArenaMirror, &mut dyn RawPmem) -> R,
     ) -> R {
-        let mut mirror = self.mirror.lock();
-        let mut guards: Vec<ShardGuardMut<'_>> = Vec::with_capacity(self.cells.len());
-        for cell in self.cells.iter() {
+        let mut mirror = self.mirrors[idx].lock();
+        let (lo, hi) = self.arena_spans[idx];
+        let first = self.shard_index(lo);
+        let last = self.shard_index(hi - 1);
+        let mut guards: Vec<ShardGuardMut<'_>> = Vec::with_capacity(last - first + 1);
+        for cell in self.cells[first..=last].iter() {
             guards.push(match cell {
                 ShardCell::Locked(m) => ShardGuardMut::Locked(m.lock()),
                 ShardCell::Unsync(c) => {
@@ -368,6 +408,8 @@ impl ShardedPool {
         }
         let mut raw = ShardedRaw {
             guards,
+            first_shard: first,
+            span: (lo, hi),
             shard_bytes: self.shard_bytes,
             stats,
         };
@@ -389,10 +431,16 @@ impl ShardGuardMut<'_> {
     }
 }
 
-/// [`RawPmem`] over all shards at once (every lock held). Hot-path credits
-/// go to shard 0's bank, which the held locks make safe to write.
+/// [`RawPmem`] over the shards covering one arena's span (those locks
+/// held). Offsets stay pool-global; `first_shard` translates them to guard
+/// indices. Hot-path credits go to the first covered shard's bank, which
+/// the held locks make safe to write.
 struct ShardedRaw<'a> {
     guards: Vec<ShardGuardMut<'a>>,
+    /// Global index of `guards[0]`.
+    first_shard: usize,
+    /// The owning arena's `[lo, hi)` span — the fence scope.
+    span: (u64, u64),
     shard_bytes: u64,
     stats: &'a PmemStats,
 }
@@ -404,7 +452,7 @@ impl ShardedRaw<'_> {
         while at < end {
             let idx = (at / self.shard_bytes) as usize;
             let stop = ((idx as u64 + 1) * self.shard_bytes).min(end);
-            let sh = self.guards[idx].shard();
+            let sh = self.guards[idx - self.first_shard].shard();
             f(sh, at, stop - at);
             at = stop;
         }
@@ -436,14 +484,23 @@ impl RawPmem for ShardedRaw<'_> {
         n
     }
 
+    /// Arena-scoped fence: orders pending flushes within the span, shard by
+    /// shard (each clipped to its own range). Identical durable effect to
+    /// the global engine's `fence_range` over the same span.
     fn fence_raw(&mut self) {
+        let (lo, hi) = self.span;
         for g in &mut self.guards {
-            g.shard().fence();
+            let sh = g.shard();
+            let clip_lo = lo.max(sh.base);
+            let clip_hi = hi.min(sh.end());
+            if clip_lo < clip_hi {
+                sh.fence_range(clip_lo, clip_hi);
+            }
         }
     }
 
     fn credit_hot(&mut self, flushes: u64, fences: u64, write_bytes: u64) {
-        let b = self.stats.bank(0);
+        let b = self.stats.bank(self.first_shard);
         b.add(&b.flushes, flushes);
         b.add(&b.fences, fences);
         b.add(&b.write_bytes, write_bytes);
@@ -457,7 +514,8 @@ mod tests {
     #[test]
     fn shard_geometry_is_line_aligned_and_covers_capacity() {
         let media = vec![0u8; 1 << 20];
-        let s = ShardedPool::new(media, CacheImpl::Dense, 4, false);
+        let geom = HeapGeometry::single(media.len() as u64);
+        let s = ShardedPool::new(media, CacheImpl::Dense, 4, false, &geom);
         assert_eq!(s.shard_count(), 4);
         assert_eq!(s.shard_bytes % CACHE_LINE, 0);
         assert_eq!(s.media_snapshot().len(), 1 << 20);
@@ -467,7 +525,8 @@ mod tests {
     fn tiny_pool_gets_fewer_shards_than_requested() {
         // 8 KiB across 4096 requested shards: at least one line per shard.
         let media = vec![0u8; 8192];
-        let s = ShardedPool::new(media, CacheImpl::Dense, 4096, false);
+        let geom = HeapGeometry::single(media.len() as u64);
+        let s = ShardedPool::new(media, CacheImpl::Dense, 4096, false, &geom);
         assert_eq!(s.shard_count(), 8192 / CACHE_LINE as usize);
         assert_eq!(s.shard_bytes, CACHE_LINE);
     }
@@ -475,7 +534,8 @@ mod tests {
     #[test]
     fn cross_shard_write_and_read_round_trip() {
         let media = vec![0u8; 8192];
-        let s = ShardedPool::new(media, CacheImpl::Dense, 2, false);
+        let geom = HeapGeometry::single(media.len() as u64);
+        let s = ShardedPool::new(media, CacheImpl::Dense, 2, false, &geom);
         let stats = PmemStats::with_banks(s.shard_count());
         let boundary = s.shard_bytes - 32;
         let data: Vec<u8> = (0..64u8).collect();
@@ -488,5 +548,32 @@ mod tests {
         assert_eq!(shards[0].writes, 1);
         assert_eq!(shards[0].write_bytes, 64);
         assert_eq!(shards[1].writes, 0);
+    }
+
+    #[test]
+    fn arena_raw_covers_only_the_arena_span() {
+        // A multi-arena geometry over a sharded pool: the raw handle for a
+        // side arena must read/write its own span correctly even though the
+        // guard slice does not start at shard 0.
+        let capacity = 1u64 << 20;
+        let geom = crate::pool::HeapGeometry::plan(capacity, 4);
+        assert!(geom.arenas().len() > 1, "1 MiB plans side arenas");
+        let media = vec![0u8; capacity as usize];
+        let s = ShardedPool::new(media, CacheImpl::Dense, 8, false, &geom);
+        let stats = PmemStats::with_banks(s.shard_count());
+        let last = geom.arenas().len() - 1;
+        let (lo, hi) = geom.arenas()[last].span();
+        s.with_arena_raw(last, &stats, |_mirror, raw| {
+            raw.write_raw(lo + 8, &[0xAB; 16], PoolMode::CrashSim);
+            raw.flush_raw(lo + 8, 16, PoolMode::CrashSim);
+            raw.fence_raw();
+            let mut back = [0u8; 16];
+            raw.read_raw(lo + 8, &mut back);
+            assert_eq!(back, [0xAB; 16]);
+        });
+        // The write is durable on media after the arena-scoped fence.
+        let snap = s.media_snapshot();
+        assert_eq!(&snap[(lo + 8) as usize..(lo + 24) as usize], &[0xAB; 16]);
+        assert!(hi <= capacity);
     }
 }

@@ -90,6 +90,20 @@ pub struct PmemStats {
     pub allocs: AtomicU64,
     /// Frees returned to the persistent heap.
     pub frees: AtomicU64,
+    /// Zero-fence transactional reservations (`reserve` calls served).
+    pub reserves: AtomicU64,
+    /// `publish` calls (one per committing transaction with allocations).
+    pub publishes: AtomicU64,
+    /// `cancel` calls (aborting transactions returning reservations).
+    pub cancels: AtomicU64,
+    /// Blocks handed out from a free list (immediate or transactional).
+    pub alloc_freelist: AtomicU64,
+    /// Blocks handed out by bumping an arena frontier.
+    pub alloc_frontier: AtomicU64,
+    /// Reservations served from a thread-local magazine without taking any
+    /// lock (a subset of `alloc_freelist`: magazines refill from free
+    /// lists).
+    pub magazine_hits: AtomicU64,
     /// Log entries appended (undo/clobber/redo), bumped by the runtime.
     pub log_entries: AtomicU64,
     /// Log payload bytes appended, bumped by the runtime.
@@ -169,6 +183,12 @@ impl PmemStats {
             read_bytes: hot.read_bytes + self.read_bytes.load(Ordering::Relaxed),
             allocs: self.allocs.load(Ordering::Relaxed),
             frees: self.frees.load(Ordering::Relaxed),
+            reserves: self.reserves.load(Ordering::Relaxed),
+            publishes: self.publishes.load(Ordering::Relaxed),
+            cancels: self.cancels.load(Ordering::Relaxed),
+            alloc_freelist: self.alloc_freelist.load(Ordering::Relaxed),
+            alloc_frontier: self.alloc_frontier.load(Ordering::Relaxed),
+            magazine_hits: self.magazine_hits.load(Ordering::Relaxed),
             log_entries: self.log_entries.load(Ordering::Relaxed),
             log_bytes: self.log_bytes.load(Ordering::Relaxed),
             vlog_entries: self.vlog_entries.load(Ordering::Relaxed),
@@ -224,6 +244,18 @@ pub struct StatsSnapshot {
     pub allocs: u64,
     /// Frees returned.
     pub frees: u64,
+    /// Zero-fence transactional reservations served.
+    pub reserves: u64,
+    /// `publish` calls.
+    pub publishes: u64,
+    /// `cancel` calls.
+    pub cancels: u64,
+    /// Blocks served from a free list.
+    pub alloc_freelist: u64,
+    /// Blocks served by bumping an arena frontier.
+    pub alloc_frontier: u64,
+    /// Reservations served lock-free from a thread-local magazine.
+    pub magazine_hits: u64,
     /// Log entries appended (undo/clobber/redo).
     pub log_entries: u64,
     /// Log payload bytes appended.
@@ -259,6 +291,12 @@ impl StatsSnapshot {
             read_bytes: self.read_bytes - earlier.read_bytes,
             allocs: self.allocs - earlier.allocs,
             frees: self.frees - earlier.frees,
+            reserves: self.reserves - earlier.reserves,
+            publishes: self.publishes - earlier.publishes,
+            cancels: self.cancels - earlier.cancels,
+            alloc_freelist: self.alloc_freelist - earlier.alloc_freelist,
+            alloc_frontier: self.alloc_frontier - earlier.alloc_frontier,
+            magazine_hits: self.magazine_hits - earlier.magazine_hits,
             log_entries: self.log_entries - earlier.log_entries,
             log_bytes: self.log_bytes - earlier.log_bytes,
             vlog_entries: self.vlog_entries - earlier.vlog_entries,

@@ -21,6 +21,7 @@ use clobber_txir::Function;
 
 /// Per-program setup: allocates and initializes inputs, returns the
 /// argument list and a fingerprint function reading back the final state.
+#[allow(clippy::type_complexity)]
 struct Scenario {
     function: Function,
     args: ArgList,
