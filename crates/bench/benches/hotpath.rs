@@ -91,6 +91,78 @@ fn ycsb_load(c: &mut Criterion) {
     group.finish();
 }
 
+/// The same store/flush/fence mix and YCSB-Load insert with a tracer
+/// attached — the tracing-ON overhead instrument against the
+/// `crashsim_dense` rows of the groups above (EXPERIMENTS.md table).
+/// The ring is drained in the untimed `iter_batched` setup slot so the
+/// measured path is recording itself, not trace post-processing.
+fn traced_variants(c: &mut Criterion) {
+    use clobber_pmem::Tracer;
+    use criterion::BatchSize;
+
+    let mut group = c.benchmark_group("hotpath_store_traced");
+    group.sample_size(20);
+    let pool = PmemPool::create(PoolOptions::crash_sim(STORE_POOL)).unwrap();
+    let base = pool.alloc(1 << 20).unwrap();
+    let tracer = Arc::new(Tracer::with_capacity(1 << 16));
+    pool.set_tracer(Some(tracer.clone()));
+    let data = [0xA5u8; 64];
+    let mut i = 0u64;
+    let mut setups = 0u64;
+    group.bench_function("crashsim_dense_traced/store64_flush", |b| {
+        let tracer = tracer.clone();
+        b.iter_batched(
+            || {
+                setups += 1;
+                if setups.is_multiple_of(8192) {
+                    let _ = tracer.take();
+                }
+            },
+            |()| {
+                let addr = base.add((i % 16_384) * 64);
+                i += 1;
+                pool.write_bytes(addr, &data).unwrap();
+                pool.flush(addr, 64).unwrap();
+                if i.is_multiple_of(64) {
+                    pool.fence();
+                }
+            },
+            BatchSize::SmallInput,
+        );
+    });
+    group.finish();
+
+    let mut group = c.benchmark_group("hotpath_ycsb_load_traced");
+    group.sample_size(10);
+    let pool = Arc::new(PmemPool::create(PoolOptions::crash_sim(LOAD_POOL)).unwrap());
+    let tracer = Arc::new(Tracer::with_capacity(1 << 16));
+    pool.set_tracer(Some(tracer.clone()));
+    let rt = Runtime::create(pool, RuntimeOptions::default()).unwrap();
+    HashMap::register(&rt);
+    let map = HashMap::create(&rt).unwrap();
+    let value = Workload::value_for(0, 256);
+    let mut key = 0u64;
+    let mut setups = 0u64;
+    group.bench_function("crashsim_dense_traced/hashmap_insert", |b| {
+        let tracer = tracer.clone();
+        b.iter_batched(
+            || {
+                setups += 1;
+                if setups.is_multiple_of(512) {
+                    let _ = tracer.take();
+                }
+            },
+            |()| {
+                key = (key + 1) % 8192;
+                map.insert(&rt, key.wrapping_mul(0x9E37_79B9_7F4A_7C15), &value)
+                    .unwrap();
+            },
+            BatchSize::SmallInput,
+        );
+    });
+    group.finish();
+}
+
 /// Many-range RangeSet insert/query mix: the set algebra a transaction
 /// with a large, scattered read set exercises per store.
 fn rangeset_dense_inserts(c: &mut Criterion) {
@@ -136,6 +208,7 @@ criterion_group!(
     benches,
     store_flush_fence,
     ycsb_load,
+    traced_variants,
     rangeset_dense_inserts
 );
 criterion_main!(benches);

@@ -1,12 +1,19 @@
 //! Regenerates every table and figure of the Clobber-NVM evaluation.
 //!
 //! ```text
-//! repro [fig6|fig7|fig8|fig9|fig10|fig11|fig12|fig13|fig14|all] [--quick] [--out DIR]
+//! repro [fig6|fig7|fig8|fig9|fig10|fig11|fig12|fig13|fig14|all] \
+//!       [--quick] [--out DIR] [--trace-out PATH]
 //! ```
 //!
 //! Each experiment writes `fig*.csv` into the output directory (default:
 //! the current directory) and prints a summary table, mirroring the
 //! original artifact's `run_all.sh` behaviour (paper Appendix A.5).
+//!
+//! `--trace-out PATH` additionally records the persist-event trace of each
+//! selected figure's first runtime (fig6/fig7/fig10/fig11 only) and writes
+//! it as Chrome trace-event JSON — load it in Perfetto or
+//! `chrome://tracing`. The figure label is inserted before the extension:
+//! `--trace-out t.json` with fig6 writes `t-fig6.json`.
 
 use std::path::PathBuf;
 use std::time::Instant;
@@ -19,6 +26,7 @@ fn main() {
     let mut which: Vec<String> = Vec::new();
     let mut scale = Scale::Full;
     let mut out_dir = PathBuf::from(".");
+    let mut trace_out: Option<PathBuf> = None;
     let mut it = args.into_iter();
     while let Some(a) = it.next() {
         match a.as_str() {
@@ -29,11 +37,19 @@ fn main() {
                     std::process::exit(2);
                 }))
             }
+            "--trace-out" => {
+                trace_out = Some(PathBuf::from(it.next().unwrap_or_else(|| {
+                    eprintln!("--trace-out requires a path");
+                    std::process::exit(2);
+                })))
+            }
             "all" => which = all_figures(),
             other if other.starts_with("fig") => which.push(other.to_string()),
             other => {
                 eprintln!("unknown argument `{other}`");
-                eprintln!("usage: repro [fig6..fig14|all] [--quick] [--out DIR]");
+                eprintln!(
+                    "usage: repro [fig6..fig14|all] [--quick] [--out DIR] [--trace-out PATH]"
+                );
                 std::process::exit(2);
             }
         }
@@ -45,9 +61,38 @@ fn main() {
     for fig in which {
         let t = Instant::now();
         println!("==> {fig} (scale: {scale:?})");
+        let tracing = trace_out.is_some() && TRACEABLE.contains(&fig.as_str());
+        if tracing {
+            clobber_bench::common::arm_trace_capture();
+        }
         run_one(&fig, scale, &out_dir);
+        if tracing {
+            write_trace(&fig, trace_out.as_ref().unwrap());
+        }
         println!("    done in {:.1}s\n", t.elapsed().as_secs_f64());
     }
+}
+
+/// Figures whose runners support `--trace-out`.
+const TRACEABLE: [&str; 4] = ["fig6", "fig7", "fig10", "fig11"];
+
+/// Writes the captured trace as Chrome JSON to `base` with the figure
+/// label inserted before the extension (`t.json` -> `t-fig6.json`).
+fn write_trace(fig: &str, base: &std::path::Path) {
+    let Some(trace) = clobber_bench::common::take_captured_trace() else {
+        eprintln!("    {fig}: no runtime was created, no trace captured");
+        return;
+    };
+    let stem = base.file_stem().and_then(|s| s.to_str()).unwrap_or("trace");
+    let ext = base.extension().and_then(|s| s.to_str()).unwrap_or("json");
+    let path = base.with_file_name(format!("{stem}-{fig}.{ext}"));
+    std::fs::write(&path, trace.to_chrome_json()).expect("write trace");
+    println!(
+        "    trace: {} events ({} dropped) -> {}",
+        trace.events.len(),
+        trace.dropped,
+        path.display()
+    );
 }
 
 fn all_figures() -> Vec<String> {

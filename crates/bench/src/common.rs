@@ -7,9 +7,11 @@ use std::io::Write;
 use std::path::Path;
 use std::sync::Arc;
 
+use std::sync::Mutex;
+
 use clobber_nvm::{Backend, Runtime, RuntimeOptions};
 use clobber_pds::{value::key32, BpTree, HashMap, RbTree, SkipList};
-use clobber_pmem::{PmemPool, PoolOptions, StatsSnapshot};
+use clobber_pmem::{PmemPool, PoolOptions, StatsSnapshot, Trace, Tracer};
 use clobber_sim::{CostModel, LockRequest, OpSource, SimOp};
 use clobber_workloads::{KvOp, Workload, WorkloadKind};
 
@@ -72,10 +74,46 @@ impl Scale {
     }
 }
 
+/// One-shot trace capture state for `--trace-out`: armed by the repro
+/// binary, attached to the next pool [`make_runtime`] creates (the
+/// figure's first cell — a representative sample), drained afterwards.
+enum TraceCapture {
+    Off,
+    Armed,
+    Capturing(Arc<Tracer>),
+}
+
+static TRACE_CAPTURE: Mutex<TraceCapture> = Mutex::new(TraceCapture::Off);
+
+/// Arms one-shot trace capture: the next pool built by [`make_runtime`]
+/// records its persist-event trace until [`take_captured_trace`] drains
+/// it. Tracing stays off for every other pool, so benchmark numbers are
+/// unaffected unless capture was explicitly requested.
+pub fn arm_trace_capture() {
+    *TRACE_CAPTURE.lock().unwrap() = TraceCapture::Armed;
+}
+
+/// Takes the trace captured since [`arm_trace_capture`], if any pool was
+/// created while armed, and disarms.
+pub fn take_captured_trace() -> Option<Trace> {
+    match std::mem::replace(&mut *TRACE_CAPTURE.lock().unwrap(), TraceCapture::Off) {
+        TraceCapture::Capturing(tracer) => Some(tracer.take()),
+        _ => None,
+    }
+}
+
 /// Creates a performance-mode pool and runtime for the given backend.
 pub fn make_runtime(backend: Backend, scale: Scale) -> (Arc<PmemPool>, Arc<Runtime>) {
     let pool =
         Arc::new(PmemPool::create(PoolOptions::performance(scale.pool_bytes())).expect("pool"));
+    {
+        let mut cap = TRACE_CAPTURE.lock().unwrap();
+        if matches!(*cap, TraceCapture::Armed) {
+            let tracer = Arc::new(Tracer::with_capacity(1 << 20));
+            pool.set_tracer(Some(tracer.clone()));
+            *cap = TraceCapture::Capturing(tracer);
+        }
+    }
     let rt =
         Arc::new(Runtime::create(pool.clone(), RuntimeOptions::new(backend)).expect("runtime"));
     (pool, rt)

@@ -61,6 +61,7 @@ pub mod error;
 pub mod ido;
 pub mod rangeset;
 pub mod recovery;
+pub mod replay;
 pub mod runtime;
 pub mod tx;
 pub mod vlog;
@@ -69,6 +70,7 @@ pub use args::{ArgList, ArgValue};
 pub use backend::{Backend, ClobberCfg};
 pub use error::TxError;
 pub use recovery::{RecoveryOptions, RecoveryPolicy, RecoveryReport, SlotQuarantine};
+pub use replay::{minimize_schedule, ReplayReport, Schedule, ScheduleError, ScheduleOp};
 pub use runtime::{IdoAggregate, Runtime, RuntimeOptions};
 pub use tx::{Tx, TxResult, WritePolicy, WriteProbe};
 pub use vlog::VlogSlot;

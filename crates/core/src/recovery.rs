@@ -261,6 +261,16 @@ impl Runtime {
     fn recover_slot(&self, idx: usize, pool: &PmemPool) -> Result<SlotDelta, TxError> {
         let mut delta = SlotDelta::default();
         let slot = self.slot(idx)?;
+        let step = |code: u64, name: &str, b: u64| {
+            if pool.tracing_enabled() {
+                let name_id = match pool.tracer() {
+                    Some(t) if !name.is_empty() => t.intern(name),
+                    _ => 0,
+                };
+                pool.trace_app_event(clobber_trace::EventKind::RecoveryStep, name_id, code, b);
+            }
+        };
+        step(clobber_trace::recovery_steps::SCAN_SLOT, "", idx as u64);
         match self.backend() {
             Backend::NoLog => {}
             Backend::Clobber(cfg) => {
@@ -281,8 +291,14 @@ impl Runtime {
                 clog.apply_backwards(pool)?;
                 pool.fence();
                 clog.clear(pool)?;
+                step(
+                    clobber_trace::recovery_steps::RESTORE,
+                    "",
+                    entries.len() as u64,
+                );
                 // Re-execute with restored inputs.
                 let f = self.lookup(&rec.name)?;
+                step(clobber_trace::recovery_steps::REEXECUTE, &rec.name, 0);
                 let rlog = slot.redo_log(pool)?;
                 let mut tx = Tx::new(
                     pool,
@@ -309,6 +325,7 @@ impl Runtime {
                         slot.clear_ongoing(pool)?;
                         pool.fence();
                         delta.abandoned += 1;
+                        step(clobber_trace::recovery_steps::ABANDON, "", 0);
                     }
                     Err(e) => return Err(e),
                 }
@@ -324,6 +341,7 @@ impl Runtime {
                 slot.clear_ongoing(pool)?;
                 pool.fence();
                 delta.rolled_back += 1;
+                step(clobber_trace::recovery_steps::ROLLBACK, "", 0);
             }
             Backend::Redo => {
                 let rlog = slot.redo_log(pool)?;
@@ -334,10 +352,12 @@ impl Runtime {
                     slot.clear_ongoing(pool)?;
                     rlog.clear(pool)?;
                     delta.redo_applied += 1;
+                    step(clobber_trace::recovery_steps::REDO_APPLY, "", 0);
                 } else if slot.is_ongoing(pool)? {
                     slot.clear_ongoing(pool)?;
                     rlog.clear(pool)?;
                     delta.rolled_back += 1;
+                    step(clobber_trace::recovery_steps::ROLLBACK, "", 0);
                 }
             }
         }

@@ -323,6 +323,22 @@ impl Runtime {
     pub fn run_on(&self, slot_idx: usize, name: &str, args: &ArgList) -> TxResult {
         let f = self.lookup(name)?;
         let slot = self.slot(slot_idx)?;
+        // TxBegin is recorded at dispatch, not at the durable begin record:
+        // read-only transactions never persist a begin, but they must still
+        // appear in recorded schedules — replay re-drives exactly the ops
+        // named by TxBegin events.
+        if self.pool.tracing_enabled() {
+            if let Some(tracer) = self.pool.tracer() {
+                let name_id = tracer.intern(name);
+                let blob = tracer.record_blob(&args.to_bytes());
+                self.pool.trace_app_event(
+                    clobber_trace::EventKind::TxBegin,
+                    name_id,
+                    slot_idx as u64,
+                    blob as u64,
+                );
+            }
+        }
         let clog = slot.clobber_log(&self.pool)?;
         let rlog = slot.redo_log(&self.pool)?;
 
@@ -408,6 +424,14 @@ impl Runtime {
     /// [`RuntimeOptions::ido_shadow`] is set).
     pub fn ido_stats(&self) -> IdoAggregate {
         *self.ido.lock()
+    }
+
+    /// Attaches (or with `None` detaches) an event tracer on the underlying
+    /// pool — convenience for `rt.pool().set_tracer(...)`. While attached,
+    /// transactions additionally record `TxBegin`/`TxCommit`/`TxAbort` and
+    /// v_log events between the pool's persist events.
+    pub fn set_tracer(&self, tracer: Option<Arc<clobber_trace::Tracer>>) {
+        self.pool.set_tracer(tracer);
     }
 
     /// Installs (or clears) a probe invoked after every transactional

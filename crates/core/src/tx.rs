@@ -634,6 +634,17 @@ impl<'rt> Tx<'rt> {
             }
         }
         let ido = self.ido.take().map(IdoObserver::finish);
+        if pool.tracing_enabled() {
+            // The slot base (not the persistent id) identifies the slot:
+            // it's in memory, so recording stays free of pmem reads and
+            // cannot perturb the read counters the golden pins check.
+            pool.trace_app_event(
+                clobber_trace::EventKind::TxCommit,
+                0,
+                self.slot.base().offset(),
+                0,
+            );
+        }
         Ok(CommitOutcome {
             scratch: std::mem::take(&mut self.scratch),
             ido,
@@ -690,6 +701,14 @@ impl<'rt> Tx<'rt> {
                 }
             }
         };
+        if pool.tracing_enabled() {
+            pool.trace_app_event(
+                clobber_trace::EventKind::TxAbort,
+                0,
+                self.slot.base().offset(),
+                0,
+            );
+        }
         (err, std::mem::take(&mut self.scratch))
     }
 }

@@ -212,7 +212,14 @@ impl VlogSlot {
         pool.write_u64(self.base.add(STATUS), 1)?;
         pool.flush(self.base.add(STATUS), 8)?;
         pool.fence();
-        Ok(16 + name_bytes.len() as u64 + arg_bytes.len() as u64)
+        let bytes = 16 + name_bytes.len() as u64 + arg_bytes.len() as u64;
+        pool.trace_app_event(
+            clobber_pmem::EventKind::VlogAppend,
+            0,
+            self.base.offset(),
+            bytes,
+        );
+        Ok(bytes)
     }
 
     /// Sets the status bit without recording a new record (used when the
@@ -257,6 +264,12 @@ impl VlogSlot {
         pool.write_u64(self.base.add(PRESERVE_TAIL), tail + need)?;
         pool.flush(self.base.add(PRESERVE_COUNT), 16)?;
         pool.fence();
+        pool.trace_app_event(
+            clobber_pmem::EventKind::VlogAppend,
+            0,
+            self.base.offset(),
+            need,
+        );
         Ok(need)
     }
 

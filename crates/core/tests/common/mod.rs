@@ -508,3 +508,36 @@ pub fn two_parked_transfers(backend: Backend, assignments: [(u64, u64, u64); 2])
     });
     media.unwrap()
 }
+
+/// Runs the full script with a tracer attached (no faults armed) and
+/// returns the captured trace. Under the persist-event ordering contract
+/// the result is bit-identical at every concurrency mode.
+pub fn traced_script_run(backend: Backend, concurrency: PoolConcurrency) -> clobber_pmem::Trace {
+    let (pool, rt, base) = setup_with(backend, concurrency);
+    let tracer = Arc::new(clobber_pmem::Tracer::new());
+    pool.set_tracer(Some(tracer.clone()));
+    run_script(&rt, base).expect("traced run must not fail");
+    pool.set_tracer(None);
+    tracer.take()
+}
+
+/// Like [`crash_at`], but with a tracer attached *after* arming (so trace
+/// sequence numbers match untraced trip indices). Returns the recorded
+/// trace alongside the surviving media.
+pub fn traced_crash_at(
+    backend: Backend,
+    concurrency: PoolConcurrency,
+    k: u64,
+) -> (clobber_pmem::Trace, Vec<u8>) {
+    let (pool, rt, base) = setup_with(backend, concurrency);
+    pool.arm_faults(FaultPlan::crash_at(k));
+    let tracer = Arc::new(clobber_pmem::Tracer::new());
+    pool.set_tracer(Some(tracer.clone()));
+    let _ = run_script(&rt, base);
+    assert_eq!(pool.fault_tripped(), Some(k), "event {k} must trip");
+    let media = pool
+        .crash(&CrashConfig::drop_all(0xC0FFEE ^ k))
+        .unwrap()
+        .media_snapshot();
+    (tracer.take(), media)
+}

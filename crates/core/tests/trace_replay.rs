@@ -1,0 +1,187 @@
+//! Trace replay and schedule minimization: a recorded crash reproduces
+//! event-for-event from its extracted schedule, traces survive the binary
+//! format round-trip, and ddmin shrinks a failing schedule to its culprits.
+
+mod common;
+
+use std::sync::Arc;
+
+use clobber_nvm::{minimize_schedule, ArgList, Backend, Schedule};
+use clobber_pmem::{FaultPlan, PAddr, PoolConcurrency, Tracer};
+use clobber_trace::Trace;
+use common::*;
+
+/// A mid-script crash point: deep enough that several transactions (and
+/// their logs) precede it, shallow enough to leave ops un-run.
+fn mid_crash_point() -> u64 {
+    let n = count_script_events(Backend::clobber());
+    assert!(n > 4);
+    n / 2
+}
+
+/// The tentpole acceptance check: record a crash-sweep failure, extract the
+/// schedule from the trace, replay it through a fresh identical pool under
+/// the same fault plan, and diff the two traces — they must be identical,
+/// FaultTrip and all.
+#[test]
+fn replay_reproduces_crash_event_for_event() {
+    let backend = Backend::clobber();
+    let k = mid_crash_point();
+    let (recorded, _media) = traced_crash_at(backend, PoolConcurrency::GlobalLock, k);
+    assert_eq!(
+        recorded.events.last().map(|e| e.kind),
+        Some(clobber_pmem::EventKind::FaultTrip),
+        "a tripped trace ends at the trip"
+    );
+
+    let schedule = Schedule::from_trace(&recorded).unwrap();
+    assert!(!schedule.is_empty());
+    assert!(
+        schedule.len() <= SCRIPT.len(),
+        "no more dispatches than the script has"
+    );
+
+    // Fresh, identically-configured pool; arm the same plan, then attach
+    // the tracer (in that order, so sequence numbers line up).
+    let (pool, rt, _base) = setup(backend);
+    pool.arm_faults(FaultPlan::crash_at(k));
+    let tracer = Arc::new(Tracer::new());
+    pool.set_tracer(Some(tracer.clone()));
+    let report = schedule.replay(&rt);
+    assert_eq!(
+        report.tripped_at,
+        Some(k),
+        "replay must trip at the same event"
+    );
+    assert_eq!(pool.fault_tripped(), Some(k));
+    let replayed = tracer.take();
+
+    assert!(
+        recorded.diff(&replayed).is_none(),
+        "replay diverged from recording: {}",
+        recorded.diff(&replayed).unwrap()
+    );
+}
+
+/// Replay reproduces the crash at every shard count, not just the engine
+/// that recorded it — the CI crash-sweep smoke relies on this.
+#[test]
+fn replay_is_engine_portable() {
+    let backend = Backend::clobber();
+    let k = mid_crash_point();
+    let (recorded, _media) = traced_crash_at(backend, PoolConcurrency::GlobalLock, k);
+    let schedule = Schedule::from_trace(&recorded).unwrap();
+
+    for engine in [
+        PoolConcurrency::Sharded { shards: 4 },
+        PoolConcurrency::SingleThread,
+    ] {
+        let (pool, rt, _base) = setup_with(backend, engine);
+        pool.arm_faults(FaultPlan::crash_at(k));
+        let tracer = Arc::new(Tracer::new());
+        pool.set_tracer(Some(tracer.clone()));
+        let report = schedule.replay(&rt);
+        assert_eq!(report.tripped_at, Some(k), "{engine:?}");
+        let replayed = tracer.take();
+        assert!(
+            recorded.diff(&replayed).is_none(),
+            "{engine:?}: {}",
+            recorded.diff(&replayed).unwrap()
+        );
+    }
+}
+
+/// The compact binary format round-trips a real (tripped) trace exactly,
+/// and the Chrome export of the same trace is non-trivial.
+#[test]
+fn trace_exports_round_trip() {
+    let (recorded, _media) = traced_crash_at(
+        Backend::clobber(),
+        PoolConcurrency::GlobalLock,
+        mid_crash_point(),
+    );
+    let bytes = recorded.to_bytes();
+    let back = Trace::from_bytes(&bytes).unwrap();
+    assert_eq!(recorded, back, "binary round-trip must be exact");
+    assert!(back.diff(&recorded).is_none());
+
+    let json = recorded.to_chrome_json();
+    assert!(json.contains("\"traceEvents\""));
+    assert!(json.contains("\"transfer\""), "txfunc names are exported");
+}
+
+/// Schedules extracted from a trace replay cleanly with no faults armed:
+/// the ops run, nothing trips, and the invariant holds.
+#[test]
+fn schedule_replays_clean_without_faults() {
+    let backend = Backend::clobber();
+    let trace = traced_script_run(backend, PoolConcurrency::GlobalLock);
+    let schedule = Schedule::from_trace(&trace).unwrap();
+    assert_eq!(schedule.len(), SCRIPT.len());
+
+    let (pool, rt, base) = setup(backend);
+    let report = schedule.replay(&rt);
+    assert_eq!(report.ops_run, SCRIPT.len());
+    assert_eq!(report.aborted, 0);
+    assert_eq!(report.tripped_at, None);
+    assert_eq!(total(&pool, base), ACCOUNTS * INITIAL);
+}
+
+/// Builds the minimization workload: `noise` transfers shuffled around two
+/// culprit ops that each move 20 from account 0 to account 1. Only the
+/// culprits touch account 1's balance upward past the failure threshold.
+fn seeded_failing_schedule(base: PAddr) -> Schedule {
+    let op = |f: u64, t: u64, a: u64| clobber_nvm::ScheduleOp {
+        slot: 0,
+        name: "transfer".to_string(),
+        args: ArgList::new()
+            .with_u64(base.offset())
+            .with_u64(f)
+            .with_u64(t)
+            .with_u64(a),
+    };
+    let mut ops = Vec::new();
+    for i in 0..16u64 {
+        // Noise: small transfers that never involve account 1.
+        ops.push(op(2 + (i % 3), 5 + (i % 3), 1 + (i % 7)));
+        if i == 4 || i == 11 {
+            ops.push(op(0, 1, 20)); // culprit
+        }
+    }
+    Schedule { ops }
+}
+
+/// Satellite/tentpole acceptance: ddmin shrinks the seeded failing
+/// schedule to <= 25% of its length while preserving the failure — here,
+/// "account 1 ends at least 40 over its initial balance", which exactly
+/// the two culprit ops cause.
+#[test]
+fn minimizer_shrinks_failing_schedule() {
+    let backend = Backend::clobber();
+    // The predicate rebuilds an identical pool per candidate, so the base
+    // address is the same in every probe run.
+    let (_pool, _rt, base) = setup(backend);
+    let schedule = seeded_failing_schedule(base);
+
+    let fails = |candidate: &Schedule| {
+        let (pool, rt, base) = setup(backend);
+        candidate.replay(&rt);
+        pool.read_u64(base.add(8)).unwrap() >= INITIAL + 40
+    };
+    assert!(fails(&schedule), "seeded schedule must fail to begin with");
+
+    let minimal = minimize_schedule(&schedule, fails);
+    assert!(fails(&minimal), "minimized schedule must still fail");
+    assert!(
+        minimal.len() * 4 <= schedule.len(),
+        "ddmin must shrink to <= 25%: {} of {}",
+        minimal.len(),
+        schedule.len()
+    );
+    // And in this workload the minimum is exactly the two culprits.
+    assert_eq!(minimal.len(), 2);
+    for op in &minimal.ops {
+        assert_eq!(op.args.u64(1).unwrap(), 0);
+        assert_eq!(op.args.u64(2).unwrap(), 1);
+    }
+}

@@ -1,0 +1,89 @@
+//! Satellite 3 (allocation half): the persist hot path performs zero heap
+//! allocations in steady state — with tracing disabled (the zero-cost
+//! claim) and, after the ring is registered, with tracing enabled too.
+//!
+//! This binary holds exactly one `#[test]` because the counting allocator
+//! is process-global: a second test running on a parallel harness thread
+//! would pollute the counter.
+
+mod common;
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering::Relaxed};
+use std::sync::Arc;
+
+use clobber_nvm::Backend;
+use clobber_pmem::Tracer;
+use common::*;
+
+struct CountingAlloc;
+
+static ALLOCATIONS: AtomicU64 = AtomicU64::new(0);
+
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Relaxed);
+        unsafe { System.alloc(layout) }
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        unsafe { System.dealloc(ptr, layout) }
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Relaxed);
+        unsafe { System.realloc(ptr, layout, new_size) }
+    }
+}
+
+#[global_allocator]
+static COUNTER: CountingAlloc = CountingAlloc;
+
+/// Issues `rounds` of raw store + flush + fence against `addr`.
+fn persist_rounds(pool: &clobber_pmem::PmemPool, addr: clobber_pmem::PAddr, rounds: u64) {
+    for i in 0..rounds {
+        pool.write_u64(addr, i).unwrap();
+        pool.flush(addr, 8).unwrap();
+        pool.fence();
+    }
+}
+
+#[test]
+fn persist_hot_path_is_allocation_free() {
+    let backend = Backend::clobber();
+    let (pool, _rt, base) = setup(backend);
+
+    // Warm up: first-touch lazy init (cache lines, TLS) may allocate.
+    persist_rounds(&pool, base, 4);
+
+    // Tracing disabled: the gate is two relaxed loads — zero allocations.
+    let before = ALLOCATIONS.load(Relaxed);
+    persist_rounds(&pool, base, 256);
+    let disabled_delta = ALLOCATIONS.load(Relaxed) - before;
+    assert_eq!(
+        disabled_delta, 0,
+        "disabled tracing must not allocate on the persist hot path"
+    );
+
+    // Tracing enabled: ring registration (first event on this thread) may
+    // allocate once; after that, recording writes into the preallocated
+    // ring and must stay allocation-free.
+    let tracer = Arc::new(Tracer::new());
+    pool.set_tracer(Some(tracer.clone()));
+    persist_rounds(&pool, base, 4); // warm: registers this thread's ring
+    let before = ALLOCATIONS.load(Relaxed);
+    persist_rounds(&pool, base, 256);
+    let enabled_delta = ALLOCATIONS.load(Relaxed) - before;
+    pool.set_tracer(None);
+    assert_eq!(
+        enabled_delta, 0,
+        "steady-state tracing must record into the preallocated ring"
+    );
+
+    let trace = tracer.take();
+    assert!(
+        trace.events.len() >= 3 * 256,
+        "the traced rounds must all be recorded"
+    );
+    assert_eq!(trace.dropped, 0);
+}

@@ -411,6 +411,7 @@ impl PmemPool {
             Origin::FreeList => stats.bump(&stats.alloc_freelist, 1),
             Origin::Frontier => stats.bump(&stats.alloc_frontier, 1),
         }
+        self.trace_app_event(clobber_trace::EventKind::Alloc, 0, payload, capacity);
         Ok(PAddr::new(payload))
     }
 
@@ -500,6 +501,7 @@ impl PmemPool {
         })?;
         let stats = self.stats();
         stats.bump(&stats.frees, 1);
+        self.trace_app_event(clobber_trace::EventKind::Free, 0, payload, 0);
         Ok(())
     }
 
@@ -532,6 +534,7 @@ impl PmemPool {
                 stats.bump(&stats.reserves, 1);
                 stats.bump(&stats.alloc_freelist, 1);
                 stats.bump(&stats.magazine_hits, 1);
+                self.trace_app_event(clobber_trace::EventKind::Reserve, 0, payload, capacity);
                 return Ok(PAddr::new(payload));
             }
         }
@@ -551,6 +554,7 @@ impl PmemPool {
             Origin::FreeList => stats.bump(&stats.alloc_freelist, 1),
             Origin::Frontier => stats.bump(&stats.alloc_frontier, 1),
         }
+        self.trace_app_event(clobber_trace::EventKind::Reserve, 0, payload, capacity);
         Ok(PAddr::new(payload))
     }
 
@@ -638,6 +642,7 @@ impl PmemPool {
         let mode = self.mode();
         let stats = self.stats();
         stats.bump(&stats.publishes, 1);
+        self.trace_app_event(clobber_trace::EventKind::Publish, 0, blocks.len() as u64, 0);
         let n = self.arena_count();
         for idx in 0..n {
             if !blocks
@@ -701,6 +706,7 @@ impl PmemPool {
         self.fail_if_dead()?;
         let stats = self.stats();
         stats.bump(&stats.cancels, 1);
+        self.trace_app_event(clobber_trace::EventKind::Cancel, 0, blocks.len() as u64, 0);
         let n = self.arena_count();
         for idx in 0..n {
             if !blocks

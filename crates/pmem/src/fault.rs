@@ -99,16 +99,23 @@ impl FaultPlan {
 }
 
 /// Live injector state behind the pool's fault mutex.
+///
+/// The attached [`Tracer`](clobber_trace::Tracer) lives here too: persist
+/// events are recorded under the same lock acquisition that assigns their
+/// sequence number, so the recorded order *is* the pool-wide total order.
 #[derive(Debug, Default)]
 pub(crate) struct FaultState {
     /// The armed plan, if any.
     pub(crate) plan: Option<FaultPlan>,
-    /// Persist events observed since arming.
+    /// Persist events observed since arming (or, with a tracer attached and
+    /// no plan, since the tracer was attached).
     pub(crate) events: u64,
     /// Event index at which the pool tripped, once it has.
     pub(crate) tripped_at: Option<u64>,
     /// Transient read faults still to be served.
     pub(crate) transient_remaining: u64,
+    /// Attached event tracer, if tracing is enabled.
+    pub(crate) tracer: Option<std::sync::Arc<clobber_trace::Tracer>>,
 }
 
 #[cfg(test)]

@@ -27,6 +27,11 @@
 //!   trip-point crashes at any chosen persist event, torn multi-line
 //!   stores, seeded bit corruption, and transient read faults — the
 //!   substrate for exhaustive crash-point sweeps.
+//! * [`PmemPool::set_tracer`] attaches a [`Tracer`] (from `clobber-trace`):
+//!   every store/flush/fence is recorded as a typed event stamped with its
+//!   persist-event sequence number, under the same fault-mutex acquisition
+//!   that assigns it — so the recorded stream is the pool-wide total order,
+//!   identical at every [`PoolConcurrency`] engine and shard count.
 //!
 //! # Example
 //!
@@ -64,3 +69,7 @@ pub use pool::{
 };
 pub use stats::{PmemStats, ShardCounters, StatsSnapshot};
 pub use ulog::Ulog;
+
+// Re-exported so pool users can attach tracers and decode traces without a
+// separate `clobber-trace` dependency.
+pub use clobber_trace::{EventKind, Trace, TraceEvent, Tracer};

@@ -5,6 +5,7 @@ use std::fmt;
 use std::sync::atomic::{AtomicBool, AtomicU32, AtomicU64, Ordering};
 use std::sync::Arc;
 
+use clobber_trace::{EventKind, Tracer};
 use parking_lot::Mutex;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -618,9 +619,13 @@ pub struct PmemPool {
     /// Fast-path flag: true while a [`FaultPlan`] is armed. Lets the
     /// disarmed hot path skip the fault mutex entirely.
     faults_armed: AtomicBool,
-    /// The single fault injector. While armed, acquisition order on this
-    /// mutex defines the pool-wide total order of persist events — the
-    /// shard-ordering model documented on [`PoolConcurrency`].
+    /// Fast-path flag: true while a [`Tracer`] is attached. Checked with
+    /// one relaxed load on the hot path, so disabled tracing costs nothing.
+    trace_on: AtomicBool,
+    /// The single fault injector and event tracer. While armed (or traced),
+    /// acquisition order on this mutex defines the pool-wide total order of
+    /// persist events — the shard-ordering model documented on
+    /// [`PoolConcurrency`].
     faults: Mutex<FaultState>,
     engine: Engine,
 }
@@ -750,6 +755,7 @@ impl PmemPool {
             next_arena: AtomicU32::new(0),
             stats,
             faults_armed: AtomicBool::new(false),
+            trace_on: AtomicBool::new(false),
             faults: Mutex::new(FaultState::default()),
             engine,
         }
@@ -880,6 +886,14 @@ impl PmemPool {
         self.faults.lock().tripped_at
     }
 
+    /// Whether the persist path must take the fault mutex: a plan is armed
+    /// or a tracer is attached. Two relaxed loads; false on the untraced,
+    /// unarmed hot path.
+    #[inline]
+    fn hooks_engaged(&self) -> bool {
+        self.faults_armed.load(Ordering::Relaxed) || self.trace_on.load(Ordering::Relaxed)
+    }
+
     /// Returns `InjectedCrash` if an armed plan has already tripped.
     ///
     /// Allocator entry points call this: they mutate media through internal
@@ -895,24 +909,43 @@ impl PmemPool {
         }
     }
 
-    /// Consults the injector for one persist event (store/flush/fence).
+    /// Consults the injector for one persist event (store/flush/fence) and
+    /// records it if a tracer is attached — under the same lock acquisition
+    /// that assigns its sequence number, so the recorded order is the
+    /// pool-wide total order.
     ///
     /// On a tripping *store*, `store` carries `(offset, data)` so a torn
     /// plan can push a seeded prefix of the store's cache lines straight to
     /// media — modeling lines evicted at the instant of failure — before the
     /// pool dies.
-    fn fault_persist_event(&self, store: Option<(u64, &[u8])>) -> Result<(), PmemError> {
+    fn fault_persist_event(
+        &self,
+        kind: EventKind,
+        a: u64,
+        b: u64,
+        store: Option<(u64, &[u8])>,
+    ) -> Result<(), PmemError> {
         let mut st = self.faults.lock();
         if let Some(event) = st.tripped_at {
             return Err(PmemError::InjectedCrash { event });
         }
         let event = st.events;
         st.events += 1;
+        if let Some(tracer) = st.tracer.as_ref() {
+            let recorded = tracer.record(event, kind, 0, a, b);
+            self.bump_trace_stat(recorded);
+        }
         let Some(plan) = st.plan else { return Ok(()) };
         if plan.trip_at_event != Some(event) {
             return Ok(());
         }
         st.tripped_at = Some(event);
+        if let Some(tracer) = st.tracer.as_ref() {
+            // The trip shares the tripping event's sequence number; the
+            // stable merge keeps it right after the event that tripped.
+            let recorded = tracer.record(event, EventKind::FaultTrip, 0, event, 0);
+            self.bump_trace_stat(recorded);
+        }
         drop(st);
         self.stats.bump(&self.stats.faults_tripped, 1);
         if plan.torn_store {
@@ -921,6 +954,64 @@ impl PmemPool {
             }
         }
         Err(PmemError::InjectedCrash { event })
+    }
+
+    fn bump_trace_stat(&self, recorded: bool) {
+        if recorded {
+            self.stats.bump(&self.stats.trace_events, 1);
+        } else {
+            self.stats.bump(&self.stats.trace_dropped, 1);
+        }
+    }
+
+    /// Attaches (or with `None` detaches) an event [`Tracer`].
+    ///
+    /// While attached, every store/flush/fence records a typed event stamped
+    /// with its persist-event sequence number, and the runtime layers record
+    /// transaction/log/allocator events between them via
+    /// [`trace_app_event`](Self::trace_app_event). Tracing alone (no armed
+    /// [`FaultPlan`]) also advances the sequence counter; arming a plan
+    /// resets it to zero, so attach the tracer *after* arming when combining
+    /// both — trip indices then match untraced runs.
+    ///
+    /// The tracer does not survive [`crash`](Self::crash) (a crash returns a
+    /// fresh pool instance); re-attach to trace recovery.
+    pub fn set_tracer(&self, tracer: Option<Arc<Tracer>>) {
+        let mut st = self.faults.lock();
+        self.trace_on.store(tracer.is_some(), Ordering::Relaxed);
+        st.tracer = tracer;
+    }
+
+    /// The attached tracer, if any.
+    pub fn tracer(&self) -> Option<Arc<Tracer>> {
+        self.faults.lock().tracer.clone()
+    }
+
+    /// Whether a tracer is currently attached (one relaxed load).
+    pub fn tracing_enabled(&self) -> bool {
+        self.trace_on.load(Ordering::Relaxed)
+    }
+
+    /// Records a non-persist event (transaction, log, allocator, recovery)
+    /// at the current sequence point: the event is stamped with the number
+    /// of persist events observed so far, ordering it between the
+    /// surrounding store/flush/fence events without consuming an index.
+    ///
+    /// No-op when tracing is off; also a no-op once an armed plan has
+    /// tripped, so a recorded trace ends at its [`EventKind::FaultTrip`]
+    /// event exactly like the replayed one will.
+    pub fn trace_app_event(&self, kind: EventKind, name: u32, a: u64, b: u64) {
+        if !self.trace_on.load(Ordering::Relaxed) {
+            return;
+        }
+        let st = self.faults.lock();
+        if st.tripped_at.is_some() {
+            return;
+        }
+        if let Some(tracer) = st.tracer.as_ref() {
+            let recorded = tracer.record(st.events, kind, name, a, b);
+            self.bump_trace_stat(recorded);
+        }
     }
 
     /// Writes a seeded prefix of the store's cache lines directly to media.
@@ -1080,8 +1171,13 @@ impl PmemPool {
     /// Returns [`PmemError::OutOfBounds`] if the range exceeds the pool.
     pub fn write_bytes(&self, addr: PAddr, data: &[u8]) -> Result<(), PmemError> {
         self.check(addr, data.len() as u64)?;
-        if self.faults_armed.load(Ordering::Relaxed) {
-            self.fault_persist_event(Some((addr.offset(), data)))?;
+        if self.hooks_engaged() {
+            self.fault_persist_event(
+                EventKind::Store,
+                addr.offset(),
+                data.len() as u64,
+                Some((addr.offset(), data)),
+            )?;
         }
         match &self.engine {
             Engine::Global(m) => {
@@ -1112,8 +1208,8 @@ impl PmemPool {
     /// Returns [`PmemError::OutOfBounds`] if the range exceeds the pool.
     pub fn flush(&self, addr: PAddr, len: u64) -> Result<(), PmemError> {
         self.check(addr, len)?;
-        if self.faults_armed.load(Ordering::Relaxed) {
-            self.fault_persist_event(None)?;
+        if self.hooks_engaged() {
+            self.fault_persist_event(EventKind::Flush, addr.offset(), len, None)?;
         }
         match &self.engine {
             Engine::Global(m) => {
@@ -1132,7 +1228,11 @@ impl PmemPool {
     /// so pending flushes never become durable. Subsequent fallible
     /// operations report the injected crash.
     pub fn fence(&self) {
-        if self.faults_armed.load(Ordering::Relaxed) && self.fault_persist_event(None).is_err() {
+        if self.hooks_engaged()
+            && self
+                .fault_persist_event(EventKind::Fence, 0, 0, None)
+                .is_err()
+        {
             return;
         }
         match &self.engine {

@@ -9,10 +9,12 @@
 //! ascending line order of the single-lock engine — which is what keeps
 //! seeded crash outcomes bit-identical across engines and shard counts.
 //!
-//! Ordering model (documented on [`PoolConcurrency`]): fault injection and
-//! persist-event numbering live *outside* the shards, on the pool's single
-//! fault mutex, consulted before any shard is touched. Shards therefore
-//! never need to agree on an event order among themselves.
+//! Ordering model (documented on [`PoolConcurrency`]): fault injection,
+//! persist-event numbering, and event tracing live *outside* the shards, on
+//! the pool's single fault mutex, consulted before any shard is touched.
+//! Shards therefore never need to agree on an event order among themselves —
+//! and a trace recorded under that mutex is the same pool-wide total order
+//! at every shard count, which is what makes golden traces engine-invariant.
 //!
 //! `SingleThread` mode reuses this engine with one shard held in an
 //! owner-checked [`UnsafeCell`] instead of a mutex: the first thread to

@@ -123,6 +123,11 @@ pub struct PmemStats {
     /// Operations retried after a transient media fault, bumped by the
     /// runtime's recovery retry loop.
     pub fault_retries: AtomicU64,
+    /// Trace events recorded while a tracer is attached. Zero whenever
+    /// tracing is disabled — the zero-overhead pin tests rely on that.
+    pub trace_events: AtomicU64,
+    /// Trace events lost to full per-thread rings.
+    pub trace_dropped: AtomicU64,
     /// Per-shard hot-counter banks. Empty for single-lock pools; sharded
     /// pools route all hot-path counts here and leave the shared hot
     /// atomics above at zero, so [`snapshot`](Self::snapshot) can always
@@ -197,6 +202,8 @@ impl PmemStats {
             faults_armed: self.faults_armed.load(Ordering::Relaxed),
             faults_tripped: self.faults_tripped.load(Ordering::Relaxed),
             fault_retries: self.fault_retries.load(Ordering::Relaxed),
+            trace_events: self.trace_events.load(Ordering::Relaxed),
+            trace_dropped: self.trace_dropped.load(Ordering::Relaxed),
         }
     }
 
@@ -272,6 +279,10 @@ pub struct StatsSnapshot {
     pub faults_tripped: u64,
     /// Operations retried after a transient media fault.
     pub fault_retries: u64,
+    /// Trace events recorded (0 unless a tracer was attached).
+    pub trace_events: u64,
+    /// Trace events lost to full rings.
+    pub trace_dropped: u64,
 }
 
 impl StatsSnapshot {
@@ -305,6 +316,8 @@ impl StatsSnapshot {
             faults_armed: self.faults_armed - earlier.faults_armed,
             faults_tripped: self.faults_tripped - earlier.faults_tripped,
             fault_retries: self.fault_retries - earlier.fault_retries,
+            trace_events: self.trace_events - earlier.trace_events,
+            trace_dropped: self.trace_dropped - earlier.trace_dropped,
         }
     }
 

@@ -118,6 +118,12 @@ impl Ulog {
         pool.write_u64(self.base, tail + need)?;
         pool.flush(self.base, 8)?;
         pool.fence();
+        pool.trace_app_event(
+            clobber_trace::EventKind::UlogAppend,
+            0,
+            addr.offset(),
+            old.len() as u64,
+        );
         Ok(())
     }
 
@@ -156,6 +162,14 @@ impl Ulog {
         pool.write_u64(self.base, tail + need)?;
         pool.flush(self.base, 8)?;
         pool.fence();
+        for (addr, data) in items {
+            pool.trace_app_event(
+                clobber_trace::EventKind::UlogAppend,
+                0,
+                addr.offset(),
+                data.len() as u64,
+            );
+        }
         Ok(())
     }
 

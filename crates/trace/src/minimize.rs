@@ -1,0 +1,142 @@
+//! Delta-debugging minimization of failing schedules.
+//!
+//! Classic ddmin (Zeller & Hildebrandt): given a sequence of items and a
+//! predicate that says whether a candidate subsequence still fails, find a
+//! locally 1-minimal failing subsequence by alternately trying
+//! ever-smaller chunks and their complements. The runtime crate applies
+//! this to recorded transaction schedules — the predicate replays the
+//! candidate schedule against a fresh pool and reports whether the failure
+//! reproduces — but the algorithm itself is generic and pure.
+
+/// Minimizes `items` to a locally minimal subsequence for which `fails`
+/// still returns `true`. Relative order of the surviving items is
+/// preserved. If the full input does not fail, it is returned unchanged
+/// (there is nothing to minimize toward).
+///
+/// The predicate must be deterministic; it is called O(n²) times in the
+/// worst case, typically far fewer.
+pub fn ddmin<T: Clone>(items: &[T], mut fails: impl FnMut(&[T]) -> bool) -> Vec<T> {
+    let mut current: Vec<T> = items.to_vec();
+    if current.is_empty() || !fails(&current) {
+        return current;
+    }
+    let mut granularity = 2usize;
+    while current.len() >= 2 {
+        let chunks = chunk_ranges(current.len(), granularity);
+        let mut reduced = false;
+
+        // Try each chunk alone: does a small slice already fail?
+        for r in &chunks {
+            let candidate: Vec<T> = current[r.clone()].to_vec();
+            if fails(&candidate) {
+                current = candidate;
+                granularity = 2;
+                reduced = true;
+                break;
+            }
+        }
+        if reduced {
+            continue;
+        }
+
+        // Try each complement: can we drop a chunk and still fail?
+        if granularity > 2 {
+            for r in &chunks {
+                let candidate: Vec<T> = current[..r.start]
+                    .iter()
+                    .chain(&current[r.end..])
+                    .cloned()
+                    .collect();
+                if fails(&candidate) {
+                    current = candidate;
+                    granularity = (granularity - 1).max(2);
+                    reduced = true;
+                    break;
+                }
+            }
+        }
+        if reduced {
+            continue;
+        }
+
+        if granularity >= current.len() {
+            break;
+        }
+        granularity = (granularity * 2).min(current.len());
+    }
+    current
+}
+
+/// Splits `len` items into `n` contiguous near-equal ranges.
+fn chunk_ranges(len: usize, n: usize) -> Vec<std::ops::Range<usize>> {
+    let n = n.min(len).max(1);
+    let mut out = Vec::with_capacity(n);
+    let mut start = 0;
+    for i in 0..n {
+        let end = ((i + 1) * len) / n;
+        if end > start {
+            out.push(start..end);
+        }
+        start = end;
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn finds_single_culprit() {
+        let items: Vec<u32> = (0..64).collect();
+        let out = ddmin(&items, |c| c.contains(&37));
+        assert_eq!(out, vec![37]);
+    }
+
+    #[test]
+    fn finds_scattered_pair_in_order() {
+        let items: Vec<u32> = (0..100).collect();
+        let out = ddmin(&items, |c| c.contains(&3) && c.contains(&91));
+        assert_eq!(out, vec![3, 91]);
+    }
+
+    #[test]
+    fn preserves_order_dependence() {
+        // Fails only if 5 appears before 60 — minimizer must keep both and
+        // their relative order.
+        let items: Vec<u32> = (0..80).collect();
+        let out = ddmin(&items, |c| {
+            let i5 = c.iter().position(|&x| x == 5);
+            let i60 = c.iter().position(|&x| x == 60);
+            matches!((i5, i60), (Some(a), Some(b)) if a < b)
+        });
+        assert_eq!(out, vec![5, 60]);
+    }
+
+    #[test]
+    fn non_failing_input_is_untouched() {
+        let items = vec![1, 2, 3];
+        let out = ddmin(&items, |_| false);
+        assert_eq!(out, items);
+    }
+
+    #[test]
+    fn empty_input() {
+        let out = ddmin(&Vec::<u8>::new(), |_| true);
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn chunks_cover_everything() {
+        for len in 1..20 {
+            for n in 1..25 {
+                let rs = chunk_ranges(len, n);
+                let total: usize = rs.iter().map(|r| r.len()).sum();
+                assert_eq!(total, len);
+                for w in rs.windows(2) {
+                    assert_eq!(w[0].end, w[1].start);
+                }
+            }
+        }
+    }
+}
