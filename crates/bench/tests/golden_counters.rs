@@ -181,6 +181,51 @@ fn hashmap_load_counters_identical_across_concurrency_modes() {
     }
 }
 
+/// Per-log-kind attribution pins: the same fixed load must attribute
+/// clobber-log, redo-log, and v_log persistence traffic to the right
+/// counters — identically on every engine (the bit-identical `StatsSnapshot`
+/// equality above already guarantees cross-engine agreement; this pins the
+/// *shape* those counters must have so a silent mis-attribution can't hide
+/// inside an equality that holds vacuously).
+#[test]
+fn per_kind_log_counters_attribute_by_backend() {
+    for concurrency in [
+        PoolConcurrency::GlobalLock,
+        PoolConcurrency::Sharded { shards: 4 },
+        PoolConcurrency::SingleThread,
+    ] {
+        let (clobber, _) = hashmap_load_on(pool_with(concurrency), Backend::clobber(), false);
+        assert!(
+            clobber.clog_flushes > 0 && clobber.clog_fences > 0,
+            "{concurrency:?}: clobber load must sync the clobber log: {clobber:?}"
+        );
+        assert_eq!(
+            (clobber.rlog_flushes, clobber.rlog_fences),
+            (0, 0),
+            "{concurrency:?}: clobber backend must not touch the redo log"
+        );
+        assert!(
+            clobber.vlog_flushes > 0 && clobber.vlog_fences > 0,
+            "{concurrency:?}: begin records are v_log traffic"
+        );
+        // Single-threaded load: every ordering request is its own epoch.
+        assert!(clobber.gc_epochs > 0);
+        assert_eq!(clobber.gc_fences_saved, 0);
+        assert!(clobber.gc_epochs <= clobber.fences);
+
+        let (redo, _) = hashmap_load_on(pool_with(concurrency), Backend::Redo, false);
+        assert!(
+            redo.rlog_flushes > 0 && redo.rlog_fences > 0,
+            "{concurrency:?}: redo load must sync the redo log: {redo:?}"
+        );
+        assert_eq!(
+            (redo.clog_flushes, redo.clog_fences),
+            (0, 0),
+            "{concurrency:?}: redo backend must not touch the clobber log"
+        );
+    }
+}
+
 /// Golden allocator-counter pins: a fixed alloc/free/reserve/publish/cancel
 /// sequence must attribute exactly these counts — and identically across
 /// every engine. `alloc_freelist`/`alloc_frontier` split where each block

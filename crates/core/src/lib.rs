@@ -58,6 +58,7 @@
 pub mod args;
 pub mod backend;
 pub mod error;
+pub mod group_commit;
 pub mod ido;
 pub mod rangeset;
 pub mod recovery;
@@ -69,6 +70,7 @@ pub mod vlog;
 pub use args::{ArgList, ArgValue};
 pub use backend::{Backend, ClobberCfg};
 pub use error::TxError;
+pub use group_commit::GroupCommit;
 pub use recovery::{RecoveryOptions, RecoveryPolicy, RecoveryReport, SlotQuarantine};
 pub use replay::{minimize_schedule, ReplayReport, Schedule, ScheduleError, ScheduleOp};
 pub use runtime::{IdoAggregate, Runtime, RuntimeOptions};

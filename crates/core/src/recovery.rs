@@ -304,8 +304,9 @@ impl Runtime {
                     pool,
                     self.backend(),
                     slot,
-                    clog,
+                    clobber_pmem::LogWriter::new(clog),
                     rlog,
+                    self.group_commit(),
                     true,
                     Some(rec.preserves),
                     None,

@@ -5,12 +5,13 @@ use std::collections::HashMap;
 use std::sync::Arc;
 use std::thread::ThreadId;
 
-use clobber_pmem::{PAddr, PmemPool};
+use clobber_pmem::{LogFormat, LogWriter, PAddr, PmemPool};
 use parking_lot::{Mutex, RwLock};
 
 use crate::args::ArgList;
 use crate::backend::Backend;
 use crate::error::TxError;
+use crate::group_commit::GroupCommit;
 use crate::ido::{IdoObserver, IdoTxStats};
 use crate::tx::{CommitOutcome, Tx, TxResult, TxScratch};
 use crate::vlog::VlogSlot;
@@ -43,6 +44,17 @@ pub struct RuntimeOptions {
     /// (searches involve no logging, §5.6). The `begin_ablation` bench
     /// quantifies the difference.
     pub eager_begin: bool,
+    /// Group-commit epoch threshold: a shared ordering fence is issued once
+    /// this many transactions have requested one. `1` (the default) makes
+    /// every request its own epoch — a plain fence, no coalescing, no
+    /// waiting. Values above 1 coalesce deterministically but require that
+    /// many concurrently committing threads to make progress (a
+    /// measurement/test knob — see [`GroupCommit`]).
+    pub group_commit_batch: usize,
+    /// On-media format for freshly created per-slot log buffers. Defaults
+    /// to [`LogFormat::V2`] (line-buffered); existing pools keep whatever
+    /// format their slots were created with — both open transparently.
+    pub log_format: LogFormat,
 }
 
 impl RuntimeOptions {
@@ -54,12 +66,26 @@ impl RuntimeOptions {
             clobber_log_cap: 256 << 10,
             redo_log_cap: 512 << 10,
             eager_begin: false,
+            group_commit_batch: 1,
+            log_format: LogFormat::V2,
         }
     }
 
     /// Builder form: persist begin records eagerly (ablation).
     pub fn with_eager_begin(mut self) -> Self {
         self.eager_begin = true;
+        self
+    }
+
+    /// Builder form: sets the group-commit epoch threshold.
+    pub fn with_group_commit_batch(mut self, batch: usize) -> Self {
+        self.group_commit_batch = batch;
+        self
+    }
+
+    /// Builder form: sets the log format for fresh slots.
+    pub fn with_log_format(mut self, format: LogFormat) -> Self {
+        self.log_format = format;
         self
     }
 
@@ -128,6 +154,9 @@ pub struct Runtime {
     /// Free-list of per-transaction scratch state. Recycling warmed-up
     /// scratches is what makes steady-state transactions allocation-free.
     scratch_pool: Mutex<Vec<TxScratch>>,
+    /// The fence coalescer every transaction's ordering fences route
+    /// through (degenerates to a plain fence at `group_commit_batch` 1).
+    gc: GroupCommit,
 }
 
 impl std::fmt::Debug for Runtime {
@@ -163,6 +192,7 @@ impl Runtime {
             ido: Mutex::new(IdoAggregate::default()),
             write_probe: Mutex::new(None),
             scratch_pool: Mutex::new(Vec::new()),
+            gc: GroupCommit::new(opts.group_commit_batch),
         })
     }
 
@@ -197,7 +227,13 @@ impl Runtime {
             ido: Mutex::new(IdoAggregate::default()),
             write_probe: Mutex::new(None),
             scratch_pool: Mutex::new(Vec::new()),
+            gc: GroupCommit::new(opts.group_commit_batch),
         })
+    }
+
+    /// The runtime's group-commit fence coalescer.
+    pub fn group_commit(&self) -> &GroupCommit {
+        &self.gc
     }
 
     /// The underlying pool.
@@ -263,12 +299,13 @@ impl Runtime {
         while slots.len() <= idx {
             let id = slots.len() as u64;
             let head = PAddr::new(self.pool.read_u64(self.header.add(hdr::VLOG_HEAD))?);
-            let slot = VlogSlot::create(
+            let slot = VlogSlot::create_with_format(
                 &self.pool,
                 id,
                 head,
                 self.opts.clobber_log_cap,
                 self.opts.redo_log_cap,
+                self.opts.log_format,
             )?;
             self.pool
                 .write_u64(self.header.add(hdr::VLOG_HEAD), slot.base().offset())?;
@@ -339,19 +376,18 @@ impl Runtime {
                 );
             }
         }
-        let clog = slot.clobber_log(&self.pool)?;
+        let mut clog = LogWriter::new(slot.clobber_log(&self.pool)?);
         let rlog = slot.redo_log(&self.pool)?;
 
         // Stale log tails from the previous transaction must be durable as
         // empty before this transaction is marked ongoing; the begin fence
-        // orders these unfenced writes.
-        if !clog.is_empty(&self.pool)? {
-            self.pool.write_u64(clog.base(), 0)?;
-            self.pool.flush(clog.base(), 8)?;
-        }
+        // orders these unfenced writes. `ensure_empty_unfenced` also adopts
+        // the log with a header probe instead of a stream scan, leaving the
+        // writer's cached cursor at the start — appends never re-read
+        // persistent log state afterwards.
+        clog.ensure_empty_unfenced(&self.pool)?;
         if !rlog.is_empty(&self.pool)? {
-            self.pool.write_u64(rlog.base(), 0)?;
-            self.pool.flush(rlog.base(), 8)?;
+            rlog.reset_unfenced(&self.pool)?;
         }
 
         let vlog_enabled = matches!(self.opts.backend, Backend::Clobber(cfg) if cfg.vlog);
@@ -372,6 +408,7 @@ impl Runtime {
             slot,
             clog,
             rlog,
+            &self.gc,
             vlog_enabled,
             None,
             ido,

@@ -22,10 +22,11 @@
 
 use std::sync::Arc;
 
-use clobber_pmem::{PAddr, PmemPool, Ulog};
+use clobber_pmem::{LogWriter, PAddr, PmemPool, Ulog};
 
 use crate::backend::Backend;
 use crate::error::TxError;
+use crate::group_commit::GroupCommit;
 use crate::ido::{IdoObserver, IdoTxStats};
 use crate::rangeset::RangeSet;
 use crate::vlog::VlogSlot;
@@ -131,8 +132,14 @@ pub struct Tx<'rt> {
     pool: &'rt PmemPool,
     backend: Backend,
     pub(crate) slot: VlogSlot,
-    pub(crate) clog: Ulog,
+    /// Volatile append cursor over the slot's clobber/undo log: caches the
+    /// log position (satellite: no per-append tail re-read) and, on v2
+    /// logs, stages entries in its line buffer.
+    pub(crate) clog: LogWriter,
     pub(crate) rlog: Ulog,
+    /// All of this transaction's ordering fences route through the
+    /// runtime's group-commit coalescer (a plain fence at `min_batch` 1).
+    gc: &'rt GroupCommit,
     scratch: TxScratch,
     replay: Option<Replay>,
     pub(crate) ido: Option<IdoObserver>,
@@ -149,8 +156,9 @@ impl<'rt> Tx<'rt> {
         pool: &'rt PmemPool,
         backend: Backend,
         slot: VlogSlot,
-        clog: Ulog,
+        clog: LogWriter,
         rlog: Ulog,
+        gc: &'rt GroupCommit,
         vlog_enabled: bool,
         replay: Option<Vec<Vec<u8>>>,
         ido: Option<IdoObserver>,
@@ -164,6 +172,7 @@ impl<'rt> Tx<'rt> {
             slot,
             clog,
             rlog,
+            gc,
             scratch,
             replay: replay.map(|blobs| Replay { blobs, next: 0 }),
             ido,
@@ -183,9 +192,14 @@ impl<'rt> Tx<'rt> {
             Some(p) => p,
             None => return Ok(()),
         };
+        let gc = self.gc;
         match self.backend {
             Backend::Clobber(cfg) if cfg.vlog => {
-                let n = self.slot.begin(self.pool, &pending.name, &pending.args)?;
+                let n =
+                    self.slot
+                        .begin_with_fence(self.pool, &pending.name, &pending.args, &|p| {
+                            gc.fence(p)
+                        })?;
                 let stats = self.pool.stats();
                 stats
                     .vlog_entries
@@ -195,13 +209,15 @@ impl<'rt> Tx<'rt> {
                     .fetch_add(n, std::sync::atomic::Ordering::Relaxed);
             }
             Backend::Undo => {
-                self.slot.mark_ongoing(self.pool)?;
+                self.slot
+                    .mark_ongoing_with_fence(self.pool, &|p| gc.fence(p))?;
             }
             Backend::Atlas => {
                 // Lock-acquisition record (see Backend::Atlas docs).
-                self.slot.mark_ongoing(self.pool)?;
+                self.slot
+                    .mark_ongoing_with_fence(self.pool, &|p| gc.fence(p))?;
                 self.pool.flush(self.slot.base(), 8)?;
-                self.pool.fence();
+                gc.fence(self.pool);
             }
             // Redo persists nothing until commit; NoLog and the partial
             // clobber variants have no begin record.
@@ -427,6 +443,16 @@ impl<'rt> Tx<'rt> {
                 self.scratch.clobber_logged.insert(a, b);
             }
         }
+        if !self.scratch.to_log.is_empty() {
+            // The undo invariant: the old values must be durable before the
+            // clobbering store can reach media (an unflushed store can
+            // still leak to media at a crash). On a v2 log this is the
+            // deferred ordering point — one fence covering every line flush
+            // since the last sync; on v1 the appends already fenced and
+            // this is a no-op.
+            let gc = self.gc;
+            self.clog.sync_with(self.pool, |p| gc.fence(p))?;
+        }
         self.scratch.written.insert(s, e);
         self.wrote = true;
         self.pool.write_bytes(addr, data)?;
@@ -532,7 +558,10 @@ impl<'rt> Tx<'rt> {
         }
         if self.vlog_enabled {
             self.ensure_begun()?;
-            let n = self.slot.preserve(self.pool, data)?;
+            let gc = self.gc;
+            let n = self
+                .slot
+                .preserve_with_fence(self.pool, data, &|p| gc.fence(p))?;
             let stats = self.pool.stats();
             stats
                 .vlog_bytes
@@ -546,24 +575,25 @@ impl<'rt> Tx<'rt> {
     /// frees plus any iDO shadow stats.
     pub(crate) fn commit(mut self) -> Result<CommitOutcome, TxError> {
         let pool = self.pool;
+        let gc = self.gc;
         let effects = self.wrote || !self.scratch.allocs.is_empty();
         match self.backend {
             Backend::NoLog => {
                 if effects {
                     pool.publish(&self.scratch.allocs)?;
-                    pool.fence();
+                    gc.fence(pool);
                 }
             }
             Backend::Clobber(cfg) => {
                 if effects {
                     pool.publish(&self.scratch.allocs)?;
-                    pool.fence();
+                    gc.fence(pool);
                 }
                 if cfg.vlog && self.begun {
                     // The status bit is the commit marker; stale logs are
                     // cleared lazily at the next begin.
                     self.slot.clear_ongoing(pool)?;
-                    pool.fence();
+                    gc.fence(pool);
                 }
             }
             Backend::Undo | Backend::Atlas => {
@@ -573,6 +603,7 @@ impl<'rt> Tx<'rt> {
                     // pruner (one extra entry + fence per FASE).
                     let dep = [0u8; 32];
                     self.clog.append(pool, self.slot.base(), &dep)?;
+                    self.clog.sync_with(pool, |p| gc.fence(p))?;
                     let stats = pool.stats();
                     stats
                         .log_entries
@@ -583,14 +614,13 @@ impl<'rt> Tx<'rt> {
                 }
                 if effects {
                     pool.publish(&self.scratch.allocs)?;
-                    pool.fence();
+                    gc.fence(pool);
                 }
                 if self.begun {
                     // Invalidating the undo log commits the transaction.
                     self.slot.clear_ongoing(pool)?;
-                    pool.write_u64(self.clog.base(), 0)?;
-                    pool.flush(self.clog.base(), 8)?;
-                    pool.fence();
+                    self.clog.reset_unfenced(pool)?;
+                    gc.fence(pool);
                 }
             }
             Backend::Redo
@@ -620,17 +650,32 @@ impl<'rt> Tx<'rt> {
                     items.iter().map(|(_, d)| d.len() as u64).sum::<u64>(),
                     std::sync::atomic::Ordering::Relaxed,
                 );
-                self.rlog.append_batch(pool, &items)?; // one fence
+                match self.rlog.stored_format(pool)? {
+                    clobber_pmem::LogFormat::V2 => {
+                        // Line-buffered batch: stream the entries through a
+                        // writer and route the single ordering point
+                        // through group commit.
+                        let mut rw = LogWriter::attach(pool, self.rlog)?;
+                        for (addr, data) in &items {
+                            rw.append(pool, *addr, data)?;
+                        }
+                        rw.sync_with(pool, |p| gc.fence(p))?;
+                    }
+                    clobber_pmem::LogFormat::V1 => {
+                        self.rlog.append_batch(pool, &items)?; // one fence
+                    }
+                }
                 pool.publish(&self.scratch.allocs)?;
-                self.slot.set_redo_committed(pool, true)?; // commit point
+                // Commit point.
+                self.slot
+                    .set_redo_committed_with_fence(pool, true, &|p| gc.fence(p))?;
                 self.rlog.apply_forwards(pool)?;
-                pool.fence();
+                gc.fence(pool);
                 // Clear marker, status and log tail together.
                 self.slot.clear_redo_committed_unfenced(pool)?;
                 self.slot.clear_ongoing(pool)?;
-                pool.write_u64(self.rlog.base(), 0)?;
-                pool.flush(self.rlog.base(), 8)?;
-                pool.fence();
+                self.rlog.reset_unfenced(pool)?;
+                gc.fence(pool);
             }
         }
         let ido = self.ido.take().map(IdoObserver::finish);
@@ -668,15 +713,16 @@ impl<'rt> Tx<'rt> {
             // Cancel failures cannot occur for our own reservations.
             let _ = pool.cancel(allocs);
         };
+        // Abort fences stay private (no group-commit routing): an aborting
+        // thread must never block on other committers making progress.
         let err = match self.backend {
             Backend::Undo | Backend::Atlas => {
                 if self.begun {
-                    if self.clog.apply_backwards(pool).is_ok() {
+                    if self.clog.log().apply_backwards(pool).is_ok() {
                         pool.fence();
                     }
                     let _ = self.slot.clear_ongoing(pool);
-                    let _ = pool.write_u64(self.clog.base(), 0);
-                    let _ = pool.flush(self.clog.base(), 8);
+                    let _ = self.clog.reset_unfenced(pool);
                     pool.fence();
                 }
                 cancel_allocs(&self.scratch.allocs);

@@ -19,10 +19,20 @@
 //! bit must not become durable before the record, otherwise recovery could
 //! re-execute garbage arguments.
 
-use clobber_pmem::{PAddr, PmemError, PmemPool, Ulog};
+use clobber_pmem::{LogFormat, LogKind, PAddr, PmemError, PmemPool, Ulog};
 
 use crate::args::ArgList;
 use crate::error::TxError;
+
+/// Attributes v_log persist costs in [`clobber_pmem::StatsSnapshot`]:
+/// `flushes` flush calls and `fences` fence *requests* (a request satisfied
+/// by a shared group-commit epoch still counts).
+fn bump_vlog(pool: &PmemPool, flushes: u64, fences: u64) {
+    use std::sync::atomic::Ordering::Relaxed;
+    let s = pool.stats();
+    s.vlog_flushes.fetch_add(flushes, Relaxed);
+    s.vlog_fences.fetch_add(fences, Relaxed);
+}
 
 /// Maximum txfunc name length in bytes.
 pub const NAME_CAP: u64 = 88;
@@ -76,9 +86,9 @@ impl VlogSlot {
         VlogSlot { base }
     }
 
-    /// Allocates and formats a fresh slot with its log buffers, links it
-    /// after `prev_head`, and returns it. Uses the immediate (fence-paying)
-    /// allocation path — slots are created once per thread.
+    /// Allocates and formats a fresh slot with its log buffers in the
+    /// legacy v1 log format — see
+    /// [`create_with_format`](Self::create_with_format).
     pub fn create(
         pool: &PmemPool,
         id: u64,
@@ -86,11 +96,28 @@ impl VlogSlot {
         clobber_cap: u64,
         redo_cap: u64,
     ) -> Result<VlogSlot, TxError> {
+        Self::create_with_format(pool, id, prev_head, clobber_cap, redo_cap, LogFormat::V1)
+    }
+
+    /// Allocates and formats a fresh slot with its log buffers, links it
+    /// after `prev_head`, and returns it. Uses the immediate (fence-paying)
+    /// allocation path — slots are created once per thread. `log_format`
+    /// picks the on-media format of both log buffers; either format is
+    /// re-opened transparently afterwards ([`Ulog`] dispatches on the
+    /// stored image).
+    pub fn create_with_format(
+        pool: &PmemPool,
+        id: u64,
+        prev_head: PAddr,
+        clobber_cap: u64,
+        redo_cap: u64,
+        log_format: LogFormat,
+    ) -> Result<VlogSlot, TxError> {
         let base = pool.alloc(SLOT_SIZE)?;
         let clobber = pool.alloc(clobber_cap)?;
         let redo = pool.alloc(redo_cap)?;
-        Ulog::format(pool, clobber, clobber_cap)?;
-        Ulog::format(pool, redo, redo_cap)?;
+        Ulog::format_as(pool, clobber, clobber_cap, log_format)?;
+        Ulog::format_as(pool, redo, redo_cap, log_format)?;
         let s = VlogSlot { base };
         pool.write_u64(base.add(STATUS), 0)?;
         pool.write_u64(base.add(NEXT), prev_head.offset())?;
@@ -131,18 +158,20 @@ impl VlogSlot {
         Ok(PAddr::new(pool.read_u64(self.base.add(NEXT))?))
     }
 
-    /// The slot's clobber/undo log buffer.
+    /// The slot's clobber/undo log buffer (tagged for `clog_*` counter
+    /// attribution).
     pub fn clobber_log(&self, pool: &PmemPool) -> Result<Ulog, PmemError> {
         let base = pool.read_u64(self.base.add(CLOBBER_BASE))?;
         let cap = pool.read_u64(self.base.add(CLOBBER_CAP))?;
-        Ok(Ulog::new(PAddr::new(base), cap))
+        Ok(Ulog::new(PAddr::new(base), cap).with_kind(LogKind::Clobber))
     }
 
-    /// The slot's redo log buffer.
+    /// The slot's redo log buffer (tagged for `rlog_*` counter
+    /// attribution).
     pub fn redo_log(&self, pool: &PmemPool) -> Result<Ulog, PmemError> {
         let base = pool.read_u64(self.base.add(REDO_BASE))?;
         let cap = pool.read_u64(self.base.add(REDO_CAP))?;
-        Ok(Ulog::new(PAddr::new(base), cap))
+        Ok(Ulog::new(PAddr::new(base), cap).with_kind(LogKind::Redo))
     }
 
     /// Whether the slot has an in-flight (uncommitted) transaction.
@@ -158,9 +187,21 @@ impl VlogSlot {
 
     /// Sets the redo commit marker durably (one fence).
     pub fn set_redo_committed(&self, pool: &PmemPool, on: bool) -> Result<(), PmemError> {
+        self.set_redo_committed_with_fence(pool, on, &|p| p.fence())
+    }
+
+    /// [`set_redo_committed`](Self::set_redo_committed) with the ordering
+    /// fence delegated to `fence` (group-commit routing).
+    pub fn set_redo_committed_with_fence(
+        &self,
+        pool: &PmemPool,
+        on: bool,
+        fence: &dyn Fn(&PmemPool),
+    ) -> Result<(), PmemError> {
         pool.write_u64(self.base.add(COMMITTED), on as u64)?;
         pool.flush(self.base.add(COMMITTED), 8)?;
-        pool.fence();
+        fence(pool);
+        bump_vlog(pool, 1, 1);
         Ok(())
     }
 
@@ -168,6 +209,7 @@ impl VlogSlot {
     pub fn clear_redo_committed_unfenced(&self, pool: &PmemPool) -> Result<(), PmemError> {
         pool.write_u64(self.base.add(COMMITTED), 0)?;
         pool.flush(self.base.add(COMMITTED), 8)?;
+        bump_vlog(pool, 1, 0);
         Ok(())
     }
 
@@ -179,6 +221,21 @@ impl VlogSlot {
     /// Returns [`TxError::VlogCapacity`] if the name or arguments exceed the
     /// slot's fixed buffers.
     pub fn begin(&self, pool: &PmemPool, name: &str, args: &ArgList) -> Result<u64, TxError> {
+        self.begin_with_fence(pool, name, args, &|p| p.fence())
+    }
+
+    /// [`begin`](Self::begin) with both ordering fences delegated to `fence`
+    /// (group-commit routing). `fence` must guarantee a pool fence has been
+    /// issued after it was called — the record→status and status→store
+    /// orderings are preserved because a shared epoch fence orders *all*
+    /// pending flushes, not just the leader's.
+    pub fn begin_with_fence(
+        &self,
+        pool: &PmemPool,
+        name: &str,
+        args: &ArgList,
+        fence: &dyn Fn(&PmemPool),
+    ) -> Result<u64, TxError> {
         let name_bytes = name.as_bytes();
         if name_bytes.len() as u64 > NAME_CAP {
             return Err(TxError::VlogCapacity {
@@ -207,11 +264,12 @@ impl VlogSlot {
             ARGS - NAME_LEN + arg_bytes.len() as u64,
         )?;
         pool.flush(self.base.add(PRESERVE_COUNT), 16)?;
-        pool.fence();
+        fence(pool);
         // Fence 2: the status bit marks the transaction ongoing.
         pool.write_u64(self.base.add(STATUS), 1)?;
         pool.flush(self.base.add(STATUS), 8)?;
-        pool.fence();
+        fence(pool);
+        bump_vlog(pool, 3, 2);
         let bytes = 16 + name_bytes.len() as u64 + arg_bytes.len() as u64;
         pool.trace_app_event(
             clobber_pmem::EventKind::VlogAppend,
@@ -225,9 +283,20 @@ impl VlogSlot {
     /// Sets the status bit without recording a new record (used when the
     /// status must be marked ongoing for backends without a v_log record).
     pub fn mark_ongoing(&self, pool: &PmemPool) -> Result<(), PmemError> {
+        self.mark_ongoing_with_fence(pool, &|p| p.fence())
+    }
+
+    /// [`mark_ongoing`](Self::mark_ongoing) with the ordering fence
+    /// delegated to `fence` (group-commit routing).
+    pub fn mark_ongoing_with_fence(
+        &self,
+        pool: &PmemPool,
+        fence: &dyn Fn(&PmemPool),
+    ) -> Result<(), PmemError> {
         pool.write_u64(self.base.add(STATUS), 1)?;
         pool.flush(self.base.add(STATUS), 8)?;
-        pool.fence();
+        fence(pool);
+        bump_vlog(pool, 1, 1);
         Ok(())
     }
 
@@ -236,6 +305,7 @@ impl VlogSlot {
     pub fn clear_ongoing(&self, pool: &PmemPool) -> Result<(), PmemError> {
         pool.write_u64(self.base.add(STATUS), 0)?;
         pool.flush(self.base.add(STATUS), 8)?;
+        bump_vlog(pool, 1, 0);
         Ok(())
     }
 
@@ -246,6 +316,17 @@ impl VlogSlot {
     ///
     /// Returns [`TxError::VlogCapacity`] if the preserve buffer is full.
     pub fn preserve(&self, pool: &PmemPool, data: &[u8]) -> Result<u64, TxError> {
+        self.preserve_with_fence(pool, data, &|p| p.fence())
+    }
+
+    /// [`preserve`](Self::preserve) with the ordering fence delegated to
+    /// `fence` (group-commit routing).
+    pub fn preserve_with_fence(
+        &self,
+        pool: &PmemPool,
+        data: &[u8],
+        fence: &dyn Fn(&PmemPool),
+    ) -> Result<u64, TxError> {
         let tail = pool.read_u64(self.base.add(PRESERVE_TAIL))?;
         let need = 8 + data.len() as u64;
         if tail + need > PRESERVE_CAP {
@@ -263,7 +344,8 @@ impl VlogSlot {
         pool.write_u64(self.base.add(PRESERVE_COUNT), count + 1)?;
         pool.write_u64(self.base.add(PRESERVE_TAIL), tail + need)?;
         pool.flush(self.base.add(PRESERVE_COUNT), 16)?;
-        pool.fence();
+        fence(pool);
+        bump_vlog(pool, 2, 1);
         pool.trace_app_event(
             clobber_pmem::EventKind::VlogAppend,
             0,

@@ -11,12 +11,12 @@
 mod common;
 
 use common::{
-    register_parked_plain, register_transfer, reopen, sweep, sweep_regrow, sweep_with, total,
-    two_parked_transfers, Nested, SweepSummary, ACCOUNTS, INITIAL,
+    register_parked_plain, register_transfer, reopen, sweep, sweep_fmt, sweep_regrow, sweep_with,
+    total, two_parked_transfers, Nested, SweepSummary, ACCOUNTS, INITIAL,
 };
 
 use clobber_nvm::{Backend, RecoveryOptions, TxError};
-use clobber_pmem::{FaultPlan, PmemError, PoolConcurrency};
+use clobber_pmem::{FaultPlan, LogFormat, PmemError, PoolConcurrency};
 
 /// Stride between swept crash points. Release builds (and
 /// `CLOBBER_FULL_SWEEP=1`) visit every event; plain debug-mode
@@ -89,6 +89,76 @@ fn sweep_clobber_sharded_matches_global_lock() {
         );
         assert_eq!(s, reference, "sharded({shards}) sweep diverged");
     }
+}
+
+/// The default runtime now formats its logs as v2 (line-buffered), so the
+/// sweeps above already crash the v2 layout at every swept persist event.
+/// This keeps the v1 word-stream covered too: the same full
+/// crash → recover → nested-recover pipeline with every log formatted v1,
+/// at the single-lock and sharded engines — v1 images must stay exactly as
+/// durable as before the format bump.
+#[test]
+fn sweep_clobber_v1_format_across_shard_counts() {
+    let stride = smoke_stride();
+    let reference = sweep_fmt(
+        Backend::clobber(),
+        stride,
+        Nested::Rotating,
+        PoolConcurrency::GlobalLock,
+        LogFormat::V1,
+    );
+    assert_covered(&reference, "clobber/v1");
+    assert!(
+        reference.reexecuted + reference.abandoned > 0,
+        "v1 sweep should recover by re-execution: {reference:?}"
+    );
+    for shards in [1u32, 4] {
+        let s = sweep_fmt(
+            Backend::clobber(),
+            stride,
+            Nested::Rotating,
+            PoolConcurrency::Sharded { shards },
+            LogFormat::V1,
+        );
+        assert_eq!(s, reference, "v1 sharded({shards}) sweep diverged");
+    }
+}
+
+/// Satellite 3 (torn line): a v2 line whose marker word is torn must be
+/// detected by the self-validating marker and dropped — together with every
+/// entry at or past it — instead of being replayed as garbage. The crash
+/// model tears at line granularity on its own, so this injects a *sub-line*
+/// tear (bit flips inside one marker word) by hand into a mid-transaction
+/// crash image, then requires recovery to parse the log as a clean prefix
+/// and still conserve.
+#[test]
+fn torn_v2_marker_drops_the_line_and_recovery_conserves() {
+    let backend = Backend::clobber();
+    let media = two_parked_transfers(backend, [(0, 1, 30), (2, 3, 45)]);
+    let (pool, rt) = reopen(media, backend);
+    register_parked_plain(&rt);
+
+    // Both of slot 0's pre-images live in data line 0 (two 3-word entries).
+    let slot0 = rt.slot_handle(0).unwrap();
+    let clog = slot0.clobber_log(&pool).unwrap();
+    let parsed = clog.entries(&pool).unwrap();
+    assert_eq!(parsed.len(), 2, "both pre-images durable before the tear");
+    pool.inject_bit_corruption(clog.v2_marker_addr(0), 8, 99, 8)
+        .unwrap();
+    assert!(
+        clog.entries(&pool).unwrap().is_empty(),
+        "a torn marker must invalidate the whole line"
+    );
+
+    // Recovery sees an empty clobber log for slot 0: nothing to restore,
+    // but the begin record still re-executes the transaction. The
+    // adversarial crash dropped the un-fenced clobbering stores, so
+    // re-execution from pristine inputs conserves.
+    let report = rt.recover().unwrap();
+    assert_eq!(report.reexecuted.len(), 2, "{report:?}");
+    let base = rt.app_root().unwrap();
+    assert_eq!(total(&pool, base), ACCOUNTS * INITIAL);
+    assert!(rt.recover().unwrap().is_clean());
 }
 
 /// Alloc-heavy sweep: the vacation-style growing-reallocation script

@@ -1,0 +1,215 @@
+//! Tentpole layer 2: cross-transaction group commit.
+//!
+//! Every ordering fence on the transaction path routes through the
+//! runtime's [`GroupCommit`] coalescer, so concurrent committers share one
+//! pool fence per epoch. These tests pin the fence-count reduction the
+//! perf work claims (the acceptance bar: ≥2× fewer fences with 4
+//! concurrent committers), the exact epoch bookkeeping, the line-buffer
+//! flush savings at the runtime level, and the trace visibility of epoch
+//! boundaries.
+
+mod common;
+
+use std::sync::{Arc, Barrier};
+
+use clobber_nvm::{ArgList, Backend, Runtime, RuntimeOptions};
+use clobber_pmem::{
+    EventKind, LogFormat, PAddr, PmemPool, PoolConcurrency, PoolOptions, StatsSnapshot, Tracer,
+};
+use common::{run_script, setup, SCRIPT};
+
+const THREADS: u64 = 4;
+const ROUNDS: u64 = 8;
+const INITIAL: u64 = 1000;
+
+/// Unconditional transfer: every transaction has the identical fence-request
+/// shape (2 begin + 2 log syncs + publish + clear), which keeps `min_batch`
+/// committers in lock step — an epoch closes exactly when all of them have
+/// issued their next ordering request.
+fn register_plain_transfer(rt: &Runtime) {
+    rt.register("plain_transfer", |tx, args| {
+        let base = PAddr::new(args.u64(0)?);
+        let from = args.u64(1)?;
+        let to = args.u64(2)?;
+        let amount = args.u64(3)?;
+        let from_bal = tx.read_u64(base.add(from * 8))?;
+        tx.write_u64(base.add(from * 8), from_bal - amount)?;
+        let to_bal = tx.read_u64(base.add(to * 8))?;
+        tx.write_u64(base.add(to * 8), to_bal + amount)?;
+        Ok(None)
+    });
+}
+
+/// `THREADS` OS threads, each committing `ROUNDS` transfers on its own
+/// disjoint account pair, on a 4-shard pool. Returns the stats delta over
+/// the threaded phase only (setup excluded).
+fn run_committers(batch: usize) -> StatsSnapshot {
+    let opts = PoolOptions::crash_sim(1 << 20).with_concurrency(PoolConcurrency::Sharded {
+        shards: THREADS as u32,
+    });
+    let pool = Arc::new(PmemPool::create(opts).unwrap());
+    let mut ropts = RuntimeOptions::new(Backend::clobber()).with_group_commit_batch(batch);
+    ropts.clobber_log_cap = 32 << 10;
+    ropts.redo_log_cap = 32 << 10;
+    let rt = Runtime::create(pool.clone(), ropts).unwrap();
+    register_plain_transfer(&rt);
+    let base = pool.alloc(THREADS * 2 * 8).unwrap();
+    for i in 0..THREADS * 2 {
+        pool.write_u64(base.add(i * 8), INITIAL).unwrap();
+    }
+    pool.persist(base, THREADS * 2 * 8).unwrap();
+
+    let before = pool.stats().snapshot();
+    let start = Arc::new(Barrier::new(THREADS as usize));
+    std::thread::scope(|s| {
+        for i in 0..THREADS {
+            let (rt, start) = (&rt, start.clone());
+            s.spawn(move || {
+                start.wait();
+                for _ in 0..ROUNDS {
+                    let args = ArgList::new()
+                        .with_u64(base.offset())
+                        .with_u64(2 * i)
+                        .with_u64(2 * i + 1)
+                        .with_u64(1);
+                    rt.run("plain_transfer", &args).unwrap();
+                }
+            });
+        }
+    });
+    let delta = pool.stats().snapshot().delta(&before);
+
+    // Conservation plus the exact per-account balances: every transfer
+    // committed exactly once.
+    for i in 0..THREADS {
+        assert_eq!(
+            pool.read_u64(base.add(2 * i * 8)).unwrap(),
+            INITIAL - ROUNDS
+        );
+        assert_eq!(
+            pool.read_u64(base.add((2 * i + 1) * 8)).unwrap(),
+            INITIAL + ROUNDS
+        );
+    }
+    delta
+}
+
+/// The acceptance bar: with 4 concurrent committers sharing epochs of 4,
+/// the pool issues at least 2× fewer fences than with per-transaction
+/// fencing — and the epoch bookkeeping accounts for every saved fence.
+#[test]
+fn group_commit_halves_fences_with_four_committers() {
+    let solo = run_committers(1);
+    let batched = run_committers(4);
+
+    // min_batch == 1: every ordering request is its own epoch, none saved.
+    assert!(solo.gc_epochs > 0);
+    assert_eq!(solo.gc_fences_saved, 0, "{solo:?}");
+
+    // min_batch == 4: each epoch coalesces exactly the four committers.
+    assert_eq!(
+        batched.gc_fences_saved,
+        3 * batched.gc_epochs,
+        "{batched:?}"
+    );
+    // Both runs issue the same ordering requests; only the epoch grouping
+    // differs (requests = epochs at batch 1, = 4·epochs at batch 4).
+    assert_eq!(solo.gc_epochs, 4 * batched.gc_epochs);
+
+    assert!(
+        2 * batched.fences <= solo.fences,
+        "group commit must at least halve fences: batched {} vs solo {}",
+        batched.fences,
+        solo.fences
+    );
+
+    // EXPERIMENTS.md raw numbers (visible with --nocapture).
+    let txs = THREADS * ROUNDS;
+    println!(
+        "group-commit A/B over {txs} txs: solo fences={} ({:.2}/tx), \
+         batched fences={} ({:.2}/tx), epochs={}, saved={}",
+        solo.fences,
+        solo.fences as f64 / txs as f64,
+        batched.fences,
+        batched.fences as f64 / txs as f64,
+        batched.gc_epochs,
+        batched.gc_fences_saved
+    );
+}
+
+/// Epoch boundaries are visible as `GroupCommitEpoch` trace events: one per
+/// issued fence, carrying the epoch number in `a` and the batch size in
+/// `b`. At the default batch of 1 every event reports a lone committer.
+#[test]
+fn group_commit_epochs_appear_in_traces() {
+    let (pool, rt, base) = setup(Backend::clobber());
+    let before = pool.stats().snapshot();
+    let tracer = Arc::new(Tracer::new());
+    pool.set_tracer(Some(tracer.clone()));
+    run_script(&rt, base).unwrap();
+    pool.set_tracer(None);
+    let d = pool.stats().snapshot().delta(&before);
+    let trace = tracer.take();
+
+    let epochs: Vec<_> = trace
+        .events
+        .iter()
+        .filter(|e| e.kind == EventKind::GroupCommitEpoch)
+        .collect();
+    assert_eq!(epochs.len() as u64, d.gc_epochs, "one event per epoch");
+    assert!(!epochs.is_empty());
+    for (i, e) in epochs.iter().enumerate() {
+        assert_eq!(e.a, i as u64 + 1, "epoch numbers count up from 1");
+        assert_eq!(e.b, 1, "no concurrency: every epoch has one committer");
+    }
+}
+
+/// Runtime-level flush amortization: the same script under the v2
+/// line-buffered writer issues strictly fewer clobber-log flushes than
+/// under the v1 per-entry layout, at identical fence counts and identical
+/// logged bytes — the cache-line buffer only batches, it never reorders or
+/// drops.
+#[test]
+fn line_buffer_cuts_clog_flushes_at_equal_fences() {
+    let run = |format: LogFormat| {
+        let (pool, rt, base) =
+            common::setup_fmt(Backend::clobber(), PoolConcurrency::GlobalLock, format);
+        let before = pool.stats().snapshot();
+        run_script(&rt, base).unwrap();
+        pool.stats().snapshot().delta(&before)
+    };
+    let v1 = run(LogFormat::V1);
+    let v2 = run(LogFormat::V2);
+
+    assert!(v1.clog_flushes > 0 && v2.clog_flushes > 0);
+    assert!(
+        v2.clog_flushes < v1.clog_flushes,
+        "v2 must flush less: v2 {} vs v1 {}",
+        v2.clog_flushes,
+        v1.clog_flushes
+    );
+    assert_eq!(
+        v2.clog_fences, v1.clog_fences,
+        "buffering must not change ordering points"
+    );
+    assert_eq!(v2.fences, v1.fences, "total fences agree across formats");
+    // Redo machinery stays silent under the clobber backend either way.
+    assert_eq!((v2.rlog_flushes, v2.rlog_fences), (0, 0));
+    // The workload itself is format-independent: same entries, same bytes.
+    assert_eq!(v2.log_entries, v1.log_entries);
+    assert_eq!(v2.log_bytes, v1.log_bytes);
+    assert!(v2.log_entries >= SCRIPT.len() as u64);
+
+    // EXPERIMENTS.md raw numbers (visible with --nocapture).
+    println!(
+        "log-format A/B over the {}-tx script: v1 clog flushes={} fences={}, \
+         v2 clog flushes={} fences={}, total fences v1={} v2={}",
+        SCRIPT.len(),
+        v1.clog_flushes,
+        v1.clog_fences,
+        v2.clog_flushes,
+        v2.clog_fences,
+        v1.fences,
+        v2.fences
+    );
+}

@@ -1,0 +1,152 @@
+//! v1 ↔ v2 log-format cross-opens at the runtime level.
+//!
+//! The v2 line-buffered layout is a *versioned* format: the first log word
+//! distinguishes a v2 image (magic, top bit set) from a v1 tail length, so
+//! a pool written by either runtime generation opens — and recovers — under
+//! the other. Each log keeps its stored format for life; the runtime's
+//! `log_format` option only governs newly created slots, so one pool can
+//! hold both layouts side by side.
+
+mod common;
+
+use clobber_nvm::{ArgList, Backend};
+use clobber_pmem::{CrashConfig, FaultPlan, LogFormat, PoolConcurrency};
+use common::{
+    count_script_events_fmt, reopen_fmt, run_script, setup_fmt, total, ACCOUNTS, INITIAL,
+};
+
+fn stride() -> u64 {
+    if std::env::var_os("CLOBBER_FULL_SWEEP").is_some() || !cfg!(debug_assertions) {
+        1
+    } else {
+        7
+    }
+}
+
+/// Crash the script at event `k` on a pool whose logs are `format`.
+fn crash_media_at(format: LogFormat, k: u64) -> Vec<u8> {
+    let (pool, rt, base) = setup_fmt(Backend::clobber(), PoolConcurrency::GlobalLock, format);
+    pool.arm_faults(FaultPlan::crash_at(k));
+    let _ = run_script(&rt, base);
+    assert_eq!(pool.fault_tripped(), Some(k), "event {k} must trip");
+    pool.crash(&CrashConfig::drop_all(0xF0F ^ k))
+        .unwrap()
+        .media_snapshot()
+}
+
+/// Crash at every swept event under `wrote` and recover under a runtime
+/// configured for `reads` — the stored image, not the runtime option, must
+/// decide how each log is parsed.
+fn cross_format_sweep(wrote: LogFormat, reads: LogFormat) {
+    let events = count_script_events_fmt(Backend::clobber(), PoolConcurrency::GlobalLock, wrote);
+    let mut k = 0;
+    while k < events {
+        let media = crash_media_at(wrote, k);
+        let (pool, rt) = reopen_fmt(
+            media,
+            Backend::clobber(),
+            PoolConcurrency::GlobalLock,
+            reads,
+        );
+        rt.recover()
+            .unwrap_or_else(|e| panic!("{wrote:?} image, {reads:?} runtime, k={k}: {e}"));
+        let base = rt.app_root().unwrap();
+        assert_eq!(
+            total(&pool, base),
+            ACCOUNTS * INITIAL,
+            "{wrote:?} image under {reads:?} runtime, k={k}"
+        );
+        // The reopened runtime keeps committing on the adopted slots.
+        run_script(&rt, base).unwrap();
+        assert_eq!(total(&pool, base), ACCOUNTS * INITIAL);
+        k += stride();
+    }
+}
+
+/// A v1 pool crashed mid-script recovers under the v2-default runtime at
+/// every swept crash point.
+#[test]
+fn v1_images_recover_under_v2_runtime() {
+    cross_format_sweep(LogFormat::V1, LogFormat::V2);
+}
+
+/// And the reverse: a v2 pool recovers under a runtime configured for v1.
+#[test]
+fn v2_images_recover_under_v1_runtime() {
+    cross_format_sweep(LogFormat::V2, LogFormat::V1);
+}
+
+/// Slots created by differently-configured runtimes coexist in one pool:
+/// a v1-era slot keeps its v1 image while a later v2 runtime adds v2
+/// slots, and transactions commit on both.
+#[test]
+fn mixed_format_slots_coexist() {
+    // Era 1: a v1 runtime commits the script on slot 0 and closes cleanly.
+    let (pool, rt, base) = setup_fmt(
+        Backend::clobber(),
+        PoolConcurrency::GlobalLock,
+        LogFormat::V1,
+    );
+    run_script(&rt, base).unwrap();
+    let media = pool
+        .crash(&CrashConfig::drop_all(7))
+        .unwrap()
+        .media_snapshot();
+
+    // Era 2: the v2-default runtime adopts slot 0 (still v1 on media) and
+    // creates slot 1 fresh (v2).
+    let (pool, rt) = reopen_fmt(
+        media,
+        Backend::clobber(),
+        PoolConcurrency::GlobalLock,
+        LogFormat::V2,
+    );
+    assert!(rt.recover().unwrap().is_clean());
+    let base = rt.app_root().unwrap();
+    run_script(&rt, base).unwrap(); // slot 0: v1 image
+    let args = ArgList::new()
+        .with_u64(base.offset())
+        .with_u64(0)
+        .with_u64(1)
+        .with_u64(5);
+    rt.run_on(1, "transfer", &args).unwrap(); // slot 1: fresh, v2
+    assert_eq!(total(&pool, base), ACCOUNTS * INITIAL);
+
+    let slot0 = rt.slot_handle(0).unwrap();
+    let slot1 = rt.slot_handle(1).unwrap();
+    assert_eq!(
+        slot0
+            .clobber_log(&pool)
+            .unwrap()
+            .stored_format(&pool)
+            .unwrap(),
+        LogFormat::V1,
+        "adopted slots keep their stored format"
+    );
+    assert_eq!(
+        slot1
+            .clobber_log(&pool)
+            .unwrap()
+            .stored_format(&pool)
+            .unwrap(),
+        LogFormat::V2,
+        "new slots use the runtime's configured format"
+    );
+
+    // Era 3: back under a v1 runtime — both slots still serve.
+    let media = pool
+        .crash(&CrashConfig::drop_all(8))
+        .unwrap()
+        .media_snapshot();
+    let (pool, rt) = reopen_fmt(
+        media,
+        Backend::clobber(),
+        PoolConcurrency::GlobalLock,
+        LogFormat::V1,
+    );
+    assert!(rt.recover().unwrap().is_clean());
+    let base = rt.app_root().unwrap();
+    run_script(&rt, base).unwrap();
+    rt.run_on(1, "transfer", &args).unwrap();
+    assert_eq!(total(&pool, base), ACCOUNTS * INITIAL);
+}

@@ -64,6 +64,12 @@ fn golden_trace_shape_matches_script() {
         counts[EventKind::VlogAppend as usize] >= SCRIPT.len() as u64,
         "each clobber tx persists a v_log begin record"
     );
+    // Every ordering request routes through group commit; at the default
+    // batch of 1 each request is its own traced epoch, bounded above by
+    // the pool's total fences (private fences bypass the coalescer).
+    let epochs = counts[EventKind::GroupCommitEpoch as usize];
+    assert!(epochs > 0, "group-commit epochs missing from the trace");
+    assert!(epochs <= counts[EventKind::Fence as usize]);
     assert_eq!(trace.dropped, 0, "ring must not overflow on the script");
     // Sequence numbers are nondecreasing after the stable (seq, thread) merge.
     for pair in trace.events.windows(2) {

@@ -128,6 +128,28 @@ pub struct PmemStats {
     pub trace_events: AtomicU64,
     /// Trace events lost to full per-thread rings.
     pub trace_dropped: AtomicU64,
+    /// Flush calls attributed to the clobber/undo log (`LogKind::Clobber`).
+    pub clog_flushes: AtomicU64,
+    /// Fence *requests* attributed to the clobber/undo log. Requests, not
+    /// issued fences: a request satisfied by a shared group-commit epoch
+    /// still counts here, with the saving recorded in `gc_fences_saved`.
+    pub clog_fences: AtomicU64,
+    /// Flush calls attributed to the redo log (`LogKind::Redo`).
+    pub rlog_flushes: AtomicU64,
+    /// Fence requests attributed to the redo log.
+    pub rlog_fences: AtomicU64,
+    /// Flush calls attributed to v_log slot records, bumped by the runtime.
+    pub vlog_flushes: AtomicU64,
+    /// Fence requests attributed to v_log slot records, bumped by the
+    /// runtime.
+    pub vlog_fences: AtomicU64,
+    /// Group-commit epochs closed (= ordering fences the coalescer actually
+    /// issued), bumped by the runtime.
+    pub gc_epochs: AtomicU64,
+    /// Fence requests absorbed by sharing an epoch's fence (for an epoch of
+    /// `n` coalesced committers this grows by `n - 1`), bumped by the
+    /// runtime.
+    pub gc_fences_saved: AtomicU64,
     /// Per-shard hot-counter banks. Empty for single-lock pools; sharded
     /// pools route all hot-path counts here and leave the shared hot
     /// atomics above at zero, so [`snapshot`](Self::snapshot) can always
@@ -204,6 +226,14 @@ impl PmemStats {
             fault_retries: self.fault_retries.load(Ordering::Relaxed),
             trace_events: self.trace_events.load(Ordering::Relaxed),
             trace_dropped: self.trace_dropped.load(Ordering::Relaxed),
+            clog_flushes: self.clog_flushes.load(Ordering::Relaxed),
+            clog_fences: self.clog_fences.load(Ordering::Relaxed),
+            rlog_flushes: self.rlog_flushes.load(Ordering::Relaxed),
+            rlog_fences: self.rlog_fences.load(Ordering::Relaxed),
+            vlog_flushes: self.vlog_flushes.load(Ordering::Relaxed),
+            vlog_fences: self.vlog_fences.load(Ordering::Relaxed),
+            gc_epochs: self.gc_epochs.load(Ordering::Relaxed),
+            gc_fences_saved: self.gc_fences_saved.load(Ordering::Relaxed),
         }
     }
 
@@ -283,6 +313,22 @@ pub struct StatsSnapshot {
     pub trace_events: u64,
     /// Trace events lost to full rings.
     pub trace_dropped: u64,
+    /// Flushes attributed to the clobber/undo log.
+    pub clog_flushes: u64,
+    /// Fence requests attributed to the clobber/undo log.
+    pub clog_fences: u64,
+    /// Flushes attributed to the redo log.
+    pub rlog_flushes: u64,
+    /// Fence requests attributed to the redo log.
+    pub rlog_fences: u64,
+    /// Flushes attributed to v_log slot records.
+    pub vlog_flushes: u64,
+    /// Fence requests attributed to v_log slot records.
+    pub vlog_fences: u64,
+    /// Group-commit epochs closed (fences the coalescer issued).
+    pub gc_epochs: u64,
+    /// Fence requests absorbed by epoch sharing.
+    pub gc_fences_saved: u64,
 }
 
 impl StatsSnapshot {
@@ -318,6 +364,14 @@ impl StatsSnapshot {
             fault_retries: self.fault_retries - earlier.fault_retries,
             trace_events: self.trace_events - earlier.trace_events,
             trace_dropped: self.trace_dropped - earlier.trace_dropped,
+            clog_flushes: self.clog_flushes - earlier.clog_flushes,
+            clog_fences: self.clog_fences - earlier.clog_fences,
+            rlog_flushes: self.rlog_flushes - earlier.rlog_flushes,
+            rlog_fences: self.rlog_fences - earlier.rlog_fences,
+            vlog_flushes: self.vlog_flushes - earlier.vlog_flushes,
+            vlog_fences: self.vlog_fences - earlier.vlog_fences,
+            gc_epochs: self.gc_epochs - earlier.gc_epochs,
+            gc_fences_saved: self.gc_fences_saved - earlier.gc_fences_saved,
         }
     }
 
@@ -382,6 +436,25 @@ mod tests {
         assert_eq!(shards[0].writes, 2);
         assert_eq!(shards[1], StatsSnapshot::default());
         assert_eq!(shards[2].flushes, 4);
+    }
+
+    #[test]
+    fn per_kind_counters_snapshot_and_delta() {
+        let s = PmemStats::new();
+        s.bump(&s.clog_flushes, 9);
+        s.bump(&s.clog_fences, 1);
+        let a = s.snapshot();
+        assert_eq!((a.clog_flushes, a.clog_fences), (9, 1));
+        s.bump(&s.rlog_flushes, 2);
+        s.bump(&s.vlog_fences, 3);
+        s.bump(&s.gc_epochs, 1);
+        s.bump(&s.gc_fences_saved, 3);
+        let d = s.snapshot().delta(&a);
+        assert_eq!(d.clog_flushes, 0);
+        assert_eq!(d.rlog_flushes, 2);
+        assert_eq!(d.vlog_fences, 3);
+        assert_eq!(d.gc_epochs, 1);
+        assert_eq!(d.gc_fences_saved, 3);
     }
 
     #[test]

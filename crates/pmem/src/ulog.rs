@@ -1,10 +1,12 @@
-//! PMDK-style undo-log buffer.
+//! PMDK-style undo-log buffer, in two on-media formats.
 //!
 //! Clobber-NVM's `clobber_log` is "built over PMDK's undo log API" (paper
 //! §4.2); the classical-undo baseline uses the very same primitive, which is
 //! what makes the paper's log-count/log-size comparison apples-to-apples.
 //!
-//! A [`Ulog`] is a pre-allocated persistent buffer:
+//! # v1 — per-entry tail format
+//!
+//! A v1 [`Ulog`] is a pre-allocated persistent buffer:
 //!
 //! ```text
 //! [tail: u64][entry][entry]...
@@ -16,6 +18,35 @@
 //! after its undo information is durable — the ordering invariant undo
 //! logging needs. Entries carry a checksum so a torn append (tail durable,
 //! entry not) is detected and treated as absent during recovery.
+//!
+//! # v2 — line-buffered, self-validating format
+//!
+//! A v2 log has no persistent tail word at all. Entries are serialized into
+//! a stream of 64-bit words packed into 64-byte cache lines, each line
+//! carrying a **marker word** that binds the log's generation number to the
+//! popcount of the line's payload words:
+//!
+//! ```text
+//! [magic: u64][generation: u64][pad to 64-byte line boundary]
+//! line = [w0..w6: payload words][marker = (generation << 9) | popcount(w0..w6)]
+//! entry (in the word stream) = [(len << 1) | 1][addr][len bytes, 8 per word]
+//! ```
+//!
+//! Recovery scans lines in order and stops at the first line whose marker
+//! does not validate — a torn or never-written tail line — so no separate
+//! tail+checksum persist is needed. [`Ulog::clear`] simply bumps the
+//! generation (one flush + one fence), invalidating every line at once.
+//! Appends go through a [`LogWriter`], which stages words in a volatile
+//! line buffer and issues **one streaming flush per full line**, deferring
+//! the ordering fence to [`LogWriter::sync`] — the pmembench
+//! `LogWriterZeroCached` discipline. Steady-state cost per append drops
+//! from 2 flushes + 1 fence (v1) to amortized ~1 flush per *line* plus one
+//! fence per ordering point.
+//!
+//! Both formats are distinguished by the first word: a v1 tail is bounded
+//! by the buffer capacity (far below 2^63), while the v2 magic has its top
+//! bit set, so every [`Ulog`] method dispatches on the stored image and v1
+//! images keep opening and recovering under v2 code.
 
 use crate::addr::PAddr;
 use crate::pool::{PmemError, PmemPool};
@@ -24,14 +55,52 @@ const DATA_OFF: u64 = 8;
 const ENTRY_HDR: u64 = 24;
 
 /// Bytes of log-buffer metadata persisted per entry (address, length,
-/// checksum) on top of the payload — counted when comparing "bytes written
-/// to the log" across systems.
+/// checksum) on top of the payload in the v1 format — counted when comparing
+/// "bytes written to the log" across systems.
 pub const ENTRY_OVERHEAD: u64 = ENTRY_HDR;
+
+/// v2 per-entry metadata: the header word and the address word.
+pub const V2_ENTRY_OVERHEAD: u64 = 16;
+
+/// First word of every v2-formatted log. The top bit is set, which no v1
+/// tail can have (tails are bounded by the buffer capacity), so the first
+/// word alone identifies the format.
+pub const V2_MAGIC: u64 = 0xC10B_B002_0000_0001;
+
+const LINE: u64 = crate::addr::CACHE_LINE;
+/// Payload words per v2 line (word 7 is the marker).
+const PAYLOAD_WORDS: usize = 7;
+
+/// Which log a handle feeds — used to attribute flush/fence costs to the
+/// clobber/undo log vs the redo log in [`StatsSnapshot`].
+///
+/// [`StatsSnapshot`]: crate::stats::StatsSnapshot
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum LogKind {
+    /// Clobber/undo log (per-store old values).
+    Clobber,
+    /// Redo log (buffered new values, batch-persisted at commit).
+    Redo,
+    /// Unattributed (tests, ad-hoc buffers).
+    #[default]
+    Other,
+}
+
+/// The on-media format of a log image.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum LogFormat {
+    /// Per-entry persistent tail + checksum (the original format).
+    V1,
+    /// Line-buffered, marker-validated, generation-cleared.
+    #[default]
+    V2,
+}
 
 /// A persistent undo-log buffer at a fixed pool location.
 ///
-/// The handle itself is a plain descriptor (base + capacity) and can be
-/// freely copied; all state lives in the pool.
+/// The handle itself is a plain descriptor (base + capacity + attribution
+/// kind) and can be freely copied; all state lives in the pool, including
+/// which format the image uses.
 ///
 /// # Example
 ///
@@ -58,25 +127,71 @@ pub const ENTRY_OVERHEAD: u64 = ENTRY_HDR;
 pub struct Ulog {
     base: PAddr,
     capacity: u64,
+    kind: LogKind,
 }
 
 impl Ulog {
     /// Adopts an existing formatted log at `base`.
     pub fn new(base: PAddr, capacity: u64) -> Ulog {
-        Ulog { base, capacity }
+        Ulog {
+            base,
+            capacity,
+            kind: LogKind::Other,
+        }
     }
 
-    /// Formats a fresh, empty log in `capacity` bytes at `base` and persists
-    /// the empty state.
+    /// Tags the handle with an attribution kind (see [`LogKind`]).
+    pub fn with_kind(mut self, kind: LogKind) -> Ulog {
+        self.kind = kind;
+        self
+    }
+
+    /// Formats a fresh, empty **v1** log in `capacity` bytes at `base` and
+    /// persists the empty state.
     ///
     /// # Errors
     ///
     /// Returns [`PmemError::OutOfBounds`] if the buffer exceeds the pool.
     pub fn format(pool: &PmemPool, base: PAddr, capacity: u64) -> Result<Ulog, PmemError> {
-        let log = Ulog { base, capacity };
+        let log = Ulog::new(base, capacity);
         pool.write_u64(base, 0)?;
         pool.persist(base, 8)?;
         Ok(log)
+    }
+
+    /// Formats a fresh, empty **v2** (line-buffered) log at `base` and
+    /// persists the header (magic + generation 1).
+    ///
+    /// The data region starts at the first 64-byte pool line boundary past
+    /// the header, so line stores never straddle cache lines regardless of
+    /// the allocator's 16-byte alignment.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PmemError::OutOfBounds`] if the buffer exceeds the pool.
+    pub fn format_v2(pool: &PmemPool, base: PAddr, capacity: u64) -> Result<Ulog, PmemError> {
+        let log = Ulog::new(base, capacity);
+        pool.write_u64(base, V2_MAGIC)?;
+        pool.write_u64(base.add(8), 1)?;
+        pool.persist(base, 16)?;
+        Ok(log)
+    }
+
+    /// Formats in the requested format.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PmemError::OutOfBounds`] if the buffer exceeds the pool.
+    pub fn format_as(
+        pool: &PmemPool,
+        base: PAddr,
+        capacity: u64,
+        format: LogFormat,
+    ) -> Result<Ulog, PmemError> {
+        match format {
+            LogFormat::V1 => Ulog::format(pool, base, capacity),
+            LogFormat::V2 => Ulog::format_v2(pool, base, capacity),
+        }
     }
 
     /// The log's base address in the pool.
@@ -84,60 +199,117 @@ impl Ulog {
         self.base
     }
 
-    /// The log's capacity in bytes (including the tail word).
+    /// The log's capacity in bytes (including header words).
     pub fn capacity(&self) -> u64 {
         self.capacity
     }
 
-    /// Appends an entry recording that `addr` held `old` — with exactly one
-    /// fence, after which the entry is durable. The caller may then safely
-    /// overwrite `addr`.
+    /// The attribution kind of this handle.
+    pub fn kind(&self) -> LogKind {
+        self.kind
+    }
+
+    /// Reads the stored image's format (one pool read — the same word a v1
+    /// append would read as the tail).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PmemError::OutOfBounds`] on a corrupt descriptor.
+    pub fn stored_format(&self, pool: &PmemPool) -> Result<LogFormat, PmemError> {
+        Ok(if pool.read_u64(self.base)? == V2_MAGIC {
+            LogFormat::V2
+        } else {
+            LogFormat::V1
+        })
+    }
+
+    /// First pool offset of the v2 data-line region (64-byte aligned).
+    fn v2_data_base(&self) -> u64 {
+        (self.base.offset() + 16).div_ceil(LINE) * LINE
+    }
+
+    /// Pool address of v2 data line `line_idx`'s marker word (the last
+    /// word of the 64-byte line). Exposed for corruption-injection
+    /// harnesses that tear a specific line on purpose; normal code never
+    /// addresses markers directly.
+    pub fn v2_marker_addr(&self, line_idx: u64) -> PAddr {
+        PAddr::new(self.v2_data_base() + line_idx * LINE + LINE - 8)
+    }
+
+    /// Number of whole 64-byte data lines the buffer holds in v2.
+    fn v2_line_count(&self) -> u64 {
+        let end = self.base.offset() + self.capacity;
+        let data = self.v2_data_base();
+        if end <= data {
+            0
+        } else {
+            (end - data) / LINE
+        }
+    }
+
+    pub(crate) fn bump_kind_flush(&self, pool: &PmemPool) {
+        use std::sync::atomic::Ordering::Relaxed;
+        let s = pool.stats();
+        match self.kind {
+            LogKind::Clobber => s.clog_flushes.fetch_add(1, Relaxed),
+            LogKind::Redo => s.rlog_flushes.fetch_add(1, Relaxed),
+            LogKind::Other => return,
+        };
+    }
+
+    pub(crate) fn bump_kind_fence(&self, pool: &PmemPool) {
+        use std::sync::atomic::Ordering::Relaxed;
+        let s = pool.stats();
+        match self.kind {
+            LogKind::Clobber => s.clog_fences.fetch_add(1, Relaxed),
+            LogKind::Redo => s.rlog_fences.fetch_add(1, Relaxed),
+            LogKind::Other => return,
+        };
+    }
+
+    /// Appends an entry recording that `addr` held `old`, durable when the
+    /// call returns (exactly one fence in both formats). The caller may then
+    /// safely overwrite `addr`.
+    ///
+    /// This is the stateless compatibility path: it adopts the log, appends
+    /// and syncs. Hot paths should hold a [`LogWriter`] instead, which
+    /// caches the position and amortizes flushes and fences across appends.
     ///
     /// # Errors
     ///
     /// Returns [`PmemError::LogFull`] if the entry does not fit and
     /// [`PmemError::OutOfBounds`] on a corrupt descriptor.
     pub fn append(&self, pool: &PmemPool, addr: PAddr, old: &[u8]) -> Result<(), PmemError> {
-        let tail = pool.read_u64(self.base)?;
-        let need = ENTRY_HDR + old.len() as u64;
-        if DATA_OFF + tail + need > self.capacity {
-            return Err(PmemError::LogFull {
-                needed: need,
-                capacity: self.capacity,
-            });
-        }
-        let entry = self.base.add(DATA_OFF + tail);
-        pool.write_u64(entry, addr.offset())?;
-        pool.write_u64(entry.add(8), old.len() as u64)?;
-        pool.write_u64(
-            entry.add(16),
-            checksum(addr.offset(), old.len() as u64, old),
-        )?;
-        pool.write_bytes(entry.add(24), old)?;
-        pool.flush(entry, need)?;
-        pool.write_u64(self.base, tail + need)?;
-        pool.flush(self.base, 8)?;
-        pool.fence();
-        pool.trace_app_event(
-            clobber_trace::EventKind::UlogAppend,
-            0,
-            addr.offset(),
-            old.len() as u64,
-        );
-        Ok(())
+        let mut w = LogWriter::attach(pool, *self)?;
+        w.append(pool, addr, old)?;
+        w.sync(pool)
     }
 
     /// Appends several entries with a single fence — the redo-logging
-    /// pattern: all entries and the tail are flushed together and ordered by
-    /// one fence, which is why redo systems need fewer ordering instructions
-    /// per transaction than undo systems.
+    /// pattern: all entries are flushed together and ordered by one fence,
+    /// which is why redo systems need fewer ordering instructions per
+    /// transaction than undo systems.
     ///
     /// # Errors
     ///
-    /// Returns [`PmemError::LogFull`] if the batch does not fit (the log is
-    /// left unchanged) and [`PmemError::OutOfBounds`] on a corrupt
-    /// descriptor.
+    /// Returns [`PmemError::LogFull`] if the batch does not fit (a v1 log is
+    /// left unchanged; a v2 log keeps the entries appended before the
+    /// overflow, which the caller discards by clearing) and
+    /// [`PmemError::OutOfBounds`] on a corrupt descriptor.
     pub fn append_batch(&self, pool: &PmemPool, items: &[(PAddr, &[u8])]) -> Result<(), PmemError> {
+        match self.stored_format(pool)? {
+            LogFormat::V2 => {
+                let mut w = LogWriter::attach(pool, *self)?;
+                for (addr, data) in items {
+                    w.append(pool, *addr, data)?;
+                }
+                w.sync(pool)
+            }
+            LogFormat::V1 => self.append_batch_v1(pool, items),
+        }
+    }
+
+    fn append_batch_v1(&self, pool: &PmemPool, items: &[(PAddr, &[u8])]) -> Result<(), PmemError> {
         let tail = pool.read_u64(self.base)?;
         let need: u64 = items.iter().map(|(_, d)| ENTRY_HDR + d.len() as u64).sum();
         if DATA_OFF + tail + need > self.capacity {
@@ -159,9 +331,12 @@ impl Ulog {
             off += ENTRY_HDR + data.len() as u64;
         }
         pool.flush(self.base.add(DATA_OFF + tail), need)?;
+        self.bump_kind_flush(pool);
         pool.write_u64(self.base, tail + need)?;
         pool.flush(self.base, 8)?;
+        self.bump_kind_flush(pool);
         pool.fence();
+        self.bump_kind_fence(pool);
         for (addr, data) in items {
             pool.trace_app_event(
                 clobber_trace::EventKind::UlogAppend,
@@ -189,14 +364,26 @@ impl Ulog {
 
     /// Returns all valid entries in append order as `(addr, old_data)`.
     ///
-    /// Iteration stops at the first entry whose checksum fails (a torn
-    /// append).
+    /// v1: iteration stops at the first entry whose checksum fails (a torn
+    /// append). v2: line scanning stops at the first line whose marker does
+    /// not validate against the current generation, and a final entry that
+    /// runs past the valid region (it spanned into a torn line) is dropped —
+    /// the surviving entries are always a durable prefix of what was
+    /// appended.
     ///
     /// # Errors
     ///
     /// Returns [`PmemError::OutOfBounds`] if the log descriptor is corrupt.
     pub fn entries(&self, pool: &PmemPool) -> Result<Vec<(PAddr, Vec<u8>)>, PmemError> {
-        let tail = pool.read_u64(self.base)?;
+        let w0 = pool.read_u64(self.base)?;
+        if w0 == V2_MAGIC {
+            Ok(self.v2_scan(pool)?.entries)
+        } else {
+            self.entries_v1(pool, w0)
+        }
+    }
+
+    fn entries_v1(&self, pool: &PmemPool, tail: u64) -> Result<Vec<(PAddr, Vec<u8>)>, PmemError> {
         let mut out = Vec::new();
         let mut off = 0u64;
         while off + ENTRY_HDR <= tail {
@@ -215,6 +402,57 @@ impl Ulog {
             off += ENTRY_HDR + len;
         }
         Ok(out)
+    }
+
+    /// Scans the v2 line region: collects the valid word stream (stopping
+    /// at the first marker mismatch), parses entries out of it, and reports
+    /// the word position one past the last complete entry — which is where
+    /// a [`LogWriter`] resumes appending.
+    fn v2_scan(&self, pool: &PmemPool) -> Result<V2Scan, PmemError> {
+        let gen = pool.read_u64(self.base.add(8))?;
+        let data = self.v2_data_base();
+        let nlines = self.v2_line_count();
+        let mut words: Vec<u64> = Vec::new();
+        for li in 0..nlines {
+            let raw = pool.read_bytes(PAddr::new(data + li * LINE), LINE)?;
+            let mut w = [0u64; 8];
+            for (i, c) in raw.chunks_exact(8).enumerate() {
+                w[i] = u64::from_le_bytes(c.try_into().unwrap());
+            }
+            if w[7] != v2_marker(gen, &w) {
+                break;
+            }
+            words.extend_from_slice(&w[..PAYLOAD_WORDS]);
+        }
+        let mut entries = Vec::new();
+        let mut i = 0usize;
+        while i < words.len() {
+            let h = words[i];
+            if h & 1 == 0 {
+                break; // zero terminator (or malformed header): end of stream
+            }
+            let len = h >> 1;
+            if len > self.capacity {
+                break; // garbage header: cannot be a real entry
+            }
+            let dw = (len.div_ceil(8)) as usize;
+            if i + 2 + dw > words.len() {
+                break; // entry spans into a torn/invalid line: dropped
+            }
+            let addr = words[i + 1];
+            let mut bytes = Vec::with_capacity(dw * 8);
+            for k in 0..dw {
+                bytes.extend_from_slice(&words[i + 2 + k].to_le_bytes());
+            }
+            bytes.truncate(len as usize);
+            entries.push((PAddr::new(addr), bytes));
+            i += 2 + dw;
+        }
+        Ok(V2Scan {
+            gen,
+            entries,
+            stream_end: i as u64,
+        })
     }
 
     /// Restores all logged old values, most recent first (classical undo
@@ -243,28 +481,422 @@ impl Ulog {
 
     /// Returns `true` if the log holds no entries.
     ///
+    /// v1 reads the tail word; v2 probes the first data line (a valid first
+    /// line always starts with an entry header, which is odd and nonzero).
+    ///
     /// # Errors
     ///
     /// Returns [`PmemError::OutOfBounds`] if the log descriptor is corrupt.
     pub fn is_empty(&self, pool: &PmemPool) -> Result<bool, PmemError> {
-        Ok(pool.read_u64(self.base)? == 0)
+        let w0 = pool.read_u64(self.base)?;
+        if w0 != V2_MAGIC {
+            return Ok(w0 == 0);
+        }
+        if self.v2_line_count() == 0 {
+            return Ok(true);
+        }
+        let gen = pool.read_u64(self.base.add(8))?;
+        let raw = pool.read_bytes(PAddr::new(self.v2_data_base()), LINE)?;
+        let mut w = [0u64; 8];
+        for (i, c) in raw.chunks_exact(8).enumerate() {
+            w[i] = u64::from_le_bytes(c.try_into().unwrap());
+        }
+        Ok(w[7] != v2_marker(gen, &w) || w[0] & 1 == 0)
     }
 
-    /// Truncates the log (persistently, one fence).
+    /// Truncates the log (persistently, one fence). v1 zeroes the tail; v2
+    /// bumps the generation, invalidating every line's marker at once
+    /// without touching the data region.
     ///
     /// # Errors
     ///
     /// Returns [`PmemError::OutOfBounds`] if the log descriptor is corrupt.
     pub fn clear(&self, pool: &PmemPool) -> Result<(), PmemError> {
-        pool.write_u64(self.base, 0)?;
-        pool.flush(self.base, 8)?;
+        self.reset_unfenced(pool)?;
         pool.fence();
+        Ok(())
+    }
+
+    /// Truncates the log without fencing — the caller's next fence orders
+    /// the truncation (the runtime bundles it with the begin fence when
+    /// lazily clearing a previous transaction's stale log).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PmemError::OutOfBounds`] if the log descriptor is corrupt.
+    pub fn reset_unfenced(&self, pool: &PmemPool) -> Result<(), PmemError> {
+        let w0 = pool.read_u64(self.base)?;
+        if w0 == V2_MAGIC {
+            let gen = pool.read_u64(self.base.add(8))?;
+            pool.write_u64(self.base.add(8), gen + 1)?;
+            pool.flush(self.base.add(8), 8)?;
+        } else {
+            pool.write_u64(self.base, 0)?;
+            pool.flush(self.base, 8)?;
+        }
         Ok(())
     }
 }
 
+/// Result of a v2 region scan.
+struct V2Scan {
+    gen: u64,
+    entries: Vec<(PAddr, Vec<u8>)>,
+    /// Word-stream position one past the last complete entry.
+    stream_end: u64,
+}
+
+/// Line marker: binds the log generation to the popcount of the payload
+/// words, so a line from an earlier generation, a never-written (zero) line
+/// and a line whose payload words were lost all fail validation. Lines are
+/// single-cache-line stores, which are failure-atomic in the media model
+/// (and on real hardware at 8-byte granularity the per-word popcount
+/// contribution makes a mixed old/new line astronomically unlikely to
+/// validate).
+fn v2_marker(gen: u64, words: &[u64; 8]) -> u64 {
+    let pop: u32 = words[..PAYLOAD_WORDS].iter().map(|w| w.count_ones()).sum();
+    (gen << 9) | pop as u64
+}
+
+/// Volatile cursor state of a [`LogWriter`].
+#[derive(Debug, Clone)]
+enum WriterPos {
+    V1 {
+        /// Cached tail — validated once at adoption, never re-read.
+        tail: u64,
+    },
+    V2(V2Pos),
+}
+
+#[derive(Debug, Clone)]
+struct V2Pos {
+    generation: u64,
+    /// Data line the staged buffer maps to.
+    line_idx: u64,
+    /// Next free payload word within the staged line (0..7).
+    word_idx: usize,
+    /// The staged line (word 7 recomputed on every store).
+    line: [u64; 8],
+    /// Staged line holds content not yet covered by a flush.
+    dirty: bool,
+    /// Flushes were issued since the last fence.
+    unfenced: bool,
+}
+
+impl V2Pos {
+    fn line_addr(&self, log: &Ulog) -> PAddr {
+        PAddr::new(log.v2_data_base() + self.line_idx * LINE)
+    }
+
+    fn store_staged(&mut self, pool: &PmemPool, log: &Ulog) -> Result<(), PmemError> {
+        self.line[7] = v2_marker(self.generation, &self.line);
+        let mut bytes = [0u8; LINE as usize];
+        for (i, w) in self.line.iter().enumerate() {
+            bytes[i * 8..i * 8 + 8].copy_from_slice(&w.to_le_bytes());
+        }
+        pool.write_bytes(self.line_addr(log), &bytes)
+    }
+
+    fn push_word(&mut self, pool: &PmemPool, log: &Ulog, w: u64) -> Result<(), PmemError> {
+        self.line[self.word_idx] = w;
+        self.word_idx += 1;
+        if self.word_idx == PAYLOAD_WORDS {
+            // Line full: store it with its marker and issue the one
+            // streaming flush this line will ever need.
+            self.store_staged(pool, log)?;
+            pool.flush(self.line_addr(log), LINE)?;
+            log.bump_kind_flush(pool);
+            self.unfenced = true;
+            self.dirty = false;
+            self.line = [0; 8];
+            self.line_idx += 1;
+            self.word_idx = 0;
+        } else {
+            self.dirty = true;
+        }
+        Ok(())
+    }
+}
+
+/// A volatile append cursor over a [`Ulog`] — the hot-path handle.
+///
+/// The writer caches everything an append needs (format, v1 tail or v2
+/// generation + line position + staged line buffer), so appends never
+/// re-read persistent log state. On a v2 log, appends stage words in the
+/// 64-byte line buffer and flush once per *full* line; durability is
+/// deferred to [`sync`](Self::sync), the ordering point. On a v1 log each
+/// append keeps the classic persist-entry-then-tail, one-fence discipline
+/// (the format has no torn-tail protection without it), but the cached tail
+/// still removes the per-append tail read.
+///
+/// Dropping a writer without syncing loses no data that was already synced;
+/// unsynced v2 appends are staged in the pool but not yet guaranteed
+/// durable — exactly the window the marker discipline makes recoverable as
+/// a clean prefix.
+#[derive(Debug)]
+pub struct LogWriter {
+    log: Ulog,
+    pos: Option<WriterPos>,
+}
+
+impl LogWriter {
+    /// Creates a lazy writer; the log image is adopted (position read and
+    /// validated) on first use.
+    pub fn new(log: Ulog) -> LogWriter {
+        LogWriter { log, pos: None }
+    }
+
+    /// Creates a writer and adopts the log image immediately: reads the
+    /// format, validates the tail (v1) or scans to the end of the valid
+    /// entry stream (v2).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PmemError::CorruptPool`] if a v1 tail exceeds the buffer
+    /// and [`PmemError::OutOfBounds`] on a corrupt descriptor.
+    pub fn attach(pool: &PmemPool, log: Ulog) -> Result<LogWriter, PmemError> {
+        let mut w = LogWriter::new(log);
+        w.ensure_attached(pool)?;
+        Ok(w)
+    }
+
+    /// The underlying log descriptor.
+    pub fn log(&self) -> Ulog {
+        self.log
+    }
+
+    fn ensure_attached(&mut self, pool: &PmemPool) -> Result<&mut WriterPos, PmemError> {
+        if self.pos.is_none() {
+            let w0 = pool.read_u64(self.log.base)?;
+            let pos = if w0 == V2_MAGIC {
+                let scan = self.log.v2_scan(pool)?;
+                let line_idx = scan.stream_end / PAYLOAD_WORDS as u64;
+                let word_idx = (scan.stream_end % PAYLOAD_WORDS as u64) as usize;
+                let mut line = [0u64; 8];
+                if word_idx > 0 {
+                    let raw = pool
+                        .read_bytes(PAddr::new(self.log.v2_data_base() + line_idx * LINE), LINE)?;
+                    for (i, c) in raw.chunks_exact(8).enumerate() {
+                        line[i] = u64::from_le_bytes(c.try_into().unwrap());
+                    }
+                    // Words past the resume point are stale stream bytes
+                    // (e.g. a dropped trailing entry); zero them so the
+                    // terminator and marker discipline start clean.
+                    for w in line.iter_mut().skip(word_idx) {
+                        *w = 0;
+                    }
+                }
+                WriterPos::V2(V2Pos {
+                    generation: scan.gen,
+                    line_idx,
+                    word_idx,
+                    line,
+                    dirty: word_idx > 0,
+                    unfenced: false,
+                })
+            } else {
+                if DATA_OFF + w0 > self.log.capacity {
+                    return Err(PmemError::CorruptPool(format!(
+                        "v1 log tail {} exceeds capacity {}",
+                        w0, self.log.capacity
+                    )));
+                }
+                WriterPos::V1 { tail: w0 }
+            };
+            self.pos = Some(pos);
+        }
+        Ok(self.pos.as_mut().unwrap())
+    }
+
+    /// Returns `true` if the adopted log holds no entries (adopting if
+    /// necessary).
+    ///
+    /// # Errors
+    ///
+    /// Propagates adoption errors.
+    pub fn is_empty(&mut self, pool: &PmemPool) -> Result<bool, PmemError> {
+        Ok(match self.ensure_attached(pool)? {
+            WriterPos::V1 { tail } => *tail == 0,
+            WriterPos::V2(p) => p.line_idx == 0 && p.word_idx == 0,
+        })
+    }
+
+    /// Appends an entry recording that `addr` held `old`.
+    ///
+    /// v2: words are staged in the line buffer; full lines get one
+    /// streaming flush each; **no fence is issued** — the entry is
+    /// guaranteed durable only after [`sync`](Self::sync) returns. v1:
+    /// classic one-fence append (durable on return), with the tail cached.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PmemError::LogFull`] if the entry does not fit and
+    /// [`PmemError::OutOfBounds`] on a corrupt descriptor.
+    pub fn append(&mut self, pool: &PmemPool, addr: PAddr, old: &[u8]) -> Result<(), PmemError> {
+        let log = self.log;
+        match self.ensure_attached(pool)? {
+            WriterPos::V1 { tail } => {
+                let need = ENTRY_HDR + old.len() as u64;
+                if DATA_OFF + *tail + need > log.capacity {
+                    return Err(PmemError::LogFull {
+                        needed: need,
+                        capacity: log.capacity,
+                    });
+                }
+                let entry = log.base.add(DATA_OFF + *tail);
+                pool.write_u64(entry, addr.offset())?;
+                pool.write_u64(entry.add(8), old.len() as u64)?;
+                pool.write_u64(
+                    entry.add(16),
+                    checksum(addr.offset(), old.len() as u64, old),
+                )?;
+                pool.write_bytes(entry.add(24), old)?;
+                pool.flush(entry, need)?;
+                log.bump_kind_flush(pool);
+                pool.write_u64(log.base, *tail + need)?;
+                pool.flush(log.base, 8)?;
+                log.bump_kind_flush(pool);
+                pool.fence();
+                log.bump_kind_fence(pool);
+                *tail += need;
+            }
+            WriterPos::V2(p) => {
+                let len = old.len() as u64;
+                let need_words = 2 + len.div_ceil(8);
+                let total_words = log.v2_line_count() * PAYLOAD_WORDS as u64;
+                let used_words = p.line_idx * PAYLOAD_WORDS as u64 + p.word_idx as u64;
+                if used_words + need_words > total_words {
+                    return Err(PmemError::LogFull {
+                        needed: V2_ENTRY_OVERHEAD + len,
+                        capacity: total_words * 8,
+                    });
+                }
+                p.push_word(pool, &log, (len << 1) | 1)?;
+                p.push_word(pool, &log, addr.offset())?;
+                for chunk in old.chunks(8) {
+                    let mut b = [0u8; 8];
+                    b[..chunk.len()].copy_from_slice(chunk);
+                    p.push_word(pool, &log, u64::from_le_bytes(b))?;
+                }
+                if p.dirty {
+                    // Store the partial line so readers (and the crash
+                    // model) see the current state; its flush is deferred.
+                    p.store_staged(pool, &log)?;
+                }
+            }
+        }
+        pool.trace_app_event(
+            clobber_trace::EventKind::UlogAppend,
+            0,
+            addr.offset(),
+            old.len() as u64,
+        );
+        Ok(())
+    }
+
+    /// Makes every appended entry durable: flushes the staged partial line
+    /// (if any) and issues one fence covering all line flushes since the
+    /// last sync. No-op if nothing is pending (v1 appends are already
+    /// durable).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PmemError::OutOfBounds`] on a corrupt descriptor.
+    pub fn sync(&mut self, pool: &PmemPool) -> Result<(), PmemError> {
+        self.sync_with(pool, |p| p.fence())
+    }
+
+    /// [`sync`](Self::sync) with the ordering fence delegated to `fence` —
+    /// the hook the runtime uses to route log fences through its
+    /// group-commit coalescer. `fence` must guarantee an `sfence` has been
+    /// issued (possibly by another thread) after it was called.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PmemError::OutOfBounds`] on a corrupt descriptor.
+    pub fn sync_with(
+        &mut self,
+        pool: &PmemPool,
+        fence: impl FnOnce(&PmemPool),
+    ) -> Result<(), PmemError> {
+        let log = self.log;
+        if let Some(WriterPos::V2(p)) = self.pos.as_mut() {
+            if p.dirty {
+                pool.flush(p.line_addr(&log), LINE)?;
+                log.bump_kind_flush(pool);
+                p.dirty = false;
+                p.unfenced = true;
+            }
+            if p.unfenced {
+                fence(pool);
+                log.bump_kind_fence(pool);
+                p.unfenced = false;
+            }
+        }
+        Ok(())
+    }
+
+    /// Truncates the log without fencing and resets the cursor to the
+    /// start; the caller's next fence orders the truncation.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PmemError::OutOfBounds`] on a corrupt descriptor.
+    pub fn reset_unfenced(&mut self, pool: &PmemPool) -> Result<(), PmemError> {
+        let w0 = pool.read_u64(self.log.base)?;
+        if w0 == V2_MAGIC {
+            let gen = pool.read_u64(self.log.base.add(8))?;
+            pool.write_u64(self.log.base.add(8), gen + 1)?;
+            pool.flush(self.log.base.add(8), 8)?;
+            self.pos = Some(WriterPos::V2(V2Pos {
+                generation: gen + 1,
+                line_idx: 0,
+                word_idx: 0,
+                line: [0; 8],
+                dirty: false,
+                unfenced: false,
+            }));
+        } else {
+            pool.write_u64(self.log.base, 0)?;
+            pool.flush(self.log.base, 8)?;
+            self.pos = Some(WriterPos::V1 { tail: 0 });
+        }
+        Ok(())
+    }
+
+    /// Adopts the log and, if it holds stale entries, truncates it without
+    /// fencing (the caller's next fence orders the truncation) — the
+    /// runtime's per-transaction fast path: one header probe, no stream
+    /// scan, and a known-empty cursor afterwards.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PmemError::OutOfBounds`] on a corrupt descriptor.
+    pub fn ensure_empty_unfenced(&mut self, pool: &PmemPool) -> Result<(), PmemError> {
+        if self.log.is_empty(pool)? {
+            let w0 = pool.read_u64(self.log.base)?;
+            self.pos = Some(if w0 == V2_MAGIC {
+                let gen = pool.read_u64(self.log.base.add(8))?;
+                WriterPos::V2(V2Pos {
+                    generation: gen,
+                    line_idx: 0,
+                    word_idx: 0,
+                    line: [0; 8],
+                    dirty: false,
+                    unfenced: false,
+                })
+            } else {
+                WriterPos::V1 { tail: 0 }
+            });
+            Ok(())
+        } else {
+            self.reset_unfenced(pool)
+        }
+    }
+}
+
 /// FNV-1a over the address, the entry length, and the payload; cheap
-/// torn-entry detection.
+/// torn-entry detection for the v1 format.
 ///
 /// Binding `len` into the hash matters for torn appends: if a stale
 /// in-bounds length field survives from an earlier (cleared) entry, it must
@@ -294,6 +926,13 @@ mod tests {
         let pool = PmemPool::create(PoolOptions::crash_sim(1 << 20)).unwrap();
         let base = pool.alloc(4096).unwrap();
         let log = Ulog::format(&pool, base, 4096).unwrap();
+        (pool, log)
+    }
+
+    fn setup_v2() -> (PmemPool, Ulog) {
+        let pool = PmemPool::create(PoolOptions::crash_sim(1 << 20)).unwrap();
+        let base = pool.alloc(4096).unwrap();
+        let log = Ulog::format_v2(&pool, base, 4096).unwrap();
         (pool, log)
     }
 
@@ -422,5 +1061,312 @@ mod tests {
         pool.write_u64(entry.add(8), 4).unwrap();
         pool.persist(entry.add(8), 8).unwrap();
         assert!(log.entries(&pool).unwrap().is_empty());
+    }
+
+    // ------------------------------------------------------------------
+    // v2 format
+    // ------------------------------------------------------------------
+
+    #[test]
+    fn v2_round_trips_entries_of_all_sizes() {
+        let (pool, log) = setup_v2();
+        assert!(log.is_empty(&pool).unwrap());
+        let payloads: Vec<Vec<u8>> = vec![
+            b"x".to_vec(),
+            b"eight__b".to_vec(),
+            vec![7u8; 100],
+            vec![],
+            vec![0u8; 24], // all-zero payload must survive the popcount marker
+        ];
+        for (i, p) in payloads.iter().enumerate() {
+            log.append(&pool, PAddr::new(1000 + i as u64), p).unwrap();
+        }
+        let es = log.entries(&pool).unwrap();
+        assert_eq!(es.len(), payloads.len());
+        for (i, p) in payloads.iter().enumerate() {
+            assert_eq!(es[i], (PAddr::new(1000 + i as u64), p.clone()));
+        }
+        assert!(!log.is_empty(&pool).unwrap());
+    }
+
+    #[test]
+    fn v2_synced_entries_survive_adversarial_crash() {
+        let (pool, log) = setup_v2();
+        let mut w = LogWriter::attach(&pool, log).unwrap();
+        for i in 0..10u64 {
+            w.append(&pool, PAddr::new(512 + i * 8), &i.to_le_bytes())
+                .unwrap();
+        }
+        w.sync(&pool).unwrap();
+        let p2 = pool.crash(&CrashConfig::drop_all(99)).unwrap();
+        let es = log.entries(&p2).unwrap();
+        assert_eq!(es.len(), 10, "all synced entries survive drop_all");
+        for (i, e) in es.iter().enumerate() {
+            assert_eq!(e.1, (i as u64).to_le_bytes().to_vec());
+        }
+    }
+
+    #[test]
+    fn v2_unsynced_tail_recovers_as_clean_prefix() {
+        // Append without ever syncing, crash with every unfenced line
+        // dropped: the durable image must parse as a (possibly empty)
+        // prefix of the appended entries — never garbage.
+        for seed in 0..16u64 {
+            let (pool, log) = setup_v2();
+            let mut w = LogWriter::attach(&pool, log).unwrap();
+            for i in 0..9u64 {
+                w.append(&pool, PAddr::new(4096 + i * 16), &[i as u8; 12])
+                    .unwrap();
+            }
+            let p2 = pool
+                .crash(&CrashConfig {
+                    p_dirty: 0.5,
+                    p_flushed_unfenced: 0.5,
+                    seed,
+                })
+                .unwrap();
+            let es = log.entries(&p2).unwrap();
+            assert!(es.len() <= 9, "seed {seed}: more entries than appended");
+            for (i, e) in es.iter().enumerate() {
+                assert_eq!(
+                    *e,
+                    (PAddr::new(4096 + i as u64 * 16), vec![i as u8; 12]),
+                    "seed {seed}: prefix mismatch at {i}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn v2_amortizes_flushes_to_one_per_line_and_defers_the_fence() {
+        let (pool, log) = setup_v2();
+        let mut w = LogWriter::attach(&pool, log).unwrap();
+        let before = pool.stats().snapshot();
+        // 8-byte payloads: 3 words per entry; 21 appends = 63 words = 9
+        // exactly-full lines.
+        for i in 0..21u64 {
+            w.append(&pool, PAddr::new(2048 + i * 8), &i.to_le_bytes())
+                .unwrap();
+        }
+        let mid = pool.stats().snapshot().delta(&before);
+        assert_eq!(mid.flushes, 9, "one streaming flush per full line");
+        assert_eq!(mid.fences, 0, "no fence until the ordering point");
+        w.sync(&pool).unwrap();
+        let d = pool.stats().snapshot().delta(&before);
+        assert_eq!(d.fences, 1, "sync is the single ordering point");
+        assert_eq!(d.flushes, 9, "nothing left to flush: lines were full");
+        assert!(
+            d.flushes * 2 <= 21,
+            "amortized flushes-per-append must be well under v1's 2"
+        );
+        // And the appended data is all there.
+        assert_eq!(log.len(&pool).unwrap(), 21);
+    }
+
+    #[test]
+    fn v2_compat_append_uses_exactly_one_fence() {
+        let (pool, log) = setup_v2();
+        let before = pool.stats().snapshot();
+        log.append(&pool, PAddr::new(1000), &[1u8; 32]).unwrap();
+        let d = pool.stats().snapshot().delta(&before);
+        assert_eq!(d.fences, 1);
+    }
+
+    #[test]
+    fn v2_clear_bumps_generation_and_survives_crash() {
+        let (pool, log) = setup_v2();
+        log.append(&pool, PAddr::new(8), b"stale").unwrap();
+        assert!(!log.is_empty(&pool).unwrap());
+        let before = pool.stats().snapshot();
+        log.clear(&pool).unwrap();
+        let d = pool.stats().snapshot().delta(&before);
+        assert_eq!(d.fences, 1, "clear is one generation-bump fence");
+        assert!(log.is_empty(&pool).unwrap());
+        assert!(log.entries(&pool).unwrap().is_empty());
+        let p2 = pool.crash(&CrashConfig::drop_all(3)).unwrap();
+        assert!(log.is_empty(&p2).unwrap());
+        // New appends after the bump are isolated from the old generation.
+        log.append(&p2, PAddr::new(16), b"fresh").unwrap();
+        assert_eq!(
+            log.entries(&p2).unwrap(),
+            vec![(PAddr::new(16), b"fresh".to_vec())]
+        );
+    }
+
+    #[test]
+    fn v2_torn_marker_word_drops_the_line_and_its_suffix() {
+        let (pool, log) = setup_v2();
+        // 28 single-word-payload entries = 84 words = 12 lines.
+        for i in 0..28u64 {
+            log.append(&pool, PAddr::new(512 + i * 8), &i.to_le_bytes())
+                .unwrap();
+        }
+        assert_eq!(log.len(&pool).unwrap(), 28);
+        // Corrupt the marker word of data line 3 at rest (a decayed or torn
+        // line): every entry from that line on must vanish, and the entries
+        // before it must be exactly the prefix.
+        let data = log.v2_data_base();
+        let p2 = pool.crash(&CrashConfig::drop_all(7)).unwrap();
+        p2.inject_bit_corruption(PAddr::new(data + 3 * 64 + 56), 8, 42, 3)
+            .unwrap();
+        let es = log.entries(&p2).unwrap();
+        // 7 payload words/line: line 3 starts at word 21 = entry 7.
+        assert_eq!(es.len(), 7, "entries from the torn line on are dropped");
+        for (i, e) in es.iter().enumerate() {
+            assert_eq!(e.0, PAddr::new(512 + i as u64 * 8));
+        }
+    }
+
+    #[test]
+    fn v2_writer_adopts_mid_stream_and_continues() {
+        let (pool, log) = setup_v2();
+        log.append(&pool, PAddr::new(100), b"first").unwrap();
+        log.append(&pool, PAddr::new(200), b"second-entry").unwrap();
+        // A fresh writer (no shared volatile state) must resume after the
+        // existing entries, not clobber them.
+        let mut w = LogWriter::attach(&pool, log).unwrap();
+        assert!(!w.is_empty(&pool).unwrap());
+        w.append(&pool, PAddr::new(300), b"third").unwrap();
+        w.sync(&pool).unwrap();
+        let es = log.entries(&pool).unwrap();
+        assert_eq!(es.len(), 3);
+        assert_eq!(es[2], (PAddr::new(300), b"third".to_vec()));
+    }
+
+    #[test]
+    fn v2_log_full_is_reported() {
+        let pool = PmemPool::create(PoolOptions::performance(1 << 20)).unwrap();
+        let base = pool.alloc(256).unwrap();
+        let log = Ulog::format_v2(&pool, base, 256).unwrap();
+        // At most 3 data lines = 21 payload words once the header line is
+        // carved out; a 160-byte entry needs 22.
+        assert!(matches!(
+            log.append(&pool, PAddr::new(8), &[0u8; 160]),
+            Err(PmemError::LogFull { .. })
+        ));
+        // Small entries fit until the words run out.
+        let mut w = LogWriter::attach(&pool, log).unwrap();
+        let mut appended = 0;
+        while w.append(&pool, PAddr::new(8), &[1u8; 8]).is_ok() {
+            appended += 1;
+        }
+        assert_eq!(appended, 7, "21 payload words / 3 words per entry");
+    }
+
+    #[test]
+    fn v1_writer_caches_the_tail_and_reads_nothing_per_append() {
+        let (pool, log) = setup();
+        let mut w = LogWriter::attach(&pool, log).unwrap();
+        let before = pool.stats().snapshot();
+        for i in 0..5u64 {
+            w.append(&pool, PAddr::new(512 + i * 8), &i.to_le_bytes())
+                .unwrap();
+        }
+        let d = pool.stats().snapshot().delta(&before);
+        assert_eq!(d.reads, 0, "cached tail: no persistent reads per append");
+        assert_eq!(d.fences, 5, "v1 keeps its per-append fence discipline");
+        assert_eq!(log.len(&pool).unwrap(), 5);
+    }
+
+    #[test]
+    fn v1_writer_rejects_corrupt_tail_at_adoption() {
+        let (pool, log) = setup();
+        pool.write_u64(log.base(), log.capacity() + 64).unwrap();
+        pool.persist(log.base(), 8).unwrap();
+        assert!(matches!(
+            LogWriter::attach(&pool, log),
+            Err(PmemError::CorruptPool(_))
+        ));
+    }
+
+    #[test]
+    fn cross_open_v1_image_under_v2_code() {
+        // A v1 image written through the legacy path recovers through the
+        // format-dispatching entry points, and a LogWriter keeps appending
+        // to it in v1 discipline.
+        let (pool, log) = setup();
+        log.append(&pool, PAddr::new(700), b"v1-data").unwrap();
+        let p2 = pool.crash(&CrashConfig::drop_all(11)).unwrap();
+        assert_eq!(log.stored_format(&p2).unwrap(), LogFormat::V1);
+        assert_eq!(
+            log.entries(&p2).unwrap(),
+            vec![(PAddr::new(700), b"v1-data".to_vec())]
+        );
+        let mut w = LogWriter::attach(&p2, log).unwrap();
+        w.append(&p2, PAddr::new(800), b"more").unwrap();
+        w.sync(&p2).unwrap();
+        assert_eq!(log.len(&p2).unwrap(), 2);
+    }
+
+    #[test]
+    fn cross_open_empty_logs_agree_across_formats() {
+        // An empty v1 image and an empty v2 image both report empty through
+        // every dispatching accessor, before and after a crash.
+        let pool = PmemPool::create(PoolOptions::crash_sim(1 << 20)).unwrap();
+        let b1 = pool.alloc(1024).unwrap();
+        let b2 = pool.alloc(1024).unwrap();
+        let v1 = Ulog::format(&pool, b1, 1024).unwrap();
+        let v2 = Ulog::format_v2(&pool, b2, 1024).unwrap();
+        assert_eq!(v1.stored_format(&pool).unwrap(), LogFormat::V1);
+        assert_eq!(v2.stored_format(&pool).unwrap(), LogFormat::V2);
+        let p2 = pool.crash(&CrashConfig::drop_all(5)).unwrap();
+        for log in [v1, v2] {
+            assert!(log.is_empty(&p2).unwrap());
+            assert!(log.entries(&p2).unwrap().is_empty());
+            assert_eq!(log.len(&p2).unwrap(), 0);
+            // And both clear idempotently.
+            log.clear(&p2).unwrap();
+            assert!(log.is_empty(&p2).unwrap());
+        }
+    }
+
+    #[test]
+    fn kind_counters_attribute_flushes_and_fences() {
+        let (pool, log) = setup_v2();
+        let clog = log.with_kind(LogKind::Clobber);
+        let before = pool.stats().snapshot();
+        let mut w = LogWriter::attach(&pool, clog).unwrap();
+        for i in 0..21u64 {
+            w.append(&pool, PAddr::new(2048 + i * 8), &i.to_le_bytes())
+                .unwrap();
+        }
+        w.sync(&pool).unwrap();
+        let d = pool.stats().snapshot().delta(&before);
+        assert_eq!(d.clog_flushes, 9);
+        assert_eq!(d.clog_fences, 1);
+        assert_eq!(d.rlog_flushes, 0);
+        assert_eq!((d.flushes, d.fences), (9, 1), "attribution matches totals");
+    }
+
+    #[test]
+    fn v2_reset_unfenced_then_fence_is_clear() {
+        let (pool, log) = setup_v2();
+        log.append(&pool, PAddr::new(8), b"stale").unwrap();
+        let mut w = LogWriter::attach(&pool, log).unwrap();
+        w.reset_unfenced(&pool).unwrap();
+        pool.fence();
+        assert!(log.is_empty(&pool).unwrap());
+        // The writer's cursor is reset too: new appends land at the start.
+        w.append(&pool, PAddr::new(16), b"fresh").unwrap();
+        w.sync(&pool).unwrap();
+        assert_eq!(
+            log.entries(&pool).unwrap(),
+            vec![(PAddr::new(16), b"fresh".to_vec())]
+        );
+    }
+
+    #[test]
+    fn marker_binds_generation_and_popcount() {
+        let mut words = [0u64; 8];
+        words[0] = (8 << 1) | 1;
+        words[1] = 4096;
+        words[2] = 0xFF;
+        let m1 = v2_marker(1, &words);
+        let m2 = v2_marker(2, &words);
+        assert_ne!(m1, m2, "generation is bound");
+        let mut tampered = words;
+        tampered[2] = 0xFE;
+        assert_ne!(m1, v2_marker(1, &tampered), "payload bits are bound");
+        assert_ne!(m1, 0, "a valid marker is never the zero word");
     }
 }

@@ -48,11 +48,14 @@ pub enum EventKind {
     /// Recovery progress (`a` = step code from
     /// [`recovery_steps`](crate::recovery_steps), `b` = step-specific).
     RecoveryStep = 14,
+    /// A group-commit epoch closed: its leader issued the shared ordering
+    /// fence (`a` = epoch number, `b` = committers coalesced into it).
+    GroupCommitEpoch = 15,
 }
 
 impl EventKind {
     /// All kinds, in discriminant order.
-    pub const ALL: [EventKind; 15] = [
+    pub const ALL: [EventKind; 16] = [
         EventKind::Store,
         EventKind::Flush,
         EventKind::Fence,
@@ -68,6 +71,7 @@ impl EventKind {
         EventKind::Cancel,
         EventKind::FaultTrip,
         EventKind::RecoveryStep,
+        EventKind::GroupCommitEpoch,
     ];
 
     /// Decodes a discriminant byte.
@@ -93,6 +97,7 @@ impl EventKind {
             EventKind::Cancel => "cancel",
             EventKind::FaultTrip => "fault_trip",
             EventKind::RecoveryStep => "recovery_step",
+            EventKind::GroupCommitEpoch => "group_commit_epoch",
         }
     }
 }
