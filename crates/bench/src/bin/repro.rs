@@ -156,6 +156,24 @@ fn run_one(fig: &str, scale: Scale, out: &std::path::Path) {
                     r.apply_ns as f64 / 1e6
                 );
             }
+            let scaling = fig9::run_scaling();
+            emit(
+                out,
+                "fig9_scaling.csv",
+                fig9::SCALING_HEADER,
+                scaling.iter().map(|r| r.csv()),
+            );
+            for r in &scaling {
+                println!(
+                    "    pool {:>2} MiB slots {} workers {}: apply {:.3} ms, wall {:.3} ms, {} entries",
+                    r.pool_mib,
+                    r.slots,
+                    r.workers,
+                    r.apply_ns as f64 / 1e6,
+                    r.wall_ns as f64 / 1e6,
+                    r.entries_applied
+                );
+            }
         }
         "fig10" => {
             let rows = fig10::run(scale);

@@ -7,10 +7,10 @@
 //! only) re-execution, with the non-open components converted from counted
 //! events by the cost model.
 
-use std::sync::{Arc, Mutex};
+use std::sync::{Arc, Barrier, Mutex};
 
-use clobber_nvm::{Backend, Runtime, RuntimeOptions};
-use clobber_pmem::{CrashConfig, PmemPool, PoolMode, PoolOptions};
+use clobber_nvm::{ArgList, Backend, RecoveryOptions, Runtime, RuntimeOptions};
+use clobber_pmem::{CrashConfig, PAddr, PmemPool, PoolMode, PoolOptions};
 use clobber_sim::CostModel;
 use clobber_workloads::{Workload, WorkloadKind};
 
@@ -129,6 +129,154 @@ impl DsHandle {
     }
 }
 
+/// Cells each parked scaling transaction mutates (its share of the live
+/// data recovery must repair).
+const SCALING_CELLS: u64 = 8;
+
+/// One recovery-scaling measurement: `slots` interrupted transactions in a
+/// `pool_mib`-MiB pool, recovered by `workers` scan threads.
+#[derive(Debug, Clone)]
+pub struct ScalingRow {
+    /// Pool size in MiB (the *dead* dimension — recovery must not scan it).
+    pub pool_mib: u64,
+    /// Interrupted transactions (the live dimension).
+    pub slots: usize,
+    /// Scan threads requested.
+    pub workers: usize,
+    /// Modeled log-application + re-execution nanoseconds.
+    pub apply_ns: u64,
+    /// Measured wall-clock nanoseconds of the scan itself.
+    pub wall_ns: u64,
+    /// Clobber-log entries applied restoring inputs.
+    pub entries_applied: u64,
+    /// Transactions completed by re-execution.
+    pub reexecuted: usize,
+}
+
+/// CSV header for the scaling table.
+pub const SCALING_HEADER: &str =
+    "pool_mib,slots,workers,open_ns,apply_ns,total_ns,wall_ns,entries_applied,reexecuted";
+
+impl ScalingRow {
+    /// One CSV line.
+    pub fn csv(&self) -> String {
+        format!(
+            "{},{},{},{},{},{},{},{},{}",
+            self.pool_mib,
+            self.slots,
+            self.workers,
+            POOL_OPEN_NS,
+            self.apply_ns,
+            POOL_OPEN_NS + self.apply_ns,
+            self.wall_ns,
+            self.entries_applied,
+            self.reexecuted
+        )
+    }
+}
+
+/// Small per-slot log buffers so the 1 MiB scaling pools hold every slot
+/// (each chain logs `SCALING_CELLS` 8-byte entries — 8 KiB is generous).
+fn scaling_rt_opts() -> RuntimeOptions {
+    let mut opts = RuntimeOptions::default();
+    opts.clobber_log_cap = 8 << 10;
+    opts.redo_log_cap = 8 << 10;
+    opts
+}
+
+/// Parks `slots` concurrent chain transactions (one per v_log slot, each
+/// mid-flight after `SCALING_CELLS` logged read-modify-writes), crashes the
+/// pool adversarially, and measures the recovery scan with `workers`
+/// threads. Live data scales with `slots`; the pool size scales with
+/// `pool_mib`; recovery cost must track the former.
+pub fn run_scaling_cell(pool_mib: u64, slots: usize, workers: usize, seed: u64) -> ScalingRow {
+    let pool = Arc::new(PmemPool::create(PoolOptions::crash_sim(pool_mib << 20)).expect("pool"));
+    let rt = Runtime::create(pool.clone(), scaling_rt_opts()).expect("runtime");
+    let cells = SCALING_CELLS * slots as u64;
+    let base = pool.alloc(8 * cells).expect("alloc");
+    for i in 0..cells {
+        pool.write_u64(base.add(8 * i), 1_000).expect("seed");
+    }
+    pool.persist(base, 8 * cells).expect("persist");
+    rt.set_app_root(base).expect("root");
+
+    let rendezvous = Arc::new(Barrier::new(slots + 1));
+    let release = Arc::new(Barrier::new(slots + 1));
+    {
+        let (rendezvous, release) = (rendezvous.clone(), release.clone());
+        rt.register("scaling_chain", move |tx, args| {
+            let base = PAddr::new(args.u64(0)?);
+            let lo = args.u64(1)?;
+            for i in lo..lo + SCALING_CELLS {
+                let v = tx.read_u64(base.add(8 * i))?;
+                tx.write_u64(base.add(8 * i), v + i + 1)?;
+            }
+            rendezvous.wait(); // all writes logged and in flight
+            release.wait(); // hold until the snapshot is taken
+            Ok(None)
+        });
+    }
+    let mut media = None;
+    std::thread::scope(|s| {
+        for slot in 0..slots {
+            let rt = &rt;
+            let args = ArgList::new()
+                .with_u64(base.offset())
+                .with_u64(SCALING_CELLS * slot as u64);
+            s.spawn(move || {
+                rt.run_on(slot, "scaling_chain", &args).unwrap();
+            });
+        }
+        rendezvous.wait();
+        media = Some(
+            pool.crash(&CrashConfig::drop_all(seed))
+                .expect("crash")
+                .media_snapshot(),
+        );
+        release.wait();
+    });
+
+    let pool2 =
+        Arc::new(PmemPool::open_from_media(media.unwrap(), PoolMode::CrashSim).expect("open"));
+    let rt2 = Runtime::open(pool2.clone(), scaling_rt_opts()).expect("runtime");
+    rt2.register("scaling_chain", |tx, args| {
+        let base = PAddr::new(args.u64(0)?);
+        let lo = args.u64(1)?;
+        for i in lo..lo + SCALING_CELLS {
+            let v = tx.read_u64(base.add(8 * i))?;
+            tx.write_u64(base.add(8 * i), v + i + 1)?;
+        }
+        Ok(None)
+    });
+    let before = pool2.stats().snapshot();
+    let report = rt2
+        .recover_with(&RecoveryOptions::default().with_workers(workers))
+        .expect("recover");
+    let delta = pool2.stats().snapshot().delta(&before);
+    ScalingRow {
+        pool_mib,
+        slots,
+        workers,
+        apply_ns: CostModel::optane().op_cost(&delta),
+        wall_ns: report.wall_time.as_nanos() as u64,
+        entries_applied: report.clobber_entries_applied,
+        reexecuted: report.reexecuted.len(),
+    }
+}
+
+/// Runs the scaling table: pool size × interrupted slots × scan workers.
+pub fn run_scaling() -> Vec<ScalingRow> {
+    let mut rows = Vec::new();
+    for pool_mib in [1u64, 4, 16] {
+        for slots in [1usize, 4] {
+            for workers in [1usize, 4] {
+                rows.push(run_scaling_cell(pool_mib, slots, workers, 53));
+            }
+        }
+    }
+    rows
+}
+
 /// Runs the full figure: both systems over all structures.
 pub fn run(scale: Scale) -> Vec<Row> {
     let mut rows = Vec::new();
@@ -165,6 +313,39 @@ mod tests {
         for row in run(Scale::Quick) {
             assert_eq!(row.recovered_txs, 1, "{row:?}");
         }
+    }
+
+    #[test]
+    fn recovery_cost_is_live_data_bound_not_pool_bound() {
+        // Fixed live data, 16x pool growth: the modeled scan cost must not
+        // grow with the pool — recovery walks the slot list, not the heap.
+        let small = run_scaling_cell(1, 2, 1, 53);
+        let large = run_scaling_cell(16, 2, 1, 53);
+        assert_eq!(small.reexecuted, 2);
+        assert_eq!(large.reexecuted, 2);
+        assert!(
+            (large.apply_ns as f64) <= (small.apply_ns as f64) * 1.1,
+            "pool-bound recovery: 1 MiB -> {} ns, 16 MiB -> {} ns",
+            small.apply_ns,
+            large.apply_ns
+        );
+        // 4x the live data in the same pool must cost measurably more.
+        let loaded = run_scaling_cell(1, 4, 1, 53);
+        assert!(
+            loaded.apply_ns > small.apply_ns,
+            "live-data growth invisible: {} vs {}",
+            loaded.apply_ns,
+            small.apply_ns
+        );
+    }
+
+    #[test]
+    fn parallel_scaling_scan_matches_serial_outcome() {
+        let serial = run_scaling_cell(4, 4, 1, 53);
+        let parallel = run_scaling_cell(4, 4, 4, 53);
+        assert_eq!(serial.reexecuted, 4);
+        assert_eq!(parallel.reexecuted, 4);
+        assert_eq!(serial.entries_applied, parallel.entries_applied);
     }
 
     #[test]

@@ -8,12 +8,13 @@
 //! assertions fail, the substrate's behaviour (not just its speed) changed
 //! and every recorded experiment in EXPERIMENTS.md is invalidated.
 
-use std::sync::Arc;
+use std::sync::{Arc, Mutex};
 
-use clobber_nvm::{Backend, Runtime, RuntimeOptions};
+use clobber_nvm::{ArgList, Backend, RecoveryOptions, Runtime, RuntimeOptions};
 use clobber_pds::{BpTree, HashMap};
 use clobber_pmem::{
-    CrashConfig, FaultPlan, PmemPool, PoolConcurrency, PoolOptions, StatsSnapshot, CACHE_LINE,
+    CacheImpl, CrashConfig, FaultPlan, PAddr, PmemPool, PoolConcurrency, PoolMode, PoolOptions,
+    StatsSnapshot, CACHE_LINE,
 };
 use clobber_workloads::{KvOp, Workload, WorkloadKind};
 
@@ -265,6 +266,143 @@ fn allocator_counters_pin_across_engines() {
         // The two engines must hand out identical addresses too.
         assert_eq!(r1, b, "LIFO pop order");
         assert_eq!(r2, a, "magazine preserves unbatched pop order");
+    }
+}
+
+/// Cells mutated by the `rec_chain` txfunc in the recovery pins below.
+const REC_CELLS: u64 = 3;
+
+fn register_rec_chain(rt: &Runtime, trap: Option<(Arc<PmemPool>, Arc<Mutex<Option<Vec<u8>>>>)>) {
+    rt.register("rec_chain", move |tx, args| {
+        let base = PAddr::new(args.u64(0)?);
+        for i in 0..REC_CELLS {
+            let cell = base.add(8 * i);
+            let v = tx.read_u64(cell)?;
+            tx.write_u64(cell, v + i + 1)?;
+            if i + 1 == REC_CELLS {
+                if let Some((pool, image)) = &trap {
+                    let mut img = image.lock().unwrap();
+                    if img.is_none() {
+                        *img = Some(
+                            pool.crash(&CrashConfig::drop_all(9))
+                                .unwrap()
+                                .media_snapshot(),
+                        );
+                    }
+                }
+            }
+        }
+        Ok(None)
+    });
+}
+
+/// A `rec_chain` run interrupted after its last store (status bit still
+/// ongoing), as an adversarial crash image.
+fn interrupted_chain_image(concurrency: PoolConcurrency) -> Vec<u8> {
+    let opts = PoolOptions::crash_sim(1 << 20).with_concurrency(concurrency);
+    let pool = Arc::new(PmemPool::create(opts).unwrap());
+    let rt = Runtime::create(pool.clone(), RuntimeOptions::default()).unwrap();
+    let base = pool.alloc(8 * REC_CELLS).unwrap();
+    for i in 0..REC_CELLS {
+        pool.write_u64(base.add(8 * i), 100 + i).unwrap();
+    }
+    pool.persist(base, 8 * REC_CELLS).unwrap();
+    rt.set_app_root(base).unwrap();
+    let image = Arc::new(Mutex::new(None));
+    register_rec_chain(&rt, Some((pool.clone(), image.clone())));
+    rt.run("rec_chain", &ArgList::new().with_u64(base.offset()))
+        .unwrap();
+    let img = image.lock().unwrap().take().unwrap();
+    img
+}
+
+fn reopen_rec(image: Vec<u8>, concurrency: PoolConcurrency) -> (Arc<PmemPool>, Runtime) {
+    let pool = Arc::new(
+        PmemPool::open_from_media_with(image, PoolMode::CrashSim, CacheImpl::Dense, concurrency)
+            .unwrap(),
+    );
+    let rt = Runtime::open(pool.clone(), RuntimeOptions::default()).unwrap();
+    register_rec_chain(&rt, None);
+    (pool, rt)
+}
+
+/// Golden recovery-observability pins: the same fixed interrupted
+/// transaction — recovered cleanly, resumed after a crash *inside*
+/// recovery, and starved by a zero budget — must attribute exactly these
+/// `rec_*` counts, identically on every engine.
+#[test]
+fn recovery_counters_pin_across_engines() {
+    let no_wait = RecoveryOptions::default().no_wait();
+    for concurrency in [
+        PoolConcurrency::GlobalLock,
+        PoolConcurrency::Sharded { shards: 4 },
+        PoolConcurrency::SingleThread,
+    ] {
+        let image = interrupted_chain_image(concurrency);
+
+        // A clean scan: one slot, one re-execution, nothing resumed.
+        let (pool, rt) = reopen_rec(image.clone(), concurrency);
+        rt.recover_with(&no_wait).unwrap();
+        let s = pool.stats().snapshot();
+        assert_eq!(
+            (
+                s.rec_slots_scanned,
+                s.rec_reexecuted,
+                s.rec_resumed,
+                s.rec_watermark_advances,
+                s.rec_workers,
+                s.rec_budget_expired,
+            ),
+            (1, 1, 0, REC_CELLS, 1, 0),
+            "clean scan under {concurrency:?}: {s:?}"
+        );
+
+        // Crash that scan mid-re-execution at a fixed persist event; the
+        // resuming scan reports the resume and only the remaining
+        // watermark advances.
+        let (pool_c, rt_c) = reopen_rec(image.clone(), concurrency);
+        pool_c.arm_faults(FaultPlan::crash_at(30));
+        let _ = rt_c.recover_with(&no_wait);
+        assert_eq!(pool_c.fault_tripped(), Some(30));
+        let crashed = pool_c
+            .crash(&CrashConfig::drop_all(0xEC))
+            .unwrap()
+            .media_snapshot();
+        let (pool_r, rt_r) = reopen_rec(crashed, concurrency);
+        rt_r.recover_with(&no_wait).unwrap();
+        let r = pool_r.stats().snapshot();
+        assert_eq!(
+            (
+                r.rec_slots_scanned,
+                r.rec_reexecuted,
+                r.rec_resumed,
+                r.rec_watermark_advances,
+                r.rec_workers,
+                r.rec_budget_expired,
+            ),
+            (1, 1, 1, 2, 1, 0),
+            "resumed scan under {concurrency:?}: {r:?}"
+        );
+
+        // A zero budget quarantines the slot instead of re-executing.
+        let (pool_b, rt_b) = reopen_rec(image, concurrency);
+        rt_b.recover_with(
+            &RecoveryOptions::best_effort()
+                .no_wait()
+                .with_total_budget(std::time::Duration::ZERO),
+        )
+        .unwrap();
+        let b = pool_b.stats().snapshot();
+        assert_eq!(
+            (
+                b.rec_slots_scanned,
+                b.rec_reexecuted,
+                b.rec_resumed,
+                b.rec_budget_expired,
+            ),
+            (1, 0, 0, 1),
+            "starved scan under {concurrency:?}: {b:?}"
+        );
     }
 }
 

@@ -46,6 +46,13 @@ pub enum TxError {
         /// Index of the missing blob.
         index: usize,
     },
+    /// A slot exhausted its per-slot deadline or the scan's global budget
+    /// under [`RecoveryPolicy::Strict`](crate::RecoveryPolicy::Strict)
+    /// (best-effort recovery quarantines instead).
+    RecoveryBudgetExceeded {
+        /// Index of the slot that ran out of time.
+        slot: usize,
+    },
 }
 
 impl TxError {
@@ -82,6 +89,9 @@ impl fmt::Display for TxError {
             TxError::CorruptVlog(why) => write!(f, "corrupt v_log record: {why}"),
             TxError::MissingPreserve { index } => {
                 write!(f, "recovery requested unrecorded preserve #{index}")
+            }
+            TxError::RecoveryBudgetExceeded { slot } => {
+                write!(f, "recovery of slot {slot} exceeded its time budget")
             }
         }
     }

@@ -71,8 +71,11 @@ pub use args::{ArgList, ArgValue};
 pub use backend::{Backend, ClobberCfg};
 pub use error::TxError;
 pub use group_commit::GroupCommit;
-pub use recovery::{RecoveryOptions, RecoveryPolicy, RecoveryReport, SlotQuarantine};
+pub use recovery::{
+    NoopClock, RecoveryClock, RecoveryOptions, RecoveryPolicy, RecoveryReport, SlotQuarantine,
+    SlotQuarantineKind, SystemClock,
+};
 pub use replay::{minimize_schedule, ReplayReport, Schedule, ScheduleError, ScheduleOp};
 pub use runtime::{IdoAggregate, Runtime, RuntimeOptions};
 pub use tx::{Tx, TxResult, WritePolicy, WriteProbe};
-pub use vlog::VlogSlot;
+pub use vlog::{VlogCheckpoint, VlogSlot};

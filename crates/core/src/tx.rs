@@ -29,7 +29,7 @@ use crate::error::TxError;
 use crate::group_commit::GroupCommit;
 use crate::ido::{IdoObserver, IdoTxStats};
 use crate::rangeset::RangeSet;
-use crate::vlog::VlogSlot;
+use crate::vlog::{VlogCheckpoint, VlogSlot};
 
 /// Result type of a registered txfunc: an optional opaque return payload.
 pub type TxResult = Result<Option<Vec<u8>>, TxError>;
@@ -58,6 +58,42 @@ pub enum WritePolicy {
 pub(crate) struct Replay {
     blobs: Vec<Vec<u8>>,
     next: usize,
+}
+
+/// Re-execution progress state threaded through a recovery replay (clobber
+/// backend only; see `DESIGN.md` item 12).
+///
+/// Recovery sets this on every re-execution — with zero watermarks for a
+/// fresh replay — so the transaction persists a [`VlogCheckpoint`] at each
+/// log sync and, when resuming past a prior checkpoint, skips the stores
+/// and log appends whose effects are already durable. Replay is
+/// deterministic (paper §2.3), so skipped work regenerates byte-identical
+/// bookkeeping: the range sets evolve exactly as in the crashed attempt and
+/// the first un-skipped append lands precisely at the durable stream end.
+pub(crate) struct ResumeState {
+    /// Stores with ordinal `< skip_stores` are durably applied: their pool
+    /// writes (and probes) are skipped on resume.
+    skip_stores: u64,
+    /// Logical clobber-log appends `< skip_appends` are already durable in
+    /// the log; resume bumps the counter without re-appending.
+    skip_appends: u64,
+    /// Ordinal of the next transactional store.
+    store_index: u64,
+    /// Logical index of the next clobber-log append.
+    append_index: u64,
+    /// Checkpointed log entries (`entries[..C]`) flattened as
+    /// `(pool offset, start, len)` into [`Self::orig_data`], in append
+    /// order. These hold pre-store values of input bytes the durable
+    /// stores clobbered; reads overlay them (oldest entry winning) so the
+    /// replay observes pre-transaction state, not clobbered state.
+    originals: Vec<(u64, usize, usize)>,
+    orig_data: Vec<u8>,
+    /// Every replayed store (skipped or real) as `(pool offset, start,
+    /// len)` into [`Self::shadow_data`], in store order. Overlaid on reads
+    /// *after* the originals so read-own-write sees the replay's latest
+    /// value even when the pool write was skipped.
+    shadow_writes: Vec<(u64, usize, usize)>,
+    shadow_data: Vec<u8>,
 }
 
 /// Reusable per-transaction state: the range sets driving clobber
@@ -142,6 +178,8 @@ pub struct Tx<'rt> {
     gc: &'rt GroupCommit,
     scratch: TxScratch,
     replay: Option<Replay>,
+    resume: Option<Box<ResumeState>>,
+    ckpt_writes: u64,
     pub(crate) ido: Option<IdoObserver>,
     wrote: bool,
     vlog_enabled: bool,
@@ -175,6 +213,8 @@ impl<'rt> Tx<'rt> {
             gc,
             scratch,
             replay: replay.map(|blobs| Replay { blobs, next: 0 }),
+            resume: None,
+            ckpt_writes: 0,
             ido,
             wrote: false,
             vlog_enabled,
@@ -229,6 +269,41 @@ impl<'rt> Tx<'rt> {
 
     pub(crate) fn set_write_probe(&mut self, probe: Option<WriteProbe>) {
         self.write_probe = probe;
+    }
+
+    /// Arms re-execution progress tracking for a recovery replay.
+    /// `skip_stores`/`skip_appends` come from the slot's persisted
+    /// [`VlogCheckpoint`] (zero for a fresh replay); `originals` are the
+    /// checkpointed clobber-log entries (`entries[..C]`), whose pre-store
+    /// values feed the resume read overlay.
+    pub(crate) fn set_resume(
+        &mut self,
+        skip_stores: u64,
+        skip_appends: u64,
+        originals: &[(PAddr, Vec<u8>)],
+    ) {
+        let mut st = ResumeState {
+            skip_stores,
+            skip_appends,
+            store_index: 0,
+            append_index: 0,
+            originals: Vec::with_capacity(originals.len()),
+            orig_data: Vec::new(),
+            shadow_writes: Vec::new(),
+            shadow_data: Vec::new(),
+        };
+        for (addr, data) in originals {
+            let ds = st.orig_data.len();
+            st.orig_data.extend_from_slice(data);
+            st.originals.push((addr.offset(), ds, data.len()));
+        }
+        self.resume = Some(Box::new(st));
+    }
+
+    /// How many re-execution progress checkpoints this transaction
+    /// persisted (recovery reads this before committing the replay).
+    pub(crate) fn checkpoints_written(&self) -> u64 {
+        self.ckpt_writes
     }
 
     /// Persists the begin record immediately (eager-begin ablation).
@@ -299,6 +374,35 @@ impl<'rt> Tx<'rt> {
                     let hi = e.min(we);
                     buf[(lo - s) as usize..(hi - s) as usize].copy_from_slice(
                         &self.scratch.redo_data[ds + (lo - ws) as usize..ds + (hi - ws) as usize],
+                    );
+                }
+            }
+        }
+        if let Some(r) = &self.resume {
+            // Resume read overlay. The pool may hold values clobbered by
+            // durably-applied (skipped) stores; the replay must observe the
+            // same bytes the crashed attempt did. First the checkpointed
+            // originals, iterated newest-first so the *oldest* logged value
+            // for a byte — its pre-transaction value — lands last; then the
+            // shadow of replayed stores in store order, so read-own-write
+            // sees the latest replayed value on top.
+            for &(ws, ds, dl) in r.originals.iter().rev() {
+                let we = ws + dl as u64;
+                if ws < e && we > s {
+                    let lo = s.max(ws);
+                    let hi = e.min(we);
+                    buf[(lo - s) as usize..(hi - s) as usize].copy_from_slice(
+                        &r.orig_data[ds + (lo - ws) as usize..ds + (hi - ws) as usize],
+                    );
+                }
+            }
+            for &(ws, ds, dl) in &r.shadow_writes {
+                let we = ws + dl as u64;
+                if ws < e && we > s {
+                    let lo = s.max(ws);
+                    let hi = e.min(we);
+                    buf[(lo - s) as usize..(hi - s) as usize].copy_from_slice(
+                        &r.shadow_data[ds + (lo - ws) as usize..ds + (hi - ws) as usize],
                     );
                 }
             }
@@ -424,26 +528,54 @@ impl<'rt> Tx<'rt> {
             }
             _ => {}
         }
+        // Resume bookkeeping: this store's ordinal, and whether its durable
+        // effects are already on media (checkpointed prefix of a recovery
+        // replay — skip the pool write, keep the range-set evolution).
+        let (ordinal, skip_store) = match &mut self.resume {
+            Some(r) => {
+                let ord = r.store_index;
+                r.store_index += 1;
+                (ord, ord < r.skip_stores)
+            }
+            None => (0, false),
+        };
         let refined = matches!(self.backend, Backend::Clobber(cfg) if cfg.refined);
         let stats = self.pool.stats();
+        let mut appended = false;
         for i in 0..self.scratch.to_log.len() {
             let (a, b) = self.scratch.to_log[i];
-            self.scratch.log_buf.resize((b - a) as usize, 0);
-            self.pool
-                .read_into(PAddr::new(a), &mut self.scratch.log_buf)?;
-            self.clog
-                .append(self.pool, PAddr::new(a), &self.scratch.log_buf)?;
-            stats
-                .log_entries
-                .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
-            stats
-                .log_bytes
-                .fetch_add(b - a, std::sync::atomic::Ordering::Relaxed);
+            // Appends already durable in the log (logical index below the
+            // resume watermark) are counted but not re-issued: determinism
+            // regenerates them byte-identically, so the first real append
+            // lands exactly at the durable stream end the writer attached
+            // to.
+            let skip_append = match &mut self.resume {
+                Some(r) => {
+                    let idx = r.append_index;
+                    r.append_index += 1;
+                    idx < r.skip_appends
+                }
+                None => false,
+            };
+            if !skip_append {
+                self.scratch.log_buf.resize((b - a) as usize, 0);
+                self.pool
+                    .read_into(PAddr::new(a), &mut self.scratch.log_buf)?;
+                self.clog
+                    .append(self.pool, PAddr::new(a), &self.scratch.log_buf)?;
+                stats
+                    .log_entries
+                    .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                stats
+                    .log_bytes
+                    .fetch_add(b - a, std::sync::atomic::Ordering::Relaxed);
+                appended = true;
+            }
             if refined {
                 self.scratch.clobber_logged.insert(a, b);
             }
         }
-        if !self.scratch.to_log.is_empty() {
+        if appended {
             // The undo invariant: the old values must be durable before the
             // clobbering store can reach media (an unflushed store can
             // still leak to media at a crash). On a v2 log this is the
@@ -452,13 +584,54 @@ impl<'rt> Tx<'rt> {
             // this is a no-op.
             let gc = self.gc;
             self.clog.sync_with(self.pool, |p| gc.fence(p))?;
+            // Recovery replays persist a progress checkpoint at each sync:
+            // the fence just made stores `0..ordinal` and every append so
+            // far durable, so a crash from here on resumes past them.
+            // Fresh allocations are excluded (the watermark must only
+            // cover stores to pre-existing data — a replayed reservation
+            // may land elsewhere), so checkpoints pause while an
+            // uncommitted allocation is live.
+            let resume_entries = self
+                .resume
+                .as_ref()
+                .filter(|_| self.scratch.allocs.is_empty())
+                .map(|r| r.append_index);
+            if let Some(entries) = resume_entries {
+                let ck = VlogCheckpoint {
+                    stores: ordinal,
+                    entries,
+                    preserves: self.replay.as_ref().map_or(0, |rp| rp.next as u64),
+                };
+                self.slot.write_checkpoint(self.pool, ck)?;
+                self.ckpt_writes += 1;
+                stats
+                    .rec_watermark_advances
+                    .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                if self.pool.tracing_enabled() {
+                    self.pool.trace_app_event(
+                        clobber_trace::EventKind::RecoveryStep,
+                        0,
+                        clobber_trace::recovery_steps::CHECKPOINT,
+                        ck.stores,
+                    );
+                }
+            }
         }
         self.scratch.written.insert(s, e);
         self.wrote = true;
-        self.pool.write_bytes(addr, data)?;
-        self.pool.flush(addr, data.len() as u64)?;
-        if let Some(probe) = &self.write_probe {
-            probe(self.pool);
+        if let Some(r) = &mut self.resume {
+            // Shadow every replayed store — skipped or real — so the
+            // resume read overlay serves read-own-write correctly.
+            let ds = r.shadow_data.len();
+            r.shadow_data.extend_from_slice(data);
+            r.shadow_writes.push((s, ds, data.len()));
+        }
+        if !skip_store {
+            self.pool.write_bytes(addr, data)?;
+            self.pool.flush(addr, data.len() as u64)?;
+            if let Some(probe) = &self.write_probe {
+                probe(self.pool);
+            }
         }
         Ok(())
     }

@@ -55,10 +55,58 @@ const ARGS_LEN: u64 = NAME + NAME_CAP;
 const ARGS: u64 = ARGS_LEN + 8;
 const PRESERVE_COUNT: u64 = ARGS + ARGS_CAP;
 const PRESERVE_TAIL: u64 = PRESERVE_COUNT + 8;
-const PRESERVE_DATA: u64 = PRESERVE_TAIL + 8;
+// Re-execution progress checkpoint (recovery forward progress). The magic
+// word sits at the end of the cache line holding PRESERVE_COUNT/TAIL so
+// begin's existing flush also invalidates it; the payload words start at
+// the next 64-byte boundary (2240) and fit one line, so a single-line
+// store persists them failure-atomically.
+const CKPT_MAGIC_OFF: u64 = PRESERVE_TAIL + 8;
+const CKPT_STORES: u64 = CKPT_MAGIC_OFF + 8;
+const CKPT_ENTRIES: u64 = CKPT_STORES + 8;
+const CKPT_PRESERVES: u64 = CKPT_ENTRIES + 8;
+const CKPT_CHECK: u64 = CKPT_PRESERVES + 8;
+const PRESERVE_DATA: u64 = CKPT_CHECK + 8;
+
+/// Versioned magic marking a valid re-execution checkpoint (v1). Zero means
+/// "no checkpoint"; an unrecognized value is treated the same, so the
+/// format can evolve alongside the v1/v2 log formats.
+const CKPT_MAGIC: u64 = 0xC10B_BC29_0000_0001;
+
+/// FNV-1a over the checkpoint payload words. A torn or corrupted payload
+/// (e.g. the magic line survived a crash but the payload line did not)
+/// fails this check and the checkpoint is ignored — restarting re-execution
+/// from zero is always sound; skipping stores that never ran is not.
+fn ckpt_checksum(stores: u64, entries: u64, preserves: u64) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for w in [stores, entries, preserves] {
+        for b in w.to_le_bytes() {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+    }
+    h
+}
 
 /// Total persistent size of one slot.
 pub const SLOT_SIZE: u64 = PRESERVE_DATA + PRESERVE_CAP;
+
+/// A persisted re-execution progress checkpoint: recovery re-running an
+/// interrupted txfunc records how far the replay's durable effects reach,
+/// so a crash *during* recovery resumes past this watermark instead of
+/// restarting from zero (see `DESIGN.md` item 12).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct VlogCheckpoint {
+    /// Number of leading transactional stores whose pool writes are durable
+    /// (the store watermark): replay skips re-issuing these.
+    pub stores: u64,
+    /// Number of leading clobber-log entries whose *original* values were
+    /// captured before the checkpointed stores clobbered them. Resume must
+    /// only roll back entries past this count and must source pre-store
+    /// values for reads from these entries, not the pool.
+    pub entries: u64,
+    /// Number of preserve blobs consumed by the checkpointed prefix.
+    pub preserves: u64,
+}
 
 /// Handle to one thread's persistent v_log slot.
 ///
@@ -127,6 +175,7 @@ impl VlogSlot {
         pool.write_u64(base.add(CLOBBER_CAP), clobber_cap)?;
         pool.write_u64(base.add(REDO_BASE), redo.offset())?;
         pool.write_u64(base.add(REDO_CAP), redo_cap)?;
+        pool.write_u64(base.add(CKPT_MAGIC_OFF), 0)?;
         pool.persist(base, PRESERVE_DATA)?;
         Ok(s)
     }
@@ -258,12 +307,16 @@ impl VlogSlot {
         pool.write_bytes(self.base.add(ARGS), &arg_bytes)?;
         pool.write_u64(self.base.add(PRESERVE_COUNT), 0)?;
         pool.write_u64(self.base.add(PRESERVE_TAIL), 0)?;
+        // A stale re-execution checkpoint from a previous recovery must not
+        // survive into this transaction: invalidate it under fence 1, so
+        // whenever the status bit is durable the invalidation is too.
+        pool.write_u64(self.base.add(CKPT_MAGIC_OFF), 0)?;
         // Fence 1: the record must be durable before the status bit.
         pool.flush(
             self.base.add(NAME_LEN),
             ARGS - NAME_LEN + arg_bytes.len() as u64,
         )?;
-        pool.flush(self.base.add(PRESERVE_COUNT), 16)?;
+        pool.flush(self.base.add(PRESERVE_COUNT), 24)?;
         fence(pool);
         // Fence 2: the status bit marks the transaction ongoing.
         pool.write_u64(self.base.add(STATUS), 1)?;
@@ -401,6 +454,48 @@ impl VlogSlot {
             preserves,
         })
     }
+
+    /// Reads back the slot's re-execution progress checkpoint, if a valid
+    /// one is present. Returns `None` for a slot that never checkpointed,
+    /// whose checkpoint was invalidated at the last `begin`, or whose
+    /// payload fails its checksum (torn or corrupted — ignored, because
+    /// restarting re-execution from zero is always sound).
+    pub fn checkpoint(&self, pool: &PmemPool) -> Result<Option<VlogCheckpoint>, PmemError> {
+        if pool.read_u64(self.base.add(CKPT_MAGIC_OFF))? != CKPT_MAGIC {
+            return Ok(None);
+        }
+        let stores = pool.read_u64(self.base.add(CKPT_STORES))?;
+        let entries = pool.read_u64(self.base.add(CKPT_ENTRIES))?;
+        let preserves = pool.read_u64(self.base.add(CKPT_PRESERVES))?;
+        if pool.read_u64(self.base.add(CKPT_CHECK))? != ckpt_checksum(stores, entries, preserves) {
+            return Ok(None);
+        }
+        Ok(Some(VlogCheckpoint {
+            stores,
+            entries,
+            preserves,
+        }))
+    }
+
+    /// Durably persists a re-execution progress checkpoint (one fence —
+    /// a real pool fence, not a group-commit epoch: the whole point is that
+    /// the watermark survives an immediately following crash). Only the
+    /// recovery re-execution path writes these; forward-path transactions
+    /// never pay this cost.
+    pub fn write_checkpoint(&self, pool: &PmemPool, ck: VlogCheckpoint) -> Result<(), PmemError> {
+        pool.write_u64(self.base.add(CKPT_STORES), ck.stores)?;
+        pool.write_u64(self.base.add(CKPT_ENTRIES), ck.entries)?;
+        pool.write_u64(self.base.add(CKPT_PRESERVES), ck.preserves)?;
+        pool.write_u64(
+            self.base.add(CKPT_CHECK),
+            ckpt_checksum(ck.stores, ck.entries, ck.preserves),
+        )?;
+        pool.write_u64(self.base.add(CKPT_MAGIC_OFF), CKPT_MAGIC)?;
+        pool.flush(self.base.add(CKPT_MAGIC_OFF), 40)?;
+        pool.fence();
+        bump_vlog(pool, 1, 1);
+        Ok(())
+    }
 }
 
 #[cfg(test)]
@@ -530,6 +625,66 @@ mod tests {
         assert_eq!(clog.len(&pool).unwrap(), 1);
         let rlog = slot.redo_log(&pool).unwrap();
         assert!(rlog.is_empty(&pool).unwrap());
+    }
+
+    #[test]
+    fn checkpoint_roundtrips_and_survives_crash() {
+        let (pool, slot) = setup();
+        slot.begin(&pool, "f", &ArgList::new()).unwrap();
+        assert_eq!(slot.checkpoint(&pool).unwrap(), None);
+        let ck = VlogCheckpoint {
+            stores: 3,
+            entries: 7,
+            preserves: 1,
+        };
+        slot.write_checkpoint(&pool, ck).unwrap();
+        assert_eq!(slot.checkpoint(&pool).unwrap(), Some(ck));
+        // write_checkpoint fences, so an immediate crash keeps it.
+        let p2 = pool.crash(&CrashConfig::drop_all(9)).unwrap();
+        assert_eq!(slot.checkpoint(&p2).unwrap(), Some(ck));
+    }
+
+    #[test]
+    fn begin_invalidates_a_stale_checkpoint() {
+        let (pool, slot) = setup();
+        slot.begin(&pool, "f", &ArgList::new()).unwrap();
+        slot.write_checkpoint(
+            &pool,
+            VlogCheckpoint {
+                stores: 2,
+                entries: 2,
+                preserves: 0,
+            },
+        )
+        .unwrap();
+        slot.clear_ongoing(&pool).unwrap();
+        pool.fence();
+        slot.begin(&pool, "g", &ArgList::new()).unwrap();
+        let p2 = pool.crash(&CrashConfig::drop_all(10)).unwrap();
+        assert_eq!(
+            slot.checkpoint(&p2).unwrap(),
+            None,
+            "a durable status bit implies a durable invalidation"
+        );
+    }
+
+    #[test]
+    fn corrupted_checkpoint_payload_reads_as_absent() {
+        let (pool, slot) = setup();
+        slot.begin(&pool, "f", &ArgList::new()).unwrap();
+        slot.write_checkpoint(
+            &pool,
+            VlogCheckpoint {
+                stores: 5,
+                entries: 9,
+                preserves: 2,
+            },
+        )
+        .unwrap();
+        // Flip bits in the payload words; the checksum must reject them.
+        pool.inject_bit_corruption(slot.base().add(CKPT_STORES), 24, 0xBEEF, 4)
+            .unwrap();
+        assert_eq!(slot.checkpoint(&pool).unwrap(), None);
     }
 
     #[test]

@@ -208,6 +208,18 @@ pub struct SweepSummary {
     pub redo_applied: u64,
     /// Transactions abandoned before any persistent write.
     pub abandoned: u64,
+    /// Re-executions resumed from a persisted checkpoint (clobber nested
+    /// sweeps; zero elsewhere).
+    pub resumed: u64,
+    /// Checkpoint watermark advances persisted during recovery.
+    pub watermark_advances: u64,
+}
+
+/// Recovery options for sweep pools: deterministic no-op clock (backoff
+/// and time limits never sleep or trip) so exhaustive sweeps stay fast
+/// and schedule-free.
+pub fn sweep_recover_opts() -> clobber_nvm::RecoveryOptions {
+    clobber_nvm::RecoveryOptions::default().no_wait()
 }
 
 /// Recovers `media`, asserts the invariant and recovery idempotence, and
@@ -222,12 +234,14 @@ fn recover_and_check(
 ) {
     let (pool, rt) = reopen_fmt(media, backend, concurrency, format);
     let report = rt
-        .recover()
+        .recover_with(&sweep_recover_opts())
         .unwrap_or_else(|e| panic!("{ctx}: recovery failed: {e}"));
     summary.reexecuted += report.reexecuted.len() as u64;
     summary.rolled_back += report.rolled_back as u64;
     summary.redo_applied += report.redo_applied as u64;
     summary.abandoned += report.abandoned as u64;
+    summary.resumed += report.resumed as u64;
+    summary.watermark_advances += report.watermark_advances;
     let base = rt.app_root().unwrap();
     assert_eq!(
         total(&pool, base),
@@ -235,7 +249,7 @@ fn recover_and_check(
         "{ctx}: conservation violated after recovery"
     );
     // Idempotence: recovery left nothing ongoing behind.
-    let again = rt.recover().unwrap();
+    let again = rt.recover_with(&sweep_recover_opts()).unwrap();
     assert!(
         again.is_clean(),
         "{ctx}: second recover found leftover work: {again:?}"
@@ -322,7 +336,7 @@ pub fn sweep_fmt(
             // Count recovery's own persist events from identical media.
             let (pool_m, rt_m) = reopen_fmt(media.clone(), backend, concurrency, format);
             pool_m.arm_faults(FaultPlan::count_only());
-            rt_m.recover().unwrap();
+            rt_m.recover_with(&sweep_recover_opts()).unwrap();
             let m = pool_m.disarm_faults();
 
             let js: Vec<u64> = match nested {
@@ -336,7 +350,7 @@ pub fn sweep_fmt(
                 pool_n.arm_faults(FaultPlan::crash_at(j));
                 // Recovery dies at event j (a trip on recovery's final
                 // fence may still let it return Ok — also a valid point).
-                let _ = rt_n.recover();
+                let _ = rt_n.recover_with(&sweep_recover_opts());
                 assert_eq!(pool_n.fault_tripped(), Some(j));
                 let media2 = pool_n
                     .crash(&CrashConfig::drop_all(0xBAD ^ (k << 16) ^ j))
@@ -483,12 +497,14 @@ pub fn sweep_regrow(backend: Backend, stride: u64, concurrency: PoolConcurrency)
         let rt = Runtime::open(pool.clone(), sweep_options(backend)).unwrap();
         register_regrow(&rt);
         let report = rt
-            .recover()
+            .recover_with(&sweep_recover_opts())
             .unwrap_or_else(|e| panic!("k={k}: recovery failed: {e}"));
         summary.reexecuted += report.reexecuted.len() as u64;
         summary.rolled_back += report.rolled_back as u64;
         summary.redo_applied += report.redo_applied as u64;
         summary.abandoned += report.abandoned as u64;
+        summary.resumed += report.resumed as u64;
+        summary.watermark_advances += report.watermark_advances;
         let base = rt.app_root().unwrap();
         check_regrow_list(&pool, base, &format!("k={k}"));
         // The allocator's durable structures must be sound at every point.
@@ -526,9 +542,15 @@ pub fn register_parked_plain(rt: &Runtime) {
 /// on slot `i`. Each worker parks inside its txfunc after both writes; the
 /// main thread then takes an adversarial crash snapshot and releases them.
 pub fn two_parked_transfers(backend: Backend, assignments: [(u64, u64, u64); 2]) -> Vec<u8> {
+    parked_transfers(backend, &assignments)
+}
+
+/// Generalization of [`two_parked_transfers`] to any number of slots: one
+/// parked transfer per assignment, crashed while all of them are mid-flight.
+pub fn parked_transfers(backend: Backend, assignments: &[(u64, u64, u64)]) -> Vec<u8> {
     let (pool, rt, base) = setup(backend);
-    let rendezvous = Arc::new(Barrier::new(3));
-    let release = Arc::new(Barrier::new(3));
+    let rendezvous = Arc::new(Barrier::new(assignments.len() + 1));
+    let release = Arc::new(Barrier::new(assignments.len() + 1));
     {
         let (rendezvous, release) = (rendezvous.clone(), release.clone());
         rt.register("parked_transfer", move |tx, args| {

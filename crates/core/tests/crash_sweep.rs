@@ -15,7 +15,7 @@ use common::{
     total, two_parked_transfers, Nested, SweepSummary, ACCOUNTS, INITIAL,
 };
 
-use clobber_nvm::{Backend, RecoveryOptions, TxError};
+use clobber_nvm::{Backend, RecoveryOptions, SlotQuarantineKind, TxError};
 use clobber_pmem::{FaultPlan, LogFormat, PmemError, PoolConcurrency};
 
 /// Stride between swept crash points. Release builds (and
@@ -214,6 +214,17 @@ fn full_sweep_exhaustive_nested() {
         Backend::Atlas,
     ] {
         let s = sweep(backend, 1, Nested::Exhaustive);
+        println!(
+            "{}: {} outer, {} nested, {} reexec, {} rolled back, {} redo, {} resumed, {} advances",
+            backend.label(),
+            s.crash_points,
+            s.nested_points,
+            s.reexecuted,
+            s.rolled_back,
+            s.redo_applied,
+            s.resumed,
+            s.watermark_advances
+        );
         assert_covered(&s, backend.label());
         assert_eq!(
             s.crash_points,
@@ -262,10 +273,13 @@ fn best_effort_quarantines_corrupted_slot() {
     }
 
     // BestEffort: slot 0 is quarantined with a reason, slot 1 recovers.
-    let report = rt.recover_with(&RecoveryOptions::best_effort()).unwrap();
+    let report = rt
+        .recover_with(&RecoveryOptions::best_effort().no_wait())
+        .unwrap();
     assert_eq!(report.slots_scanned, 2);
     assert_eq!(report.quarantined.len(), 1, "{report:?}");
     assert_eq!(report.quarantined[0].slot, 0);
+    assert_eq!(report.quarantined[0].kind, SlotQuarantineKind::CorruptVlog);
     assert!(
         report.quarantined[0].reason.contains("name length"),
         "reason should name the validation failure: {:?}",
@@ -325,10 +339,19 @@ fn exhausted_transient_retries_follow_the_policy() {
     let (pool, rt) = reopen(media, backend);
     register_parked_plain(&rt);
     pool.arm_faults(FaultPlan::transient_reads(1_000));
-    let report = rt.recover_with(&RecoveryOptions::best_effort()).unwrap();
+    let opts = RecoveryOptions::best_effort().no_wait();
+    let report = rt.recover_with(&opts).unwrap();
     pool.disarm_faults();
     assert_eq!(report.quarantined.len(), 2, "{report:?}");
-    assert!(report.transient_retries > 0);
+    for q in &report.quarantined {
+        assert_eq!(q.kind, SlotQuarantineKind::RetriesExhausted, "{q:?}");
+    }
+    // Every slot burns its full retry budget before giving up.
+    assert_eq!(
+        report.transient_retries,
+        2 * opts.max_retries as u64,
+        "{report:?}"
+    );
 }
 
 /// A crash *between* the two recovery attempts of the sweep is covered by

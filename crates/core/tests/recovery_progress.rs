@@ -1,0 +1,324 @@
+//! Persistent re-execution progress: a txfunc interrupted repeatedly —
+//! including crashes *during recovery itself* — resumes past its last
+//! persisted watermark instead of restarting from scratch, so an
+//! adversary that keeps crashing recovery cannot starve it forever.
+//!
+//! The workload is a `chain` txfunc issuing `CELLS` read-modify-writes
+//! (each one a clobber-logged store, i.e. one persisted watermark
+//! opportunity at its log sync). The initial crash interrupts the chain
+//! mid-flight; each recovery cycle is then crashed at a chosen persist
+//! event with the adversarial `drop_all` policy, and the checkpoint
+//! watermark in the v_log slot is read back between cycles.
+
+use std::sync::{Arc, Mutex};
+
+use clobber_nvm::{ArgList, Backend, RecoveryOptions, Runtime, RuntimeOptions};
+use clobber_pmem::{
+    CrashConfig, EventKind, FaultPlan, PAddr, PmemPool, PoolMode, PoolOptions, Tracer,
+};
+
+/// Read-modify-write cells in the chain (== max watermark value).
+const CELLS: u64 = 10;
+/// Initial value seeded into cell `i`.
+fn seed_value(i: u64) -> u64 {
+    1_000 + 7 * i
+}
+/// Expected value of cell `i` after one committed `chain` run.
+fn final_value(i: u64) -> u64 {
+    seed_value(i) + i + 1
+}
+
+/// Captures a crash image after a configured number of tx writes.
+#[derive(Clone)]
+struct CrashTrap {
+    inner: Arc<Mutex<(Option<u32>, Option<Vec<u8>>)>>,
+}
+
+impl CrashTrap {
+    fn armed(after_writes: u32) -> CrashTrap {
+        CrashTrap {
+            inner: Arc::new(Mutex::new((Some(after_writes), None))),
+        }
+    }
+
+    fn tick(&self, pool: &PmemPool) {
+        let mut st = self.inner.lock().unwrap();
+        match st.0 {
+            Some(0) => {
+                let crashed = pool.crash(&CrashConfig::drop_all(0xCAFE)).unwrap();
+                st.1 = Some(crashed.media_snapshot());
+                st.0 = None;
+            }
+            Some(n) => st.0 = Some(n - 1),
+            None => {}
+        }
+    }
+
+    fn take_image(&self) -> Vec<u8> {
+        self.inner.lock().unwrap().1.take().expect("trap fired")
+    }
+}
+
+fn register_chain(rt: &Runtime, trap: Option<CrashTrap>) {
+    let pool = rt.pool().clone();
+    rt.register("chain", move |tx, args| {
+        let base = PAddr::new(args.u64(0)?);
+        for i in 0..CELLS {
+            let cell = base.add(8 * i);
+            let v = tx.read_u64(cell)?;
+            tx.write_u64(cell, v + i + 1)?;
+            if let Some(t) = &trap {
+                t.tick(&pool);
+            }
+        }
+        Ok(None)
+    });
+}
+
+/// Crashes a `chain` run after `crash_after` of its `CELLS` writes and
+/// returns the adversarial media image.
+fn interrupted_chain_media(crash_after: u32) -> Vec<u8> {
+    let pool = Arc::new(PmemPool::create(PoolOptions::crash_sim(1 << 20)).unwrap());
+    let rt = Runtime::create(pool.clone(), RuntimeOptions::new(Backend::clobber())).unwrap();
+    let base = pool.alloc(8 * CELLS).unwrap();
+    for i in 0..CELLS {
+        pool.write_u64(base.add(8 * i), seed_value(i)).unwrap();
+    }
+    pool.persist(base, 8 * CELLS).unwrap();
+    rt.set_app_root(base).unwrap();
+    let trap = CrashTrap::armed(crash_after);
+    register_chain(&rt, Some(trap.clone()));
+    rt.run("chain", &ArgList::new().with_u64(base.offset()))
+        .unwrap();
+    trap.take_image()
+}
+
+fn reopen(image: Vec<u8>) -> (Arc<PmemPool>, Runtime) {
+    let pool = Arc::new(PmemPool::open_from_media(image, PoolMode::CrashSim).unwrap());
+    let rt = Runtime::open(pool.clone(), RuntimeOptions::new(Backend::clobber())).unwrap();
+    register_chain(&rt, None);
+    (pool, rt)
+}
+
+fn opts() -> RecoveryOptions {
+    RecoveryOptions::default().no_wait()
+}
+
+/// Reads the persisted watermark (checkpointed store count) of slot 0.
+fn watermark(image: &[u8]) -> Option<u64> {
+    let (pool, rt) = reopen(image.to_vec());
+    let slot = rt.slot_handle(0).unwrap();
+    slot.checkpoint(&pool).unwrap().map(|c| c.stores)
+}
+
+fn check_final_state(pool: &PmemPool, rt: &Runtime) {
+    let base = rt.app_root().unwrap();
+    for i in 0..CELLS {
+        assert_eq!(
+            pool.read_u64(base.add(8 * i)).unwrap(),
+            final_value(i),
+            "cell {i} after recovery"
+        );
+    }
+}
+
+/// Counts the persist events of a full (uncrashed) recovery from `image`.
+fn recovery_event_count(image: Vec<u8>) -> u64 {
+    let (pool, rt) = reopen(image);
+    pool.arm_faults(FaultPlan::count_only());
+    rt.recover_with(&opts()).unwrap();
+    pool.disarm_faults()
+}
+
+/// A single crash inside recovery leaves a valid checkpoint behind, and
+/// the next recovery resumes from it rather than restarting: the report
+/// says so, and the re-executed chain commits the right values.
+#[test]
+fn crashed_recovery_leaves_a_resumable_watermark() {
+    let image = interrupted_chain_media(5);
+    let m0 = recovery_event_count(image.clone());
+    assert!(
+        m0 > 10,
+        "recovery should have a rich event stream, got {m0}"
+    );
+
+    // Crash recovery mid-re-execution.
+    let (pool, rt) = reopen(image);
+    pool.arm_faults(FaultPlan::crash_at(m0 / 2));
+    let _ = rt.recover_with(&opts());
+    assert_eq!(pool.fault_tripped(), Some(m0 / 2));
+    let media = pool
+        .crash(&CrashConfig::drop_all(0x5EED))
+        .unwrap()
+        .media_snapshot();
+
+    let w = watermark(&media).expect("mid-re-execution crash persisted a checkpoint");
+    assert!(w > 0 && w <= CELLS, "watermark in range: {w}");
+
+    // The next recovery resumes past the watermark and completes.
+    let (pool2, rt2) = reopen(media);
+    let report = rt2.recover_with(&opts()).unwrap();
+    assert_eq!(report.reexecuted, vec!["chain".to_string()]);
+    assert_eq!(report.resumed, 1, "{report:?}");
+    assert!(report.watermark_advances >= 1, "{report:?}");
+    check_final_state(&pool2, &rt2);
+
+    // Idempotence, and the next transaction's begin retires the checkpoint.
+    assert!(rt2.recover_with(&opts()).unwrap().is_clean());
+    let base = rt2.app_root().unwrap();
+    rt2.run("chain", &ArgList::new().with_u64(base.offset()))
+        .unwrap();
+    let slot = rt2.slot_handle(0).unwrap();
+    assert_eq!(
+        slot.checkpoint(&pool2).unwrap(),
+        None,
+        "a fresh begin must invalidate the stale checkpoint"
+    );
+}
+
+/// The acceptance sweep: recovery cycle `c` is crashed at persist event
+/// `c` (covering every event index as cycles accumulate). The persisted
+/// watermark never regresses, advances strictly across the sweep, and the
+/// chain completes within a bounded number of cycles.
+#[test]
+fn every_event_crash_schedule_makes_bounded_progress() {
+    let image = interrupted_chain_media(2);
+    let m0 = recovery_event_count(image.clone());
+
+    let mut media = image;
+    let mut last_w: Option<u64> = None;
+    let mut advances = 0u64;
+    let mut cycles = 0u64;
+    let (pool, rt) = loop {
+        assert!(
+            cycles <= m0 + 2,
+            "no forward progress after {cycles} cycles (initial event count {m0})"
+        );
+        let (pool, rt) = reopen(media.clone());
+        pool.arm_faults(FaultPlan::crash_at(cycles));
+        let res = rt.recover_with(&opts());
+        match pool.fault_tripped() {
+            Some(j) => {
+                assert_eq!(j, cycles);
+                media = pool
+                    .crash(&CrashConfig::drop_all(0xBAD5EED ^ (cycles << 8)))
+                    .unwrap()
+                    .media_snapshot();
+                let w = watermark(&media);
+                match (last_w, w) {
+                    (Some(old), Some(new)) => {
+                        assert!(new >= old, "watermark regressed: {old} -> {new}");
+                        if new > old {
+                            advances += 1;
+                        }
+                    }
+                    (Some(old), None) => panic!("persisted watermark {old} vanished"),
+                    (None, Some(_)) => advances += 1,
+                    (None, None) => {}
+                }
+                last_w = w;
+                cycles += 1;
+            }
+            None => {
+                res.unwrap();
+                break (pool, rt);
+            }
+        }
+    };
+    assert!(
+        advances >= 2,
+        "the watermark should advance across the sweep (advances={advances}, cycles={cycles})"
+    );
+    check_final_state(&pool, &rt);
+    assert!(rt.recover_with(&opts()).unwrap().is_clean());
+}
+
+/// An adversary pinned to one early event index cannot make recovery
+/// regress: the watermark stays monotone across stalled cycles and a
+/// clean recovery still completes the chain afterwards.
+#[test]
+fn fixed_event_adversary_never_regresses_the_watermark() {
+    let image = interrupted_chain_media(4);
+    let mut media = image;
+    let mut last_w: Option<u64> = None;
+    for cycle in 0..5u64 {
+        let (pool, rt) = reopen(media.clone());
+        pool.arm_faults(FaultPlan::crash_at(10));
+        let _ = rt.recover_with(&opts());
+        assert_eq!(pool.fault_tripped(), Some(10), "cycle {cycle}");
+        media = pool
+            .crash(&CrashConfig::drop_all(0xF1D0 ^ cycle))
+            .unwrap()
+            .media_snapshot();
+        let w = watermark(&media);
+        if let (Some(old), Some(new)) = (last_w, w) {
+            assert!(
+                new >= old,
+                "cycle {cycle}: watermark regressed {old} -> {new}"
+            );
+        }
+        assert!(
+            !(last_w.is_some() && w.is_none()),
+            "cycle {cycle}: watermark vanished"
+        );
+        last_w = w;
+    }
+    let (pool, rt) = reopen(media);
+    let report = rt.recover_with(&opts()).unwrap();
+    assert_eq!(report.reexecuted, vec!["chain".to_string()]);
+    check_final_state(&pool, &rt);
+}
+
+/// A traced resumed recovery narrates its progress: a `resume` step
+/// carrying the watermark it starts from, and `checkpoint` steps with
+/// strictly increasing watermarks.
+#[test]
+fn resumed_recovery_trace_carries_watermark_steps() {
+    let image = interrupted_chain_media(5);
+    let m0 = recovery_event_count(image.clone());
+    let (pool, rt) = reopen(image);
+    pool.arm_faults(FaultPlan::crash_at(m0 / 2));
+    let _ = rt.recover_with(&opts());
+    let media = pool
+        .crash(&CrashConfig::drop_all(0x7ACE))
+        .unwrap()
+        .media_snapshot();
+    let w = watermark(&media).expect("checkpoint persisted");
+
+    let (pool2, rt2) = reopen(media);
+    let tracer = Arc::new(Tracer::new());
+    pool2.set_tracer(Some(tracer.clone()));
+    rt2.recover_with(&opts()).unwrap();
+    pool2.set_tracer(None);
+    let trace = tracer.take();
+
+    let steps: Vec<(u64, u64)> = trace
+        .events
+        .iter()
+        .filter(|e| e.kind == EventKind::RecoveryStep)
+        .map(|e| (e.a, e.b))
+        .collect();
+    let resumes: Vec<u64> = steps
+        .iter()
+        .filter(|(a, _)| *a == clobber_trace::recovery_steps::RESUME)
+        .map(|(_, b)| *b)
+        .collect();
+    assert_eq!(resumes, vec![w], "one resume step at the watermark");
+    let checkpoints: Vec<u64> = steps
+        .iter()
+        .filter(|(a, _)| *a == clobber_trace::recovery_steps::CHECKPOINT)
+        .map(|(_, b)| *b)
+        .collect();
+    assert!(
+        !checkpoints.is_empty(),
+        "resumed re-execution persists further checkpoints"
+    );
+    assert!(
+        checkpoints.windows(2).all(|p| p[0] < p[1]),
+        "checkpoint watermarks strictly increase: {checkpoints:?}"
+    );
+    assert!(
+        checkpoints.iter().all(|c| *c >= w),
+        "checkpoints never fall behind the resume watermark {w}: {checkpoints:?}"
+    );
+}

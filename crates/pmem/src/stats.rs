@@ -150,6 +150,23 @@ pub struct PmemStats {
     /// `n` coalesced committers this grows by `n - 1`), bumped by the
     /// runtime.
     pub gc_fences_saved: AtomicU64,
+    /// v_log slots examined by recovery scans, bumped by the runtime.
+    pub rec_slots_scanned: AtomicU64,
+    /// Interrupted transactions completed by recovery re-execution, bumped
+    /// by the runtime.
+    pub rec_reexecuted: AtomicU64,
+    /// Re-executions that resumed from a persisted progress checkpoint
+    /// instead of restarting, bumped by the runtime.
+    pub rec_resumed: AtomicU64,
+    /// Re-execution progress checkpoints persisted (watermark advances),
+    /// bumped by the runtime.
+    pub rec_watermark_advances: AtomicU64,
+    /// High-water mark of worker threads a recovery scan used (set with
+    /// `fetch_max`, so it stays monotone like every other counter).
+    pub rec_workers: AtomicU64,
+    /// Slots whose recovery budget (per-slot deadline or global budget)
+    /// expired, bumped by the runtime.
+    pub rec_budget_expired: AtomicU64,
     /// Per-shard hot-counter banks. Empty for single-lock pools; sharded
     /// pools route all hot-path counts here and leave the shared hot
     /// atomics above at zero, so [`snapshot`](Self::snapshot) can always
@@ -234,6 +251,12 @@ impl PmemStats {
             vlog_fences: self.vlog_fences.load(Ordering::Relaxed),
             gc_epochs: self.gc_epochs.load(Ordering::Relaxed),
             gc_fences_saved: self.gc_fences_saved.load(Ordering::Relaxed),
+            rec_slots_scanned: self.rec_slots_scanned.load(Ordering::Relaxed),
+            rec_reexecuted: self.rec_reexecuted.load(Ordering::Relaxed),
+            rec_resumed: self.rec_resumed.load(Ordering::Relaxed),
+            rec_watermark_advances: self.rec_watermark_advances.load(Ordering::Relaxed),
+            rec_workers: self.rec_workers.load(Ordering::Relaxed),
+            rec_budget_expired: self.rec_budget_expired.load(Ordering::Relaxed),
         }
     }
 
@@ -329,6 +352,18 @@ pub struct StatsSnapshot {
     pub gc_epochs: u64,
     /// Fence requests absorbed by epoch sharing.
     pub gc_fences_saved: u64,
+    /// v_log slots examined by recovery scans.
+    pub rec_slots_scanned: u64,
+    /// Interrupted transactions completed by recovery re-execution.
+    pub rec_reexecuted: u64,
+    /// Re-executions resumed from a persisted progress checkpoint.
+    pub rec_resumed: u64,
+    /// Re-execution progress checkpoints persisted (watermark advances).
+    pub rec_watermark_advances: u64,
+    /// High-water mark of recovery worker threads used.
+    pub rec_workers: u64,
+    /// Slots whose recovery budget expired.
+    pub rec_budget_expired: u64,
 }
 
 impl StatsSnapshot {
@@ -372,6 +407,12 @@ impl StatsSnapshot {
             vlog_fences: self.vlog_fences - earlier.vlog_fences,
             gc_epochs: self.gc_epochs - earlier.gc_epochs,
             gc_fences_saved: self.gc_fences_saved - earlier.gc_fences_saved,
+            rec_slots_scanned: self.rec_slots_scanned - earlier.rec_slots_scanned,
+            rec_reexecuted: self.rec_reexecuted - earlier.rec_reexecuted,
+            rec_resumed: self.rec_resumed - earlier.rec_resumed,
+            rec_watermark_advances: self.rec_watermark_advances - earlier.rec_watermark_advances,
+            rec_workers: self.rec_workers - earlier.rec_workers,
+            rec_budget_expired: self.rec_budget_expired - earlier.rec_budget_expired,
         }
     }
 

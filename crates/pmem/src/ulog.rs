@@ -462,8 +462,21 @@ impl Ulog {
     ///
     /// Returns [`PmemError::OutOfBounds`] if the log descriptor is corrupt.
     pub fn apply_backwards(&self, pool: &PmemPool) -> Result<(), PmemError> {
+        self.apply_backwards_from(pool, 0)
+    }
+
+    /// [`apply_backwards`](Self::apply_backwards) restricted to the entries
+    /// at index `skip` and beyond: the first `skip` entries are left
+    /// unapplied. Recovery's checkpointed resume path uses this to undo only
+    /// the stores *past* the persisted watermark — entries below it belong
+    /// to stores whose effects are already durably applied and must stand.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PmemError::OutOfBounds`] if the log descriptor is corrupt.
+    pub fn apply_backwards_from(&self, pool: &PmemPool, skip: usize) -> Result<(), PmemError> {
         let entries = self.entries(pool)?;
-        for (addr, data) in entries.iter().rev() {
+        for (addr, data) in entries.iter().skip(skip).rev() {
             pool.write_bytes(*addr, data)?;
             pool.flush(*addr, data.len() as u64)?;
         }

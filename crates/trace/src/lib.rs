@@ -52,6 +52,14 @@ pub mod recovery_steps {
     pub const REDO_APPLY: u64 = 4;
     /// An interrupted transaction was abandoned (missing preserve).
     pub const ABANDON: u64 = 5;
+    /// Re-execution resumed from a persisted checkpoint instead of
+    /// restarting (`b` = the checkpoint's store watermark).
+    pub const RESUME: u64 = 6;
+    /// A re-execution progress checkpoint was persisted (`b` = the new
+    /// store watermark).
+    pub const CHECKPOINT: u64 = 7;
+    /// Best-effort recovery quarantined a slot (`b` = slot index).
+    pub const QUARANTINE: u64 = 8;
 
     /// Human-readable label for a step code.
     pub fn label(code: u64) -> &'static str {
@@ -62,6 +70,9 @@ pub mod recovery_steps {
             ROLLBACK => "rollback",
             REDO_APPLY => "redo_apply",
             ABANDON => "abandon",
+            RESUME => "resume",
+            CHECKPOINT => "checkpoint",
+            QUARANTINE => "quarantine",
             _ => "unknown",
         }
     }
