@@ -22,7 +22,10 @@
 //! * [`Backend`] — the clobber strategy plus faithful re-implementations of
 //!   the paper's comparison systems (PMDK-style undo, Mnemosyne-style redo,
 //!   Atlas-style undo + dependency tracking, and a no-log baseline);
-//! * [`ido`] — a shadow observer modeling iDO logging's traffic (Fig. 8).
+//! * [`ido`] — a shadow observer modeling iDO logging's traffic (Fig. 8);
+//! * [`Explorer`] — a bounded model checker that enumerates mutated
+//!   interleavings of a recorded [`Schedule`] with DPOR-style pruning and
+//!   plants crash trips at every explored persist prefix.
 //!
 //! # Quickstart
 //!
@@ -58,6 +61,7 @@
 pub mod args;
 pub mod backend;
 pub mod error;
+pub mod explore;
 pub mod group_commit;
 pub mod ido;
 pub mod rangeset;
@@ -70,12 +74,18 @@ pub mod vlog;
 pub use args::{ArgList, ArgValue};
 pub use backend::{Backend, ClobberCfg};
 pub use error::TxError;
+pub use explore::{
+    BuildFn, CheckFn, ExploreError, ExploreFailure, ExploreOptions, ExploreReport, ExploreSession,
+    Explorer, ReopenFn,
+};
 pub use group_commit::GroupCommit;
 pub use recovery::{
     NoopClock, RecoveryClock, RecoveryOptions, RecoveryPolicy, RecoveryReport, SlotQuarantine,
     SlotQuarantineKind, SystemClock,
 };
-pub use replay::{minimize_schedule, ReplayReport, Schedule, ScheduleError, ScheduleOp};
+pub use replay::{
+    minimize_schedule, ReplayReport, Schedule, ScheduleError, ScheduleOp, ScheduleParseError,
+};
 pub use runtime::{IdoAggregate, Runtime, RuntimeOptions};
 pub use tx::{Tx, TxResult, WritePolicy, WriteProbe};
 pub use vlog::{VlogCheckpoint, VlogSlot};

@@ -64,6 +64,23 @@ impl std::fmt::Display for ScheduleError {
 
 impl std::error::Error for ScheduleError {}
 
+/// Why a textual schedule (corpus `.sched` file) failed to parse.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ScheduleParseError {
+    /// 1-based line number of the offending line.
+    pub line: usize,
+    /// What was wrong with it.
+    pub reason: String,
+}
+
+impl std::fmt::Display for ScheduleParseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "schedule text line {}: {}", self.line, self.reason)
+    }
+}
+
+impl std::error::Error for ScheduleParseError {}
+
 /// What [`Schedule::replay`] did.
 #[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct ReplayReport {
@@ -113,6 +130,82 @@ impl Schedule {
     /// `true` if the schedule holds no ops.
     pub fn is_empty(&self) -> bool {
         self.ops.is_empty()
+    }
+
+    /// Renders the schedule in the portable corpus text format: one
+    /// `op <slot> <name> <hex-args>` line per op (`-` for empty args),
+    /// `#`-prefixed lines and blank lines are comments.
+    pub fn to_text(&self) -> String {
+        let mut out = String::new();
+        for op in &self.ops {
+            let bytes = op.args.to_bytes();
+            let args = if bytes.is_empty() {
+                "-".to_string()
+            } else {
+                let mut s = String::with_capacity(bytes.len() * 2);
+                for b in bytes {
+                    s.push_str(&format!("{b:02x}"));
+                }
+                s
+            };
+            out.push_str(&format!("op {} {} {}\n", op.slot, op.name, args));
+        }
+        out
+    }
+
+    /// Parses the corpus text format produced by [`to_text`](Self::to_text).
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`ScheduleParseError`] naming the first malformed line.
+    pub fn from_text(text: &str) -> Result<Schedule, ScheduleParseError> {
+        let mut ops = Vec::new();
+        for (i, raw) in text.lines().enumerate() {
+            let line = raw.trim();
+            if line.is_empty() || line.starts_with('#') {
+                continue;
+            }
+            let err = |reason: String| ScheduleParseError {
+                line: i + 1,
+                reason,
+            };
+            let mut fields = line.split_whitespace();
+            match fields.next() {
+                Some("op") => {}
+                Some(other) => return Err(err(format!("unknown directive {other:?}"))),
+                None => unreachable!("blank lines are skipped"),
+            }
+            let slot: usize = fields
+                .next()
+                .ok_or_else(|| err("missing slot".into()))?
+                .parse()
+                .map_err(|e| err(format!("bad slot: {e}")))?;
+            let name = fields
+                .next()
+                .ok_or_else(|| err("missing txfunc name".into()))?
+                .to_string();
+            let hex = fields.next().ok_or_else(|| err("missing args".into()))?;
+            if fields.next().is_some() {
+                return Err(err("trailing fields".into()));
+            }
+            let bytes = if hex == "-" {
+                Vec::new()
+            } else {
+                if hex.len() % 2 != 0 {
+                    return Err(err("odd-length hex args".into()));
+                }
+                let mut v = Vec::with_capacity(hex.len() / 2);
+                for pair in hex.as_bytes().chunks(2) {
+                    let s = std::str::from_utf8(pair).map_err(|_| err("non-ascii hex".into()))?;
+                    v.push(u8::from_str_radix(s, 16).map_err(|e| err(format!("bad hex: {e}")))?);
+                }
+                v
+            };
+            let args =
+                ArgList::from_bytes(&bytes).map_err(|e| err(format!("args decode: {e:?}")))?;
+            ops.push(ScheduleOp { slot, name, args });
+        }
+        Ok(Schedule { ops })
     }
 
     /// Re-drives the schedule through `rt` in recorded order.

@@ -619,3 +619,164 @@ pub fn traced_crash_at(
         .media_snapshot();
     (tracer.take(), media)
 }
+
+// ---------------------------------------------------------------------------
+// Schedule-exploration harness (ISSUE 8)
+// ---------------------------------------------------------------------------
+
+/// Offset of the explore workload's reservation flag cell, just past the
+/// account array.
+pub const FLAG_OFFSET: u64 = ACCOUNTS * 8;
+
+/// Registers the two explore-only txfuncs carrying the injected ordering
+/// bug (test-only; gated behind `explore_setup(.., buggy=true)`):
+///
+/// * `reserve` increments the flag cell past the accounts (a
+///   read-then-write clobber);
+/// * `take_if_reserved` reads the flag, clobbers it back to zero, and —
+///   the bug — debits account 0 by 60 *without crediting anyone* when a
+///   reservation was pending. Conservation breaks exactly when `reserve`
+///   ran first, so the explorer must surface the reordering; both ops
+///   clobber the flag cell, so their footprints conflict and pruning
+///   never hides it.
+pub fn register_explore_extras(rt: &Runtime) {
+    rt.register("reserve", |tx, args| {
+        let base = PAddr::new(args.u64(0)?);
+        let flag = base.add(FLAG_OFFSET);
+        let v = tx.read_u64(flag)?;
+        tx.write_u64(flag, v + 1)?;
+        Ok(None)
+    });
+    rt.register("take_if_reserved", |tx, args| {
+        let base = PAddr::new(args.u64(0)?);
+        let flag = base.add(FLAG_OFFSET);
+        let pending = tx.read_u64(flag)?;
+        tx.write_u64(flag, 0)?;
+        if pending > 0 {
+            let bal = tx.read_u64(base)?;
+            tx.write_u64(base, bal - 60)?; // injected bug: debit, no credit
+        }
+        Ok(None)
+    });
+}
+
+/// Fresh pool + runtime for exploration: the bank plus a zeroed flag
+/// cell, `buggy` additionally registering the ordering-bug txfuncs. The
+/// pool is bigger than the sweep pool because explored schedules span two
+/// v_log slots.
+pub fn explore_setup(concurrency: PoolConcurrency, buggy: bool) -> (Arc<PmemPool>, Runtime, PAddr) {
+    let opts = PoolOptions::crash_sim(2 << 20).with_concurrency(concurrency);
+    let pool = Arc::new(PmemPool::create(opts).unwrap());
+    let rt = Runtime::create(pool.clone(), sweep_options(Backend::clobber())).unwrap();
+    register_transfer(&rt);
+    if buggy {
+        register_explore_extras(&rt);
+    }
+    let base = pool.alloc(ACCOUNTS * 8 + 8).unwrap();
+    for i in 0..ACCOUNTS {
+        pool.write_u64(base.add(i * 8), INITIAL).unwrap();
+    }
+    pool.write_u64(base.add(FLAG_OFFSET), 0).unwrap();
+    pool.persist(base, ACCOUNTS * 8 + 8).unwrap();
+    rt.set_app_root(base).unwrap();
+    (pool, rt, base)
+}
+
+/// Reopens crashed explore media ready for recovery.
+pub fn explore_reopen(
+    media: Vec<u8>,
+    concurrency: PoolConcurrency,
+    buggy: bool,
+) -> (Arc<PmemPool>, Runtime) {
+    let pool = Arc::new(
+        PmemPool::open_from_media_with(media, PoolMode::CrashSim, CacheImpl::Dense, concurrency)
+            .unwrap(),
+    );
+    let rt = Runtime::open(pool.clone(), sweep_options(Backend::clobber())).unwrap();
+    register_transfer(&rt);
+    if buggy {
+        register_explore_extras(&rt);
+    }
+    (pool, rt)
+}
+
+/// The conservation invariant, shaped for the explorer: must hold for
+/// every prefix, crash point, and ddmin-chosen subsequence of any
+/// transfer schedule (transfers conserve the total unconditionally).
+pub fn explore_check(pool: &PmemPool, rt: &Runtime) -> Result<(), String> {
+    let base = rt.app_root().map_err(|e| format!("app root: {e}"))?;
+    let sum = total(pool, base);
+    if sum == ACCOUNTS * INITIAL {
+        Ok(())
+    } else {
+        Err(format!(
+            "conservation violated: total {sum} != {}",
+            ACCOUNTS * INITIAL
+        ))
+    }
+}
+
+/// Packages the explore harness as an [`clobber_nvm::ExploreSession`].
+pub fn explore_session(
+    concurrency: PoolConcurrency,
+    buggy: bool,
+) -> clobber_nvm::ExploreSession<'static> {
+    clobber_nvm::ExploreSession {
+        build: Box::new(move || {
+            let (pool, rt, _) = explore_setup(concurrency, buggy);
+            (pool, rt)
+        }),
+        reopen: Box::new(move |media| explore_reopen(media, concurrency, buggy)),
+        check: Box::new(explore_check),
+    }
+}
+
+/// The deterministic base address every [`explore_setup`] produces.
+pub fn explore_base(concurrency: PoolConcurrency) -> PAddr {
+    let (_pool, _rt, base) = explore_setup(concurrency, false);
+    base
+}
+
+/// One transfer dispatch on an explicit slot, for building explore seeds.
+pub fn transfer_op(base: PAddr, slot: usize, step: (u64, u64, u64)) -> clobber_nvm::ScheduleOp {
+    clobber_nvm::ScheduleOp {
+        slot,
+        name: "transfer".to_string(),
+        args: transfer_args(base, step),
+    }
+}
+
+/// The 2-slot explore seed: slot 0 moves money between accounts 0–3,
+/// slot 1 between accounts 4–5. The slot-1 op's footprint is disjoint
+/// from both slot-0 ops, so under the sound conflict policy its
+/// reorderings are pruned as commutative.
+pub fn explore_seed(base: PAddr) -> clobber_nvm::Schedule {
+    clobber_nvm::Schedule {
+        ops: vec![
+            transfer_op(base, 0, (0, 1, 30)),
+            transfer_op(base, 0, (2, 3, 45)),
+            transfer_op(base, 1, (4, 5, 20)),
+        ],
+    }
+}
+
+/// The buggy explore seed: in seed order `take_if_reserved` precedes
+/// `reserve`, so the seed itself conserves; interleavings that move the
+/// `reserve` first lose 60 units.
+pub fn explore_buggy_seed(base: PAddr) -> clobber_nvm::Schedule {
+    clobber_nvm::Schedule {
+        ops: vec![
+            transfer_op(base, 0, (0, 1, 30)),
+            clobber_nvm::ScheduleOp {
+                slot: 0,
+                name: "take_if_reserved".to_string(),
+                args: ArgList::new().with_u64(base.offset()),
+            },
+            clobber_nvm::ScheduleOp {
+                slot: 1,
+                name: "reserve".to_string(),
+                args: ArgList::new().with_u64(base.offset()),
+            },
+        ],
+    }
+}

@@ -185,3 +185,144 @@ fn minimizer_shrinks_failing_schedule() {
         assert_eq!(op.args.u64(2).unwrap(), 1);
     }
 }
+
+// ---------------------------------------------------------------------------
+// Trace::diff on genuinely divergent runs (ISSUE 8 satellite)
+// ---------------------------------------------------------------------------
+
+/// Replays `sched` on a fresh identical pool under a tracer (no faults)
+/// and returns the recorded trace.
+fn traced_schedule_run(backend: Backend, sched: &Schedule) -> Trace {
+    let (pool, rt, _base) = setup(backend);
+    let tracer = Arc::new(Tracer::new());
+    pool.set_tracer(Some(tracer.clone()));
+    let report = sched.replay(&rt);
+    assert_eq!(report.aborted, 0);
+    pool.set_tracer(None);
+    tracer.take()
+}
+
+/// Two schedules that share their first dispatch and then transfer
+/// different amounts diverge at the *second* dispatch's `TxBegin`: the
+/// amount lives in the argument blob, while the stores and ulog appends
+/// that follow record offsets and lengths only — identical across the two
+/// runs. `diff` must report exactly that index and kind.
+#[test]
+fn diff_reports_first_divergent_dispatch_exactly() {
+    let backend = Backend::clobber();
+    let (_pool, _rt, base) = setup(backend);
+    let sched = |mid_amount: u64| Schedule {
+        ops: vec![
+            transfer_op(base, 0, (0, 1, 30)),
+            transfer_op(base, 0, (2, 3, mid_amount)),
+            transfer_op(base, 0, (4, 5, 20)),
+        ],
+    };
+    let a = traced_schedule_run(backend, &sched(10));
+    let b = traced_schedule_run(backend, &sched(11));
+
+    let d = a.diff(&b).expect("different amounts must diverge");
+    let second_begin = a
+        .events
+        .iter()
+        .enumerate()
+        .filter(|(_, e)| e.kind == clobber_pmem::EventKind::TxBegin)
+        .map(|(i, _)| i)
+        .nth(1)
+        .expect("three dispatches recorded");
+    assert_eq!(d.index, second_begin, "first divergence is dispatch #2");
+    assert_eq!(
+        d.left.expect("present in both").kind,
+        clobber_pmem::EventKind::TxBegin
+    );
+    assert_eq!(
+        d.right.expect("present in both").kind,
+        clobber_pmem::EventKind::TxBegin
+    );
+    // diff is symmetric in where it points, and reflexively clean.
+    assert_eq!(b.diff(&a).expect("symmetric").index, d.index);
+    assert!(a.diff(&a).is_none());
+}
+
+/// A tripped run diverges from the clean run exactly where the injector
+/// splices its `FaultTrip`: event `k` itself is recorded before the plan
+/// check, so the traces share everything up to and including it, and the
+/// divergence index is the tripped trace's final position.
+#[test]
+fn diff_pinpoints_the_fault_trip_against_the_clean_run() {
+    let backend = Backend::clobber();
+    let k = mid_crash_point();
+    let clean = traced_script_run(backend, PoolConcurrency::GlobalLock);
+    let (tripped, _media) = traced_crash_at(backend, PoolConcurrency::GlobalLock, k);
+
+    let d = clean.diff(&tripped).expect("tripped run must diverge");
+    assert_eq!(
+        d.index,
+        tripped.events.len() - 1,
+        "the shared prefix is everything before the trip"
+    );
+    let right = d.right.expect("tripped side has the trip");
+    assert_eq!(right.kind, clobber_pmem::EventKind::FaultTrip);
+    assert_eq!(right.a, k, "the trip names the tripping persist event");
+    let left = d.left.expect("the clean run continues past the trip");
+    assert_ne!(left.kind, clobber_pmem::EventKind::FaultTrip);
+    // And the mirrored diff reports the same index.
+    assert_eq!(tripped.diff(&clean).expect("symmetric").index, d.index);
+}
+
+// ---------------------------------------------------------------------------
+// minimize_schedule edge cases (ISSUE 8 satellite)
+// ---------------------------------------------------------------------------
+
+/// Degenerate inputs: an empty failing schedule minimizes to itself, and a
+/// single failing op cannot shrink further — ddmin must terminate on both
+/// without probing nonsense subsets.
+#[test]
+fn minimizer_handles_empty_and_single_op_schedules() {
+    let empty = Schedule { ops: Vec::new() };
+    let min_empty = minimize_schedule(&empty, |_| true);
+    assert!(min_empty.is_empty());
+
+    let one = Schedule {
+        ops: vec![clobber_nvm::ScheduleOp {
+            slot: 0,
+            name: "solo".to_string(),
+            args: ArgList::new().with_u64(7),
+        }],
+    };
+    let min_one = minimize_schedule(&one, |s| !s.is_empty());
+    assert_eq!(min_one.len(), 1);
+    assert_eq!(min_one.ops[0].name, "solo");
+}
+
+/// The ddmin complement case: 12 ops where the failure needs the ops at
+/// original positions 2 and 9 *together*. At granularity 2 each half holds
+/// one culprit, so neither subset fails and neither complement (the same
+/// halves) shrinks anything; ddmin must raise granularity and reduce via
+/// chunk complements before it can isolate the pair. The result is exactly
+/// the two culprits, in their original relative order.
+#[test]
+fn minimizer_isolates_two_non_adjacent_culprits() {
+    let op = |i: u64| clobber_nvm::ScheduleOp {
+        slot: 0,
+        name: format!("op{i}"),
+        args: ArgList::new().with_u64(i),
+    };
+    let sched = Schedule {
+        ops: (0..12).map(op).collect(),
+    };
+    let has = |s: &Schedule, tag: u64| s.ops.iter().any(|o| o.args.u64(0) == Ok(tag));
+    let fails = |s: &Schedule| has(s, 2) && has(s, 9);
+    assert!(fails(&sched), "the full schedule must fail");
+
+    let minimal = minimize_schedule(&sched, fails);
+    assert_eq!(
+        minimal
+            .ops
+            .iter()
+            .map(|o| o.name.as_str())
+            .collect::<Vec<_>>(),
+        vec!["op2", "op9"],
+        "exactly the two culprits survive, in order"
+    );
+}

@@ -22,11 +22,11 @@ const MAGIC: u64 = 0xC10B_0001;
 /// Number of buckets (one rwlock each), as in the paper.
 pub const BUCKETS: u64 = 256;
 
-const NODE_KEY: u64 = 0;
-const NODE_VPTR: u64 = 8;
-const NODE_VLEN: u64 = 16;
-const NODE_NEXT: u64 = 24;
-const NODE_SIZE: u64 = 32;
+pub(crate) const NODE_KEY: u64 = 0;
+pub(crate) const NODE_VPTR: u64 = 8;
+pub(crate) const NODE_VLEN: u64 = 16;
+pub(crate) const NODE_NEXT: u64 = 24;
+pub(crate) const NODE_SIZE: u64 = 32;
 
 /// Handle to a persistent hash map (all state lives in the pool).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -41,11 +41,11 @@ pub const TX_GET: &str = "hashmap_get";
 /// Removal txfunc name.
 pub const TX_REMOVE: &str = "hashmap_remove";
 
-fn bucket_of(key: u64) -> u64 {
+pub(crate) fn bucket_of(key: u64) -> u64 {
     key.wrapping_mul(0xFF51_AFD7_ED55_8CCD) % BUCKETS
 }
 
-fn head_addr(root: PAddr, bucket: u64) -> PAddr {
+pub(crate) fn head_addr(root: PAddr, bucket: u64) -> PAddr {
     root.add(16 + bucket * 8)
 }
 

@@ -20,9 +20,11 @@ pub mod hashmap;
 pub mod rbtree;
 pub mod skiplist;
 pub mod value;
+pub mod workload;
 
 pub use avltree::AvlTree;
 pub use bptree::BpTree;
 pub use hashmap::HashMap;
 pub use rbtree::RbTree;
 pub use skiplist::SkipList;
+pub use workload::ExploreWorkload;

@@ -167,6 +167,18 @@ pub struct PmemStats {
     /// Slots whose recovery budget (per-slot deadline or global budget)
     /// expired, bumped by the runtime.
     pub rec_budget_expired: AtomicU64,
+    /// Candidate schedules the explorer executed (clean run + crash sweep),
+    /// bumped by the runtime's schedule explorer.
+    pub exp_schedules: AtomicU64,
+    /// Interleaving subtrees the explorer pruned (sleep-set commutativity
+    /// skips plus preemption-bound rejections), bumped by the runtime.
+    pub exp_pruned: AtomicU64,
+    /// Crash trip points the explorer planted (one per explored
+    /// schedule-prefix crash), bumped by the runtime.
+    pub exp_crashes_planted: AtomicU64,
+    /// Invariant failures the explorer found and ddmin-minimized, bumped by
+    /// the runtime.
+    pub exp_failures_minimized: AtomicU64,
     /// Per-shard hot-counter banks. Empty for single-lock pools; sharded
     /// pools route all hot-path counts here and leave the shared hot
     /// atomics above at zero, so [`snapshot`](Self::snapshot) can always
@@ -257,6 +269,10 @@ impl PmemStats {
             rec_watermark_advances: self.rec_watermark_advances.load(Ordering::Relaxed),
             rec_workers: self.rec_workers.load(Ordering::Relaxed),
             rec_budget_expired: self.rec_budget_expired.load(Ordering::Relaxed),
+            exp_schedules: self.exp_schedules.load(Ordering::Relaxed),
+            exp_pruned: self.exp_pruned.load(Ordering::Relaxed),
+            exp_crashes_planted: self.exp_crashes_planted.load(Ordering::Relaxed),
+            exp_failures_minimized: self.exp_failures_minimized.load(Ordering::Relaxed),
         }
     }
 
@@ -364,6 +380,14 @@ pub struct StatsSnapshot {
     pub rec_workers: u64,
     /// Slots whose recovery budget expired.
     pub rec_budget_expired: u64,
+    /// Candidate schedules the explorer executed.
+    pub exp_schedules: u64,
+    /// Interleaving subtrees the explorer pruned.
+    pub exp_pruned: u64,
+    /// Crash trip points the explorer planted.
+    pub exp_crashes_planted: u64,
+    /// Invariant failures the explorer found and minimized.
+    pub exp_failures_minimized: u64,
 }
 
 impl StatsSnapshot {
@@ -413,6 +437,10 @@ impl StatsSnapshot {
             rec_watermark_advances: self.rec_watermark_advances - earlier.rec_watermark_advances,
             rec_workers: self.rec_workers - earlier.rec_workers,
             rec_budget_expired: self.rec_budget_expired - earlier.rec_budget_expired,
+            exp_schedules: self.exp_schedules - earlier.exp_schedules,
+            exp_pruned: self.exp_pruned - earlier.exp_pruned,
+            exp_crashes_planted: self.exp_crashes_planted - earlier.exp_crashes_planted,
+            exp_failures_minimized: self.exp_failures_minimized - earlier.exp_failures_minimized,
         }
     }
 

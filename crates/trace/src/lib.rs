@@ -25,12 +25,17 @@
 //!   binary format (module [`export`]).
 //! * [`ddmin`] — a generic delta-debugging minimizer that shrinks a failing
 //!   schedule to a locally minimal repro (module [`minimize`]).
+//! * [`tx_footprints`] / [`ConflictPolicy`] — per-transaction persist
+//!   footprints and the conflict relation the schedule explorer's
+//!   DPOR-style pruning keys on (module [`conflict`]).
 
+pub mod conflict;
 pub mod event;
 pub mod export;
 pub mod minimize;
 pub mod ring;
 
+pub use conflict::{tx_footprints, ConflictPolicy, Footprint, TxFootprint};
 pub use event::{EventKind, TraceEvent};
 pub use export::{Trace, TraceDecodeError, TraceDivergence};
 pub use minimize::ddmin;
