@@ -119,6 +119,35 @@ fn run_one(fig: &str, scale: Scale, out: &std::path::Path) {
                     pick("clobber", 1) / pick("atlas", 1).max(1.0),
                 );
             }
+            // Real multi-thread Clobber series: racing OS threads through
+            // the lock manager, costed by the DES model (EXPERIMENTS.md
+            // explains the 1-CPU caveat).
+            let mt = fig6::run_multithread(scale);
+            emit(
+                out,
+                "fig6_mt.csv",
+                fig6::MT_HEADER,
+                mt.iter().map(|r| r.csv()),
+            );
+            for r in mt.iter().filter(|r| r.series == "per-node") {
+                let gl = mt
+                    .iter()
+                    .find(|g| {
+                        g.series == "global-lock"
+                            && g.structure == r.structure
+                            && g.threads == r.threads
+                    })
+                    .map(|g| g.throughput)
+                    .unwrap_or(0.0);
+                println!(
+                    "    [mt] {:<9} {}t: per-node/global {:.2}x  fences/tx {:.2}  waits {}",
+                    r.structure,
+                    r.threads,
+                    r.throughput / gl.max(1.0),
+                    r.fences_per_tx,
+                    r.lock_waits
+                );
+            }
         }
         "fig7" => {
             let rows = fig7::run(scale);

@@ -10,7 +10,7 @@
 
 use std::sync::{Arc, Mutex};
 
-use clobber_nvm::{ArgList, Backend, RecoveryOptions, Runtime, RuntimeOptions};
+use clobber_nvm::{ArgList, Backend, LockRequest, RecoveryOptions, Runtime, RuntimeOptions};
 use clobber_pds::{BpTree, HashMap};
 use clobber_pmem::{
     CacheImpl, CrashConfig, FaultPlan, PAddr, PmemPool, PoolConcurrency, PoolMode, PoolOptions,
@@ -403,6 +403,67 @@ fn recovery_counters_pin_across_engines() {
             (1, 0, 0, 1),
             "starved scan under {concurrency:?}: {b:?}"
         );
+    }
+}
+
+/// Golden lock-manager pins: a fixed single-threaded sequence of locked
+/// transactions, multi-lock sets, shared holds, upgrades (one denied, one
+/// granted) and a refused `try_acquire` must attribute exactly these
+/// `lock_*` counts — identically on every engine. Counter contract:
+/// `lock_acquisitions` is per granted *set*, `lock_read_holds` /
+/// `lock_write_holds` per individual lock by mode (a granted upgrade adds
+/// one write hold), `lock_conflicts` per refused try/upgrade, and
+/// `lock_waits` per blocking acquire that actually queued (zero here —
+/// everything is single-threaded).
+#[test]
+fn lock_counters_pin_across_engines() {
+    for concurrency in [
+        PoolConcurrency::GlobalLock,
+        PoolConcurrency::Sharded { shards: 4 },
+        PoolConcurrency::SingleThread,
+    ] {
+        let pool = pool_with(concurrency);
+        let rt = Runtime::create(pool.clone(), RuntimeOptions::default()).unwrap();
+        HashMap::register(&rt);
+        let map = HashMap::create(&rt).unwrap();
+        let before = pool.stats().snapshot();
+
+        // One locked transaction through the runtime (acq 1, wh 1).
+        map.insert_sync(&rt, 1, b"pinned").unwrap();
+        // A multi-lock exclusive set (acq 2, wh 3).
+        drop(rt.locks().acquire(
+            &pool,
+            &[LockRequest::exclusive(100), LockRequest::exclusive(101)],
+        ));
+        // Two shared holders; the upgrade is denied while a co-reader
+        // exists (conflict 1), granted once sole (wh 4).
+        let mut a = rt.locks().acquire(&pool, &[LockRequest::shared(7)]); // acq 3, rh 1
+        let b = rt.locks().acquire(&pool, &[LockRequest::shared(7)]); // acq 4, rh 2
+        assert!(a.try_upgrade(7).is_err());
+        drop(b);
+        a.try_upgrade(7).unwrap();
+        drop(a);
+        // A refused wait-die probe (acq 5, wh 5, conflict 2).
+        let h = rt.locks().acquire(&pool, &[LockRequest::exclusive(9)]);
+        assert!(rt
+            .locks()
+            .try_acquire(&pool, &[LockRequest::exclusive(9)])
+            .is_err());
+        drop(h);
+
+        let d = pool.stats().snapshot().delta(&before);
+        assert_eq!(
+            (
+                d.lock_acquisitions,
+                d.lock_read_holds,
+                d.lock_write_holds,
+                d.lock_conflicts,
+                d.lock_waits,
+            ),
+            (5, 2, 5, 2, 0),
+            "{concurrency:?}: {d:?}"
+        );
+        assert!(rt.locks().is_idle(), "{concurrency:?}: guards all released");
     }
 }
 

@@ -53,6 +53,16 @@ pub enum TxError {
         /// Index of the slot that ran out of time.
         slot: usize,
     },
+    /// A lock-manager request could not be granted without waiting: a
+    /// `try_acquire` found the lock held (or an earlier queued waiter
+    /// wanting it), or a reader→writer upgrade was denied. Returned
+    /// *before* the transaction body runs, so retrying is always safe —
+    /// no begin record was persisted and no state changed (wait-die
+    /// style: the younger request dies and may retry).
+    LockConflict {
+        /// The first conflicting lock id.
+        lock: u64,
+    },
 }
 
 impl TxError {
@@ -92,6 +102,9 @@ impl fmt::Display for TxError {
             }
             TxError::RecoveryBudgetExceeded { slot } => {
                 write!(f, "recovery of slot {slot} exceeded its time budget")
+            }
+            TxError::LockConflict { lock } => {
+                write!(f, "lock {lock:#x} is contended; retry the transaction")
             }
         }
     }

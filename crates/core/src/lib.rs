@@ -25,7 +25,10 @@
 //! * [`ido`] — a shadow observer modeling iDO logging's traffic (Fig. 8);
 //! * [`Explorer`] — a bounded model checker that enumerates mutated
 //!   interleavings of a recorded [`Schedule`] with DPOR-style pruning and
-//!   plants crash trips at every explored persist prefix.
+//!   plants crash trips at every explored persist prefix;
+//! * [`LockManager`] — per-node FIFO reader-writer locks with atomic
+//!   whole-set acquisition (the paper's conservative 2PL, §2.2), letting
+//!   disjoint transactions run on real threads in parallel.
 //!
 //! # Quickstart
 //!
@@ -64,6 +67,7 @@ pub mod error;
 pub mod explore;
 pub mod group_commit;
 pub mod ido;
+pub mod lock;
 pub mod rangeset;
 pub mod recovery;
 pub mod replay;
@@ -79,6 +83,7 @@ pub use explore::{
     Explorer, ReopenFn,
 };
 pub use group_commit::GroupCommit;
+pub use lock::{LockGuard, LockId, LockManager, LockMode, LockRequest};
 pub use recovery::{
     NoopClock, RecoveryClock, RecoveryOptions, RecoveryPolicy, RecoveryReport, SlotQuarantine,
     SlotQuarantineKind, SystemClock,

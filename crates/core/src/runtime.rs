@@ -1,9 +1,11 @@
 //! The Clobber-NVM runtime: txfunc registry, per-thread slots, transaction
 //! execution, and the commit protocol.
 
-use std::collections::HashMap;
-use std::sync::Arc;
-use std::thread::ThreadId;
+use std::cell::RefCell;
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, HashMap};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Weak};
 
 use clobber_pmem::{LogFormat, LogWriter, PAddr, PmemPool};
 use parking_lot::{Mutex, RwLock};
@@ -13,6 +15,7 @@ use crate::backend::Backend;
 use crate::error::TxError;
 use crate::group_commit::GroupCommit;
 use crate::ido::{IdoObserver, IdoTxStats};
+use crate::lock::{LockManager, LockRequest};
 use crate::tx::{CommitOutcome, Tx, TxResult, TxScratch};
 use crate::vlog::VlogSlot;
 
@@ -104,6 +107,55 @@ impl Default for RuntimeOptions {
 
 type TxFn = Arc<dyn Fn(&mut Tx<'_>, &ArgList) -> TxResult + Send + Sync>;
 
+/// Process-wide source of runtime identities for the thread-local slot
+/// cache (two runtimes on one thread must not share a lease).
+static RUNTIME_IDS: AtomicU64 = AtomicU64::new(0);
+
+/// Shared slot-index bookkeeping: indices returned by exited threads are
+/// reused (smallest first) before a fresh index is minted, so a workload
+/// that churns short-lived threads stays bounded by its peak concurrency
+/// instead of growing one v_log slot per thread ever seen.
+#[derive(Debug, Default)]
+struct SlotLedger {
+    free: BinaryHeap<Reverse<usize>>,
+    next: usize,
+}
+
+impl SlotLedger {
+    fn lease(&mut self) -> usize {
+        if let Some(Reverse(idx)) = self.free.pop() {
+            idx
+        } else {
+            let idx = self.next;
+            self.next += 1;
+            idx
+        }
+    }
+}
+
+/// A thread's claim on one slot index of one runtime; returning it to the
+/// ledger on thread exit is what makes indices reusable. Holds the ledger
+/// weakly so a dropped runtime doesn't outlive itself through thread-local
+/// storage.
+#[derive(Debug)]
+struct SlotLease {
+    idx: usize,
+    ledger: Weak<Mutex<SlotLedger>>,
+}
+
+impl Drop for SlotLease {
+    fn drop(&mut self) {
+        if let Some(ledger) = self.ledger.upgrade() {
+            ledger.lock().free.push(Reverse(self.idx));
+        }
+    }
+}
+
+thread_local! {
+    /// This thread's slot lease per live runtime, keyed by runtime id.
+    static THREAD_SLOTS: RefCell<HashMap<u64, SlotLease>> = RefCell::new(HashMap::new());
+}
+
 /// Aggregated iDO shadow statistics across all committed transactions.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct IdoAggregate {
@@ -148,7 +200,13 @@ pub struct Runtime {
     header: PAddr,
     registry: RwLock<HashMap<String, TxFn>>,
     slots: Mutex<Vec<VlogSlot>>,
-    thread_slots: Mutex<HashMap<ThreadId, usize>>,
+    /// Identity for the thread-local slot cache.
+    runtime_id: u64,
+    /// Slot-index free list shared with every thread's [`SlotLease`].
+    ledger: Arc<Mutex<SlotLedger>>,
+    /// Per-node FIFO rw-locks for parallel transactions (conservative
+    /// 2PL, §2.2); see [`run_locked`](Runtime::run_locked).
+    lock_mgr: LockManager,
     ido: Mutex<IdoAggregate>,
     write_probe: Mutex<Option<crate::tx::WriteProbe>>,
     /// Free-list of per-transaction scratch state. Recycling warmed-up
@@ -188,7 +246,9 @@ impl Runtime {
             header,
             registry: RwLock::new(HashMap::new()),
             slots: Mutex::new(Vec::new()),
-            thread_slots: Mutex::new(HashMap::new()),
+            runtime_id: RUNTIME_IDS.fetch_add(1, Ordering::Relaxed),
+            ledger: Arc::new(Mutex::new(SlotLedger::default())),
+            lock_mgr: LockManager::new(),
             ido: Mutex::new(IdoAggregate::default()),
             write_probe: Mutex::new(None),
             scratch_pool: Mutex::new(Vec::new()),
@@ -223,7 +283,9 @@ impl Runtime {
             header,
             registry: RwLock::new(HashMap::new()),
             slots: Mutex::new(slots),
-            thread_slots: Mutex::new(HashMap::new()),
+            runtime_id: RUNTIME_IDS.fetch_add(1, Ordering::Relaxed),
+            ledger: Arc::new(Mutex::new(SlotLedger::default())),
+            lock_mgr: LockManager::new(),
             ido: Mutex::new(IdoAggregate::default()),
             write_probe: Mutex::new(None),
             scratch_pool: Mutex::new(Vec::new()),
@@ -341,13 +403,87 @@ impl Runtime {
     /// Returns [`TxError::Unregistered`] for unknown names, the txfunc's own
     /// error on abort, and [`TxError::Pmem`] on substrate errors.
     pub fn run(&self, name: &str, args: &ArgList) -> TxResult {
-        let idx = {
-            let tid = std::thread::current().id();
-            let mut map = self.thread_slots.lock();
-            let next = map.len();
-            *map.entry(tid).or_insert(next)
-        };
-        self.run_on(idx, name, args)
+        self.run_on(self.thread_slot(), name, args)
+    }
+
+    /// The calling thread's slot index: the cached lease if it already has
+    /// one, else the smallest free index (returned by an exited thread) or
+    /// a fresh one. The lease is dropped — and its index recycled — when
+    /// the thread exits, so slot usage is bounded by peak thread
+    /// concurrency, not by the total number of threads ever seen.
+    fn thread_slot(&self) -> usize {
+        THREAD_SLOTS.with(|cache| {
+            let mut cache = cache.borrow_mut();
+            if let Some(lease) = cache.get(&self.runtime_id) {
+                return lease.idx;
+            }
+            // Drop leases whose runtime is gone before adding a new one,
+            // so the cache tracks live runtimes only.
+            cache.retain(|_, l| l.ledger.strong_count() > 0);
+            let idx = self.ledger.lock().lease();
+            cache.insert(
+                self.runtime_id,
+                SlotLease {
+                    idx,
+                    ledger: Arc::downgrade(&self.ledger),
+                },
+            );
+            idx
+        })
+    }
+
+    /// The runtime's lock manager. Most callers want the `*_locked` run
+    /// methods; structure code uses this directly when it needs custom
+    /// guard scopes (e.g. upgrades).
+    pub fn locks(&self) -> &LockManager {
+        &self.lock_mgr
+    }
+
+    /// Acquires the whole lock set `locks` (FIFO-fair, all-or-nothing),
+    /// runs txfunc `name`, and releases the locks after commit or abort —
+    /// the paper's conservative strong-strict 2PL (§2.2): locks at begin,
+    /// held to commit, so deterministic re-execution during recovery
+    /// replays a serializable history.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`run`](Runtime::run); never [`TxError::LockConflict`]
+    /// (this form waits).
+    pub fn run_locked(&self, locks: &[LockRequest], name: &str, args: &ArgList) -> TxResult {
+        let _guard = self.lock_mgr.acquire(&self.pool, locks);
+        self.run(name, args)
+    }
+
+    /// [`run_locked`](Runtime::run_locked) on an explicit logical-thread
+    /// slot (the discrete-event executor's form).
+    ///
+    /// # Errors
+    ///
+    /// Same as [`run_on`](Runtime::run_on).
+    pub fn run_on_locked(
+        &self,
+        slot_idx: usize,
+        locks: &[LockRequest],
+        name: &str,
+        args: &ArgList,
+    ) -> TxResult {
+        let _guard = self.lock_mgr.acquire(&self.pool, locks);
+        self.run_on(slot_idx, name, args)
+    }
+
+    /// Wait-die variant of [`run_locked`](Runtime::run_locked): if any
+    /// lock in the set is contended the request dies immediately with
+    /// [`TxError::LockConflict`] instead of waiting. The conflict is
+    /// raised before the transaction body runs — nothing was logged and
+    /// no state changed — so retrying is always safe and idempotent.
+    ///
+    /// # Errors
+    ///
+    /// [`TxError::LockConflict`] on contention, else same as
+    /// [`run`](Runtime::run).
+    pub fn try_run_locked(&self, locks: &[LockRequest], name: &str, args: &ArgList) -> TxResult {
+        let _guard = self.lock_mgr.try_acquire(&self.pool, locks)?;
+        self.run(name, args)
     }
 
     /// Runs the registered txfunc `name` on an explicit logical-thread slot

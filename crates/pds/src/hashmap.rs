@@ -13,7 +13,7 @@
 //! node:  [key][val_ptr][val_len][next]
 //! ```
 
-use clobber_nvm::{ArgList, Runtime, TxError};
+use clobber_nvm::{ArgList, LockRequest, Runtime, TxError};
 use clobber_pmem::{PAddr, PmemPool};
 
 use crate::value::store_value;
@@ -208,6 +208,53 @@ impl HashMap {
         self.root.offset().wrapping_mul(31) + bucket_of(key)
     }
 
+    /// Thread-safe [`insert`](HashMap::insert): takes `key`'s bucket lock
+    /// exclusively through the runtime's [`LockManager`] before running
+    /// the transaction, so racing OS threads on disjoint buckets proceed
+    /// in parallel while same-bucket writers serialize (the paper's
+    /// per-bucket rwlocks, §5.2).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TxError`] on substrate failure.
+    ///
+    /// [`LockManager`]: clobber_nvm::LockManager
+    pub fn insert_sync(&self, rt: &Runtime, key: u64, value: &[u8]) -> Result<(), TxError> {
+        rt.run_locked(
+            &[LockRequest::exclusive(self.lock_of(key))],
+            TX_INSERT,
+            &self.args(key).with_bytes(value),
+        )?;
+        Ok(())
+    }
+
+    /// Thread-safe [`get`](HashMap::get): shared bucket lock, so readers
+    /// of one bucket overlap each other but not its writers.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TxError`] on substrate failure.
+    pub fn get_sync(&self, rt: &Runtime, key: u64) -> Result<Option<Vec<u8>>, TxError> {
+        rt.run_locked(
+            &[LockRequest::shared(self.lock_of(key))],
+            TX_GET,
+            &self.args(key),
+        )
+    }
+
+    /// Thread-safe [`remove`](HashMap::remove): exclusive bucket lock.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TxError`] on substrate failure.
+    pub fn remove_sync(&self, rt: &Runtime, key: u64) -> Result<bool, TxError> {
+        Ok(rt.run_locked(
+            &[LockRequest::exclusive(self.lock_of(key))],
+            TX_REMOVE,
+            &self.args(key),
+        )? == Some(vec![1]))
+    }
+
     /// Walks all buckets, checking chain sanity, and returns every
     /// `(key, value)` (verification, outside transactions).
     ///
@@ -346,6 +393,33 @@ mod tests {
         pairs.sort();
         assert_eq!(pairs.len(), 100);
         assert_eq!(pairs[5], (5, 5u64.to_le_bytes().to_vec()));
+    }
+
+    #[test]
+    fn racing_sync_writers_keep_the_map_consistent() {
+        let (pool, rt, map) = setup(Backend::clobber());
+        std::thread::scope(|s| {
+            for t in 0..4u64 {
+                let (rt, map) = (&rt, &map);
+                s.spawn(move || {
+                    for i in 0..64u64 {
+                        let key = t * 1000 + i;
+                        map.insert_sync(rt, key, &key.to_le_bytes()).unwrap();
+                        assert_eq!(
+                            map.get_sync(rt, key).unwrap(),
+                            Some(key.to_le_bytes().to_vec())
+                        );
+                    }
+                    // Every thread removes a few of its own keys again.
+                    for i in 0..8u64 {
+                        assert!(map.remove_sync(rt, t * 1000 + i).unwrap());
+                    }
+                });
+            }
+        });
+        assert_eq!(map.len(&pool).unwrap(), 4 * (64 - 8));
+        assert!(rt.locks().is_idle());
+        assert!(pool.stats().snapshot().lock_acquisitions >= 4 * (64 + 64 + 8));
     }
 
     #[test]

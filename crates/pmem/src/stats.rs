@@ -179,6 +179,20 @@ pub struct PmemStats {
     /// Invariant failures the explorer found and ddmin-minimized, bumped by
     /// the runtime.
     pub exp_failures_minimized: AtomicU64,
+    /// Lock-set grants by the runtime's lock manager (one per granted
+    /// acquire/try_acquire, however many locks the set contains), bumped by
+    /// the runtime.
+    pub lock_acquisitions: AtomicU64,
+    /// Individual shared (read) locks granted, bumped by the runtime.
+    pub lock_read_holds: AtomicU64,
+    /// Individual exclusive (write) locks granted, bumped by the runtime.
+    pub lock_write_holds: AtomicU64,
+    /// Lock conflicts: refused `try_acquire`s and denied upgrades, bumped
+    /// by the runtime.
+    pub lock_conflicts: AtomicU64,
+    /// Blocking acquires that could not be granted immediately and had to
+    /// queue, bumped by the runtime.
+    pub lock_waits: AtomicU64,
     /// Per-shard hot-counter banks. Empty for single-lock pools; sharded
     /// pools route all hot-path counts here and leave the shared hot
     /// atomics above at zero, so [`snapshot`](Self::snapshot) can always
@@ -273,6 +287,11 @@ impl PmemStats {
             exp_pruned: self.exp_pruned.load(Ordering::Relaxed),
             exp_crashes_planted: self.exp_crashes_planted.load(Ordering::Relaxed),
             exp_failures_minimized: self.exp_failures_minimized.load(Ordering::Relaxed),
+            lock_acquisitions: self.lock_acquisitions.load(Ordering::Relaxed),
+            lock_read_holds: self.lock_read_holds.load(Ordering::Relaxed),
+            lock_write_holds: self.lock_write_holds.load(Ordering::Relaxed),
+            lock_conflicts: self.lock_conflicts.load(Ordering::Relaxed),
+            lock_waits: self.lock_waits.load(Ordering::Relaxed),
         }
     }
 
@@ -388,6 +407,16 @@ pub struct StatsSnapshot {
     pub exp_crashes_planted: u64,
     /// Invariant failures the explorer found and minimized.
     pub exp_failures_minimized: u64,
+    /// Lock-set grants by the runtime's lock manager.
+    pub lock_acquisitions: u64,
+    /// Individual shared (read) locks granted.
+    pub lock_read_holds: u64,
+    /// Individual exclusive (write) locks granted.
+    pub lock_write_holds: u64,
+    /// Lock conflicts (refused `try_acquire`s and denied upgrades).
+    pub lock_conflicts: u64,
+    /// Blocking acquires that had to queue.
+    pub lock_waits: u64,
 }
 
 impl StatsSnapshot {
@@ -441,6 +470,11 @@ impl StatsSnapshot {
             exp_pruned: self.exp_pruned - earlier.exp_pruned,
             exp_crashes_planted: self.exp_crashes_planted - earlier.exp_crashes_planted,
             exp_failures_minimized: self.exp_failures_minimized - earlier.exp_failures_minimized,
+            lock_acquisitions: self.lock_acquisitions - earlier.lock_acquisitions,
+            lock_read_holds: self.lock_read_holds - earlier.lock_read_holds,
+            lock_write_holds: self.lock_write_holds - earlier.lock_write_holds,
+            lock_conflicts: self.lock_conflicts - earlier.lock_conflicts,
+            lock_waits: self.lock_waits - earlier.lock_waits,
         }
     }
 

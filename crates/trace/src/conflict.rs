@@ -199,7 +199,13 @@ pub fn tx_footprints(trace: &Trace) -> Vec<TxFootprint> {
             | EventKind::VlogAppend
             | EventKind::FaultTrip
             | EventKind::RecoveryStep
-            | EventKind::GroupCommitEpoch => {}
+            | EventKind::GroupCommitEpoch
+            // Lock events are scheduling evidence, not data accesses: the
+            // data conflict they guard already shows up as Store/UlogAppend
+            // footprints, so counting them would only widen footprints.
+            | EventKind::LockAcquire
+            | EventKind::LockRelease
+            | EventKind::LockConflict => {}
         }
     }
     for f in &mut out {

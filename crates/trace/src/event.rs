@@ -51,11 +51,19 @@ pub enum EventKind {
     /// A group-commit epoch closed: its leader issued the shared ordering
     /// fence (`a` = epoch number, `b` = committers coalesced into it).
     GroupCommitEpoch = 15,
+    /// A lock-manager lock was granted (`a` = lock id, `b` = mode:
+    /// 0 shared, 1 exclusive).
+    LockAcquire = 16,
+    /// A lock-manager lock was released (`a` = lock id, `b` = mode).
+    LockRelease = 17,
+    /// A lock request conflicted — a `try_acquire` was refused or a
+    /// blocking acquire had to wait (`a` = lock id, `b` = mode).
+    LockConflict = 18,
 }
 
 impl EventKind {
     /// All kinds, in discriminant order.
-    pub const ALL: [EventKind; 16] = [
+    pub const ALL: [EventKind; 19] = [
         EventKind::Store,
         EventKind::Flush,
         EventKind::Fence,
@@ -72,6 +80,9 @@ impl EventKind {
         EventKind::FaultTrip,
         EventKind::RecoveryStep,
         EventKind::GroupCommitEpoch,
+        EventKind::LockAcquire,
+        EventKind::LockRelease,
+        EventKind::LockConflict,
     ];
 
     /// Decodes a discriminant byte.
@@ -98,6 +109,9 @@ impl EventKind {
             EventKind::FaultTrip => "fault_trip",
             EventKind::RecoveryStep => "recovery_step",
             EventKind::GroupCommitEpoch => "group_commit_epoch",
+            EventKind::LockAcquire => "lock_acquire",
+            EventKind::LockRelease => "lock_release",
+            EventKind::LockConflict => "lock_conflict",
         }
     }
 }

@@ -59,7 +59,14 @@ fn hashmap_under_bucket_locks_from_many_threads() {
             "backend {}",
             backend.label()
         );
-        assert!(rt.slot_count() >= THREADS, "one v_log slot per thread");
+        // Slots are leased per live thread and returned on exit, so the
+        // count is bounded by *peak concurrency*: a thread that finishes
+        // before a peer starts hands its slot to that peer.
+        let slots = rt.slot_count();
+        assert!(
+            (1..=THREADS).contains(&slots),
+            "v_log slots bounded by peak concurrency, got {slots}"
+        );
     }
 }
 
