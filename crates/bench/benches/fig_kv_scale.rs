@@ -1,0 +1,22 @@
+//! Networked-service micro-benchmark: one quick-scale batched cell of the
+//! `fig_kv_scale` sweep (CI smoke for the serve loop + DES transport).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+use clobber_bench::common::Scale;
+use clobber_bench::fig_kv_scale;
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig_kv_scale");
+    group.sample_size(10);
+    group.bench_function("clients4/batched", |b| {
+        b.iter(|| fig_kv_scale::run_cell(4, 0.99, 42, 16, Scale::Quick));
+    });
+    group.bench_function("clients4/per-request", |b| {
+        b.iter(|| fig_kv_scale::run_cell(4, 0.99, 42, 1, Scale::Quick));
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

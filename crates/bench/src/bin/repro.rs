@@ -1,8 +1,8 @@
 //! Regenerates every table and figure of the Clobber-NVM evaluation.
 //!
 //! ```text
-//! repro [fig6|fig7|fig8|fig9|fig10|fig11|fig12|fig13|fig14|all] \
-//!       [--quick] [--out DIR] [--trace-out PATH]
+//! repro [fig6|fig7|fig8|fig9|fig10|fig11|fig12|fig13|fig14|fig_kv_scale|all] \
+//!       [--quick] [--out DIR] [--trace-out PATH] [--zipf THETA] [--seed N]
 //! ```
 //!
 //! Each experiment writes `fig*.csv` into the output directory (default:
@@ -19,7 +19,7 @@ use std::path::PathBuf;
 use std::time::Instant;
 
 use clobber_bench::{common::Scale, write_csv};
-use clobber_bench::{fig10, fig11, fig12, fig13, fig14, fig6, fig7, fig8, fig9};
+use clobber_bench::{fig10, fig11, fig12, fig13, fig14, fig6, fig7, fig8, fig9, fig_kv_scale};
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -27,10 +27,26 @@ fn main() {
     let mut scale = Scale::Full;
     let mut out_dir = PathBuf::from(".");
     let mut trace_out: Option<PathBuf> = None;
+    // Knobs for the request-stream generator (fig_kv_scale): zipf skew
+    // theta and the base RNG seed (client `c` streams with `seed + c`).
+    let mut zipf = 0.99f64;
+    let mut seed = 42u64;
     let mut it = args.into_iter();
     while let Some(a) = it.next() {
         match a.as_str() {
             "--quick" => scale = Scale::Quick,
+            "--zipf" => {
+                zipf = it.next().and_then(|v| v.parse().ok()).unwrap_or_else(|| {
+                    eprintln!("--zipf requires a theta in (0, 1), or 0 for uniform");
+                    std::process::exit(2);
+                })
+            }
+            "--seed" => {
+                seed = it.next().and_then(|v| v.parse().ok()).unwrap_or_else(|| {
+                    eprintln!("--seed requires an unsigned integer");
+                    std::process::exit(2);
+                })
+            }
             "--out" => {
                 out_dir = PathBuf::from(it.next().unwrap_or_else(|| {
                     eprintln!("--out requires a directory");
@@ -48,7 +64,8 @@ fn main() {
             other => {
                 eprintln!("unknown argument `{other}`");
                 eprintln!(
-                    "usage: repro [fig6..fig14|all] [--quick] [--out DIR] [--trace-out PATH]"
+                    "usage: repro [fig6..fig14|fig_kv_scale|all] [--quick] [--out DIR] \
+                     [--trace-out PATH] [--zipf THETA] [--seed N]"
                 );
                 std::process::exit(2);
             }
@@ -65,7 +82,7 @@ fn main() {
         if tracing {
             clobber_bench::common::arm_trace_capture();
         }
-        run_one(&fig, scale, &out_dir);
+        run_one(&fig, scale, &out_dir, zipf, seed);
         if tracing {
             write_trace(&fig, trace_out.as_ref().unwrap());
         }
@@ -96,10 +113,12 @@ fn write_trace(fig: &str, base: &std::path::Path) {
 }
 
 fn all_figures() -> Vec<String> {
-    (6..=14).map(|i| format!("fig{i}")).collect()
+    let mut figs: Vec<String> = (6..=14).map(|i| format!("fig{i}")).collect();
+    figs.push("fig_kv_scale".to_string());
+    figs
 }
 
-fn run_one(fig: &str, scale: Scale, out: &std::path::Path) {
+fn run_one(fig: &str, scale: Scale, out: &std::path::Path, zipf: f64, seed: u64) {
     match fig {
         "fig6" => {
             let rows = fig6::run(scale);
@@ -302,6 +321,31 @@ fn run_one(fig: &str, scale: Scale, out: &std::path::Path) {
                 println!(
                     "    {:<20} {:>4} insts  frontend {:>7} ns  passes {:>7} ns  ({:.0}%)",
                     r.program, r.instructions, r.frontend_ns, r.passes_ns, r.overhead_pct
+                );
+            }
+        }
+        "fig_kv_scale" => {
+            let rows = fig_kv_scale::run(scale, zipf, seed);
+            emit(
+                out,
+                "fig_kv_scale.csv",
+                fig_kv_scale::HEADER,
+                rows.iter().map(|r| r.csv()),
+            );
+            for r in rows.iter().filter(|r| r.mode == "batched") {
+                let pr = rows
+                    .iter()
+                    .find(|p| p.mode == "per-request" && p.clients == r.clients)
+                    .expect("per-request row");
+                println!(
+                    "    {:>2} clients: {:>9.0} rps  p99 {:>7} ns  fences/req {:.2} \
+                     (per-request {:.2})  shed {}",
+                    r.clients,
+                    r.throughput_rps,
+                    r.p99_ns,
+                    r.fences_per_req,
+                    pr.fences_per_req,
+                    r.shed
                 );
             }
         }

@@ -49,6 +49,14 @@ impl Scale {
         }
     }
 
+    /// Requests per simulated client in the networked-service figure.
+    pub fn kv_net_requests(&self) -> u64 {
+        match self {
+            Scale::Quick => 48,
+            Scale::Full => 256,
+        }
+    }
+
     /// Vacation tasks per run.
     pub fn vacation_tasks(&self) -> u64 {
         match self {

@@ -16,6 +16,7 @@
 //! | [`fig12`] | yada angle sweep |
 //! | [`fig13`] | refinement-pass effectiveness |
 //! | [`fig14`] | compile-time overhead |
+//! | [`fig_kv_scale`] | networked service: clients vs throughput/tail latency |
 
 #![warn(missing_docs)]
 
@@ -29,5 +30,6 @@ pub mod fig6;
 pub mod fig7;
 pub mod fig8;
 pub mod fig9;
+pub mod fig_kv_scale;
 
 pub use common::{write_csv, Scale};

@@ -10,13 +10,17 @@
 
 use std::sync::{Arc, Mutex};
 
+use clobber_apps::{KvServer, LockScheme};
+use clobber_kvnet::{
+    serve, Admission, AdmissionConfig, KvService, ServeConfig, SimNet, SimNetConfig,
+};
 use clobber_nvm::{ArgList, Backend, LockRequest, RecoveryOptions, Runtime, RuntimeOptions};
 use clobber_pds::{BpTree, HashMap};
 use clobber_pmem::{
     CacheImpl, CrashConfig, FaultPlan, PAddr, PmemPool, PoolConcurrency, PoolMode, PoolOptions,
     StatsSnapshot, CACHE_LINE,
 };
-use clobber_workloads::{KvOp, Workload, WorkloadKind};
+use clobber_workloads::{KvOp, Mix, Workload, WorkloadKind};
 
 const OPS: u64 = 400;
 const VALUE_SIZE: usize = 256;
@@ -464,6 +468,76 @@ fn lock_counters_pin_across_engines() {
             "{concurrency:?}: {d:?}"
         );
         assert!(rt.locks().is_idle(), "{concurrency:?}: guards all released");
+    }
+}
+
+/// Golden service-counter pins: a fixed simulated client population under
+/// deliberately tight admission caps must attribute exactly these `net_*`
+/// counts — identically on every engine. Counter contract: `net_accepted`
+/// is per admitted request (a shed request re-admits when its resubmission
+/// succeeds, so accepted > completed is impossible but accepted ==
+/// completed + still-inflight is), `net_shed` per typed `Overloaded`
+/// refusal, and every accepted request lands in exactly one of
+/// `net_batched` (writes, batched into ONE locked transaction per drain)
+/// or `net_snapshot_reads` (reads off the volatile cache, no transaction).
+#[test]
+fn net_counters_pin_across_engines() {
+    for concurrency in [
+        PoolConcurrency::GlobalLock,
+        PoolConcurrency::Sharded { shards: 4 },
+        PoolConcurrency::SingleThread,
+    ] {
+        let pool = pool_with(concurrency);
+        let rt = Arc::new(Runtime::create(pool.clone(), RuntimeOptions::default()).unwrap());
+        let server = KvServer::create(&rt, LockScheme::BucketRw).unwrap();
+        let mut svc = KvService::new(rt, server);
+        let mut adm = Admission::new(AdmissionConfig {
+            per_conn_window: 1,
+            global_cap: 2,
+        });
+        let cfg = SimNetConfig {
+            clients: 4,
+            requests_per_client: 4,
+            key_space: 32,
+            seed: 5,
+            mix: Mix::InsertMost,
+            zipf_theta: Some(0.9),
+            window: 1,
+            think_ns: 500,
+            shed_backoff_ns: 20_000,
+        };
+        let before = pool.stats().snapshot();
+        let mut net = SimNet::new(&cfg).with_window(1);
+        serve(
+            &mut svc,
+            &mut adm,
+            &mut net,
+            &ServeConfig {
+                max_batch: 8,
+                ..ServeConfig::default()
+            },
+        )
+        .unwrap();
+        let d = pool.stats().snapshot().delta(&before);
+        assert_eq!(
+            (
+                d.net_accepted,
+                d.net_shed,
+                d.net_batched,
+                d.net_snapshot_reads
+            ),
+            (16, 1, 9, 7),
+            "{concurrency:?}: {d:?}"
+        );
+        // Accounting closes: accepted requests split exactly between the
+        // batched-write and snapshot-read paths, and all 16 completed.
+        assert_eq!(d.net_accepted, d.net_batched + d.net_snapshot_reads);
+        let report = net.report();
+        assert_eq!(
+            (report.completed, report.shed),
+            (16, 1),
+            "{concurrency:?}: {report:?}"
+        );
     }
 }
 

@@ -486,6 +486,24 @@ impl Runtime {
         self.run(name, args)
     }
 
+    /// [`try_run_locked`](Runtime::try_run_locked) on an explicit
+    /// logical-thread slot (the discrete-event executor's form): wait-die
+    /// refusal raises [`TxError::LockConflict`] before the body runs.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`try_run_locked`](Runtime::try_run_locked).
+    pub fn try_run_on_locked(
+        &self,
+        slot_idx: usize,
+        locks: &[LockRequest],
+        name: &str,
+        args: &ArgList,
+    ) -> TxResult {
+        let _guard = self.lock_mgr.try_acquire(&self.pool, locks)?;
+        self.run_on(slot_idx, name, args)
+    }
+
     /// Runs the registered txfunc `name` on an explicit logical-thread slot
     /// (used by the discrete-event executor, where many logical threads
     /// share one OS thread).

@@ -1,0 +1,133 @@
+//! Admission control: per-connection inflight windows plus a global cap.
+//!
+//! The controller is the service's backpressure valve. A request that would
+//! push its connection past `per_conn_window`, or the service past
+//! `global_cap`, is refused — the serve loop answers it immediately with a
+//! typed [`KvResponse::Overloaded`](crate::KvResponse::Overloaded) instead
+//! of queueing it unboundedly, so tail latency under overload stays bounded
+//! by design rather than by memory exhaustion.
+
+use std::collections::HashMap;
+
+use crate::transport::ConnId;
+
+/// Admission limits.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AdmissionConfig {
+    /// Most requests one connection may have in flight.
+    pub per_conn_window: usize,
+    /// Most requests the whole service may have in flight.
+    pub global_cap: usize,
+}
+
+impl Default for AdmissionConfig {
+    fn default() -> AdmissionConfig {
+        AdmissionConfig {
+            per_conn_window: 8,
+            global_cap: 64,
+        }
+    }
+}
+
+/// The admission controller (owned by the serve loop; no interior locking —
+/// admission decisions are part of the deterministic service schedule).
+#[derive(Debug)]
+pub struct Admission {
+    cfg: AdmissionConfig,
+    inflight: HashMap<ConnId, usize>,
+    total: usize,
+}
+
+impl Admission {
+    /// A controller with the given limits.
+    pub fn new(cfg: AdmissionConfig) -> Admission {
+        Admission {
+            cfg,
+            inflight: HashMap::new(),
+            total: 0,
+        }
+    }
+
+    /// Admits one request from `conn`, or refuses it (shed) when either
+    /// limit would be exceeded.
+    pub fn try_admit(&mut self, conn: ConnId) -> bool {
+        let per_conn = self.inflight.entry(conn).or_insert(0);
+        if *per_conn >= self.cfg.per_conn_window || self.total >= self.cfg.global_cap {
+            return false;
+        }
+        *per_conn += 1;
+        self.total += 1;
+        true
+    }
+
+    /// Marks one admitted request from `conn` answered.
+    pub fn complete(&mut self, conn: ConnId) {
+        if let Some(n) = self.inflight.get_mut(&conn) {
+            if *n > 0 {
+                *n -= 1;
+                self.total -= 1;
+            }
+        }
+    }
+
+    /// Drops all accounting for a closed connection.
+    pub fn forget(&mut self, conn: ConnId) {
+        if let Some(n) = self.inflight.remove(&conn) {
+            self.total -= n;
+        }
+    }
+
+    /// Requests currently admitted and unanswered.
+    pub fn inflight(&self) -> usize {
+        self.total
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn per_conn_window_refuses_the_overflow() {
+        let mut adm = Admission::new(AdmissionConfig {
+            per_conn_window: 2,
+            global_cap: 100,
+        });
+        assert!(adm.try_admit(1));
+        assert!(adm.try_admit(1));
+        assert!(!adm.try_admit(1), "third in-flight exceeds the window");
+        assert!(adm.try_admit(2), "other connections are unaffected");
+        adm.complete(1);
+        assert!(adm.try_admit(1), "completion frees a window slot");
+    }
+
+    #[test]
+    fn global_cap_sheds_across_connections() {
+        let mut adm = Admission::new(AdmissionConfig {
+            per_conn_window: 10,
+            global_cap: 3,
+        });
+        assert!(adm.try_admit(1));
+        assert!(adm.try_admit(2));
+        assert!(adm.try_admit(3));
+        assert!(!adm.try_admit(4), "cap reached");
+        assert_eq!(adm.inflight(), 3);
+        adm.complete(2);
+        assert!(adm.try_admit(4));
+    }
+
+    #[test]
+    fn forget_releases_a_connections_whole_window() {
+        let mut adm = Admission::new(AdmissionConfig {
+            per_conn_window: 4,
+            global_cap: 4,
+        });
+        for _ in 0..4 {
+            assert!(adm.try_admit(7));
+        }
+        assert!(!adm.try_admit(8));
+        adm.forget(7);
+        assert_eq!(adm.inflight(), 0);
+        assert!(adm.try_admit(8));
+    }
+}

@@ -1,0 +1,40 @@
+//! Networked KV service front-end for the Clobber-NVM key-value server.
+//!
+//! The paper's memcached port (§5.6) is a library loop; this crate gives it
+//! a service layer: typed requests over a [`Transport`] trait, a batcher
+//! that coalesces concurrent client writes into ONE group-committed locked
+//! transaction (so the commit fence amortizes across *clients*, not just
+//! threads), snapshot `GET`s served off the volatile cache without entering
+//! a transaction, and admission control that sheds load with a typed
+//! [`KvResponse::Overloaded`] instead of queueing unboundedly.
+//!
+//! Two transports implement the trait:
+//!
+//! - [`SimNet`]: a deterministic simulated transport in the spirit of the
+//!   discrete-event executor in `clobber-sim`. Clients, request arrival,
+//!   and service time are simulated events driven by the
+//!   [`CostModel`](clobber_sim::CostModel) latency oracle, so whole service
+//!   runs — including crashes injected mid-batch — are bit-deterministic
+//!   across pool engines and replayable through the trace/explorer stack.
+//! - [`TcpTransport`]: an optional real-socket mode over
+//!   `std::net::TcpListener` with a length-prefixed binary framing codec
+//!   (std only — no new dependencies).
+
+#![warn(missing_docs)]
+
+mod admission;
+mod proto;
+mod service;
+mod sim_net;
+mod tcp;
+mod transport;
+
+pub use admission::{Admission, AdmissionConfig};
+pub use proto::{
+    decode_request, decode_response, encode_request, encode_response, read_frame, write_frame,
+    KvRequest, KvResponse, MAX_FRAME,
+};
+pub use service::{key_id, KvService};
+pub use sim_net::{SimNet, SimNetConfig, SimNetRun, SimReport};
+pub use tcp::{KvClient, TcpTransport};
+pub use transport::{serve, ConnId, Envelope, NetEvent, ServeConfig, Transport};

@@ -1,0 +1,125 @@
+//! Loopback smoke test for the real-socket transport. Skips gracefully
+//! when the sandbox forbids sockets (bind/connect failure is not a test
+//! failure — the deterministic transport remains the oracle).
+
+use std::sync::Arc;
+
+use clobber_apps::{KvServer, LockScheme};
+use clobber_kvnet::{
+    serve, Admission, AdmissionConfig, KvClient, KvRequest, KvResponse, KvService, ServeConfig,
+    TcpTransport,
+};
+use clobber_nvm::{Backend, Runtime, RuntimeOptions};
+use clobber_pmem::{PmemPool, PoolOptions};
+use clobber_workloads::RequestStream;
+
+fn service() -> KvService {
+    let pool = Arc::new(PmemPool::create(PoolOptions::performance(16 << 20)).unwrap());
+    let rt = Arc::new(Runtime::create(pool, RuntimeOptions::new(Backend::clobber())).unwrap());
+    let server = KvServer::create(&rt, LockScheme::BucketRw).unwrap();
+    KvService::new(rt, server)
+}
+
+#[test]
+fn loopback_set_get_roundtrip() {
+    let mut transport = match TcpTransport::bind("127.0.0.1:0", 1) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("skipping tcp smoke test: cannot bind loopback: {e}");
+            return;
+        }
+    };
+    let addr = transport.local_addr();
+    let server = std::thread::spawn(move || {
+        let mut svc = service();
+        let mut adm = Admission::new(AdmissionConfig::default());
+        serve(&mut svc, &mut adm, &mut transport, &ServeConfig::default())
+    });
+
+    let mut client = match KvClient::connect(addr) {
+        Err(e) => {
+            eprintln!("skipping tcp smoke test: cannot connect loopback: {e}");
+            // Unblock the acceptor-bounded server before bailing out.
+            drop(server);
+            return;
+        }
+        Ok(c) => c,
+    };
+    for k in 0..8u64 {
+        let (opaque, resp) = client
+            .call(
+                k,
+                &KvRequest::Set {
+                    key: RequestStream::key_bytes(k),
+                    value: RequestStream::value_bytes(k),
+                },
+            )
+            .unwrap();
+        assert_eq!(opaque, k);
+        assert_eq!(resp, KvResponse::Stored);
+    }
+    let (_, resp) = client
+        .call(
+            100,
+            &KvRequest::Get {
+                key: RequestStream::key_bytes(3),
+            },
+        )
+        .unwrap();
+    assert_eq!(resp, KvResponse::Value(RequestStream::value_bytes(3)));
+    let (_, resp) = client
+        .call(
+            101,
+            &KvRequest::Get {
+                key: RequestStream::key_bytes(4096),
+            },
+        )
+        .unwrap();
+    assert_eq!(resp, KvResponse::NotFound);
+
+    // Closing the only expected connection ends the serve loop cleanly.
+    drop(client);
+    server.join().unwrap().unwrap();
+}
+
+#[test]
+fn loopback_overload_sheds_typed_response() {
+    let mut transport = match TcpTransport::bind("127.0.0.1:0", 1) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("skipping tcp smoke test: cannot bind loopback: {e}");
+            return;
+        }
+    };
+    let addr = transport.local_addr();
+    let server = std::thread::spawn(move || {
+        let mut svc = service();
+        // A zero global cap sheds every request with the typed response.
+        let mut adm = Admission::new(AdmissionConfig {
+            per_conn_window: 1,
+            global_cap: 0,
+        });
+        serve(&mut svc, &mut adm, &mut transport, &ServeConfig::default())
+    });
+
+    let mut client = match KvClient::connect(addr) {
+        Err(e) => {
+            eprintln!("skipping tcp smoke test: cannot connect loopback: {e}");
+            drop(server);
+            return;
+        }
+        Ok(c) => c,
+    };
+    let (_, resp) = client
+        .call(
+            7,
+            &KvRequest::Set {
+                key: RequestStream::key_bytes(1),
+                value: RequestStream::value_bytes(1),
+            },
+        )
+        .unwrap();
+    assert_eq!(resp, KvResponse::Overloaded);
+    drop(client);
+    server.join().unwrap().unwrap();
+}

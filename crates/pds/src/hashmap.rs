@@ -13,7 +13,7 @@
 //! node:  [key][val_ptr][val_len][next]
 //! ```
 
-use clobber_nvm::{ArgList, LockRequest, Runtime, TxError};
+use clobber_nvm::{ArgList, LockRequest, Runtime, Tx, TxError};
 use clobber_pmem::{PAddr, PmemPool};
 
 use crate::value::store_value;
@@ -40,6 +40,9 @@ pub const TX_INSERT: &str = "hashmap_insert";
 pub const TX_GET: &str = "hashmap_get";
 /// Removal txfunc name.
 pub const TX_REMOVE: &str = "hashmap_remove";
+/// Batched multi-key insert txfunc name (the KV service's coalesced write
+/// path — N sets, one failure-atomic transaction, one commit fence).
+pub const TX_BATCH_SET: &str = "hashmap_batch_set";
 
 pub(crate) fn bucket_of(key: u64) -> u64 {
     key.wrapping_mul(0xFF51_AFD7_ED55_8CCD) % BUCKETS
@@ -47,6 +50,36 @@ pub(crate) fn bucket_of(key: u64) -> u64 {
 
 pub(crate) fn head_addr(root: PAddr, bucket: u64) -> PAddr {
     root.add(16 + bucket * 8)
+}
+
+/// One insert-or-update, shared by [`TX_INSERT`] and [`TX_BATCH_SET`].
+fn insert_one(tx: &mut Tx<'_>, root: PAddr, key: u64, value: &[u8]) -> Result<(), TxError> {
+    let head = head_addr(root, bucket_of(key));
+    // Walk the chain looking for the key.
+    let mut cur = tx.read_paddr(head)?;
+    while !cur.is_null() {
+        if tx.read_u64(cur.add(NODE_KEY))? == key {
+            // Update in place: fresh value buffer, swap ptr+len
+            // (clobbers 16 bytes), free the old buffer at commit.
+            let old_ptr = tx.read_paddr(cur.add(NODE_VPTR))?;
+            let vbuf = store_value(tx, value)?;
+            tx.write_paddr(cur.add(NODE_VPTR), vbuf)?;
+            tx.write_u64(cur.add(NODE_VLEN), value.len() as u64)?;
+            tx.pfree(old_ptr)?;
+            return Ok(());
+        }
+        cur = tx.read_paddr(cur.add(NODE_NEXT))?;
+    }
+    // Prepend a fresh node; the bucket head is the clobbered input.
+    let vbuf = store_value(tx, value)?;
+    let node = tx.pmalloc(NODE_SIZE)?;
+    tx.write_u64(node.add(NODE_KEY), key)?;
+    tx.write_paddr(node.add(NODE_VPTR), vbuf)?;
+    tx.write_u64(node.add(NODE_VLEN), value.len() as u64)?;
+    let old_head = tx.read_paddr(head)?;
+    tx.write_paddr(node.add(NODE_NEXT), old_head)?;
+    tx.write_paddr(head, node)?;
+    Ok(())
 }
 
 impl HashMap {
@@ -81,31 +114,20 @@ impl HashMap {
             let root = PAddr::new(args.u64(0)?);
             let key = args.u64(1)?;
             let value = args.bytes(2)?;
-            let head = head_addr(root, bucket_of(key));
-            // Walk the chain looking for the key.
-            let mut cur = tx.read_paddr(head)?;
-            while !cur.is_null() {
-                if tx.read_u64(cur.add(NODE_KEY))? == key {
-                    // Update in place: fresh value buffer, swap ptr+len
-                    // (clobbers 16 bytes), free the old buffer at commit.
-                    let old_ptr = tx.read_paddr(cur.add(NODE_VPTR))?;
-                    let vbuf = store_value(tx, value)?;
-                    tx.write_paddr(cur.add(NODE_VPTR), vbuf)?;
-                    tx.write_u64(cur.add(NODE_VLEN), value.len() as u64)?;
-                    tx.pfree(old_ptr)?;
-                    return Ok(None);
-                }
-                cur = tx.read_paddr(cur.add(NODE_NEXT))?;
+            insert_one(tx, root, key, value)?;
+            Ok(None)
+        });
+        rt.register(TX_BATCH_SET, |tx, args| {
+            // args: root, n, then n × (key, value). All inputs ride in the
+            // v_log by value, so a crash anywhere inside the batch re-executes
+            // the whole coalesced transaction deterministically.
+            let root = PAddr::new(args.u64(0)?);
+            let n = args.u64(1)?;
+            for i in 0..n {
+                let key = args.u64(2 + 2 * i as usize)?;
+                let value = args.bytes(3 + 2 * i as usize)?;
+                insert_one(tx, root, key, value)?;
             }
-            // Prepend a fresh node; the bucket head is the clobbered input.
-            let vbuf = store_value(tx, value)?;
-            let node = tx.pmalloc(NODE_SIZE)?;
-            tx.write_u64(node.add(NODE_KEY), key)?;
-            tx.write_paddr(node.add(NODE_VPTR), vbuf)?;
-            tx.write_u64(node.add(NODE_VLEN), value.len() as u64)?;
-            let old_head = tx.read_paddr(head)?;
-            tx.write_paddr(node.add(NODE_NEXT), old_head)?;
-            tx.write_paddr(head, node)?;
             Ok(None)
         });
         rt.register(TX_GET, |tx, args| {
@@ -226,6 +248,71 @@ impl HashMap {
             &self.args(key).with_bytes(value),
         )?;
         Ok(())
+    }
+
+    /// The exclusive bucket-lock set covering every key in `keys`,
+    /// deduplicated (keys sharing a bucket share a lock). Feed the result
+    /// to [`Runtime::run_locked`] / [`Runtime::run_on_locked`] along with a
+    /// [`TX_BATCH_SET`] argument list; the lock manager sorts the set, so
+    /// whole-batch acquisition stays deadlock-free against other batches.
+    pub fn batch_locks(&self, keys: &[u64]) -> Vec<LockRequest> {
+        let mut ids: Vec<u64> = keys.iter().map(|&k| self.lock_of(k)).collect();
+        ids.sort_unstable();
+        ids.dedup();
+        ids.into_iter().map(LockRequest::exclusive).collect()
+    }
+
+    /// Inserts or updates every `(key, value)` pair as ONE failure-atomic
+    /// locked transaction on an explicit slot — the KV service's batched
+    /// write path. All touched bucket locks are held for the duration, and
+    /// the single commit fence (coalesced further by group commit) is
+    /// shared by the whole batch, so fence cost amortizes across the
+    /// clients whose requests were coalesced.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TxError::LockConflict`] (before the body runs — safe to
+    /// retry) under wait-die refusal, or any substrate error.
+    pub fn insert_batch_on(
+        &self,
+        rt: &Runtime,
+        slot: usize,
+        pairs: &[(u64, Vec<u8>)],
+    ) -> Result<(), TxError> {
+        let keys: Vec<u64> = pairs.iter().map(|&(k, _)| k).collect();
+        let mut args = ArgList::new()
+            .with_u64(self.root.offset())
+            .with_u64(pairs.len() as u64);
+        for (k, v) in pairs {
+            args = args.with_u64(*k).with_bytes(v);
+        }
+        rt.run_on_locked(slot, &self.batch_locks(&keys), TX_BATCH_SET, &args)?;
+        Ok(())
+    }
+
+    /// Reads `key` directly off the pool without entering a transaction —
+    /// the KV service's snapshot `GET` path. The walk sees whatever the
+    /// volatile cache holds at the instant of each read; callers who need
+    /// read-your-writes against in-flight writers must use
+    /// [`get_sync`](HashMap::get_sync) instead.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TxError::Pmem`] on a corrupt chain.
+    pub fn snapshot_get(&self, pool: &PmemPool, key: u64) -> Result<Option<Vec<u8>>, TxError> {
+        let mut cur = PAddr::new(pool.read_u64(head_addr(self.root, bucket_of(key)))?);
+        let mut hops = 0;
+        while !cur.is_null() {
+            if pool.read_u64(cur.add(NODE_KEY))? == key {
+                let ptr = PAddr::new(pool.read_u64(cur.add(NODE_VPTR))?);
+                let len = pool.read_u64(cur.add(NODE_VLEN))?;
+                return Ok(Some(pool.read_bytes(ptr, len)?));
+            }
+            cur = PAddr::new(pool.read_u64(cur.add(NODE_NEXT))?);
+            hops += 1;
+            assert!(hops < 1_000_000, "cycle in bucket {}", bucket_of(key));
+        }
+        Ok(None)
     }
 
     /// Thread-safe [`get`](HashMap::get): shared bucket lock, so readers
@@ -420,6 +507,61 @@ mod tests {
         assert_eq!(map.len(&pool).unwrap(), 4 * (64 - 8));
         assert!(rt.locks().is_idle());
         assert!(pool.stats().snapshot().lock_acquisitions >= 4 * (64 + 64 + 8));
+    }
+
+    #[test]
+    fn batch_set_inserts_all_pairs_atomically() {
+        let (pool, rt, map) = setup(Backend::clobber());
+        let pairs: Vec<(u64, Vec<u8>)> =
+            (0..16u64).map(|k| (k, k.to_le_bytes().to_vec())).collect();
+        let before = pool.stats().snapshot();
+        map.insert_batch_on(&rt, 0, &pairs).unwrap();
+        let d = pool.stats().snapshot().delta(&before);
+        assert_eq!(d.publishes, 1, "a batch is ONE committing transaction");
+        for (k, v) in &pairs {
+            assert_eq!(map.get(&rt, *k).unwrap(), Some(v.clone()));
+        }
+        // Batch update path: overwrite half the keys in a second batch.
+        let updates: Vec<(u64, Vec<u8>)> = (0..8u64).map(|k| (k, vec![0xAB; 32])).collect();
+        map.insert_batch_on(&rt, 0, &updates).unwrap();
+        assert_eq!(map.get(&rt, 3).unwrap(), Some(vec![0xAB; 32]));
+        assert_eq!(map.len(&pool).unwrap(), 16);
+    }
+
+    #[test]
+    fn batch_locks_dedup_shared_buckets() {
+        let (_p, _rt, map) = setup(Backend::clobber());
+        // Find two keys in the same bucket.
+        let mut seen = std::collections::HashMap::new();
+        let (mut a, mut b) = (0, 0);
+        for k in 0..10_000u64 {
+            if let Some(&prev) = seen.get(&bucket_of(k)) {
+                (a, b) = (prev, k);
+                break;
+            }
+            seen.insert(bucket_of(k), k);
+        }
+        assert_ne!(a, b);
+        assert_eq!(map.batch_locks(&[a, b]).len(), 1, "same bucket, one lock");
+        assert_eq!(map.batch_locks(&[a, b, a]).len(), 1);
+    }
+
+    #[test]
+    fn snapshot_get_sees_committed_writes_without_a_tx() {
+        let (pool, rt, map) = setup(Backend::clobber());
+        map.insert(&rt, 42, b"answer").unwrap();
+        let before = pool.stats().snapshot();
+        assert_eq!(
+            map.snapshot_get(&pool, 42).unwrap(),
+            Some(b"answer".to_vec())
+        );
+        assert_eq!(map.snapshot_get(&pool, 43).unwrap(), None);
+        let d = pool.stats().snapshot().delta(&before);
+        assert_eq!(
+            (d.fences, d.vlog_entries, d.log_entries),
+            (0, 0, 0),
+            "snapshot reads never enter a transaction"
+        );
     }
 
     #[test]

@@ -193,6 +193,18 @@ pub struct PmemStats {
     /// Blocking acquires that could not be granted immediately and had to
     /// queue, bumped by the runtime.
     pub lock_waits: AtomicU64,
+    /// Client requests admitted by the KV service front-end, bumped by the
+    /// service layer.
+    pub net_accepted: AtomicU64,
+    /// Client requests shed with a typed `Overloaded` response (per-client
+    /// window or global queue cap exceeded), bumped by the service layer.
+    pub net_shed: AtomicU64,
+    /// Write requests coalesced into batched locked transactions, bumped by
+    /// the service layer (grows by the batch size per batch).
+    pub net_batched: AtomicU64,
+    /// `GET`s served off the volatile cache without entering a transaction,
+    /// bumped by the service layer.
+    pub net_snapshot_reads: AtomicU64,
     /// Per-shard hot-counter banks. Empty for single-lock pools; sharded
     /// pools route all hot-path counts here and leave the shared hot
     /// atomics above at zero, so [`snapshot`](Self::snapshot) can always
@@ -292,6 +304,10 @@ impl PmemStats {
             lock_write_holds: self.lock_write_holds.load(Ordering::Relaxed),
             lock_conflicts: self.lock_conflicts.load(Ordering::Relaxed),
             lock_waits: self.lock_waits.load(Ordering::Relaxed),
+            net_accepted: self.net_accepted.load(Ordering::Relaxed),
+            net_shed: self.net_shed.load(Ordering::Relaxed),
+            net_batched: self.net_batched.load(Ordering::Relaxed),
+            net_snapshot_reads: self.net_snapshot_reads.load(Ordering::Relaxed),
         }
     }
 
@@ -417,6 +433,14 @@ pub struct StatsSnapshot {
     pub lock_conflicts: u64,
     /// Blocking acquires that had to queue.
     pub lock_waits: u64,
+    /// Client requests admitted by the KV service front-end.
+    pub net_accepted: u64,
+    /// Client requests shed with a typed `Overloaded` response.
+    pub net_shed: u64,
+    /// Write requests coalesced into batched locked transactions.
+    pub net_batched: u64,
+    /// `GET`s served off the volatile cache without a transaction.
+    pub net_snapshot_reads: u64,
 }
 
 impl StatsSnapshot {
@@ -475,6 +499,10 @@ impl StatsSnapshot {
             lock_write_holds: self.lock_write_holds - earlier.lock_write_holds,
             lock_conflicts: self.lock_conflicts - earlier.lock_conflicts,
             lock_waits: self.lock_waits - earlier.lock_waits,
+            net_accepted: self.net_accepted - earlier.net_accepted,
+            net_shed: self.net_shed - earlier.net_shed,
+            net_batched: self.net_batched - earlier.net_batched,
+            net_snapshot_reads: self.net_snapshot_reads - earlier.net_snapshot_reads,
         }
     }
 

@@ -205,7 +205,11 @@ pub fn tx_footprints(trace: &Trace) -> Vec<TxFootprint> {
             // footprints, so counting them would only widen footprints.
             | EventKind::LockAcquire
             | EventKind::LockRelease
-            | EventKind::LockConflict => {}
+            | EventKind::LockConflict
+            // Batch framing is service-level annotation: the batch's data
+            // accesses show up as the coalesced transaction's own events.
+            | EventKind::NetBatchOpen
+            | EventKind::NetBatchClose => {}
         }
     }
     for f in &mut out {

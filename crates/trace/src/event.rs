@@ -59,11 +59,20 @@ pub enum EventKind {
     /// A lock request conflicted — a `try_acquire` was refused or a
     /// blocking acquire had to wait (`a` = lock id, `b` = mode).
     LockConflict = 18,
+    /// A KV service batch opened: the batcher is about to run a coalesced
+    /// set of client requests as one locked transaction (`a` = batch
+    /// sequence number, `b` = requests in the batch). Emitted under the
+    /// fault mutex like every app event, so mid-batch crashes replay
+    /// deterministically.
+    NetBatchOpen = 19,
+    /// A KV service batch closed after its transaction committed
+    /// (`a` = batch sequence number, `b` = requests in the batch).
+    NetBatchClose = 20,
 }
 
 impl EventKind {
     /// All kinds, in discriminant order.
-    pub const ALL: [EventKind; 19] = [
+    pub const ALL: [EventKind; 21] = [
         EventKind::Store,
         EventKind::Flush,
         EventKind::Fence,
@@ -83,6 +92,8 @@ impl EventKind {
         EventKind::LockAcquire,
         EventKind::LockRelease,
         EventKind::LockConflict,
+        EventKind::NetBatchOpen,
+        EventKind::NetBatchClose,
     ];
 
     /// Decodes a discriminant byte.
@@ -112,6 +123,8 @@ impl EventKind {
             EventKind::LockAcquire => "lock_acquire",
             EventKind::LockRelease => "lock_release",
             EventKind::LockConflict => "lock_conflict",
+            EventKind::NetBatchOpen => "net_batch_open",
+            EventKind::NetBatchClose => "net_batch_close",
         }
     }
 }

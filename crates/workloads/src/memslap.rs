@@ -7,6 +7,8 @@
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
+use crate::zipf::Zipf;
+
 /// One memcached-protocol request.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum Request {
@@ -83,6 +85,15 @@ pub const KEY_SIZE: usize = 16;
 /// Value size memslap uses in the paper's experiments.
 pub const VALUE_SIZE: usize = 64;
 
+/// How a stream picks key ids from its key space.
+#[derive(Debug, Clone)]
+enum KeyDist {
+    /// memslap's default: every key equally likely.
+    Uniform,
+    /// YCSB-style skew: rank 0 hottest.
+    Zipf(Zipf),
+}
+
 /// A deterministic memslap-style request stream.
 ///
 /// # Example
@@ -99,6 +110,7 @@ pub struct RequestStream {
     count: u64,
     issued: u64,
     key_space: u64,
+    dist: KeyDist,
     rng: StdRng,
 }
 
@@ -110,6 +122,28 @@ impl RequestStream {
             count,
             issued: 0,
             key_space: key_space.max(1),
+            dist: KeyDist::Uniform,
+            rng: StdRng::seed_from_u64(seed),
+        }
+    }
+
+    /// `count` requests over `key_space` zipf-distributed keys with skew
+    /// `theta` (YCSB default 0.99) — key id 0 is the hottest. The mix draw
+    /// consumes the rng in the same order as [`RequestStream::new`], so a
+    /// zipf stream with the same seed issues the same set/get sequence over
+    /// different keys.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `theta` is not in `(0, 1)` (see [`Zipf::new`]).
+    pub fn zipf(mix: Mix, count: u64, key_space: u64, seed: u64, theta: f64) -> RequestStream {
+        let key_space = key_space.max(1);
+        RequestStream {
+            mix,
+            count,
+            issued: 0,
+            key_space,
+            dist: KeyDist::Zipf(Zipf::new(key_space, theta)),
             rng: StdRng::seed_from_u64(seed),
         }
     }
@@ -137,7 +171,10 @@ impl Iterator for RequestStream {
             return None;
         }
         self.issued += 1;
-        let k = self.rng.gen_range(0..self.key_space);
+        let k = match &self.dist {
+            KeyDist::Uniform => self.rng.gen_range(0..self.key_space),
+            KeyDist::Zipf(z) => z.sample(&mut self.rng),
+        };
         let req = if self.rng.gen_range(0..100u32) < self.mix.set_pct() {
             Request::Set {
                 key: Self::key_bytes(k),
@@ -192,6 +229,45 @@ mod tests {
     fn distinct_key_ids_produce_distinct_keys() {
         assert_ne!(RequestStream::key_bytes(1), RequestStream::key_bytes(2));
         assert_eq!(RequestStream::key_bytes(9), RequestStream::key_bytes(9));
+    }
+
+    #[test]
+    fn zipf_stream_is_deterministic_and_skewed() {
+        let a: Vec<_> = RequestStream::zipf(Mix::InsertMost, 200, 1000, 5, 0.99).collect();
+        let b: Vec<_> = RequestStream::zipf(Mix::InsertMost, 200, 1000, 5, 0.99).collect();
+        assert_eq!(a, b);
+        let hot = RequestStream::key_bytes(0);
+        let hits = a.iter().filter(|r| r.key() == &hot[..]).count();
+        // Rank 0 of 1000 keys at theta=0.99 draws far more than uniform 0.1 %.
+        assert!(hits > 10, "zipf skew too weak: {hits}/200 hit the hot key");
+    }
+
+    #[test]
+    fn zipf_golden_request_sequence() {
+        // Pinned so `fig_kv_scale` mixes stay byte-reproducible: the first
+        // eight requests of (InsertMost, key_space=1000, seed=42, theta=0.99).
+        let golden: Vec<(bool, u64)> = RequestStream::zipf(Mix::InsertMost, 8, 1000, 42, 0.99)
+            .map(|r| {
+                let id = u64::from_le_bytes(r.key()[..8].try_into().unwrap());
+                (matches!(r, Request::Set { .. }), id)
+            })
+            .collect();
+        assert_eq!(
+            golden,
+            [
+                (true, 0),
+                (false, 88),
+                (false, 940),
+                (true, 119),
+                (false, 165),
+                (false, 90),
+                (true, 223),
+                (true, 112)
+            ],
+            "zipf request stream changed — every recorded fig_kv_scale run \
+             and net_* golden pin depends on this sequence"
+        );
+        assert!(golden.iter().all(|&(_, id)| id < 1000));
     }
 
     #[test]
